@@ -1,0 +1,705 @@
+//! The PTRider engine: the framework of Fig. 2.
+//!
+//! The engine owns the road-network index modules, the vehicle index and the
+//! matching-algorithm module, and exposes the three-step request flow the
+//! paper describes:
+//!
+//! 1. a rider **submits** a request (start, destination, group size) —
+//!    [`PtRider::submit`] / [`PtRider::submit_request`];
+//! 2. the matching module finds all qualified, non-dominated options and
+//!    returns them;
+//! 3. the rider **chooses** one option — [`PtRider::choose`] — and the
+//!    vehicle and index modules are updated accordingly.
+//!
+//! Vehicles report **location updates** ([`PtRider::location_update`]) and
+//! **pickup / drop-off updates** ([`PtRider::vehicle_arrived`]), which keep
+//! the indexes current, exactly as the system-control arrows of Fig. 2.
+
+use crate::config::EngineConfig;
+use crate::matching::{MatchContext, MatchResult, Matcher, MatcherKind};
+use crate::options::RideOption;
+use crate::request::Request;
+use crate::stats::EngineStats;
+use ptrider_roadnet::{DistanceOracle, GridConfig, GridIndex, RoadNetwork, VertexId};
+use ptrider_vehicles::{
+    ProspectiveRequest, RequestId, StopEvent, Vehicle, VehicleId, VehicleIndex,
+};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Errors returned by engine operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// The request id is not pending (never submitted, already chosen, or
+    /// declined).
+    UnknownRequest(RequestId),
+    /// The vehicle id does not exist.
+    UnknownVehicle(VehicleId),
+    /// The chosen option can no longer be honoured because the vehicle's
+    /// state changed since the options were computed.
+    AssignmentFailed(RequestId, VehicleId),
+    /// The request's origin or destination is not a vertex of the network,
+    /// or no path connects them.
+    InvalidRequest(&'static str),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::UnknownRequest(r) => write!(f, "request {r} is not pending"),
+            EngineError::UnknownVehicle(v) => write!(f, "vehicle {v} does not exist"),
+            EngineError::AssignmentFailed(r, v) => {
+                write!(f, "vehicle {v} can no longer serve request {r}")
+            }
+            EngineError::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// A submitted request waiting for the rider's choice.
+#[derive(Clone, Debug)]
+struct PendingRequest {
+    request: Request,
+    prospective: ProspectiveRequest,
+}
+
+/// Result of one request inside [`PtRider::submit_batch_greedy`].
+#[derive(Clone, Debug)]
+pub struct BatchOutcome {
+    /// The request id the engine allocated.
+    pub request: RequestId,
+    /// The skyline of options that was offered.
+    pub options: Vec<RideOption>,
+    /// Index into `options` of the option that was chosen and successfully
+    /// assigned, if any.
+    pub chosen: Option<usize>,
+}
+
+/// The price-and-time-aware ridesharing engine.
+pub struct PtRider {
+    net: Arc<RoadNetwork>,
+    grid: Arc<GridIndex>,
+    oracle: DistanceOracle,
+    config: EngineConfig,
+    matcher_kind: MatcherKind,
+    matcher: Box<dyn Matcher>,
+    vehicles: HashMap<VehicleId, Vehicle>,
+    index: VehicleIndex,
+    pending: HashMap<RequestId, PendingRequest>,
+    next_vehicle: u32,
+    next_request: u64,
+    stats: EngineStats,
+}
+
+impl PtRider {
+    /// Builds an engine over a road network, constructing the grid index
+    /// with the given configuration.
+    pub fn new(net: RoadNetwork, grid_config: GridConfig, config: EngineConfig) -> Self {
+        let net = Arc::new(net);
+        let grid = Arc::new(GridIndex::build(&net, grid_config));
+        Self::with_shared(net, grid, config)
+    }
+
+    /// Builds an engine over pre-built, shared network and grid index
+    /// handles (useful when benchmarks construct many engines over the same
+    /// city).
+    pub fn with_shared(net: Arc<RoadNetwork>, grid: Arc<GridIndex>, config: EngineConfig) -> Self {
+        let oracle = DistanceOracle::new(Arc::clone(&net), Arc::clone(&grid));
+        let index = VehicleIndex::new(grid.num_cells());
+        let matcher_kind = MatcherKind::DualSide;
+        PtRider {
+            net,
+            grid,
+            oracle,
+            config,
+            matcher_kind,
+            matcher: matcher_kind.build(),
+            vehicles: HashMap::new(),
+            index,
+            pending: HashMap::new(),
+            next_vehicle: 0,
+            next_request: 0,
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// Selects the active matching algorithm (the demo's admin panel allows
+    /// switching between the single-side and dual-side searches).
+    pub fn set_matcher(&mut self, kind: MatcherKind) {
+        self.matcher_kind = kind;
+        self.matcher = kind.build();
+    }
+
+    /// The active matching algorithm.
+    pub fn matcher_kind(&self) -> MatcherKind {
+        self.matcher_kind
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The underlying road network.
+    pub fn network(&self) -> &RoadNetwork {
+        &self.net
+    }
+
+    /// The road-network grid index.
+    pub fn grid(&self) -> &GridIndex {
+        &self.grid
+    }
+
+    /// The memoising distance oracle (exposes exact-computation counters).
+    pub fn oracle(&self) -> &DistanceOracle {
+        &self.oracle
+    }
+
+    /// Aggregated statistics.
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// Resets the aggregated statistics (used between benchmark phases).
+    pub fn reset_stats(&mut self) {
+        self.stats = EngineStats::default();
+        self.oracle.reset_counters();
+    }
+
+    // ------------------------------------------------------------------
+    // Vehicles
+    // ------------------------------------------------------------------
+
+    /// Adds a vehicle at `location` with the global capacity.
+    pub fn add_vehicle(&mut self, location: VertexId) -> VehicleId {
+        self.add_vehicle_with_capacity(location, self.config.capacity)
+    }
+
+    /// Adds a vehicle at `location` with an explicit capacity.
+    pub fn add_vehicle_with_capacity(&mut self, location: VertexId, capacity: u32) -> VehicleId {
+        assert!(
+            self.net.contains(location),
+            "vehicle location {location} is not a vertex of the network"
+        );
+        let id = VehicleId(self.next_vehicle);
+        self.next_vehicle += 1;
+        let vehicle = Vehicle::new(id, capacity, location);
+        self.index
+            .update_from_vehicle(&vehicle, &self.net, &self.grid, &self.oracle);
+        self.vehicles.insert(id, vehicle);
+        id
+    }
+
+    /// Number of vehicles registered.
+    pub fn num_vehicles(&self) -> usize {
+        self.vehicles.len()
+    }
+
+    /// Looks up a vehicle.
+    pub fn vehicle(&self, id: VehicleId) -> Option<&Vehicle> {
+        self.vehicles.get(&id)
+    }
+
+    /// Iterates over all vehicles.
+    pub fn vehicles(&self) -> impl Iterator<Item = &Vehicle> {
+        self.vehicles.values()
+    }
+
+    /// The vehicle grid index (empty / non-empty lists per cell).
+    pub fn vehicle_index(&self) -> &VehicleIndex {
+        &self.index
+    }
+
+    // ------------------------------------------------------------------
+    // Requests
+    // ------------------------------------------------------------------
+
+    /// Convenience wrapper around [`Self::submit_request`] that allocates the
+    /// request id and uses the global `w` and `δ`.
+    pub fn submit(
+        &mut self,
+        origin: VertexId,
+        destination: VertexId,
+        riders: u32,
+        now: f64,
+    ) -> (RequestId, Vec<RideOption>) {
+        let id = self.allocate_request_id();
+        let request = Request::new(id, origin, destination, riders, now);
+        let options = self
+            .submit_request(request)
+            .map(|r| r.options)
+            .unwrap_or_default();
+        (id, options)
+    }
+
+    /// Allocates a fresh request id (callers that build [`Request`] values
+    /// themselves must use engine-issued ids).
+    pub fn allocate_request_id(&mut self) -> RequestId {
+        let id = RequestId(self.next_request);
+        self.next_request += 1;
+        id
+    }
+
+    /// Submits a request and returns the full matching result (options plus
+    /// work counters). The options are remembered so the rider can
+    /// subsequently [`Self::choose`] one.
+    pub fn submit_request(&mut self, request: Request) -> Result<MatchResult, EngineError> {
+        if !self.net.contains(request.origin) || !self.net.contains(request.destination) {
+            return Err(EngineError::InvalidRequest(
+                "origin or destination is not a vertex of the road network",
+            ));
+        }
+        if request.origin == request.destination {
+            return Err(EngineError::InvalidRequest(
+                "origin and destination coincide",
+            ));
+        }
+        if request.riders == 0 {
+            return Err(EngineError::InvalidRequest("request carries zero riders"));
+        }
+        let direct = self.oracle.distance(request.origin, request.destination);
+        if !direct.is_finite() {
+            return Err(EngineError::InvalidRequest(
+                "destination unreachable from origin",
+            ));
+        }
+
+        let prospective = request.to_prospective(direct, &self.config);
+        let started = Instant::now();
+        let result = {
+            let ctx = MatchContext {
+                oracle: &self.oracle,
+                grid: &self.grid,
+                vehicles: &self.vehicles,
+                index: &self.index,
+                config: &self.config,
+            };
+            self.matcher.find_options(&ctx, &prospective)
+        };
+        let elapsed = started.elapsed().as_secs_f64();
+
+        self.stats.requests_submitted += 1;
+        self.stats.total_match_secs += elapsed;
+        self.stats.options_returned += result.options.len() as u64;
+        if !result.options.is_empty() {
+            self.stats.requests_with_options += 1;
+        }
+        self.stats.match_work.accumulate(&result.stats);
+
+        self.pending.insert(
+            request.id,
+            PendingRequest {
+                request,
+                prospective,
+            },
+        );
+        Ok(result)
+    }
+
+    /// Matches a request against the *current* state with an arbitrary
+    /// matching algorithm, without recording anything (no pending request,
+    /// no statistics). Used by the benchmark harness to compare algorithms
+    /// on identical worlds and by the simulator's cross-check mode.
+    pub fn match_request_with(
+        &self,
+        kind: MatcherKind,
+        request: &Request,
+    ) -> Result<MatchResult, EngineError> {
+        if !self.net.contains(request.origin) || !self.net.contains(request.destination) {
+            return Err(EngineError::InvalidRequest(
+                "origin or destination is not a vertex of the road network",
+            ));
+        }
+        let direct = self.oracle.distance(request.origin, request.destination);
+        if !direct.is_finite() {
+            return Err(EngineError::InvalidRequest(
+                "destination unreachable from origin",
+            ));
+        }
+        let prospective = request.to_prospective(direct, &self.config);
+        let matcher = kind.build();
+        let ctx = MatchContext {
+            oracle: &self.oracle,
+            grid: &self.grid,
+            vehicles: &self.vehicles,
+            index: &self.index,
+            config: &self.config,
+        };
+        Ok(matcher.find_options(&ctx, &prospective))
+    }
+
+    /// The rider chooses one of the options previously returned for
+    /// `request_id`. The option's vehicle is assigned the request, and the
+    /// vehicle index is updated.
+    pub fn choose(
+        &mut self,
+        request_id: RequestId,
+        option: &RideOption,
+        now: f64,
+    ) -> Result<(), EngineError> {
+        let pending = self
+            .pending
+            .get(&request_id)
+            .ok_or(EngineError::UnknownRequest(request_id))?;
+        let vehicle = self
+            .vehicles
+            .get_mut(&option.vehicle)
+            .ok_or(EngineError::UnknownVehicle(option.vehicle))?;
+
+        let max_wait_dist = self
+            .config
+            .speed
+            .seconds_to_distance(pending.request.effective_max_wait_secs(&self.config));
+        let assigned = vehicle.assign(
+            &self.oracle,
+            &pending.prospective,
+            option.pickup_dist,
+            max_wait_dist,
+            option.price,
+            now,
+        );
+        if assigned.is_none() {
+            self.stats.assignments_failed += 1;
+            return Err(EngineError::AssignmentFailed(request_id, option.vehicle));
+        }
+        self.index
+            .update_from_vehicle(vehicle, &self.net, &self.grid, &self.oracle);
+        self.pending.remove(&request_id);
+        self.stats.requests_chosen += 1;
+        Ok(())
+    }
+
+    /// Processes a batch of *simultaneous* requests with the greedy strategy
+    /// the paper describes (Section 2.5): requests are matched one by one in
+    /// the given order, and each rider's choice — made by `selector`, which
+    /// receives the skyline and returns the index of the chosen option (or
+    /// `None` to decline) — is committed before the next request is matched,
+    /// so later requests see the updated vehicle schedules.
+    ///
+    /// Returns one [`BatchOutcome`] per input, in order.
+    pub fn submit_batch_greedy<F>(
+        &mut self,
+        specs: &[(VertexId, VertexId, u32)],
+        now: f64,
+        mut selector: F,
+    ) -> Vec<BatchOutcome>
+    where
+        F: FnMut(&[RideOption]) -> Option<usize>,
+    {
+        let mut outcomes = Vec::with_capacity(specs.len());
+        for &(origin, destination, riders) in specs {
+            let (request, options) = self.submit(origin, destination, riders, now);
+            let chosen = selector(&options).filter(|&i| i < options.len());
+            let assigned = match chosen {
+                Some(i) => self.choose(request, &options[i], now).is_ok(),
+                None => {
+                    let _ = self.decline(request);
+                    false
+                }
+            };
+            outcomes.push(BatchOutcome {
+                request,
+                options,
+                chosen: if assigned { chosen } else { None },
+            });
+        }
+        outcomes
+    }
+
+    /// Discards a pending request (the rider declined all options).
+    pub fn decline(&mut self, request_id: RequestId) -> Result<(), EngineError> {
+        self.pending
+            .remove(&request_id)
+            .map(|_| ())
+            .ok_or(EngineError::UnknownRequest(request_id))
+    }
+
+    /// Number of requests awaiting a choice.
+    pub fn pending_requests(&self) -> usize {
+        self.pending.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Vehicle updates (location / pickup / drop-off, Fig. 2)
+    // ------------------------------------------------------------------
+
+    /// Applies a periodic location update: the vehicle has driven
+    /// `travelled` metres and is now at `location`.
+    pub fn location_update(
+        &mut self,
+        vehicle_id: VehicleId,
+        location: VertexId,
+        travelled: f64,
+    ) -> Result<(), EngineError> {
+        if !self.net.contains(location) {
+            return Err(EngineError::InvalidRequest(
+                "vehicle location is not a vertex of the road network",
+            ));
+        }
+        let vehicle = self
+            .vehicles
+            .get_mut(&vehicle_id)
+            .ok_or(EngineError::UnknownVehicle(vehicle_id))?;
+        vehicle.move_to(&self.oracle, location, travelled);
+        self.index
+            .update_from_vehicle(vehicle, &self.net, &self.grid, &self.oracle);
+        self.stats.location_updates += 1;
+        Ok(())
+    }
+
+    /// Notifies the engine that a vehicle has arrived at the next stop of
+    /// its schedule; serves the stop (pickup or drop-off update) and
+    /// refreshes the vehicle index.
+    pub fn vehicle_arrived(
+        &mut self,
+        vehicle_id: VehicleId,
+    ) -> Result<Option<StopEvent>, EngineError> {
+        let vehicle = self
+            .vehicles
+            .get_mut(&vehicle_id)
+            .ok_or(EngineError::UnknownVehicle(vehicle_id))?;
+        let event = vehicle.serve_next_stop(&self.oracle);
+        match &event {
+            Some(StopEvent::PickedUp { .. }) => self.stats.pickups += 1,
+            Some(StopEvent::DroppedOff { .. }) => self.stats.dropoffs += 1,
+            None => {}
+        }
+        if event.is_some() {
+            self.index
+                .update_from_vehicle(vehicle, &self.net, &self.grid, &self.oracle);
+        }
+        Ok(event)
+    }
+}
+
+impl fmt::Debug for PtRider {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PtRider")
+            .field("vertices", &self.net.num_vertices())
+            .field("cells", &self.grid.num_cells())
+            .field("vehicles", &self.vehicles.len())
+            .field("matcher", &self.matcher_kind)
+            .field("pending", &self.pending.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptrider_roadnet::RoadNetworkBuilder;
+
+    /// A 5x5 lattice with 1 km edges.
+    fn city() -> RoadNetwork {
+        let side = 5usize;
+        let mut b = RoadNetworkBuilder::new();
+        let mut ids = Vec::new();
+        for y in 0..side {
+            for x in 0..side {
+                ids.push(b.add_vertex(x as f64 * 1000.0, y as f64 * 1000.0));
+            }
+        }
+        for y in 0..side {
+            for x in 0..side {
+                let u = ids[y * side + x];
+                if x + 1 < side {
+                    b.add_bidirectional_edge(u, ids[y * side + x + 1], 1000.0);
+                }
+                if y + 1 < side {
+                    b.add_bidirectional_edge(u, ids[(y + 1) * side + x], 1000.0);
+                }
+            }
+        }
+        b.build().unwrap()
+    }
+
+    fn engine() -> PtRider {
+        PtRider::new(
+            city(),
+            GridConfig::with_dimensions(3, 3),
+            EngineConfig::default(),
+        )
+    }
+
+    #[test]
+    fn full_request_lifecycle() {
+        let mut e = engine();
+        e.set_matcher(MatcherKind::SingleSide);
+        let taxi = e.add_vehicle(VertexId(0));
+        assert_eq!(e.num_vehicles(), 1);
+
+        let (req, options) = e.submit(VertexId(6), VertexId(8), 2, 0.0);
+        assert_eq!(options.len(), 1);
+        assert_eq!(e.pending_requests(), 1);
+        let opt = &options[0];
+        assert_eq!(opt.vehicle, taxi);
+        assert_eq!(opt.pickup_dist, 2000.0);
+        // Empty vehicle price: f_2 * (2000 + 2 * 2000) = 0.4 * 6000.
+        assert!((opt.price - 2400.0).abs() < 1e-6);
+
+        e.choose(req, opt, 0.0).unwrap();
+        assert_eq!(e.pending_requests(), 0);
+        assert!(!e.vehicle(taxi).unwrap().is_empty());
+        assert_eq!(e.stats().requests_chosen, 1);
+
+        // Drive to the pickup and serve it.
+        e.location_update(taxi, VertexId(6), 2000.0).unwrap();
+        let ev = e.vehicle_arrived(taxi).unwrap().unwrap();
+        assert!(matches!(ev, StopEvent::PickedUp { .. }));
+        // Drive to the drop-off and serve it.
+        e.location_update(taxi, VertexId(8), 2000.0).unwrap();
+        let ev = e.vehicle_arrived(taxi).unwrap().unwrap();
+        assert!(matches!(ev, StopEvent::DroppedOff { .. }));
+        assert!(e.vehicle(taxi).unwrap().is_empty());
+        assert_eq!(e.stats().pickups, 1);
+        assert_eq!(e.stats().dropoffs, 1);
+    }
+
+    #[test]
+    fn submit_validates_inputs() {
+        let mut e = engine();
+        e.add_vehicle(VertexId(0));
+        let id = e.allocate_request_id();
+        let bad = Request::new(id, VertexId(3), VertexId(3), 1, 0.0);
+        assert!(matches!(
+            e.submit_request(bad),
+            Err(EngineError::InvalidRequest(_))
+        ));
+        let id = e.allocate_request_id();
+        let bad = Request::new(id, VertexId(3), VertexId(999), 1, 0.0);
+        assert!(matches!(
+            e.submit_request(bad),
+            Err(EngineError::InvalidRequest(_))
+        ));
+        let id = e.allocate_request_id();
+        let bad = Request::new(id, VertexId(3), VertexId(4), 0, 0.0);
+        assert!(matches!(
+            e.submit_request(bad),
+            Err(EngineError::InvalidRequest(_))
+        ));
+    }
+
+    #[test]
+    fn choose_unknown_request_fails() {
+        let mut e = engine();
+        let taxi = e.add_vehicle(VertexId(0));
+        let opt = RideOption {
+            vehicle: taxi,
+            pickup_dist: 0.0,
+            pickup_secs: 0.0,
+            price: 0.0,
+            schedule: Vec::new(),
+            new_total_dist: 0.0,
+            old_total_dist: 0.0,
+        };
+        assert!(matches!(
+            e.choose(RequestId(99), &opt, 0.0),
+            Err(EngineError::UnknownRequest(_))
+        ));
+    }
+
+    #[test]
+    fn decline_removes_pending_request() {
+        let mut e = engine();
+        e.add_vehicle(VertexId(0));
+        let (req, _) = e.submit(VertexId(6), VertexId(8), 1, 0.0);
+        assert_eq!(e.pending_requests(), 1);
+        e.decline(req).unwrap();
+        assert_eq!(e.pending_requests(), 0);
+        assert!(e.decline(req).is_err());
+    }
+
+    #[test]
+    fn multiple_vehicles_yield_price_time_tradeoff() {
+        let mut e = engine();
+        e.set_matcher(MatcherKind::DualSide);
+        // A nearby vehicle that is already busy (will have a detour-dependent
+        // price) and a distant empty vehicle.
+        let busy = e.add_vehicle(VertexId(5));
+        let far = e.add_vehicle(VertexId(24));
+
+        // Assign a long trip to the nearby vehicle so it is non-empty.
+        let (r1, opts1) = e.submit(VertexId(5), VertexId(9), 1, 0.0);
+        let pick = opts1.iter().find(|o| o.vehicle == busy).unwrap().clone();
+        e.choose(r1, &pick, 0.0).unwrap();
+
+        // A new request starting next to the busy vehicle's route.
+        let (_r2, opts2) = e.submit(VertexId(7), VertexId(9), 1, 1.0);
+        assert!(!opts2.is_empty());
+        // All returned options are mutually non-dominated.
+        for a in &opts2 {
+            for b in &opts2 {
+                if !std::ptr::eq(a, b) {
+                    assert!(!a.dominates(b));
+                }
+            }
+        }
+        // The far empty vehicle can only appear if it is not dominated.
+        if opts2.iter().any(|o| o.vehicle == far) {
+            assert!(opts2.len() >= 2);
+        }
+    }
+
+    #[test]
+    fn greedy_batch_commits_each_choice_before_the_next_match() {
+        let mut e = engine();
+        e.set_matcher(MatcherKind::DualSide);
+        let taxi = e.add_vehicle(VertexId(12));
+
+        // Two simultaneous requests competing for the single taxi: the greedy
+        // strategy assigns the first, and the second is matched against the
+        // updated (non-empty) schedule.
+        let specs = [
+            (VertexId(12), VertexId(14), 1u32),
+            (VertexId(13), VertexId(14), 1u32),
+        ];
+        let outcomes = e.submit_batch_greedy(&specs, 0.0, |options| {
+            if options.is_empty() {
+                None
+            } else {
+                Some(0)
+            }
+        });
+        assert_eq!(outcomes.len(), 2);
+        assert_eq!(outcomes[0].chosen, Some(0));
+        assert!(!outcomes[0].options.is_empty());
+        // The second request was matched after the first was committed, so
+        // its option (if any) prices the shared schedule, and the vehicle now
+        // carries as many requests as were successfully assigned.
+        let assigned = outcomes.iter().filter(|o| o.chosen.is_some()).count();
+        assert_eq!(e.vehicle(taxi).unwrap().num_requests(), assigned);
+        assert_eq!(e.stats().requests_chosen, assigned as u64);
+        assert_eq!(e.pending_requests(), 0);
+    }
+
+    #[test]
+    fn greedy_batch_decline_leaves_no_pending_state() {
+        let mut e = engine();
+        e.add_vehicle(VertexId(0));
+        let specs = [(VertexId(6), VertexId(8), 1u32)];
+        let outcomes = e.submit_batch_greedy(&specs, 0.0, |_| None);
+        assert_eq!(outcomes[0].chosen, None);
+        assert_eq!(e.pending_requests(), 0);
+        assert_eq!(e.stats().requests_chosen, 0);
+    }
+
+    #[test]
+    fn stats_accumulate_over_requests() {
+        let mut e = engine();
+        e.add_vehicle(VertexId(0));
+        for i in 0..5u32 {
+            let origin = VertexId(6 + (i % 3));
+            let dest = VertexId(20 + (i % 4));
+            let _ = e.submit(origin, dest, 1, i as f64);
+        }
+        let s = e.stats();
+        assert_eq!(s.requests_submitted, 5);
+        assert!(s.avg_response_secs() >= 0.0);
+        assert!(s.avg_options_per_request() > 0.0);
+        assert!(s.match_work.vehicles_verified >= 1);
+    }
+}

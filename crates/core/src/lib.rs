@@ -1,0 +1,62 @@
+//! PTRider core: the price-and-time-aware ridesharing engine (VLDB 2018).
+//!
+//! This crate implements the paper's primary contribution:
+//!
+//! * the **price model** of Definition 3 (`price = f_n · (dist_trj −
+//!   dist_tri + dist(s, d))`, `f_n = 0.3 + (n − 1) · 0.1`);
+//! * the **skyline** of non-dominated ⟨vehicle, pick-up time, price⟩ options
+//!   of Definition 4;
+//! * the three **matching algorithms** of Section 3.3 — the naive
+//!   kinetic-tree scan, the single-side search and the dual-side search;
+//! * the **PTRider engine** of Fig. 2, tying the road-network grid index,
+//!   the vehicle index and a matcher into the request → options → choice →
+//!   update loop.
+//!
+//! ```
+//! use ptrider_core::{EngineConfig, MatcherKind, PtRider};
+//! use ptrider_roadnet::{GridConfig, RoadNetworkBuilder, VertexId};
+//!
+//! // A tiny two-street network.
+//! let mut b = RoadNetworkBuilder::new();
+//! let a = b.add_vertex(0.0, 0.0);
+//! let m = b.add_vertex(1000.0, 0.0);
+//! let z = b.add_vertex(2000.0, 0.0);
+//! b.add_bidirectional_edge(a, m, 1000.0);
+//! b.add_bidirectional_edge(m, z, 1000.0);
+//! let net = b.build().unwrap();
+//!
+//! let mut engine = PtRider::new(net, GridConfig::with_dimensions(2, 1), EngineConfig::default());
+//! engine.set_matcher(MatcherKind::SingleSide);
+//! let taxi = engine.add_vehicle(a);
+//! let (req, options) = engine.submit(m, z, 1, 0.0);
+//! assert_eq!(options.len(), 1);
+//! engine.choose(req, &options[0], 0.0).unwrap();
+//! assert!(!engine.vehicle(taxi).unwrap().is_empty());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod engine;
+pub mod matching;
+pub mod options;
+pub mod price;
+pub mod request;
+pub mod skyline;
+pub mod stats;
+
+pub use config::EngineConfig;
+pub use engine::{BatchOutcome, EngineError, PtRider};
+pub use matching::{
+    DualSideMatcher, MatchContext, MatchResult, MatchStats, Matcher, MatcherKind, NaiveMatcher,
+    SingleSideMatcher,
+};
+pub use options::RideOption;
+pub use price::PriceModel;
+pub use request::Request;
+pub use skyline::Skyline;
+pub use stats::EngineStats;
+
+// Re-export the substrate types users need to drive the engine.
+pub use ptrider_roadnet::{GridConfig, GridIndex, RoadNetwork, Speed, VertexId};
+pub use ptrider_vehicles::{RequestId, Stop, StopKind, Vehicle, VehicleId};

@@ -1,0 +1,27 @@
+//! The dual-side search algorithm (Section 3.3).
+//!
+//! Single-side search filters unqualified vehicles only from the start
+//! location's side. Dual-side search additionally prunes from the
+//! destination side: for every candidate vehicle it checks — with lower
+//! bounds only — whether each of its outstanding stops could still be served
+//! if the new request were inserted, which catches the case the paper
+//! motivates ("an existing trip schedule is near the start location but far
+//! from the destination") without computing exact shortest paths.
+
+use super::search::{grid_search, SearchMode};
+use super::{MatchContext, MatchResult, Matcher};
+use ptrider_vehicles::ProspectiveRequest;
+
+/// Dual-side (start + destination) grid search.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DualSideMatcher;
+
+impl Matcher for DualSideMatcher {
+    fn name(&self) -> &'static str {
+        "dual-side"
+    }
+
+    fn find_options(&self, ctx: &MatchContext<'_>, req: &ProspectiveRequest) -> MatchResult {
+        grid_search(ctx, req, SearchMode::DualSide)
+    }
+}

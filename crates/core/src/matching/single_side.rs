@@ -1,0 +1,26 @@
+//! The single-side search algorithm (Section 3.3).
+//!
+//! Starting from the grid cell containing the request's start location `s`,
+//! cells are searched in ascending order of their lower-bound distance to
+//! `s`. Empty and non-empty vehicles are processed separately; vehicles that
+//! cannot beat the current skyline (pruning bounds P1–P4 of DESIGN.md) are
+//! skipped without a kinetic-tree verification, and the expansion stops as
+//! soon as every unseen vehicle is provably dominated or out of pickup range.
+
+use super::search::{grid_search, SearchMode};
+use super::{MatchContext, MatchResult, Matcher};
+use ptrider_vehicles::ProspectiveRequest;
+
+/// Single-side (start-location) grid search.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SingleSideMatcher;
+
+impl Matcher for SingleSideMatcher {
+    fn name(&self) -> &'static str {
+        "single-side"
+    }
+
+    fn find_options(&self, ctx: &MatchContext<'_>, req: &ProspectiveRequest) -> MatchResult {
+        grid_search(ctx, req, SearchMode::SingleSide)
+    }
+}

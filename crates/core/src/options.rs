@@ -1,0 +1,97 @@
+//! Ride options: the ⟨vehicle, pick-up time, price⟩ results of Definition 4.
+
+use ptrider_vehicles::{Stop, VehicleId};
+use serde::{Deserialize, Serialize};
+
+/// One option offered to a rider: a specific vehicle, its planned pick-up
+/// time (expressed both as the trip distance `dist_pt` from the vehicle's
+/// current location to the start location, and in seconds at the constant
+/// speed) and the price of Definition 3.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RideOption {
+    /// The vehicle offering the option.
+    pub vehicle: VehicleId,
+    /// `dist_pt`: trip distance from the vehicle's current location to the
+    /// request's start location along the offered schedule, in metres.
+    pub pickup_dist: f64,
+    /// Planned pick-up time in seconds (distance converted at constant speed).
+    pub pickup_secs: f64,
+    /// Price of the trip under the configured price model.
+    pub price: f64,
+    /// The full trip schedule the vehicle would follow for this option.
+    pub schedule: Vec<Stop>,
+    /// Total length of that schedule (the `dist_trj` of the price model).
+    pub new_total_dist: f64,
+    /// The vehicle's current best schedule length (the `dist_tri`).
+    pub old_total_dist: f64,
+}
+
+impl RideOption {
+    /// The extra distance the vehicle drives to serve this option.
+    pub fn detour_dist(&self) -> f64 {
+        self.new_total_dist - self.old_total_dist
+    }
+
+    /// `true` if this option strictly dominates `other` under Definition 4:
+    /// it is at least as good in both dimensions and strictly better in one.
+    pub fn dominates(&self, other: &RideOption) -> bool {
+        dominates(
+            (self.pickup_dist, self.price),
+            (other.pickup_dist, other.price),
+        )
+    }
+}
+
+/// Definition 4 dominance on `(time, price)` pairs: `a` dominates `b` iff
+/// (`a.time ≤ b.time` and `a.price < b.price`) or (`a.time < b.time` and
+/// `a.price ≤ b.price`).
+pub fn dominates(a: (f64, f64), b: (f64, f64)) -> bool {
+    (a.0 <= b.0 && a.1 < b.1) || (a.0 < b.0 && a.1 <= b.1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptrider_vehicles::VehicleId;
+
+    fn opt(time: f64, price: f64) -> RideOption {
+        RideOption {
+            vehicle: VehicleId(1),
+            pickup_dist: time,
+            pickup_secs: time / 13.333,
+            price,
+            schedule: Vec::new(),
+            new_total_dist: 0.0,
+            old_total_dist: 0.0,
+        }
+    }
+
+    #[test]
+    fn dominance_matches_definition_4() {
+        // Earlier and cheaper dominates.
+        assert!(dominates((5.0, 3.0), (8.0, 4.0)));
+        // Equal time, cheaper price dominates.
+        assert!(dominates((5.0, 3.0), (5.0, 4.0)));
+        // Earlier time, equal price dominates.
+        assert!(dominates((4.0, 3.0), (5.0, 3.0)));
+        // Identical options do not dominate each other.
+        assert!(!dominates((5.0, 3.0), (5.0, 3.0)));
+        // Trade-offs do not dominate.
+        assert!(!dominates((5.0, 3.0), (4.0, 9.0)));
+        assert!(!dominates((4.0, 9.0), (5.0, 3.0)));
+    }
+
+    #[test]
+    fn ride_option_dominates_uses_time_and_price() {
+        assert!(opt(100.0, 2.0).dominates(&opt(200.0, 3.0)));
+        assert!(!opt(100.0, 5.0).dominates(&opt(200.0, 3.0)));
+    }
+
+    #[test]
+    fn detour_is_new_minus_old() {
+        let mut o = opt(100.0, 2.0);
+        o.new_total_dist = 900.0;
+        o.old_total_dist = 600.0;
+        assert_eq!(o.detour_dist(), 300.0);
+    }
+}

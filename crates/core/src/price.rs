@@ -1,0 +1,139 @@
+//! The price model of Definition 3.
+//!
+//! For a request `R = ⟨s, d, n, w, δ⟩` inserted into a vehicle whose current
+//! (best) trip schedule has length `dist_tri` and whose new schedule has
+//! length `dist_trj`, the price is
+//!
+//! ```text
+//! price = f_n · (dist_trj − dist_tri + dist(s, d))
+//! ```
+//!
+//! where the fare ratio `f_n = 0.3 + (n − 1) · 0.1` depends on the number of
+//! riders. The website interface of the demo lets the administrator change
+//! the price calculator; [`PriceModel`] therefore exposes the base rate, the
+//! per-rider increment and a distance scale as configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Configurable implementation of the paper's price calculator.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PriceModel {
+    /// Fare ratio for a single rider (`0.3` in the paper).
+    pub base_rate: f64,
+    /// Increment of the fare ratio per additional rider (`0.1` in the paper).
+    pub per_additional_rider: f64,
+    /// Scale applied to distances before pricing (1.0 prices per network
+    /// distance unit; use `0.001` to price per kilometre on a metre-scaled
+    /// network).
+    pub distance_scale: f64,
+}
+
+impl Default for PriceModel {
+    fn default() -> Self {
+        PriceModel {
+            base_rate: 0.3,
+            per_additional_rider: 0.1,
+            distance_scale: 1.0,
+        }
+    }
+}
+
+impl PriceModel {
+    /// The paper's exact model with distances priced per network unit.
+    pub fn paper_default() -> Self {
+        Self::default()
+    }
+
+    /// The paper's fare ratios applied per kilometre (for metre-scaled
+    /// networks such as the synthetic Shanghai workload).
+    pub fn per_kilometre() -> Self {
+        PriceModel {
+            distance_scale: 0.001,
+            ..Self::default()
+        }
+    }
+
+    /// The fare ratio `f_n` for `n` riders.
+    ///
+    /// # Panics
+    /// Panics if `riders == 0`.
+    pub fn fare_ratio(&self, riders: u32) -> f64 {
+        assert!(riders > 0, "a request must carry at least one rider");
+        self.base_rate + (riders as f64 - 1.0) * self.per_additional_rider
+    }
+
+    /// Price of serving a request with `riders` riders when the insertion
+    /// extends the vehicle's trip by `delta_dist` and the request's direct
+    /// distance is `direct_dist` (Definition 3).
+    pub fn price(&self, riders: u32, delta_dist: f64, direct_dist: f64) -> f64 {
+        self.fare_ratio(riders) * (delta_dist + direct_dist) * self.distance_scale
+    }
+
+    /// Lower bound on the price of *any* option for the request: the detour
+    /// `delta_dist` is never negative, so the price is at least
+    /// `f_n · dist(s, d)`.
+    pub fn floor(&self, riders: u32, direct_dist: f64) -> f64 {
+        self.price(riders, 0.0, direct_dist)
+    }
+
+    /// Price of an *empty* vehicle at road distance `pickup_dist` from the
+    /// start location: the new trip is `l → s → d`, so the detour equals
+    /// `pickup_dist + direct_dist` and the price is
+    /// `f_n · (pickup_dist + 2 · dist(s, d))`.
+    pub fn empty_vehicle_price(&self, riders: u32, pickup_dist: f64, direct_dist: f64) -> f64 {
+        self.price(riders, pickup_dist + direct_dist, direct_dist)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fare_ratio_matches_paper() {
+        let m = PriceModel::paper_default();
+        assert!((m.fare_ratio(1) - 0.3).abs() < 1e-12);
+        assert!((m.fare_ratio(2) - 0.4).abs() < 1e-12);
+        assert!((m.fare_ratio(3) - 0.5).abs() < 1e-12);
+        assert!((m.fare_ratio(4) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rider")]
+    fn zero_riders_panics() {
+        PriceModel::default().fare_ratio(0);
+    }
+
+    #[test]
+    fn paper_example_price_is_four() {
+        // Section 2.4: inserting R2 = ⟨v12, v17, 2, 5, 0.2⟩ into tr1 yields
+        // dist_tr2 − dist_tr1 + dist(v12, v17) = 10 and price f_2 · 10 = 4.
+        let m = PriceModel::paper_default();
+        let delta = 3.0; // dist_tr2 − dist_tr1 in the example network
+        let direct = 7.0; // dist(v12, v17)
+        assert!((m.price(2, delta, direct) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_example_empty_vehicle_price() {
+        // Section 2.5: the empty vehicle c2 (at v13) offers r2 = ⟨c2, 8, 8.8⟩:
+        // pickup distance 8, direct distance 7, price 0.4 · (8 + 14) = 8.8.
+        let m = PriceModel::paper_default();
+        assert!((m.empty_vehicle_price(2, 8.0, 7.0) - 8.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn floor_never_exceeds_any_price() {
+        let m = PriceModel::per_kilometre();
+        for delta in [0.0, 10.0, 500.0, 12_345.0] {
+            assert!(m.floor(2, 3000.0) <= m.price(2, delta, 3000.0) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn distance_scale_scales_linearly() {
+        let unit = PriceModel::paper_default();
+        let km = PriceModel::per_kilometre();
+        assert!((unit.price(1, 1000.0, 2000.0) / 1000.0 - km.price(1, 1000.0, 2000.0)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,119 @@
+//! The ridesharing request of Definition 1.
+
+use crate::config::EngineConfig;
+use ptrider_roadnet::VertexId;
+use ptrider_vehicles::{ProspectiveRequest, RequestId};
+use serde::{Deserialize, Serialize};
+
+/// A ridesharing request `R = ⟨s, d, n, w, δ⟩` (Definition 1).
+///
+/// The demo system applies a global maximal waiting time and service
+/// constraint (Section 3.1), so `max_wait_secs` and `detour_factor` are
+/// optional per-request overrides; `None` means "use the engine's global
+/// setting".
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Request identifier (assigned by the engine).
+    pub id: RequestId,
+    /// Start location `s`.
+    pub origin: VertexId,
+    /// Destination `d`.
+    pub destination: VertexId,
+    /// Number of riders `n`.
+    pub riders: u32,
+    /// Per-request maximal waiting time `w` in seconds (`None` → global).
+    pub max_wait_secs: Option<f64>,
+    /// Per-request service constraint `δ` (`None` → global).
+    pub detour_factor: Option<f64>,
+    /// Submission time in seconds since the start of the workload.
+    pub submitted_at: f64,
+}
+
+impl Request {
+    /// Creates a request that uses the engine's global `w` and `δ`.
+    pub fn new(
+        id: RequestId,
+        origin: VertexId,
+        destination: VertexId,
+        riders: u32,
+        submitted_at: f64,
+    ) -> Self {
+        Request {
+            id,
+            origin,
+            destination,
+            riders,
+            max_wait_secs: None,
+            detour_factor: None,
+            submitted_at,
+        }
+    }
+
+    /// Overrides the maximal waiting time for this request.
+    pub fn with_max_wait_secs(mut self, secs: f64) -> Self {
+        self.max_wait_secs = Some(secs);
+        self
+    }
+
+    /// Overrides the service constraint for this request.
+    pub fn with_detour_factor(mut self, delta: f64) -> Self {
+        self.detour_factor = Some(delta);
+        self
+    }
+
+    /// Effective maximal waiting time (per-request value or global).
+    pub fn effective_max_wait_secs(&self, config: &EngineConfig) -> f64 {
+        self.max_wait_secs.unwrap_or(config.max_wait_secs)
+    }
+
+    /// Effective service constraint (per-request value or global).
+    pub fn effective_detour_factor(&self, config: &EngineConfig) -> f64 {
+        self.detour_factor.unwrap_or(config.detour_factor)
+    }
+
+    /// Converts the request into the matcher-facing form, given the exact
+    /// direct distance `dist(s, d)` and the engine configuration.
+    pub fn to_prospective(&self, direct_dist: f64, config: &EngineConfig) -> ProspectiveRequest {
+        ProspectiveRequest::new(
+            self.id,
+            self.origin,
+            self.destination,
+            self.riders,
+            direct_dist,
+            self.effective_detour_factor(config),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_settings_apply_when_not_overridden() {
+        let config = EngineConfig::default();
+        let r = Request::new(RequestId(1), VertexId(0), VertexId(5), 2, 10.0);
+        assert_eq!(r.effective_max_wait_secs(&config), config.max_wait_secs);
+        assert_eq!(r.effective_detour_factor(&config), config.detour_factor);
+    }
+
+    #[test]
+    fn per_request_overrides_take_precedence() {
+        let config = EngineConfig::default();
+        let r = Request::new(RequestId(1), VertexId(0), VertexId(5), 2, 10.0)
+            .with_max_wait_secs(60.0)
+            .with_detour_factor(0.5);
+        assert_eq!(r.effective_max_wait_secs(&config), 60.0);
+        assert_eq!(r.effective_detour_factor(&config), 0.5);
+    }
+
+    #[test]
+    fn to_prospective_uses_effective_detour() {
+        let config = EngineConfig::default().with_detour_factor(0.25);
+        let r = Request::new(RequestId(9), VertexId(1), VertexId(2), 3, 0.0);
+        let p = r.to_prospective(2000.0, &config);
+        assert_eq!(p.id, RequestId(9));
+        assert_eq!(p.riders, 3);
+        assert!((p.max_onboard_dist - 2500.0).abs() < 1e-9);
+    }
+}

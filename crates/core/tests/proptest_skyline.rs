@@ -1,0 +1,125 @@
+//! Property tests for the skyline and the price model: the incremental
+//! skyline always equals the brute-force non-dominated set under the
+//! dominance relation of Definition 4, and prices are monotone in the
+//! detour.
+
+use proptest::prelude::*;
+use ptrider_core::{options::dominates, PriceModel, RideOption, Skyline};
+use ptrider_vehicles::VehicleId;
+
+fn opt(vehicle: u32, time: f64, price: f64) -> RideOption {
+    RideOption {
+        vehicle: VehicleId(vehicle),
+        pickup_dist: time,
+        pickup_secs: time,
+        price,
+        schedule: Vec::new(),
+        new_total_dist: 0.0,
+        old_total_dist: 0.0,
+    }
+}
+
+/// Brute-force skyline: keep every point not strictly dominated by another.
+fn brute_force(points: &[(f64, f64)]) -> Vec<(f64, f64)> {
+    points
+        .iter()
+        .copied()
+        .filter(|&p| !points.iter().any(|&q| dominates(q, p)))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    #[test]
+    fn incremental_skyline_equals_brute_force(
+        points in proptest::collection::vec((0.0f64..100.0, 0.0f64..50.0), 0..40)
+    ) {
+        // Quantise so exact ties actually occur.
+        let points: Vec<(f64, f64)> = points
+            .into_iter()
+            .map(|(t, p)| ((t * 2.0).round() / 2.0, (p * 2.0).round() / 2.0))
+            .collect();
+
+        let mut skyline = Skyline::new();
+        for (i, &(t, p)) in points.iter().enumerate() {
+            skyline.insert(opt(i as u32, t, p));
+        }
+        let mut got: Vec<(f64, f64)> = skyline
+            .options()
+            .iter()
+            .map(|o| (o.pickup_dist, o.price))
+            .collect();
+        let mut expected = brute_force(&points);
+        let key = |x: &(f64, f64)| ((x.0 * 1000.0) as i64, (x.1 * 1000.0) as i64);
+        got.sort_by_key(key);
+        expected.sort_by_key(key);
+        prop_assert_eq!(got, expected);
+
+        // No member dominates another.
+        for a in skyline.options() {
+            for b in skyline.options() {
+                if !std::ptr::eq(a, b) {
+                    prop_assert!(!a.dominates(b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn would_dominate_never_prunes_a_survivor(
+        existing in proptest::collection::vec((0.0f64..100.0, 0.0f64..50.0), 1..20),
+        candidate_time in 0.0f64..100.0,
+        candidate_price in 0.0f64..50.0,
+        slack_time in 0.0f64..10.0,
+        slack_price in 0.0f64..10.0,
+    ) {
+        let mut skyline = Skyline::new();
+        for (i, &(t, p)) in existing.iter().enumerate() {
+            skyline.insert(opt(i as u32, t, p));
+        }
+        // A pruning decision made from *lower bounds* (candidate values minus
+        // an arbitrary slack) must never prune a candidate that would have
+        // been admitted.
+        let time_lb = candidate_time - slack_time;
+        let price_lb = candidate_price - slack_price;
+        if skyline.would_dominate(time_lb, price_lb) {
+            let mut check = skyline.clone();
+            prop_assert!(
+                !check.insert(opt(999, candidate_time, candidate_price)),
+                "pruned a candidate that the skyline would have admitted"
+            );
+        }
+    }
+
+    #[test]
+    fn dominance_is_irreflexive_and_antisymmetric(
+        a in (0.0f64..100.0, 0.0f64..50.0),
+        b in (0.0f64..100.0, 0.0f64..50.0),
+    ) {
+        prop_assert!(!dominates(a, a));
+        if dominates(a, b) {
+            prop_assert!(!dominates(b, a));
+        }
+    }
+
+    #[test]
+    fn price_is_monotone_in_detour_and_riders(
+        base_delta in 0.0f64..10_000.0,
+        extra in 0.0f64..5_000.0,
+        direct in 1.0f64..20_000.0,
+        riders in 1u32..4,
+    ) {
+        let model = PriceModel::per_kilometre();
+        let p1 = model.price(riders, base_delta, direct);
+        let p2 = model.price(riders, base_delta + extra, direct);
+        prop_assert!(p2 >= p1 - 1e-12);
+        let p3 = model.price(riders + 1, base_delta, direct);
+        prop_assert!(p3 >= p1 - 1e-12);
+        prop_assert!(model.floor(riders, direct) <= p1 + 1e-12);
+        prop_assert!(
+            model.empty_vehicle_price(riders, 0.0, direct)
+                >= model.floor(riders, direct) - 1e-12
+        );
+    }
+}

@@ -1,0 +1,243 @@
+//! Synthetic Shanghai-like road network generator.
+//!
+//! The generator produces an urban street lattice with jittered vertex
+//! positions and edge weights, plus a set of faster *arterial* rows/columns
+//! (lower travel cost per metre) that mimic a city's main roads and ring
+//! roads. The result only needs to expose the properties the algorithms
+//! consume — a connected, weighted, spatially embedded road graph — which is
+//! what makes the substitution for the real Shanghai network sound (see
+//! DESIGN.md, S9).
+
+use ptrider_roadnet::{RoadNetwork, RoadNetworkBuilder, VertexId};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the synthetic city generator.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CityConfig {
+    /// Number of street columns (west–east).
+    pub cols: usize,
+    /// Number of street rows (south–north).
+    pub rows: usize,
+    /// Nominal block edge length in metres.
+    pub block_metres: f64,
+    /// Random jitter applied to vertex coordinates, as a fraction of the
+    /// block length (`0.0` disables jitter).
+    pub position_jitter: f64,
+    /// Multiplicative jitter applied to edge weights above their geometric
+    /// length (an edge costs `length · uniform(1.0, 1.0 + weight_jitter)`).
+    pub weight_jitter: f64,
+    /// Every `arterial_every`-th row and column is an arterial whose edges
+    /// cost `arterial_factor` times their geometric length (`< 1` = faster).
+    pub arterial_every: usize,
+    /// Cost factor of arterial edges.
+    pub arterial_factor: f64,
+    /// Random seed (the generator is fully deterministic given the config).
+    pub seed: u64,
+}
+
+impl Default for CityConfig {
+    fn default() -> Self {
+        CityConfig {
+            cols: 40,
+            rows: 40,
+            block_metres: 250.0,
+            position_jitter: 0.2,
+            weight_jitter: 0.3,
+            arterial_every: 8,
+            arterial_factor: 0.7,
+            seed: 20090529, // the date of the paper's Shanghai trace
+        }
+    }
+}
+
+impl CityConfig {
+    /// A small city for unit tests (~100 vertices).
+    pub fn tiny(seed: u64) -> Self {
+        CityConfig {
+            cols: 10,
+            rows: 10,
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// A medium city for integration tests and quick benchmarks
+    /// (~1,600 vertices, ≈ 10 km × 10 km).
+    pub fn medium(seed: u64) -> Self {
+        CityConfig {
+            cols: 40,
+            rows: 40,
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// A large city approximating the spatial extent of the paper's Shanghai
+    /// network (~10,000 vertices, ≈ 25 km × 25 km).
+    pub fn large(seed: u64) -> Self {
+        CityConfig {
+            cols: 100,
+            rows: 100,
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// Number of vertices the generated network will contain.
+    pub fn num_vertices(&self) -> usize {
+        self.cols * self.rows
+    }
+
+    /// Width and height of the generated city in metres.
+    pub fn extent_metres(&self) -> (f64, f64) {
+        (
+            (self.cols - 1) as f64 * self.block_metres,
+            (self.rows - 1) as f64 * self.block_metres,
+        )
+    }
+}
+
+/// Generates the synthetic city road network.
+///
+/// The network is connected (it contains the full street lattice) and
+/// undirected (every edge has its reverse).
+pub fn synthetic_city(config: &CityConfig) -> RoadNetwork {
+    assert!(config.cols >= 2 && config.rows >= 2, "city needs at least a 2x2 lattice");
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let mut b = RoadNetworkBuilder::with_capacity(
+        config.num_vertices(),
+        4 * config.num_vertices(),
+    );
+
+    // Vertices with jittered coordinates (kept locally so edge weights can be
+    // derived from the actual geometry).
+    let jitter = config.block_metres * config.position_jitter;
+    let mut coords = Vec::with_capacity(config.num_vertices());
+    let mut ids = Vec::with_capacity(config.num_vertices());
+    for y in 0..config.rows {
+        for x in 0..config.cols {
+            let dx = if jitter > 0.0 {
+                rng.gen_range(-jitter..jitter)
+            } else {
+                0.0
+            };
+            let dy = if jitter > 0.0 {
+                rng.gen_range(-jitter..jitter)
+            } else {
+                0.0
+            };
+            let px = x as f64 * config.block_metres + dx;
+            let py = y as f64 * config.block_metres + dy;
+            coords.push((px, py));
+            ids.push(b.add_vertex(px, py));
+        }
+    }
+
+    let vertex = |x: usize, y: usize| ids[y * config.cols + x];
+    let is_arterial_row = |y: usize| config.arterial_every > 0 && y % config.arterial_every == 0;
+    let is_arterial_col = |x: usize| config.arterial_every > 0 && x % config.arterial_every == 0;
+    let euclid = |a: VertexId, c: VertexId| {
+        let (ax, ay) = coords[a.index()];
+        let (cx, cy) = coords[c.index()];
+        ((ax - cx).powi(2) + (ay - cy).powi(2)).sqrt()
+    };
+
+    // Street edges.
+    for y in 0..config.rows {
+        for x in 0..config.cols {
+            let u = vertex(x, y);
+            if x + 1 < config.cols {
+                let v = vertex(x + 1, y);
+                let base = euclid(u, v).max(1.0);
+                let factor = if is_arterial_row(y) {
+                    config.arterial_factor
+                } else {
+                    1.0 + rng.gen_range(0.0..config.weight_jitter)
+                };
+                b.add_bidirectional_edge(u, v, base * factor);
+            }
+            if y + 1 < config.rows {
+                let v = vertex(x, y + 1);
+                let base = euclid(u, v).max(1.0);
+                let factor = if is_arterial_col(x) {
+                    config.arterial_factor
+                } else {
+                    1.0 + rng.gen_range(0.0..config.weight_jitter)
+                };
+                b.add_bidirectional_edge(u, v, base * factor);
+            }
+        }
+    }
+
+    b.build().expect("synthetic city is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptrider_roadnet::dijkstra;
+
+    #[test]
+    fn tiny_city_is_connected() {
+        let net = synthetic_city(&CityConfig::tiny(7));
+        assert_eq!(net.num_vertices(), 100);
+        let dist = dijkstra::single_source(&net, VertexId(0));
+        assert!(dist.iter().all(|d| d.is_finite()));
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = synthetic_city(&CityConfig::tiny(42));
+        let b = synthetic_city(&CityConfig::tiny(42));
+        let c = synthetic_city(&CityConfig::tiny(43));
+        assert_eq!(a.num_directed_edges(), b.num_directed_edges());
+        let da = dijkstra::distance(&a, VertexId(0), VertexId(99)).unwrap();
+        let db = dijkstra::distance(&b, VertexId(0), VertexId(99)).unwrap();
+        let dc = dijkstra::distance(&c, VertexId(0), VertexId(99)).unwrap();
+        assert_eq!(da, db);
+        assert_ne!(da, dc);
+    }
+
+    #[test]
+    fn arterials_are_cheaper_than_side_streets() {
+        let config = CityConfig {
+            position_jitter: 0.0,
+            weight_jitter: 0.3,
+            ..CityConfig::tiny(1)
+        };
+        let net = synthetic_city(&config);
+        // Row 0 is an arterial: its horizontal edges cost 0.7x the block.
+        let arterial = dijkstra::distance(&net, VertexId(0), VertexId(1)).unwrap();
+        assert!((arterial - 0.7 * config.block_metres).abs() < 1e-6);
+        // Row 1 is a side street: its horizontal edges cost at least the block.
+        let side = dijkstra::distance(
+            &net,
+            VertexId(config.cols as u32),
+            VertexId(config.cols as u32 + 1),
+        )
+        .unwrap();
+        assert!(side >= config.block_metres - 1e-6);
+    }
+
+    #[test]
+    fn extent_matches_config() {
+        let config = CityConfig::medium(3);
+        let (w, h) = config.extent_metres();
+        assert!((w - 39.0 * 250.0).abs() < 1e-9);
+        assert!((h - 39.0 * 250.0).abs() < 1e-9);
+        assert_eq!(config.num_vertices(), 1600);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least a 2x2")]
+    fn degenerate_city_panics() {
+        let config = CityConfig {
+            cols: 1,
+            rows: 5,
+            ..CityConfig::default()
+        };
+        synthetic_city(&config);
+    }
+}

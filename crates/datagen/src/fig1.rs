@@ -1,0 +1,215 @@
+//! The example road network of Fig. 1 and the worked example of Section 2.
+//!
+//! The paper's figure shows a 17-vertex road network partitioned by a 4×4
+//! grid; the exact edge weights are not all recoverable from the text, but
+//! the worked example pins down every distance that matters:
+//!
+//! * vehicle `c1` is at `v1` with the trip schedule `⟨v1, v2, v16⟩` serving
+//!   request `R1 = ⟨v2, v16, 2, 5, 0.2⟩`;
+//! * vehicle `c2` is at `v13` and is empty;
+//! * request `R2 = ⟨v12, v17, 2, 5, 0.2⟩` receives exactly two options:
+//!   `r1 = ⟨c1, 14, 4⟩` (cheaper, later) and `r2 = ⟨c2, 8, 8.8⟩` (earlier,
+//!   more expensive), with `c1`'s new schedule `⟨v1, v2, v12, v16, v17⟩`.
+//!
+//! The network built here uses the distances those numbers imply
+//! (`dist(v1,v2)=6`, `dist(v2,v12)=8`, `dist(v12,v16)=4`, `dist(v16,v17)=3`,
+//! `dist(v13,v12)=8`), plus filler vertices/edges so all 17 vertices of the
+//! figure exist without creating shortcuts. Experiment E1 replays the whole
+//! scenario end-to-end against this network.
+
+use ptrider_core::{EngineConfig, PriceModel};
+use ptrider_roadnet::{RoadNetwork, RoadNetworkBuilder, Speed, VertexId};
+
+/// Returns the [`VertexId`] of the paper's vertex `v<n>` (1-based, `1..=17`).
+///
+/// # Panics
+/// Panics if `n` is outside `1..=17`.
+pub fn fig1_vertex(n: usize) -> VertexId {
+    assert!((1..=17).contains(&n), "Fig. 1 has vertices v1..v17");
+    VertexId(n as u32 - 1)
+}
+
+/// Builds the Fig. 1 example network.
+pub fn fig1_network() -> RoadNetwork {
+    let mut b = RoadNetworkBuilder::new();
+    // Coordinates loosely follow the figure's layout (units are abstract, the
+    // same units as the edge weights).
+    let coords: [(f64, f64); 17] = [
+        (0.0, 6.0),   // v1
+        (6.0, 6.0),   // v2
+        (2.0, 10.0),  // v3
+        (0.0, 12.0),  // v4
+        (4.0, 14.0),  // v5
+        (9.0, 13.0),  // v6
+        (12.0, 15.0), // v7
+        (16.0, 14.0), // v8
+        (2.0, 18.0),  // v9
+        (8.0, 19.0),  // v10
+        (13.0, 19.0), // v11
+        (14.0, 6.0),  // v12
+        (14.0, 14.0), // v13
+        (20.0, 19.0), // v14
+        (0.0, 0.0),   // v15
+        (18.0, 6.0),  // v16
+        (21.0, 6.0),  // v17
+    ];
+    for (x, y) in coords {
+        b.add_vertex(x, y);
+    }
+    let v = fig1_vertex;
+
+    // Core edges that pin down the worked example's distances.
+    b.add_bidirectional_edge(v(1), v(2), 6.0);
+    b.add_bidirectional_edge(v(2), v(12), 8.0);
+    b.add_bidirectional_edge(v(12), v(16), 4.0);
+    b.add_bidirectional_edge(v(16), v(17), 3.0);
+    b.add_bidirectional_edge(v(13), v(12), 8.0);
+
+    // Filler edges connecting the remaining vertices of the figure. Their
+    // weights are large enough that no path through them can undercut a core
+    // distance (the longest core distance is 21).
+    let filler: [(usize, usize, f64); 14] = [
+        (1, 15, 25.0),
+        (1, 3, 25.0),
+        (3, 4, 25.0),
+        (3, 5, 25.0),
+        (5, 9, 25.0),
+        (9, 10, 25.0),
+        (10, 6, 25.0),
+        (6, 2, 25.0),
+        (6, 7, 25.0),
+        (7, 13, 25.0),
+        (7, 11, 25.0),
+        (11, 14, 25.0),
+        (14, 8, 25.0),
+        (8, 16, 25.0),
+    ];
+    for (a, c, w) in filler {
+        b.add_bidirectional_edge(v(a), v(c), w);
+    }
+
+    b.build().expect("Fig. 1 network is well-formed")
+}
+
+/// Engine configuration matching the example's units: speed 1 distance unit
+/// per second (so `w = 5` means 5 distance units), global `w = 5`, `δ = 0.2`,
+/// the paper's price model priced per distance unit, and an unbounded pickup
+/// radius.
+pub fn fig1_engine_config() -> EngineConfig {
+    EngineConfig::default()
+        .with_speed(Speed::from_mps(1.0))
+        .with_max_wait_secs(5.0)
+        .with_detour_factor(0.2)
+        .with_max_pickup_dist(1.0e9)
+        .with_price(PriceModel::paper_default())
+        .with_capacity(4)
+}
+
+/// The complete Section 2 scenario: the network, the two vehicles' start
+/// locations, and the two requests.
+#[derive(Clone, Debug)]
+pub struct Fig1Scenario {
+    /// The example road network.
+    pub network: RoadNetwork,
+    /// Engine configuration with the example's units.
+    pub config: EngineConfig,
+    /// Start location of vehicle `c1` (`v1`).
+    pub c1_start: VertexId,
+    /// Start location of vehicle `c2` (`v13`).
+    pub c2_start: VertexId,
+    /// Request `R1 = ⟨v2, v16, 2, 5, 0.2⟩` (already assigned to `c1` in the
+    /// example).
+    pub r1: (VertexId, VertexId, u32),
+    /// Request `R2 = ⟨v12, v17, 2, 5, 0.2⟩` (the request being matched).
+    pub r2: (VertexId, VertexId, u32),
+}
+
+impl Fig1Scenario {
+    /// Builds the scenario.
+    pub fn new() -> Self {
+        Fig1Scenario {
+            network: fig1_network(),
+            config: fig1_engine_config(),
+            c1_start: fig1_vertex(1),
+            c2_start: fig1_vertex(13),
+            r1: (fig1_vertex(2), fig1_vertex(16), 2),
+            r2: (fig1_vertex(12), fig1_vertex(17), 2),
+        }
+    }
+}
+
+impl Default for Fig1Scenario {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptrider_roadnet::dijkstra;
+
+    #[test]
+    fn vertex_mapping_is_one_based() {
+        assert_eq!(fig1_vertex(1), VertexId(0));
+        assert_eq!(fig1_vertex(17), VertexId(16));
+    }
+
+    #[test]
+    #[should_panic(expected = "v1..v17")]
+    fn vertex_zero_panics() {
+        fig1_vertex(0);
+    }
+
+    #[test]
+    fn network_has_17_vertices_and_is_connected() {
+        let net = fig1_network();
+        assert_eq!(net.num_vertices(), 17);
+        let dist = dijkstra::single_source(&net, fig1_vertex(1));
+        assert!(dist.iter().all(|d| d.is_finite()), "network must be connected");
+    }
+
+    #[test]
+    fn distances_match_the_worked_example() {
+        let net = fig1_network();
+        let d = |a: usize, b: usize| dijkstra::distance(&net, fig1_vertex(a), fig1_vertex(b)).unwrap();
+        assert_eq!(d(1, 2), 6.0);
+        assert_eq!(d(2, 12), 8.0);
+        assert_eq!(d(12, 16), 4.0);
+        assert_eq!(d(16, 17), 3.0);
+        assert_eq!(d(13, 12), 8.0);
+        // Derived distances used by the example.
+        assert_eq!(d(12, 17), 7.0);
+        assert_eq!(d(2, 16), 12.0);
+        // dist_pt of c1 for R2: v1 -> v2 -> v12.
+        assert_eq!(d(1, 2) + d(2, 12), 14.0);
+        // dist_pt of c2 for R2.
+        assert_eq!(d(13, 12), 8.0);
+    }
+
+    #[test]
+    fn filler_edges_do_not_create_shortcuts() {
+        let net = fig1_network();
+        // The cheapest filler detour between any two core vertices is at
+        // least 50 (two filler edges), far above every core distance.
+        let core = [1usize, 2, 12, 13, 16, 17];
+        for &a in &core {
+            for &b in &core {
+                if a == b {
+                    continue;
+                }
+                let d = dijkstra::distance(&net, fig1_vertex(a), fig1_vertex(b)).unwrap();
+                assert!(d <= 29.0, "core distance {a}->{b} = {d} went through filler edges");
+            }
+        }
+    }
+
+    #[test]
+    fn scenario_config_uses_example_units() {
+        let s = Fig1Scenario::new();
+        assert_eq!(s.config.max_wait_secs, 5.0);
+        assert_eq!(s.config.detour_factor, 0.2);
+        assert!((s.config.speed.mps() - 1.0).abs() < 1e-12);
+        assert_eq!(s.r2.0, fig1_vertex(12));
+    }
+}

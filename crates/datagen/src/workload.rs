@@ -1,0 +1,183 @@
+//! Packaged, scalable workloads: a city, an initial fleet and a one-day trip
+//! stream.
+//!
+//! [`scaled_shanghai`] produces a workload whose *full scale* (scale = 1.0)
+//! matches the paper's demonstration setup — 17,000 taxis and 432,327 trips
+//! over one day at 48 km/h — and whose smaller scales shrink both the fleet
+//! and the request stream proportionally so tests and laptop benchmarks stay
+//! tractable while preserving the fleet-to-demand ratio.
+
+use crate::city::{synthetic_city, CityConfig};
+use crate::trips::{TimedTrip, TripConfig, TripGenerator};
+use ptrider_roadnet::{RoadNetwork, VertexId};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Fleet size and trip count of the paper's Shanghai demonstration.
+pub const PAPER_VEHICLES: usize = 17_000;
+/// Number of trips in the paper's one-day Shanghai trace.
+pub const PAPER_TRIPS: usize = 432_327;
+
+/// Configuration of a packaged workload.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadConfig {
+    /// City generator configuration.
+    pub city: CityConfig,
+    /// Number of vehicles, placed uniformly at random on the network.
+    pub num_vehicles: usize,
+    /// Trip generator configuration.
+    pub trips: TripConfig,
+    /// Random seed for fleet placement.
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            city: CityConfig::medium(20090529),
+            num_vehicles: 400,
+            trips: TripConfig::default(),
+            seed: 20090529,
+        }
+    }
+}
+
+/// A packaged workload: the road network, the initial vehicle positions and
+/// the day's trip stream (sorted by submission time).
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// The configuration that produced the workload.
+    pub config: WorkloadConfig,
+    /// The synthetic city.
+    pub network: RoadNetwork,
+    /// Initial vehicle locations (uniform over the network, as in Section 4).
+    pub vehicle_locations: Vec<VertexId>,
+    /// The day's trips, sorted by submission time.
+    pub trips: Vec<TimedTrip>,
+}
+
+impl Workload {
+    /// Generates a workload from a configuration.
+    pub fn generate(config: WorkloadConfig) -> Self {
+        let network = synthetic_city(&config.city);
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0x5ead_f00d);
+        let vehicle_locations = (0..config.num_vehicles)
+            .map(|_| VertexId(rng.gen_range(0..network.num_vertices() as u32)))
+            .collect();
+        let trips = TripGenerator::new(&network, config.trips.clone()).generate();
+        Workload {
+            config,
+            network,
+            vehicle_locations,
+            trips,
+        }
+    }
+
+    /// Number of vehicles in the workload.
+    pub fn num_vehicles(&self) -> usize {
+        self.vehicle_locations.len()
+    }
+
+    /// Number of trips in the workload.
+    pub fn num_trips(&self) -> usize {
+        self.trips.len()
+    }
+
+    /// Trips submitted inside the half-open time window `[from, to)` seconds.
+    pub fn trips_in_window(&self, from: f64, to: f64) -> &[TimedTrip] {
+        let start = self.trips.partition_point(|t| t.time_secs < from);
+        let end = self.trips.partition_point(|t| t.time_secs < to);
+        &self.trips[start..end]
+    }
+}
+
+/// Builds a Shanghai-like workload scaled by `scale ∈ (0, 1]`.
+///
+/// * `scale = 1.0` → 17,000 vehicles, 432,327 trips, a large (100×100) city;
+/// * smaller scales shrink the fleet and the trip count proportionally and
+///   use a city whose area shrinks with the square root of the scale, so the
+///   vehicle density stays comparable to the paper's setting.
+pub fn scaled_shanghai(scale: f64, seed: u64) -> Workload {
+    assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+    let side = ((100.0 * scale.sqrt()).round() as usize).clamp(10, 100);
+    let city = CityConfig {
+        cols: side,
+        rows: side,
+        seed,
+        ..CityConfig::default()
+    };
+    let num_vehicles = ((PAPER_VEHICLES as f64 * scale).round() as usize).max(10);
+    let num_trips = ((PAPER_TRIPS as f64 * scale).round() as usize).max(50);
+    let trips = TripConfig {
+        num_trips,
+        seed: seed ^ 0x7712,
+        ..TripConfig::default()
+    };
+    Workload::generate(WorkloadConfig {
+        city,
+        num_vehicles,
+        trips,
+        seed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_generation_is_consistent() {
+        let w = Workload::generate(WorkloadConfig {
+            city: CityConfig::tiny(5),
+            num_vehicles: 20,
+            trips: TripConfig::small(200, 5),
+            seed: 5,
+        });
+        assert_eq!(w.num_vehicles(), 20);
+        assert_eq!(w.num_trips(), 200);
+        for &loc in &w.vehicle_locations {
+            assert!(w.network.contains(loc));
+        }
+        for t in &w.trips {
+            assert!(w.network.contains(t.origin));
+            assert!(w.network.contains(t.destination));
+        }
+    }
+
+    #[test]
+    fn trips_in_window_selects_by_time() {
+        let w = Workload::generate(WorkloadConfig {
+            city: CityConfig::tiny(6),
+            num_vehicles: 5,
+            trips: TripConfig::small(500, 6),
+            seed: 6,
+        });
+        let morning = w.trips_in_window(6.0 * 3600.0, 10.0 * 3600.0);
+        assert!(!morning.is_empty());
+        for t in morning {
+            assert!(t.time_secs >= 6.0 * 3600.0 && t.time_secs < 10.0 * 3600.0);
+        }
+        let all = w.trips_in_window(0.0, 86_400.0);
+        assert_eq!(all.len(), w.num_trips());
+    }
+
+    #[test]
+    fn tiny_scale_preserves_fleet_to_demand_ratio() {
+        let w = scaled_shanghai(0.002, 11);
+        let expected_vehicles = (PAPER_VEHICLES as f64 * 0.002).round() as usize;
+        let expected_trips = (PAPER_TRIPS as f64 * 0.002).round() as usize;
+        assert_eq!(w.num_vehicles(), expected_vehicles);
+        assert_eq!(w.num_trips(), expected_trips);
+        // Ratio stays within 10% of the paper's trips-per-vehicle.
+        let paper_ratio = PAPER_TRIPS as f64 / PAPER_VEHICLES as f64;
+        let ratio = w.num_trips() as f64 / w.num_vehicles() as f64;
+        assert!((ratio - paper_ratio).abs() / paper_ratio < 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be in (0, 1]")]
+    fn zero_scale_panics() {
+        scaled_shanghai(0.0, 1);
+    }
+}

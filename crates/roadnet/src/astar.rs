@@ -1,0 +1,105 @@
+//! A* point-to-point search with an admissible Euclidean heuristic.
+//!
+//! The heuristic scales the straight-line distance by the smallest
+//! weight/length ratio observed over all edges of the network
+//! ([`RoadNetwork::min_weight_ratio`]), which guarantees admissibility even
+//! when some edges are cheaper than their geometric length (e.g. highway
+//! edges in the synthetic Shanghai-like networks).
+
+use crate::graph::RoadNetwork;
+use crate::types::{OrdF64, VertexId, INFINITE_DISTANCE};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Point-to-point shortest-path distance using A*.
+///
+/// Produces exactly the same result as [`crate::dijkstra::distance`]; it is
+/// usually faster on spatial networks because the heuristic directs the
+/// search toward the target.
+pub fn distance(net: &RoadNetwork, source: VertexId, target: VertexId) -> Option<f64> {
+    if source == target {
+        return Some(0.0);
+    }
+    let ratio = net.min_weight_ratio();
+    let h = |v: VertexId| net.euclidean(v, target) * ratio;
+
+    let n = net.num_vertices();
+    let mut g = vec![INFINITE_DISTANCE; n];
+    let mut heap = BinaryHeap::new();
+    g[source.index()] = 0.0;
+    heap.push(Reverse((OrdF64(h(source)), source)));
+    while let Some(Reverse((OrdF64(f), u))) = heap.pop() {
+        let gu = g[u.index()];
+        if f > gu + h(u) + 1e-9 {
+            continue;
+        }
+        if u == target {
+            return Some(gu);
+        }
+        for (v, w) in net.neighbors(u) {
+            let ng = gu + w;
+            if ng < g[v.index()] {
+                g[v.index()] = ng;
+                heap.push(Reverse((OrdF64(ng + h(v)), v)));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra;
+    use crate::graph::RoadNetworkBuilder;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn grid_network(side: usize) -> RoadNetwork {
+        let mut b = RoadNetworkBuilder::new();
+        let mut ids = Vec::with_capacity(side * side);
+        for y in 0..side {
+            for x in 0..side {
+                ids.push(b.add_vertex(x as f64 * 100.0, y as f64 * 100.0));
+            }
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        for y in 0..side {
+            for x in 0..side {
+                let u = ids[y * side + x];
+                if x + 1 < side {
+                    let v = ids[y * side + x + 1];
+                    b.add_bidirectional_edge(u, v, 100.0 * rng.gen_range(1.0..1.5));
+                }
+                if y + 1 < side {
+                    let v = ids[(y + 1) * side + x];
+                    b.add_bidirectional_edge(u, v, 100.0 * rng.gen_range(1.0..1.5));
+                }
+            }
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn astar_matches_dijkstra_on_random_grid() {
+        let net = grid_network(8);
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        for _ in 0..50 {
+            let s = VertexId(rng.gen_range(0..net.num_vertices() as u32));
+            let t = VertexId(rng.gen_range(0..net.num_vertices() as u32));
+            let a = distance(&net, s, t);
+            let d = dijkstra::distance(&net, s, t);
+            match (a, d) {
+                (Some(a), Some(d)) => assert!((a - d).abs() < 1e-6, "A*={a} dijkstra={d}"),
+                (None, None) => {}
+                other => panic!("reachability mismatch: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn astar_identity() {
+        let net = grid_network(3);
+        assert_eq!(distance(&net, VertexId(4), VertexId(4)), Some(0.0));
+    }
+}

@@ -1,0 +1,63 @@
+//! Error type for road-network construction and queries.
+
+use crate::types::VertexId;
+use std::fmt;
+
+/// Errors produced while building or querying a road network.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RoadNetError {
+    /// An edge references a vertex id that was never added.
+    UnknownVertex(VertexId),
+    /// An edge has a non-finite or negative weight.
+    InvalidWeight {
+        /// Source vertex of the offending edge.
+        from: VertexId,
+        /// Target vertex of the offending edge.
+        to: VertexId,
+        /// The rejected weight.
+        weight: f64,
+    },
+    /// The network has no vertices.
+    EmptyNetwork,
+    /// A vertex coordinate is not finite.
+    InvalidCoordinate(VertexId),
+}
+
+impl fmt::Display for RoadNetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RoadNetError::UnknownVertex(v) => write!(f, "edge references unknown vertex {v}"),
+            RoadNetError::InvalidWeight { from, to, weight } => write!(
+                f,
+                "edge ({from}, {to}) has invalid weight {weight}; weights must be finite and non-negative"
+            ),
+            RoadNetError::EmptyNetwork => write!(f, "road network must contain at least one vertex"),
+            RoadNetError::InvalidCoordinate(v) => {
+                write!(f, "vertex {v} has a non-finite coordinate")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RoadNetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = RoadNetError::UnknownVertex(VertexId(7));
+        assert!(e.to_string().contains("v7"));
+        let e = RoadNetError::InvalidWeight {
+            from: VertexId(1),
+            to: VertexId(2),
+            weight: -1.0,
+        };
+        assert!(e.to_string().contains("-1"));
+        assert!(RoadNetError::EmptyNetwork.to_string().contains("at least one vertex"));
+        assert!(RoadNetError::InvalidCoordinate(VertexId(3))
+            .to_string()
+            .contains("v3"));
+    }
+}

@@ -1,0 +1,384 @@
+//! The road network graph `G = (V, E, W)` of Section 2.1.
+//!
+//! Vertices are road intersections with planar coordinates; each directed
+//! edge carries a travel-cost weight in metres (the paper allows either time
+//! or distance and assumes constant speed, so we standardise on distance and
+//! convert with [`crate::Speed`]). Networks are built once through
+//! [`RoadNetworkBuilder`] and then immutable, which lets the adjacency be
+//! stored in a compact CSR (compressed sparse row) layout for cache-friendly
+//! traversal — the access pattern that dominates Dijkstra runs.
+
+use crate::error::RoadNetError;
+use crate::types::{Point, VertexId};
+use serde::{Deserialize, Serialize};
+
+/// A directed edge as supplied to the builder.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Edge {
+    /// Source vertex.
+    pub from: VertexId,
+    /// Target vertex.
+    pub to: VertexId,
+    /// Travel cost in metres; must be finite and non-negative.
+    pub weight: f64,
+}
+
+/// Incrementally builds a [`RoadNetwork`].
+///
+/// ```
+/// use ptrider_roadnet::RoadNetworkBuilder;
+/// let mut b = RoadNetworkBuilder::new();
+/// let u = b.add_vertex(0.0, 0.0);
+/// let v = b.add_vertex(100.0, 0.0);
+/// b.add_bidirectional_edge(u, v, 100.0);
+/// let net = b.build().unwrap();
+/// assert_eq!(net.num_vertices(), 2);
+/// assert_eq!(net.num_directed_edges(), 2);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct RoadNetworkBuilder {
+    coords: Vec<Point>,
+    edges: Vec<Edge>,
+}
+
+impl RoadNetworkBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty builder with capacity hints.
+    pub fn with_capacity(vertices: usize, edges: usize) -> Self {
+        RoadNetworkBuilder {
+            coords: Vec::with_capacity(vertices),
+            edges: Vec::with_capacity(edges),
+        }
+    }
+
+    /// Adds a vertex at the given planar coordinate (metres) and returns its id.
+    pub fn add_vertex(&mut self, x: f64, y: f64) -> VertexId {
+        let id = VertexId(self.coords.len() as u32);
+        self.coords.push(Point::new(x, y));
+        id
+    }
+
+    /// Number of vertices added so far.
+    pub fn num_vertices(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// Adds a directed edge.
+    pub fn add_directed_edge(&mut self, from: VertexId, to: VertexId, weight: f64) {
+        self.edges.push(Edge { from, to, weight });
+    }
+
+    /// Adds a pair of directed edges `(u → v)` and `(v → u)` with the same weight.
+    ///
+    /// The paper's road network is undirected (Fig. 1), so this is the common
+    /// entry point.
+    pub fn add_bidirectional_edge(&mut self, u: VertexId, v: VertexId, weight: f64) {
+        self.add_directed_edge(u, v, weight);
+        self.add_directed_edge(v, u, weight);
+    }
+
+    /// Validates the accumulated vertices/edges and builds the immutable network.
+    pub fn build(self) -> Result<RoadNetwork, RoadNetError> {
+        RoadNetwork::from_parts(self.coords, self.edges)
+    }
+}
+
+/// An immutable road network with CSR adjacency.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RoadNetwork {
+    coords: Vec<Point>,
+    /// CSR offsets: outgoing edges of vertex `v` are `targets[offsets[v]..offsets[v+1]]`.
+    offsets: Vec<u32>,
+    targets: Vec<VertexId>,
+    weights: Vec<f64>,
+    /// Smallest ratio of edge weight to Euclidean length of its endpoints,
+    /// used as an admissible A* heuristic scale. `0.0` when undefined.
+    min_weight_ratio: f64,
+}
+
+impl RoadNetwork {
+    /// Builds a network from raw vertex coordinates and an edge list.
+    pub fn from_parts(coords: Vec<Point>, edges: Vec<Edge>) -> Result<Self, RoadNetError> {
+        if coords.is_empty() {
+            return Err(RoadNetError::EmptyNetwork);
+        }
+        for (i, p) in coords.iter().enumerate() {
+            if !p.x.is_finite() || !p.y.is_finite() {
+                return Err(RoadNetError::InvalidCoordinate(VertexId(i as u32)));
+            }
+        }
+        let n = coords.len();
+        for e in &edges {
+            if e.from.index() >= n {
+                return Err(RoadNetError::UnknownVertex(e.from));
+            }
+            if e.to.index() >= n {
+                return Err(RoadNetError::UnknownVertex(e.to));
+            }
+            if !e.weight.is_finite() || e.weight < 0.0 {
+                return Err(RoadNetError::InvalidWeight {
+                    from: e.from,
+                    to: e.to,
+                    weight: e.weight,
+                });
+            }
+        }
+
+        // Counting sort of edges by source vertex into CSR arrays.
+        let mut degree = vec![0u32; n];
+        for e in &edges {
+            degree[e.from.index()] += 1;
+        }
+        let mut offsets = vec![0u32; n + 1];
+        for i in 0..n {
+            offsets[i + 1] = offsets[i] + degree[i];
+        }
+        let mut cursor = offsets.clone();
+        let mut targets = vec![VertexId(0); edges.len()];
+        let mut weights = vec![0.0f64; edges.len()];
+        let mut min_weight_ratio = f64::INFINITY;
+        for e in &edges {
+            let slot = cursor[e.from.index()] as usize;
+            targets[slot] = e.to;
+            weights[slot] = e.weight;
+            cursor[e.from.index()] += 1;
+            let euclid = coords[e.from.index()].euclidean(&coords[e.to.index()]);
+            if euclid > 0.0 {
+                min_weight_ratio = min_weight_ratio.min(e.weight / euclid);
+            }
+        }
+        if !min_weight_ratio.is_finite() {
+            min_weight_ratio = 0.0;
+        }
+
+        Ok(RoadNetwork {
+            coords,
+            offsets,
+            targets,
+            weights,
+            min_weight_ratio,
+        })
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// Number of directed edges.
+    #[inline]
+    pub fn num_directed_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Returns `true` if `v` is a valid vertex id for this network.
+    #[inline]
+    pub fn contains(&self, v: VertexId) -> bool {
+        v.index() < self.num_vertices()
+    }
+
+    /// Planar coordinate of a vertex.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn coord(&self, v: VertexId) -> Point {
+        self.coords[v.index()]
+    }
+
+    /// Iterator over all vertex ids.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        (0..self.num_vertices() as u32).map(VertexId)
+    }
+
+    /// Outgoing neighbours of `v` with edge weights.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> impl Iterator<Item = (VertexId, f64)> + '_ {
+        let lo = self.offsets[v.index()] as usize;
+        let hi = self.offsets[v.index() + 1] as usize;
+        self.targets[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.weights[lo..hi].iter().copied())
+    }
+
+    /// Out-degree of a vertex.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        (self.offsets[v.index() + 1] - self.offsets[v.index()]) as usize
+    }
+
+    /// Straight-line distance between the coordinates of two vertices.
+    #[inline]
+    pub fn euclidean(&self, u: VertexId, v: VertexId) -> f64 {
+        self.coord(u).euclidean(&self.coord(v))
+    }
+
+    /// A lower bound on the road distance between two vertices derived from
+    /// the Euclidean distance and the smallest weight/length ratio of any
+    /// edge. Always admissible (never exceeds the true road distance).
+    #[inline]
+    pub fn euclidean_lower_bound(&self, u: VertexId, v: VertexId) -> f64 {
+        self.euclidean(u, v) * self.min_weight_ratio
+    }
+
+    /// Smallest edge weight / Euclidean length ratio (A* heuristic scale).
+    #[inline]
+    pub fn min_weight_ratio(&self) -> f64 {
+        self.min_weight_ratio
+    }
+
+    /// Axis-aligned bounding box of all vertex coordinates `(min, max)`.
+    pub fn bounding_box(&self) -> (Point, Point) {
+        let mut min = Point::new(f64::INFINITY, f64::INFINITY);
+        let mut max = Point::new(f64::NEG_INFINITY, f64::NEG_INFINITY);
+        for p in &self.coords {
+            min.x = min.x.min(p.x);
+            min.y = min.y.min(p.y);
+            max.x = max.x.max(p.x);
+            max.y = max.y.max(p.y);
+        }
+        (min, max)
+    }
+
+    /// Sum of all directed edge weights (useful as an upper bound on any
+    /// simple path length).
+    pub fn total_weight(&self) -> f64 {
+        self.weights.iter().sum()
+    }
+
+    /// All directed edges, in CSR order.
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        (0..self.num_vertices()).flat_map(move |u| {
+            let lo = self.offsets[u] as usize;
+            let hi = self.offsets[u + 1] as usize;
+            (lo..hi).map(move |i| Edge {
+                from: VertexId(u as u32),
+                to: self.targets[i],
+                weight: self.weights[i],
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_net() -> RoadNetwork {
+        let mut b = RoadNetworkBuilder::new();
+        let v0 = b.add_vertex(0.0, 0.0);
+        let v1 = b.add_vertex(100.0, 0.0);
+        let v2 = b.add_vertex(100.0, 100.0);
+        b.add_bidirectional_edge(v0, v1, 100.0);
+        b.add_bidirectional_edge(v1, v2, 100.0);
+        b.add_directed_edge(v0, v2, 250.0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builder_assigns_dense_ids() {
+        let mut b = RoadNetworkBuilder::new();
+        assert_eq!(b.add_vertex(0.0, 0.0), VertexId(0));
+        assert_eq!(b.add_vertex(1.0, 1.0), VertexId(1));
+        assert_eq!(b.num_vertices(), 2);
+    }
+
+    #[test]
+    fn csr_adjacency_matches_edge_list() {
+        let net = small_net();
+        assert_eq!(net.num_vertices(), 3);
+        assert_eq!(net.num_directed_edges(), 5);
+        let n0: Vec<_> = net.neighbors(VertexId(0)).collect();
+        assert!(n0.contains(&(VertexId(1), 100.0)));
+        assert!(n0.contains(&(VertexId(2), 250.0)));
+        assert_eq!(net.degree(VertexId(0)), 2);
+        assert_eq!(net.degree(VertexId(2)), 1);
+    }
+
+    #[test]
+    fn edges_iterator_roundtrips() {
+        let net = small_net();
+        let edges: Vec<_> = net.edges().collect();
+        assert_eq!(edges.len(), net.num_directed_edges());
+        assert!(edges
+            .iter()
+            .any(|e| e.from == VertexId(0) && e.to == VertexId(2) && e.weight == 250.0));
+    }
+
+    #[test]
+    fn rejects_unknown_vertex() {
+        let mut b = RoadNetworkBuilder::new();
+        let v0 = b.add_vertex(0.0, 0.0);
+        b.add_directed_edge(v0, VertexId(9), 1.0);
+        assert_eq!(b.build().unwrap_err(), RoadNetError::UnknownVertex(VertexId(9)));
+    }
+
+    #[test]
+    fn rejects_negative_weight() {
+        let mut b = RoadNetworkBuilder::new();
+        let v0 = b.add_vertex(0.0, 0.0);
+        let v1 = b.add_vertex(1.0, 0.0);
+        b.add_directed_edge(v0, v1, -5.0);
+        assert!(matches!(
+            b.build().unwrap_err(),
+            RoadNetError::InvalidWeight { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_nan_weight() {
+        let mut b = RoadNetworkBuilder::new();
+        let v0 = b.add_vertex(0.0, 0.0);
+        let v1 = b.add_vertex(1.0, 0.0);
+        b.add_directed_edge(v0, v1, f64::NAN);
+        assert!(matches!(
+            b.build().unwrap_err(),
+            RoadNetError::InvalidWeight { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_empty_network() {
+        let b = RoadNetworkBuilder::new();
+        assert_eq!(b.build().unwrap_err(), RoadNetError::EmptyNetwork);
+    }
+
+    #[test]
+    fn rejects_non_finite_coordinate() {
+        let mut b = RoadNetworkBuilder::new();
+        b.add_vertex(f64::NAN, 0.0);
+        assert!(matches!(
+            b.build().unwrap_err(),
+            RoadNetError::InvalidCoordinate(_)
+        ));
+    }
+
+    #[test]
+    fn bounding_box_covers_all_vertices() {
+        let net = small_net();
+        let (min, max) = net.bounding_box();
+        assert_eq!(min, Point::new(0.0, 0.0));
+        assert_eq!(max, Point::new(100.0, 100.0));
+    }
+
+    #[test]
+    fn euclidean_lower_bound_is_admissible_on_small_net() {
+        let net = small_net();
+        // Direct edge v0->v1 has weight exactly equal to euclidean length, so
+        // the ratio is 1.0 and the bound equals the euclidean distance.
+        assert!(net.euclidean_lower_bound(VertexId(0), VertexId(1)) <= 100.0 + 1e-9);
+        assert!(net.min_weight_ratio() <= 1.0);
+    }
+
+    #[test]
+    fn total_weight_sums_directed_edges() {
+        let net = small_net();
+        assert!((net.total_weight() - (100.0 * 4.0 + 250.0)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,196 @@
+//! Landmark (ALT) lower bounds.
+//!
+//! The grid index of Section 3.2.1 provides the paper's lower bounds; this
+//! module adds the classic A*–landmarks–triangle-inequality (ALT) oracle as
+//! an optional, tighter complement. A set of landmarks is selected with the
+//! farthest-point heuristic; for every landmark `ℓ` the distances `dist(ℓ, v)`
+//! are precomputed, and
+//!
+//! ```text
+//! dist(u, v) ≥ max_ℓ |dist(ℓ, u) − dist(ℓ, v)|
+//! ```
+//!
+//! by the triangle inequality (the networks used here are undirected). The
+//! engine does not require ALT — matcher correctness only needs *admissible*
+//! bounds — but the grid-granularity ablation (E10) uses it as a yardstick
+//! for how tight the grid bounds are, and custom deployments can combine
+//! both via [`LandmarkIndex::lower_bound`].
+
+use crate::dijkstra;
+use crate::graph::RoadNetwork;
+use crate::types::{VertexId, INFINITE_DISTANCE};
+use serde::{Deserialize, Serialize};
+
+/// Precomputed landmark distance tables.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LandmarkIndex {
+    landmarks: Vec<VertexId>,
+    /// `dist[i][v]` = shortest-path distance from landmark `i` to vertex `v`.
+    dist: Vec<Vec<f64>>,
+}
+
+impl LandmarkIndex {
+    /// Builds an index with `k` landmarks chosen by the farthest-point
+    /// heuristic, starting from `seed_vertex`.
+    ///
+    /// # Panics
+    /// Panics if `k == 0` or `seed_vertex` is not a vertex of the network.
+    pub fn build(net: &RoadNetwork, k: usize, seed_vertex: VertexId) -> Self {
+        assert!(k > 0, "at least one landmark is required");
+        assert!(net.contains(seed_vertex), "seed vertex out of range");
+
+        let mut landmarks = Vec::with_capacity(k);
+        let mut dist: Vec<Vec<f64>> = Vec::with_capacity(k);
+
+        // The first landmark is the vertex farthest from the seed (this
+        // pushes landmarks to the periphery, which gives tighter bounds than
+        // the seed itself).
+        let from_seed = dijkstra::single_source(net, seed_vertex);
+        let first = farthest(&from_seed).unwrap_or(seed_vertex);
+        landmarks.push(first);
+        dist.push(dijkstra::single_source(net, first));
+
+        while landmarks.len() < k {
+            // Next landmark: vertex maximising the distance to its nearest
+            // existing landmark.
+            let mut best_v = None;
+            let mut best_d = -1.0f64;
+            for v in net.vertices() {
+                let nearest = dist
+                    .iter()
+                    .map(|row| row[v.index()])
+                    .fold(INFINITE_DISTANCE, f64::min);
+                if nearest.is_finite() && nearest > best_d {
+                    best_d = nearest;
+                    best_v = Some(v);
+                }
+            }
+            let Some(v) = best_v else { break };
+            if landmarks.contains(&v) {
+                break;
+            }
+            landmarks.push(v);
+            dist.push(dijkstra::single_source(net, v));
+        }
+
+        LandmarkIndex { landmarks, dist }
+    }
+
+    /// The selected landmark vertices.
+    pub fn landmarks(&self) -> &[VertexId] {
+        &self.landmarks
+    }
+
+    /// ALT lower bound on `dist(u, v)`; always admissible on undirected
+    /// networks. Returns 0 when either endpoint is unreachable from every
+    /// landmark.
+    pub fn lower_bound(&self, u: VertexId, v: VertexId) -> f64 {
+        let mut best: f64 = 0.0;
+        for row in &self.dist {
+            let du = row[u.index()];
+            let dv = row[v.index()];
+            if du.is_finite() && dv.is_finite() {
+                best = best.max((du - dv).abs());
+            }
+        }
+        best
+    }
+
+    /// Approximate memory footprint in bytes.
+    pub fn approximate_bytes(&self) -> usize {
+        self.dist.iter().map(|row| row.len() * 8).sum::<usize>()
+            + self.landmarks.len() * std::mem::size_of::<VertexId>()
+    }
+}
+
+fn farthest(dist: &[f64]) -> Option<VertexId> {
+    let mut best = None;
+    let mut best_d = -1.0;
+    for (i, &d) in dist.iter().enumerate() {
+        if d.is_finite() && d > best_d {
+            best_d = d;
+            best = Some(VertexId(i as u32));
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::RoadNetworkBuilder;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn lattice(side: usize) -> RoadNetwork {
+        let mut b = RoadNetworkBuilder::new();
+        let mut ids = Vec::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        for y in 0..side {
+            for x in 0..side {
+                ids.push(b.add_vertex(x as f64 * 100.0, y as f64 * 100.0));
+            }
+        }
+        for y in 0..side {
+            for x in 0..side {
+                let u = ids[y * side + x];
+                if x + 1 < side {
+                    b.add_bidirectional_edge(u, ids[y * side + x + 1], rng.gen_range(90.0..160.0));
+                }
+                if y + 1 < side {
+                    b.add_bidirectional_edge(u, ids[(y + 1) * side + x], rng.gen_range(90.0..160.0));
+                }
+            }
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn selects_the_requested_number_of_landmarks() {
+        let net = lattice(6);
+        let idx = LandmarkIndex::build(&net, 4, VertexId(0));
+        assert_eq!(idx.landmarks().len(), 4);
+        // Landmarks are distinct.
+        let mut ls = idx.landmarks().to_vec();
+        ls.sort();
+        ls.dedup();
+        assert_eq!(ls.len(), 4);
+        assert!(idx.approximate_bytes() > 0);
+    }
+
+    #[test]
+    fn alt_bound_is_admissible_and_often_tight() {
+        let net = lattice(7);
+        let idx = LandmarkIndex::build(&net, 6, VertexId(0));
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let mut tight = 0usize;
+        let n = 200;
+        for _ in 0..n {
+            let u = VertexId(rng.gen_range(0..net.num_vertices() as u32));
+            let v = VertexId(rng.gen_range(0..net.num_vertices() as u32));
+            let exact = dijkstra::distance(&net, u, v).unwrap();
+            let lb = idx.lower_bound(u, v);
+            assert!(lb <= exact + 1e-9, "ALT bound {lb} exceeds exact {exact}");
+            if exact > 0.0 && lb / exact > 0.5 {
+                tight += 1;
+            }
+        }
+        // With 6 landmarks on a small lattice, the bound is reasonably tight
+        // for the majority of pairs.
+        assert!(tight > n / 2, "only {tight}/{n} pairs had a tight ALT bound");
+    }
+
+    #[test]
+    fn identical_endpoints_have_zero_bound() {
+        let net = lattice(4);
+        let idx = LandmarkIndex::build(&net, 2, VertexId(3));
+        assert_eq!(idx.lower_bound(VertexId(5), VertexId(5)), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one landmark")]
+    fn zero_landmarks_panics() {
+        let net = lattice(3);
+        let _ = LandmarkIndex::build(&net, 0, VertexId(0));
+    }
+}

@@ -1,0 +1,236 @@
+//! Memoising distance oracle combining exact Dijkstra queries with the grid
+//! lower bounds.
+//!
+//! The matching algorithms of `ptrider-core` interleave many exact distance
+//! computations with cheap pruning bounds. The oracle centralises both so
+//! that (i) repeated exact queries hit a cache, and (ii) the number of exact
+//! shortest-path computations can be counted — the metric reported by the
+//! pruning-effectiveness experiment (E8).
+
+use crate::dijkstra;
+use crate::graph::RoadNetwork;
+use crate::grid::GridIndex;
+use crate::types::VertexId;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Thread-safe memoising distance oracle.
+///
+/// Cloning the oracle is cheap; clones share the same cache and counters.
+#[derive(Clone)]
+pub struct DistanceOracle {
+    net: Arc<RoadNetwork>,
+    grid: Arc<GridIndex>,
+    cache: Arc<Mutex<HashMap<(VertexId, VertexId), f64>>>,
+    exact_computations: Arc<AtomicU64>,
+    cache_hits: Arc<AtomicU64>,
+    lower_bound_queries: Arc<AtomicU64>,
+}
+
+impl DistanceOracle {
+    /// Creates an oracle over a network and its grid index.
+    pub fn new(net: Arc<RoadNetwork>, grid: Arc<GridIndex>) -> Self {
+        DistanceOracle {
+            net,
+            grid,
+            cache: Arc::new(Mutex::new(HashMap::new())),
+            exact_computations: Arc::new(AtomicU64::new(0)),
+            cache_hits: Arc::new(AtomicU64::new(0)),
+            lower_bound_queries: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// The underlying road network.
+    pub fn network(&self) -> &RoadNetwork {
+        &self.net
+    }
+
+    /// The underlying grid index.
+    pub fn grid(&self) -> &GridIndex {
+        &self.grid
+    }
+
+    /// Shared handle to the underlying road network.
+    pub fn network_arc(&self) -> Arc<RoadNetwork> {
+        Arc::clone(&self.net)
+    }
+
+    /// Shared handle to the underlying grid index.
+    pub fn grid_arc(&self) -> Arc<GridIndex> {
+        Arc::clone(&self.grid)
+    }
+
+    /// Exact shortest-path distance, memoised. Returns `f64::INFINITY` when
+    /// unreachable so callers can treat the result as a plain cost.
+    pub fn distance(&self, u: VertexId, v: VertexId) -> f64 {
+        if u == v {
+            return 0.0;
+        }
+        let key = (u, v);
+        if let Some(&d) = self.cache.lock().get(&key) {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return d;
+        }
+        self.exact_computations.fetch_add(1, Ordering::Relaxed);
+        let d = dijkstra::distance(&self.net, u, v).unwrap_or(f64::INFINITY);
+        let mut cache = self.cache.lock();
+        cache.insert(key, d);
+        // Undirected networks: store the symmetric entry too.
+        cache.entry((v, u)).or_insert(d);
+        d
+    }
+
+    /// Cheap lower bound on the shortest-path distance (never exceeds
+    /// [`Self::distance`]). Uses the grid matrix plus the Euclidean bound,
+    /// or the cached exact value when available.
+    pub fn lower_bound(&self, u: VertexId, v: VertexId) -> f64 {
+        self.lower_bound_queries.fetch_add(1, Ordering::Relaxed);
+        if u == v {
+            return 0.0;
+        }
+        if let Some(&d) = self.cache.lock().get(&(u, v)) {
+            return d;
+        }
+        self.grid.lower_bound_with(&self.net, u, v)
+    }
+
+    /// Lower bound from a vertex to the closest vertex of a grid cell.
+    pub fn lower_bound_to_cell(&self, u: VertexId, cell: crate::grid::CellId) -> f64 {
+        self.lower_bound_queries.fetch_add(1, Ordering::Relaxed);
+        self.grid.lower_bound_to_cell(u, cell)
+    }
+
+    /// Number of exact Dijkstra computations performed so far.
+    pub fn exact_computations(&self) -> u64 {
+        self.exact_computations.load(Ordering::Relaxed)
+    }
+
+    /// Number of exact queries answered from the cache.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of lower-bound queries served.
+    pub fn lower_bound_queries(&self) -> u64 {
+        self.lower_bound_queries.load(Ordering::Relaxed)
+    }
+
+    /// Resets the counters (not the cache); used between benchmark phases.
+    pub fn reset_counters(&self) {
+        self.exact_computations.store(0, Ordering::Relaxed);
+        self.cache_hits.store(0, Ordering::Relaxed);
+        self.lower_bound_queries.store(0, Ordering::Relaxed);
+    }
+
+    /// Clears the memoisation cache (used by benchmarks that want cold-cache
+    /// measurements) and the counters.
+    pub fn clear(&self) {
+        self.cache.lock().clear();
+        self.reset_counters();
+    }
+
+    /// Number of cached entries.
+    pub fn cache_len(&self) -> usize {
+        self.cache.lock().len()
+    }
+}
+
+impl std::fmt::Debug for DistanceOracle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DistanceOracle")
+            .field("vertices", &self.net.num_vertices())
+            .field("cells", &self.grid.num_cells())
+            .field("cache_len", &self.cache_len())
+            .field("exact_computations", &self.exact_computations())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::RoadNetworkBuilder;
+    use crate::grid::GridConfig;
+
+    fn oracle() -> DistanceOracle {
+        let mut b = RoadNetworkBuilder::new();
+        let mut ids = Vec::new();
+        for y in 0..5 {
+            for x in 0..5 {
+                ids.push(b.add_vertex(x as f64 * 100.0, y as f64 * 100.0));
+            }
+        }
+        for y in 0..5usize {
+            for x in 0..5usize {
+                let u = ids[y * 5 + x];
+                if x + 1 < 5 {
+                    b.add_bidirectional_edge(u, ids[y * 5 + x + 1], 100.0);
+                }
+                if y + 1 < 5 {
+                    b.add_bidirectional_edge(u, ids[(y + 1) * 5 + x], 100.0);
+                }
+            }
+        }
+        let net = Arc::new(b.build().unwrap());
+        let grid = Arc::new(GridIndex::build(&net, GridConfig::with_dimensions(2, 2)));
+        DistanceOracle::new(net, grid)
+    }
+
+    #[test]
+    fn distance_is_memoised() {
+        let o = oracle();
+        let d1 = o.distance(VertexId(0), VertexId(24));
+        assert_eq!(o.exact_computations(), 1);
+        let d2 = o.distance(VertexId(0), VertexId(24));
+        assert_eq!(d1, d2);
+        assert_eq!(o.exact_computations(), 1);
+        assert_eq!(o.cache_hits(), 1);
+        // symmetric entry is cached too
+        let d3 = o.distance(VertexId(24), VertexId(0));
+        assert_eq!(d3, d1);
+        assert_eq!(o.exact_computations(), 1);
+    }
+
+    #[test]
+    fn lower_bound_is_admissible() {
+        let o = oracle();
+        for u in 0..25u32 {
+            for v in 0..25u32 {
+                let lb = o.lower_bound(VertexId(u), VertexId(v));
+                let exact = o.distance(VertexId(u), VertexId(v));
+                assert!(lb <= exact + 1e-9, "lb {lb} > exact {exact} ({u}->{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn identity_distance_is_zero_and_free() {
+        let o = oracle();
+        assert_eq!(o.distance(VertexId(3), VertexId(3)), 0.0);
+        assert_eq!(o.exact_computations(), 0);
+    }
+
+    #[test]
+    fn clear_resets_cache_and_counters() {
+        let o = oracle();
+        let _ = o.distance(VertexId(0), VertexId(5));
+        assert!(o.cache_len() > 0);
+        o.clear();
+        assert_eq!(o.cache_len(), 0);
+        assert_eq!(o.exact_computations(), 0);
+        assert_eq!(o.cache_hits(), 0);
+        assert_eq!(o.lower_bound_queries(), 0);
+    }
+
+    #[test]
+    fn clones_share_cache() {
+        let o = oracle();
+        let o2 = o.clone();
+        let _ = o.distance(VertexId(0), VertexId(10));
+        let _ = o2.distance(VertexId(0), VertexId(10));
+        assert_eq!(o.exact_computations(), 1);
+        assert_eq!(o2.cache_hits(), 1);
+    }
+}

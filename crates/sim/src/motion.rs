@@ -1,0 +1,218 @@
+//! Vehicle movement model.
+//!
+//! Vehicles drive at the constant speed along the shortest path to the next
+//! stop of their best schedule; idle vehicles follow the current road
+//! segment and pick a random segment at intersections (Section 4). The
+//! motion state lives outside the engine: the engine only receives location
+//! updates when a vehicle crosses a vertex, mirroring the periodic location
+//! updates of Fig. 2.
+
+use ptrider_roadnet::{dijkstra, RoadNetwork, VertexId};
+use rand::Rng;
+use std::collections::VecDeque;
+
+/// Per-vehicle motion state.
+#[derive(Clone, Debug, Default)]
+pub struct Motion {
+    /// Remaining vertices to visit (next vertex first). Each entry carries
+    /// the edge length from the previous vertex.
+    path: VecDeque<(VertexId, f64)>,
+    /// The stop vertex the current path leads to (`None` while idle-roaming).
+    target: Option<VertexId>,
+    /// Distance already driven along the current leading edge.
+    progress: f64,
+    /// Distance driven since the last crossing was reported (partial edge
+    /// progress that has not yet been delivered as a location update).
+    unreported: f64,
+}
+
+/// A vertex crossing produced while advancing a vehicle.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Crossing {
+    /// The vertex reached.
+    pub vertex: VertexId,
+    /// Distance driven since the previous reported crossing — the amount the
+    /// engine's location update should credit to the odometer.
+    pub travelled: f64,
+}
+
+impl Motion {
+    /// Creates an idle motion state.
+    pub fn new() -> Self {
+        Motion::default()
+    }
+
+    /// The destination vertex of the current path, if any.
+    pub fn target(&self) -> Option<VertexId> {
+        self.target
+    }
+
+    /// Clears the current path (e.g. when the schedule changed). Partial
+    /// edge progress is abandoned and *not* credited later: the vehicle is
+    /// treated as standing at its last vertex, so the distances the engine
+    /// sees always equal the vertex-level shortest paths the matcher planned
+    /// with (the fleet odometer slightly under-counts turn-arounds instead
+    /// of over-charging on-board riders).
+    pub fn clear(&mut self) {
+        self.path.clear();
+        self.target = None;
+        self.progress = 0.0;
+        self.unreported = 0.0;
+    }
+
+    /// Ensures the vehicle is routed from `from` to `to` along a shortest
+    /// path. Re-plans only when the target changed.
+    pub fn route_to(&mut self, net: &RoadNetwork, from: VertexId, to: VertexId) {
+        if self.target == Some(to) && !self.path.is_empty() {
+            return;
+        }
+        self.clear();
+        if from == to {
+            self.target = Some(to);
+            return;
+        }
+        if let Some((_, path)) = dijkstra::shortest_path(net, from, to) {
+            let mut prev = from;
+            for v in path.into_iter().skip(1) {
+                let leg = dijkstra::distance(net, prev, v).unwrap_or(0.0);
+                self.path.push_back((v, leg));
+                prev = v;
+            }
+            self.target = Some(to);
+        }
+    }
+
+    /// Starts an idle roam from `from` toward a random neighbouring vertex.
+    pub fn roam<R: Rng>(&mut self, net: &RoadNetwork, from: VertexId, rng: &mut R) {
+        self.clear();
+        let neighbours: Vec<(VertexId, f64)> = net.neighbors(from).collect();
+        if neighbours.is_empty() {
+            return;
+        }
+        let (next, w) = neighbours[rng.gen_range(0..neighbours.len())];
+        self.path.push_back((next, w));
+        // Idle roaming has no schedule target.
+        self.target = None;
+    }
+
+    /// `true` when the vehicle has no planned path.
+    pub fn is_idle(&self) -> bool {
+        self.path.is_empty()
+    }
+
+    /// Advances the vehicle by up to `budget` metres, returning every vertex
+    /// crossing that happened (in order). Unused budget is returned as the
+    /// second tuple element (non-zero only when the path ran out).
+    pub fn advance(&mut self, mut budget: f64) -> (Vec<Crossing>, f64) {
+        let mut crossings = Vec::new();
+        while budget > 0.0 {
+            let Some(&(next, leg)) = self.path.front() else {
+                break;
+            };
+            let remaining = leg - self.progress;
+            if budget >= remaining {
+                budget -= remaining;
+                self.unreported += remaining;
+                self.progress = 0.0;
+                self.path.pop_front();
+                crossings.push(Crossing {
+                    vertex: next,
+                    travelled: self.unreported,
+                });
+                self.unreported = 0.0;
+                if self.path.is_empty() {
+                    self.target = None;
+                }
+            } else {
+                self.progress += budget;
+                self.unreported += budget;
+                budget = 0.0;
+            }
+        }
+        (crossings, budget)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptrider_roadnet::RoadNetworkBuilder;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn line() -> RoadNetwork {
+        let mut b = RoadNetworkBuilder::new();
+        let v: Vec<_> = (0..5).map(|i| b.add_vertex(i as f64 * 100.0, 0.0)).collect();
+        for i in 0..4 {
+            b.add_bidirectional_edge(v[i], v[i + 1], 100.0);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn route_and_advance_crosses_vertices_in_order() {
+        let net = line();
+        let mut m = Motion::new();
+        m.route_to(&net, VertexId(0), VertexId(3));
+        assert_eq!(m.target(), Some(VertexId(3)));
+        let (crossings, leftover) = m.advance(250.0);
+        assert_eq!(leftover, 0.0);
+        assert_eq!(
+            crossings
+                .iter()
+                .map(|c| (c.vertex, c.travelled))
+                .collect::<Vec<_>>(),
+            vec![(VertexId(1), 100.0), (VertexId(2), 100.0)]
+        );
+        // 50 m into the last edge from the first call plus 50 m now finish
+        // the path; the crossing credits the full 100 m driven since the
+        // last reported crossing.
+        let (crossings, leftover) = m.advance(200.0);
+        assert_eq!(
+            crossings,
+            vec![Crossing { vertex: VertexId(3), travelled: 100.0 }]
+        );
+        assert_eq!(leftover, 150.0);
+        assert!(m.is_idle());
+    }
+
+    #[test]
+    fn route_to_same_target_does_not_replan() {
+        let net = line();
+        let mut m = Motion::new();
+        m.route_to(&net, VertexId(0), VertexId(4));
+        let (_c, _) = m.advance(150.0);
+        // Re-routing to the same target keeps the partial progress: the 50 m
+        // already driven into the second edge plus 50 m now complete it.
+        m.route_to(&net, VertexId(1), VertexId(4));
+        let (crossings, _) = m.advance(50.0);
+        assert_eq!(
+            crossings,
+            vec![Crossing { vertex: VertexId(2), travelled: 100.0 }]
+        );
+    }
+
+    #[test]
+    fn roam_moves_to_a_neighbour() {
+        let net = line();
+        let mut m = Motion::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        m.roam(&net, VertexId(2), &mut rng);
+        assert!(!m.is_idle());
+        let (crossings, _) = m.advance(100.0);
+        assert_eq!(crossings.len(), 1);
+        let v = crossings[0].vertex;
+        assert!(v == VertexId(1) || v == VertexId(3));
+    }
+
+    #[test]
+    fn trivial_route_to_self_is_idle() {
+        let net = line();
+        let mut m = Motion::new();
+        m.route_to(&net, VertexId(2), VertexId(2));
+        assert!(m.is_idle());
+        let (crossings, leftover) = m.advance(100.0);
+        assert!(crossings.is_empty());
+        assert_eq!(leftover, 100.0);
+    }
+}

@@ -1,0 +1,559 @@
+//! The event-driven day simulator.
+//!
+//! Each step of length `dt` performs the loop of Fig. 2:
+//!
+//! 1. every trip of the workload whose submission time falls inside the step
+//!    is submitted to the engine; the simulated rider picks one of the
+//!    returned options with the configured [`ChoicePolicy`] and the choice is
+//!    sent back (`choose`);
+//! 2. every vehicle drives `speed · dt` metres along the shortest path to the
+//!    next stop of its best schedule (or roams randomly when idle), issuing
+//!    location updates when it crosses vertices and pickup / drop-off updates
+//!    when it reaches a stop.
+
+use crate::choice::ChoicePolicy;
+use crate::motion::Motion;
+use crate::report::{RequestOutcome, SimulationReport};
+use ptrider_core::{EngineConfig, GridConfig, MatcherKind, PtRider, StopKind};
+use ptrider_datagen::{TimedTrip, Workload};
+use ptrider_roadnet::RoadNetwork;
+use ptrider_vehicles::{RequestId, StopEvent, VehicleId};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Simulator configuration.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Step length in seconds.
+    pub dt_secs: f64,
+    /// Simulation start time in seconds (trips before this are skipped).
+    pub start_secs: f64,
+    /// Simulation end time in seconds.
+    pub end_secs: f64,
+    /// Rider choice policy.
+    pub choice: ChoicePolicy,
+    /// Matching algorithm to use.
+    pub matcher: MatcherKind,
+    /// Grid-index dimensions for the road network.
+    pub grid: GridConfig,
+    /// Whether idle vehicles roam randomly (Section 4: vehicles follow the
+    /// current road segment and pick a random segment at intersections).
+    pub idle_roaming: bool,
+    /// Cross-check mode: every request is additionally matched with *all*
+    /// matching algorithms and the simulator panics if their option sets
+    /// disagree. Expensive; intended for validation runs and tests.
+    pub cross_check: bool,
+    /// Random seed for rider choices and idle roaming.
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            dt_secs: 5.0,
+            start_secs: 0.0,
+            end_secs: 3600.0,
+            choice: ChoicePolicy::default(),
+            matcher: MatcherKind::DualSide,
+            grid: GridConfig::with_dimensions(16, 16),
+            idle_roaming: true,
+            cross_check: false,
+            seed: 42,
+        }
+    }
+}
+
+/// The simulator: a PTRider engine driven by a workload.
+pub struct Simulator {
+    engine: PtRider,
+    net: Arc<RoadNetwork>,
+    config: SimConfig,
+    trips: Vec<TimedTrip>,
+    next_trip: usize,
+    clock: f64,
+    rng: ChaCha8Rng,
+    motions: HashMap<VehicleId, Motion>,
+    outcomes: HashMap<RequestId, RequestOutcome>,
+    fleet_distance: f64,
+}
+
+impl Simulator {
+    /// Builds a simulator from a workload, an engine configuration and a
+    /// simulator configuration.
+    pub fn new(workload: Workload, engine_config: EngineConfig, config: SimConfig) -> Self {
+        let Workload {
+            network,
+            vehicle_locations,
+            trips,
+            ..
+        } = workload;
+        let mut engine = PtRider::new(network, config.grid, engine_config);
+        engine.set_matcher(config.matcher);
+        let net = engine.oracle().network_arc();
+        let mut motions = HashMap::new();
+        for loc in vehicle_locations {
+            let id = engine.add_vehicle(loc);
+            motions.insert(id, Motion::new());
+        }
+        let next_trip = trips.partition_point(|t| t.time_secs < config.start_secs);
+        Simulator {
+            engine,
+            net,
+            clock: config.start_secs,
+            config,
+            trips,
+            next_trip,
+            rng: ChaCha8Rng::seed_from_u64(config.seed),
+            motions,
+            outcomes: HashMap::new(),
+            fleet_distance: 0.0,
+        }
+    }
+
+    /// The engine driven by the simulator.
+    pub fn engine(&self) -> &PtRider {
+        &self.engine
+    }
+
+    /// Current simulated time in seconds.
+    pub fn clock(&self) -> f64 {
+        self.clock
+    }
+
+    /// Per-request outcomes recorded so far.
+    pub fn outcomes(&self) -> &HashMap<RequestId, RequestOutcome> {
+        &self.outcomes
+    }
+
+    /// Runs the simulation to `end_secs` and returns the report.
+    pub fn run(&mut self) -> SimulationReport {
+        while self.clock < self.config.end_secs {
+            self.step();
+        }
+        self.report()
+    }
+
+    /// Runs the simulation to `end_secs`, taking a snapshot report every
+    /// `interval_secs` of simulated time — the evolving statistics panel of
+    /// the demo's website interface. Returns the final report and the
+    /// `(time, report)` series.
+    ///
+    /// # Panics
+    /// Panics if `interval_secs` is not strictly positive.
+    pub fn run_with_interval_reports(
+        &mut self,
+        interval_secs: f64,
+    ) -> (SimulationReport, Vec<(f64, SimulationReport)>) {
+        assert!(interval_secs > 0.0, "interval must be positive");
+        let mut series = Vec::new();
+        let mut next = self.clock + interval_secs;
+        while self.clock < self.config.end_secs {
+            self.step();
+            if self.clock >= next {
+                series.push((self.clock, self.report()));
+                next += interval_secs;
+            }
+        }
+        (self.report(), series)
+    }
+
+    /// Builds the report for the current state.
+    pub fn report(&self) -> SimulationReport {
+        SimulationReport::from_outcomes(
+            self.clock - self.config.start_secs,
+            &self.outcomes,
+            self.fleet_distance,
+            self.engine.stats().clone(),
+        )
+    }
+
+    /// Advances the simulation by one step of `dt_secs`.
+    pub fn step(&mut self) {
+        let step_end = self.clock + self.config.dt_secs;
+        self.submit_due_trips(step_end);
+        self.move_vehicles();
+        self.clock = step_end;
+    }
+
+    /// Submits every trip whose time falls inside `[clock, step_end)` and
+    /// lets the simulated rider choose.
+    fn submit_due_trips(&mut self, step_end: f64) {
+        while self.next_trip < self.trips.len() && self.trips[self.next_trip].time_secs < step_end
+        {
+            let trip = self.trips[self.next_trip];
+            self.next_trip += 1;
+            self.submit_trip(&trip);
+        }
+    }
+
+    fn submit_trip(&mut self, trip: &TimedTrip) {
+        if trip.origin == trip.destination {
+            return;
+        }
+        if self.config.cross_check {
+            self.cross_check_matchers(trip);
+        }
+        let (id, options) = self
+            .engine
+            .submit(trip.origin, trip.destination, trip.riders, trip.time_secs);
+        let direct = self
+            .engine
+            .oracle()
+            .distance(trip.origin, trip.destination);
+        let mut outcome = RequestOutcome {
+            id,
+            submitted_at: trip.time_secs,
+            riders: trip.riders,
+            options_offered: options.len(),
+            direct_dist: direct,
+            planned_pickup_secs: None,
+            price: None,
+            picked_up_at: None,
+            dropped_off_at: None,
+            onboard_dist: None,
+            shared: false,
+        };
+        if let Some(choice) = self.config.choice.choose(&options, &mut self.rng) {
+            let choice = choice.clone();
+            match self.engine.choose(id, &choice, trip.time_secs) {
+                Ok(()) => {
+                    outcome.planned_pickup_secs = Some(choice.pickup_secs);
+                    outcome.price = Some(choice.price);
+                    // No motion reset needed: `move_vehicle` re-routes as soon
+                    // as the vehicle's next stop changes.
+                }
+                Err(_) => {
+                    // Assignment raced with a state change; the request goes
+                    // unserved in this simulation.
+                    let _ = self.engine.decline(id);
+                }
+            }
+        } else {
+            let _ = self.engine.decline(id);
+        }
+        self.outcomes.insert(id, outcome);
+    }
+
+    /// Matches the trip with every matching algorithm on the current state
+    /// and panics if any two disagree (validation mode).
+    fn cross_check_matchers(&self, trip: &TimedTrip) {
+        use ptrider_core::Request;
+        let request = Request::new(
+            RequestId(u64::MAX),
+            trip.origin,
+            trip.destination,
+            trip.riders,
+            trip.time_secs,
+        );
+        let canonical = |options: &[ptrider_core::RideOption]| {
+            let mut v: Vec<(u32, i64, i64)> = options
+                .iter()
+                .map(|o| {
+                    (
+                        o.vehicle.0,
+                        (o.pickup_dist * 1e6).round() as i64,
+                        (o.price * 1e9).round() as i64,
+                    )
+                })
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        let mut reference: Option<(MatcherKind, Vec<(u32, i64, i64)>)> = None;
+        for kind in MatcherKind::all() {
+            let result = self
+                .engine
+                .match_request_with(kind, &request)
+                .expect("cross-check request is valid");
+            let canon = canonical(&result.options);
+            match &reference {
+                None => reference = Some((kind, canon)),
+                Some((ref_kind, ref_canon)) => {
+                    assert_eq!(
+                        ref_canon, &canon,
+                        "matcher cross-check failed at t={:.1}s for trip {} -> {} ({} riders): \
+                         {ref_kind} and {kind} disagree",
+                        trip.time_secs, trip.origin, trip.destination, trip.riders
+                    );
+                }
+            }
+        }
+    }
+
+    /// Moves every vehicle by one step and serves reached stops.
+    fn move_vehicles(&mut self) {
+        let speed = self.engine.config().speed.mps();
+        let mut ids: Vec<VehicleId> = self.motions.keys().copied().collect();
+        ids.sort_unstable();
+        for id in ids {
+            self.move_vehicle(id, speed * self.config.dt_secs);
+        }
+    }
+
+    fn move_vehicle(&mut self, id: VehicleId, mut budget: f64) {
+        let mut guard = 0usize;
+        while budget > 1e-9 {
+            guard += 1;
+            if guard > 10_000 {
+                break;
+            }
+            let (location, next_stop) = {
+                let v = self
+                    .engine
+                    .vehicle(id)
+                    .expect("simulated vehicle exists in the engine");
+                (v.location(), v.next_stop())
+            };
+
+            if let Some(stop) = next_stop {
+                if stop.location == location {
+                    if let Ok(Some(event)) = self.engine.vehicle_arrived(id) {
+                        self.handle_stop_event(id, &event);
+                    }
+                    if let Some(m) = self.motions.get_mut(&id) {
+                        m.clear();
+                    }
+                    continue;
+                }
+                let motion = self.motions.get_mut(&id).expect("motion exists");
+                motion.route_to(&self.net, location, stop.location);
+            } else if self.config.idle_roaming {
+                let motion = self.motions.get_mut(&id).expect("motion exists");
+                if motion.is_idle() {
+                    motion.roam(&self.net, location, &mut self.rng);
+                }
+                if motion.is_idle() {
+                    break;
+                }
+            } else {
+                break;
+            }
+
+            let motion = self.motions.get_mut(&id).expect("motion exists");
+            let (crossings, leftover) = motion.advance(budget);
+            let consumed = budget - leftover;
+            for crossing in &crossings {
+                let _ = self
+                    .engine
+                    .location_update(id, crossing.vertex, crossing.travelled);
+                self.fleet_distance += crossing.travelled;
+            }
+            budget = leftover;
+            if crossings.is_empty() && consumed <= 1e-9 {
+                // No progress possible (degenerate path); stop to avoid spinning.
+                break;
+            }
+        }
+    }
+
+    fn handle_stop_event(&mut self, vehicle: VehicleId, event: &StopEvent) {
+        match event {
+            StopEvent::PickedUp { request, .. } => {
+                let now = self.clock;
+                if let Some(outcome) = self.outcomes.get_mut(request) {
+                    outcome.picked_up_at = Some(now);
+                }
+                // Sharing: if anyone else is on board, both parties share.
+                let others: Vec<RequestId> = self
+                    .engine
+                    .vehicle(vehicle)
+                    .map(|v| {
+                        v.requests()
+                            .iter()
+                            .filter(|r| !r.is_waiting() && r.id != *request)
+                            .map(|r| r.id)
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                if !others.is_empty() {
+                    if let Some(outcome) = self.outcomes.get_mut(request) {
+                        outcome.shared = true;
+                    }
+                    for other in others {
+                        if let Some(outcome) = self.outcomes.get_mut(&other) {
+                            outcome.shared = true;
+                        }
+                    }
+                }
+            }
+            StopEvent::DroppedOff {
+                request,
+                onboard_distance,
+            } => {
+                if let Some(outcome) = self.outcomes.get_mut(&request.id) {
+                    outcome.dropped_off_at = Some(self.clock);
+                    outcome.onboard_dist = Some(*onboard_distance);
+                }
+            }
+        }
+    }
+
+    /// Pending stops across the fleet (used by tests to check drainage).
+    pub fn outstanding_stops(&self) -> usize {
+        self.engine
+            .vehicles()
+            .map(|v| {
+                v.current_schedule()
+                    .iter()
+                    .filter(|s| s.kind == StopKind::Pickup || s.kind == StopKind::Dropoff)
+                    .count()
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptrider_datagen::{CityConfig, TripConfig, Workload, WorkloadConfig};
+
+    fn small_workload(seed: u64, trips: usize, vehicles: usize) -> Workload {
+        Workload::generate(WorkloadConfig {
+            city: CityConfig::tiny(seed),
+            num_vehicles: vehicles,
+            trips: TripConfig {
+                num_trips: trips,
+                day_secs: 1800.0,
+                seed,
+                ..TripConfig::default()
+            },
+            seed,
+        })
+    }
+
+    fn sim_config(end: f64) -> SimConfig {
+        SimConfig {
+            dt_secs: 5.0,
+            start_secs: 0.0,
+            end_secs: end,
+            grid: GridConfig::with_dimensions(4, 4),
+            seed: 7,
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn simulation_serves_requests_end_to_end() {
+        let workload = small_workload(11, 60, 12);
+        let mut sim = Simulator::new(
+            workload,
+            EngineConfig::paper_defaults(),
+            sim_config(1800.0),
+        );
+        let report = sim.run();
+        assert_eq!(report.requests, 60);
+        assert!(report.answered > 0, "some requests must receive options");
+        assert!(report.assigned > 0, "some riders must choose an option");
+        assert!(report.completed > 0, "some trips must complete");
+        assert!(report.avg_options >= 1.0 - 1e-9 || report.answer_rate < 1.0);
+        assert!(report.fleet_distance_m > 0.0);
+        assert!(report.avg_response_ms >= 0.0);
+        // Waiting time must be positive for picked-up requests.
+        assert!(report.avg_waiting_secs >= 0.0);
+    }
+
+    #[test]
+    fn completed_trips_respect_service_constraint() {
+        let workload = small_workload(13, 40, 10);
+        let engine_config = EngineConfig::paper_defaults().with_detour_factor(0.3);
+        let mut sim = Simulator::new(workload, engine_config, sim_config(1800.0));
+        let _ = sim.run();
+        for outcome in sim.outcomes().values() {
+            if let Some(ratio) = outcome.detour_ratio() {
+                assert!(
+                    ratio <= 1.3 + 1e-6,
+                    "trip {:?} exceeded the service constraint: {ratio}",
+                    outcome.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn step_advances_clock_and_processes_trips_in_order() {
+        let workload = small_workload(17, 30, 6);
+        let mut sim = Simulator::new(
+            workload,
+            EngineConfig::paper_defaults(),
+            sim_config(600.0),
+        );
+        assert_eq!(sim.clock(), 0.0);
+        sim.step();
+        assert!((sim.clock() - 5.0).abs() < 1e-9);
+        let before = sim.outcomes().len();
+        sim.step();
+        assert!(sim.outcomes().len() >= before);
+    }
+
+    #[test]
+    fn interval_reports_track_cumulative_progress() {
+        let workload = small_workload(19, 50, 10);
+        let mut sim = Simulator::new(
+            workload,
+            EngineConfig::paper_defaults(),
+            sim_config(900.0),
+        );
+        let (final_report, series) = sim.run_with_interval_reports(300.0);
+        assert_eq!(series.len(), 3);
+        // Snapshots are taken at increasing times and counters never decrease.
+        for pair in series.windows(2) {
+            assert!(pair[0].0 < pair[1].0);
+            assert!(pair[0].1.requests <= pair[1].1.requests);
+            assert!(pair[0].1.completed <= pair[1].1.completed);
+        }
+        let last = &series.last().unwrap().1;
+        assert_eq!(last.requests, final_report.requests);
+        assert_eq!(last.completed, final_report.completed);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed: u64| {
+            let workload = small_workload(23, 40, 8);
+            let mut sim = Simulator::new(
+                workload,
+                EngineConfig::paper_defaults(),
+                SimConfig {
+                    seed,
+                    ..sim_config(900.0)
+                },
+            );
+            sim.run()
+        };
+        let a = run(5);
+        let b = run(5);
+        assert_eq!(a.assigned, b.assigned);
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.shared_trips, b.shared_trips);
+        assert!((a.fleet_distance_m - b.fleet_distance_m).abs() < 1e-6);
+    }
+
+    #[test]
+    fn idle_roaming_moves_empty_vehicles() {
+        let workload = Workload::generate(WorkloadConfig {
+            city: CityConfig::tiny(3),
+            num_vehicles: 4,
+            trips: TripConfig {
+                num_trips: 1,
+                day_secs: 10.0,
+                seed: 3,
+                ..TripConfig::default()
+            },
+            seed: 3,
+        });
+        let mut sim = Simulator::new(
+            workload,
+            EngineConfig::paper_defaults(),
+            SimConfig {
+                end_secs: 120.0,
+                ..sim_config(120.0)
+            },
+        );
+        let _ = sim.run();
+        // Even with (almost) no requests the fleet drives around.
+        assert!(sim.report().fleet_distance_m > 0.0);
+    }
+}

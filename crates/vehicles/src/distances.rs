@@ -1,0 +1,74 @@
+//! Abstraction over the exact / lower-bound distance backend.
+//!
+//! The kinetic tree and the matchers only need two operations: an exact
+//! shortest-path distance and a cheap admissible lower bound. Keeping them
+//! behind a trait lets unit tests plug in toy distance functions and lets
+//! the engine plug in the memoising [`ptrider_roadnet::DistanceOracle`]
+//! (whose counters drive the pruning-effectiveness experiment).
+
+use ptrider_roadnet::{DistanceOracle, VertexId};
+
+/// Exact and lower-bound distances between road-network vertices.
+pub trait Distances {
+    /// Exact shortest-path distance in metres (`f64::INFINITY` if unreachable).
+    fn distance(&self, u: VertexId, v: VertexId) -> f64;
+
+    /// Admissible lower bound on [`Self::distance`]. The default
+    /// implementation returns 0, which is always valid but prunes nothing.
+    fn lower_bound(&self, u: VertexId, v: VertexId) -> f64 {
+        let _ = (u, v);
+        0.0
+    }
+}
+
+impl Distances for DistanceOracle {
+    fn distance(&self, u: VertexId, v: VertexId) -> f64 {
+        DistanceOracle::distance(self, u, v)
+    }
+
+    fn lower_bound(&self, u: VertexId, v: VertexId) -> f64 {
+        DistanceOracle::lower_bound(self, u, v)
+    }
+}
+
+impl<T: Distances + ?Sized> Distances for &T {
+    fn distance(&self, u: VertexId, v: VertexId) -> f64 {
+        (**self).distance(u, v)
+    }
+
+    fn lower_bound(&self, u: VertexId, v: VertexId) -> f64 {
+        (**self).lower_bound(u, v)
+    }
+}
+
+/// Adapter turning a plain closure into a [`Distances`] backend
+/// (lower bound is the trivial 0). Handy in unit tests.
+pub struct FnDistances<F>(pub F);
+
+impl<F: Fn(VertexId, VertexId) -> f64> Distances for FnDistances<F> {
+    fn distance(&self, u: VertexId, v: VertexId) -> f64 {
+        (self.0)(u, v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fn_distances_delegates() {
+        let d = FnDistances(|u: VertexId, v: VertexId| {
+            (u.0 as f64 - v.0 as f64).abs() * 10.0
+        });
+        assert_eq!(d.distance(VertexId(3), VertexId(7)), 40.0);
+        assert_eq!(d.lower_bound(VertexId(3), VertexId(7)), 0.0);
+    }
+
+    #[test]
+    fn reference_impl_delegates() {
+        let d = FnDistances(|_, _| 5.0);
+        let r: &dyn Distances = &d;
+        assert_eq!(r.distance(VertexId(0), VertexId(1)), 5.0);
+        assert_eq!((&d).distance(VertexId(0), VertexId(1)), 5.0);
+    }
+}

@@ -1,0 +1,1035 @@
+//! Kinetic tree of valid vehicle trip schedules (Section 3.2.2, Fig. 3).
+//!
+//! Every root-to-leaf branch of the tree is a *valid trip schedule*
+//! (Definition 2): it starts at the vehicle's current location, respects the
+//! point order (pickup before drop-off), the capacity constraint at every
+//! stop, the waiting-time constraint of every already-assigned request and
+//! the service constraint of every request. As the paper describes, each
+//! node additionally carries the residual capacity after the stop, the trip
+//! distance `dist_tr` from the vehicle's current location, and the minimal
+//! remaining detour slack of its subtree.
+//!
+//! The tree supports three operations used by the engine:
+//!
+//! * [`KineticTree::insertion_candidates`] — enumerate every feasible way of
+//!   inserting a new request (used by the matchers to produce the
+//!   (pick-up time, price) options);
+//! * [`KineticTree::commit_insertion`] — rebuild the tree so it contains all
+//!   valid schedules that serve the new request;
+//! * [`KineticTree::advance_to_stop`] — advance the tree when the vehicle
+//!   reaches the next stop of its best schedule.
+
+use crate::distances::Distances;
+use crate::request::{AssignedRequest, ProspectiveRequest, RequestProgress};
+use crate::types::{RequestId, Stop, StopKind};
+use ptrider_roadnet::VertexId;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// Numerical tolerance for constraint comparisons (metres).
+pub const DIST_EPS: f64 = 1e-6;
+
+/// Maximum number of valid trip schedules (branches) kept per vehicle.
+///
+/// The number of valid orderings grows combinatorially with the number of
+/// outstanding stops; Huang et al.'s kinetic tree has the same blow-up. To
+/// keep per-request work bounded on busy vehicles, commits keep only the
+/// `MAX_SCHEDULES` shortest valid schedules (deterministically, so every
+/// matcher observes the same tree). The paper does not state a limit; this
+/// is an engineering safeguard documented in DESIGN.md.
+pub const MAX_SCHEDULES: usize = 64;
+
+/// A node of the kinetic tree.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct KineticNode {
+    /// The stop served at this node.
+    pub stop: Stop,
+    /// Exact distance from the parent stop (or the vehicle location for roots).
+    pub leg_dist: f64,
+    /// Cumulative trip distance from the vehicle's current location.
+    pub dist_tr: f64,
+    /// Riders on board immediately after serving this stop.
+    pub occupancy: u32,
+    /// Conservative upper bound on how much extra distance could still be
+    /// inserted before this node without violating the binding constraints of
+    /// this node's subtree (waiting pickups' deadlines and on-board requests'
+    /// service budgets). Informational / used as a pruning hint only.
+    pub slack: f64,
+    /// Children: alternative continuations of the schedule.
+    pub children: Vec<KineticNode>,
+}
+
+impl KineticNode {
+    fn new(stop: Stop) -> Self {
+        KineticNode {
+            stop,
+            leg_dist: 0.0,
+            dist_tr: 0.0,
+            occupancy: 0,
+            slack: f64::INFINITY,
+            children: Vec::new(),
+        }
+    }
+
+    /// Number of nodes in the subtree rooted here (including this node).
+    pub fn size(&self) -> usize {
+        1 + self.children.iter().map(KineticNode::size).sum::<usize>()
+    }
+}
+
+/// Static context needed to evaluate schedule validity: where the vehicle
+/// is, how far it has driven, its capacity, who is on board and the
+/// constraints of its assigned requests.
+#[derive(Clone, Copy)]
+pub struct ScheduleContext<'a, D: Distances> {
+    /// Current vehicle location.
+    pub start: VertexId,
+    /// Total distance driven so far (metres).
+    pub odometer: f64,
+    /// Vehicle capacity (max riders on board at any time).
+    pub capacity: u32,
+    /// Riders currently on board.
+    pub initial_occupancy: u32,
+    /// The vehicle's unfinished assigned requests, keyed by id.
+    pub requests: &'a HashMap<RequestId, AssignedRequest>,
+    /// Distance backend.
+    pub dist: &'a D,
+}
+
+/// Result of evaluating a (candidate) schedule.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ScheduleEval {
+    /// Total trip distance of the schedule from the vehicle location.
+    pub total_dist: f64,
+    /// `dist_tr` of the new request's pickup stop, if the schedule contains one.
+    pub new_pickup_dist: Option<f64>,
+    /// On-board distance of the new request, if the schedule contains both stops.
+    pub new_onboard_dist: Option<f64>,
+}
+
+/// One feasible way of inserting a new request into the vehicle's schedules.
+#[derive(Clone, Debug, PartialEq)]
+pub struct InsertionCandidate {
+    /// The full new stop sequence (a valid trip schedule).
+    pub stops: Vec<Stop>,
+    /// Total trip distance of the new schedule.
+    pub total_dist: f64,
+    /// Trip distance from the vehicle's current location to the new pickup.
+    pub pickup_dist: f64,
+    /// On-board distance of the new request in this schedule.
+    pub onboard_dist: f64,
+}
+
+/// Validates a stop sequence against Definition 2 and returns its metrics,
+/// or `None` if any constraint is violated.
+///
+/// `new_req` supplies the service budget of a request that is being tried
+/// but not yet assigned; its stops are identified by `new_req.id`.
+pub fn validate_schedule<D: Distances>(
+    ctx: &ScheduleContext<'_, D>,
+    stops: &[Stop],
+    new_req: Option<&ProspectiveRequest>,
+) -> Option<ScheduleEval> {
+    let mut occupancy = ctx.initial_occupancy;
+    if occupancy > ctx.capacity {
+        return None;
+    }
+    let mut cum = 0.0;
+    let mut prev = ctx.start;
+    let mut pickup_cum: HashMap<RequestId, f64> = HashMap::new();
+    let mut new_pickup_dist = None;
+    let mut new_onboard_dist = None;
+
+    for stop in stops {
+        let leg = ctx.dist.distance(prev, stop.location);
+        if !leg.is_finite() {
+            return None;
+        }
+        cum += leg;
+        prev = stop.location;
+
+        let is_new = new_req.map(|r| r.id == stop.request).unwrap_or(false);
+        match stop.kind {
+            StopKind::Pickup => {
+                occupancy += stop.riders;
+                if occupancy > ctx.capacity {
+                    return None;
+                }
+                pickup_cum.insert(stop.request, cum);
+                if is_new {
+                    new_pickup_dist = Some(cum);
+                } else {
+                    let req = ctx.requests.get(&stop.request)?;
+                    // Waiting-time constraint (Def. 2, condition 3): the stop
+                    // must be reached before the absolute pickup deadline.
+                    if ctx.odometer + cum > req.pickup_deadline_odometer + DIST_EPS {
+                        return None;
+                    }
+                }
+            }
+            StopKind::Dropoff => {
+                occupancy = occupancy.saturating_sub(stop.riders);
+                let (max_onboard, already_travelled, needs_pickup_first) = if is_new {
+                    let r = new_req.expect("is_new implies new_req");
+                    (r.max_onboard_dist, 0.0, true)
+                } else {
+                    let req = ctx.requests.get(&stop.request)?;
+                    match req.progress {
+                        RequestProgress::Waiting => (req.max_onboard_dist, 0.0, true),
+                        RequestProgress::OnBoard { travelled } => {
+                            (req.max_onboard_dist, travelled, false)
+                        }
+                    }
+                };
+                let onboard = if needs_pickup_first {
+                    // Point-order constraint (Def. 2, condition 2).
+                    let p = *pickup_cum.get(&stop.request)?;
+                    cum - p
+                } else {
+                    already_travelled + cum
+                };
+                // Service constraint (Def. 2, condition 4).
+                if onboard > max_onboard + DIST_EPS {
+                    return None;
+                }
+                if is_new {
+                    new_onboard_dist = Some(onboard);
+                }
+            }
+        }
+    }
+
+    Some(ScheduleEval {
+        total_dist: cum,
+        new_pickup_dist,
+        new_onboard_dist,
+    })
+}
+
+/// The kinetic tree itself: a forest of [`KineticNode`]s rooted at the
+/// vehicle's current location.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct KineticTree {
+    roots: Vec<KineticNode>,
+}
+
+impl KineticTree {
+    /// Creates an empty tree (vehicle with no unfinished requests).
+    pub fn new() -> Self {
+        KineticTree { roots: Vec::new() }
+    }
+
+    /// `true` when the vehicle has no scheduled stops.
+    pub fn is_empty(&self) -> bool {
+        self.roots.is_empty()
+    }
+
+    /// Total number of nodes in the tree.
+    pub fn size(&self) -> usize {
+        self.roots.iter().map(KineticNode::size).sum()
+    }
+
+    /// The root nodes (alternative first stops).
+    pub fn roots(&self) -> &[KineticNode] {
+        &self.roots
+    }
+
+    /// All root-to-leaf stop sequences. An empty tree yields a single empty
+    /// branch (the vehicle simply stays where it is).
+    pub fn branches(&self) -> Vec<Vec<Stop>> {
+        if self.roots.is_empty() {
+            return vec![Vec::new()];
+        }
+        let mut out = Vec::new();
+        let mut prefix = Vec::new();
+        for root in &self.roots {
+            collect_branches(root, &mut prefix, &mut out);
+        }
+        out
+    }
+
+    /// All distinct stops present in the tree.
+    pub fn stops(&self) -> Vec<Stop> {
+        let mut seen = HashSet::new();
+        let mut out = Vec::new();
+        fn visit(node: &KineticNode, seen: &mut HashSet<Stop>, out: &mut Vec<Stop>) {
+            if seen.insert(node.stop) {
+                out.push(node.stop);
+            }
+            for c in &node.children {
+                visit(c, seen, out);
+            }
+        }
+        for r in &self.roots {
+            visit(r, &mut seen, &mut out);
+        }
+        out
+    }
+
+    /// The branch with the smallest total trip distance and that distance.
+    /// Returns `None` for an empty tree.
+    pub fn best_branch(&self) -> Option<(Vec<Stop>, f64)> {
+        let mut best: Option<(Vec<Stop>, f64)> = None;
+        let mut prefix = Vec::new();
+        for root in &self.roots {
+            best_branch_rec(root, &mut prefix, &mut best);
+        }
+        best
+    }
+
+    /// Total distance of the best (shortest) schedule; 0 for an empty tree.
+    ///
+    /// This is the `dist_tri` of the price model (Definition 3): the current
+    /// committed trip distance of the vehicle.
+    pub fn best_distance(&self) -> f64 {
+        self.best_branch().map(|(_, d)| d).unwrap_or(0.0)
+    }
+
+    /// First stop of the best schedule (the stop the vehicle is driving to).
+    pub fn next_stop(&self) -> Option<Stop> {
+        self.best_branch().and_then(|(stops, _)| stops.first().copied())
+    }
+
+    /// Conservative upper bound on extra distance insertable anywhere in the
+    /// tree (maximum over branches of the branch's binding slack). Infinite
+    /// for an empty tree.
+    pub fn insertion_slack_upper_bound(&self) -> f64 {
+        if self.roots.is_empty() {
+            return f64::INFINITY;
+        }
+        self.roots
+            .iter()
+            .map(|r| r.slack)
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Enumerates every feasible insertion of `new_req` into every branch.
+    ///
+    /// Candidates are deduplicated by their stop sequence. The naive matcher
+    /// of Huang et al. corresponds to calling this for every vehicle.
+    pub fn insertion_candidates<D: Distances>(
+        &self,
+        ctx: &ScheduleContext<'_, D>,
+        new_req: &ProspectiveRequest,
+    ) -> Vec<InsertionCandidate> {
+        let pickup = Stop::pickup(new_req.id, new_req.pickup, new_req.riders);
+        let dropoff = Stop::dropoff(new_req.id, new_req.dropoff, new_req.riders);
+        let mut seen: HashSet<Vec<Stop>> = HashSet::new();
+        let mut out = Vec::new();
+        for branch in self.branches() {
+            let len = branch.len();
+            for i in 0..=len {
+                for j in i..=len {
+                    let mut cand = Vec::with_capacity(len + 2);
+                    cand.extend_from_slice(&branch[..i]);
+                    cand.push(pickup);
+                    cand.extend_from_slice(&branch[i..j]);
+                    cand.push(dropoff);
+                    cand.extend_from_slice(&branch[j..]);
+                    if !seen.insert(cand.clone()) {
+                        continue;
+                    }
+                    if let Some(eval) = validate_schedule(ctx, &cand, Some(new_req)) {
+                        out.push(InsertionCandidate {
+                            stops: cand,
+                            total_dist: eval.total_dist,
+                            pickup_dist: eval
+                                .new_pickup_dist
+                                .expect("candidate contains the new pickup"),
+                            onboard_dist: eval
+                                .new_onboard_dist
+                                .expect("candidate contains the new drop-off"),
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Rebuilds the tree so that it contains exactly the valid schedules that
+    /// serve the (now assigned) new request, i.e. the schedules produced by
+    /// [`Self::insertion_candidates`]. Returns the number of branches kept.
+    ///
+    /// The caller must have added the request to `ctx.requests` *before*
+    /// calling this (the tree re-validates branches against the assigned
+    /// request's final constraints, including its pickup deadline).
+    pub fn commit_insertion<D: Distances>(
+        &mut self,
+        ctx: &ScheduleContext<'_, D>,
+        candidates: Vec<Vec<Stop>>,
+    ) -> usize {
+        let mut valid: Vec<(f64, Vec<Stop>)> = candidates
+            .into_iter()
+            .filter(|stops| is_complete(stops, ctx.requests))
+            .filter_map(|stops| {
+                validate_schedule(ctx, &stops, None).map(|eval| (eval.total_dist, stops))
+            })
+            .collect();
+        // Keep only the shortest MAX_SCHEDULES schedules (deterministic:
+        // ties broken by the stop sequence itself).
+        valid.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .unwrap()
+                .then_with(|| a.1.cmp(&b.1))
+        });
+        valid.truncate(MAX_SCHEDULES);
+        let count = valid.len();
+        self.roots = build_forest(valid.into_iter().map(|(_, stops)| stops).collect());
+        self.annotate(ctx);
+        count
+    }
+
+    /// Recomputes `leg_dist`, `dist_tr`, `occupancy` and `slack` for the whole
+    /// tree from the current context, and prunes *branches* (whole schedules)
+    /// that became invalid — e.g. after the vehicle moved and a waiting-time
+    /// deadline can no longer be met on that schedule.
+    ///
+    /// If *every* branch has become invalid (which can only happen when the
+    /// physical world made the constraints unsatisfiable — e.g. the vehicle
+    /// was forced to drive extra distance), the complete branches are kept
+    /// anyway: the vehicle must still deliver its committed riders, merely
+    /// late / over budget, instead of being left without any schedule.
+    pub fn recompute<D: Distances>(&mut self, ctx: &ScheduleContext<'_, D>) {
+        let branches = self.branches();
+        let complete: Vec<Vec<Stop>> = branches
+            .into_iter()
+            .filter(|b| is_complete(b, ctx.requests))
+            .collect();
+        let valid: Vec<Vec<Stop>> = complete
+            .iter()
+            .filter(|b| validate_schedule(ctx, b, None).is_some())
+            .cloned()
+            .collect();
+        let kept = if valid.is_empty() { complete } else { valid };
+        self.roots = build_forest(kept);
+        self.annotate(ctx);
+    }
+
+    /// Recomputes the per-node annotations (`leg_dist`, `dist_tr`,
+    /// `occupancy`, `slack`) without changing the tree structure.
+    fn annotate<D: Distances>(&mut self, ctx: &ScheduleContext<'_, D>) {
+        for root in &mut self.roots {
+            annotate_node(root, ctx.start, 0.0, ctx.initial_occupancy, ctx);
+        }
+    }
+
+    /// Renders the tree in Graphviz DOT format.
+    ///
+    /// The demo's website interface draws every valid trip schedule of a
+    /// selected taxi on the map (each branch of the kinetic tree is one red
+    /// line); this export provides the same information for offline
+    /// inspection: one node per kinetic-tree node labelled with the stop,
+    /// its `dist_tr` and the residual occupancy, and one edge per parent →
+    /// child link labelled with the leg distance.
+    pub fn to_dot(&self, title: &str) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph kinetic_tree {{");
+        let _ = writeln!(out, "  label=\"{title}\";");
+        let _ = writeln!(out, "  node [shape=box, fontsize=10];");
+        let _ = writeln!(out, "  root [label=\"current location\", shape=ellipse];");
+        let mut counter = 0usize;
+        fn emit(
+            node: &KineticNode,
+            parent: &str,
+            counter: &mut usize,
+            out: &mut String,
+        ) {
+            use std::fmt::Write as _;
+            let id = format!("n{}", *counter);
+            *counter += 1;
+            let kind = match node.stop.kind {
+                StopKind::Pickup => "pickup",
+                StopKind::Dropoff => "dropoff",
+            };
+            let _ = writeln!(
+                out,
+                "  {id} [label=\"{} {} @ {}\\ndist_tr={:.0} onboard={}\"];",
+                kind, node.stop.request, node.stop.location, node.dist_tr, node.occupancy
+            );
+            let _ = writeln!(out, "  {parent} -> {id} [label=\"{:.0}\"];", node.leg_dist);
+            for child in &node.children {
+                emit(child, &id, counter, out);
+            }
+        }
+        for root in &self.roots {
+            emit(root, "root", &mut counter, &mut out);
+        }
+        let _ = writeln!(out, "}}");
+        out
+    }
+
+    /// Advances the tree after the vehicle has served `stop`: branches whose
+    /// first stop is `stop` are kept (their children become the new roots);
+    /// other branches are discarded because the vehicle has committed to this
+    /// stop. Returns `true` if the stop was found at the root level; when the
+    /// stop is not a current root the tree is left untouched.
+    pub fn advance_to_stop(&mut self, stop: &Stop) -> bool {
+        if !self.roots.iter().any(|r| r.stop == *stop) {
+            return false;
+        }
+        let mut new_roots = Vec::new();
+        for root in self.roots.drain(..) {
+            if root.stop == *stop {
+                new_roots.extend(root.children);
+            }
+        }
+        // Deduplicate identical subtrees by first stop merging: two kept
+        // branches may now share their first stop.
+        self.roots = merge_roots(new_roots);
+        true
+    }
+}
+
+fn collect_branches(node: &KineticNode, prefix: &mut Vec<Stop>, out: &mut Vec<Vec<Stop>>) {
+    prefix.push(node.stop);
+    if node.children.is_empty() {
+        out.push(prefix.clone());
+    } else {
+        for c in &node.children {
+            collect_branches(c, prefix, out);
+        }
+    }
+    prefix.pop();
+}
+
+fn best_branch_rec(
+    node: &KineticNode,
+    prefix: &mut Vec<Stop>,
+    best: &mut Option<(Vec<Stop>, f64)>,
+) {
+    prefix.push(node.stop);
+    if node.children.is_empty() {
+        let better = match best {
+            Some((_, d)) => node.dist_tr < *d,
+            None => true,
+        };
+        if better {
+            *best = Some((prefix.clone(), node.dist_tr));
+        }
+    } else {
+        for c in &node.children {
+            best_branch_rec(c, prefix, best);
+        }
+    }
+    prefix.pop();
+}
+
+/// Merges a list of stop sequences into a forest sharing common prefixes.
+fn build_forest(branches: Vec<Vec<Stop>>) -> Vec<KineticNode> {
+    let mut roots: Vec<KineticNode> = Vec::new();
+    for branch in branches {
+        insert_branch(&mut roots, &branch);
+    }
+    roots
+}
+
+fn insert_branch(level: &mut Vec<KineticNode>, stops: &[Stop]) {
+    let Some((first, rest)) = stops.split_first() else {
+        return;
+    };
+    if let Some(existing) = level.iter_mut().find(|n| n.stop == *first) {
+        insert_branch(&mut existing.children, rest);
+    } else {
+        let mut node = KineticNode::new(*first);
+        insert_branch(&mut node.children, rest);
+        level.push(node);
+    }
+}
+
+/// Merges root nodes that share the same stop (used after advancing).
+fn merge_roots(roots: Vec<KineticNode>) -> Vec<KineticNode> {
+    let mut merged: Vec<KineticNode> = Vec::new();
+    for root in roots {
+        if let Some(existing) = merged.iter_mut().find(|n| n.stop == root.stop) {
+            for child in root.children {
+                merge_child(existing, child);
+            }
+        } else {
+            merged.push(root);
+        }
+    }
+    merged
+}
+
+fn merge_child(parent: &mut KineticNode, child: KineticNode) {
+    if let Some(existing) = parent.children.iter_mut().find(|n| n.stop == child.stop) {
+        for grand in child.children {
+            merge_child(existing, grand);
+        }
+    } else {
+        parent.children.push(child);
+    }
+}
+
+/// `true` when the stop sequence contains exactly the stops every assigned
+/// request still needs (pickup + drop-off for waiting requests, drop-off only
+/// for on-board requests), each exactly once, and nothing else.
+fn is_complete(stops: &[Stop], requests: &HashMap<RequestId, AssignedRequest>) -> bool {
+    let mut required: HashSet<(RequestId, StopKind)> = HashSet::new();
+    for (id, req) in requests {
+        required.insert((*id, StopKind::Dropoff));
+        if req.is_waiting() {
+            required.insert((*id, StopKind::Pickup));
+        }
+    }
+    let mut seen: HashSet<(RequestId, StopKind)> = HashSet::new();
+    for s in stops {
+        if !required.contains(&(s.request, s.kind)) {
+            return false;
+        }
+        if !seen.insert((s.request, s.kind)) {
+            return false;
+        }
+    }
+    seen.len() == required.len()
+}
+
+/// Recomputes the annotations of a subtree (distances, occupancy, slack).
+fn annotate_node<D: Distances>(
+    node: &mut KineticNode,
+    prev: VertexId,
+    cum: f64,
+    occupancy: u32,
+    ctx: &ScheduleContext<'_, D>,
+) {
+    let leg = ctx.dist.distance(prev, node.stop.location);
+    node.leg_dist = leg;
+    node.dist_tr = cum + leg;
+
+    let mut slack_here = f64::INFINITY;
+    match node.stop.kind {
+        StopKind::Pickup => {
+            node.occupancy = occupancy + node.stop.riders;
+            if let Some(req) = ctx.requests.get(&node.stop.request) {
+                let allowance = req.pickup_deadline_odometer - ctx.odometer - node.dist_tr;
+                slack_here = allowance.max(0.0);
+            }
+        }
+        StopKind::Dropoff => {
+            node.occupancy = occupancy.saturating_sub(node.stop.riders);
+            if let Some(req) = ctx.requests.get(&node.stop.request) {
+                if let RequestProgress::OnBoard { travelled } = req.progress {
+                    let allowance = req.max_onboard_dist - travelled - node.dist_tr;
+                    slack_here = allowance.max(0.0);
+                }
+                // For waiting requests the pair-wise on-board constraint is
+                // enforced branch-wise by validate_schedule; driving shifts
+                // both stops together, so it contributes no slack term here.
+            }
+        }
+    }
+
+    for child in &mut node.children {
+        annotate_node(child, node.stop.location, node.dist_tr, node.occupancy, ctx);
+    }
+
+    let child_slack = node
+        .children
+        .iter()
+        .map(|c| c.slack)
+        .fold(f64::NEG_INFINITY, f64::max);
+    node.slack = if node.children.is_empty() {
+        slack_here
+    } else {
+        slack_here.min(child_slack)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distances::FnDistances;
+    use crate::request::{AssignedRequest, RequestProgress};
+
+    /// Distances on a line: vertex i sits at coordinate i * 100 m.
+    fn line_dist() -> FnDistances<impl Fn(VertexId, VertexId) -> f64> {
+        FnDistances(|u: VertexId, v: VertexId| (u.0 as f64 - v.0 as f64).abs() * 100.0)
+    }
+
+    fn assigned(
+        id: u64,
+        pickup: u32,
+        dropoff: u32,
+        riders: u32,
+        progress: RequestProgress,
+        deadline: f64,
+        max_onboard: f64,
+    ) -> AssignedRequest {
+        AssignedRequest {
+            id: RequestId(id),
+            riders,
+            pickup: VertexId(pickup),
+            dropoff: VertexId(dropoff),
+            direct_dist: (pickup as f64 - dropoff as f64).abs() * 100.0,
+            max_onboard_dist: max_onboard,
+            pickup_deadline_odometer: deadline,
+            assigned_at_odometer: 0.0,
+            assigned_at_time: 0.0,
+            planned_pickup_dist: 0.0,
+            price: 0.0,
+            progress,
+        }
+    }
+
+    fn ctx<'a, D: Distances>(
+        dist: &'a D,
+        requests: &'a HashMap<RequestId, AssignedRequest>,
+        start: u32,
+        occupancy: u32,
+    ) -> ScheduleContext<'a, D> {
+        ScheduleContext {
+            start: VertexId(start),
+            odometer: 0.0,
+            capacity: 3,
+            initial_occupancy: occupancy,
+            requests,
+            dist,
+        }
+    }
+
+    #[test]
+    fn empty_tree_has_one_empty_branch() {
+        let tree = KineticTree::new();
+        assert!(tree.is_empty());
+        assert_eq!(tree.branches(), vec![Vec::<Stop>::new()]);
+        assert_eq!(tree.best_distance(), 0.0);
+        assert!(tree.next_stop().is_none());
+        assert_eq!(tree.insertion_slack_upper_bound(), f64::INFINITY);
+    }
+
+    #[test]
+    fn insertion_into_empty_tree_yields_single_candidate() {
+        let dist = line_dist();
+        let requests = HashMap::new();
+        let c = ctx(&dist, &requests, 0, 0);
+        let tree = KineticTree::new();
+        // Request from v2 to v5, direct dist 300, detour 0.2 -> budget 360.
+        let req = ProspectiveRequest::new(RequestId(1), VertexId(2), VertexId(5), 1, 300.0, 0.2);
+        let cands = tree.insertion_candidates(&c, &req);
+        assert_eq!(cands.len(), 1);
+        let cand = &cands[0];
+        assert_eq!(cand.pickup_dist, 200.0);
+        assert_eq!(cand.total_dist, 500.0);
+        assert_eq!(cand.onboard_dist, 300.0);
+        assert_eq!(cand.stops.len(), 2);
+        assert!(cand.stops[0].is_pickup());
+    }
+
+    #[test]
+    fn capacity_constraint_rejects_overfull_insertion() {
+        let dist = line_dist();
+        let requests = HashMap::new();
+        let c = ScheduleContext {
+            capacity: 2,
+            ..ctx(&dist, &requests, 0, 0)
+        };
+        let tree = KineticTree::new();
+        let req = ProspectiveRequest::new(RequestId(1), VertexId(2), VertexId(5), 3, 300.0, 0.2);
+        assert!(tree.insertion_candidates(&c, &req).is_empty());
+    }
+
+    #[test]
+    fn commit_and_reinsert_share_prefixes() {
+        let dist = line_dist();
+        let mut requests = HashMap::new();
+        let c = ctx(&dist, &requests, 0, 0);
+        let mut tree = KineticTree::new();
+        let r1 = ProspectiveRequest::new(RequestId(1), VertexId(2), VertexId(8), 1, 600.0, 0.5);
+        let cands = tree.insertion_candidates(&c, &r1);
+        assert_eq!(cands.len(), 1);
+        // Assign r1 with a generous deadline, then commit.
+        requests.insert(
+            RequestId(1),
+            assigned(1, 2, 8, 1, RequestProgress::Waiting, 1e9, 900.0),
+        );
+        let c = ctx(&dist, &requests, 0, 0);
+        let kept = tree.commit_insertion(&c, cands.into_iter().map(|x| x.stops).collect());
+        assert_eq!(kept, 1);
+        assert_eq!(tree.size(), 2);
+        assert_eq!(tree.best_distance(), 800.0);
+
+        // Now a second request from v4 to v6 (inside the first trip).
+        let r2 = ProspectiveRequest::new(RequestId(2), VertexId(4), VertexId(6), 1, 200.0, 1.0);
+        let cands = tree.insertion_candidates(&c, &r2);
+        // Several orderings are possible; all must respect point order.
+        assert!(!cands.is_empty());
+        for cand in &cands {
+            let p = cand
+                .stops
+                .iter()
+                .position(|s| s.request == RequestId(2) && s.is_pickup())
+                .unwrap();
+            let d = cand
+                .stops
+                .iter()
+                .position(|s| s.request == RequestId(2) && !s.is_pickup())
+                .unwrap();
+            assert!(p < d);
+        }
+        // The cheapest insertion tucks the new trip inside the existing one
+        // with zero extra distance (2 -> 4 -> 6 -> 8 on a line).
+        let best = cands
+            .iter()
+            .map(|c| c.total_dist)
+            .fold(f64::INFINITY, f64::min);
+        assert_eq!(best, 800.0);
+    }
+
+    #[test]
+    fn service_constraint_prunes_large_detours() {
+        let dist = line_dist();
+        let mut requests = HashMap::new();
+        requests.insert(
+            RequestId(1),
+            // On board, already travelled 0, budget exactly the remaining
+            // direct distance: no detour allowed at all.
+            assigned(1, 0, 10, 1, RequestProgress::OnBoard { travelled: 0.0 }, 1e9, 1000.0),
+        );
+        let c = ctx(&dist, &requests, 0, 1);
+        let mut tree = KineticTree::new();
+        tree.commit_insertion(
+            &c,
+            vec![vec![Stop::dropoff(RequestId(1), VertexId(10), 1)]],
+        );
+        assert_eq!(tree.size(), 1);
+
+        // A request that would require driving backwards first: violates the
+        // on-board budget of request 1 in every insertion except "after the
+        // existing drop-off"; that one violates the new rider's own budget
+        // here? No: picking up at v12 after dropping at v10 is fine for
+        // request 1 and fine for the new rider (their trip starts afterwards).
+        let req = ProspectiveRequest::new(RequestId(2), VertexId(12), VertexId(14), 1, 200.0, 0.0);
+        let cands = tree.insertion_candidates(&c, &req);
+        assert_eq!(cands.len(), 1);
+        assert_eq!(cands[0].stops[0].request, RequestId(1));
+        assert_eq!(cands[0].pickup_dist, 1200.0);
+
+        // A request in the opposite direction cannot be served at all without
+        // violating someone's constraint when the detour budget is zero.
+        let req = ProspectiveRequest::new(RequestId(3), VertexId(5), VertexId(1), 1, 400.0, 0.0);
+        let impossible: Vec<_> = cands
+            .iter()
+            .filter(|c| c.stops.iter().any(|s| s.request == RequestId(3)))
+            .collect();
+        assert!(impossible.is_empty());
+        let cands3 = tree.insertion_candidates(&c, &req);
+        // Only insertions after the existing drop-off remain, but they force
+        // the new rider to ride from v5 to v1 directly (valid, zero detour for
+        // request 1).
+        for cand in &cands3 {
+            assert_eq!(cand.stops[0].request, RequestId(1));
+            assert!((cand.onboard_dist - 400.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn waiting_deadline_is_enforced() {
+        let dist = line_dist();
+        let mut requests = HashMap::new();
+        // Waiting rider at v10 with a tight pickup deadline of 1100 m of driving.
+        requests.insert(
+            RequestId(1),
+            assigned(1, 10, 12, 1, RequestProgress::Waiting, 1100.0, 300.0),
+        );
+        let c = ctx(&dist, &requests, 0, 0);
+        let mut tree = KineticTree::new();
+        tree.commit_insertion(
+            &c,
+            vec![vec![
+                Stop::pickup(RequestId(1), VertexId(10), 1),
+                Stop::dropoff(RequestId(1), VertexId(12), 1),
+            ]],
+        );
+        assert_eq!(tree.size(), 2);
+
+        // Inserting a trip that requires driving 2 vertices away first would
+        // push the pickup of request 1 past its deadline, so the only valid
+        // insertions keep request 1's pickup early.
+        let req = ProspectiveRequest::new(RequestId(2), VertexId(2), VertexId(4), 1, 200.0, 3.0);
+        let cands = tree.insertion_candidates(&c, &req);
+        assert!(!cands.is_empty());
+        for cand in &cands {
+            let eval = validate_schedule(&c, &cand.stops, Some(&req)).unwrap();
+            assert!(eval.total_dist.is_finite());
+            // Request 1's pickup must still be reached within 1100 m.
+            let mut cum = 0.0;
+            let mut prev = VertexId(0);
+            for s in &cand.stops {
+                cum += dist.distance(prev, s.location);
+                prev = s.location;
+                if s.request == RequestId(1) && s.is_pickup() {
+                    assert!(cum <= 1100.0 + DIST_EPS);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn advance_to_stop_promotes_children_and_discards_others() {
+        let dist = line_dist();
+        let mut requests = HashMap::new();
+        requests.insert(
+            RequestId(1),
+            assigned(1, 2, 6, 1, RequestProgress::Waiting, 1e9, 600.0),
+        );
+        requests.insert(
+            RequestId(2),
+            assigned(2, 3, 5, 1, RequestProgress::Waiting, 1e9, 400.0),
+        );
+        let c = ctx(&dist, &requests, 0, 0);
+        let mut tree = KineticTree::new();
+        let p1 = Stop::pickup(RequestId(1), VertexId(2), 1);
+        let d1 = Stop::dropoff(RequestId(1), VertexId(6), 1);
+        let p2 = Stop::pickup(RequestId(2), VertexId(3), 1);
+        let d2 = Stop::dropoff(RequestId(2), VertexId(5), 1);
+        tree.commit_insertion(
+            &c,
+            vec![
+                vec![p1, p2, d2, d1],
+                vec![p1, p2, d1, d2],
+                vec![p2, p1, d2, d1],
+            ],
+        );
+        assert!(tree.size() >= 4);
+        let next = tree.next_stop().unwrap();
+        // Best branch starts with p1 (closest first stop, 200 vs 300).
+        assert_eq!(next, p1);
+        assert!(tree.advance_to_stop(&p1));
+        // Branches starting with p2 were discarded; remaining branches all
+        // start with p2 now (the second stop of the kept branches).
+        for b in tree.branches() {
+            assert_eq!(b[0], p2);
+        }
+        assert!(!tree.advance_to_stop(&Stop::pickup(RequestId(9), VertexId(0), 1)));
+    }
+
+    #[test]
+    fn recompute_prunes_branches_violating_deadlines_after_movement() {
+        let dist = line_dist();
+        let mut requests = HashMap::new();
+        // Vehicle starts at v5. Rider 1 waits at v4 (deadline 1000 m of
+        // odometer), rider 2 waits at v6 (tighter deadline 900 m).
+        requests.insert(
+            RequestId(1),
+            assigned(1, 4, 0, 1, RequestProgress::Waiting, 1000.0, 2000.0),
+        );
+        requests.insert(
+            RequestId(2),
+            assigned(2, 6, 10, 1, RequestProgress::Waiting, 900.0, 2000.0),
+        );
+        let mut c = ctx(&dist, &requests, 5, 0);
+        let mut tree = KineticTree::new();
+        let p1 = Stop::pickup(RequestId(1), VertexId(4), 1);
+        let d1 = Stop::dropoff(RequestId(1), VertexId(0), 1);
+        let p2 = Stop::pickup(RequestId(2), VertexId(6), 1);
+        let d2 = Stop::dropoff(RequestId(2), VertexId(10), 1);
+        tree.commit_insertion(&c, vec![vec![p1, p2, d2, d1], vec![p2, p1, d1, d2]]);
+        // Both orders are valid while the odometer is 0 (each pickup is
+        // reached after at most 300 m).
+        assert_eq!(tree.branches().len(), 2);
+
+        // After the vehicle has driven 700 m in total, picking rider 1 up
+        // first would push rider 2's pickup past its 900 m deadline
+        // (700 + 300 > 900), so only the "rider 2 first" branch survives.
+        c.odometer = 700.0;
+        tree.recompute(&c);
+        let branches = tree.branches();
+        assert_eq!(branches.len(), 1);
+        assert_eq!(branches[0][0], p2);
+    }
+
+    #[test]
+    fn slack_reflects_tightest_constraint() {
+        let dist = line_dist();
+        let mut requests = HashMap::new();
+        requests.insert(
+            RequestId(1),
+            assigned(1, 4, 6, 1, RequestProgress::Waiting, 700.0, 600.0),
+        );
+        let c = ctx(&dist, &requests, 0, 0);
+        let mut tree = KineticTree::new();
+        let p1 = Stop::pickup(RequestId(1), VertexId(4), 1);
+        let d1 = Stop::dropoff(RequestId(1), VertexId(6), 1);
+        tree.commit_insertion(&c, vec![vec![p1, d1]]);
+        // Pickup at dist_tr 400, deadline 700 -> slack 300.
+        assert!((tree.insertion_slack_upper_bound() - 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validate_schedule_rejects_dropoff_before_pickup() {
+        let dist = line_dist();
+        let requests = HashMap::new();
+        let c = ctx(&dist, &requests, 0, 0);
+        let req = ProspectiveRequest::new(RequestId(1), VertexId(2), VertexId(5), 1, 300.0, 0.5);
+        let bad = vec![
+            Stop::dropoff(RequestId(1), VertexId(5), 1),
+            Stop::pickup(RequestId(1), VertexId(2), 1),
+        ];
+        assert!(validate_schedule(&c, &bad, Some(&req)).is_none());
+    }
+
+    #[test]
+    fn validate_schedule_rejects_unknown_request() {
+        let dist = line_dist();
+        let requests = HashMap::new();
+        let c = ctx(&dist, &requests, 0, 0);
+        let seq = vec![Stop::pickup(RequestId(42), VertexId(2), 1)];
+        assert!(validate_schedule(&c, &seq, None).is_none());
+    }
+
+    #[test]
+    fn dot_export_lists_every_node_and_edge() {
+        let dist = line_dist();
+        let mut requests = HashMap::new();
+        requests.insert(
+            RequestId(1),
+            assigned(1, 2, 6, 1, RequestProgress::Waiting, 1e9, 600.0),
+        );
+        requests.insert(
+            RequestId(2),
+            assigned(2, 3, 5, 1, RequestProgress::Waiting, 1e9, 400.0),
+        );
+        let c = ctx(&dist, &requests, 0, 0);
+        let mut tree = KineticTree::new();
+        let p1 = Stop::pickup(RequestId(1), VertexId(2), 1);
+        let d1 = Stop::dropoff(RequestId(1), VertexId(6), 1);
+        let p2 = Stop::pickup(RequestId(2), VertexId(3), 1);
+        let d2 = Stop::dropoff(RequestId(2), VertexId(5), 1);
+        tree.commit_insertion(&c, vec![vec![p1, p2, d2, d1], vec![p1, p2, d1, d2]]);
+        let dot = tree.to_dot("vehicle c1");
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("vehicle c1"));
+        assert!(dot.contains("pickup R1 @ v2"));
+        assert!(dot.contains("dropoff R2 @ v5"));
+        // One DOT node line per kinetic-tree node plus the root.
+        let node_lines = dot.lines().filter(|l| l.contains("[label=\"") && l.contains("dist_tr")).count();
+        assert_eq!(node_lines, tree.size());
+        // Empty tree renders a valid (root-only) graph.
+        assert!(KineticTree::new().to_dot("empty").contains("current location"));
+    }
+
+    #[test]
+    fn stops_lists_each_stop_once() {
+        let dist = line_dist();
+        let mut requests = HashMap::new();
+        requests.insert(
+            RequestId(1),
+            assigned(1, 2, 6, 1, RequestProgress::Waiting, 1e9, 600.0),
+        );
+        requests.insert(
+            RequestId(2),
+            assigned(2, 3, 5, 1, RequestProgress::Waiting, 1e9, 400.0),
+        );
+        let c = ctx(&dist, &requests, 0, 0);
+        let mut tree = KineticTree::new();
+        let p1 = Stop::pickup(RequestId(1), VertexId(2), 1);
+        let d1 = Stop::dropoff(RequestId(1), VertexId(6), 1);
+        let p2 = Stop::pickup(RequestId(2), VertexId(3), 1);
+        let d2 = Stop::dropoff(RequestId(2), VertexId(5), 1);
+        tree.commit_insertion(&c, vec![vec![p1, p2, d2, d1], vec![p1, p2, d1, d2]]);
+        let stops = tree.stops();
+        assert_eq!(stops.len(), 4);
+    }
+}

@@ -1,0 +1,168 @@
+//! Request bookkeeping from the vehicle's point of view.
+//!
+//! A [`ProspectiveRequest`] is the information a matcher needs to *try*
+//! inserting a request into a vehicle's kinetic tree; an
+//! [`AssignedRequest`] is the state a vehicle keeps for every unfinished
+//! request it has accepted (Definition 2's constraints are expressed here
+//! as absolute odometer deadlines and on-board distance budgets).
+
+use crate::types::RequestId;
+use ptrider_roadnet::VertexId;
+use serde::{Deserialize, Serialize};
+
+/// A request as seen by a vehicle while matching (not yet accepted).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ProspectiveRequest {
+    /// Request identifier.
+    pub id: RequestId,
+    /// Start (pickup) vertex `s`.
+    pub pickup: VertexId,
+    /// Destination (drop-off) vertex `d`.
+    pub dropoff: VertexId,
+    /// Number of riders `n`.
+    pub riders: u32,
+    /// Exact shortest-path distance `dist(s, d)` in metres.
+    pub direct_dist: f64,
+    /// Maximum on-board distance `(1 + δ) · dist(s, d)` (service constraint).
+    pub max_onboard_dist: f64,
+}
+
+impl ProspectiveRequest {
+    /// Builds a prospective request from its components, deriving the
+    /// service-constraint budget from the detour factor `δ`.
+    pub fn new(
+        id: RequestId,
+        pickup: VertexId,
+        dropoff: VertexId,
+        riders: u32,
+        direct_dist: f64,
+        detour_factor: f64,
+    ) -> Self {
+        ProspectiveRequest {
+            id,
+            pickup,
+            dropoff,
+            riders,
+            direct_dist,
+            max_onboard_dist: (1.0 + detour_factor) * direct_dist,
+        }
+    }
+}
+
+/// Progress of an assigned request.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum RequestProgress {
+    /// Riders are waiting at the pickup location.
+    Waiting,
+    /// Riders are on board; the field records the distance already travelled
+    /// since pickup (counts against the service-constraint budget).
+    OnBoard {
+        /// Metres driven since the riders boarded.
+        travelled: f64,
+    },
+}
+
+/// A request a vehicle has accepted and not yet completed.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AssignedRequest {
+    /// Request identifier.
+    pub id: RequestId,
+    /// Number of riders.
+    pub riders: u32,
+    /// Pickup vertex `s`.
+    pub pickup: VertexId,
+    /// Drop-off vertex `d`.
+    pub dropoff: VertexId,
+    /// Exact `dist(s, d)` at assignment time.
+    pub direct_dist: f64,
+    /// Service-constraint budget `(1 + δ) · dist(s, d)`.
+    pub max_onboard_dist: f64,
+    /// Absolute odometer value by which the pickup must happen
+    /// (planned pickup odometer + `w` converted to metres). Infinite when no
+    /// waiting-time constraint applies.
+    pub pickup_deadline_odometer: f64,
+    /// Odometer value at which the request was assigned (for statistics).
+    pub assigned_at_odometer: f64,
+    /// Timestamp (seconds since simulation start) of the assignment.
+    pub assigned_at_time: f64,
+    /// Planned pickup distance from the vehicle location at assignment time
+    /// (the `dist_pt` of the option the rider chose).
+    pub planned_pickup_dist: f64,
+    /// Agreed price for the trip.
+    pub price: f64,
+    /// Current progress.
+    pub progress: RequestProgress,
+}
+
+impl AssignedRequest {
+    /// `true` until the riders have boarded.
+    pub fn is_waiting(&self) -> bool {
+        matches!(self.progress, RequestProgress::Waiting)
+    }
+
+    /// Metres already travelled with the riders on board (0 while waiting).
+    pub fn travelled_onboard(&self) -> f64 {
+        match self.progress {
+            RequestProgress::Waiting => 0.0,
+            RequestProgress::OnBoard { travelled } => travelled,
+        }
+    }
+
+    /// Remaining on-board distance budget.
+    pub fn remaining_onboard_budget(&self) -> f64 {
+        self.max_onboard_dist - self.travelled_onboard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prospective_request_derives_budget() {
+        let r = ProspectiveRequest::new(
+            RequestId(1),
+            VertexId(2),
+            VertexId(9),
+            2,
+            1000.0,
+            0.2,
+        );
+        assert!((r.max_onboard_dist - 1200.0).abs() < 1e-9);
+        assert_eq!(r.riders, 2);
+    }
+
+    fn assigned() -> AssignedRequest {
+        AssignedRequest {
+            id: RequestId(7),
+            riders: 1,
+            pickup: VertexId(0),
+            dropoff: VertexId(1),
+            direct_dist: 500.0,
+            max_onboard_dist: 600.0,
+            pickup_deadline_odometer: 1000.0,
+            assigned_at_odometer: 0.0,
+            assigned_at_time: 0.0,
+            planned_pickup_dist: 100.0,
+            price: 3.0,
+            progress: RequestProgress::Waiting,
+        }
+    }
+
+    #[test]
+    fn waiting_request_has_zero_onboard() {
+        let r = assigned();
+        assert!(r.is_waiting());
+        assert_eq!(r.travelled_onboard(), 0.0);
+        assert_eq!(r.remaining_onboard_budget(), 600.0);
+    }
+
+    #[test]
+    fn onboard_request_tracks_budget() {
+        let mut r = assigned();
+        r.progress = RequestProgress::OnBoard { travelled: 150.0 };
+        assert!(!r.is_waiting());
+        assert_eq!(r.travelled_onboard(), 150.0);
+        assert_eq!(r.remaining_onboard_budget(), 450.0);
+    }
+}

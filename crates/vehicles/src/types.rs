@@ -1,0 +1,118 @@
+//! Identifier types and schedule stops.
+
+use ptrider_roadnet::VertexId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a vehicle (taxi).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VehicleId(pub u32);
+
+impl VehicleId {
+    /// Returns the id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for VehicleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+impl fmt::Display for VehicleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// Identifier of a ridesharing request.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RequestId(pub u64);
+
+impl fmt::Debug for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}", self.0)
+    }
+}
+
+impl fmt::Display for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}", self.0)
+    }
+}
+
+/// Whether a schedule stop picks riders up or drops them off.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum StopKind {
+    /// The vehicle picks up the riders of the request at this stop.
+    Pickup,
+    /// The vehicle drops off the riders of the request at this stop.
+    Dropoff,
+}
+
+/// One stop of a vehicle trip schedule (a vertex plus its role).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Stop {
+    /// The request this stop belongs to.
+    pub request: RequestId,
+    /// The road-network vertex of the stop.
+    pub location: VertexId,
+    /// Pickup or drop-off.
+    pub kind: StopKind,
+    /// Number of riders boarding (pickup) or alighting (drop-off).
+    pub riders: u32,
+}
+
+impl Stop {
+    /// Creates a pickup stop.
+    pub fn pickup(request: RequestId, location: VertexId, riders: u32) -> Self {
+        Stop {
+            request,
+            location,
+            kind: StopKind::Pickup,
+            riders,
+        }
+    }
+
+    /// Creates a drop-off stop.
+    pub fn dropoff(request: RequestId, location: VertexId, riders: u32) -> Self {
+        Stop {
+            request,
+            location,
+            kind: StopKind::Dropoff,
+            riders,
+        }
+    }
+
+    /// `true` for pickup stops.
+    #[inline]
+    pub fn is_pickup(&self) -> bool {
+        self.kind == StopKind::Pickup
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stop_constructors() {
+        let p = Stop::pickup(RequestId(1), VertexId(5), 2);
+        assert!(p.is_pickup());
+        assert_eq!(p.riders, 2);
+        let d = Stop::dropoff(RequestId(1), VertexId(9), 2);
+        assert!(!d.is_pickup());
+        assert_eq!(d.location, VertexId(9));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", VehicleId(3)), "c3");
+        assert_eq!(format!("{}", RequestId(12)), "R12");
+        assert_eq!(format!("{:?}", VehicleId(3)), "c3");
+        assert_eq!(format!("{:?}", RequestId(12)), "R12");
+    }
+}

@@ -1,0 +1,188 @@
+//! Property tests for the kinetic tree: whatever sequence of request
+//! insertions is committed, every branch of the tree remains a *valid trip
+//! schedule* in the sense of Definition 2 — capacity, point order,
+//! waiting-time deadlines and service budgets all hold — and the insertion
+//! enumeration only produces valid candidates.
+
+use proptest::prelude::*;
+use ptrider_roadnet::VertexId;
+use ptrider_vehicles::{
+    Distances, FnDistances, ProspectiveRequest, RequestId, Stop, StopKind, Vehicle, VehicleId,
+};
+use std::collections::HashMap;
+
+/// Distances on a ring of 64 vertices, 100 m apart (shortest way around).
+fn ring_distances() -> FnDistances<impl Fn(VertexId, VertexId) -> f64> {
+    FnDistances(|u: VertexId, v: VertexId| {
+        let n = 64i64;
+        let a = u.0 as i64;
+        let b = v.0 as i64;
+        let d = (a - b).rem_euclid(n).min((b - a).rem_euclid(n));
+        d as f64 * 100.0
+    })
+}
+
+/// A randomly generated request on the ring.
+#[derive(Clone, Debug)]
+struct GenRequest {
+    pickup: u32,
+    dropoff: u32,
+    riders: u32,
+    detour: f64,
+}
+
+fn gen_request() -> impl Strategy<Value = GenRequest> {
+    (0u32..64, 1u32..63, 1u32..4, 0.1f64..1.5).prop_map(|(p, offset, riders, detour)| GenRequest {
+        pickup: p,
+        dropoff: (p + offset) % 64,
+        riders,
+        detour,
+    })
+}
+
+/// Checks Definition 2 for one branch of the vehicle's kinetic tree.
+fn assert_branch_valid<D: Distances>(
+    vehicle: &Vehicle,
+    branch: &[Stop],
+    dist: &D,
+) -> Result<(), TestCaseError> {
+    let requests: HashMap<RequestId, _> = vehicle.requests().into_iter().map(|r| (r.id, r.clone())).collect();
+    let mut occupancy: u32 = vehicle.onboard_riders();
+    let mut cum = 0.0;
+    let mut prev = vehicle.location();
+    let mut pickup_cum: HashMap<RequestId, f64> = HashMap::new();
+
+    for stop in branch {
+        cum += dist.distance(prev, stop.location);
+        prev = stop.location;
+        let req = requests
+            .get(&stop.request)
+            .expect("branch stop belongs to an assigned request");
+        match stop.kind {
+            StopKind::Pickup => {
+                occupancy += stop.riders;
+                prop_assert!(
+                    occupancy <= vehicle.capacity(),
+                    "capacity violated: {occupancy} > {}",
+                    vehicle.capacity()
+                );
+                prop_assert!(
+                    vehicle.odometer() + cum <= req.pickup_deadline_odometer + 1e-6,
+                    "pickup deadline violated for {:?}",
+                    req.id
+                );
+                pickup_cum.insert(stop.request, cum);
+            }
+            StopKind::Dropoff => {
+                occupancy = occupancy.saturating_sub(stop.riders);
+                let onboard = if req.is_waiting() {
+                    let p = pickup_cum
+                        .get(&stop.request)
+                        .copied()
+                        .expect("point order: pickup precedes drop-off");
+                    cum - p
+                } else {
+                    req.travelled_onboard() + cum
+                };
+                prop_assert!(
+                    onboard <= req.max_onboard_dist + 1e-6,
+                    "service constraint violated for {:?}: {onboard} > {}",
+                    req.id,
+                    req.max_onboard_dist
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn committed_trees_only_contain_valid_schedules(
+        start in 0u32..64,
+        capacity in 1u32..5,
+        requests in proptest::collection::vec(gen_request(), 1..6),
+        wait_dist in 500.0f64..5_000.0,
+    ) {
+        let dist = ring_distances();
+        let mut vehicle = Vehicle::new(VehicleId(1), capacity, VertexId(start));
+
+        for (i, gen) in requests.iter().enumerate() {
+            let pickup = VertexId(gen.pickup);
+            let dropoff = VertexId(gen.dropoff);
+            let direct = dist.distance(pickup, dropoff);
+            let req = ProspectiveRequest::new(
+                RequestId(i as u64),
+                pickup,
+                dropoff,
+                gen.riders,
+                direct,
+                gen.detour,
+            );
+            let candidates = vehicle.insertion_candidates(&dist, &req);
+            // Every candidate's declared metrics are internally consistent.
+            for cand in &candidates {
+                prop_assert!(cand.pickup_dist <= cand.total_dist + 1e-9);
+                prop_assert!(cand.onboard_dist <= req.max_onboard_dist + 1e-6);
+                let pickups = cand.stops.iter().filter(|s| s.request == req.id && s.is_pickup()).count();
+                let drops = cand.stops.iter().filter(|s| s.request == req.id && !s.is_pickup()).count();
+                prop_assert_eq!((pickups, drops), (1, 1));
+            }
+            // Assign using the earliest-pickup candidate, if any.
+            if let Some(best) = candidates
+                .iter()
+                .min_by(|a, b| a.pickup_dist.partial_cmp(&b.pickup_dist).unwrap())
+            {
+                let accepted = vehicle.assign(&dist, &req, best.pickup_dist, wait_dist, 1.0, i as f64);
+                prop_assert!(accepted.is_some(), "a valid candidate must be assignable");
+            }
+
+            // Invariant: every schedule in the tree is valid.
+            for branch in vehicle.all_schedules() {
+                assert_branch_valid(&vehicle, &branch, &dist)?;
+            }
+            // The best schedule is one of the schedules and has the minimum length.
+            if !vehicle.all_schedules().is_empty() {
+                let best = vehicle.current_schedule();
+                prop_assert!(vehicle.all_schedules().contains(&best));
+            }
+        }
+    }
+
+    #[test]
+    fn serving_stops_preserves_validity_and_empties_the_vehicle(
+        start in 0u32..64,
+        requests in proptest::collection::vec(gen_request(), 1..4),
+    ) {
+        let dist = ring_distances();
+        let mut vehicle = Vehicle::new(VehicleId(1), 4, VertexId(start));
+        for (i, gen) in requests.iter().enumerate() {
+            let pickup = VertexId(gen.pickup);
+            let dropoff = VertexId(gen.dropoff);
+            let direct = dist.distance(pickup, dropoff);
+            let req = ProspectiveRequest::new(RequestId(i as u64), pickup, dropoff, gen.riders, direct, gen.detour);
+            let candidates = vehicle.insertion_candidates(&dist, &req);
+            if let Some(best) = candidates.iter().min_by(|a, b| a.total_dist.partial_cmp(&b.total_dist).unwrap()) {
+                vehicle.assign(&dist, &req, best.pickup_dist, 10_000.0, 1.0, i as f64).unwrap();
+            }
+        }
+
+        // Drive the committed schedule to completion.
+        let mut guard = 0;
+        while let Some(stop) = vehicle.next_stop() {
+            guard += 1;
+            prop_assert!(guard < 100, "schedule must terminate");
+            let leg = dist.distance(vehicle.location(), stop.location);
+            vehicle.move_to(&dist, stop.location, leg);
+            let event = vehicle.serve_next_stop(&dist);
+            prop_assert!(event.is_some());
+            for branch in vehicle.all_schedules() {
+                assert_branch_valid(&vehicle, &branch, &dist)?;
+            }
+        }
+        prop_assert!(vehicle.is_empty());
+        prop_assert_eq!(vehicle.onboard_riders(), 0);
+    }
+}

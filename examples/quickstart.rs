@@ -1,0 +1,70 @@
+//! Quickstart: build a small city, register a fleet, submit a request and
+//! inspect the price/time options PTRider returns.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use ptrider::datagen::{synthetic_city, CityConfig};
+use ptrider::{EngineConfig, GridConfig, MatcherKind, PtRider, VertexId};
+
+fn main() {
+    // 1. A synthetic 10x10-block city (about 2.25 km x 2.25 km).
+    let city = synthetic_city(&CityConfig::tiny(7));
+    println!(
+        "city: {} intersections, {} road segments",
+        city.num_vertices(),
+        city.num_directed_edges() / 2
+    );
+
+    // 2. The engine with the paper's default parameters: capacity 4,
+    //    w = 5 min, delta = 0.2, 48 km/h, prices per kilometre.
+    let mut engine = PtRider::new(
+        city,
+        GridConfig::with_dimensions(4, 4),
+        EngineConfig::paper_defaults(),
+    );
+    engine.set_matcher(MatcherKind::DualSide);
+
+    // 3. A small fleet scattered over the city.
+    for i in [0u32, 9, 37, 55, 62, 90, 99] {
+        engine.add_vehicle(VertexId(i));
+    }
+    println!("fleet: {} taxis", engine.num_vehicles());
+
+    // 4. Two riders want to travel from vertex 44 to vertex 97.
+    let (request, options) = engine.submit(VertexId(44), VertexId(97), 2, 0.0);
+    println!("\nrequest {request}: {} non-dominated options", options.len());
+    println!("{:>10} {:>12} {:>12} {:>8}", "vehicle", "pickup (m)", "pickup (s)", "price");
+    for opt in &options {
+        println!(
+            "{:>10} {:>12.0} {:>12.1} {:>8.2}",
+            opt.vehicle.to_string(),
+            opt.pickup_dist,
+            opt.pickup_secs,
+            opt.price
+        );
+    }
+
+    // 5. The rider picks the cheapest option and the system assigns it.
+    let cheapest = options
+        .iter()
+        .min_by(|a, b| a.price.partial_cmp(&b.price).unwrap())
+        .expect("at least one option");
+    engine.choose(request, cheapest, 0.0).unwrap();
+    println!(
+        "\nchose {} (pickup in {:.0} s, price {:.2})",
+        cheapest.vehicle, cheapest.pickup_secs, cheapest.price
+    );
+
+    let vehicle = engine.vehicle(cheapest.vehicle).unwrap();
+    println!(
+        "vehicle {} now has {} scheduled stop(s): {:?}",
+        vehicle.id(),
+        vehicle.current_schedule().len(),
+        vehicle
+            .current_schedule()
+            .iter()
+            .map(|s| format!("{:?}@{}", s.kind, s.location))
+            .collect::<Vec<_>>()
+    );
+    println!("\nengine stats: {:?}", engine.stats().match_work);
+}

@@ -1,0 +1,57 @@
+//! PTRider — a price-and-time-aware ridesharing system (VLDB 2018),
+//! reproduced in Rust.
+//!
+//! This facade crate re-exports the whole workspace so applications can
+//! depend on a single crate:
+//!
+//! * [`roadnet`] — road network, shortest paths, grid index
+//!   (`ptrider-roadnet`);
+//! * [`vehicles`] — vehicles, kinetic trees, vehicle index
+//!   (`ptrider-vehicles`);
+//! * [`core`] — price model, skyline options, matchers and the engine
+//!   (`ptrider-core`);
+//! * [`datagen`] — synthetic Shanghai-like workloads and the Fig. 1 example
+//!   (`ptrider-datagen`);
+//! * [`sim`] — the day simulator and its statistics (`ptrider-sim`).
+//!
+//! The most common entry points are also re-exported at the crate root.
+//!
+//! ```
+//! use ptrider::{EngineConfig, GridConfig, MatcherKind, PtRider};
+//! use ptrider::datagen::{synthetic_city, CityConfig};
+//!
+//! let city = synthetic_city(&CityConfig::tiny(1));
+//! let mut engine = PtRider::new(city, GridConfig::with_dimensions(4, 4),
+//!                               EngineConfig::paper_defaults());
+//! engine.set_matcher(MatcherKind::DualSide);
+//! let taxi = engine.add_vehicle(ptrider::VertexId(0));
+//! let (request, options) = engine.submit(ptrider::VertexId(55), ptrider::VertexId(99), 2, 0.0);
+//! assert!(!options.is_empty());
+//! engine.choose(request, &options[0], 0.0).unwrap();
+//! assert!(!engine.vehicle(taxi).unwrap().is_empty());
+//! ```
+
+#![warn(missing_docs)]
+
+/// Road-network substrate (re-export of `ptrider-roadnet`).
+pub use ptrider_roadnet as roadnet;
+
+/// Vehicle substrate (re-export of `ptrider-vehicles`).
+pub use ptrider_vehicles as vehicles;
+
+/// Engine, matchers, price model and skyline (re-export of `ptrider-core`).
+pub use ptrider_core as core;
+
+/// Synthetic workloads and the Fig. 1 scenario (re-export of
+/// `ptrider-datagen`).
+pub use ptrider_datagen as datagen;
+
+/// Day simulator and statistics (re-export of `ptrider-sim`).
+pub use ptrider_sim as sim;
+
+pub use ptrider_core::{
+    EngineConfig, EngineStats, GridConfig, MatchResult, MatchStats, Matcher, MatcherKind,
+    PriceModel, PtRider, Request, RequestId, RideOption, RoadNetwork, Skyline, Speed, Stop,
+    StopKind, Vehicle, VehicleId, VertexId,
+};
+pub use ptrider_sim::{ChoicePolicy, SimConfig, SimulationReport, Simulator};

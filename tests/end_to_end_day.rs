@@ -1,0 +1,123 @@
+//! End-to-end simulation test: a compressed "day" on a small synthetic city,
+//! checking the global invariants the paper's constraints imply and that the
+//! statistics panel numbers are consistent with each other.
+
+use ptrider::datagen::{CityConfig, TripConfig, Workload, WorkloadConfig};
+use ptrider::{
+    ChoicePolicy, EngineConfig, GridConfig, MatcherKind, SimConfig, SimulationReport, Simulator,
+};
+
+fn run_day(matcher: MatcherKind, choice: ChoicePolicy, seed: u64) -> (Simulator, SimulationReport) {
+    let workload = Workload::generate(WorkloadConfig {
+        city: CityConfig::tiny(seed),
+        num_vehicles: 15,
+        trips: TripConfig {
+            num_trips: 120,
+            day_secs: 3600.0,
+            seed,
+            ..TripConfig::default()
+        },
+        seed,
+    });
+    let engine_config = EngineConfig::paper_defaults()
+        .with_detour_factor(0.3)
+        .with_max_wait_secs(420.0);
+    let sim_config = SimConfig {
+        dt_secs: 5.0,
+        start_secs: 0.0,
+        end_secs: 3600.0,
+        choice,
+        matcher,
+        grid: GridConfig::with_dimensions(4, 4),
+        idle_roaming: true,
+        cross_check: false,
+        seed,
+    };
+    let mut sim = Simulator::new(workload, engine_config, sim_config);
+    let report = sim.run();
+    (sim, report)
+}
+
+#[test]
+fn simulated_hour_produces_consistent_statistics() {
+    let (_sim, report) = run_day(MatcherKind::DualSide, ChoicePolicy::Weighted { alpha: 0.5 }, 31);
+
+    assert_eq!(report.requests, 120);
+    assert!(report.answered <= report.requests);
+    assert!(report.assigned <= report.answered);
+    assert!(report.completed <= report.assigned);
+    assert!(report.shared_trips <= report.completed);
+    assert!(report.answer_rate >= 0.0 && report.answer_rate <= 1.0);
+    assert!(report.sharing_rate >= 0.0 && report.sharing_rate <= 1.0);
+    assert!(report.assigned > 0, "a one-hour workload must assign trips");
+    assert!(report.completed > 0, "trips must complete within the hour");
+    assert!(report.avg_response_ms >= 0.0);
+    assert!(report.fleet_distance_m > 0.0);
+    // Engine counters line up with the report.
+    assert_eq!(report.engine.requests_submitted, report.requests);
+    assert_eq!(report.engine.dropoffs, report.completed);
+}
+
+#[test]
+fn service_and_waiting_constraints_hold_for_every_completed_trip() {
+    let (sim, _report) = run_day(MatcherKind::SingleSide, ChoicePolicy::Cheapest, 47);
+    let detour_cap = 1.0 + 0.3;
+    let max_wait_secs = 420.0;
+
+    for outcome in sim.outcomes().values() {
+        // Service constraint (Definition 2, condition 4).
+        if let Some(ratio) = outcome.detour_ratio() {
+            assert!(
+                ratio <= detour_cap + 1e-6,
+                "request {:?}: detour ratio {ratio} exceeds 1 + delta",
+                outcome.id
+            );
+        }
+        // Waiting-time constraint (Definition 2, condition 3): the actual
+        // pickup happens no later than the planned pickup plus w (allowing
+        // one simulation step of slack for the discrete clock).
+        if let (Some(planned), Some(picked), ) = (outcome.planned_pickup_secs, outcome.picked_up_at) {
+            let planned_abs = outcome.submitted_at + planned;
+            assert!(
+                picked <= planned_abs + max_wait_secs + 5.0 + 1e-6,
+                "request {:?}: picked up at {picked} but planned {planned_abs} + w {max_wait_secs}",
+                outcome.id
+            );
+        }
+        // Prices are recorded for every assigned request and are positive.
+        if let Some(price) = outcome.price {
+            assert!(price > 0.0);
+        }
+    }
+}
+
+#[test]
+fn cheapest_riders_pay_no_more_than_fastest_riders_on_average() {
+    let (_s1, cheap) = run_day(MatcherKind::DualSide, ChoicePolicy::Cheapest, 77);
+    let (_s2, fast) = run_day(MatcherKind::DualSide, ChoicePolicy::Fastest, 77);
+    // Same workload, same matcher: riders who always pick the cheapest
+    // option cannot end up with a higher average price than riders who
+    // always pick the fastest one (prices per request are chosen from the
+    // same skylines; small divergence can accumulate as assignments change
+    // future states, so allow 10% slack).
+    assert!(
+        cheap.avg_price <= fast.avg_price * 1.10 + 1e-9,
+        "cheapest policy {} vs fastest policy {}",
+        cheap.avg_price,
+        fast.avg_price
+    );
+}
+
+#[test]
+fn all_matchers_sustain_the_same_workload() {
+    let mut completed = Vec::new();
+    for matcher in MatcherKind::all() {
+        let (_sim, report) = run_day(matcher, ChoicePolicy::Fastest, 55);
+        assert!(report.assigned > 0, "{matcher} assigned no trips");
+        completed.push(report.completed);
+    }
+    // All matchers produce identical option sets; with a deterministic choice
+    // policy the whole simulation evolves identically.
+    assert_eq!(completed[0], completed[1]);
+    assert_eq!(completed[1], completed[2]);
+}

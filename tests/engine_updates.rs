@@ -1,0 +1,196 @@
+//! Integration tests of the engine's update flow (Fig. 2): request →
+//! options → choice → location / pickup / drop-off updates, index
+//! consistency and capacity handling across crates.
+
+use ptrider::datagen::{synthetic_city, CityConfig};
+use ptrider::roadnet::dijkstra;
+use ptrider::vehicles::StopEvent;
+use ptrider::{EngineConfig, GridConfig, MatcherKind, PtRider, VertexId};
+
+fn small_city_engine(matcher: MatcherKind) -> PtRider {
+    let city = synthetic_city(&CityConfig::tiny(5));
+    let mut engine = PtRider::new(
+        city,
+        GridConfig::with_dimensions(4, 4),
+        EngineConfig::paper_defaults().with_detour_factor(0.5),
+    );
+    engine.set_matcher(matcher);
+    engine
+}
+
+/// Drives a vehicle along shortest paths, serving stops until it is empty.
+fn drive_until_idle(engine: &mut PtRider, vehicle: ptrider::VehicleId) -> Vec<StopEvent> {
+    let mut events = Vec::new();
+    let net = engine.oracle().network_arc();
+    for _ in 0..64 {
+        let Some(stop) = engine.vehicle(vehicle).unwrap().next_stop() else {
+            break;
+        };
+        let loc = engine.vehicle(vehicle).unwrap().location();
+        if loc != stop.location {
+            let (dist, path) = dijkstra::shortest_path(&net, loc, stop.location).unwrap();
+            // Jump vertex by vertex so location updates stay incremental.
+            let mut prev = loc;
+            for v in path.into_iter().skip(1) {
+                let leg = dijkstra::distance(&net, prev, v).unwrap();
+                engine.location_update(vehicle, v, leg).unwrap();
+                prev = v;
+            }
+            assert!(dist >= 0.0);
+        }
+        if let Some(event) = engine.vehicle_arrived(vehicle).unwrap() {
+            events.push(event);
+        }
+    }
+    events
+}
+
+#[test]
+fn shared_ride_of_two_requests_completes_in_order() {
+    let mut engine = small_city_engine(MatcherKind::DualSide);
+    let taxi = engine.add_vehicle(VertexId(0));
+
+    // Two overlapping trips along the same corridor.
+    let (r1, opts1) = engine.submit(VertexId(2), VertexId(8), 1, 0.0);
+    engine.choose(r1, &opts1[0], 0.0).unwrap();
+    let (r2, opts2) = engine.submit(VertexId(3), VertexId(9), 2, 10.0);
+    assert!(!opts2.is_empty(), "the busy taxi must still offer an option");
+    let own = opts2.iter().find(|o| o.vehicle == taxi).unwrap();
+    engine.choose(r2, own, 10.0).unwrap();
+
+    assert_eq!(engine.vehicle(taxi).unwrap().num_requests(), 2);
+    let events = drive_until_idle(&mut engine, taxi);
+    // Two pickups and two drop-offs, each pickup before its drop-off.
+    assert_eq!(events.len(), 4);
+    let pickups = events
+        .iter()
+        .filter(|e| matches!(e, StopEvent::PickedUp { .. }))
+        .count();
+    assert_eq!(pickups, 2);
+    assert!(engine.vehicle(taxi).unwrap().is_empty());
+    assert_eq!(engine.stats().pickups, 2);
+    assert_eq!(engine.stats().dropoffs, 2);
+    // At some point both parties were on board together (the corridor
+    // overlaps), so the ride was genuinely shared.
+    let max_onboard = events
+        .iter()
+        .scan(0i32, |acc, e| {
+            match e {
+                StopEvent::PickedUp { riders, .. } => *acc += *riders as i32,
+                StopEvent::DroppedOff { request, .. } => *acc -= request.riders as i32,
+            }
+            Some(*acc)
+        })
+        .max()
+        .unwrap();
+    assert!(max_onboard >= 3, "rides should overlap, max onboard {max_onboard}");
+}
+
+#[test]
+fn capacity_limits_how_many_requests_a_vehicle_accepts() {
+    let city = synthetic_city(&CityConfig::tiny(5));
+    let mut engine = PtRider::new(
+        city,
+        GridConfig::with_dimensions(4, 4),
+        EngineConfig::paper_defaults()
+            .with_capacity(2)
+            .with_detour_factor(1.0),
+    );
+    let taxi = engine.add_vehicle(VertexId(0));
+
+    // First group of 2 fills the taxi for the overlapping segment.
+    let (r1, opts) = engine.submit(VertexId(1), VertexId(9), 2, 0.0);
+    engine.choose(r1, &opts[0], 0.0).unwrap();
+
+    // A second group of 2 on the same corridor: the only way to serve it is
+    // strictly after the first group is dropped off (no seat overlap), which
+    // the waiting-time constraint may or may not allow — but a group of 3 can
+    // never be served at all.
+    let (_r3, opts3) = engine.submit(VertexId(2), VertexId(8), 3, 5.0);
+    assert!(
+        opts3.is_empty(),
+        "a 3-rider group cannot fit a capacity-2 taxi: {opts3:?}"
+    );
+    assert_eq!(engine.vehicle(taxi).unwrap().num_requests(), 1);
+}
+
+#[test]
+fn vehicle_index_tracks_empty_and_non_empty_transitions() {
+    let mut engine = small_city_engine(MatcherKind::SingleSide);
+    let taxi = engine.add_vehicle(VertexId(0));
+    assert_eq!(engine.vehicle_index().is_registered_empty(taxi), Some(true));
+
+    let (r1, opts) = engine.submit(VertexId(4), VertexId(9), 1, 0.0);
+    engine.choose(r1, &opts[0], 0.0).unwrap();
+    assert_eq!(engine.vehicle_index().is_registered_empty(taxi), Some(false));
+    // A non-empty vehicle is registered in at least the cells of its stops.
+    let cells = engine.vehicle_index().cells_of(taxi);
+    assert!(!cells.is_empty());
+
+    // Complete the trip: the vehicle becomes empty again and is re-registered
+    // in exactly one cell.
+    let events = drive_until_idle(&mut engine, taxi);
+    assert_eq!(events.len(), 2);
+    assert_eq!(engine.vehicle_index().is_registered_empty(taxi), Some(true));
+    assert_eq!(engine.vehicle_index().cells_of(taxi).len(), 1);
+}
+
+#[test]
+fn location_updates_keep_matching_consistent() {
+    let mut engine = small_city_engine(MatcherKind::DualSide);
+    let taxi = engine.add_vehicle(VertexId(0));
+
+    // Before moving, a request near vertex 90 is expensive/far for the taxi.
+    let (probe1, far_options) = engine.submit(VertexId(90), VertexId(95), 1, 0.0);
+    engine.decline(probe1).unwrap();
+
+    // Drive the empty taxi across the city with location updates.
+    let net = engine.oracle().network_arc();
+    let (_, path) = dijkstra::shortest_path(&net, VertexId(0), VertexId(90)).unwrap();
+    let mut prev = VertexId(0);
+    for v in path.into_iter().skip(1) {
+        let leg = dijkstra::distance(&net, prev, v).unwrap();
+        engine.location_update(taxi, v, leg).unwrap();
+        prev = v;
+    }
+    assert_eq!(engine.vehicle(taxi).unwrap().location(), VertexId(90));
+
+    // The same request is now much closer.
+    let (probe2, near_options) = engine.submit(VertexId(90), VertexId(95), 1, 60.0);
+    engine.decline(probe2).unwrap();
+    let far_pickup = far_options.first().map(|o| o.pickup_dist).unwrap_or(f64::MAX);
+    let near_pickup = near_options.first().map(|o| o.pickup_dist).unwrap();
+    assert!(near_pickup < far_pickup);
+    assert_eq!(near_pickup, 0.0, "the taxi is standing at the origin");
+    // One location update per vertex crossed on the way to v90.
+    assert!(engine.stats().location_updates > 0);
+}
+
+#[test]
+fn rejected_and_declined_requests_leave_no_state_behind() {
+    let mut engine = small_city_engine(MatcherKind::Naive);
+    let taxi = engine.add_vehicle(VertexId(50));
+
+    // A request no vehicle can reach within the pickup radius.
+    let city = synthetic_city(&CityConfig::tiny(5));
+    drop(city);
+    let tight = EngineConfig::paper_defaults().with_max_pickup_dist(100.0);
+    let mut tight_engine = PtRider::new(
+        synthetic_city(&CityConfig::tiny(5)),
+        GridConfig::with_dimensions(4, 4),
+        tight,
+    );
+    let far_taxi = tight_engine.add_vehicle(VertexId(0));
+    let (req, options) = tight_engine.submit(VertexId(99), VertexId(90), 1, 0.0);
+    assert!(options.is_empty());
+    tight_engine.decline(req).unwrap();
+    assert!(tight_engine.vehicle(far_taxi).unwrap().is_empty());
+    assert_eq!(tight_engine.pending_requests(), 0);
+
+    // Declining after options keeps the vehicle untouched.
+    let (req, options) = engine.submit(VertexId(52), VertexId(58), 1, 0.0);
+    assert!(!options.is_empty());
+    engine.decline(req).unwrap();
+    assert!(engine.vehicle(taxi).unwrap().is_empty());
+    assert_eq!(engine.stats().requests_chosen, 0);
+}

@@ -1,0 +1,102 @@
+//! Regression test: the matching algorithms stay equivalent *while the
+//! world moves* — vehicles drive, pick riders up, drop them off, and their
+//! kinetic trees are recomputed along the way.
+//!
+//! This once failed: the simulator credited abandoned partial-edge progress
+//! to on-board budgets, the affected vehicle's kinetic tree emptied, and the
+//! matchers treated the broken vehicle inconsistently (naive/single-side
+//! offered a schedule that ignored its committed riders, dual-side pruned
+//! it). The fix landed in three places: the simulator's motion accounting,
+//! a kinetic-tree recompute that never abandons committed riders, and a
+//! guard that a vehicle without a valid schedule offers no options. The
+//! simulator's cross-check mode re-verifies all three matchers on every
+//! submitted request and panics on any disagreement.
+
+use ptrider::datagen::{CityConfig, TripConfig, Workload, WorkloadConfig};
+use ptrider::{ChoicePolicy, EngineConfig, GridConfig, MatcherKind, SimConfig, Simulator};
+
+fn run_with_cross_check(seed: u64, choice: ChoicePolicy, minutes: f64) {
+    let workload = Workload::generate(WorkloadConfig {
+        city: CityConfig::tiny(seed),
+        num_vehicles: 15,
+        trips: TripConfig {
+            num_trips: 120,
+            day_secs: 3600.0,
+            seed,
+            ..TripConfig::default()
+        },
+        seed,
+    });
+    let engine_config = EngineConfig::paper_defaults()
+        .with_detour_factor(0.3)
+        .with_max_wait_secs(420.0);
+    let sim_config = SimConfig {
+        dt_secs: 5.0,
+        start_secs: 0.0,
+        end_secs: minutes * 60.0,
+        choice,
+        matcher: MatcherKind::DualSide,
+        grid: GridConfig::with_dimensions(4, 4),
+        idle_roaming: true,
+        cross_check: true,
+        seed,
+    };
+    let mut sim = Simulator::new(workload, engine_config, sim_config);
+    let report = sim.run();
+    assert!(report.assigned > 0);
+}
+
+#[test]
+fn matchers_stay_equivalent_in_the_original_failing_scenario() {
+    // Seed 55 is the workload that originally exposed the divergence at
+    // t ≈ 669 s; run well past that point.
+    run_with_cross_check(55, ChoicePolicy::Fastest, 25.0);
+}
+
+#[test]
+fn matchers_stay_equivalent_with_a_cheapest_rider_population() {
+    run_with_cross_check(101, ChoicePolicy::Cheapest, 20.0);
+}
+
+#[test]
+fn no_vehicle_is_left_without_a_schedule_for_its_riders() {
+    let workload = Workload::generate(WorkloadConfig {
+        city: CityConfig::tiny(55),
+        num_vehicles: 15,
+        trips: TripConfig {
+            num_trips: 150,
+            day_secs: 2400.0,
+            seed: 55,
+            ..TripConfig::default()
+        },
+        seed: 55,
+    });
+    let sim_config = SimConfig {
+        dt_secs: 5.0,
+        start_secs: 0.0,
+        end_secs: 2400.0,
+        choice: ChoicePolicy::Weighted { alpha: 0.3 },
+        matcher: MatcherKind::DualSide,
+        grid: GridConfig::with_dimensions(4, 4),
+        idle_roaming: true,
+        cross_check: false,
+        seed: 55,
+    };
+    let mut sim = Simulator::new(
+        workload,
+        EngineConfig::paper_defaults().with_detour_factor(0.3),
+        sim_config,
+    );
+    while sim.clock() < 2400.0 {
+        sim.step();
+        for vehicle in sim.engine().vehicles() {
+            assert!(
+                vehicle.is_empty() || !vehicle.all_schedules().is_empty(),
+                "vehicle {} has {} committed requests but no valid schedule at t={}",
+                vehicle.id(),
+                vehicle.num_requests(),
+                sim.clock()
+            );
+        }
+    }
+}
