@@ -30,17 +30,13 @@ fn bench(c: &mut Criterion) {
             print_row("E2", &format!("fleet={fleet} matcher={kind}"), &summary);
 
             let mut idx = 0usize;
-            group.bench_with_input(
-                BenchmarkId::new(kind.to_string(), fleet),
-                &fleet,
-                |b, _| {
-                    b.iter(|| {
-                        let trip = &world.probes[idx % world.probes.len()];
-                        idx += 1;
-                        match_probe(&world.engine, kind, trip, idx as u64)
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(kind.to_string(), fleet), &fleet, |b, _| {
+                b.iter(|| {
+                    let trip = &world.probes[idx % world.probes.len()];
+                    idx += 1;
+                    match_probe(&world.engine, kind, trip, idx as u64)
+                })
+            });
         }
     }
     group.finish();

@@ -53,18 +53,26 @@ fn bench(c: &mut Criterion) {
         let all = summarise(&world.engine, kind, &world.probes);
         print_row("E8", &format!("{kind} / all trips"), &all);
         let s = summarise(&world.engine, kind, &short);
-        print_row("E8", &format!("{kind} / short trips (<= {median:.0} m)"), &s);
+        print_row(
+            "E8",
+            &format!("{kind} / short trips (<= {median:.0} m)"),
+            &s,
+        );
         let l = summarise(&world.engine, kind, &long);
         print_row("E8", &format!("{kind} / long trips (> {median:.0} m)"), &l);
 
         let mut idx = 0usize;
-        group.bench_with_input(BenchmarkId::new("match", kind.to_string()), &kind, |b, &kind| {
-            b.iter(|| {
-                let trip = &world.probes[idx % world.probes.len()];
-                idx += 1;
-                match_probe(&world.engine, kind, trip, idx as u64)
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("match", kind.to_string()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let trip = &world.probes[idx % world.probes.len()];
+                    idx += 1;
+                    match_probe(&world.engine, kind, trip, idx as u64)
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -1,0 +1,306 @@
+//! Machine-readable performance report: writes `BENCH_e9.json` with the
+//! E2-style matching latency, the E9-style update throughput and an
+//! oracle-level microbenchmark, each measured twice:
+//!
+//! * **baseline** — landmark acceleration off, sequential verification
+//!   (the closest runnable stand-in for the pre-refactor oracle, which
+//!   additionally allocated per query and serialised on one mutex; the
+//!   microbenchmark isolates that part);
+//! * **optimized** — ALT landmarks on, parallel verification in `Auto`.
+//!
+//! Run with `cargo run --release -p ptrider-bench --bin perf_report`
+//! (optionally `-- <vehicles> <probes>`). The JSON is hand-rendered — the
+//! build environment has no serde_json — and is meant to be committed as
+//! `BENCH_e9.json` so the perf trajectory is tracked across PRs.
+
+use ptrider_bench::{build_world, build_world_legacy_oracle, match_probe, BenchWorld, WorldParams};
+use ptrider_core::{EngineConfig, MatcherKind, ParallelMode, PtRider};
+use ptrider_datagen::TimedTrip;
+use ptrider_roadnet::{astar, dijkstra, VertexId};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+#[derive(Clone, Copy, Default)]
+struct MatcherNumbers {
+    mean_us: f64,
+    verified_per_req: f64,
+    pruned_per_req: f64,
+    exact_per_req: f64,
+    options_per_req: f64,
+}
+
+fn measure_matcher(engine: &PtRider, kind: MatcherKind, probes: &[TimedTrip]) -> MatcherNumbers {
+    // Cold-cache measurement: a warmed cache would answer every exact query
+    // from the shards and hide the exact-backend and bound-tightness
+    // differences this report exists to track. The cache still warms up
+    // *within* the pass, as it would in production.
+    engine.oracle().clear();
+    let mut verified = 0usize;
+    let mut pruned = 0usize;
+    let mut exact = 0u64;
+    let mut options = 0usize;
+    let start = Instant::now();
+    for (i, trip) in probes.iter().enumerate() {
+        let r = match_probe(engine, kind, trip, i as u64);
+        verified += r.stats.vehicles_verified;
+        pruned += r.stats.vehicles_pruned;
+        exact += r.stats.exact_distance_computations;
+        options += r.options.len();
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let n = probes.len().max(1) as f64;
+    MatcherNumbers {
+        mean_us: elapsed * 1e6 / n,
+        verified_per_req: verified as f64 / n,
+        pruned_per_req: pruned as f64 / n,
+        exact_per_req: exact as f64 / n,
+        options_per_req: options as f64 / n,
+    }
+}
+
+#[derive(Clone, Copy, Default)]
+struct UpdateNumbers {
+    location_updates_per_sec: f64,
+    submit_choose_per_sec: f64,
+}
+
+fn measure_updates(world: &mut BenchWorld, rounds: usize) -> UpdateNumbers {
+    let engine = &mut world.engine;
+    let mut rng = ChaCha8Rng::seed_from_u64(0x0e9);
+    let ids: Vec<_> = engine.vehicles().map(|v| v.id()).collect();
+
+    let start = Instant::now();
+    let mut updates = 0u64;
+    for round in 0..rounds {
+        for &id in &ids {
+            let loc = engine.vehicle(id).unwrap().location();
+            let neighbours: Vec<(VertexId, f64)> = engine.network().neighbors(loc).collect();
+            if neighbours.is_empty() {
+                continue;
+            }
+            let (next, dist) = neighbours[rng.gen_range(0..neighbours.len())];
+            engine.location_update(id, next, dist).unwrap();
+            updates += 1;
+        }
+        let _ = round;
+    }
+    let location_updates_per_sec = updates as f64 / start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    let mut cycles = 0u64;
+    for (k, trip) in world
+        .probes
+        .iter()
+        .cycle()
+        .take(world.probes.len() * 2)
+        .enumerate()
+    {
+        let (id, options) = engine.submit(trip.origin, trip.destination, trip.riders, k as f64);
+        if let Some(option) = options.first() {
+            if engine.choose(id, option, k as f64).is_err() {
+                let _ = engine.decline(id);
+            }
+        } else {
+            let _ = engine.decline(id);
+        }
+        cycles += 1;
+    }
+    let submit_choose_per_sec = cycles as f64 / start.elapsed().as_secs_f64();
+
+    UpdateNumbers {
+        location_updates_per_sec,
+        submit_choose_per_sec,
+    }
+}
+
+struct OracleMicro {
+    allocating_dijkstra_us: f64,
+    scratch_dijkstra_us: f64,
+    alt_astar_us: f64,
+}
+
+fn measure_oracle(engine: &PtRider, samples: usize) -> OracleMicro {
+    let net = engine.network();
+    let oracle = engine.oracle();
+    let n = net.num_vertices() as u32;
+    let mut rng = ChaCha8Rng::seed_from_u64(0xfeed);
+    let pairs: Vec<(VertexId, VertexId)> = (0..samples)
+        .map(|_| (VertexId(rng.gen_range(0..n)), VertexId(rng.gen_range(0..n))))
+        .collect();
+
+    let time = |f: &mut dyn FnMut(VertexId, VertexId)| {
+        let start = Instant::now();
+        for &(u, v) in &pairs {
+            f(u, v);
+        }
+        start.elapsed().as_secs_f64() * 1e6 / pairs.len().max(1) as f64
+    };
+
+    let allocating = time(&mut |u, v| {
+        let _ = dijkstra::distance_allocating(net, u, v);
+    });
+    let scratch = time(&mut |u, v| {
+        let _ = dijkstra::distance(net, u, v);
+    });
+    let alt = time(&mut |u, v| {
+        let _ = astar::distance_with_landmarks(net, u, v, Some(engine.grid()), oracle.landmarks());
+    });
+
+    OracleMicro {
+        allocating_dijkstra_us: allocating,
+        scratch_dijkstra_us: scratch,
+        alt_astar_us: alt,
+    }
+}
+
+fn json_matchers(out: &mut String, label: &str, rows: &[(MatcherKind, MatcherNumbers)]) {
+    let _ = writeln!(out, "    \"{label}\": {{");
+    for (i, (kind, m)) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "      \"{kind}\": {{ \"mean_us\": {:.2}, \"vehicles_verified_per_req\": {:.2}, \
+             \"vehicles_pruned_per_req\": {:.2}, \"exact_distances_per_req\": {:.2}, \
+             \"options_per_req\": {:.2} }}{comma}",
+            m.mean_us, m.verified_per_req, m.pruned_per_req, m.exact_per_req, m.options_per_req
+        );
+    }
+    let _ = writeln!(out, "    }},");
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let vehicles: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(800);
+    let probes: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(64);
+
+    let params = WorldParams {
+        vehicles,
+        warm_assignments: vehicles / 4,
+        ..WorldParams::default()
+    };
+
+    eprintln!(
+        "[perf_report] building baseline world (legacy oracle: global lock, allocating \
+         Dijkstra, no ALT/batching; sequential verify) ..."
+    );
+    ptrider_core::set_parallel_mode(ParallelMode::Sequential);
+    let baseline_config = EngineConfig::paper_defaults().with_num_landmarks(0);
+    let mut baseline_world = build_world_legacy_oracle(params, baseline_config, probes);
+    let baseline_e2: Vec<(MatcherKind, MatcherNumbers)> = MatcherKind::all()
+        .iter()
+        .map(|&k| {
+            (
+                k,
+                measure_matcher(&baseline_world.engine, k, &baseline_world.probes),
+            )
+        })
+        .collect();
+    let baseline_e9 = measure_updates(&mut baseline_world, 3);
+    drop(baseline_world);
+
+    eprintln!("[perf_report] building optimized world (ALT landmarks, parallel verify) ...");
+    ptrider_core::set_parallel_mode(ParallelMode::Auto);
+    let optimized_config = EngineConfig::paper_defaults();
+    let mut optimized_world = build_world(params, optimized_config, probes);
+    let optimized_e2: Vec<(MatcherKind, MatcherNumbers)> = MatcherKind::all()
+        .iter()
+        .map(|&k| {
+            (
+                k,
+                measure_matcher(&optimized_world.engine, k, &optimized_world.probes),
+            )
+        })
+        .collect();
+    let optimized_e9 = measure_updates(&mut optimized_world, 3);
+    let micro = measure_oracle(&optimized_world.engine, 256);
+
+    let dual_base = baseline_e2
+        .iter()
+        .find(|(k, _)| *k == MatcherKind::DualSide)
+        .unwrap()
+        .1;
+    let dual_opt = optimized_e2
+        .iter()
+        .find(|(k, _)| *k == MatcherKind::DualSide)
+        .unwrap()
+        .1;
+
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(
+        out,
+        "  \"world\": {{ \"city_side\": {}, \"vehicles\": {}, \"warm_assignments\": {}, \
+         \"grid_side\": {}, \"probes\": {}, \"seed\": {} }},",
+        params.city_side,
+        params.vehicles,
+        params.warm_assignments,
+        params.grid_side,
+        probes,
+        params.seed
+    );
+    let _ = writeln!(out, "  \"oracle_microbench_us_per_query\": {{");
+    let _ = writeln!(
+        out,
+        "    \"allocating_dijkstra\": {:.2},",
+        micro.allocating_dijkstra_us
+    );
+    let _ = writeln!(
+        out,
+        "    \"scratch_dijkstra\": {:.2},",
+        micro.scratch_dijkstra_us
+    );
+    let _ = writeln!(out, "    \"alt_astar\": {:.2},", micro.alt_astar_us);
+    let _ = writeln!(
+        out,
+        "    \"speedup_allocating_vs_alt\": {:.2}",
+        micro.allocating_dijkstra_us / micro.alt_astar_us.max(1e-9)
+    );
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"e2_matching_latency\": {{");
+    json_matchers(&mut out, "baseline", &baseline_e2);
+    json_matchers(&mut out, "optimized", &optimized_e2);
+    let _ = writeln!(
+        out,
+        "    \"dual_side_speedup\": {:.2},",
+        dual_base.mean_us / dual_opt.mean_us.max(1e-9)
+    );
+    let _ = writeln!(
+        out,
+        "    \"dual_side_verified_reduction\": {:.3}",
+        if dual_base.verified_per_req > 0.0 {
+            1.0 - dual_opt.verified_per_req / dual_base.verified_per_req
+        } else {
+            0.0
+        }
+    );
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"e9_update_throughput\": {{");
+    let _ = writeln!(
+        out,
+        "    \"baseline\": {{ \"location_updates_per_sec\": {:.0}, \"submit_choose_per_sec\": {:.0} }},",
+        baseline_e9.location_updates_per_sec, baseline_e9.submit_choose_per_sec
+    );
+    let _ = writeln!(
+        out,
+        "    \"optimized\": {{ \"location_updates_per_sec\": {:.0}, \"submit_choose_per_sec\": {:.0} }},",
+        optimized_e9.location_updates_per_sec, optimized_e9.submit_choose_per_sec
+    );
+    let _ = writeln!(
+        out,
+        "    \"location_update_speedup\": {:.2},",
+        optimized_e9.location_updates_per_sec / baseline_e9.location_updates_per_sec.max(1e-9)
+    );
+    let _ = writeln!(
+        out,
+        "    \"submit_choose_speedup\": {:.2}",
+        optimized_e9.submit_choose_per_sec / baseline_e9.submit_choose_per_sec.max(1e-9)
+    );
+    let _ = writeln!(out, "  }}");
+    let _ = writeln!(out, "}}");
+
+    std::fs::write("BENCH_e9.json", &out).expect("write BENCH_e9.json");
+    println!("{out}");
+    eprintln!("[perf_report] wrote BENCH_e9.json");
+}

@@ -57,17 +57,50 @@ pub struct BenchWorld {
 /// of probe trips; then warms the engine up by assigning `warm_assignments`
 /// trips (each rider takes the earliest-pickup option).
 pub fn build_world(params: WorldParams, config: EngineConfig, probes: usize) -> BenchWorld {
+    build_world_inner(params, config, probes, false)
+}
+
+/// Like [`build_world`] but with the engine's oracle in pre-refactor legacy
+/// mode (single global cache lock, allocating Dijkstra, no ALT, no
+/// batching). Used by the perf report as the speedup baseline.
+pub fn build_world_legacy_oracle(
+    params: WorldParams,
+    config: EngineConfig,
+    probes: usize,
+) -> BenchWorld {
+    build_world_inner(params, config, probes, true)
+}
+
+fn build_world_inner(
+    params: WorldParams,
+    config: EngineConfig,
+    probes: usize,
+    legacy_oracle: bool,
+) -> BenchWorld {
+    use ptrider_roadnet::{DistanceOracle, GridIndex};
+    use std::sync::Arc;
+
     let city = synthetic_city(&CityConfig {
         cols: params.city_side,
         rows: params.city_side,
         seed: params.seed,
         ..CityConfig::default()
     });
-    let mut engine = PtRider::new(
-        city,
-        GridConfig::with_dimensions(params.grid_side, params.grid_side),
-        config,
-    );
+    let mut engine = if legacy_oracle {
+        let net = Arc::new(city);
+        let grid = Arc::new(GridIndex::build(
+            &net,
+            GridConfig::with_dimensions(params.grid_side, params.grid_side),
+        ));
+        let oracle = DistanceOracle::legacy_baseline(Arc::clone(&net), Arc::clone(&grid));
+        PtRider::with_oracle(net, grid, oracle, config)
+    } else {
+        PtRider::new(
+            city,
+            GridConfig::with_dimensions(params.grid_side, params.grid_side),
+            config,
+        )
+    };
     engine.set_matcher(MatcherKind::DualSide);
 
     let mut rng = ChaCha8Rng::seed_from_u64(params.seed ^ 0xf1ee7);

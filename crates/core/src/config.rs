@@ -29,6 +29,12 @@ pub struct EngineConfig {
     /// of the search algorithms stops there). Applied identically by every
     /// matcher so all matchers return the same option set.
     pub max_pickup_dist: f64,
+    /// Number of ALT landmarks the engine precomputes for its distance
+    /// oracle. Landmarks accelerate exact point-to-point queries (goal-
+    /// directed A*) and tighten the P1–P5 pruning lower bounds; `0`
+    /// disables them. Build cost is one single-source Dijkstra per
+    /// landmark.
+    pub num_landmarks: usize,
     /// The price calculator.
     pub price: PriceModel,
 }
@@ -43,6 +49,7 @@ impl Default for EngineConfig {
             speed,
             // 15 minutes of driving at the constant speed.
             max_pickup_dist: speed.seconds_to_distance(900.0),
+            num_landmarks: 8,
             price: PriceModel::default(),
         }
     }
@@ -80,6 +87,12 @@ impl EngineConfig {
     /// Sets the maximum planned pickup distance in metres.
     pub fn with_max_pickup_dist(mut self, metres: f64) -> Self {
         self.max_pickup_dist = metres;
+        self
+    }
+
+    /// Sets the number of ALT landmarks (0 disables landmark acceleration).
+    pub fn with_num_landmarks(mut self, k: usize) -> Self {
+        self.num_landmarks = k;
         self
     }
 

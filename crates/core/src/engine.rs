@@ -108,7 +108,27 @@ impl PtRider {
     /// handles (useful when benchmarks construct many engines over the same
     /// city).
     pub fn with_shared(net: Arc<RoadNetwork>, grid: Arc<GridIndex>, config: EngineConfig) -> Self {
-        let oracle = DistanceOracle::new(Arc::clone(&net), Arc::clone(&grid));
+        let oracle = if config.num_landmarks > 0 {
+            let landmarks = Arc::new(ptrider_roadnet::LandmarkIndex::build(
+                &net,
+                config.num_landmarks,
+                VertexId(0),
+            ));
+            DistanceOracle::with_landmarks(Arc::clone(&net), Arc::clone(&grid), landmarks)
+        } else {
+            DistanceOracle::new(Arc::clone(&net), Arc::clone(&grid))
+        };
+        Self::with_oracle(net, grid, oracle, config)
+    }
+
+    /// Builds an engine over a caller-constructed distance oracle (used by
+    /// benchmarks to compare oracle configurations on identical worlds).
+    pub fn with_oracle(
+        net: Arc<RoadNetwork>,
+        grid: Arc<GridIndex>,
+        oracle: DistanceOracle,
+        config: EngineConfig,
+    ) -> Self {
         let index = VehicleIndex::new(grid.num_cells());
         let matcher_kind = MatcherKind::DualSide;
         PtRider {
@@ -657,13 +677,18 @@ mod tests {
             (VertexId(12), VertexId(14), 1u32),
             (VertexId(13), VertexId(14), 1u32),
         ];
-        let outcomes = e.submit_batch_greedy(&specs, 0.0, |options| {
-            if options.is_empty() {
-                None
-            } else {
-                Some(0)
-            }
-        });
+        let outcomes =
+            e.submit_batch_greedy(
+                &specs,
+                0.0,
+                |options| {
+                    if options.is_empty() {
+                        None
+                    } else {
+                        Some(0)
+                    }
+                },
+            );
         assert_eq!(outcomes.len(), 2);
         assert_eq!(outcomes[0].chosen, Some(0));
         assert!(!outcomes[0].options.is_empty());

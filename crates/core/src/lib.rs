@@ -48,8 +48,8 @@ pub mod stats;
 pub use config::EngineConfig;
 pub use engine::{BatchOutcome, EngineError, PtRider};
 pub use matching::{
-    DualSideMatcher, MatchContext, MatchResult, MatchStats, Matcher, MatcherKind, NaiveMatcher,
-    SingleSideMatcher,
+    parallel_mode, set_parallel_mode, DualSideMatcher, MatchContext, MatchResult, MatchStats,
+    Matcher, MatcherKind, NaiveMatcher, ParallelMode, SingleSideMatcher,
 };
 pub use options::RideOption;
 pub use price::PriceModel;

@@ -16,11 +16,13 @@
 
 mod dual_side;
 mod naive;
+pub mod par;
 mod search;
 mod single_side;
 
 pub use dual_side::DualSideMatcher;
 pub use naive::NaiveMatcher;
+pub use par::{parallel_mode, set_parallel_mode, ParallelMode};
 pub use single_side::SingleSideMatcher;
 
 use crate::config::EngineConfig;
@@ -63,6 +65,19 @@ pub struct MatchStats {
     pub candidates_generated: usize,
 }
 
+impl MatchStats {
+    /// Adds another stats record (used to combine per-thread counters from
+    /// the parallel verification path).
+    pub fn merge(&mut self, other: &MatchStats) {
+        self.vehicles_considered += other.vehicles_considered;
+        self.vehicles_verified += other.vehicles_verified;
+        self.vehicles_pruned += other.vehicles_pruned;
+        self.cells_visited += other.cells_visited;
+        self.exact_distance_computations += other.exact_distance_computations;
+        self.candidates_generated += other.candidates_generated;
+    }
+}
+
 /// Result of matching one request.
 #[derive(Clone, Debug, Default)]
 pub struct MatchResult {
@@ -97,9 +112,9 @@ impl MatcherKind {
     /// Instantiates the matcher.
     pub fn build(self) -> Box<dyn Matcher> {
         match self {
-            MatcherKind::Naive => Box::new(NaiveMatcher::default()),
-            MatcherKind::SingleSide => Box::new(SingleSideMatcher::default()),
-            MatcherKind::DualSide => Box::new(DualSideMatcher::default()),
+            MatcherKind::Naive => Box::new(NaiveMatcher),
+            MatcherKind::SingleSide => Box::new(SingleSideMatcher),
+            MatcherKind::DualSide => Box::new(DualSideMatcher),
         }
     }
 

@@ -7,7 +7,8 @@
 //! optimised matchers are tested against, and the baseline of the latency
 //! experiments.
 
-use super::{verify_vehicle, MatchContext, MatchResult, MatchStats, Matcher};
+use super::par::verify_vehicles;
+use super::{MatchContext, MatchResult, MatchStats, Matcher};
 use crate::skyline::Skyline;
 use ptrider_vehicles::ProspectiveRequest;
 
@@ -29,11 +30,9 @@ impl Matcher for NaiveMatcher {
         // reproducible even though the result set is order-independent.
         let mut ids: Vec<_> = ctx.vehicles.keys().copied().collect();
         ids.sort_unstable();
-        for id in ids {
-            let vehicle = &ctx.vehicles[&id];
-            stats.vehicles_considered += 1;
-            verify_vehicle(ctx, req, vehicle, &mut skyline, &mut stats);
-        }
+        let vehicles: Vec<_> = ids.iter().map(|id| &ctx.vehicles[id]).collect();
+        stats.vehicles_considered += vehicles.len();
+        verify_vehicles(ctx, req, &vehicles, &mut skyline, &mut stats);
 
         stats.exact_distance_computations = ctx.oracle.exact_computations() - exact_before;
         MatchResult {

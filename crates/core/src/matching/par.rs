@@ -1,0 +1,136 @@
+//! Parallel candidate verification.
+//!
+//! `verify_vehicle` — the kinetic-tree insertion enumeration plus pricing —
+//! is read-only over [`MatchContext`] and independent per vehicle, so a
+//! batch of candidate vehicles can be verified on multiple threads, each
+//! accumulating its own [`Skyline`] and [`MatchStats`], merged at the end.
+//! The merge is exact: the skyline's non-dominated set is independent of
+//! insertion order (dominance is transitive), one vehicle's options always
+//! stay on one thread in enumeration order, and per-thread results are
+//! merged in deterministic chunk order — so the parallel path returns
+//! byte-identical skylines to the sequential one (property-tested in
+//! `tests/matcher_equivalence.rs`).
+//!
+//! The build environment has no crate registry, so instead of rayon this
+//! uses `std::thread::scope` with one contiguous chunk per worker; the
+//! thread-local scratch buffers of `ptrider-roadnet` and the sharded oracle
+//! cache make the workers allocation- and contention-light.
+
+use super::{verify_vehicle, MatchContext, MatchStats};
+use crate::skyline::Skyline;
+use ptrider_vehicles::{ProspectiveRequest, Vehicle};
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// How the verification loop schedules work.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ParallelMode {
+    /// Parallelise when the batch is large enough to amortise thread spawn
+    /// (the default).
+    Auto,
+    /// Always verify sequentially (reference behaviour).
+    Sequential,
+    /// Parallelise every batch of at least two vehicles (used by the
+    /// equivalence property tests).
+    Parallel,
+}
+
+static MODE: AtomicU8 = AtomicU8::new(0);
+
+/// Sets the global verification mode (process-wide; primarily for tests and
+/// benchmarks that compare the sequential and parallel paths).
+pub fn set_parallel_mode(mode: ParallelMode) {
+    MODE.store(
+        match mode {
+            ParallelMode::Auto => 0,
+            ParallelMode::Sequential => 1,
+            ParallelMode::Parallel => 2,
+        },
+        Ordering::Relaxed,
+    );
+}
+
+/// The current global verification mode.
+pub fn parallel_mode() -> ParallelMode {
+    match MODE.load(Ordering::Relaxed) {
+        1 => ParallelMode::Sequential,
+        2 => ParallelMode::Parallel,
+        _ => ParallelMode::Auto,
+    }
+}
+
+/// Below this batch size `Auto` stays sequential: spawning threads costs
+/// more than a handful of kinetic-tree verifications.
+const MIN_AUTO_BATCH: usize = 16;
+/// Minimum vehicles per worker in `Auto` mode.
+const MIN_PER_THREAD: usize = 4;
+
+fn worker_count(batch: usize) -> usize {
+    let available = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    match parallel_mode() {
+        ParallelMode::Sequential => 1,
+        ParallelMode::Parallel => {
+            if batch < 2 {
+                1
+            } else {
+                // Forced mode exists to exercise the multi-threaded merge
+                // (equivalence tests), so use at least two workers even on
+                // single-core machines.
+                available.max(2).min(batch)
+            }
+        }
+        ParallelMode::Auto => {
+            if batch < MIN_AUTO_BATCH || available < 2 {
+                1
+            } else {
+                available.min(batch / MIN_PER_THREAD).max(1)
+            }
+        }
+    }
+}
+
+/// Verifies a batch of vehicles, in parallel when worthwhile, merging all
+/// options and counters into `skyline` / `stats`.
+pub(crate) fn verify_vehicles(
+    ctx: &MatchContext<'_>,
+    req: &ProspectiveRequest,
+    vehicles: &[&Vehicle],
+    skyline: &mut Skyline,
+    stats: &mut MatchStats,
+) {
+    let workers = worker_count(vehicles.len());
+    if workers <= 1 {
+        for vehicle in vehicles {
+            verify_vehicle(ctx, req, vehicle, skyline, stats);
+        }
+        return;
+    }
+
+    let chunk_size = vehicles.len().div_ceil(workers);
+    let results: Vec<(Skyline, MatchStats)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = vehicles
+            .chunks(chunk_size)
+            .map(|chunk| {
+                scope.spawn(move || {
+                    let mut sky = Skyline::new();
+                    let mut st = MatchStats::default();
+                    for vehicle in chunk {
+                        verify_vehicle(ctx, req, vehicle, &mut sky, &mut st);
+                    }
+                    (sky, st)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("verification worker panicked"))
+            .collect()
+    });
+
+    // Deterministic merge in chunk order.
+    for (sky, st) in results {
+        skyline.merge(sky);
+        stats.merge(&st);
+    }
+}

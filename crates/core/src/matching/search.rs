@@ -10,7 +10,8 @@
 //! property tests); pruning only reduces the number of vehicles verified and
 //! exact shortest-path distances computed.
 
-use super::{verify_vehicle, MatchContext, MatchResult, MatchStats};
+use super::par::verify_vehicles;
+use super::{MatchContext, MatchResult, MatchStats};
 use crate::skyline::Skyline;
 use ptrider_vehicles::{ProspectiveRequest, Vehicle};
 use std::collections::HashSet;
@@ -43,9 +44,15 @@ pub(crate) fn grid_search(
     let max_pick = ctx.config.max_pickup_dist;
     let s = req.pickup;
     let s_cell = grid.cell_of(s);
+    // The grid's cell-distance tables are built from forward searches only,
+    // so they bound dist(x, s) solely on networks with symmetric distances.
+    // With one-way edges the cell bound degrades to 0 (no cell-level
+    // termination; the per-vehicle bounds below use the direction-safe
+    // oracle and keep the skyline identical to the naive scan).
+    let symmetric = ctx.oracle.network().is_undirected();
     let s_min = {
         let m = grid.vertex_min(s);
-        if m.is_finite() {
+        if symmetric && m.is_finite() {
             m
         } else {
             0.0
@@ -57,6 +64,10 @@ pub(crate) fn grid_search(
     let mut seen_non_empty = HashSet::new();
     let mut empty_done = false;
     let mut non_empty_done = false;
+    // Vehicles that survived the cheap bound pruning of the current cell;
+    // verified as one (possibly parallel) batch before the next cell so the
+    // cell-level termination checks still see the up-to-date skyline.
+    let mut batch: Vec<&Vehicle> = Vec::new();
 
     for &(cell, cell_lb) in grid.cells_by_lower_bound(s_cell) {
         if empty_done && non_empty_done {
@@ -64,7 +75,7 @@ pub(crate) fn grid_search(
         }
         stats.cells_visited += 1;
         // Lower bound on dist(x, s) for any vertex x in this cell (P1).
-        let t_cell_lb = if cell == s_cell {
+        let t_cell_lb = if !symmetric || cell == s_cell {
             0.0
         } else if cell_lb.is_finite() {
             cell_lb + s_min
@@ -84,7 +95,9 @@ pub(crate) fn grid_search(
                         continue;
                     };
                     stats.vehicles_considered += 1;
-                    process_empty(ctx, req, vehicle, &mut skyline, &mut stats);
+                    if empty_survives_pruning(ctx, req, vehicle, &skyline, &mut stats) {
+                        batch.push(vehicle);
+                    }
                 }
             }
         }
@@ -104,9 +117,16 @@ pub(crate) fn grid_search(
                         continue;
                     };
                     stats.vehicles_considered += 1;
-                    process_non_empty(ctx, req, vehicle, mode, &mut skyline, &mut stats);
+                    if non_empty_survives_pruning(ctx, req, vehicle, mode, &skyline, &mut stats) {
+                        batch.push(vehicle);
+                    }
                 }
             }
+        }
+
+        if !batch.is_empty() {
+            verify_vehicles(ctx, req, &batch, &mut skyline, &mut stats);
+            batch.clear();
         }
     }
 
@@ -119,17 +139,18 @@ pub(crate) fn grid_search(
 
 /// Empty vehicle: its price is a closed-form function of its pickup distance
 /// (P2), so a lower bound on the pickup distance bounds both dimensions.
-fn process_empty(
+/// Returns `true` when the vehicle cannot be pruned and must be verified.
+fn empty_survives_pruning(
     ctx: &MatchContext<'_>,
     req: &ProspectiveRequest,
     vehicle: &Vehicle,
-    skyline: &mut Skyline,
+    skyline: &Skyline,
     stats: &mut MatchStats,
-) {
+) -> bool {
     let t_lb = ctx.oracle.lower_bound(vehicle.location(), req.pickup);
     if t_lb > ctx.config.max_pickup_dist {
         stats.vehicles_pruned += 1;
-        return;
+        return false;
     }
     let p_lb = ctx
         .config
@@ -137,26 +158,27 @@ fn process_empty(
         .empty_vehicle_price(req.riders, t_lb, req.direct_dist);
     if skyline.would_dominate(t_lb, p_lb) {
         stats.vehicles_pruned += 1;
-        return;
+        return false;
     }
-    verify_vehicle(ctx, req, vehicle, skyline, stats);
+    true
 }
 
 /// Non-empty vehicle: prune with the pickup-distance bound, the detour/price
 /// bound (P3) and — in dual-side mode — the destination-side analysis (P5).
-fn process_non_empty(
+/// Returns `true` when the vehicle cannot be pruned and must be verified.
+fn non_empty_survives_pruning(
     ctx: &MatchContext<'_>,
     req: &ProspectiveRequest,
     vehicle: &Vehicle,
     mode: SearchMode,
-    skyline: &mut Skyline,
+    skyline: &Skyline,
     stats: &mut MatchStats,
-) {
+) -> bool {
     let loc = vehicle.location();
     let mut time_lb = ctx.oracle.lower_bound(loc, req.pickup);
     if time_lb > ctx.config.max_pickup_dist {
         stats.vehicles_pruned += 1;
-        return;
+        return false;
     }
     let dist_tri = vehicle.current_best_distance();
     // The new schedule must reach s and then d: dist_trj ≥ lb(l, s) + dist(s, d).
@@ -170,25 +192,28 @@ fn process_non_empty(
         match destination_side_analysis(ctx, req, vehicle) {
             Analysis::Infeasible => {
                 stats.vehicles_pruned += 1;
-                return;
+                return false;
             }
             Analysis::Bounds { pickup_dist_lb } => {
                 time_lb = time_lb.max(pickup_dist_lb);
                 if time_lb > ctx.config.max_pickup_dist {
                     stats.vehicles_pruned += 1;
-                    return;
+                    return false;
                 }
                 delta_lb = delta_lb.max((time_lb + req.direct_dist - dist_tri).max(0.0));
             }
         }
     }
 
-    let p_lb = ctx.config.price.price(req.riders, delta_lb, req.direct_dist);
+    let p_lb = ctx
+        .config
+        .price
+        .price(req.riders, delta_lb, req.direct_dist);
     if skyline.would_dominate(time_lb, p_lb) {
         stats.vehicles_pruned += 1;
-        return;
+        return false;
     }
-    verify_vehicle(ctx, req, vehicle, skyline, stats);
+    true
 }
 
 /// Outcome of the destination-side placement analysis (P5).
@@ -225,10 +250,7 @@ fn destination_side_analysis(
     for r in vehicle.requests() {
         let (stop_loc, budget) = if r.is_waiting() {
             // The outstanding pickup must happen within its odometer deadline.
-            (
-                r.pickup,
-                r.pickup_deadline_odometer - vehicle.odometer(),
-            )
+            (r.pickup, r.pickup_deadline_odometer - vehicle.odometer())
         } else {
             // The outstanding drop-off must happen within the remaining
             // on-board budget.
@@ -257,8 +279,7 @@ fn destination_side_analysis(
             if oracle.lower_bound(loc, stop_loc) > budget + EPS {
                 return Analysis::Infeasible;
             }
-            let before_bound =
-                oracle.lower_bound(loc, stop_loc) + oracle.lower_bound(stop_loc, s);
+            let before_bound = oracle.lower_bound(loc, stop_loc) + oracle.lower_bound(stop_loc, s);
             pickup_dist_lb = pickup_dist_lb.max(before_bound);
         }
     }

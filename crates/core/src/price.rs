@@ -134,6 +134,8 @@ mod tests {
     fn distance_scale_scales_linearly() {
         let unit = PriceModel::paper_default();
         let km = PriceModel::per_kilometre();
-        assert!((unit.price(1, 1000.0, 2000.0) / 1000.0 - km.price(1, 1000.0, 2000.0)).abs() < 1e-9);
+        assert!(
+            (unit.price(1, 1000.0, 2000.0) / 1000.0 - km.price(1, 1000.0, 2000.0)).abs() < 1e-9
+        );
     }
 }

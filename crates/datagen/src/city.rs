@@ -104,12 +104,12 @@ impl CityConfig {
 /// The network is connected (it contains the full street lattice) and
 /// undirected (every edge has its reverse).
 pub fn synthetic_city(config: &CityConfig) -> RoadNetwork {
-    assert!(config.cols >= 2 && config.rows >= 2, "city needs at least a 2x2 lattice");
-    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
-    let mut b = RoadNetworkBuilder::with_capacity(
-        config.num_vertices(),
-        4 * config.num_vertices(),
+    assert!(
+        config.cols >= 2 && config.rows >= 2,
+        "city needs at least a 2x2 lattice"
     );
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let mut b = RoadNetworkBuilder::with_capacity(config.num_vertices(), 4 * config.num_vertices());
 
     // Vertices with jittered coordinates (kept locally so edge weights can be
     // derived from the actual geometry).
@@ -136,8 +136,10 @@ pub fn synthetic_city(config: &CityConfig) -> RoadNetwork {
     }
 
     let vertex = |x: usize, y: usize| ids[y * config.cols + x];
-    let is_arterial_row = |y: usize| config.arterial_every > 0 && y % config.arterial_every == 0;
-    let is_arterial_col = |x: usize| config.arterial_every > 0 && x % config.arterial_every == 0;
+    let is_arterial_row =
+        |y: usize| config.arterial_every > 0 && y.is_multiple_of(config.arterial_every);
+    let is_arterial_col =
+        |x: usize| config.arterial_every > 0 && x.is_multiple_of(config.arterial_every);
     let euclid = |a: VertexId, c: VertexId| {
         let (ax, ay) = coords[a.index()];
         let (cx, cy) = coords[c.index()];

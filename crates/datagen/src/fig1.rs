@@ -166,13 +166,17 @@ mod tests {
         let net = fig1_network();
         assert_eq!(net.num_vertices(), 17);
         let dist = dijkstra::single_source(&net, fig1_vertex(1));
-        assert!(dist.iter().all(|d| d.is_finite()), "network must be connected");
+        assert!(
+            dist.iter().all(|d| d.is_finite()),
+            "network must be connected"
+        );
     }
 
     #[test]
     fn distances_match_the_worked_example() {
         let net = fig1_network();
-        let d = |a: usize, b: usize| dijkstra::distance(&net, fig1_vertex(a), fig1_vertex(b)).unwrap();
+        let d =
+            |a: usize, b: usize| dijkstra::distance(&net, fig1_vertex(a), fig1_vertex(b)).unwrap();
         assert_eq!(d(1, 2), 6.0);
         assert_eq!(d(2, 12), 8.0);
         assert_eq!(d(12, 16), 4.0);
@@ -199,7 +203,10 @@ mod tests {
                     continue;
                 }
                 let d = dijkstra::distance(&net, fig1_vertex(a), fig1_vertex(b)).unwrap();
-                assert!(d <= 29.0, "core distance {a}->{b} = {d} went through filler edges");
+                assert!(
+                    d <= 29.0,
+                    "core distance {a}->{b} = {d} went through filler edges"
+                );
             }
         }
     }

@@ -290,6 +290,9 @@ mod tests {
             / trips.len() as f64;
         // With a 8% spread, origins should on average sit well inside a
         // quarter of the city diagonal from the centre.
-        assert!(mean_dist < extent / 4.0, "mean dist {mean_dist} vs extent {extent}");
+        assert!(
+            mean_dist < extent / 4.0,
+            "mean dist {mean_dist} vs extent {extent}"
+        );
     }
 }

@@ -6,14 +6,48 @@
 //! `dist(u, v)` of Section 2.1.
 
 use crate::graph::RoadNetwork;
+use crate::scratch::{with_scratch, with_scratch_pair};
 use crate::types::{OrdF64, VertexId, INFINITE_DISTANCE};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 /// Point-to-point shortest path distance with early termination.
 ///
-/// Returns `None` when `target` is unreachable from `source`.
+/// Allocation-free: reuses this thread's generation-stamped
+/// [`SearchScratch`](crate::scratch::SearchScratch) instead of building an
+/// `O(V)` distance vector per call. Returns `None` when `target` is
+/// unreachable from `source`.
 pub fn distance(net: &RoadNetwork, source: VertexId, target: VertexId) -> Option<f64> {
+    if source == target {
+        return Some(0.0);
+    }
+    with_scratch(|s| {
+        s.begin(net.num_vertices());
+        s.set(source, 0.0);
+        s.push(0.0, source);
+        while let Some((d, u)) = s.pop() {
+            if d > s.get(u) {
+                continue;
+            }
+            if u == target {
+                return Some(d);
+            }
+            for (v, w) in net.neighbors(u) {
+                let nd = d + w;
+                if nd < s.get(v) {
+                    s.set(v, nd);
+                    s.push(nd, v);
+                }
+            }
+        }
+        None
+    })
+}
+
+/// The seed's per-call-allocating Dijkstra, kept as the measurement baseline
+/// for the perf report (`BENCH_e9.json` quotes scratch vs. allocating).
+#[doc(hidden)]
+pub fn distance_allocating(net: &RoadNetwork, source: VertexId, target: VertexId) -> Option<f64> {
     if source == target {
         return Some(0.0);
     }
@@ -39,9 +73,60 @@ pub fn distance(net: &RoadNetwork, source: VertexId, target: VertexId) -> Option
     None
 }
 
+/// One-to-many shortest-path distances: a single bounded Dijkstra from
+/// `source` that stops as soon as every vertex in `targets` is settled.
+///
+/// Allocation-free apart from the output vector; the target set is marked in
+/// the second thread-local scratch (its generation stamps double as a
+/// membership bitmap), so batching `k` queries costs one search instead of
+/// `k` independent point-to-point searches. Unreachable targets get
+/// [`INFINITE_DISTANCE`]. Duplicate targets are fine.
+pub fn multi_target(net: &RoadNetwork, source: VertexId, targets: &[VertexId]) -> Vec<f64> {
+    if targets.is_empty() {
+        return Vec::new();
+    }
+    with_scratch_pair(|s, marks| {
+        let n = net.num_vertices();
+        s.begin(n);
+        marks.begin(n);
+        // Mark targets; `remaining` counts distinct unsettled targets.
+        let mut remaining = 0usize;
+        for &t in targets {
+            if marks.get(t).is_infinite() {
+                marks.set(t, 1.0);
+                remaining += 1;
+            }
+        }
+        s.set(source, 0.0);
+        s.push(0.0, source);
+        while let Some((d, u)) = s.pop() {
+            if d > s.get(u) {
+                continue;
+            }
+            if marks.get(u) == 1.0 {
+                marks.set(u, 2.0); // settled target
+                remaining -= 1;
+                if remaining == 0 {
+                    break;
+                }
+            }
+            for (v, w) in net.neighbors(u) {
+                let nd = d + w;
+                if nd < s.get(v) {
+                    s.set(v, nd);
+                    s.push(nd, v);
+                }
+            }
+        }
+        targets.iter().map(|&t| s.get(t)).collect()
+    })
+}
+
 /// Point-to-point shortest path returning `(distance, path)`.
 ///
 /// The path includes both endpoints. Returns `None` when unreachable.
+/// Allocation-free apart from the returned path: runs on the thread-local
+/// scratch with generation-stamped parent pointers.
 pub fn shortest_path(
     net: &RoadNetwork,
     source: VertexId,
@@ -50,43 +135,42 @@ pub fn shortest_path(
     if source == target {
         return Some((0.0, vec![source]));
     }
-    let n = net.num_vertices();
-    let mut dist = vec![INFINITE_DISTANCE; n];
-    let mut parent: Vec<Option<VertexId>> = vec![None; n];
-    let mut heap = BinaryHeap::new();
-    dist[source.index()] = 0.0;
-    heap.push(Reverse((OrdF64(0.0), source)));
-    while let Some(Reverse((OrdF64(d), u))) = heap.pop() {
-        if d > dist[u.index()] {
-            continue;
-        }
-        if u == target {
-            break;
-        }
-        for (v, w) in net.neighbors(u) {
-            let nd = d + w;
-            if nd < dist[v.index()] {
-                dist[v.index()] = nd;
-                parent[v.index()] = Some(u);
-                heap.push(Reverse((OrdF64(nd), v)));
+    with_scratch(|s| {
+        s.begin(net.num_vertices());
+        s.set(source, 0.0);
+        s.push(0.0, source);
+        while let Some((d, u)) = s.pop() {
+            if d > s.get(u) {
+                continue;
+            }
+            if u == target {
+                break;
+            }
+            for (v, w) in net.neighbors(u) {
+                let nd = d + w;
+                if nd < s.get(v) {
+                    s.set_with_parent(v, nd, u);
+                    s.push(nd, v);
+                }
             }
         }
-    }
-    if dist[target.index()].is_infinite() {
-        return None;
-    }
-    let mut path = vec![target];
-    let mut cur = target;
-    while let Some(p) = parent[cur.index()] {
-        path.push(p);
-        cur = p;
-        if cur == source {
-            break;
+        let total = s.get(target);
+        if total.is_infinite() {
+            return None;
         }
-    }
-    path.reverse();
-    debug_assert_eq!(path.first(), Some(&source));
-    Some((dist[target.index()], path))
+        let mut path = vec![target];
+        let mut cur = target;
+        while let Some(p) = s.parent_of(cur) {
+            path.push(p);
+            cur = p;
+            if cur == source {
+                break;
+            }
+        }
+        path.reverse();
+        debug_assert_eq!(path.first(), Some(&source));
+        Some((total, path))
+    })
 }
 
 /// Single-source shortest path distances to every vertex.
@@ -101,10 +185,7 @@ pub fn single_source(net: &RoadNetwork, source: VertexId) -> Vec<f64> {
 ///
 /// Used to compute `v.min` (distance to the nearest border vertex of the
 /// cell, Section 3.2.1) and the cell-pair lower-bound matrix.
-pub fn multi_source(
-    net: &RoadNetwork,
-    sources: impl IntoIterator<Item = VertexId>,
-) -> Vec<f64> {
+pub fn multi_source(net: &RoadNetwork, sources: impl IntoIterator<Item = VertexId>) -> Vec<f64> {
     let mut dist = vec![INFINITE_DISTANCE; net.num_vertices()];
     let mut heap = BinaryHeap::new();
     for s in sources {
@@ -133,34 +214,8 @@ pub fn multi_source(
 ///
 /// Used by the grid index to compute per-vertex border-distance tables
 /// without exploring the whole network.
-pub fn distances_to_targets(
-    net: &RoadNetwork,
-    source: VertexId,
-    targets: &[VertexId],
-) -> Vec<f64> {
-    let mut remaining: std::collections::HashSet<VertexId> = targets.iter().copied().collect();
-    let mut dist = vec![INFINITE_DISTANCE; net.num_vertices()];
-    let mut heap = BinaryHeap::new();
-    dist[source.index()] = 0.0;
-    heap.push(Reverse((OrdF64(0.0), source)));
-    remaining.remove(&source);
-    while let Some(Reverse((OrdF64(d), u))) = heap.pop() {
-        if d > dist[u.index()] {
-            continue;
-        }
-        remaining.remove(&u);
-        if remaining.is_empty() {
-            break;
-        }
-        for (v, w) in net.neighbors(u) {
-            let nd = d + w;
-            if nd < dist[v.index()] {
-                dist[v.index()] = nd;
-                heap.push(Reverse((OrdF64(nd), v)));
-            }
-        }
-    }
-    targets.iter().map(|t| dist[t.index()]).collect()
+pub fn distances_to_targets(net: &RoadNetwork, source: VertexId, targets: &[VertexId]) -> Vec<f64> {
+    multi_target(net, source, targets)
 }
 
 /// Single-source Dijkstra truncated at a radius: returns `(vertex, distance)`
@@ -219,9 +274,8 @@ pub fn bidirectional_distance(
     loop {
         let top_f = heap_f.peek().map(|Reverse((OrdF64(d), _))| *d);
         let top_b = heap_b.peek().map(|Reverse((OrdF64(d), _))| *d);
-        match (top_f, top_b) {
-            (None, None) => break,
-            _ => {}
+        if let (None, None) = (top_f, top_b) {
+            break;
         }
         let tf = top_f.unwrap_or(INFINITE_DISTANCE);
         let tb = top_b.unwrap_or(INFINITE_DISTANCE);

@@ -55,7 +55,9 @@ mod tests {
             weight: -1.0,
         };
         assert!(e.to_string().contains("-1"));
-        assert!(RoadNetError::EmptyNetwork.to_string().contains("at least one vertex"));
+        assert!(RoadNetError::EmptyNetwork
+            .to_string()
+            .contains("at least one vertex"));
         assert!(RoadNetError::InvalidCoordinate(VertexId(3))
             .to_string()
             .contains("v3"));

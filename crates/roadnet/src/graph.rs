@@ -98,6 +98,12 @@ pub struct RoadNetwork {
     /// Smallest ratio of edge weight to Euclidean length of its endpoints,
     /// used as an admissible A* heuristic scale. `0.0` when undefined.
     min_weight_ratio: f64,
+    /// `true` when every directed edge `(u, v, w)` has a reverse edge
+    /// `(v, u, w)` with the same weight, i.e. the network is effectively
+    /// undirected. Computed once at build time; consumers use it to decide
+    /// whether symmetric shortcuts (cache mirroring, two-sided landmark
+    /// bounds) are sound.
+    undirected: bool,
 }
 
 impl RoadNetwork {
@@ -155,12 +161,27 @@ impl RoadNetwork {
             min_weight_ratio = 0.0;
         }
 
+        // Undirectedness check: every directed edge must have a reverse
+        // twin with an identical weight (bit-exact; weights come from the
+        // same f64 source on both directions of a bidirectional edge).
+        let undirected = {
+            let mut set: std::collections::HashSet<(u32, u32, u64)> =
+                std::collections::HashSet::with_capacity(edges.len());
+            for e in &edges {
+                set.insert((e.from.0, e.to.0, e.weight.to_bits()));
+            }
+            edges
+                .iter()
+                .all(|e| set.contains(&(e.to.0, e.from.0, e.weight.to_bits())))
+        };
+
         Ok(RoadNetwork {
             coords,
             offsets,
             targets,
             weights,
             min_weight_ratio,
+            undirected,
         })
     }
 
@@ -231,6 +252,15 @@ impl RoadNetwork {
     #[inline]
     pub fn min_weight_ratio(&self) -> f64 {
         self.min_weight_ratio
+    }
+
+    /// `true` when every directed edge has a same-weight reverse edge, so
+    /// `dist(u, v) = dist(v, u)` for all vertex pairs. Networks built
+    /// exclusively with [`RoadNetworkBuilder::add_bidirectional_edge`] are
+    /// undirected; any one-way edge makes this `false`.
+    #[inline]
+    pub fn is_undirected(&self) -> bool {
+        self.undirected
     }
 
     /// Axis-aligned bounding box of all vertex coordinates `(min, max)`.
@@ -316,7 +346,10 @@ mod tests {
         let mut b = RoadNetworkBuilder::new();
         let v0 = b.add_vertex(0.0, 0.0);
         b.add_directed_edge(v0, VertexId(9), 1.0);
-        assert_eq!(b.build().unwrap_err(), RoadNetError::UnknownVertex(VertexId(9)));
+        assert_eq!(
+            b.build().unwrap_err(),
+            RoadNetError::UnknownVertex(VertexId(9))
+        );
     }
 
     #[test]

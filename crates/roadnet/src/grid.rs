@@ -417,7 +417,10 @@ mod tests {
                     .cell(grid.cell_of(e.from))
                     .border_vertices
                     .contains(&e.from));
-                assert!(grid.cell(grid.cell_of(e.to)).border_vertices.contains(&e.to));
+                assert!(grid
+                    .cell(grid.cell_of(e.to))
+                    .border_vertices
+                    .contains(&e.to));
             }
         }
     }

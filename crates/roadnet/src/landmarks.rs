@@ -27,6 +27,11 @@ pub struct LandmarkIndex {
     landmarks: Vec<VertexId>,
     /// `dist[i][v]` = shortest-path distance from landmark `i` to vertex `v`.
     dist: Vec<Vec<f64>>,
+    /// Whether the network the tables were built on is undirected. On
+    /// undirected networks the two-sided bound `|dist(ℓ,u) − dist(ℓ,v)|` is
+    /// valid; on directed ones only the one-sided `dist(ℓ,v) − dist(ℓ,u)`
+    /// follows from the triangle inequality (forward tables only).
+    symmetric: bool,
 }
 
 impl LandmarkIndex {
@@ -73,7 +78,11 @@ impl LandmarkIndex {
             dist.push(dijkstra::single_source(net, v));
         }
 
-        LandmarkIndex { landmarks, dist }
+        LandmarkIndex {
+            landmarks,
+            dist,
+            symmetric: net.is_undirected(),
+        }
     }
 
     /// The selected landmark vertices.
@@ -81,8 +90,11 @@ impl LandmarkIndex {
         &self.landmarks
     }
 
-    /// ALT lower bound on `dist(u, v)`; always admissible on undirected
-    /// networks. Returns 0 when either endpoint is unreachable from every
+    /// ALT lower bound on `dist(u, v)`, admissible on directed and
+    /// undirected networks alike: on undirected networks it is
+    /// `max_ℓ |dist(ℓ,u) − dist(ℓ,v)|`; with one-way edges it degrades to
+    /// the one-sided `max_ℓ dist(ℓ,v) − dist(ℓ,u)` that forward tables
+    /// justify. Returns 0 when either endpoint is unreachable from every
     /// landmark.
     pub fn lower_bound(&self, u: VertexId, v: VertexId) -> f64 {
         let mut best: f64 = 0.0;
@@ -90,7 +102,9 @@ impl LandmarkIndex {
             let du = row[u.index()];
             let dv = row[v.index()];
             if du.is_finite() && dv.is_finite() {
-                best = best.max((du - dv).abs());
+                let diff = dv - du;
+                let bound = if self.symmetric { diff.abs() } else { diff };
+                best = best.max(bound);
             }
         }
         best
@@ -138,7 +152,11 @@ mod tests {
                     b.add_bidirectional_edge(u, ids[y * side + x + 1], rng.gen_range(90.0..160.0));
                 }
                 if y + 1 < side {
-                    b.add_bidirectional_edge(u, ids[(y + 1) * side + x], rng.gen_range(90.0..160.0));
+                    b.add_bidirectional_edge(
+                        u,
+                        ids[(y + 1) * side + x],
+                        rng.gen_range(90.0..160.0),
+                    );
                 }
             }
         }
@@ -177,7 +195,10 @@ mod tests {
         }
         // With 6 landmarks on a small lattice, the bound is reasonably tight
         // for the majority of pairs.
-        assert!(tight > n / 2, "only {tight}/{n} pairs had a tight ALT bound");
+        assert!(
+            tight > n / 2,
+            "only {tight}/{n} pairs had a tight ALT bound"
+        );
     }
 
     #[test]

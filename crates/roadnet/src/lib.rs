@@ -39,6 +39,7 @@ pub mod graph;
 pub mod grid;
 pub mod landmarks;
 pub mod oracle;
+pub mod scratch;
 pub mod types;
 
 pub use error::RoadNetError;

@@ -1,20 +1,53 @@
-//! Memoising distance oracle combining exact Dijkstra queries with the grid
-//! lower bounds.
+//! Memoising distance oracle combining exact shortest-path queries with the
+//! grid and landmark lower bounds.
 //!
 //! The matching algorithms of `ptrider-core` interleave many exact distance
-//! computations with cheap pruning bounds. The oracle centralises both so
-//! that (i) repeated exact queries hit a cache, and (ii) the number of exact
-//! shortest-path computations can be counted — the metric reported by the
-//! pruning-effectiveness experiment (E8).
+//! computations with cheap pruning bounds; the oracle is the hot path of the
+//! whole system. Its design:
+//!
+//! * **Sharded cache** — exact results are memoised in hash-partitioned
+//!   shards, each behind its own `parking_lot::RwLock`. Lookups take one
+//!   shard read lock, inserts one shard write lock, so concurrent matcher
+//!   threads do not serialise on a single global mutex (the seed used one
+//!   `Mutex<HashMap>` locked twice per query).
+//! * **Allocation-free ALT backend** — exact queries run A* on thread-local
+//!   generation-stamped scratch buffers ([`crate::scratch`]) with the
+//!   heuristic `max(euclidean, grid bound, landmark bound)`; see
+//!   [`crate::astar::distance_with_landmarks`].
+//! * **Batched one-to-many** — [`DistanceOracle::distances_from`] answers
+//!   `k` same-source queries with a single bounded multi-target Dijkstra
+//!   instead of `k` point-to-point searches.
+//! * **Directed-safe mirroring** — the symmetric `(v, u)` cache entry is
+//!   only written when [`RoadNetwork::is_undirected`] holds; on networks
+//!   with one-way edges `dist(u, v) ≠ dist(v, u)` in general.
+//!
+//! The exact-computation counters feed the pruning-effectiveness experiment
+//! (E8).
 
+use crate::astar;
 use crate::dijkstra;
 use crate::graph::RoadNetwork;
 use crate::grid::GridIndex;
+use crate::landmarks::LandmarkIndex;
 use crate::types::VertexId;
-use parking_lot::Mutex;
+use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Number of cache shards. A small power of two well above typical matcher
+/// thread counts keeps write contention negligible while the per-shard maps
+/// stay dense.
+const SHARDS: usize = 32;
+
+type Shard = RwLock<HashMap<(VertexId, VertexId), f64>>;
+
+#[inline]
+fn shard_of(u: VertexId, v: VertexId) -> usize {
+    let key = ((u.0 as u64) << 32) | v.0 as u64;
+    // Fibonacci hashing spreads sequential vertex ids across shards.
+    (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 59) as usize & (SHARDS - 1)
+}
 
 /// Thread-safe memoising distance oracle.
 ///
@@ -23,23 +56,58 @@ use std::sync::Arc;
 pub struct DistanceOracle {
     net: Arc<RoadNetwork>,
     grid: Arc<GridIndex>,
-    cache: Arc<Mutex<HashMap<(VertexId, VertexId), f64>>>,
+    landmarks: Option<Arc<LandmarkIndex>>,
+    cache: Arc<[Shard; SHARDS]>,
+    /// Legacy-baseline mode: one global lock (shard 0, always write-locked),
+    /// per-call-allocating plain Dijkstra, no ALT, no batching — the
+    /// pre-refactor oracle's behaviour, kept runnable so benchmarks can
+    /// quote the speedup against it. See [`Self::legacy_baseline`].
+    legacy: bool,
     exact_computations: Arc<AtomicU64>,
     cache_hits: Arc<AtomicU64>,
     lower_bound_queries: Arc<AtomicU64>,
 }
 
 impl DistanceOracle {
-    /// Creates an oracle over a network and its grid index.
+    /// Creates an oracle over a network and its grid index (no landmark
+    /// acceleration; see [`Self::with_landmarks`]).
     pub fn new(net: Arc<RoadNetwork>, grid: Arc<GridIndex>) -> Self {
         DistanceOracle {
             net,
             grid,
-            cache: Arc::new(Mutex::new(HashMap::new())),
+            landmarks: None,
+            cache: Arc::new(std::array::from_fn(|_| RwLock::new(HashMap::new()))),
+            legacy: false,
             exact_computations: Arc::new(AtomicU64::new(0)),
             cache_hits: Arc::new(AtomicU64::new(0)),
             lower_bound_queries: Arc::new(AtomicU64::new(0)),
         }
+    }
+
+    /// Creates an oracle that reproduces the pre-refactor behaviour: a
+    /// single globally-locked cache map, a fresh `O(V)` allocation per exact
+    /// query, no goal direction, no landmark bounds and no batched
+    /// one-to-many search. Exists solely as the measurement baseline for
+    /// `BENCH_e9.json`; do not use in production paths.
+    #[doc(hidden)]
+    pub fn legacy_baseline(net: Arc<RoadNetwork>, grid: Arc<GridIndex>) -> Self {
+        let mut oracle = Self::new(net, grid);
+        oracle.legacy = true;
+        oracle
+    }
+
+    /// Creates an oracle whose exact queries are ALT-accelerated and whose
+    /// [`Self::lower_bound`] additionally uses the landmark bound — the
+    /// P1–P5 pruning rules of the matchers then prune strictly more
+    /// vehicles.
+    pub fn with_landmarks(
+        net: Arc<RoadNetwork>,
+        grid: Arc<GridIndex>,
+        landmarks: Arc<LandmarkIndex>,
+    ) -> Self {
+        let mut oracle = Self::new(net, grid);
+        oracle.landmarks = Some(landmarks);
+        oracle
     }
 
     /// The underlying road network.
@@ -52,6 +120,11 @@ impl DistanceOracle {
         &self.grid
     }
 
+    /// The landmark index, if this oracle was built with one.
+    pub fn landmarks(&self) -> Option<&LandmarkIndex> {
+        self.landmarks.as_deref()
+    }
+
     /// Shared handle to the underlying road network.
     pub fn network_arc(&self) -> Arc<RoadNetwork> {
         Arc::clone(&self.net)
@@ -62,47 +135,164 @@ impl DistanceOracle {
         Arc::clone(&self.grid)
     }
 
+    #[inline]
+    fn shard_index(&self, u: VertexId, v: VertexId) -> usize {
+        if self.legacy {
+            0 // one global map, as the seed had
+        } else {
+            shard_of(u, v)
+        }
+    }
+
+    #[inline]
+    fn cached(&self, u: VertexId, v: VertexId) -> Option<f64> {
+        if self.legacy {
+            // The seed's Mutex had no shared-read mode.
+            return self.cache[0].write().get(&(u, v)).copied();
+        }
+        self.cache[shard_of(u, v)].read().get(&(u, v)).copied()
+    }
+
+    #[inline]
+    fn store(&self, u: VertexId, v: VertexId, d: f64) {
+        self.cache[self.shard_index(u, v)].write().insert((u, v), d);
+        if self.net.is_undirected() {
+            // Safe only when dist(u, v) = dist(v, u) holds network-wide.
+            self.cache[self.shard_index(v, u)]
+                .write()
+                .entry((v, u))
+                .or_insert(d);
+        }
+    }
+
     /// Exact shortest-path distance, memoised. Returns `f64::INFINITY` when
     /// unreachable so callers can treat the result as a plain cost.
     pub fn distance(&self, u: VertexId, v: VertexId) -> f64 {
         if u == v {
             return 0.0;
         }
-        let key = (u, v);
-        if let Some(&d) = self.cache.lock().get(&key) {
+        if let Some(d) = self.cached(u, v) {
             self.cache_hits.fetch_add(1, Ordering::Relaxed);
             return d;
         }
         self.exact_computations.fetch_add(1, Ordering::Relaxed);
-        let d = dijkstra::distance(&self.net, u, v).unwrap_or(f64::INFINITY);
-        let mut cache = self.cache.lock();
-        cache.insert(key, d);
-        // Undirected networks: store the symmetric entry too.
-        cache.entry((v, u)).or_insert(d);
+        let d = if self.legacy {
+            dijkstra::distance_allocating(&self.net, u, v)
+        } else {
+            astar::distance_with_landmarks(
+                &self.net,
+                u,
+                v,
+                Some(&self.grid),
+                self.landmarks.as_deref(),
+            )
+        }
+        .unwrap_or(f64::INFINITY);
+        self.store(u, v, d);
         d
     }
 
+    /// One-to-many exact distances from `source` to every vertex in
+    /// `targets`, memoised per pair.
+    ///
+    /// Cache misses are answered by a *single* bounded multi-target Dijkstra
+    /// (counted as one exact computation) instead of `targets.len()`
+    /// independent point-to-point searches — the batching entry point for
+    /// the matchers' verification loops and the kinetic-tree re-annotation.
+    pub fn distances_from(&self, source: VertexId, targets: &[VertexId]) -> Vec<f64> {
+        if self.legacy {
+            // Pre-refactor behaviour: k independent point-to-point queries.
+            return targets.iter().map(|&t| self.distance(source, t)).collect();
+        }
+        let mut out = vec![0.0f64; targets.len()];
+        let mut missing: Vec<VertexId> = Vec::new();
+        let mut missing_idx: Vec<usize> = Vec::new();
+        for (i, &t) in targets.iter().enumerate() {
+            if t == source {
+                continue; // out[i] stays 0.0
+            }
+            if let Some(d) = self.cached(source, t) {
+                self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                out[i] = d;
+            } else {
+                missing.push(t);
+                missing_idx.push(i);
+            }
+        }
+        match missing.len() {
+            0 => {}
+            // For a few scattered misses, goal-directed ALT point queries
+            // settle far fewer vertices than one multi-target ball whose
+            // radius is the furthest miss.
+            1..=3 => {
+                for (&i, &t) in missing_idx.iter().zip(missing.iter()) {
+                    self.exact_computations.fetch_add(1, Ordering::Relaxed);
+                    let d = astar::distance_with_landmarks(
+                        &self.net,
+                        source,
+                        t,
+                        Some(&self.grid),
+                        self.landmarks.as_deref(),
+                    )
+                    .unwrap_or(f64::INFINITY);
+                    self.store(source, t, d);
+                    out[i] = d;
+                }
+            }
+            _ => {
+                self.exact_computations.fetch_add(1, Ordering::Relaxed);
+                let ds = dijkstra::multi_target(&self.net, source, &missing);
+                for ((&i, &t), d) in missing_idx.iter().zip(missing.iter()).zip(ds) {
+                    self.store(source, t, d);
+                    out[i] = d;
+                }
+            }
+        }
+        out
+    }
+
     /// Cheap lower bound on the shortest-path distance (never exceeds
-    /// [`Self::distance`]). Uses the grid matrix plus the Euclidean bound,
-    /// or the cached exact value when available.
+    /// [`Self::distance`]). Takes the maximum of the grid bound, the
+    /// Euclidean bound and — when available — the ALT landmark bound, or
+    /// returns the cached exact value outright.
     pub fn lower_bound(&self, u: VertexId, v: VertexId) -> f64 {
         self.lower_bound_queries.fetch_add(1, Ordering::Relaxed);
         if u == v {
             return 0.0;
         }
-        if let Some(&d) = self.cache.lock().get(&(u, v)) {
+        if let Some(d) = self.cached(u, v) {
             return d;
         }
-        self.grid.lower_bound_with(&self.net, u, v)
+        // The grid tables assume symmetric distances (forward border
+        // searches only); on directed networks fall back to the Euclidean
+        // bound, which is admissible in both directions.
+        let mut lb = if self.net.is_undirected() {
+            self.grid.lower_bound_with(&self.net, u, v)
+        } else {
+            self.net.euclidean_lower_bound(u, v)
+        };
+        if let Some(landmarks) = &self.landmarks {
+            let alt = landmarks.lower_bound(u, v);
+            if alt > lb {
+                lb = alt;
+            }
+        }
+        lb
     }
 
     /// Lower bound from a vertex to the closest vertex of a grid cell.
+    /// Degrades to 0 on directed networks (the grid tables are forward-only
+    /// and would not be admissible there).
     pub fn lower_bound_to_cell(&self, u: VertexId, cell: crate::grid::CellId) -> f64 {
         self.lower_bound_queries.fetch_add(1, Ordering::Relaxed);
+        if !self.net.is_undirected() {
+            return 0.0;
+        }
         self.grid.lower_bound_to_cell(u, cell)
     }
 
-    /// Number of exact Dijkstra computations performed so far.
+    /// Number of exact shortest-path computations performed so far (a
+    /// batched [`Self::distances_from`] search counts once).
     pub fn exact_computations(&self) -> u64 {
         self.exact_computations.load(Ordering::Relaxed)
     }
@@ -127,13 +317,15 @@ impl DistanceOracle {
     /// Clears the memoisation cache (used by benchmarks that want cold-cache
     /// measurements) and the counters.
     pub fn clear(&self) {
-        self.cache.lock().clear();
+        for shard in self.cache.iter() {
+            shard.write().clear();
+        }
         self.reset_counters();
     }
 
-    /// Number of cached entries.
+    /// Number of cached entries across all shards.
     pub fn cache_len(&self) -> usize {
-        self.cache.lock().len()
+        self.cache.iter().map(|s| s.read().len()).sum()
     }
 }
 
@@ -142,6 +334,10 @@ impl std::fmt::Debug for DistanceOracle {
         f.debug_struct("DistanceOracle")
             .field("vertices", &self.net.num_vertices())
             .field("cells", &self.grid.num_cells())
+            .field(
+                "landmarks",
+                &self.landmarks.as_ref().map(|l| l.landmarks().len()),
+            )
             .field("cache_len", &self.cache_len())
             .field("exact_computations", &self.exact_computations())
             .finish()
@@ -154,7 +350,7 @@ mod tests {
     use crate::graph::RoadNetworkBuilder;
     use crate::grid::GridConfig;
 
-    fn oracle() -> DistanceOracle {
+    fn lattice_oracle(landmarks: bool) -> DistanceOracle {
         let mut b = RoadNetworkBuilder::new();
         let mut ids = Vec::new();
         for y in 0..5 {
@@ -175,7 +371,16 @@ mod tests {
         }
         let net = Arc::new(b.build().unwrap());
         let grid = Arc::new(GridIndex::build(&net, GridConfig::with_dimensions(2, 2)));
-        DistanceOracle::new(net, grid)
+        if landmarks {
+            let lm = Arc::new(LandmarkIndex::build(&net, 4, VertexId(0)));
+            DistanceOracle::with_landmarks(net, grid, lm)
+        } else {
+            DistanceOracle::new(net, grid)
+        }
+    }
+
+    fn oracle() -> DistanceOracle {
+        lattice_oracle(false)
     }
 
     #[test]
@@ -187,22 +392,120 @@ mod tests {
         assert_eq!(d1, d2);
         assert_eq!(o.exact_computations(), 1);
         assert_eq!(o.cache_hits(), 1);
-        // symmetric entry is cached too
+        // symmetric entry is cached too (undirected lattice)
         let d3 = o.distance(VertexId(24), VertexId(0));
         assert_eq!(d3, d1);
         assert_eq!(o.exact_computations(), 1);
     }
 
     #[test]
-    fn lower_bound_is_admissible() {
-        let o = oracle();
-        for u in 0..25u32 {
-            for v in 0..25u32 {
-                let lb = o.lower_bound(VertexId(u), VertexId(v));
-                let exact = o.distance(VertexId(u), VertexId(v));
-                assert!(lb <= exact + 1e-9, "lb {lb} > exact {exact} ({u}->{v})");
+    fn directed_networks_do_not_mirror_the_cache() {
+        // v0 -> v1 one-way at weight 10 over a bidirectional detour of 600.
+        let mut b = RoadNetworkBuilder::new();
+        let v0 = b.add_vertex(0.0, 0.0);
+        let v1 = b.add_vertex(100.0, 0.0);
+        let v2 = b.add_vertex(50.0, 100.0);
+        b.add_directed_edge(v0, v1, 10.0);
+        b.add_bidirectional_edge(v0, v2, 300.0);
+        b.add_bidirectional_edge(v2, v1, 300.0);
+        let net = Arc::new(b.build().unwrap());
+        assert!(!net.is_undirected());
+        let grid = Arc::new(GridIndex::build(&net, GridConfig::with_dimensions(2, 2)));
+        let o = DistanceOracle::new(net, grid);
+        assert_eq!(o.distance(v0, v1), 10.0);
+        // The reverse direction must take the detour, not the mirrored 10.
+        assert_eq!(o.distance(v1, v0), 600.0);
+        assert_eq!(o.exact_computations(), 2);
+    }
+
+    #[test]
+    fn lower_bound_is_admissible_on_asymmetric_one_way_networks() {
+        // Regression: the grid tables are forward-only, so on a network
+        // where dist(u,v) != dist(v,u) the grid bound can exceed the true
+        // distance (e.g. A->B cheap one way, B->A expensive). The oracle
+        // must fall back to direction-safe bounds, and exact queries must
+        // not be corrupted by an inflated A* heuristic.
+        let mut b = RoadNetworkBuilder::new();
+        let a = b.add_vertex(0.0, 0.0);
+        let v1 = b.add_vertex(90.0, 0.0);
+        let c = b.add_vertex(200.0, 0.0);
+        b.add_directed_edge(a, v1, 1.0);
+        b.add_directed_edge(v1, a, 1000.0);
+        b.add_bidirectional_edge(v1, c, 1.0);
+        let net = Arc::new(b.build().unwrap());
+        assert!(!net.is_undirected());
+        // A 2x1 grid puts {A, B} in the left cell and C in the right one,
+        // so B is A's cell's only border vertex and the forward table sets
+        // vertex_min[A] = dist(B->A) = 1000 — wildly above dist(A->B) = 1.
+        // The uncorrected grid bound then claims lb(A, C) = 1001 although
+        // dist(A, C) = 2.
+        let grid = Arc::new(GridIndex::build(&net, GridConfig::with_dimensions(2, 1)));
+        let lm = Arc::new(LandmarkIndex::build(&net, 2, a));
+        let o = DistanceOracle::with_landmarks(net, grid, lm);
+        for u in [a, v1, c] {
+            for v in [a, v1, c] {
+                let exact = crate::dijkstra::distance_allocating(o.network(), u, v)
+                    .unwrap_or(f64::INFINITY);
+                // Bound first: once distance() caches the pair, lower_bound
+                // returns the exact value and would mask an inflated bound.
+                let lb = o.lower_bound(u, v);
+                assert!(lb <= exact + 1e-9, "lb {lb} > exact {exact} for {u}->{v}");
+                assert_eq!(o.distance(u, v), exact, "exact {u}->{v}");
             }
         }
+    }
+
+    #[test]
+    fn lower_bound_is_admissible() {
+        for with_lm in [false, true] {
+            let o = lattice_oracle(with_lm);
+            for u in 0..25u32 {
+                for v in 0..25u32 {
+                    let lb = o.lower_bound(VertexId(u), VertexId(v));
+                    let exact = o.distance(VertexId(u), VertexId(v));
+                    assert!(
+                        lb <= exact + 1e-9,
+                        "lb {lb} > exact {exact} ({u}->{v}, landmarks={with_lm})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn landmark_bound_tightens_lower_bounds() {
+        let plain = lattice_oracle(false);
+        let alt = lattice_oracle(true);
+        let mut tightened = 0usize;
+        for u in 0..25u32 {
+            for v in 0..25u32 {
+                let a = alt.lower_bound(VertexId(u), VertexId(v));
+                let p = plain.lower_bound(VertexId(u), VertexId(v));
+                assert!(a >= p - 1e-9, "ALT bound must never be looser");
+                if a > p + 1e-9 {
+                    tightened += 1;
+                }
+            }
+        }
+        assert!(tightened > 0, "ALT should tighten at least some pairs");
+    }
+
+    #[test]
+    fn distances_from_matches_point_queries() {
+        let o = oracle();
+        let source = VertexId(7);
+        let targets: Vec<VertexId> = (0..25).map(VertexId).collect();
+        let batch = o.distances_from(source, &targets);
+        let reference = lattice_oracle(false);
+        for (t, d) in targets.iter().zip(&batch) {
+            assert_eq!(*d, reference.distance(source, *t), "target {t}");
+        }
+        // One batched search, not 24 point-to-point searches.
+        assert_eq!(o.exact_computations(), 1);
+        // Second call is fully cached.
+        let again = o.distances_from(source, &targets);
+        assert_eq!(batch, again);
+        assert_eq!(o.exact_computations(), 1);
     }
 
     #[test]
@@ -232,5 +535,32 @@ mod tests {
         let _ = o2.distance(VertexId(0), VertexId(10));
         assert_eq!(o.exact_computations(), 1);
         assert_eq!(o2.cache_hits(), 1);
+    }
+
+    #[test]
+    fn concurrent_queries_agree_with_sequential() {
+        let o = lattice_oracle(true);
+        let mut expected = Vec::new();
+        let reference = lattice_oracle(false);
+        for u in 0..25u32 {
+            expected.push(reference.distance(VertexId(u), VertexId(24 - u)));
+        }
+        let ids: Vec<u32> = (0..25).collect();
+        std::thread::scope(|scope| {
+            for chunk in ids.chunks(5) {
+                let o = o.clone();
+                scope.spawn(move || {
+                    for &u in chunk {
+                        let _ = o.distance(VertexId(u), VertexId(24 - u));
+                    }
+                });
+            }
+        });
+        for u in 0..25u32 {
+            assert_eq!(
+                o.distance(VertexId(u), VertexId(24 - u)),
+                expected[u as usize]
+            );
+        }
     }
 }

@@ -3,7 +3,9 @@
 //! path engine agrees with plain Dijkstra.
 
 use proptest::prelude::*;
-use ptrider_roadnet::{astar, dijkstra, GridConfig, GridIndex, RoadNetwork, RoadNetworkBuilder, VertexId};
+use ptrider_roadnet::{
+    astar, dijkstra, GridConfig, GridIndex, RoadNetwork, RoadNetworkBuilder, VertexId,
+};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 

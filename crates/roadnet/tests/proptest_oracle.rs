@@ -1,0 +1,172 @@
+//! Property tests for the rebuilt distance substrate: the ALT-accelerated
+//! A* backend agrees with plain Dijkstra on random (directed and
+//! undirected) networks, the batched one-to-many oracle query matches
+//! per-target point queries, and cache mirroring never corrupts directed
+//! distances.
+
+use proptest::prelude::*;
+use ptrider_roadnet::{
+    astar, dijkstra, DistanceOracle, GridConfig, GridIndex, LandmarkIndex, RoadNetwork,
+    RoadNetworkBuilder, VertexId,
+};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+
+/// Random jittered lattice with optional extra chords; `one_way` adds
+/// directed-only shortcut edges so the network loses symmetry.
+fn random_network(side: usize, extra_edges: usize, one_way: usize, seed: u64) -> RoadNetwork {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut b = RoadNetworkBuilder::new();
+    let mut ids = Vec::new();
+    for y in 0..side {
+        for x in 0..side {
+            ids.push(b.add_vertex(
+                x as f64 * 100.0 + rng.gen_range(-20.0..20.0),
+                y as f64 * 100.0 + rng.gen_range(-20.0..20.0),
+            ));
+        }
+    }
+    for y in 0..side {
+        for x in 0..side {
+            let u = ids[y * side + x];
+            if x + 1 < side {
+                b.add_bidirectional_edge(u, ids[y * side + x + 1], rng.gen_range(80.0..200.0));
+            }
+            if y + 1 < side {
+                b.add_bidirectional_edge(u, ids[(y + 1) * side + x], rng.gen_range(80.0..200.0));
+            }
+        }
+    }
+    for _ in 0..extra_edges {
+        let u = ids[rng.gen_range(0..ids.len())];
+        let v = ids[rng.gen_range(0..ids.len())];
+        if u != v {
+            b.add_bidirectional_edge(u, v, rng.gen_range(50.0..400.0));
+        }
+    }
+    for _ in 0..one_way {
+        let u = ids[rng.gen_range(0..ids.len())];
+        let v = ids[rng.gen_range(0..ids.len())];
+        if u != v {
+            b.add_directed_edge(u, v, rng.gen_range(30.0..150.0));
+        }
+    }
+    b.build().unwrap()
+}
+
+fn oracle_over(net: RoadNetwork, landmarks: usize) -> DistanceOracle {
+    let net = Arc::new(net);
+    let grid = Arc::new(GridIndex::build(&net, GridConfig::with_dimensions(3, 3)));
+    if landmarks > 0 {
+        let lm = Arc::new(LandmarkIndex::build(&net, landmarks, VertexId(0)));
+        DistanceOracle::with_landmarks(net, grid, lm)
+    } else {
+        DistanceOracle::new(net, grid)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn alt_astar_equals_dijkstra(
+        seed in 0u64..10_000,
+        side in 3usize..7,
+        extra in 0usize..8,
+        one_way in 0usize..5,
+        landmarks in 1usize..6,
+    ) {
+        let net = random_network(side, extra, one_way, seed);
+        let grid = GridIndex::build(&net, GridConfig::with_dimensions(3, 3));
+        let lm = LandmarkIndex::build(&net, landmarks, VertexId(0));
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xa17);
+        for _ in 0..25 {
+            let u = VertexId(rng.gen_range(0..net.num_vertices() as u32));
+            let v = VertexId(rng.gen_range(0..net.num_vertices() as u32));
+            let d = dijkstra::distance(&net, u, v);
+            let a = astar::distance_with_landmarks(&net, u, v, Some(&grid), Some(&lm));
+            match (d, a) {
+                (Some(d), Some(a)) => prop_assert!(
+                    (d - a).abs() < 1e-6,
+                    "dijkstra {d} vs ALT-A* {a} for {u}->{v} (one_way={one_way})"
+                ),
+                (None, None) => {}
+                other => return Err(TestCaseError::fail(format!(
+                    "reachability mismatch {other:?} for {u}->{v}"
+                ))),
+            }
+            // The ALT bound itself must stay admissible.
+            if let Some(d) = d {
+                prop_assert!(lm.lower_bound(u, v) <= d + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn batched_distances_match_point_queries(
+        seed in 0u64..10_000,
+        side in 3usize..7,
+        one_way in 0usize..5,
+        num_targets in 1usize..20,
+    ) {
+        let net = random_network(side, 3, one_way, seed);
+        let n = net.num_vertices() as u32;
+        let batched = oracle_over(net.clone(), 4);
+        let reference = oracle_over(net, 0);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xb47c);
+        let source = VertexId(rng.gen_range(0..n));
+        let targets: Vec<VertexId> =
+            (0..num_targets).map(|_| VertexId(rng.gen_range(0..n))).collect();
+        let batch = batched.distances_from(source, &targets);
+        prop_assert_eq!(batch.len(), targets.len());
+        for (t, d) in targets.iter().zip(&batch) {
+            let exact = reference.distance(source, *t);
+            prop_assert!(
+                (d - exact).abs() < 1e-6 || (d.is_infinite() && exact.is_infinite()),
+                "batched {d} vs point {exact} for {source}->{t}"
+            );
+        }
+        // Batching never issues more searches than targets (large miss sets
+        // collapse into one multi-target search; up to 3 scattered misses
+        // are answered with goal-directed point queries).
+        prop_assert!(batched.exact_computations() <= targets.len() as u64);
+        // Repeating the batch is answered from the cache.
+        let before = batched.exact_computations();
+        let again = batched.distances_from(source, &targets);
+        prop_assert_eq!(&batch, &again);
+        prop_assert_eq!(batched.exact_computations(), before);
+    }
+
+    #[test]
+    fn oracle_is_exact_on_directed_networks(
+        seed in 0u64..10_000,
+        side in 3usize..6,
+        one_way in 1usize..6,
+    ) {
+        let net = random_network(side, 2, one_way, seed);
+        let n = net.num_vertices() as u32;
+        let oracle = oracle_over(net.clone(), 3);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xd1a);
+        for _ in 0..20 {
+            let u = VertexId(rng.gen_range(0..n));
+            let v = VertexId(rng.gen_range(0..n));
+            // Query both directions in both orders: a wrong symmetric
+            // mirror would poison the second query.
+            let forward = oracle.distance(u, v);
+            let backward = oracle.distance(v, u);
+            let df = dijkstra::distance(&net, u, v).unwrap_or(f64::INFINITY);
+            let db = dijkstra::distance(&net, v, u).unwrap_or(f64::INFINITY);
+            prop_assert!(
+                (forward - df).abs() < 1e-6 || (forward.is_infinite() && df.is_infinite()),
+                "forward {forward} vs {df} for {u}->{v}"
+            );
+            prop_assert!(
+                (backward - db).abs() < 1e-6 || (backward.is_infinite() && db.is_infinite()),
+                "backward {backward} vs {db} for {v}->{u}"
+            );
+            // Lower bound admissibility with landmarks on directed nets.
+            prop_assert!(oracle.lower_bound(u, v) <= df + 1e-9);
+        }
+    }
+}

@@ -35,7 +35,11 @@ impl Default for ChoicePolicy {
 
 impl ChoicePolicy {
     /// Chooses one option; returns `None` when no options were offered.
-    pub fn choose<'a, R: Rng>(&self, options: &'a [RideOption], rng: &mut R) -> Option<&'a RideOption> {
+    pub fn choose<'a, R: Rng>(
+        &self,
+        options: &'a [RideOption],
+        rng: &mut R,
+    ) -> Option<&'a RideOption> {
         if options.is_empty() {
             return None;
         }
@@ -60,7 +64,11 @@ impl ChoicePolicy {
                     .map(|o| o.pickup_dist)
                     .fold(f64::MIN, f64::max)
                     .max(1e-9);
-                let max_p = options.iter().map(|o| o.price).fold(f64::MIN, f64::max).max(1e-9);
+                let max_p = options
+                    .iter()
+                    .map(|o| o.price)
+                    .fold(f64::MIN, f64::max)
+                    .max(1e-9);
                 options.iter().min_by(|a, b| {
                     let ua = alpha * a.pickup_dist / max_t + (1.0 - alpha) * a.price / max_p;
                     let ub = alpha * b.pickup_dist / max_t + (1.0 - alpha) * b.price / max_p;
@@ -100,11 +108,17 @@ mod tests {
         let opts = options();
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         assert_eq!(
-            ChoicePolicy::Cheapest.choose(&opts, &mut rng).unwrap().vehicle,
+            ChoicePolicy::Cheapest
+                .choose(&opts, &mut rng)
+                .unwrap()
+                .vehicle,
             VehicleId(2)
         );
         assert_eq!(
-            ChoicePolicy::Fastest.choose(&opts, &mut rng).unwrap().vehicle,
+            ChoicePolicy::Fastest
+                .choose(&opts, &mut rng)
+                .unwrap()
+                .vehicle,
             VehicleId(1)
         );
     }

@@ -142,7 +142,9 @@ mod tests {
 
     fn line() -> RoadNetwork {
         let mut b = RoadNetworkBuilder::new();
-        let v: Vec<_> = (0..5).map(|i| b.add_vertex(i as f64 * 100.0, 0.0)).collect();
+        let v: Vec<_> = (0..5)
+            .map(|i| b.add_vertex(i as f64 * 100.0, 0.0))
+            .collect();
         for i in 0..4 {
             b.add_bidirectional_edge(v[i], v[i + 1], 100.0);
         }
@@ -170,7 +172,10 @@ mod tests {
         let (crossings, leftover) = m.advance(200.0);
         assert_eq!(
             crossings,
-            vec![Crossing { vertex: VertexId(3), travelled: 100.0 }]
+            vec![Crossing {
+                vertex: VertexId(3),
+                travelled: 100.0
+            }]
         );
         assert_eq!(leftover, 150.0);
         assert!(m.is_idle());
@@ -188,7 +193,10 @@ mod tests {
         let (crossings, _) = m.advance(50.0);
         assert_eq!(
             crossings,
-            vec![Crossing { vertex: VertexId(2), travelled: 100.0 }]
+            vec![Crossing {
+                vertex: VertexId(2),
+                travelled: 100.0
+            }]
         );
     }
 

@@ -150,6 +150,56 @@ impl SimulationReport {
         }
     }
 
+    /// Renders the full report as a JSON object (hand-rendered: the build
+    /// environment has no serde_json; every field is numeric so no string
+    /// escaping is needed).
+    pub fn to_json(&self) -> String {
+        let w = &self.engine.match_work;
+        format!(
+            "{{\n  \"simulated_secs\": {},\n  \"requests\": {},\n  \"answered\": {},\n  \
+             \"assigned\": {},\n  \"completed\": {},\n  \"shared_trips\": {},\n  \
+             \"avg_options\": {},\n  \"avg_response_ms\": {},\n  \"avg_waiting_secs\": {},\n  \
+             \"avg_price\": {},\n  \"avg_detour_ratio\": {},\n  \"sharing_rate\": {},\n  \
+             \"answer_rate\": {},\n  \"fleet_distance_m\": {},\n  \"engine\": {{\n    \
+             \"requests_submitted\": {},\n    \"requests_with_options\": {},\n    \
+             \"options_returned\": {},\n    \"requests_chosen\": {},\n    \
+             \"assignments_failed\": {},\n    \"pickups\": {},\n    \"dropoffs\": {},\n    \
+             \"location_updates\": {},\n    \"total_match_secs\": {},\n    \"match_work\": {{\n      \
+             \"vehicles_considered\": {},\n      \"vehicles_verified\": {},\n      \
+             \"vehicles_pruned\": {},\n      \"cells_visited\": {},\n      \
+             \"exact_distance_computations\": {},\n      \"candidates_generated\": {}\n    }}\n  }}\n}}",
+            self.simulated_secs,
+            self.requests,
+            self.answered,
+            self.assigned,
+            self.completed,
+            self.shared_trips,
+            self.avg_options,
+            self.avg_response_ms,
+            self.avg_waiting_secs,
+            self.avg_price,
+            self.avg_detour_ratio,
+            self.sharing_rate,
+            self.answer_rate,
+            self.fleet_distance_m,
+            self.engine.requests_submitted,
+            self.engine.requests_with_options,
+            self.engine.options_returned,
+            self.engine.requests_chosen,
+            self.engine.assignments_failed,
+            self.engine.pickups,
+            self.engine.dropoffs,
+            self.engine.location_updates,
+            self.engine.total_match_secs,
+            w.vehicles_considered,
+            w.vehicles_verified,
+            w.vehicles_pruned,
+            w.cells_visited,
+            w.exact_distance_computations,
+            w.candidates_generated,
+        )
+    }
+
     /// One-line human-readable summary (used by the example binaries).
     pub fn summary(&self) -> String {
         format!(
@@ -184,7 +234,7 @@ mod tests {
             picked_up_at: Some(100.0),
             dropped_off_at: Some(200.0),
             onboard_dist: Some(1200.0),
-            shared: id % 2 == 0,
+            shared: id.is_multiple_of(2),
         }
     }
 
@@ -238,12 +288,8 @@ mod tests {
 
     #[test]
     fn empty_report_has_zero_rates() {
-        let report = SimulationReport::from_outcomes(
-            0.0,
-            &HashMap::new(),
-            0.0,
-            EngineStats::default(),
-        );
+        let report =
+            SimulationReport::from_outcomes(0.0, &HashMap::new(), 0.0, EngineStats::default());
         assert_eq!(report.requests, 0);
         assert_eq!(report.sharing_rate, 0.0);
         assert_eq!(report.answer_rate, 0.0);

@@ -181,8 +181,7 @@ impl Simulator {
     /// Submits every trip whose time falls inside `[clock, step_end)` and
     /// lets the simulated rider choose.
     fn submit_due_trips(&mut self, step_end: f64) {
-        while self.next_trip < self.trips.len() && self.trips[self.next_trip].time_secs < step_end
-        {
+        while self.next_trip < self.trips.len() && self.trips[self.next_trip].time_secs < step_end {
             let trip = self.trips[self.next_trip];
             self.next_trip += 1;
             self.submit_trip(&trip);
@@ -196,13 +195,10 @@ impl Simulator {
         if self.config.cross_check {
             self.cross_check_matchers(trip);
         }
-        let (id, options) = self
-            .engine
-            .submit(trip.origin, trip.destination, trip.riders, trip.time_secs);
-        let direct = self
-            .engine
-            .oracle()
-            .distance(trip.origin, trip.destination);
+        let (id, options) =
+            self.engine
+                .submit(trip.origin, trip.destination, trip.riders, trip.time_secs);
+        let direct = self.engine.oracle().distance(trip.origin, trip.destination);
         let mut outcome = RequestOutcome {
             id,
             submitted_at: trip.time_secs,
@@ -262,7 +258,8 @@ impl Simulator {
             v.sort_unstable();
             v
         };
-        let mut reference: Option<(MatcherKind, Vec<(u32, i64, i64)>)> = None;
+        type CanonicalOptions = Vec<(u32, i64, i64)>;
+        let mut reference: Option<(MatcherKind, CanonicalOptions)> = None;
         for kind in MatcherKind::all() {
             let result = self
                 .engine
@@ -438,11 +435,7 @@ mod tests {
     #[test]
     fn simulation_serves_requests_end_to_end() {
         let workload = small_workload(11, 60, 12);
-        let mut sim = Simulator::new(
-            workload,
-            EngineConfig::paper_defaults(),
-            sim_config(1800.0),
-        );
+        let mut sim = Simulator::new(workload, EngineConfig::paper_defaults(), sim_config(1800.0));
         let report = sim.run();
         assert_eq!(report.requests, 60);
         assert!(report.answered > 0, "some requests must receive options");
@@ -475,11 +468,7 @@ mod tests {
     #[test]
     fn step_advances_clock_and_processes_trips_in_order() {
         let workload = small_workload(17, 30, 6);
-        let mut sim = Simulator::new(
-            workload,
-            EngineConfig::paper_defaults(),
-            sim_config(600.0),
-        );
+        let mut sim = Simulator::new(workload, EngineConfig::paper_defaults(), sim_config(600.0));
         assert_eq!(sim.clock(), 0.0);
         sim.step();
         assert!((sim.clock() - 5.0).abs() < 1e-9);
@@ -491,11 +480,7 @@ mod tests {
     #[test]
     fn interval_reports_track_cumulative_progress() {
         let workload = small_workload(19, 50, 10);
-        let mut sim = Simulator::new(
-            workload,
-            EngineConfig::paper_defaults(),
-            sim_config(900.0),
-        );
+        let mut sim = Simulator::new(workload, EngineConfig::paper_defaults(), sim_config(900.0));
         let (final_report, series) = sim.run_with_interval_reports(300.0);
         assert_eq!(series.len(), 3);
         // Snapshots are taken at increasing times and counters never decrease.

@@ -19,6 +19,15 @@ pub trait Distances {
         let _ = (u, v);
         0.0
     }
+
+    /// One-to-many exact distances from `source` to each of `targets`.
+    ///
+    /// The default implementation issues one [`Self::distance`] per target;
+    /// backends that can answer the batch with a single search (the
+    /// memoising oracle's bounded multi-target Dijkstra) override it.
+    fn distances_from(&self, source: VertexId, targets: &[VertexId]) -> Vec<f64> {
+        targets.iter().map(|&t| self.distance(source, t)).collect()
+    }
 }
 
 impl Distances for DistanceOracle {
@@ -29,6 +38,10 @@ impl Distances for DistanceOracle {
     fn lower_bound(&self, u: VertexId, v: VertexId) -> f64 {
         DistanceOracle::lower_bound(self, u, v)
     }
+
+    fn distances_from(&self, source: VertexId, targets: &[VertexId]) -> Vec<f64> {
+        DistanceOracle::distances_from(self, source, targets)
+    }
 }
 
 impl<T: Distances + ?Sized> Distances for &T {
@@ -38,6 +51,82 @@ impl<T: Distances + ?Sized> Distances for &T {
 
     fn lower_bound(&self, u: VertexId, v: VertexId) -> f64 {
         (**self).lower_bound(u, v)
+    }
+
+    fn distances_from(&self, source: VertexId, targets: &[VertexId]) -> Vec<f64> {
+        (**self).distances_from(source, targets)
+    }
+}
+
+/// A small dense distance matrix prefetched over a fixed set of locations,
+/// falling back to the inner backend for pairs outside the set.
+///
+/// The kinetic tree evaluates every candidate schedule leg-by-leg, and all
+/// legs connect points drawn from one small set (the vehicle's location,
+/// its outstanding stops and the new request's pickup/drop-off). Prefetching
+/// that set through [`Distances::distances_from`] turns `O(k²)` repeated
+/// point-to-point searches into `k` bounded one-to-many searches — and
+/// subsequent lookups are branch-free array reads.
+pub struct PrefetchedDistances<'a, D: Distances> {
+    inner: &'a D,
+    /// Sorted, deduplicated location set.
+    locations: Vec<VertexId>,
+    /// Row-major `k × k` exact distances over `locations`.
+    matrix: Vec<f64>,
+}
+
+impl<'a, D: Distances> PrefetchedDistances<'a, D> {
+    /// Prefetches the full pairwise matrix over `locations` (duplicates are
+    /// removed) with one batched query per distinct location.
+    pub fn new(inner: &'a D, mut locations: Vec<VertexId>) -> Self {
+        locations.sort_unstable();
+        locations.dedup();
+        let k = locations.len();
+        let mut matrix = Vec::with_capacity(k * k);
+        for &src in &locations {
+            matrix.extend(inner.distances_from(src, &locations));
+        }
+        PrefetchedDistances {
+            inner,
+            locations,
+            matrix,
+        }
+    }
+
+    /// The distinct locations covered by the matrix.
+    pub fn locations(&self) -> &[VertexId] {
+        &self.locations
+    }
+
+    #[inline]
+    fn index_of(&self, v: VertexId) -> Option<usize> {
+        self.locations.binary_search(&v).ok()
+    }
+}
+
+impl<D: Distances> Distances for PrefetchedDistances<'_, D> {
+    fn distance(&self, u: VertexId, v: VertexId) -> f64 {
+        match (self.index_of(u), self.index_of(v)) {
+            (Some(i), Some(j)) => self.matrix[i * self.locations.len() + j],
+            _ => self.inner.distance(u, v),
+        }
+    }
+
+    fn lower_bound(&self, u: VertexId, v: VertexId) -> f64 {
+        self.inner.lower_bound(u, v)
+    }
+
+    fn distances_from(&self, source: VertexId, targets: &[VertexId]) -> Vec<f64> {
+        if let Some(i) = self.index_of(source) {
+            if targets.iter().all(|t| self.index_of(*t).is_some()) {
+                let row = i * self.locations.len();
+                return targets
+                    .iter()
+                    .map(|t| self.matrix[row + self.index_of(*t).unwrap()])
+                    .collect();
+            }
+        }
+        self.inner.distances_from(source, targets)
     }
 }
 
@@ -57,9 +146,7 @@ mod tests {
 
     #[test]
     fn fn_distances_delegates() {
-        let d = FnDistances(|u: VertexId, v: VertexId| {
-            (u.0 as f64 - v.0 as f64).abs() * 10.0
-        });
+        let d = FnDistances(|u: VertexId, v: VertexId| (u.0 as f64 - v.0 as f64).abs() * 10.0);
         assert_eq!(d.distance(VertexId(3), VertexId(7)), 40.0);
         assert_eq!(d.lower_bound(VertexId(3), VertexId(7)), 0.0);
     }
@@ -69,6 +156,32 @@ mod tests {
         let d = FnDistances(|_, _| 5.0);
         let r: &dyn Distances = &d;
         assert_eq!(r.distance(VertexId(0), VertexId(1)), 5.0);
-        assert_eq!((&d).distance(VertexId(0), VertexId(1)), 5.0);
+        assert_eq!(d.distance(VertexId(0), VertexId(1)), 5.0);
+    }
+
+    #[test]
+    fn distances_from_defaults_to_per_target_queries() {
+        let d = FnDistances(|u: VertexId, v: VertexId| (u.0 as f64 - v.0 as f64).abs());
+        let out = d.distances_from(VertexId(5), &[VertexId(1), VertexId(5), VertexId(9)]);
+        assert_eq!(out, vec![4.0, 0.0, 4.0]);
+    }
+
+    #[test]
+    fn prefetched_matrix_matches_inner_backend() {
+        let d = FnDistances(|u: VertexId, v: VertexId| (u.0 as f64 - v.0 as f64).abs() * 10.0);
+        let pre =
+            PrefetchedDistances::new(&d, vec![VertexId(3), VertexId(1), VertexId(3), VertexId(7)]);
+        assert_eq!(pre.locations(), &[VertexId(1), VertexId(3), VertexId(7)]);
+        for &u in pre.locations() {
+            for &v in pre.locations() {
+                assert_eq!(pre.distance(u, v), d.distance(u, v));
+            }
+        }
+        // Pairs outside the set fall back to the inner backend.
+        assert_eq!(pre.distance(VertexId(1), VertexId(100)), 990.0);
+        assert_eq!(
+            pre.distances_from(VertexId(3), &[VertexId(1), VertexId(7)]),
+            vec![20.0, 40.0]
+        );
     }
 }

@@ -13,7 +13,7 @@
 use crate::distances::Distances;
 use crate::types::VehicleId;
 use crate::vehicle::Vehicle;
-use ptrider_roadnet::{dijkstra, CellId, GridIndex, RoadNetwork, VertexId};
+use ptrider_roadnet::{astar, CellId, GridIndex, RoadNetwork, VertexId};
 use std::collections::{BTreeSet, HashMap, HashSet};
 
 /// Per-grid-cell empty / non-empty vehicle lists.
@@ -25,6 +25,13 @@ pub struct VehicleIndex {
     /// For each registered vehicle: whether it is empty and which cells it is
     /// currently registered in.
     registration: HashMap<VehicleId, (bool, Vec<CellId>)>,
+    /// Memo of the grid cells crossed by a stop→stop schedule leg. Those
+    /// legs are stable while the vehicle drives (only the location→first-
+    /// stop legs change per location update), and fleets share popular
+    /// legs, so this removes the dominant path-search cost of non-empty
+    /// re-registration. Cleared by nothing today — bounded by the set of
+    /// distinct scheduled legs; eviction is a ROADMAP item.
+    leg_cells: HashMap<(VertexId, VertexId), Vec<CellId>>,
 }
 
 impl VehicleIndex {
@@ -35,6 +42,7 @@ impl VehicleIndex {
             empty: vec![BTreeSet::new(); num_cells],
             non_empty: vec![BTreeSet::new(); num_cells],
             registration: HashMap::new(),
+            leg_cells: HashMap::new(),
         }
     }
 
@@ -49,8 +57,16 @@ impl VehicleIndex {
     }
 
     /// Registers (or re-registers) an empty vehicle located in `cell`.
+    /// Idempotent: re-registering in the same cell is a single map lookup
+    /// (the common case under a high location-update load — most moves stay
+    /// within one grid cell).
     pub fn update_empty(&mut self, vehicle: VehicleId, cell: CellId) {
         assert!(cell < self.num_cells, "cell {cell} out of range");
+        if let Some((true, cells)) = self.registration.get(&vehicle) {
+            if cells.as_slice() == [cell] {
+                return;
+            }
+        }
         self.remove(vehicle);
         self.empty[cell].insert(vehicle);
         self.registration.insert(vehicle, (true, vec![cell]));
@@ -58,16 +74,29 @@ impl VehicleIndex {
 
     /// Registers (or re-registers) a non-empty vehicle in every cell of
     /// `cells` (typically the cells its scheduled legs pass through).
-    pub fn update_non_empty(&mut self, vehicle: VehicleId, cells: impl IntoIterator<Item = CellId>) {
-        self.remove(vehicle);
+    /// Idempotent: when the deduplicated cell set matches the current
+    /// registration, no list is touched.
+    pub fn update_non_empty(
+        &mut self,
+        vehicle: VehicleId,
+        cells: impl IntoIterator<Item = CellId>,
+    ) {
         let mut registered = Vec::new();
         let mut seen = HashSet::new();
         for cell in cells {
             assert!(cell < self.num_cells, "cell {cell} out of range");
             if seen.insert(cell) {
-                self.non_empty[cell].insert(vehicle);
                 registered.push(cell);
             }
+        }
+        if let Some((false, cells)) = self.registration.get(&vehicle) {
+            if cells == &registered {
+                return;
+            }
+        }
+        self.remove(vehicle);
+        for &cell in &registered {
+            self.non_empty[cell].insert(vehicle);
         }
         self.registration.insert(vehicle, (false, registered));
     }
@@ -117,7 +146,12 @@ impl VehicleIndex {
 
     /// Registers a vehicle from its current state: empty vehicles go into
     /// their location cell, non-empty vehicles into every cell their
-    /// scheduled legs intersect (computed with [`schedule_cells`]).
+    /// scheduled legs intersect (the set [`schedule_cells`] defines).
+    ///
+    /// Stop→stop leg cells are served from the index's leg memo; only the
+    /// legs leaving the vehicle's (transient) current location are
+    /// path-searched fresh, which makes the high-frequency location-update
+    /// path cheap for busy vehicles.
     pub fn update_from_vehicle<D: Distances>(
         &mut self,
         vehicle: &Vehicle,
@@ -128,24 +162,35 @@ impl VehicleIndex {
         let _ = dist;
         if vehicle.is_empty() {
             self.update_empty(vehicle.id(), grid.cell_of(vehicle.location()));
-        } else {
-            let cells = schedule_cells(vehicle, net, grid);
-            self.update_non_empty(vehicle.id(), cells);
+            return;
         }
+
+        let location = vehicle.location();
+        let mut cells: BTreeSet<CellId> = BTreeSet::new();
+        cells.insert(grid.cell_of(location));
+        for (u, v) in schedule_legs(vehicle) {
+            if u == v {
+                cells.insert(grid.cell_of(u));
+            } else if u == location {
+                // Transient leg: the source changes on every move, so
+                // memoising it would only grow the map with dead entries.
+                leg_cells_into(net, grid, u, v, &mut cells);
+            } else {
+                let memo = self.leg_cells.entry((u, v)).or_insert_with(|| {
+                    let mut set = BTreeSet::new();
+                    leg_cells_into(net, grid, u, v, &mut set);
+                    set.into_iter().collect()
+                });
+                cells.extend(memo.iter().copied());
+            }
+        }
+        self.update_non_empty(vehicle.id(), cells);
     }
 }
 
-/// Computes the set of grid cells intersected by the scheduled legs of a
-/// non-empty vehicle (the cells its kinetic-tree edges pass through), plus
-/// the cell of its current location.
-///
-/// Every kinetic-tree edge `(o_x, o_y)` contributes the cells of every vertex
-/// on the shortest path from `o_x` to `o_y`, following the paper's rule.
-pub fn schedule_cells(vehicle: &Vehicle, net: &RoadNetwork, grid: &GridIndex) -> Vec<CellId> {
-    let mut cells: BTreeSet<CellId> = BTreeSet::new();
-    cells.insert(grid.cell_of(vehicle.location()));
-
-    // Collect unique legs (parent location -> child location) over the tree.
+/// Unique kinetic-tree legs `(parent location, child location)`, with the
+/// vehicle's current location as the parent of every root.
+fn schedule_legs(vehicle: &Vehicle) -> HashSet<(VertexId, VertexId)> {
     let mut legs: HashSet<(VertexId, VertexId)> = HashSet::new();
     fn visit(
         node: &crate::kinetic::KineticNode,
@@ -160,19 +205,42 @@ pub fn schedule_cells(vehicle: &Vehicle, net: &RoadNetwork, grid: &GridIndex) ->
     for root in vehicle.kinetic_tree().roots() {
         visit(root, vehicle.location(), &mut legs);
     }
+    legs
+}
 
-    for (u, v) in legs {
+/// Inserts the cells of every vertex on the shortest path `u → v` (or the
+/// endpoint cells when unreachable) into `cells`.
+fn leg_cells_into(
+    net: &RoadNetwork,
+    grid: &GridIndex,
+    u: VertexId,
+    v: VertexId,
+    cells: &mut BTreeSet<CellId>,
+) {
+    if let Some((_, path)) = astar::shortest_path(net, u, v) {
+        for w in path {
+            cells.insert(grid.cell_of(w));
+        }
+    } else {
+        cells.insert(grid.cell_of(u));
+        cells.insert(grid.cell_of(v));
+    }
+}
+
+/// Computes the set of grid cells intersected by the scheduled legs of a
+/// non-empty vehicle (the cells its kinetic-tree edges pass through), plus
+/// the cell of its current location.
+///
+/// Every kinetic-tree edge `(o_x, o_y)` contributes the cells of every vertex
+/// on the shortest path from `o_x` to `o_y`, following the paper's rule.
+pub fn schedule_cells(vehicle: &Vehicle, net: &RoadNetwork, grid: &GridIndex) -> Vec<CellId> {
+    let mut cells: BTreeSet<CellId> = BTreeSet::new();
+    cells.insert(grid.cell_of(vehicle.location()));
+    for (u, v) in schedule_legs(vehicle) {
         if u == v {
             cells.insert(grid.cell_of(u));
-            continue;
-        }
-        if let Some((_, path)) = dijkstra::shortest_path(net, u, v) {
-            for w in path {
-                cells.insert(grid.cell_of(w));
-            }
         } else {
-            cells.insert(grid.cell_of(u));
-            cells.insert(grid.cell_of(v));
+            leg_cells_into(net, grid, u, v, &mut cells);
         }
     }
     cells.into_iter().collect()
@@ -262,10 +330,7 @@ mod tests {
     fn schedule_cells_cover_the_path() {
         let net = Arc::new(lattice(6, 500.0));
         let grid = GridIndex::build(&net, GridConfig::with_dimensions(3, 3));
-        let oracle = ptrider_roadnet::DistanceOracle::new(
-            Arc::clone(&net),
-            Arc::new(grid.clone()),
-        );
+        let oracle = ptrider_roadnet::DistanceOracle::new(Arc::clone(&net), Arc::new(grid.clone()));
 
         // Vehicle at the bottom-left corner, request crossing to the
         // top-right corner: the schedule path must cross several cells.
@@ -277,7 +342,10 @@ mod tests {
         v.assign(&oracle, &req, 1000.0, 5000.0, 10.0, 0.0).unwrap();
 
         let cells = schedule_cells(&v, &net, &grid);
-        assert!(cells.len() > 1, "a cross-city trip must span multiple cells");
+        assert!(
+            cells.len() > 1,
+            "a cross-city trip must span multiple cells"
+        );
         // The cells of the pickup and the drop-off are always included.
         assert!(cells.contains(&grid.cell_of(s)));
         assert!(cells.contains(&grid.cell_of(d)));

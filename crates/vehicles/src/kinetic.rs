@@ -130,13 +130,26 @@ pub fn validate_schedule<D: Distances>(
     stops: &[Stop],
     new_req: Option<&ProspectiveRequest>,
 ) -> Option<ScheduleEval> {
+    validate_schedule_buffered(ctx, stops, new_req, &mut Vec::new())
+}
+
+/// [`validate_schedule`] with a caller-provided scratch buffer for the
+/// per-request pickup offsets, so the candidate-enumeration hot loop
+/// validates thousands of sequences without allocating. Schedules are short
+/// (≤ 2 stops per outstanding request), so a linear scan beats hashing.
+fn validate_schedule_buffered<D: Distances>(
+    ctx: &ScheduleContext<'_, D>,
+    stops: &[Stop],
+    new_req: Option<&ProspectiveRequest>,
+    pickup_cum: &mut Vec<(RequestId, f64)>,
+) -> Option<ScheduleEval> {
     let mut occupancy = ctx.initial_occupancy;
     if occupancy > ctx.capacity {
         return None;
     }
     let mut cum = 0.0;
     let mut prev = ctx.start;
-    let mut pickup_cum: HashMap<RequestId, f64> = HashMap::new();
+    pickup_cum.clear();
     let mut new_pickup_dist = None;
     let mut new_onboard_dist = None;
 
@@ -155,7 +168,7 @@ pub fn validate_schedule<D: Distances>(
                 if occupancy > ctx.capacity {
                     return None;
                 }
-                pickup_cum.insert(stop.request, cum);
+                pickup_cum.push((stop.request, cum));
                 if is_new {
                     new_pickup_dist = Some(cum);
                 } else {
@@ -183,7 +196,10 @@ pub fn validate_schedule<D: Distances>(
                 };
                 let onboard = if needs_pickup_first {
                     // Point-order constraint (Def. 2, condition 2).
-                    let p = *pickup_cum.get(&stop.request)?;
+                    let p = pickup_cum
+                        .iter()
+                        .find(|(id, _)| *id == stop.request)
+                        .map(|(_, c)| *c)?;
                     cum - p
                 } else {
                     already_travelled + cum
@@ -287,7 +303,8 @@ impl KineticTree {
 
     /// First stop of the best schedule (the stop the vehicle is driving to).
     pub fn next_stop(&self) -> Option<Stop> {
-        self.best_branch().and_then(|(stops, _)| stops.first().copied())
+        self.best_branch()
+            .and_then(|(stops, _)| stops.first().copied())
     }
 
     /// Conservative upper bound on extra distance insertable anywhere in the
@@ -305,8 +322,10 @@ impl KineticTree {
 
     /// Enumerates every feasible insertion of `new_req` into every branch.
     ///
-    /// Candidates are deduplicated by their stop sequence. The naive matcher
-    /// of Huang et al. corresponds to calling this for every vehicle.
+    /// The naive matcher of Huang et al. corresponds to calling this for
+    /// every vehicle. Candidates are necessarily distinct: branches of the
+    /// prefix-merged forest are distinct stop sequences, and a candidate
+    /// embeds its whole source branch, so no dedup set is needed.
     pub fn insertion_candidates<D: Distances>(
         &self,
         ctx: &ScheduleContext<'_, D>,
@@ -314,8 +333,33 @@ impl KineticTree {
     ) -> Vec<InsertionCandidate> {
         let pickup = Stop::pickup(new_req.id, new_req.pickup, new_req.riders);
         let dropoff = Stop::dropoff(new_req.id, new_req.dropoff, new_req.riders);
-        let mut seen: HashSet<Vec<Stop>> = HashSet::new();
+
+        if self.roots.is_empty() {
+            // Fast path for empty vehicles (the common case in a fleet):
+            // the only insertion is "drive to the pickup, then the drop-off",
+            // mirroring exactly what validate_schedule would compute for
+            // `[pickup, dropoff]`.
+            if ctx.initial_occupancy + new_req.riders > ctx.capacity {
+                return Vec::new();
+            }
+            let pickup_leg = ctx.dist.distance(ctx.start, new_req.pickup);
+            let onboard = ctx.dist.distance(new_req.pickup, new_req.dropoff);
+            if !pickup_leg.is_finite()
+                || !onboard.is_finite()
+                || onboard > new_req.max_onboard_dist + DIST_EPS
+            {
+                return Vec::new();
+            }
+            return vec![InsertionCandidate {
+                stops: vec![pickup, dropoff],
+                total_dist: pickup_leg + onboard,
+                pickup_dist: pickup_leg,
+                onboard_dist: onboard,
+            }];
+        }
+
         let mut out = Vec::new();
+        let mut pickup_buf = Vec::new();
         for branch in self.branches() {
             let len = branch.len();
             for i in 0..=len {
@@ -326,10 +370,9 @@ impl KineticTree {
                     cand.extend_from_slice(&branch[i..j]);
                     cand.push(dropoff);
                     cand.extend_from_slice(&branch[j..]);
-                    if !seen.insert(cand.clone()) {
-                        continue;
-                    }
-                    if let Some(eval) = validate_schedule(ctx, &cand, Some(new_req)) {
+                    if let Some(eval) =
+                        validate_schedule_buffered(ctx, &cand, Some(new_req), &mut pickup_buf)
+                    {
                         out.push(InsertionCandidate {
                             stops: cand,
                             total_dist: eval.total_dist,
@@ -368,11 +411,7 @@ impl KineticTree {
             .collect();
         // Keep only the shortest MAX_SCHEDULES schedules (deterministic:
         // ties broken by the stop sequence itself).
-        valid.sort_by(|a, b| {
-            a.0.partial_cmp(&b.0)
-                .unwrap()
-                .then_with(|| a.1.cmp(&b.1))
-        });
+        valid.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then_with(|| a.1.cmp(&b.1)));
         valid.truncate(MAX_SCHEDULES);
         let count = valid.len();
         self.roots = build_forest(valid.into_iter().map(|(_, stops)| stops).collect());
@@ -430,12 +469,7 @@ impl KineticTree {
         let _ = writeln!(out, "  node [shape=box, fontsize=10];");
         let _ = writeln!(out, "  root [label=\"current location\", shape=ellipse];");
         let mut counter = 0usize;
-        fn emit(
-            node: &KineticNode,
-            parent: &str,
-            counter: &mut usize,
-            out: &mut String,
-        ) {
+        fn emit(node: &KineticNode, parent: &str, counter: &mut usize, out: &mut String) {
             use std::fmt::Write as _;
             let id = format!("n{}", *counter);
             *counter += 1;
@@ -785,14 +819,19 @@ mod tests {
             RequestId(1),
             // On board, already travelled 0, budget exactly the remaining
             // direct distance: no detour allowed at all.
-            assigned(1, 0, 10, 1, RequestProgress::OnBoard { travelled: 0.0 }, 1e9, 1000.0),
+            assigned(
+                1,
+                0,
+                10,
+                1,
+                RequestProgress::OnBoard { travelled: 0.0 },
+                1e9,
+                1000.0,
+            ),
         );
         let c = ctx(&dist, &requests, 0, 1);
         let mut tree = KineticTree::new();
-        tree.commit_insertion(
-            &c,
-            vec![vec![Stop::dropoff(RequestId(1), VertexId(10), 1)]],
-        );
+        tree.commit_insertion(&c, vec![vec![Stop::dropoff(RequestId(1), VertexId(10), 1)]]);
         assert_eq!(tree.size(), 1);
 
         // A request that would require driving backwards first: violates the
@@ -1004,10 +1043,15 @@ mod tests {
         assert!(dot.contains("pickup R1 @ v2"));
         assert!(dot.contains("dropoff R2 @ v5"));
         // One DOT node line per kinetic-tree node plus the root.
-        let node_lines = dot.lines().filter(|l| l.contains("[label=\"") && l.contains("dist_tr")).count();
+        let node_lines = dot
+            .lines()
+            .filter(|l| l.contains("[label=\"") && l.contains("dist_tr"))
+            .count();
         assert_eq!(node_lines, tree.size());
         // Empty tree renders a valid (root-only) graph.
-        assert!(KineticTree::new().to_dot("empty").contains("current location"));
+        assert!(KineticTree::new()
+            .to_dot("empty")
+            .contains("current location"));
     }
 
     #[test]

@@ -18,7 +18,7 @@ pub mod request;
 pub mod types;
 pub mod vehicle;
 
-pub use distances::{Distances, FnDistances};
+pub use distances::{Distances, FnDistances, PrefetchedDistances};
 pub use index::{schedule_cells, VehicleIndex};
 pub use kinetic::{InsertionCandidate, KineticNode, KineticTree, ScheduleContext};
 pub use request::{AssignedRequest, ProspectiveRequest, RequestProgress};

@@ -120,14 +120,7 @@ mod tests {
 
     #[test]
     fn prospective_request_derives_budget() {
-        let r = ProspectiveRequest::new(
-            RequestId(1),
-            VertexId(2),
-            VertexId(9),
-            2,
-            1000.0,
-            0.2,
-        );
+        let r = ProspectiveRequest::new(RequestId(1), VertexId(2), VertexId(9), 2, 1000.0, 0.2);
         assert!((r.max_onboard_dist - 1200.0).abs() < 1e-9);
         assert_eq!(r.riders, 2);
     }

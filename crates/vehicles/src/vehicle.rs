@@ -6,7 +6,7 @@
 //! requests assigned to it (sorted by assignment time) and the set of all
 //! valid trip schedules, managed by a [`KineticTree`].
 
-use crate::distances::Distances;
+use crate::distances::{Distances, PrefetchedDistances};
 use crate::kinetic::{InsertionCandidate, KineticTree, ScheduleContext};
 use crate::request::{AssignedRequest, ProspectiveRequest, RequestProgress};
 use crate::types::{RequestId, Stop, StopKind, VehicleId};
@@ -150,21 +150,32 @@ impl Vehicle {
         self.tree.next_stop()
     }
 
-    fn context<'a, D: Distances>(&'a self, dist: &'a D) -> ScheduleContext<'a, D> {
-        ScheduleContext {
-            start: self.location,
-            odometer: self.odometer,
-            capacity: self.capacity,
-            initial_occupancy: self.onboard_riders(),
-            requests: &self.requests,
-            dist,
-        }
+    /// Prefetches the pairwise distance matrix over every location a
+    /// kinetic-tree evaluation of this vehicle can touch: the current
+    /// location, every scheduled stop and `extra` (a prospective request's
+    /// pickup/drop-off). Each distinct location costs one batched
+    /// one-to-many query on the backend instead of `k` point-to-point
+    /// searches.
+    fn prefetch<'a, D: Distances>(
+        &self,
+        dist: &'a D,
+        extra: &[VertexId],
+    ) -> PrefetchedDistances<'a, D> {
+        let mut locations = Vec::with_capacity(2 + self.tree.size() + extra.len());
+        locations.push(self.location);
+        locations.extend(self.tree.stops().iter().map(|s| s.location));
+        locations.extend_from_slice(extra);
+        PrefetchedDistances::new(dist, locations)
     }
 
     /// Enumerates every feasible insertion of a prospective request into the
     /// vehicle's schedules. This is the verification step of the matching
     /// algorithms; the returned candidates carry the pickup distance and the
     /// new total trip distance needed to price each option.
+    ///
+    /// All schedule legs are evaluated against a prefetched distance matrix,
+    /// so the backend sees a handful of batched one-to-many queries rather
+    /// than one point-to-point search per leg.
     pub fn insertion_candidates<D: Distances>(
         &self,
         dist: &D,
@@ -175,7 +186,28 @@ impl Vehicle {
             // schedule must not offer options that would ignore those riders.
             return Vec::new();
         }
-        let ctx = self.context(dist);
+        if self.tree.is_empty() {
+            // Empty vehicle: the single candidate needs two point distances;
+            // prefetching a 3×3 matrix would only waste backend searches.
+            let ctx = ScheduleContext {
+                start: self.location,
+                odometer: self.odometer,
+                capacity: self.capacity,
+                initial_occupancy: self.onboard_riders(),
+                requests: &self.requests,
+                dist,
+            };
+            return self.tree.insertion_candidates(&ctx, req);
+        }
+        let prefetched = self.prefetch(dist, &[req.pickup, req.dropoff]);
+        let ctx = ScheduleContext {
+            start: self.location,
+            odometer: self.odometer,
+            capacity: self.capacity,
+            initial_occupancy: self.onboard_riders(),
+            requests: &self.requests,
+            dist: &prefetched,
+        };
         self.tree.insertion_candidates(&ctx, req)
     }
 
@@ -221,13 +253,14 @@ impl Vehicle {
             progress: RequestProgress::Waiting,
         };
         self.requests.insert(req.id, assigned);
+        let prefetched = self.prefetch(dist, &[req.pickup, req.dropoff]);
         let ctx = ScheduleContext {
             start: self.location,
             odometer: self.odometer,
             capacity: self.capacity,
             initial_occupancy: self.onboard_riders(),
             requests: &self.requests,
-            dist,
+            dist: &prefetched,
         };
         let kept = self
             .tree
@@ -247,7 +280,7 @@ impl Vehicle {
                     .map(|r| r.riders)
                     .sum(),
                 requests: &self.requests,
-                dist,
+                dist: &prefetched,
             };
             self.tree.recompute(&ctx);
             return None;
@@ -267,6 +300,12 @@ impl Vehicle {
                 *t += travelled;
             }
         }
+        if self.tree.is_empty() {
+            // No schedules to re-evaluate (recompute would be a no-op); this
+            // keeps idle-fleet location updates allocation-free.
+            return;
+        }
+        let prefetched = self.prefetch(dist, &[]);
         let ctx = ScheduleContext {
             start: self.location,
             odometer: self.odometer,
@@ -278,7 +317,7 @@ impl Vehicle {
                 .map(|r| r.riders)
                 .sum(),
             requests: &self.requests,
-            dist,
+            dist: &prefetched,
         };
         self.tree.recompute(&ctx);
     }
@@ -321,20 +360,23 @@ impl Vehicle {
             }
         };
 
-        let ctx = ScheduleContext {
-            start: self.location,
-            odometer: self.odometer,
-            capacity: self.capacity,
-            initial_occupancy: self
-                .requests
-                .values()
-                .filter(|r| !r.is_waiting())
-                .map(|r| r.riders)
-                .sum(),
-            requests: &self.requests,
-            dist,
-        };
-        self.tree.recompute(&ctx);
+        if !self.tree.is_empty() {
+            let prefetched = self.prefetch(dist, &[]);
+            let ctx = ScheduleContext {
+                start: self.location,
+                odometer: self.odometer,
+                capacity: self.capacity,
+                initial_occupancy: self
+                    .requests
+                    .values()
+                    .filter(|r| !r.is_waiting())
+                    .map(|r| r.riders)
+                    .sum(),
+                requests: &self.requests,
+                dist: &prefetched,
+            };
+            self.tree.recompute(&ctx);
+        }
         Some(event)
     }
 
@@ -421,7 +463,10 @@ mod tests {
         assert!(!v.is_empty());
         assert_eq!(v.num_requests(), 1);
         assert_eq!(v.current_best_distance(), 500.0);
-        assert_eq!(v.request(RequestId(1)).unwrap().pickup_deadline_odometer, 600.0);
+        assert_eq!(
+            v.request(RequestId(1)).unwrap().pickup_deadline_odometer,
+            600.0
+        );
 
         // Drive to the pickup.
         v.move_to(&dist, VertexId(2), 200.0);

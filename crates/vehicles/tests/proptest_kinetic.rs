@@ -46,7 +46,11 @@ fn assert_branch_valid<D: Distances>(
     branch: &[Stop],
     dist: &D,
 ) -> Result<(), TestCaseError> {
-    let requests: HashMap<RequestId, _> = vehicle.requests().into_iter().map(|r| (r.id, r.clone())).collect();
+    let requests: HashMap<RequestId, _> = vehicle
+        .requests()
+        .into_iter()
+        .map(|r| (r.id, r.clone()))
+        .collect();
     let mut occupancy: u32 = vehicle.onboard_riders();
     let mut cum = 0.0;
     let mut prev = vehicle.location();

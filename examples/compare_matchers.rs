@@ -59,7 +59,13 @@ fn main() {
         let mut all_options = Vec::new();
         for trip in &trips {
             let id = engine.allocate_request_id();
-            let request = Request::new(id, trip.origin, trip.destination, trip.riders, trip.time_secs);
+            let request = Request::new(
+                id,
+                trip.origin,
+                trip.destination,
+                trip.riders,
+                trip.time_secs,
+            );
             let Ok(result) = engine.submit_request(request) else {
                 all_options.push(Vec::new());
                 continue;
@@ -96,5 +102,8 @@ fn main() {
             "matcher #{i} returned a different number of options"
         );
     }
-    println!("\nall matchers returned identical option sets ({} options total)", reference.len());
+    println!(
+        "\nall matchers returned identical option sets ({} options total)",
+        reference.len()
+    );
 }

@@ -13,7 +13,11 @@ use ptrider::{GridConfig, MatcherKind, PtRider};
 fn main() {
     let scenario = Fig1Scenario::new();
 
-    for kind in [MatcherKind::Naive, MatcherKind::SingleSide, MatcherKind::DualSide] {
+    for kind in [
+        MatcherKind::Naive,
+        MatcherKind::SingleSide,
+        MatcherKind::DualSide,
+    ] {
         println!("\n== matching algorithm: {kind} ==");
         let mut engine = PtRider::new(
             scenario.network.clone(),
@@ -25,7 +29,10 @@ fn main() {
         // Two taxis: c1 at v1, c2 at v13.
         let c1 = engine.add_vehicle(scenario.c1_start);
         let c2 = engine.add_vehicle(scenario.c2_start);
-        println!("c1 = {c1} at {}, c2 = {c2} at {}", scenario.c1_start, scenario.c2_start);
+        println!(
+            "c1 = {c1} at {}, c2 = {c2} at {}",
+            scenario.c1_start, scenario.c2_start
+        );
 
         // Step 1: R1 = <v2, v16, 2, 5, 0.2> is assigned to c1 (its only
         // non-dominated option), reproducing the paper's starting state with

@@ -78,9 +78,14 @@ fn main() {
             if is_busy { "yes" } else { "no" }
         );
     }
-    assert!(!options.is_empty(), "the couple must receive at least one option");
+    assert!(
+        !options.is_empty(),
+        "the couple must receive at least one option"
+    );
     if options.len() >= 2 {
-        println!("\nthe skyline exposes a price/time trade-off: no option is best in both dimensions.");
+        println!(
+            "\nthe skyline exposes a price/time trade-off: no option is best in both dimensions."
+        );
     }
 
     // What would different riders choose?
@@ -88,7 +93,10 @@ fn main() {
     for (label, policy) in [
         ("impatient (fastest)", ChoicePolicy::Fastest),
         ("thrifty (cheapest)", ChoicePolicy::Cheapest),
-        ("balanced (alpha=0.5)", ChoicePolicy::Weighted { alpha: 0.5 }),
+        (
+            "balanced (alpha=0.5)",
+            ChoicePolicy::Weighted { alpha: 0.5 },
+        ),
     ] {
         let pick = policy.choose(&options, &mut rng).unwrap();
         println!(

@@ -32,8 +32,14 @@ fn main() {
 
     // 4. Two riders want to travel from vertex 44 to vertex 97.
     let (request, options) = engine.submit(VertexId(44), VertexId(97), 2, 0.0);
-    println!("\nrequest {request}: {} non-dominated options", options.len());
-    println!("{:>10} {:>12} {:>12} {:>8}", "vehicle", "pickup (m)", "pickup (s)", "price");
+    println!(
+        "\nrequest {request}: {} non-dominated options",
+        options.len()
+    );
+    println!(
+        "{:>10} {:>12} {:>12} {:>8}",
+        "vehicle", "pickup (m)", "pickup (s)", "price"
+    );
     for opt in &options {
         println!(
             "{:>10} {:>12.0} {:>12.1} {:>8.2}",

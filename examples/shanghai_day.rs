@@ -63,17 +63,33 @@ fn main() {
     let report = sim.report();
     println!("\n=== statistics panel (cf. Fig. 4(c)) ===");
     println!("current time              : {:.1} h", sim.clock() / 3600.0);
-    println!("average response time     : {:.3} ms", report.avg_response_ms);
-    println!("average sharing rate      : {:.1} %", report.sharing_rate * 100.0);
+    println!(
+        "average response time     : {:.3} ms",
+        report.avg_response_ms
+    );
+    println!(
+        "average sharing rate      : {:.1} %",
+        report.sharing_rate * 100.0
+    );
     println!("requests submitted        : {}", report.requests);
-    println!("requests answered         : {} ({:.1} %)", report.answered, report.answer_rate * 100.0);
+    println!(
+        "requests answered         : {} ({:.1} %)",
+        report.answered,
+        report.answer_rate * 100.0
+    );
     println!("requests assigned         : {}", report.assigned);
     println!("trips completed           : {}", report.completed);
     println!("average options / request : {:.2}", report.avg_options);
-    println!("average waiting time      : {:.0} s", report.avg_waiting_secs);
+    println!(
+        "average waiting time      : {:.0} s",
+        report.avg_waiting_secs
+    );
     println!("average price             : {:.2}", report.avg_price);
     println!("average detour ratio      : {:.3}", report.avg_detour_ratio);
-    println!("fleet distance            : {:.1} km", report.fleet_distance_m / 1000.0);
+    println!(
+        "fleet distance            : {:.1} km",
+        report.fleet_distance_m / 1000.0
+    );
     println!(
         "matcher work              : {} vehicles verified / {} pruned / {} exact distances",
         report.engine.match_work.vehicles_verified,
@@ -82,5 +98,5 @@ fn main() {
     );
 
     println!("\nfull report (JSON):");
-    println!("{}", serde_json::to_string_pretty(&report).unwrap());
+    println!("{}", report.to_json());
 }

@@ -51,7 +51,7 @@ pub use ptrider_sim as sim;
 
 pub use ptrider_core::{
     EngineConfig, EngineStats, GridConfig, MatchResult, MatchStats, Matcher, MatcherKind,
-    PriceModel, PtRider, Request, RequestId, RideOption, RoadNetwork, Skyline, Speed, Stop,
-    StopKind, Vehicle, VehicleId, VertexId,
+    ParallelMode, PriceModel, PtRider, Request, RequestId, RideOption, RoadNetwork, Skyline, Speed,
+    Stop, StopKind, Vehicle, VehicleId, VertexId,
 };
 pub use ptrider_sim::{ChoicePolicy, SimConfig, SimulationReport, Simulator};

@@ -40,7 +40,11 @@ fn run_day(matcher: MatcherKind, choice: ChoicePolicy, seed: u64) -> (Simulator,
 
 #[test]
 fn simulated_hour_produces_consistent_statistics() {
-    let (_sim, report) = run_day(MatcherKind::DualSide, ChoicePolicy::Weighted { alpha: 0.5 }, 31);
+    let (_sim, report) = run_day(
+        MatcherKind::DualSide,
+        ChoicePolicy::Weighted { alpha: 0.5 },
+        31,
+    );
 
     assert_eq!(report.requests, 120);
     assert!(report.answered <= report.requests);
@@ -76,7 +80,7 @@ fn service_and_waiting_constraints_hold_for_every_completed_trip() {
         // Waiting-time constraint (Definition 2, condition 3): the actual
         // pickup happens no later than the planned pickup plus w (allowing
         // one simulation step of slack for the discrete clock).
-        if let (Some(planned), Some(picked), ) = (outcome.planned_pickup_secs, outcome.picked_up_at) {
+        if let (Some(planned), Some(picked)) = (outcome.planned_pickup_secs, outcome.picked_up_at) {
             let planned_abs = outcome.submitted_at + planned;
             assert!(
                 picked <= planned_abs + max_wait_secs + 5.0 + 1e-6,

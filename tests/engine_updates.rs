@@ -54,7 +54,10 @@ fn shared_ride_of_two_requests_completes_in_order() {
     let (r1, opts1) = engine.submit(VertexId(2), VertexId(8), 1, 0.0);
     engine.choose(r1, &opts1[0], 0.0).unwrap();
     let (r2, opts2) = engine.submit(VertexId(3), VertexId(9), 2, 10.0);
-    assert!(!opts2.is_empty(), "the busy taxi must still offer an option");
+    assert!(
+        !opts2.is_empty(),
+        "the busy taxi must still offer an option"
+    );
     let own = opts2.iter().find(|o| o.vehicle == taxi).unwrap();
     engine.choose(r2, own, 10.0).unwrap();
 
@@ -83,7 +86,10 @@ fn shared_ride_of_two_requests_completes_in_order() {
         })
         .max()
         .unwrap();
-    assert!(max_onboard >= 3, "rides should overlap, max onboard {max_onboard}");
+    assert!(
+        max_onboard >= 3,
+        "rides should overlap, max onboard {max_onboard}"
+    );
 }
 
 #[test]
@@ -122,7 +128,10 @@ fn vehicle_index_tracks_empty_and_non_empty_transitions() {
 
     let (r1, opts) = engine.submit(VertexId(4), VertexId(9), 1, 0.0);
     engine.choose(r1, &opts[0], 0.0).unwrap();
-    assert_eq!(engine.vehicle_index().is_registered_empty(taxi), Some(false));
+    assert_eq!(
+        engine.vehicle_index().is_registered_empty(taxi),
+        Some(false)
+    );
     // A non-empty vehicle is registered in at least the cells of its stops.
     let cells = engine.vehicle_index().cells_of(taxi);
     assert!(!cells.is_empty());
@@ -158,7 +167,10 @@ fn location_updates_keep_matching_consistent() {
     // The same request is now much closer.
     let (probe2, near_options) = engine.submit(VertexId(90), VertexId(95), 1, 60.0);
     engine.decline(probe2).unwrap();
-    let far_pickup = far_options.first().map(|o| o.pickup_dist).unwrap_or(f64::MAX);
+    let far_pickup = far_options
+        .first()
+        .map(|o| o.pickup_dist)
+        .unwrap_or(f64::MAX);
     let near_pickup = near_options.first().map(|o| o.pickup_dist).unwrap();
     assert!(near_pickup < far_pickup);
     assert_eq!(near_pickup, 0.0, "the taxi is standing at the origin");

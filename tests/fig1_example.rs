@@ -65,19 +65,32 @@ fn fig1_example_reproduces_with_every_matcher() {
 
         // r1 = <c1, 14, 4>: pick-up distance 14, price 4.
         assert_eq!(by_c1.pickup_dist, 14.0, "{kind}: c1 pickup distance");
-        assert!((by_c1.price - 4.0).abs() < 1e-9, "{kind}: c1 price {}", by_c1.price);
+        assert!(
+            (by_c1.price - 4.0).abs() < 1e-9,
+            "{kind}: c1 price {}",
+            by_c1.price
+        );
         // The new schedule is tr2 = <v1, v2, v12, v16, v17> — from the
         // vehicle location v1, the remaining stops are v2, v12, v16, v17.
         let schedule: Vec<_> = by_c1.schedule.iter().map(|s| s.location).collect();
         assert_eq!(
             schedule,
-            vec![fig1_vertex(2), fig1_vertex(12), fig1_vertex(16), fig1_vertex(17)],
+            vec![
+                fig1_vertex(2),
+                fig1_vertex(12),
+                fig1_vertex(16),
+                fig1_vertex(17)
+            ],
             "{kind}: c1's offered schedule"
         );
 
         // r2 = <c2, 8, 8.8>.
         assert_eq!(by_c2.pickup_dist, 8.0, "{kind}: c2 pickup distance");
-        assert!((by_c2.price - 8.8).abs() < 1e-9, "{kind}: c2 price {}", by_c2.price);
+        assert!(
+            (by_c2.price - 8.8).abs() < 1e-9,
+            "{kind}: c2 price {}",
+            by_c2.price
+        );
 
         // Neither option dominates the other (Definition 4).
         assert!(!by_c1.dominates(by_c2));

@@ -62,11 +62,7 @@ fn run_scenario(
     let mut engines: Vec<PtRider> = MatcherKind::all()
         .iter()
         .map(|kind| {
-            let mut e = PtRider::new(
-                city.clone(),
-                GridConfig::with_dimensions(4, 4),
-                config,
-            );
+            let mut e = PtRider::new(city.clone(), GridConfig::with_dimensions(4, 4), config);
             e.set_matcher(*kind);
             for &loc in &vehicle_locations {
                 e.add_vehicle(loc);
@@ -79,7 +75,13 @@ fn run_scenario(
         let mut all_options = Vec::new();
         for engine in engines.iter_mut() {
             let id = ptrider::RequestId(i as u64);
-            let request = Request::new(id, trip.origin, trip.destination, trip.riders, trip.time_secs);
+            let request = Request::new(
+                id,
+                trip.origin,
+                trip.destination,
+                trip.riders,
+                trip.time_secs,
+            );
             let result = engine.submit_request(request).expect("valid request");
             all_options.push(result.options);
         }

@@ -1,0 +1,113 @@
+//! Property test: forcing the parallel candidate-verification path produces
+//! byte-identical skylines to the sequential reference, for all three
+//! matchers, on randomly generated cities, fleets and request sequences.
+//!
+//! The parallel path partitions surviving candidate vehicles across worker
+//! threads with per-thread skylines merged at the end; because skyline
+//! membership is insertion-order independent and one vehicle's options stay
+//! on one thread, the merged result must equal the sequential one exactly
+//! (full `RideOption` equality, schedules included).
+//!
+//! All comparisons run inside a single `#[test]` per scenario family:
+//! `set_parallel_mode` is process-global, so interleaving it with other
+//! tests in the same binary would race. This file contains only these
+//! tests, and each flips the mode around every matching call it makes.
+
+use proptest::prelude::*;
+use ptrider::datagen::{synthetic_city, CityConfig, TripConfig, TripGenerator};
+use ptrider::{
+    EngineConfig, GridConfig, MatcherKind, ParallelMode, PtRider, Request, RideOption, VertexId,
+};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn match_all(
+    engine: &PtRider,
+    request: &Request,
+    mode: ParallelMode,
+) -> Vec<(MatcherKind, Vec<RideOption>)> {
+    ptrider::core::set_parallel_mode(mode);
+    let out = MatcherKind::all()
+        .iter()
+        .map(|&kind| {
+            (
+                kind,
+                engine
+                    .match_request_with(kind, request)
+                    .expect("valid request")
+                    .options,
+            )
+        })
+        .collect();
+    ptrider::core::set_parallel_mode(ParallelMode::Auto);
+    out
+}
+
+fn run_scenario(seed: u64, num_vehicles: usize, num_requests: usize) -> Result<(), TestCaseError> {
+    let city = synthetic_city(&CityConfig::tiny(seed));
+    let config = EngineConfig::paper_defaults();
+    let mut engine = PtRider::new(city, GridConfig::with_dimensions(4, 4), config);
+    engine.set_matcher(MatcherKind::DualSide);
+
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x9a11e1);
+    let n = engine.network().num_vertices() as u32;
+    for _ in 0..num_vehicles {
+        engine.add_vehicle(VertexId(rng.gen_range(0..n)));
+    }
+    let trips = TripGenerator::new(
+        engine.network(),
+        TripConfig {
+            num_trips: num_requests,
+            seed: seed ^ 0x77,
+            ..TripConfig::default()
+        },
+    )
+    .generate();
+
+    for (i, trip) in trips.iter().enumerate() {
+        let id = engine.allocate_request_id();
+        let request = Request::new(id, trip.origin, trip.destination, trip.riders, i as f64);
+
+        let sequential = match_all(&engine, &request, ParallelMode::Sequential);
+        let parallel = match_all(&engine, &request, ParallelMode::Parallel);
+        for ((kind, seq), (_, par)) in sequential.iter().zip(&parallel) {
+            prop_assert_eq!(
+                seq,
+                par,
+                "matcher {} parallel skyline differs on request #{}",
+                kind,
+                i
+            );
+        }
+
+        // Assign via the normal engine path so later requests see busy
+        // vehicles (the interesting case for verification batches).
+        let (rid, options) = engine.submit(trip.origin, trip.destination, trip.riders, i as f64);
+        if let Some(first) = options.first() {
+            let _ = engine.choose(rid, first, i as f64);
+        } else {
+            let _ = engine.decline(rid);
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    #[test]
+    fn parallel_and_sequential_skylines_are_identical(
+        seed in 0u64..1_000_000,
+        num_vehicles in 1usize..24,
+        num_requests in 1usize..8,
+    ) {
+        run_scenario(seed, num_vehicles, num_requests)?;
+    }
+}
+
+#[test]
+fn parallel_matches_sequential_on_a_dense_fixed_scenario() {
+    // Large enough that every matcher's verification batches actually span
+    // multiple worker threads.
+    run_scenario(20090529, 48, 12).unwrap();
+}

@@ -1,0 +1,16 @@
+//! Offline vendored stub of `serde`.
+//!
+//! Provides `Serialize` and `Deserialize` as marker traits plus the derive
+//! macros from the sibling `serde_derive` stub. The workspace derives these
+//! traits throughout for forward compatibility, but nothing serialises
+//! through serde yet (machine-readable reports are hand-rendered JSON), so
+//! marker semantics are sufficient. Replace `vendor/serde*` with the real
+//! crates once a crate registry is reachable from the build environment.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};

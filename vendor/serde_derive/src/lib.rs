@@ -1,0 +1,56 @@
+//! Offline vendored stub of `serde_derive`.
+//!
+//! The container this repository builds in has no crates.io access, so the
+//! real serde is unavailable. The workspace only needs `Serialize` /
+//! `Deserialize` as *marker* traits today (nothing serialises yet; JSON
+//! reports are hand-rendered), so the derive macros simply emit empty marker
+//! impls. Swap `vendor/serde*` for the real crates when a registry is
+//! available.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the name of the type a derive was applied to.
+///
+/// Scans only top-level tokens, so `struct`/`enum` appearing inside
+/// attribute groups or doc comments cannot confuse it. Panics on generic
+/// types: nothing in this workspace derives serde on a generic type, and a
+/// marker impl for one would need bound plumbing this stub does not carry.
+fn type_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter();
+    while let Some(tok) = tokens.next() {
+        if let TokenTree::Ident(ident) = &tok {
+            let kw = ident.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                let name = match tokens.next() {
+                    Some(TokenTree::Ident(name)) => name.to_string(),
+                    other => panic!("serde stub: expected type name, got {other:?}"),
+                };
+                if let Some(TokenTree::Punct(p)) = tokens.next() {
+                    if p.as_char() == '<' {
+                        panic!("serde stub: generic type `{name}` is not supported");
+                    }
+                }
+                return name;
+            }
+        }
+    }
+    panic!("serde stub: no struct/enum/union found in derive input");
+}
+
+/// Stub `#[derive(Serialize)]`: emits `impl serde::Serialize for T {}`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .unwrap()
+}
+
+/// Stub `#[derive(Deserialize)]`: emits `impl<'de> serde::Deserialize<'de> for T {}`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .unwrap()
+}
