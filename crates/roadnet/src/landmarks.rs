@@ -35,6 +35,30 @@ pub struct LandmarkIndex {
 }
 
 impl LandmarkIndex {
+    /// The default seed for farthest-point selection: a maximum-out-degree
+    /// vertex (ties broken by lowest id).
+    ///
+    /// Seeding from a well-connected vertex instead of the arbitrary vertex
+    /// 0 matters on disconnected or peripheral inputs: a degree-0 or
+    /// cul-de-sac seed reaches little of the network, so the "farthest
+    /// reachable vertex" that becomes the first landmark can land in a tiny
+    /// component and every subsequent bound degenerates to 0. A hub vertex
+    /// sees the largest strongly-reachable region the network has.
+    pub fn default_seed(net: &RoadNetwork) -> VertexId {
+        net.vertices()
+            .max_by_key(|&v| (net.degree(v), std::cmp::Reverse(v.0)))
+            .expect("networks have at least one vertex")
+    }
+
+    /// Builds an index with `k` landmarks, seeding the farthest-point
+    /// heuristic from [`Self::default_seed`] (a max-degree vertex).
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn build_auto(net: &RoadNetwork, k: usize) -> Self {
+        Self::build(net, k, Self::default_seed(net))
+    }
+
     /// Builds an index with `k` landmarks chosen by the farthest-point
     /// heuristic, starting from `seed_vertex`.
     ///
@@ -213,5 +237,54 @@ mod tests {
     fn zero_landmarks_panics() {
         let net = lattice(3);
         let _ = LandmarkIndex::build(&net, 0, VertexId(0));
+    }
+
+    #[test]
+    fn default_seed_is_a_max_degree_vertex() {
+        let net = lattice(5);
+        let seed = LandmarkIndex::default_seed(&net);
+        let max_deg = net.vertices().map(|v| net.degree(v)).max().unwrap();
+        assert_eq!(net.degree(seed), max_deg);
+        // Interior lattice vertices have degree 4; corners only 2.
+        assert_eq!(max_deg, 4);
+    }
+
+    #[test]
+    fn auto_seed_recovers_from_a_peripheral_vertex_0() {
+        // Vertex 0 sits in a two-vertex component disconnected from the
+        // lattice: farthest-point selection seeded at 0 can only place
+        // landmarks inside 0's component. `build_auto` seeds from a lattice
+        // hub instead, so the bounds on lattice pairs stay useful.
+        let mut b = RoadNetworkBuilder::new();
+        let isolated = b.add_vertex(-10_000.0, -10_000.0);
+        let lonely = b.add_vertex(-10_100.0, -10_000.0);
+        b.add_bidirectional_edge(isolated, lonely, 100.0);
+        let side = 4usize;
+        let mut ids = Vec::new();
+        for y in 0..side {
+            for x in 0..side {
+                ids.push(b.add_vertex(x as f64 * 100.0, y as f64 * 100.0));
+            }
+        }
+        for y in 0..side {
+            for x in 0..side {
+                let u = ids[y * side + x];
+                if x + 1 < side {
+                    b.add_bidirectional_edge(u, ids[y * side + x + 1], 100.0);
+                }
+                if y + 1 < side {
+                    b.add_bidirectional_edge(u, ids[(y + 1) * side + x], 100.0);
+                }
+            }
+        }
+        let net = b.build().unwrap();
+
+        let from_zero = LandmarkIndex::build(&net, 3, VertexId(0));
+        let auto = LandmarkIndex::build_auto(&net, 3);
+        // Seeded at the isolated pair, every landmark is stuck there and the
+        // bound on lattice pairs is zero.
+        assert_eq!(from_zero.lower_bound(ids[0], ids[side * side - 1]), 0.0);
+        // The auto seed lands in the lattice and produces a useful bound.
+        assert!(auto.lower_bound(ids[0], ids[side * side - 1]) > 0.0);
     }
 }

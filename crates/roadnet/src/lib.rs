@@ -2,11 +2,13 @@
 //!
 //! This crate models the road network `G = (V, E, W)` of Section 2.1 of the
 //! paper, provides exact shortest-path engines (Dijkstra, bidirectional
-//! Dijkstra, A*), the grid partition index of Section 3.2.1 (border
-//! vertices, per-vertex border-distance tables, the cell-pair lower-bound
-//! matrix and per-cell neighbour lists sorted by lower bound), and a
-//! memoising [`DistanceOracle`] that serves exact distances and cheap lower
-//! bounds to the matching algorithms in `ptrider-core`.
+//! Dijkstra, A*, and a contraction hierarchy with bidirectional upward
+//! queries and many-to-many bucket queries), the grid partition index of
+//! Section 3.2.1 (border vertices, per-vertex border-distance tables, the
+//! cell-pair lower-bound matrix and per-cell neighbour lists sorted by lower
+//! bound), and a memoising [`DistanceOracle`] that serves exact distances
+//! and cheap lower bounds to the matching algorithms in `ptrider-core`
+//! through one of two swappable exact backends ([`DistanceBackend`]).
 //!
 //! Distances are expressed in metres and converted to travel time with a
 //! constant speed (the paper assumes 48 km/h); see [`Speed`].
@@ -33,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod astar;
+pub mod ch;
 pub mod dijkstra;
 pub mod error;
 pub mod graph;
@@ -42,9 +45,10 @@ pub mod oracle;
 pub mod scratch;
 pub mod types;
 
+pub use ch::{ChBuildError, ChConfig, ContractionHierarchy};
 pub use error::RoadNetError;
 pub use graph::{Edge, RoadNetwork, RoadNetworkBuilder};
 pub use grid::{CellId, GridCell, GridConfig, GridIndex};
 pub use landmarks::LandmarkIndex;
-pub use oracle::DistanceOracle;
+pub use oracle::{DistanceBackend, DistanceOracle};
 pub use types::{Point, Speed, VertexId, INFINITE_DISTANCE};

@@ -14,25 +14,40 @@
 //!   generation-stamped scratch buffers ([`crate::scratch`]) with the
 //!   heuristic `max(euclidean, grid bound, landmark bound)`; see
 //!   [`crate::astar::distance_with_landmarks`].
+//! * **Swappable exact backends** — the exact computation behind a miss is
+//!   selected by [`DistanceBackend`]: the ALT A* above, or a contraction
+//!   hierarchy ([`crate::ch`]) whose bidirectional upward queries are
+//!   microsecond-scale on city graphs. The oracle surface (`distance` /
+//!   `distances_from` / `lower_bound`) is identical for both, so matchers
+//!   never see which backend answered. CH construction is fallible; when it
+//!   fails the oracle silently falls back to ALT instead of panicking.
 //! * **Batched one-to-many** — [`DistanceOracle::distances_from`] answers
 //!   `k` same-source queries with a single bounded multi-target Dijkstra
-//!   instead of `k` point-to-point searches.
+//!   (ALT backend) or a many-to-many bucket query (CH backend) instead of
+//!   `k` point-to-point searches.
 //! * **Directed-safe mirroring** — the symmetric `(v, u)` cache entry is
 //!   only written when [`RoadNetwork::is_undirected`] holds; on networks
 //!   with one-way edges `dist(u, v) ≠ dist(v, u)` in general.
+//! * **Bounded memory** — every shard carries an entry cap with
+//!   second-chance (clock) eviction: a hit sets a referenced bit, and when a
+//!   full shard takes an insert, unreferenced entries are evicted while
+//!   referenced ones survive with their bit cleared. Long-running engines
+//!   no longer grow the cache without bound.
 //!
 //! The exact-computation counters feed the pruning-effectiveness experiment
 //! (E8).
 
 use crate::astar;
+use crate::ch::ContractionHierarchy;
 use crate::dijkstra;
 use crate::graph::RoadNetwork;
 use crate::grid::GridIndex;
 use crate::landmarks::LandmarkIndex;
 use crate::types::VertexId;
 use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Number of cache shards. A small power of two well above typical matcher
@@ -40,7 +55,50 @@ use std::sync::Arc;
 /// stay dense.
 const SHARDS: usize = 32;
 
-type Shard = RwLock<HashMap<(VertexId, VertexId), f64>>;
+/// Default total cache capacity (entries across all shards): roughly 4M
+/// pairs ≈ 100 MB. Override with [`DistanceOracle::with_cache_capacity`].
+pub const DEFAULT_CACHE_CAPACITY: usize = SHARDS * (1 << 17);
+
+/// Which exact shortest-path backend a [`DistanceOracle`] uses on a cache
+/// miss.
+///
+/// Both backends return identical (exact) distances; they differ in
+/// preprocessing cost and per-query latency, so the right choice depends on
+/// the deployment — see DESIGN.md "Distance backends".
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DistanceBackend {
+    /// ALT: A* with `max(euclidean, grid, landmark)` heuristics. No
+    /// preprocessing beyond the landmark tables; queries settle `O(ball)`
+    /// vertices. Best for small graphs, frequently-changing weights, or
+    /// when engine start-up latency matters.
+    #[default]
+    Alt,
+    /// Contraction hierarchy: heavier one-off preprocessing, then
+    /// microsecond point queries and bucket-based batched queries. Best for
+    /// large static city graphs under sustained match load. Falls back to
+    /// [`DistanceBackend::Alt`] when construction fails (see
+    /// [`crate::ChBuildError`]).
+    Ch,
+}
+
+impl std::fmt::Display for DistanceBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DistanceBackend::Alt => write!(f, "alt"),
+            DistanceBackend::Ch => write!(f, "ch"),
+        }
+    }
+}
+
+/// One memoised distance plus its clock (second-chance) referenced bit. The
+/// bit is set on every hit through a shard *read* lock, which is why it is
+/// atomic rather than plain.
+struct CacheSlot {
+    dist: f64,
+    referenced: AtomicBool,
+}
+
+type Shard = RwLock<HashMap<(VertexId, VertexId), CacheSlot>>;
 
 #[inline]
 fn shard_of(u: VertexId, v: VertexId) -> usize {
@@ -57,7 +115,15 @@ pub struct DistanceOracle {
     net: Arc<RoadNetwork>,
     grid: Arc<GridIndex>,
     landmarks: Option<Arc<LandmarkIndex>>,
+    /// The contraction hierarchy, present iff the resolved backend is
+    /// [`DistanceBackend::Ch`].
+    ch: Option<Arc<ContractionHierarchy>>,
+    /// The backend actually in use (may be `Alt` even when `Ch` was
+    /// requested, if hierarchy construction failed).
+    backend: DistanceBackend,
     cache: Arc<[Shard; SHARDS]>,
+    /// Per-shard entry cap for clock eviction; `usize::MAX` disables it.
+    shard_capacity: usize,
     /// Legacy-baseline mode: one global lock (shard 0, always write-locked),
     /// per-call-allocating plain Dijkstra, no ALT, no batching — the
     /// pre-refactor oracle's behaviour, kept runnable so benchmarks can
@@ -66,6 +132,7 @@ pub struct DistanceOracle {
     exact_computations: Arc<AtomicU64>,
     cache_hits: Arc<AtomicU64>,
     lower_bound_queries: Arc<AtomicU64>,
+    evictions: Arc<AtomicU64>,
 }
 
 impl DistanceOracle {
@@ -76,11 +143,15 @@ impl DistanceOracle {
             net,
             grid,
             landmarks: None,
+            ch: None,
+            backend: DistanceBackend::Alt,
             cache: Arc::new(std::array::from_fn(|_| RwLock::new(HashMap::new()))),
+            shard_capacity: DEFAULT_CACHE_CAPACITY / SHARDS,
             legacy: false,
             exact_computations: Arc::new(AtomicU64::new(0)),
             cache_hits: Arc::new(AtomicU64::new(0)),
             lower_bound_queries: Arc::new(AtomicU64::new(0)),
+            evictions: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -110,6 +181,86 @@ impl DistanceOracle {
         oracle
     }
 
+    /// Creates an oracle with an explicit exact backend. Landmarks remain
+    /// optional and, when present, tighten [`Self::lower_bound`] regardless
+    /// of the backend.
+    ///
+    /// Requesting [`DistanceBackend::Ch`] builds the hierarchy here; if
+    /// construction fails (see [`crate::ChBuildError`]) the oracle **falls
+    /// back to ALT** instead of panicking — [`Self::backend`] reports what
+    /// is actually in use.
+    pub fn with_backend(
+        net: Arc<RoadNetwork>,
+        grid: Arc<GridIndex>,
+        landmarks: Option<Arc<LandmarkIndex>>,
+        backend: DistanceBackend,
+    ) -> Self {
+        let mut oracle = Self::new(net, grid);
+        oracle.landmarks = landmarks;
+        if backend == DistanceBackend::Ch {
+            match ContractionHierarchy::build(&oracle.net) {
+                Ok(ch) => {
+                    oracle.ch = Some(Arc::new(ch));
+                    oracle.backend = DistanceBackend::Ch;
+                }
+                Err(_) => {
+                    // Unsupported input for contraction (e.g. shortcut
+                    // blow-up): stay exact via the ALT backend.
+                    oracle.backend = DistanceBackend::Alt;
+                }
+            }
+        }
+        oracle
+    }
+
+    /// Creates an oracle over a pre-built, shared contraction hierarchy —
+    /// the cheap path for many-engines-one-city harnesses, which build the
+    /// hierarchy once and hand every engine the same `Arc`.
+    pub fn with_contraction_hierarchy(
+        net: Arc<RoadNetwork>,
+        grid: Arc<GridIndex>,
+        landmarks: Option<Arc<LandmarkIndex>>,
+        ch: Arc<ContractionHierarchy>,
+    ) -> Self {
+        let mut oracle = Self::new(net, grid);
+        oracle.landmarks = landmarks;
+        oracle.ch = Some(ch);
+        oracle.backend = DistanceBackend::Ch;
+        oracle
+    }
+
+    /// Overrides the total cache capacity (entries across all shards).
+    /// Eviction triggers per shard at `capacity / 32`; passing `usize::MAX`
+    /// disables eviction entirely.
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.shard_capacity = if capacity == usize::MAX {
+            usize::MAX
+        } else {
+            (capacity / SHARDS).max(1)
+        };
+        self
+    }
+
+    /// The exact backend actually answering cache misses (may differ from
+    /// the requested one after a CH-construction fallback).
+    pub fn backend(&self) -> DistanceBackend {
+        self.backend
+    }
+
+    /// The contraction hierarchy, if this oracle runs the CH backend.
+    pub fn contraction_hierarchy(&self) -> Option<&Arc<ContractionHierarchy>> {
+        self.ch.as_ref()
+    }
+
+    /// Total cache capacity in entries (`usize::MAX` when unbounded).
+    pub fn cache_capacity(&self) -> usize {
+        if self.shard_capacity == usize::MAX {
+            usize::MAX
+        } else {
+            self.shard_capacity * SHARDS
+        }
+    }
+
     /// The underlying road network.
     pub fn network(&self) -> &RoadNetwork {
         &self.net
@@ -136,32 +287,110 @@ impl DistanceOracle {
     }
 
     #[inline]
-    fn shard_index(&self, u: VertexId, v: VertexId) -> usize {
-        if self.legacy {
-            0 // one global map, as the seed had
-        } else {
-            shard_of(u, v)
-        }
-    }
-
-    #[inline]
     fn cached(&self, u: VertexId, v: VertexId) -> Option<f64> {
         if self.legacy {
             // The seed's Mutex had no shared-read mode.
-            return self.cache[0].write().get(&(u, v)).copied();
+            return self.cache[0].write().get(&(u, v)).map(|s| s.dist);
         }
-        self.cache[shard_of(u, v)].read().get(&(u, v)).copied()
+        let shard = self.cache[shard_of(u, v)].read();
+        shard.get(&(u, v)).map(|slot| {
+            // Second chance: a hit through the read lock marks the entry
+            // referenced so the next eviction sweep spares it.
+            slot.referenced.store(true, Ordering::Relaxed);
+            slot.dist
+        })
+    }
+
+    /// Inserts into a write-locked shard, evicting with the second-chance
+    /// (clock) policy when the shard is at capacity: entries whose
+    /// referenced bit is clear are evicted, survivors lose their bit. If
+    /// every entry was referenced (sweep evicted nothing), an arbitrary
+    /// half of the shard is dropped so the bound always holds.
+    ///
+    /// With `keep_existing` the insert is first-writer-wins: an already
+    /// cached value is never overwritten. The undirected `(v, u)` mirror
+    /// uses this because the forward-direction fold it stores can differ in
+    /// the last float bit from a directly computed reverse fold — a cached
+    /// value must stay bit-stable for as long as it lives, even when a
+    /// direct computation and a mirror race on the same key.
+    fn insert_with_eviction(
+        &self,
+        map: &mut HashMap<(VertexId, VertexId), CacheSlot>,
+        key: (VertexId, VertexId),
+        d: f64,
+        keep_existing: bool,
+    ) {
+        if keep_existing && map.contains_key(&key) {
+            return;
+        }
+        if map.len() >= self.shard_capacity && !map.contains_key(&key) {
+            let before = map.len();
+            map.retain(|_, slot| {
+                let keep = *slot.referenced.get_mut();
+                *slot.referenced.get_mut() = false;
+                keep
+            });
+            if map.len() >= self.shard_capacity {
+                let mut spare = self.shard_capacity / 2;
+                map.retain(|_, _| {
+                    let keep = spare > 0;
+                    spare = spare.saturating_sub(1);
+                    keep
+                });
+            }
+            self.evictions
+                .fetch_add((before - map.len()) as u64, Ordering::Relaxed);
+        }
+        map.insert(
+            key,
+            CacheSlot {
+                dist: d,
+                referenced: AtomicBool::new(false),
+            },
+        );
     }
 
     #[inline]
     fn store(&self, u: VertexId, v: VertexId, d: f64) {
-        self.cache[self.shard_index(u, v)].write().insert((u, v), d);
+        if self.legacy {
+            // Legacy baseline: unbounded single-map cache, as the seed had.
+            self.cache[0].write().insert(
+                (u, v),
+                CacheSlot {
+                    dist: d,
+                    referenced: AtomicBool::new(false),
+                },
+            );
+            if self.net.is_undirected() {
+                self.cache[0].write().entry((v, u)).or_insert(CacheSlot {
+                    dist: d,
+                    referenced: AtomicBool::new(false),
+                });
+            }
+            return;
+        }
+        self.insert_with_eviction(&mut self.cache[shard_of(u, v)].write(), (u, v), d, false);
         if self.net.is_undirected() {
             // Safe only when dist(u, v) = dist(v, u) holds network-wide.
-            self.cache[self.shard_index(v, u)]
-                .write()
-                .entry((v, u))
-                .or_insert(d);
+            // First-writer-wins (checked under the write lock) so a mirror
+            // can never replace a directly computed reverse value.
+            self.insert_with_eviction(&mut self.cache[shard_of(v, u)].write(), (v, u), d, true);
+        }
+    }
+
+    /// Exact distance straight from the active backend, bypassing the cache.
+    #[inline]
+    fn backend_distance(&self, u: VertexId, v: VertexId) -> f64 {
+        match (&self.ch, self.backend) {
+            (Some(ch), DistanceBackend::Ch) => ch.distance(u, v),
+            _ => astar::distance_with_landmarks(
+                &self.net,
+                u,
+                v,
+                Some(&self.grid),
+                self.landmarks.as_deref(),
+            )
+            .unwrap_or(f64::INFINITY),
         }
     }
 
@@ -177,17 +406,10 @@ impl DistanceOracle {
         }
         self.exact_computations.fetch_add(1, Ordering::Relaxed);
         let d = if self.legacy {
-            dijkstra::distance_allocating(&self.net, u, v)
+            dijkstra::distance_allocating(&self.net, u, v).unwrap_or(f64::INFINITY)
         } else {
-            astar::distance_with_landmarks(
-                &self.net,
-                u,
-                v,
-                Some(&self.grid),
-                self.landmarks.as_deref(),
-            )
-        }
-        .unwrap_or(f64::INFINITY);
+            self.backend_distance(u, v)
+        };
         self.store(u, v, d);
         d
     }
@@ -221,27 +443,27 @@ impl DistanceOracle {
         }
         match missing.len() {
             0 => {}
-            // For a few scattered misses, goal-directed ALT point queries
-            // settle far fewer vertices than one multi-target ball whose
-            // radius is the furthest miss.
+            // For a few scattered misses, point queries (goal-directed ALT
+            // search or a CH upward query) beat a batch whose cost is
+            // dominated by setup.
             1..=3 => {
                 for (&i, &t) in missing_idx.iter().zip(missing.iter()) {
                     self.exact_computations.fetch_add(1, Ordering::Relaxed);
-                    let d = astar::distance_with_landmarks(
-                        &self.net,
-                        source,
-                        t,
-                        Some(&self.grid),
-                        self.landmarks.as_deref(),
-                    )
-                    .unwrap_or(f64::INFINITY);
+                    let d = self.backend_distance(source, t);
                     self.store(source, t, d);
                     out[i] = d;
                 }
             }
             _ => {
                 self.exact_computations.fetch_add(1, Ordering::Relaxed);
-                let ds = dijkstra::multi_target(&self.net, source, &missing);
+                let ds = match (&self.ch, self.backend) {
+                    // CH many-to-many bucket query: k backward upward
+                    // searches plus one forward — independent of the
+                    // geometric spread of the targets.
+                    (Some(ch), DistanceBackend::Ch) => ch.distances_from(source, &missing),
+                    // ALT: one bounded multi-target Dijkstra ball.
+                    _ => dijkstra::multi_target(&self.net, source, &missing),
+                };
                 for ((&i, &t), d) in missing_idx.iter().zip(missing.iter()).zip(ds) {
                     self.store(source, t, d);
                     out[i] = d;
@@ -307,11 +529,17 @@ impl DistanceOracle {
         self.lower_bound_queries.load(Ordering::Relaxed)
     }
 
+    /// Number of cache entries evicted by the clock policy so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
     /// Resets the counters (not the cache); used between benchmark phases.
     pub fn reset_counters(&self) {
         self.exact_computations.store(0, Ordering::Relaxed);
         self.cache_hits.store(0, Ordering::Relaxed);
         self.lower_bound_queries.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
     }
 
     /// Clears the memoisation cache (used by benchmarks that want cold-cache
@@ -334,6 +562,7 @@ impl std::fmt::Debug for DistanceOracle {
         f.debug_struct("DistanceOracle")
             .field("vertices", &self.net.num_vertices())
             .field("cells", &self.grid.num_cells())
+            .field("backend", &self.backend)
             .field(
                 "landmarks",
                 &self.landmarks.as_ref().map(|l| l.landmarks().len()),
@@ -525,6 +754,120 @@ mod tests {
         assert_eq!(o.exact_computations(), 0);
         assert_eq!(o.cache_hits(), 0);
         assert_eq!(o.lower_bound_queries(), 0);
+    }
+
+    fn lattice_oracle_with_backend(backend: DistanceBackend) -> DistanceOracle {
+        let base = lattice_oracle(false);
+        DistanceOracle::with_backend(base.network_arc(), base.grid_arc(), None, backend)
+    }
+
+    #[test]
+    fn ch_backend_matches_alt_backend() {
+        let alt = lattice_oracle_with_backend(DistanceBackend::Alt);
+        let ch = lattice_oracle_with_backend(DistanceBackend::Ch);
+        assert_eq!(alt.backend(), DistanceBackend::Alt);
+        assert_eq!(ch.backend(), DistanceBackend::Ch);
+        assert!(ch.contraction_hierarchy().is_some());
+        for u in 0..25u32 {
+            for v in 0..25u32 {
+                let a = alt.distance(VertexId(u), VertexId(v));
+                let c = ch.distance(VertexId(u), VertexId(v));
+                assert!((a - c).abs() < 1e-6, "{u}->{v}: alt {a} vs ch {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn ch_backend_batches_through_buckets() {
+        let ch = lattice_oracle_with_backend(DistanceBackend::Ch);
+        let reference = lattice_oracle(false);
+        let source = VertexId(3);
+        let targets: Vec<VertexId> = (0..25).map(VertexId).collect();
+        let batch = ch.distances_from(source, &targets);
+        for (t, d) in targets.iter().zip(&batch) {
+            assert_eq!(*d, reference.distance(source, *t), "target {t}");
+        }
+        // The whole batch is one exact computation, like the ALT path.
+        assert_eq!(ch.exact_computations(), 1);
+    }
+
+    #[test]
+    fn ch_backend_is_exact_on_directed_networks() {
+        let mut b = RoadNetworkBuilder::new();
+        let v0 = b.add_vertex(0.0, 0.0);
+        let v1 = b.add_vertex(100.0, 0.0);
+        let v2 = b.add_vertex(50.0, 100.0);
+        b.add_directed_edge(v0, v1, 10.0);
+        b.add_bidirectional_edge(v0, v2, 300.0);
+        b.add_bidirectional_edge(v2, v1, 300.0);
+        let net = Arc::new(b.build().unwrap());
+        let grid = Arc::new(GridIndex::build(&net, GridConfig::with_dimensions(2, 2)));
+        let o = DistanceOracle::with_backend(net, grid, None, DistanceBackend::Ch);
+        assert_eq!(o.backend(), DistanceBackend::Ch);
+        assert_eq!(o.distance(v0, v1), 10.0);
+        assert_eq!(o.distance(v1, v0), 600.0);
+    }
+
+    #[test]
+    fn eviction_bounds_the_cache() {
+        // Capacity 32 total => 1 entry per shard; undirected mirroring makes
+        // 2 inserts per distance, so the bound is exercised immediately.
+        let o = lattice_oracle(false).with_cache_capacity(32);
+        assert_eq!(o.cache_capacity(), 32);
+        for u in 0..25u32 {
+            for v in 0..25u32 {
+                if u != v {
+                    let _ = o.distance(VertexId(u), VertexId(v));
+                }
+            }
+        }
+        assert!(
+            o.cache_len() <= 32,
+            "cache grew past its capacity: {}",
+            o.cache_len()
+        );
+        assert!(o.evictions() > 0);
+        // Evicted entries are recomputed correctly.
+        assert_eq!(o.distance(VertexId(0), VertexId(24)), 800.0);
+    }
+
+    #[test]
+    fn referenced_entries_survive_a_sweep() {
+        // Capacity 64 = 2 entries per shard. Three pairs that all hash
+        // into the same shard (and whose undirected mirrors do not, so the
+        // occupancy is fully controlled): after `hot` is touched and `cold`
+        // sits untouched, the insert of `third` must sweep the shard —
+        // evicting `cold` (bit clear) and sparing `hot` (second chance).
+        let o = lattice_oracle(false).with_cache_capacity(64);
+        let mut colliding = Vec::new();
+        'outer: for u in 0..25u32 {
+            for v in 0..25u32 {
+                let (u, v) = (VertexId(u), VertexId(v));
+                if u != v && shard_of(u, v) == 0 && shard_of(v, u) != 0 {
+                    colliding.push((u, v));
+                    if colliding.len() == 3 {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        let &[hot, cold, third] = colliding.as_slice() else {
+            panic!("lattice must yield three shard-0 pairs");
+        };
+        let _ = o.distance(hot.0, hot.1);
+        let _ = o.distance(hot.0, hot.1); // hit: sets the referenced bit
+        assert_eq!(o.cache_hits(), 1);
+        let _ = o.distance(cold.0, cold.1); // second entry, bit clear
+        let _ = o.distance(third.0, third.1); // shard full -> sweep
+        assert_eq!(o.evictions(), 1, "exactly the cold entry is evicted");
+        // The referenced hot pair survived the sweep ...
+        let hits_before = o.cache_hits();
+        let _ = o.distance(hot.0, hot.1);
+        assert_eq!(o.cache_hits(), hits_before + 1, "hot entry must survive");
+        // ... while the unreferenced cold pair was evicted and recomputes.
+        let exact_before = o.exact_computations();
+        let _ = o.distance(cold.0, cold.1);
+        assert_eq!(o.exact_computations(), exact_before + 1, "cold evicted");
     }
 
     #[test]

@@ -113,6 +113,14 @@ impl SearchScratch {
     pub fn pop(&mut self) -> Option<(f64, VertexId)> {
         self.heap.pop().map(|Reverse((OrdF64(k), v))| (k, v))
     }
+
+    /// Smallest key currently on the frontier, without popping it. Drives
+    /// the alternation and termination tests of bidirectional searches
+    /// (e.g. the contraction-hierarchy upward query).
+    #[inline]
+    pub fn peek(&self) -> Option<(f64, VertexId)> {
+        self.heap.peek().map(|&Reverse((OrdF64(k), v))| (k, v))
+    }
 }
 
 thread_local! {

@@ -1,0 +1,165 @@
+//! Property tests for the contraction-hierarchy backend: CH distances agree
+//! with plain Dijkstra on random undirected *and* directed city graphs, the
+//! many-to-many bucket query agrees with repeated point queries, and the
+//! oracle's CH backend stays exact (including its cache and batching
+//! layers).
+
+use proptest::prelude::*;
+use ptrider_roadnet::{
+    dijkstra, ContractionHierarchy, DistanceBackend, DistanceOracle, GridConfig, GridIndex,
+    RoadNetwork, RoadNetworkBuilder, VertexId,
+};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+
+/// Random jittered lattice with optional extra chords; `one_way` adds
+/// directed-only shortcut edges so the network loses symmetry.
+fn random_network(side: usize, extra_edges: usize, one_way: usize, seed: u64) -> RoadNetwork {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut b = RoadNetworkBuilder::new();
+    let mut ids = Vec::new();
+    for y in 0..side {
+        for x in 0..side {
+            ids.push(b.add_vertex(
+                x as f64 * 100.0 + rng.gen_range(-20.0..20.0),
+                y as f64 * 100.0 + rng.gen_range(-20.0..20.0),
+            ));
+        }
+    }
+    for y in 0..side {
+        for x in 0..side {
+            let u = ids[y * side + x];
+            if x + 1 < side {
+                b.add_bidirectional_edge(u, ids[y * side + x + 1], rng.gen_range(80.0..200.0));
+            }
+            if y + 1 < side {
+                b.add_bidirectional_edge(u, ids[(y + 1) * side + x], rng.gen_range(80.0..200.0));
+            }
+        }
+    }
+    for _ in 0..extra_edges {
+        let u = ids[rng.gen_range(0..ids.len())];
+        let v = ids[rng.gen_range(0..ids.len())];
+        if u != v {
+            b.add_bidirectional_edge(u, v, rng.gen_range(50.0..400.0));
+        }
+    }
+    for _ in 0..one_way {
+        let u = ids[rng.gen_range(0..ids.len())];
+        let v = ids[rng.gen_range(0..ids.len())];
+        if u != v {
+            b.add_directed_edge(u, v, rng.gen_range(30.0..150.0));
+        }
+    }
+    b.build().unwrap()
+}
+
+/// CH unpacks shortcut paths and re-folds original edge weights in path
+/// order, so agreement with Dijkstra is exact (bit-for-bit), not
+/// approximate — unless both are unreachable.
+fn approx(a: f64, b: f64) -> bool {
+    a == b || (a.is_infinite() && b.is_infinite())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn ch_equals_dijkstra_on_undirected_graphs(
+        seed in 0u64..10_000,
+        side in 3usize..7,
+        extra in 0usize..8,
+    ) {
+        let net = random_network(side, extra, 0, seed);
+        prop_assert!(net.is_undirected());
+        let ch = ContractionHierarchy::build(&net).expect("sparse lattice must contract");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xc4);
+        for _ in 0..30 {
+            let u = VertexId(rng.gen_range(0..net.num_vertices() as u32));
+            let v = VertexId(rng.gen_range(0..net.num_vertices() as u32));
+            let exact = dijkstra::distance(&net, u, v).unwrap_or(f64::INFINITY);
+            let got = ch.distance(u, v);
+            prop_assert!(approx(got, exact), "{u}->{v}: ch {got} vs dijkstra {exact}");
+        }
+    }
+
+    #[test]
+    fn ch_equals_dijkstra_on_directed_graphs(
+        seed in 0u64..10_000,
+        side in 3usize..7,
+        extra in 0usize..5,
+        one_way in 1usize..8,
+    ) {
+        let net = random_network(side, extra, one_way, seed);
+        let ch = ContractionHierarchy::build(&net).expect("sparse lattice must contract");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xd1);
+        for _ in 0..30 {
+            let u = VertexId(rng.gen_range(0..net.num_vertices() as u32));
+            let v = VertexId(rng.gen_range(0..net.num_vertices() as u32));
+            // Both directions: directed CH must preserve asymmetry.
+            let fwd = dijkstra::distance(&net, u, v).unwrap_or(f64::INFINITY);
+            let bwd = dijkstra::distance(&net, v, u).unwrap_or(f64::INFINITY);
+            prop_assert!(approx(ch.distance(u, v), fwd), "{u}->{v}");
+            prop_assert!(approx(ch.distance(v, u), bwd), "{v}->{u}");
+        }
+    }
+
+    #[test]
+    fn ch_bucket_batches_match_point_queries(
+        seed in 0u64..10_000,
+        side in 3usize..7,
+        one_way in 0usize..5,
+        num_targets in 1usize..24,
+    ) {
+        let net = random_network(side, 3, one_way, seed);
+        let n = net.num_vertices() as u32;
+        let ch = ContractionHierarchy::build(&net).expect("sparse lattice must contract");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xb0c);
+        let source = VertexId(rng.gen_range(0..n));
+        let targets: Vec<VertexId> =
+            (0..num_targets).map(|_| VertexId(rng.gen_range(0..n))).collect();
+        let batch = ch.distances_from(source, &targets);
+        prop_assert_eq!(batch.len(), targets.len());
+        for (t, d) in targets.iter().zip(&batch) {
+            let point = ch.distance(source, *t);
+            prop_assert!(approx(*d, point), "{source}->{t}: batch {d} vs point {point}");
+            let exact = dijkstra::distance(&net, source, *t).unwrap_or(f64::INFINITY);
+            prop_assert!(approx(*d, exact), "{source}->{t}: batch {d} vs dijkstra {exact}");
+        }
+    }
+
+    #[test]
+    fn ch_oracle_backend_is_exact_through_cache_and_batching(
+        seed in 0u64..10_000,
+        side in 3usize..6,
+        one_way in 0usize..5,
+    ) {
+        let net = Arc::new(random_network(side, 2, one_way, seed));
+        let grid = Arc::new(GridIndex::build(&net, GridConfig::with_dimensions(3, 3)));
+        let oracle = DistanceOracle::with_backend(
+            Arc::clone(&net),
+            Arc::clone(&grid),
+            None,
+            DistanceBackend::Ch,
+        );
+        prop_assert_eq!(oracle.backend(), DistanceBackend::Ch);
+        let n = net.num_vertices() as u32;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x0c8);
+        for _ in 0..15 {
+            let u = VertexId(rng.gen_range(0..n));
+            let v = VertexId(rng.gen_range(0..n));
+            let exact = dijkstra::distance(&net, u, v).unwrap_or(f64::INFINITY);
+            prop_assert!(approx(oracle.distance(u, v), exact), "{u}->{v}");
+            // Cached second read agrees.
+            prop_assert!(approx(oracle.distance(u, v), exact), "{u}->{v} cached");
+        }
+        // A batch with a mix of cached and novel targets.
+        let source = VertexId(rng.gen_range(0..n));
+        let targets: Vec<VertexId> = (0..12).map(|_| VertexId(rng.gen_range(0..n))).collect();
+        for (t, d) in targets.iter().zip(oracle.distances_from(source, &targets)) {
+            let exact = dijkstra::distance(&net, source, *t).unwrap_or(f64::INFINITY);
+            prop_assert!(approx(d, exact), "batched {source}->{t}");
+        }
+    }
+}

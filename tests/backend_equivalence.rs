@@ -1,0 +1,147 @@
+//! Property test: swapping the exact distance backend (`Alt` ↔ `Ch`) never
+//! changes matcher results.
+//!
+//! Both backends answer exact shortest-path queries, so matching one request
+//! on one identical world must return the same skyline either way. The
+//! comparison is **bit-exact**: the CH backend unpacks shortcut paths and
+//! re-folds original edge weights in path order, so every distance it
+//! returns is bit-for-bit the value Dijkstra/ALT computes — and the skyline
+//! (a tie-sensitive structure) must therefore agree down to the exact
+//! option multiset, duplicates included.
+//!
+//! The world is driven by a single ALT engine (submit + choose) so both
+//! backends are probed read-only on identical vehicle states. Both probes
+//! run through *fresh* oracles (one per backend) rather than the engine's
+//! warm one: the memo cache mirrors `(u,v)` onto `(v,u)` on undirected
+//! networks, and the reverse-direction fold of the same path can differ in
+//! the last bit — so two oracles only agree bit-for-bit when they process
+//! the same query sequence from the same (cold) cache state. That is a
+//! property of the memoisation layer, not of the backends.
+
+use proptest::prelude::*;
+use ptrider::datagen::{synthetic_city, CityConfig, TripConfig, TripGenerator};
+use ptrider::roadnet::DistanceOracle;
+use ptrider::{DistanceBackend, EngineConfig, GridConfig, MatcherKind, PtRider, Request, VertexId};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Canonical form of an option set: the sorted multiset of (vehicle,
+/// pickup-bits, price-bits) triples — bit-exact, duplicates included.
+fn canonical(options: &[ptrider::RideOption]) -> Vec<(u32, u64, u64)> {
+    let mut v: Vec<(u32, u64, u64)> = options
+        .iter()
+        .map(|o| (o.vehicle.0, o.pickup_dist.to_bits(), o.price.to_bits()))
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+fn run_scenario(
+    seed: u64,
+    num_vehicles: usize,
+    num_warm: usize,
+    num_probes: usize,
+) -> Result<(), TestCaseError> {
+    let city = synthetic_city(&CityConfig::tiny(seed));
+
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xbac);
+    let mut engine = PtRider::new(
+        city,
+        GridConfig::with_dimensions(4, 4),
+        EngineConfig::paper_defaults(),
+    );
+    engine.set_matcher(MatcherKind::DualSide);
+    for _ in 0..num_vehicles {
+        engine.add_vehicle(VertexId(
+            rng.gen_range(0..engine.network().num_vertices() as u32),
+        ));
+    }
+    let trips = TripGenerator::new(
+        engine.network(),
+        TripConfig {
+            num_trips: num_warm + num_probes,
+            seed: seed ^ 0x71,
+            ..TripConfig::default()
+        },
+    )
+    .generate();
+
+    // Warm phase: make a realistic share of the fleet non-empty, driven
+    // exclusively by the ALT engine.
+    for (i, trip) in trips.iter().take(num_warm).enumerate() {
+        let (id, options) = engine.submit(trip.origin, trip.destination, trip.riders, i as f64);
+        if let Some(first) = options.first() {
+            let _ = engine.choose(id, first, i as f64);
+        } else {
+            let _ = engine.decline(id);
+        }
+    }
+
+    // Fresh oracles over the same network and grid, one per backend. Tiny
+    // cities always contract, so the second must genuinely run the CH
+    // backend (otherwise the test silently compares Alt with Alt).
+    let alt_oracle = DistanceOracle::with_backend(
+        engine.oracle().network_arc(),
+        engine.oracle().grid_arc(),
+        None,
+        DistanceBackend::Alt,
+    );
+    let ch_oracle = DistanceOracle::with_backend(
+        engine.oracle().network_arc(),
+        engine.oracle().grid_arc(),
+        None,
+        DistanceBackend::Ch,
+    );
+    prop_assert_eq!(ch_oracle.backend(), DistanceBackend::Ch);
+
+    for (i, trip) in trips.iter().skip(num_warm).enumerate() {
+        let request = Request::new(
+            ptrider::RequestId(1000 + i as u64),
+            trip.origin,
+            trip.destination,
+            trip.riders,
+            i as f64,
+        );
+        for kind in MatcherKind::all() {
+            let alt = engine
+                .match_request_with_oracle(kind, &request, &alt_oracle)
+                .expect("valid request");
+            let ch = engine
+                .match_request_with_oracle(kind, &request, &ch_oracle)
+                .expect("valid request");
+            prop_assert_eq!(
+                &canonical(&alt.options),
+                &canonical(&ch.options),
+                "backend skylines diverge: matcher {} probe #{} ({} -> {})",
+                kind,
+                i,
+                trip.origin,
+                trip.destination
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12,
+        max_shrink_iters: 0,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn alt_and_ch_backends_return_identical_skylines(
+        seed in 0u64..1_000_000,
+        num_vehicles in 1usize..14,
+        num_warm in 0usize..10,
+        num_probes in 1usize..6,
+    ) {
+        run_scenario(seed, num_vehicles, num_warm, num_probes)?;
+    }
+}
+
+#[test]
+fn backends_agree_on_a_busy_fixed_scenario() {
+    run_scenario(20090529, 24, 20, 12).unwrap();
+}
