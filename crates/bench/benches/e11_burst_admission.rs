@@ -1,0 +1,87 @@
+//! E11 — peak-burst batch admission throughput.
+//!
+//! Replays bursts of simultaneous requests (the peak-period arrival shape
+//! of `ptrider_datagen::BurstConfig`) through `submit_batch_greedy`,
+//! comparing the paper's sequential greedy loop against conflict-graph
+//! parallel admission at several worker-pool sizes. The selector declines
+//! every option so iterations leave the engine untouched and the numbers
+//! isolate the admission machinery (validation, candidate extraction,
+//! conflict graph, parallel tentative matching).
+//!
+//! On a single-core container the pool sizes collapse to the same
+//! wall-clock; the bench still demonstrates that the conflict-graph path's
+//! bookkeeping overhead is small. Multi-core wall-clock wins are tracked by
+//! `perf_report` (`BENCH_e9.json`, `burst_admission` section).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ptrider_bench::{build_world, WorldParams};
+use ptrider_core::{BatchAdmission, EngineConfig, MatcherKind};
+use ptrider_datagen::{BurstConfig, TripConfig, TripGenerator};
+use ptrider_roadnet::VertexId;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e11_burst_admission");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    let params = WorldParams {
+        vehicles: 600,
+        warm_assignments: 200,
+        ..WorldParams::default()
+    };
+
+    let scenarios: Vec<(&str, BatchAdmission, usize)> = vec![
+        ("sequential", BatchAdmission::Sequential, 1),
+        ("conflict_graph_pool1", BatchAdmission::ConflictGraph, 1),
+        ("conflict_graph_pool2", BatchAdmission::ConflictGraph, 2),
+        ("conflict_graph_pool4", BatchAdmission::ConflictGraph, 4),
+    ];
+
+    for (label, admission, pool) in scenarios {
+        let config = EngineConfig::paper_defaults()
+            .with_batch_admission(admission)
+            .with_pool_size(pool);
+        let world = build_world(params, config, 0);
+        let mut engine = world.engine;
+        engine.set_matcher(MatcherKind::DualSide);
+
+        // One fixed peak burst over the world's own city.
+        let burst: Vec<(VertexId, VertexId, u32)> = TripGenerator::new(
+            engine.network(),
+            TripConfig {
+                seed: params.seed ^ 0xe11,
+                num_trips: 0,
+                ..TripConfig::default()
+            },
+        )
+        .generate_bursts(&BurstConfig {
+            num_bursts: 1,
+            burst_size: 64,
+            start_secs: 0.0,
+            period_secs: 1.0,
+        })
+        .iter()
+        .map(|t| (t.origin, t.destination, t.riders))
+        .collect();
+
+        group.bench_function(format!("{label}/burst_64"), |b| {
+            b.iter(|| {
+                let outcomes = engine.submit_batch_greedy(&burst, 0.0, |_| None);
+                criterion::black_box(outcomes.len())
+            })
+        });
+        let stats = engine.stats();
+        println!(
+            "[E11] {label}: bursts={} partitions={} rematches={} pool={}",
+            stats.batch_bursts,
+            stats.batch_partitions,
+            stats.batch_rematches,
+            engine.runtime().parallelism(),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -24,6 +24,7 @@ fn run_slice(scale: f64, minutes: f64, matcher: MatcherKind) -> ptrider_sim::Sim
         grid: GridConfig::with_dimensions(12, 12),
         idle_roaming: true,
         cross_check: false,
+        burst_admission: false,
         seed: 7,
     };
     let mut sim = Simulator::new(workload, EngineConfig::paper_defaults(), sim_config);

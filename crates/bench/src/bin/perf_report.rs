@@ -23,8 +23,11 @@ use ptrider_bench::{
     build_world, build_world_legacy_oracle, build_world_with_oracle, match_probe, BenchWorld,
     WorldParams,
 };
-use ptrider_core::{DistanceBackend, EngineConfig, MatcherKind, ParallelMode, PtRider, Request};
-use ptrider_datagen::TimedTrip;
+use ptrider_core::{
+    BatchAdmission, BatchOutcome, DistanceBackend, EngineConfig, MatcherKind, ParallelMode,
+    PtRider, Request,
+};
+use ptrider_datagen::{BurstConfig, TimedTrip, TripConfig, TripGenerator};
 use ptrider_roadnet::{astar, dijkstra, ContractionHierarchy, DistanceOracle, VertexId};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -270,6 +273,96 @@ fn dual(rows: &[(MatcherKind, MatcherNumbers)]) -> MatcherNumbers {
         .1
 }
 
+#[derive(Clone, Copy, Default)]
+struct BurstNumbers {
+    requests_per_sec: f64,
+    assigned: u64,
+    partitions_per_burst: f64,
+    rematch_rate: f64,
+}
+
+/// One outcome's bit-level signature: request id, chosen index, and the
+/// option skyline's (vehicle, pickup bits, price bits) triples.
+type OutcomeSignature = (u64, Option<usize>, Vec<(u32, u64, u64)>);
+
+/// Canonical bit-level signature of a batch outcome list.
+fn outcome_signature(outcomes: &[BatchOutcome]) -> Vec<OutcomeSignature> {
+    outcomes
+        .iter()
+        .map(|o| {
+            (
+                o.request.0,
+                o.chosen,
+                o.options
+                    .iter()
+                    .map(|r| (r.vehicle.0, r.pickup_dist.to_bits(), r.price.to_bits()))
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+/// Replays the burst stream through `submit_batch_greedy` on a fresh world
+/// (first option chosen, so conflicts and re-matches really occur) and
+/// reports throughput plus the conflict-graph work counters.
+///
+/// The pickup radius is capped at 3 km so candidate sets are *local*, as
+/// they are on real city scales — with the paper's 12 km default on this
+/// small benchmark city every vehicle is a candidate for every request and
+/// each burst collapses into one fully sequential partition.
+fn measure_burst_admission(
+    params: WorldParams,
+    admission: BatchAdmission,
+    pool_size: usize,
+    bursts: &[Vec<(VertexId, VertexId, u32)>],
+) -> (BurstNumbers, Vec<BatchOutcome>) {
+    let config = EngineConfig::paper_defaults()
+        .with_max_pickup_dist(3_000.0)
+        .with_batch_admission(admission)
+        .with_pool_size(pool_size);
+    let mut world = build_world(params, config, 0);
+    world.engine.set_matcher(MatcherKind::DualSide);
+    let engine = &mut world.engine;
+    let mut outcomes = Vec::new();
+    let mut requests = 0u64;
+    let start = Instant::now();
+    for (k, burst) in bursts.iter().enumerate() {
+        requests += burst.len() as u64;
+        outcomes.extend(engine.submit_batch_greedy(burst, k as f64, |options| {
+            if options.is_empty() {
+                None
+            } else {
+                Some(0)
+            }
+        }));
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let stats = engine.stats();
+    let n_bursts = bursts.len().max(1) as f64;
+    (
+        BurstNumbers {
+            requests_per_sec: requests as f64 / elapsed.max(1e-9),
+            assigned: stats.requests_chosen,
+            partitions_per_burst: stats.batch_partitions as f64 / n_bursts,
+            rematch_rate: if stats.batch_requests > 0 {
+                stats.batch_rematches as f64 / stats.batch_requests as f64
+            } else {
+                0.0
+            },
+        },
+        outcomes,
+    )
+}
+
+fn json_burst(out: &mut String, label: &str, b: &BurstNumbers, comma: &str) {
+    let _ = writeln!(
+        out,
+        "    \"{label}\": {{ \"requests_per_sec\": {:.0}, \"assigned\": {}, \
+         \"partitions_per_burst\": {:.2}, \"rematch_rate\": {:.3} }}{comma}",
+        b.requests_per_sec, b.assigned, b.partitions_per_burst, b.rematch_rate
+    );
+}
+
 fn main() {
     let mut args = std::env::args().skip(1);
     let vehicles: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(800);
@@ -362,6 +455,62 @@ fn main() {
     let ch_e9 = measure_updates(&mut ch_world, 3);
     drop(ch_world);
 
+    eprintln!("[perf_report] burst admission: sequential vs conflict-graph (pools 1/2/4) ...");
+    // A larger city than the matcher world: burst partitioning only shows
+    // once the (capped) pickup radius stops covering the whole map.
+    let burst_params = WorldParams {
+        city_side: 100,
+        ..params
+    };
+    let burst_city = ptrider_datagen::synthetic_city(&ptrider_datagen::CityConfig {
+        cols: burst_params.city_side,
+        rows: burst_params.city_side,
+        seed: burst_params.seed,
+        ..ptrider_datagen::CityConfig::default()
+    });
+    let burst_shape = BurstConfig {
+        num_bursts: 6,
+        burst_size: 64,
+        start_secs: 0.0,
+        period_secs: 1.0,
+    };
+    let burst_trips = TripGenerator::new(
+        &burst_city,
+        TripConfig {
+            seed: burst_params.seed ^ 0xe11,
+            num_trips: 0,
+            ..TripConfig::default()
+        },
+    )
+    .generate_bursts(&burst_shape);
+    let bursts: Vec<Vec<(VertexId, VertexId, u32)>> = burst_trips
+        .chunks(burst_shape.burst_size)
+        .map(|chunk| {
+            chunk
+                .iter()
+                .map(|t| (t.origin, t.destination, t.riders))
+                .collect()
+        })
+        .collect();
+    let (seq_burst, seq_outcomes) =
+        measure_burst_admission(burst_params, BatchAdmission::Sequential, 1, &bursts);
+    let mut cg_bursts: Vec<(usize, BurstNumbers)> = Vec::new();
+    let mut burst_outcomes_match = true;
+    for pool_size in [1usize, 2, 4] {
+        let (numbers, outcomes) = measure_burst_admission(
+            burst_params,
+            BatchAdmission::ConflictGraph,
+            pool_size,
+            &bursts,
+        );
+        burst_outcomes_match &= outcome_signature(&outcomes) == outcome_signature(&seq_outcomes);
+        cg_bursts.push((pool_size, numbers));
+    }
+    eprintln!(
+        "[perf_report] conflict-graph outcomes match sequential (all pool sizes): \
+         {burst_outcomes_match}"
+    );
+
     let dual_base = dual(&baseline_e2);
     let dual_alt = dual(&alt_e2);
     let dual_ch = dual(&ch_e2);
@@ -378,6 +527,14 @@ fn main() {
         params.grid_side,
         probes,
         params.seed
+    );
+    let _ = writeln!(
+        out,
+        "  \"runtime\": {{ \"detected_cores\": {}, \"resolved_default_pool_size\": {}, \
+         \"oracle_cache_shards\": {} }},",
+        ptrider_core::detected_parallelism(),
+        ptrider_core::MatchRuntime::from_config(0).parallelism(),
+        ptrider_roadnet::num_cache_shards()
     );
     let _ = writeln!(out, "  \"oracle_microbench_us_per_query\": {{");
     for (label, micro, comma) in [
@@ -453,6 +610,33 @@ fn main() {
         out,
         "    \"submit_choose_speedup\": {:.2}",
         alt_e9.submit_choose_per_sec / baseline_e9.submit_choose_per_sec.max(1e-9)
+    );
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"e11_burst_admission\": {{");
+    let _ = writeln!(
+        out,
+        "    \"bursts\": {}, \"burst_size\": {},",
+        burst_shape.num_bursts, burst_shape.burst_size
+    );
+    json_burst(&mut out, "sequential", &seq_burst, ",");
+    let mut best_cg = 0.0f64;
+    for &(pool_size, ref numbers) in &cg_bursts {
+        best_cg = best_cg.max(numbers.requests_per_sec);
+        json_burst(
+            &mut out,
+            &format!("conflict_graph_pool{pool_size}"),
+            numbers,
+            ",",
+        );
+    }
+    let _ = writeln!(
+        out,
+        "    \"outcomes_match_sequential\": {burst_outcomes_match},"
+    );
+    let _ = writeln!(
+        out,
+        "    \"best_speedup_vs_sequential\": {:.2}",
+        best_cg / seq_burst.requests_per_sec.max(1e-9)
     );
     let _ = writeln!(out, "  }}");
     let _ = writeln!(out, "}}");

@@ -11,6 +11,39 @@ use crate::price::PriceModel;
 use ptrider_roadnet::{DistanceBackend, Speed};
 use serde::{Deserialize, Serialize};
 
+/// How [`crate::PtRider::submit_batch_greedy`] admits a burst of
+/// simultaneous requests.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BatchAdmission {
+    /// The paper's strictly sequential greedy order: match one request,
+    /// commit the rider's choice, then match the next. Reference behaviour.
+    Sequential,
+    /// Conflict-graph parallel admission (the default): requests are
+    /// partitioned by the candidate-vehicle sets their P1–P5 pruning
+    /// produces, independent partitions are matched concurrently on the
+    /// persistent worker pool, and conflicts are resolved in the greedy
+    /// order — the outcomes are byte-identical to [`Self::Sequential`]
+    /// (property-tested in `tests/batch_admission_equivalence.rs`).
+    ///
+    /// On a runtime resolved to parallelism 1 this path is pure
+    /// bookkeeping overhead (a few percent; see `BENCH_e9.json`'s
+    /// `e11_burst_admission`) — it stays the default there because
+    /// single-thread runs exercising the exact same admission code is what
+    /// makes its determinism testable everywhere; select
+    /// [`Self::Sequential`] explicitly when that overhead matters.
+    #[default]
+    ConflictGraph,
+}
+
+impl std::fmt::Display for BatchAdmission {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BatchAdmission::Sequential => write!(f, "sequential"),
+            BatchAdmission::ConflictGraph => write!(f, "conflict-graph"),
+        }
+    }
+}
+
 /// Global PTRider settings.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct EngineConfig {
@@ -42,6 +75,21 @@ pub struct EngineConfig {
     /// identical skylines either way; if CH construction fails the oracle
     /// falls back to ALT.
     pub distance_backend: DistanceBackend,
+    /// Worker-pool size of the persistent matching runtime
+    /// ([`crate::runtime::MatchRuntime`]), counting the caller's thread.
+    /// `0` (the default) resolves automatically: the `PTRIDER_POOL_SIZE`
+    /// environment variable if set, otherwise
+    /// `std::thread::available_parallelism()`. An explicit size (≥ 1) wins
+    /// over the environment; `1` disables worker threads entirely.
+    pub pool_size: usize,
+    /// Minimum candidate-batch size before `ParallelMode::Auto` dispatches
+    /// verification onto the worker pool; smaller batches run inline
+    /// (dispatch costs more than a handful of kinetic-tree insertions).
+    /// Replaces the hardcoded threshold `matching::par` used to carry.
+    pub par_auto_min_batch: usize,
+    /// How bursts submitted through
+    /// [`crate::PtRider::submit_batch_greedy`] are admitted.
+    pub batch_admission: BatchAdmission,
     /// The price calculator.
     pub price: PriceModel,
 }
@@ -58,6 +106,9 @@ impl Default for EngineConfig {
             max_pickup_dist: speed.seconds_to_distance(900.0),
             num_landmarks: 8,
             distance_backend: DistanceBackend::default(),
+            pool_size: 0,
+            par_auto_min_batch: 16,
+            batch_admission: BatchAdmission::default(),
             price: PriceModel::default(),
         }
     }
@@ -109,6 +160,27 @@ impl EngineConfig {
     /// matcher results are identical.
     pub fn with_distance_backend(mut self, backend: DistanceBackend) -> Self {
         self.distance_backend = backend;
+        self
+    }
+
+    /// Sets the matching runtime's pool size (0 = auto; see
+    /// [`Self::pool_size`]).
+    pub fn with_pool_size(mut self, pool_size: usize) -> Self {
+        self.pool_size = pool_size;
+        self
+    }
+
+    /// Sets the minimum batch size at which `Auto` verification goes
+    /// parallel.
+    pub fn with_par_auto_min_batch(mut self, min_batch: usize) -> Self {
+        self.par_auto_min_batch = min_batch;
+        self
+    }
+
+    /// Selects the batch-admission strategy. Purely an execution knob: both
+    /// strategies produce byte-identical outcomes.
+    pub fn with_batch_admission(mut self, admission: BatchAdmission) -> Self {
+        self.batch_admission = admission;
         self
     }
 
@@ -180,5 +252,21 @@ mod tests {
     fn paper_defaults_price_per_km() {
         let c = EngineConfig::paper_defaults();
         assert_eq!(c.price.distance_scale, 0.001);
+    }
+
+    #[test]
+    fn runtime_knobs_default_and_override() {
+        let c = EngineConfig::default();
+        assert_eq!(c.pool_size, 0, "default pool size is auto");
+        assert_eq!(c.par_auto_min_batch, 16);
+        assert_eq!(c.batch_admission, BatchAdmission::ConflictGraph);
+        let c = c
+            .with_pool_size(4)
+            .with_par_auto_min_batch(8)
+            .with_batch_admission(BatchAdmission::Sequential);
+        assert_eq!(c.pool_size, 4);
+        assert_eq!(c.par_auto_min_batch, 8);
+        assert_eq!(c.batch_admission, BatchAdmission::Sequential);
+        assert_eq!(BatchAdmission::ConflictGraph.to_string(), "conflict-graph");
     }
 }

@@ -15,16 +15,17 @@
 //! **pickup / drop-off updates** ([`PtRider::vehicle_arrived`]), which keep
 //! the indexes current, exactly as the system-control arrows of Fig. 2.
 
-use crate::config::EngineConfig;
+use crate::config::{BatchAdmission, EngineConfig};
 use crate::matching::{MatchContext, MatchResult, Matcher, MatcherKind};
 use crate::options::RideOption;
 use crate::request::Request;
+use crate::runtime::MatchRuntime;
 use crate::stats::EngineStats;
 use ptrider_roadnet::{DistanceOracle, GridConfig, GridIndex, RoadNetwork, VertexId};
 use ptrider_vehicles::{
     ProspectiveRequest, RequestId, StopEvent, Vehicle, VehicleId, VehicleIndex,
 };
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::sync::Arc;
 use std::time::Instant;
@@ -67,6 +68,41 @@ struct PendingRequest {
     prospective: ProspectiveRequest,
 }
 
+/// Validates a request spec and returns its direct shortest-path distance.
+///
+/// The single source of truth for what counts as an admissible request:
+/// both the sequential submit path ([`PtRider::submit_request`]) and the
+/// parallel tentative-matching phase of conflict-graph batch admission go
+/// through here, so the two admission modes can never diverge on validity.
+fn validate_request(
+    net: &RoadNetwork,
+    oracle: &DistanceOracle,
+    origin: VertexId,
+    destination: VertexId,
+    riders: u32,
+) -> Result<f64, EngineError> {
+    if !net.contains(origin) || !net.contains(destination) {
+        return Err(EngineError::InvalidRequest(
+            "origin or destination is not a vertex of the road network",
+        ));
+    }
+    if origin == destination {
+        return Err(EngineError::InvalidRequest(
+            "origin and destination coincide",
+        ));
+    }
+    if riders == 0 {
+        return Err(EngineError::InvalidRequest("request carries zero riders"));
+    }
+    let direct = oracle.distance(origin, destination);
+    if !direct.is_finite() {
+        return Err(EngineError::InvalidRequest(
+            "destination unreachable from origin",
+        ));
+    }
+    Ok(direct)
+}
+
 /// Result of one request inside [`PtRider::submit_batch_greedy`].
 #[derive(Clone, Debug)]
 pub struct BatchOutcome {
@@ -93,6 +129,10 @@ pub struct PtRider {
     next_vehicle: u32,
     next_request: u64,
     stats: EngineStats,
+    /// The persistent matching runtime: a long-lived worker pool sized from
+    /// [`EngineConfig::pool_size`], shared by candidate verification and
+    /// batch admission.
+    runtime: Arc<MatchRuntime>,
 }
 
 impl PtRider {
@@ -160,6 +200,7 @@ impl PtRider {
     ) -> Self {
         let index = VehicleIndex::new(grid.num_cells());
         let matcher_kind = MatcherKind::DualSide;
+        let runtime = Arc::new(MatchRuntime::from_config(config.pool_size));
         PtRider {
             net,
             grid,
@@ -173,6 +214,7 @@ impl PtRider {
             next_vehicle: 0,
             next_request: 0,
             stats: EngineStats::default(),
+            runtime,
         }
     }
 
@@ -206,6 +248,12 @@ impl PtRider {
     /// The memoising distance oracle (exposes exact-computation counters).
     pub fn oracle(&self) -> &DistanceOracle {
         &self.oracle
+    }
+
+    /// The persistent matching runtime (worker pool) this engine dispatches
+    /// parallel verification and batch admission onto.
+    pub fn runtime(&self) -> &MatchRuntime {
+        &self.runtime
     }
 
     /// Aggregated statistics.
@@ -297,25 +345,13 @@ impl PtRider {
     /// work counters). The options are remembered so the rider can
     /// subsequently [`Self::choose`] one.
     pub fn submit_request(&mut self, request: Request) -> Result<MatchResult, EngineError> {
-        if !self.net.contains(request.origin) || !self.net.contains(request.destination) {
-            return Err(EngineError::InvalidRequest(
-                "origin or destination is not a vertex of the road network",
-            ));
-        }
-        if request.origin == request.destination {
-            return Err(EngineError::InvalidRequest(
-                "origin and destination coincide",
-            ));
-        }
-        if request.riders == 0 {
-            return Err(EngineError::InvalidRequest("request carries zero riders"));
-        }
-        let direct = self.oracle.distance(request.origin, request.destination);
-        if !direct.is_finite() {
-            return Err(EngineError::InvalidRequest(
-                "destination unreachable from origin",
-            ));
-        }
+        let direct = validate_request(
+            &self.net,
+            &self.oracle,
+            request.origin,
+            request.destination,
+            request.riders,
+        )?;
 
         let prospective = request.to_prospective(direct, &self.config);
         let started = Instant::now();
@@ -326,6 +362,7 @@ impl PtRider {
                 vehicles: &self.vehicles,
                 index: &self.index,
                 config: &self.config,
+                runtime: Some(&self.runtime),
             };
             self.matcher.find_options(&ctx, &prospective)
         };
@@ -391,6 +428,7 @@ impl PtRider {
             vehicles: &self.vehicles,
             index: &self.index,
             config: &self.config,
+            runtime: Some(&self.runtime),
         };
         Ok(matcher.find_options(&ctx, &prospective))
     }
@@ -443,8 +481,33 @@ impl PtRider {
     /// `None` to decline) — is committed before the next request is matched,
     /// so later requests see the updated vehicle schedules.
     ///
+    /// The execution strategy is selected by
+    /// [`EngineConfig::batch_admission`]: the strictly sequential reference
+    /// loop, or conflict-graph parallel admission on the persistent worker
+    /// pool (the default). Both produce **byte-identical** outcomes — the
+    /// selector is invoked in request order with bit-equal option slices
+    /// either way — so the choice is purely a throughput knob.
+    ///
     /// Returns one [`BatchOutcome`] per input, in order.
     pub fn submit_batch_greedy<F>(
+        &mut self,
+        specs: &[(VertexId, VertexId, u32)],
+        now: f64,
+        selector: F,
+    ) -> Vec<BatchOutcome>
+    where
+        F: FnMut(&[RideOption]) -> Option<usize>,
+    {
+        match self.config.batch_admission {
+            BatchAdmission::Sequential => self.submit_batch_sequential(specs, now, selector),
+            BatchAdmission::ConflictGraph => self.submit_batch_conflict_graph(specs, now, selector),
+        }
+    }
+
+    /// The paper's strictly sequential greedy admission loop — the reference
+    /// behaviour [`Self::submit_batch_conflict_graph`] is property-tested
+    /// against.
+    pub fn submit_batch_sequential<F>(
         &mut self,
         specs: &[(VertexId, VertexId, u32)],
         now: f64,
@@ -470,6 +533,283 @@ impl PtRider {
                 chosen: if assigned { chosen } else { None },
             });
         }
+        outcomes
+    }
+
+    /// Conflict-graph parallel batch admission.
+    ///
+    /// Peak-load bursts are admitted in three phases:
+    ///
+    /// 1. **Parallel tentative matching** (read-only): every request is
+    ///    matched against the pre-burst state on the persistent worker
+    ///    pool, and its over-approximate candidate-vehicle set
+    ///    ([`VehicleIndex::pickup_candidates`]) is extracted — the vehicles
+    ///    whose state could possibly influence the request's skyline.
+    /// 2. **Conflict graph**: requests sharing a candidate vehicle are
+    ///    joined into one partition (union–find). Disjoint partitions touch
+    ///    disjoint vehicle sets, so their order of admission is irrelevant.
+    /// 3. **Greedy-order commit**: requests are committed strictly in input
+    ///    order. A tentative skyline is reused verbatim unless an
+    ///    earlier-committed assignment modified one of the request's
+    ///    candidate vehicles — only then is the request re-matched against
+    ///    the updated state (counted in
+    ///    [`EngineStats::batch_rematches`]).
+    ///
+    /// **Determinism.** The outcome equals the sequential loop's
+    /// bit-for-bit: a request's skyline depends only on the states of its
+    /// candidate vehicles (any other vehicle's insertions are filtered by
+    /// the pickup radius that defines the candidate set), so a tentative
+    /// result is only reused when every vehicle that could influence it is
+    /// untouched since the burst began — in which case it *is* the result
+    /// the sequential loop would compute. Conflicted requests fall back to
+    /// literal sequential matching. Matcher **work counters** may differ
+    /// slightly between the modes (a vehicle pruned early in one mode can
+    /// be considered in the other); the option skylines do not.
+    pub fn submit_batch_conflict_graph<F>(
+        &mut self,
+        specs: &[(VertexId, VertexId, u32)],
+        now: f64,
+        mut selector: F,
+    ) -> Vec<BatchOutcome>
+    where
+        F: FnMut(&[RideOption]) -> Option<usize>,
+    {
+        // Request ids are allocated upfront, in input order, exactly as the
+        // sequential loop would hand them out.
+        let ids: Vec<RequestId> = specs.iter().map(|_| self.allocate_request_id()).collect();
+        let runtime = Arc::clone(&self.runtime);
+
+        struct Tentative {
+            request: Request,
+            /// `None` marks an invalid request (empty options, no stats).
+            prospective: Option<ProspectiveRequest>,
+            /// Sorted candidate-vehicle ids (conflict edges).
+            candidates: Vec<VehicleId>,
+            result: MatchResult,
+            elapsed: f64,
+        }
+
+        // ------------------------------------------------------------------
+        // Phase 1: parallel tentative matching against the pre-burst state.
+        // ------------------------------------------------------------------
+        let mut tentatives: Vec<Option<Tentative>> = Vec::with_capacity(specs.len());
+        tentatives.resize_with(specs.len(), || None);
+        {
+            let net = &self.net;
+            let oracle = &self.oracle;
+            let grid = &self.grid;
+            let vehicles = &self.vehicles;
+            let index = &self.index;
+            let config = &self.config;
+            let matcher = &*self.matcher;
+            let ids = &ids;
+            let compute = move |i: usize| -> Tentative {
+                let (origin, destination, riders) = specs[i];
+                let request = Request::new(ids[i], origin, destination, riders, now);
+                // The one shared validity definition (`validate_request`)
+                // keeps this phase and the sequential path in lockstep.
+                let Ok(direct) = validate_request(net, oracle, origin, destination, riders) else {
+                    return Tentative {
+                        request,
+                        prospective: None,
+                        candidates: Vec::new(),
+                        result: MatchResult::default(),
+                        elapsed: 0.0,
+                    };
+                };
+                let prospective = request.to_prospective(direct, config);
+                let started = Instant::now();
+                let candidates = index.pickup_candidates(
+                    vehicles,
+                    oracle,
+                    prospective.pickup,
+                    config.max_pickup_dist,
+                );
+                // `runtime: None`: this job may itself run on a pool
+                // worker, and a job must not enqueue nested pool work the
+                // busy pool could never get to. Burst-level parallelism
+                // already saturates the workers.
+                let ctx = MatchContext {
+                    oracle,
+                    grid,
+                    vehicles,
+                    index,
+                    config,
+                    runtime: None,
+                };
+                let result = matcher.find_options(&ctx, &prospective);
+                Tentative {
+                    request,
+                    prospective: Some(prospective),
+                    candidates,
+                    result,
+                    elapsed: started.elapsed().as_secs_f64(),
+                }
+            };
+
+            if !specs.is_empty() {
+                let workers = runtime.parallelism().min(specs.len()).max(1);
+                let chunk_size = specs.len().div_ceil(workers);
+                let mut chunks: Vec<(usize, &mut [Option<Tentative>])> = Vec::new();
+                for (ci, chunk) in tentatives.chunks_mut(chunk_size).enumerate() {
+                    chunks.push((ci * chunk_size, chunk));
+                }
+                let mut chunks = chunks.into_iter();
+                let (local_offset, local_chunk) =
+                    chunks.next().expect("a non-empty burst has a first chunk");
+                let compute = &compute;
+                let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = chunks
+                    .map(|(offset, chunk)| {
+                        Box::new(move || {
+                            for (j, slot) in chunk.iter_mut().enumerate() {
+                                *slot = Some(compute(offset + j));
+                            }
+                        }) as Box<dyn FnOnce() + Send + '_>
+                    })
+                    .collect();
+                runtime.pool().execute_with_local(jobs, || {
+                    for (j, slot) in local_chunk.iter_mut().enumerate() {
+                        *slot = Some(compute(local_offset + j));
+                    }
+                });
+            }
+        }
+
+        // ------------------------------------------------------------------
+        // Phase 2: conflict graph — union requests sharing a candidate.
+        // ------------------------------------------------------------------
+        fn find(parent: &mut [usize], i: usize) -> usize {
+            let mut root = i;
+            while parent[root] != root {
+                root = parent[root];
+            }
+            let mut walk = i;
+            while parent[walk] != root {
+                let next = parent[walk];
+                parent[walk] = root;
+                walk = next;
+            }
+            root
+        }
+        let mut parent: Vec<usize> = (0..specs.len()).collect();
+        let mut owner: HashMap<VehicleId, usize> = HashMap::new();
+        for (i, tentative) in tentatives.iter().enumerate() {
+            let candidates = tentative
+                .as_ref()
+                .map(|t| t.candidates.as_slice())
+                .unwrap_or_default();
+            for &vehicle in candidates {
+                match owner.entry(vehicle) {
+                    std::collections::hash_map::Entry::Occupied(entry) => {
+                        let a = find(&mut parent, *entry.get());
+                        let b = find(&mut parent, i);
+                        parent[a.max(b)] = a.min(b);
+                    }
+                    std::collections::hash_map::Entry::Vacant(entry) => {
+                        entry.insert(i);
+                    }
+                }
+            }
+        }
+        let partitions = (0..specs.len())
+            .filter(|&i| find(&mut parent, i) == i)
+            .count();
+
+        // ------------------------------------------------------------------
+        // Phase 3: greedy-order commit with invalidation-driven re-match.
+        // ------------------------------------------------------------------
+        let mut modified: HashSet<VehicleId> = HashSet::new();
+        let mut rematches = 0u64;
+        let mut outcomes = Vec::with_capacity(specs.len());
+        for tentative in tentatives.into_iter() {
+            let Tentative {
+                request,
+                prospective,
+                candidates,
+                result,
+                elapsed,
+            } = tentative.expect("phase 1 fills every slot");
+            let id = request.id;
+            let Some(prospective) = prospective else {
+                // Invalid request: the sequential path returns an empty
+                // option slice and still consults the (stateful) selector.
+                let _ = selector(&[]);
+                outcomes.push(BatchOutcome {
+                    request: id,
+                    options: Vec::new(),
+                    chosen: None,
+                });
+                continue;
+            };
+
+            let conflicted = candidates.iter().any(|v| modified.contains(v));
+            let (result, elapsed) = if conflicted {
+                // An earlier commit touched a shared candidate vehicle: the
+                // tentative skyline is stale. Re-match against the current
+                // state — this *is* the sequential behaviour for this
+                // request. We are back on the caller thread here, so the
+                // verification loop may use the pool again.
+                rematches += 1;
+                let started = Instant::now();
+                let result = {
+                    let ctx = MatchContext {
+                        oracle: &self.oracle,
+                        grid: &self.grid,
+                        vehicles: &self.vehicles,
+                        index: &self.index,
+                        config: &self.config,
+                        runtime: Some(&runtime),
+                    };
+                    self.matcher.find_options(&ctx, &prospective)
+                };
+                (result, started.elapsed().as_secs_f64())
+            } else {
+                (result, elapsed)
+            };
+
+            // Bookkeeping identical to `submit_request`.
+            self.stats.requests_submitted += 1;
+            self.stats.total_match_secs += elapsed;
+            self.stats.options_returned += result.options.len() as u64;
+            if !result.options.is_empty() {
+                self.stats.requests_with_options += 1;
+            }
+            self.stats.match_work.accumulate(&result.stats);
+            self.pending.insert(
+                id,
+                PendingRequest {
+                    request,
+                    prospective,
+                },
+            );
+
+            let options = result.options;
+            let chosen = selector(&options).filter(|&k| k < options.len());
+            let assigned = match chosen {
+                Some(k) => {
+                    let option = options[k].clone();
+                    let ok = self.choose(id, &option, now).is_ok();
+                    if ok {
+                        modified.insert(option.vehicle);
+                    }
+                    ok
+                }
+                None => {
+                    let _ = self.decline(id);
+                    false
+                }
+            };
+            outcomes.push(BatchOutcome {
+                request: id,
+                options,
+                chosen: if assigned { chosen } else { None },
+            });
+        }
+
+        self.stats.batch_bursts += 1;
+        self.stats.batch_requests += specs.len() as u64;
+        self.stats.batch_partitions += partitions as u64;
+        self.stats.batch_rematches += rematches;
         outcomes
     }
 
@@ -797,6 +1137,75 @@ mod tests {
         assert_eq!(e.vehicle(taxi).unwrap().num_requests(), assigned);
         assert_eq!(e.stats().requests_chosen, assigned as u64);
         assert_eq!(e.pending_requests(), 0);
+    }
+
+    #[test]
+    fn conflict_graph_batch_is_bit_identical_to_sequential() {
+        // A burst with competing requests (both near the same taxi), an
+        // independent request (far corner vehicle), and an invalid one.
+        let specs = [
+            (VertexId(12), VertexId(14), 1u32),
+            (VertexId(13), VertexId(14), 1u32),
+            (VertexId(3), VertexId(3), 1u32), // invalid: origin == dest
+            (VertexId(20), VertexId(22), 2u32),
+        ];
+        let run = |admission: BatchAdmission, pool: usize| {
+            let mut e = PtRider::new(
+                city(),
+                GridConfig::with_dimensions(3, 3),
+                EngineConfig::default()
+                    .with_batch_admission(admission)
+                    .with_pool_size(pool),
+            );
+            e.add_vehicle(VertexId(12));
+            e.add_vehicle(VertexId(24));
+            let mut calls = Vec::new();
+            let outcomes = e.submit_batch_greedy(&specs, 0.0, |options| {
+                calls.push(options.len());
+                if options.is_empty() {
+                    None
+                } else {
+                    Some(0)
+                }
+            });
+            (outcomes, calls, e.stats().requests_chosen)
+        };
+        let (seq, seq_calls, seq_chosen) = run(BatchAdmission::Sequential, 1);
+        for pool in [1usize, 2, 4] {
+            let (par, par_calls, par_chosen) = run(BatchAdmission::ConflictGraph, pool);
+            assert_eq!(seq_calls, par_calls, "selector call sequence (pool {pool})");
+            assert_eq!(seq_chosen, par_chosen);
+            assert_eq!(seq.len(), par.len());
+            for (a, b) in seq.iter().zip(&par) {
+                assert_eq!(a.request, b.request);
+                assert_eq!(a.chosen, b.chosen);
+                assert_eq!(a.options.len(), b.options.len());
+                for (x, y) in a.options.iter().zip(&b.options) {
+                    assert_eq!(x.vehicle, y.vehicle);
+                    assert_eq!(x.pickup_dist.to_bits(), y.pickup_dist.to_bits());
+                    assert_eq!(x.price.to_bits(), y.price.to_bits());
+                    assert_eq!(x.schedule, y.schedule);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn conflict_graph_batch_records_partition_stats() {
+        let mut e = engine();
+        e.add_vehicle(VertexId(12));
+        let specs = [
+            (VertexId(12), VertexId(14), 1u32),
+            (VertexId(13), VertexId(14), 1u32),
+        ];
+        let _ = e.submit_batch_greedy(&specs, 0.0, |o| (!o.is_empty()).then_some(0));
+        let s = e.stats();
+        assert_eq!(s.batch_bursts, 1);
+        assert_eq!(s.batch_requests, 2);
+        // Both requests compete for the single taxi: one partition, and the
+        // second request must have been re-matched after the first commit.
+        assert_eq!(s.batch_partitions, 1);
+        assert_eq!(s.batch_rematches, 1);
     }
 
     #[test]

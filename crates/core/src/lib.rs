@@ -42,10 +42,11 @@ pub mod matching;
 pub mod options;
 pub mod price;
 pub mod request;
+pub mod runtime;
 pub mod skyline;
 pub mod stats;
 
-pub use config::EngineConfig;
+pub use config::{BatchAdmission, EngineConfig};
 pub use engine::{BatchOutcome, EngineError, PtRider};
 pub use matching::{
     parallel_mode, set_parallel_mode, DualSideMatcher, MatchContext, MatchResult, MatchStats,
@@ -54,6 +55,7 @@ pub use matching::{
 pub use options::RideOption;
 pub use price::PriceModel;
 pub use request::Request;
+pub use runtime::{detected_parallelism, MatchRuntime, WorkerPool};
 pub use skyline::Skyline;
 pub use stats::EngineStats;
 

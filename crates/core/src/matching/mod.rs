@@ -45,6 +45,11 @@ pub struct MatchContext<'a> {
     pub index: &'a VehicleIndex,
     /// Global engine configuration (capacity, `w`, `δ`, speed, price model).
     pub config: &'a EngineConfig,
+    /// The persistent matching runtime the verification loop dispatches
+    /// onto. `None` means verify inline (sequentially) — used by contexts
+    /// built without an engine and by jobs already running *on* the pool,
+    /// which must not enqueue nested pool work.
+    pub runtime: Option<&'a crate::runtime::MatchRuntime>,
 }
 
 /// Work counters for one matching call — the quantities compared by the

@@ -105,6 +105,7 @@ mod tests {
             vehicles: &vehicles,
             index: &index,
             config: &config,
+            runtime: None,
         };
         // Request from v5 to v6 (adjacent, 1 km).
         let direct = oracle.distance(VertexId(5), VertexId(6));
@@ -143,6 +144,7 @@ mod tests {
             vehicles: &vehicles,
             index: &index,
             config: &config,
+            runtime: None,
         };
         // Request starting at v3 (3 km from v0, 3 km from v15): no vehicle
         // can reach it within the 1.5 km radius.

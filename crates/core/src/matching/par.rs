@@ -1,4 +1,4 @@
-//! Parallel candidate verification.
+//! Parallel candidate verification on the persistent matching runtime.
 //!
 //! `verify_vehicle` — the kinetic-tree insertion enumeration plus pricing —
 //! is read-only over [`MatchContext`] and independent per vehicle, so a
@@ -9,12 +9,16 @@
 //! stay on one thread in enumeration order, and per-thread results are
 //! merged in deterministic chunk order — so the parallel path returns
 //! byte-identical skylines to the sequential one (property-tested in
-//! `tests/matcher_equivalence.rs`).
+//! `tests/matcher_equivalence.rs`) for **any** worker count.
 //!
-//! The build environment has no crate registry, so instead of rayon this
-//! uses `std::thread::scope` with one contiguous chunk per worker; the
-//! thread-local scratch buffers of `ptrider-roadnet` and the sharded oracle
-//! cache make the workers allocation- and contention-light.
+//! Chunks are dispatched onto the engine's long-lived
+//! [`crate::runtime::WorkerPool`] (reached through
+//! [`MatchContext::runtime`]) instead of spawning scoped threads per batch:
+//! the workers keep their generation-stamped scratch buffers warm across
+//! batches and the per-batch cost drops from N thread spawns to N queue
+//! pushes. The caller verifies the first chunk inline while the workers
+//! take the rest. A context without a runtime handle falls back to the
+//! sequential loop — never to per-batch spawning.
 
 use super::{verify_vehicle, MatchContext, MatchStats};
 use crate::skyline::Skyline;
@@ -24,8 +28,9 @@ use std::sync::atomic::{AtomicU8, Ordering};
 /// How the verification loop schedules work.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ParallelMode {
-    /// Parallelise when the batch is large enough to amortise thread spawn
-    /// (the default).
+    /// Parallelise when the batch is large enough to amortise dispatch
+    /// (the default). The threshold is
+    /// [`crate::EngineConfig::par_auto_min_batch`].
     Auto,
     /// Always verify sequentially (reference behaviour).
     Sequential,
@@ -58,36 +63,46 @@ pub fn parallel_mode() -> ParallelMode {
     }
 }
 
-/// Below this batch size `Auto` stays sequential: spawning threads costs
-/// more than a handful of kinetic-tree verifications.
-const MIN_AUTO_BATCH: usize = 16;
 /// Minimum vehicles per worker in `Auto` mode.
 const MIN_PER_THREAD: usize = 4;
 
-fn worker_count(batch: usize) -> usize {
-    let available = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+/// How many chunks (caller + pool workers) to split a batch into.
+fn worker_count(ctx: &MatchContext<'_>, batch: usize) -> usize {
+    let available = ctx.runtime.map(|rt| rt.parallelism()).unwrap_or(1);
     match parallel_mode() {
         ParallelMode::Sequential => 1,
         ParallelMode::Parallel => {
-            if batch < 2 {
+            if batch < 2 || ctx.runtime.is_none() {
                 1
             } else {
-                // Forced mode exists to exercise the multi-threaded merge
-                // (equivalence tests), so use at least two workers even on
-                // single-core machines.
+                // Forced mode exists to exercise the multi-chunk merge
+                // (equivalence tests), so use at least two chunks even when
+                // the runtime resolved to a single thread.
                 available.max(2).min(batch)
             }
         }
         ParallelMode::Auto => {
-            if batch < MIN_AUTO_BATCH || available < 2 {
+            if batch < ctx.config.par_auto_min_batch.max(2) || available < 2 {
                 1
             } else {
                 available.min(batch / MIN_PER_THREAD).max(1)
             }
         }
     }
+}
+
+/// Verifies one contiguous chunk into a fresh skyline + stats pair.
+fn verify_chunk(
+    ctx: &MatchContext<'_>,
+    req: &ProspectiveRequest,
+    chunk: &[&Vehicle],
+) -> (Skyline, MatchStats) {
+    let mut sky = Skyline::new();
+    let mut st = MatchStats::default();
+    for vehicle in chunk {
+        verify_vehicle(ctx, req, vehicle, &mut sky, &mut st);
+    }
+    (sky, st)
 }
 
 /// Verifies a batch of vehicles, in parallel when worthwhile, merging all
@@ -99,37 +114,42 @@ pub(crate) fn verify_vehicles(
     skyline: &mut Skyline,
     stats: &mut MatchStats,
 ) {
-    let workers = worker_count(vehicles.len());
-    if workers <= 1 {
-        for vehicle in vehicles {
-            verify_vehicle(ctx, req, vehicle, skyline, stats);
+    let workers = worker_count(ctx, vehicles.len());
+    let runtime = match ctx.runtime {
+        Some(rt) if workers > 1 => rt,
+        _ => {
+            for vehicle in vehicles {
+                verify_vehicle(ctx, req, vehicle, skyline, stats);
+            }
+            return;
         }
-        return;
-    }
+    };
 
     let chunk_size = vehicles.len().div_ceil(workers);
-    let results: Vec<(Skyline, MatchStats)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = vehicles
-            .chunks(chunk_size)
-            .map(|chunk| {
-                scope.spawn(move || {
-                    let mut sky = Skyline::new();
-                    let mut st = MatchStats::default();
-                    for vehicle in chunk {
-                        verify_vehicle(ctx, req, vehicle, &mut sky, &mut st);
-                    }
-                    (sky, st)
-                })
+    let chunks: Vec<&[&Vehicle]> = vehicles.chunks(chunk_size).collect();
+    let mut results: Vec<Option<(Skyline, MatchStats)>> = vec![None; chunks.len()];
+    {
+        let mut slots: Vec<&mut Option<(Skyline, MatchStats)>> = results.iter_mut().collect();
+        // The caller takes the first chunk; the pool workers take the rest.
+        let local_slot = slots.remove(0);
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = chunks[1..]
+            .iter()
+            .zip(slots)
+            .map(|(chunk, slot)| {
+                let chunk = *chunk;
+                Box::new(move || {
+                    *slot = Some(verify_chunk(ctx, req, chunk));
+                }) as Box<dyn FnOnce() + Send + '_>
             })
             .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("verification worker panicked"))
-            .collect()
-    });
+        runtime.pool().execute_with_local(jobs, || {
+            *local_slot = Some(verify_chunk(ctx, req, chunks[0]));
+        });
+    }
 
     // Deterministic merge in chunk order.
-    for (sky, st) in results {
+    for result in results {
+        let (sky, st) = result.expect("every verification chunk completes");
         skyline.merge(sky);
         stats.merge(&st);
     }

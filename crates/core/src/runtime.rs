@@ -1,0 +1,447 @@
+//! The persistent matching runtime: a long-lived worker pool.
+//!
+//! Before this module existed, every parallel verification batch spawned
+//! fresh OS threads through `std::thread::scope`. That paid the spawn cost
+//! per batch **and** started every worker with cold thread-local state — the
+//! generation-stamped scratch buffers of `ptrider-roadnet` are per-thread,
+//! so a scoped thread allocates them anew on its first exact query and
+//! throws them away when the batch ends.
+//!
+//! [`WorkerPool`] replaces that with crossbeam-style channel dispatch built
+//! on plain `std::thread`: a fixed set of workers is spawned once (lazily,
+//! on the first dispatched batch), pops jobs from a shared injector queue
+//! and keeps running until the pool is dropped. Workers therefore keep
+//! their scratch buffers warm across batches, and dispatching a batch costs
+//! two mutex operations per job instead of a thread spawn.
+//!
+//! [`MatchRuntime`] wraps a pool with the engine-level sizing policy:
+//!
+//! * an explicit [`crate::EngineConfig::pool_size`] wins;
+//! * otherwise the `PTRIDER_POOL_SIZE` environment variable (the CI lever
+//!   that forces single-thread containers to still exercise the parallel
+//!   admission logic, and vice versa);
+//! * otherwise `std::thread::available_parallelism()`.
+//!
+//! # Borrowed jobs and safety
+//!
+//! Pool jobs borrow the caller's stack (match contexts, request state,
+//! result slots). [`WorkerPool::execute_with_local`] makes that sound the
+//! same way `std::thread::scope` does: it does not return until every
+//! dispatched job has finished, so the borrows outlive the jobs. The
+//! lifetime erasure (`'env` → `'static`) is confined to that function, and a
+//! drop guard keeps the guarantee even when the caller's own closure panics.
+//! Job panics are caught on the worker (the long-lived thread must survive),
+//! recorded, and re-raised on the caller once the batch has drained.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+/// A job dispatched to the pool. Lifetime-erased; see the module docs for
+/// why that is sound.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Shared state between the pool handle and its workers.
+struct PoolShared {
+    /// Injector queue the workers pop from.
+    queue: Mutex<VecDeque<Job>>,
+    /// Signalled when a job is pushed or the pool shuts down.
+    work: Condvar,
+    /// Set once by `Drop`; workers exit when they see it.
+    shutdown: AtomicBool,
+}
+
+/// Completion latch for one dispatched batch.
+struct Latch {
+    /// Jobs still running or queued, plus the first panic payload observed.
+    state: Mutex<(usize, Option<Box<dyn std::any::Any + Send>>)>,
+    done: Condvar,
+}
+
+impl Latch {
+    fn new(jobs: usize) -> Arc<Self> {
+        Arc::new(Latch {
+            state: Mutex::new((jobs, None)),
+            done: Condvar::new(),
+        })
+    }
+
+    /// Marks one job finished, recording the first panic payload.
+    fn complete(&self, panic: Option<Box<dyn std::any::Any + Send>>) {
+        let mut state = self.state.lock().unwrap();
+        state.0 -= 1;
+        if state.1.is_none() {
+            state.1 = panic;
+        }
+        if state.0 == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    /// Blocks until every job has completed.
+    fn wait(&self) {
+        let mut state = self.state.lock().unwrap();
+        while state.0 > 0 {
+            state = self.done.wait(state).unwrap();
+        }
+    }
+
+    /// The first recorded job panic, if any (call after [`Self::wait`]).
+    fn take_panic(&self) -> Option<Box<dyn std::any::Any + Send>> {
+        self.state.lock().unwrap().1.take()
+    }
+}
+
+/// Waits for the batch even if the caller's local closure panics — the
+/// dispatched jobs borrow the caller's stack, so unwinding past them would
+/// be unsound.
+struct WaitGuard<'a>(&'a Latch);
+
+impl Drop for WaitGuard<'_> {
+    fn drop(&mut self) {
+        self.0.wait();
+    }
+}
+
+/// A long-lived worker pool with channel dispatch.
+///
+/// The pool owns `threads` OS threads (spawned lazily on the first batch;
+/// a pool of zero threads runs every job inline on the caller). Dropping
+/// the pool shuts the workers down and joins them.
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    threads: usize,
+    /// Worker handles, populated on first use (lazy spawn).
+    handles: Mutex<Vec<JoinHandle<()>>>,
+    spawned: AtomicBool,
+}
+
+impl WorkerPool {
+    /// Creates a pool that will run `threads` worker threads. The threads
+    /// are not spawned until the first batch is dispatched, so pools built
+    /// for engines that never hit a parallel path cost nothing.
+    pub fn new(threads: usize) -> Self {
+        WorkerPool {
+            shared: Arc::new(PoolShared {
+                queue: Mutex::new(VecDeque::new()),
+                work: Condvar::new(),
+                shutdown: AtomicBool::new(false),
+            }),
+            threads,
+            handles: Mutex::new(Vec::new()),
+            spawned: AtomicBool::new(false),
+        }
+    }
+
+    /// Number of worker threads this pool runs (0 = inline execution).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    fn ensure_spawned(&self) {
+        if self.threads == 0 || self.spawned.load(Ordering::Acquire) {
+            return;
+        }
+        let mut handles = self.handles.lock().unwrap();
+        if self.spawned.load(Ordering::Acquire) {
+            return;
+        }
+        for i in 0..self.threads {
+            let shared = Arc::clone(&self.shared);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("ptrider-match-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn matching worker"),
+            );
+        }
+        self.spawned.store(true, Ordering::Release);
+    }
+
+    /// Runs a batch of borrowed jobs on the pool while the caller executes
+    /// `local` inline, returning once **all** of them (jobs and `local`)
+    /// have finished. With zero worker threads the jobs run inline after
+    /// `local`, in order — same results, no concurrency.
+    ///
+    /// Panics that occur in a job are re-raised here after the batch has
+    /// drained; the worker threads themselves survive.
+    pub fn execute_with_local<'env>(
+        &self,
+        jobs: Vec<Box<dyn FnOnce() + Send + 'env>>,
+        local: impl FnOnce(),
+    ) {
+        if jobs.is_empty() {
+            local();
+            return;
+        }
+        if self.threads == 0 {
+            local();
+            for job in jobs {
+                job();
+            }
+            return;
+        }
+        self.ensure_spawned();
+
+        let latch = Latch::new(jobs.len());
+        {
+            let mut queue = self.shared.queue.lock().unwrap();
+            for job in jobs {
+                // SAFETY: the latch guarantees (via `WaitGuard`, even on
+                // panic) that this function does not return before the job
+                // has run to completion, so every `'env` borrow the job
+                // carries stays valid for its whole execution — the same
+                // argument `std::thread::scope` makes.
+                let job: Job = unsafe {
+                    std::mem::transmute::<
+                        Box<dyn FnOnce() + Send + 'env>,
+                        Box<dyn FnOnce() + Send + 'static>,
+                    >(job)
+                };
+                let latch = Arc::clone(&latch);
+                queue.push_back(Box::new(move || {
+                    let result = catch_unwind(AssertUnwindSafe(job));
+                    latch.complete(result.err());
+                }));
+            }
+            self.shared.work.notify_all();
+        }
+
+        let guard = WaitGuard(&latch);
+        local();
+        drop(guard);
+        if let Some(panic) = latch.take_panic() {
+            std::panic::resume_unwind(panic);
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.work.notify_all();
+        let mut handles = self.handles.lock().unwrap();
+        for handle in handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("threads", &self.threads)
+            .field("spawned", &self.spawned.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().unwrap();
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                queue = shared.work.wait(queue).unwrap();
+            }
+        };
+        // The job wrapper already catches panics and feeds its latch.
+        job();
+    }
+}
+
+/// Environment override for the worker-pool size, read once per process.
+fn env_pool_size() -> Option<usize> {
+    static ENV: OnceLock<Option<usize>> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("PTRIDER_POOL_SIZE")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+    })
+}
+
+/// Cores the runtime detected on this machine.
+pub fn detected_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// The engine's persistent matching runtime: one long-lived [`WorkerPool`]
+/// plus the resolved sizing policy. Owned by `PtRider` behind an `Arc` and
+/// threaded through [`crate::MatchContext`] so the verification and batch-
+/// admission paths dispatch onto warm workers instead of spawning threads.
+pub struct MatchRuntime {
+    /// Total parallelism: the caller's thread plus `pool` workers.
+    parallelism: usize,
+    pool: WorkerPool,
+}
+
+impl MatchRuntime {
+    /// Builds a runtime with the resolved pool size for `configured`
+    /// (the [`crate::EngineConfig::pool_size`] value): an explicit size
+    /// (≥ 1) wins, `PTRIDER_POOL_SIZE` overrides the auto default, and auto
+    /// means [`detected_parallelism`].
+    pub fn from_config(configured: usize) -> Self {
+        let parallelism = if configured >= 1 {
+            configured
+        } else {
+            env_pool_size().unwrap_or_else(detected_parallelism)
+        };
+        Self::with_parallelism(parallelism)
+    }
+
+    /// Builds a runtime with an explicit total parallelism (1 = fully
+    /// inline: no worker threads are ever spawned).
+    pub fn with_parallelism(parallelism: usize) -> Self {
+        let parallelism = parallelism.max(1);
+        MatchRuntime {
+            parallelism,
+            // The caller participates in every batch (`execute_with_local`),
+            // so a runtime of parallelism N needs N - 1 pool workers.
+            pool: WorkerPool::new(parallelism - 1),
+        }
+    }
+
+    /// Total parallelism of the runtime (caller thread included).
+    pub fn parallelism(&self) -> usize {
+        self.parallelism
+    }
+
+    /// The underlying worker pool.
+    pub fn pool(&self) -> &WorkerPool {
+        &self.pool
+    }
+}
+
+impl std::fmt::Debug for MatchRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MatchRuntime")
+            .field("parallelism", &self.parallelism)
+            .field("pool", &self.pool)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn zero_thread_pool_runs_jobs_inline() {
+        let pool = WorkerPool::new(0);
+        let counter = AtomicUsize::new(0);
+        let jobs: Vec<Box<dyn FnOnce() + Send>> = (0..4)
+            .map(|_| {
+                Box::new(|| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                }) as Box<dyn FnOnce() + Send>
+            })
+            .collect();
+        pool.execute_with_local(jobs, || {
+            counter.fetch_add(10, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 14);
+        assert_eq!(pool.threads(), 0);
+    }
+
+    #[test]
+    fn pool_executes_borrowed_jobs_into_slots() {
+        let pool = WorkerPool::new(3);
+        let mut results = vec![0usize; 8];
+        {
+            let mut slots: Vec<&mut usize> = results.iter_mut().collect();
+            let local_slot = slots.remove(0);
+            let jobs: Vec<Box<dyn FnOnce() + Send>> = slots
+                .into_iter()
+                .enumerate()
+                .map(|(i, slot)| {
+                    Box::new(move || {
+                        *slot = i + 1;
+                    }) as Box<dyn FnOnce() + Send>
+                })
+                .collect();
+            pool.execute_with_local(jobs, || {
+                *local_slot = 100;
+            });
+        }
+        assert_eq!(results, vec![100, 1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn pool_survives_many_batches() {
+        // The whole point: one pool, many batches, no per-batch spawns.
+        let pool = WorkerPool::new(2);
+        let total = AtomicUsize::new(0);
+        for _ in 0..50 {
+            let jobs: Vec<Box<dyn FnOnce() + Send>> = (0..4)
+                .map(|_| {
+                    Box::new(|| {
+                        total.fetch_add(1, Ordering::Relaxed);
+                    }) as Box<dyn FnOnce() + Send>
+                })
+                .collect();
+            pool.execute_with_local(jobs, || {});
+        }
+        assert_eq!(total.load(Ordering::Relaxed), 200);
+    }
+
+    #[test]
+    fn job_panic_propagates_after_the_batch_drains() {
+        let pool = WorkerPool::new(2);
+        let finished = Arc::new(AtomicUsize::new(0));
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let finished = Arc::clone(&finished);
+            let jobs: Vec<Box<dyn FnOnce() + Send>> = vec![
+                Box::new(|| panic!("worker job failed")),
+                Box::new(move || {
+                    finished.fetch_add(1, Ordering::Relaxed);
+                }),
+            ];
+            pool.execute_with_local(jobs, || {});
+        }));
+        assert!(result.is_err(), "the job panic must reach the caller");
+        assert_eq!(finished.load(Ordering::Relaxed), 1);
+        // The pool is still usable after a panicked batch.
+        let ok = AtomicUsize::new(0);
+        pool.execute_with_local(
+            vec![Box::new(|| {
+                ok.fetch_add(1, Ordering::Relaxed);
+            }) as Box<dyn FnOnce() + Send>],
+            || {},
+        );
+        assert_eq!(ok.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn runtime_resolution_prefers_explicit_config() {
+        let rt = MatchRuntime::from_config(3);
+        assert_eq!(rt.parallelism(), 3);
+        assert_eq!(rt.pool().threads(), 2);
+        let auto = MatchRuntime::from_config(0);
+        assert!(auto.parallelism() >= 1);
+    }
+
+    #[test]
+    fn parallelism_one_never_spawns() {
+        let rt = MatchRuntime::with_parallelism(1);
+        assert_eq!(rt.pool().threads(), 0);
+        let ran = AtomicUsize::new(0);
+        rt.pool().execute_with_local(
+            vec![Box::new(|| {
+                ran.fetch_add(1, Ordering::Relaxed);
+            }) as Box<dyn FnOnce() + Send>],
+            || {},
+        );
+        assert_eq!(ran.load(Ordering::Relaxed), 1);
+    }
+}

@@ -26,6 +26,18 @@ pub struct EngineStats {
     pub location_updates: u64,
     /// Total wall-clock time spent matching, in seconds.
     pub total_match_secs: f64,
+    /// Bursts admitted through conflict-graph batch admission.
+    pub batch_bursts: u64,
+    /// Requests admitted through conflict-graph batch admission.
+    pub batch_requests: u64,
+    /// Conflict-graph partitions across all admitted bursts (independent
+    /// partitions are matched concurrently; `batch_requests` partitions
+    /// would mean a fully conflict-free, maximally parallel burst).
+    pub batch_partitions: u64,
+    /// Requests whose tentative match was invalidated by an earlier commit
+    /// to a shared candidate vehicle and had to be re-matched in greedy
+    /// order.
+    pub batch_rematches: u64,
     /// Sum of per-request matcher work counters.
     pub match_work: MatchWork,
 }

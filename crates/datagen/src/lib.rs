@@ -24,5 +24,5 @@ pub mod workload;
 
 pub use city::{synthetic_city, CityConfig};
 pub use fig1::{fig1_engine_config, fig1_network, fig1_vertex, Fig1Scenario};
-pub use trips::{TimedTrip, TripConfig, TripGenerator};
+pub use trips::{BurstConfig, TimedTrip, TripConfig, TripGenerator};
 pub use workload::{scaled_shanghai, Workload, WorkloadConfig};

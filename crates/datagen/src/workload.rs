@@ -8,7 +8,7 @@
 //! tractable while preserving the fleet-to-demand ratio.
 
 use crate::city::{synthetic_city, CityConfig};
-use crate::trips::{TimedTrip, TripConfig, TripGenerator};
+use crate::trips::{BurstConfig, TimedTrip, TripConfig, TripGenerator};
 use ptrider_roadnet::{RoadNetwork, VertexId};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -60,12 +60,30 @@ pub struct Workload {
 impl Workload {
     /// Generates a workload from a configuration.
     pub fn generate(config: WorkloadConfig) -> Self {
+        Self::generate_with(config, |generator| generator.generate())
+    }
+
+    /// Generates a **peak-burst** workload: the same city and fleet
+    /// placement as [`Self::generate`], but the trip stream consists of
+    /// bursts of simultaneous requests
+    /// ([`TripGenerator::generate_bursts`]) — the workload the simulator's
+    /// burst arrival mode and the burst-throughput bench replay.
+    /// `config.trips` contributes the spatial knobs (hotspots, group
+    /// sizes, seed); the temporal shape comes from `bursts`.
+    pub fn generate_bursts(config: WorkloadConfig, bursts: BurstConfig) -> Self {
+        Self::generate_with(config, |generator| generator.generate_bursts(&bursts))
+    }
+
+    fn generate_with(
+        config: WorkloadConfig,
+        make_trips: impl FnOnce(&mut TripGenerator<'_>) -> Vec<TimedTrip>,
+    ) -> Self {
         let network = synthetic_city(&config.city);
         let mut rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0x5ead_f00d);
         let vehicle_locations = (0..config.num_vehicles)
             .map(|_| VertexId(rng.gen_range(0..network.num_vertices() as u32)))
             .collect();
-        let trips = TripGenerator::new(&network, config.trips.clone()).generate();
+        let trips = make_trips(&mut TripGenerator::new(&network, config.trips.clone()));
         Workload {
             config,
             network,
@@ -143,6 +161,38 @@ mod tests {
             assert!(w.network.contains(t.origin));
             assert!(w.network.contains(t.destination));
         }
+    }
+
+    #[test]
+    fn burst_workload_packages_simultaneous_trips() {
+        let w = Workload::generate_bursts(
+            WorkloadConfig {
+                city: CityConfig::tiny(9),
+                num_vehicles: 15,
+                trips: TripConfig::small(0, 9),
+                seed: 9,
+            },
+            BurstConfig {
+                num_bursts: 4,
+                burst_size: 10,
+                start_secs: 60.0,
+                period_secs: 15.0,
+            },
+        );
+        assert_eq!(w.num_vehicles(), 15);
+        assert_eq!(w.num_trips(), 40);
+        // Exactly four distinct timestamps, ten trips each.
+        let first_burst = w.trips_in_window(60.0, 75.0);
+        assert_eq!(first_burst.len(), 10);
+        assert!(first_burst.iter().all(|t| t.time_secs == 60.0));
+        // Fleet placement matches the plain generator's for the same seed.
+        let plain = Workload::generate(WorkloadConfig {
+            city: CityConfig::tiny(9),
+            num_vehicles: 15,
+            trips: TripConfig::small(5, 9),
+            seed: 9,
+        });
+        assert_eq!(w.vehicle_locations, plain.vehicle_locations);
     }
 
     #[test]

@@ -122,6 +122,100 @@ pub fn multi_target(net: &RoadNetwork, source: VertexId, targets: &[VertexId]) -
     })
 }
 
+/// One-to-many like [`multi_target`], but every returned distance is folded
+/// in **canonical direction**: for a target `t` with a smaller vertex id
+/// than `source`, the found shortest path's edge weights are re-summed in
+/// `t → source` order instead of returning the search's `source → t`
+/// accumulation.
+///
+/// Floating-point addition is not associative, so the two orders can differ
+/// in the last bit; re-folding makes the bits a function of the *pair*
+/// rather than of which endpoint the search ran from. The memoising
+/// oracle's canonical-fold cache policy relies on this to stay
+/// query-order-independent on undirected networks (where the same pair is
+/// reached from both directions). Requires symmetric edge weights — the
+/// re-fold reads the `t → source` weights off the tree edges — so callers
+/// must only use it when [`RoadNetwork::is_undirected`] holds.
+///
+/// Caveat: when a pair has several shortest paths whose float sums differ
+/// in the last bit, this search and a `t`-rooted search may tie-break onto
+/// different paths and fold to different bits; see the canonical-fold
+/// discussion in `crate::oracle` for why that residual is accepted.
+pub fn multi_target_canonical(
+    net: &RoadNetwork,
+    source: VertexId,
+    targets: &[VertexId],
+) -> Vec<f64> {
+    if targets.is_empty() {
+        return Vec::new();
+    }
+    with_scratch_pair(|s, marks| {
+        let n = net.num_vertices();
+        s.begin(n);
+        marks.begin(n);
+        let mut remaining = 0usize;
+        for &t in targets {
+            if marks.get(t).is_infinite() {
+                marks.set(t, 1.0);
+                remaining += 1;
+            }
+        }
+        s.set(source, 0.0);
+        s.push(0.0, source);
+        while let Some((d, u)) = s.pop() {
+            if d > s.get(u) {
+                continue;
+            }
+            if marks.get(u) == 1.0 {
+                marks.set(u, 2.0);
+                remaining -= 1;
+                if remaining == 0 {
+                    break;
+                }
+            }
+            for (v, w) in net.neighbors(u) {
+                let nd = d + w;
+                if nd < s.get(v) {
+                    s.set_with_parent(v, nd, u);
+                    s.push(nd, v);
+                }
+            }
+        }
+        targets
+            .iter()
+            .map(|&t| {
+                let d = s.get(t);
+                if t >= source || !d.is_finite() {
+                    return d;
+                }
+                // Walk the tree path t → … → source, summing in walk order —
+                // the fold a t-rooted search would accumulate on this path.
+                let mut acc = 0.0;
+                let mut cur = t;
+                while cur != source {
+                    let Some(parent) = s.parent_of(cur) else {
+                        // Root reached unexpectedly; fall back to the
+                        // forward fold rather than returning a wrong sum.
+                        return d;
+                    };
+                    // The relaxed tree edge carries the minimum weight among
+                    // parallel `cur → parent` edges (symmetric on undirected
+                    // networks, so this is also the `parent → cur` weight).
+                    let mut weight = INFINITE_DISTANCE;
+                    for (v, w) in net.neighbors(cur) {
+                        if v == parent && w < weight {
+                            weight = w;
+                        }
+                    }
+                    acc += weight;
+                    cur = parent;
+                }
+                acc
+            })
+            .collect()
+    })
+}
+
 /// Point-to-point shortest path returning `(distance, path)`.
 ///
 /// The path includes both endpoints. Returns `None` when unreachable.
@@ -413,6 +507,44 @@ mod tests {
         let net = line_net();
         let d = distances_to_targets(&net, VertexId(0), &[VertexId(1), VertexId(2)]);
         assert_eq!(d, vec![1.0, 3.0]);
+    }
+
+    #[test]
+    fn multi_target_canonical_folds_toward_the_smaller_endpoint() {
+        // Irregular weights whose sums are inexact in f64, so fold order is
+        // observable at the bit level.
+        let mut b = RoadNetworkBuilder::new();
+        let v: Vec<_> = (0..4).map(|i| b.add_vertex(i as f64, 0.0)).collect();
+        b.add_bidirectional_edge(v[0], v[1], 1.1);
+        b.add_bidirectional_edge(v[1], v[2], 2.3);
+        b.add_bidirectional_edge(v[2], v[3], 3.7);
+        let net = b.build().unwrap();
+        assert!(net.is_undirected());
+
+        // Searching *from* v3, the canonical variant must report v0 and v1
+        // with the exact bits a v0-/v1-rooted fold produces.
+        let canonical =
+            multi_target_canonical(&net, VertexId(3), &[VertexId(0), VertexId(1), VertexId(3)]);
+        assert_eq!(
+            canonical[0].to_bits(),
+            distance(&net, VertexId(0), VertexId(3)).unwrap().to_bits()
+        );
+        assert_eq!(
+            canonical[1].to_bits(),
+            distance(&net, VertexId(1), VertexId(3)).unwrap().to_bits()
+        );
+        assert_eq!(canonical[2], 0.0);
+        // Targets above the source keep the plain forward fold.
+        let forward = multi_target_canonical(&net, VertexId(0), &[VertexId(3)]);
+        assert_eq!(
+            forward[0].to_bits(),
+            distance(&net, VertexId(0), VertexId(3)).unwrap().to_bits()
+        );
+        // And the values always agree with the reference within rounding.
+        let plain = multi_target(&net, VertexId(3), &[VertexId(0), VertexId(1)]);
+        for (c, p) in canonical.iter().zip(&plain) {
+            assert!((c - p).abs() < 1e-9);
+        }
     }
 
     #[test]

@@ -50,5 +50,5 @@ pub use error::RoadNetError;
 pub use graph::{Edge, RoadNetwork, RoadNetworkBuilder};
 pub use grid::{CellId, GridCell, GridConfig, GridIndex};
 pub use landmarks::LandmarkIndex;
-pub use oracle::{DistanceBackend, DistanceOracle};
+pub use oracle::{num_cache_shards, DistanceBackend, DistanceOracle, DEFAULT_CACHE_CAPACITY};
 pub use types::{Point, Speed, VertexId, INFINITE_DISTANCE};

@@ -9,7 +9,9 @@
 //!   shards, each behind its own `parking_lot::RwLock`. Lookups take one
 //!   shard read lock, inserts one shard write lock, so concurrent matcher
 //!   threads do not serialise on a single global mutex (the seed used one
-//!   `Mutex<HashMap>` locked twice per query).
+//!   `Mutex<HashMap>` locked twice per query). The shard count is sized to
+//!   the machine ([`num_cache_shards`]): `available_parallelism` rounded to
+//!   the next power of two, floored at 32.
 //! * **Allocation-free ALT backend** — exact queries run A* on thread-local
 //!   generation-stamped scratch buffers ([`crate::scratch`]) with the
 //!   heuristic `max(euclidean, grid bound, landmark bound)`; see
@@ -25,9 +27,24 @@
 //!   `k` same-source queries with a single bounded multi-target Dijkstra
 //!   (ALT backend) or a many-to-many bucket query (CH backend) instead of
 //!   `k` point-to-point searches.
-//! * **Directed-safe mirroring** — the symmetric `(v, u)` cache entry is
-//!   only written when [`RoadNetwork::is_undirected`] holds; on networks
-//!   with one-way edges `dist(u, v) ≠ dist(v, u)` in general.
+//! * **Canonical-direction memoisation** — on undirected networks each
+//!   unordered pair is cached under a single canonical key (smaller vertex
+//!   id first) and its exact value is always *folded* in the canonical
+//!   direction, whichever endpoint the query named. Floating-point sums are
+//!   order-sensitive in the last bit, so without this the bits an oracle
+//!   returned would depend on its query history (the pre-refactor mirror
+//!   stored whichever direction was computed first); with it, every answer
+//!   is a pure function of the pair, which is what makes parallel batch
+//!   admission bit-identical to sequential admission. One residual
+//!   assumption: when a pair has *several* shortest paths whose float sums
+//!   differ in the last bit, different search roots may pick different tie
+//!   paths and re-fold to different bits — the same tie class the CH
+//!   backend's bit-equality with Dijkstra already rests on; exact-weight
+//!   grids fold identically on every tie path, and with jittered
+//!   real-valued weights exact ties are vanishingly rare (the equivalence
+//!   proptests would surface one as a seed failure). Networks with
+//!   one-way edges cache both directions separately, as
+//!   `dist(u, v) ≠ dist(v, u)` in general.
 //! * **Bounded memory** — every shard carries an entry cap with
 //!   second-chance (clock) eviction: a hit sets a referenced bit, and when a
 //!   full shard takes an insert, unreferenced entries are evicted while
@@ -48,16 +65,27 @@ use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
-/// Number of cache shards. A small power of two well above typical matcher
-/// thread counts keeps write contention negligible while the per-shard maps
-/// stay dense.
-const SHARDS: usize = 32;
+/// Number of cache shards, sized once per process from the machine:
+/// `available_parallelism` rounded up to the next power of two, with a
+/// floor of 32. On laptops and CI containers this stays at the historical
+/// 32; on large multi-socket boxes it grows with the cores so matcher
+/// threads keep hitting distinct shards (the first step of the ROADMAP's
+/// NUMA-aware sharding item — pinning comes later).
+pub fn num_cache_shards() -> usize {
+    static SHARDS: OnceLock<usize> = OnceLock::new();
+    *SHARDS.get_or_init(|| {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        cores.next_power_of_two().max(32)
+    })
+}
 
-/// Default total cache capacity (entries across all shards): roughly 4M
-/// pairs ≈ 100 MB. Override with [`DistanceOracle::with_cache_capacity`].
-pub const DEFAULT_CACHE_CAPACITY: usize = SHARDS * (1 << 17);
+/// Default total cache capacity (entries across all shards): 4M pairs
+/// ≈ 100 MB. Override with [`DistanceOracle::with_cache_capacity`].
+pub const DEFAULT_CACHE_CAPACITY: usize = 1 << 22;
 
 /// Which exact shortest-path backend a [`DistanceOracle`] uses on a cache
 /// miss.
@@ -103,8 +131,12 @@ type Shard = RwLock<HashMap<(VertexId, VertexId), CacheSlot>>;
 #[inline]
 fn shard_of(u: VertexId, v: VertexId) -> usize {
     let key = ((u.0 as u64) << 32) | v.0 as u64;
-    // Fibonacci hashing spreads sequential vertex ids across shards.
-    (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 59) as usize & (SHARDS - 1)
+    let shards = num_cache_shards();
+    // Fibonacci hashing spreads sequential vertex ids across shards; taking
+    // the *top* log2(shards) bits of the product keeps the spread even for
+    // any power-of-two shard count.
+    let shift = 64 - shards.trailing_zeros();
+    (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> shift) as usize & (shards - 1)
 }
 
 /// Thread-safe memoising distance oracle.
@@ -121,7 +153,7 @@ pub struct DistanceOracle {
     /// The backend actually in use (may be `Alt` even when `Ch` was
     /// requested, if hierarchy construction failed).
     backend: DistanceBackend,
-    cache: Arc<[Shard; SHARDS]>,
+    cache: Arc<Vec<Shard>>,
     /// Per-shard entry cap for clock eviction; `usize::MAX` disables it.
     shard_capacity: usize,
     /// Legacy-baseline mode: one global lock (shard 0, always write-locked),
@@ -145,8 +177,12 @@ impl DistanceOracle {
             landmarks: None,
             ch: None,
             backend: DistanceBackend::Alt,
-            cache: Arc::new(std::array::from_fn(|_| RwLock::new(HashMap::new()))),
-            shard_capacity: DEFAULT_CACHE_CAPACITY / SHARDS,
+            cache: Arc::new(
+                (0..num_cache_shards())
+                    .map(|_| RwLock::new(HashMap::new()))
+                    .collect(),
+            ),
+            shard_capacity: (DEFAULT_CACHE_CAPACITY / num_cache_shards()).max(1),
             legacy: false,
             exact_computations: Arc::new(AtomicU64::new(0)),
             cache_hits: Arc::new(AtomicU64::new(0)),
@@ -230,13 +266,13 @@ impl DistanceOracle {
     }
 
     /// Overrides the total cache capacity (entries across all shards).
-    /// Eviction triggers per shard at `capacity / 32`; passing `usize::MAX`
-    /// disables eviction entirely.
+    /// Eviction triggers per shard at `capacity / num_cache_shards()`;
+    /// passing `usize::MAX` disables eviction entirely.
     pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
         self.shard_capacity = if capacity == usize::MAX {
             usize::MAX
         } else {
-            (capacity / SHARDS).max(1)
+            (capacity / num_cache_shards()).max(1)
         };
         self
     }
@@ -257,7 +293,7 @@ impl DistanceOracle {
         if self.shard_capacity == usize::MAX {
             usize::MAX
         } else {
-            self.shard_capacity * SHARDS
+            self.shard_capacity * num_cache_shards()
         }
     }
 
@@ -286,14 +322,27 @@ impl DistanceOracle {
         Arc::clone(&self.grid)
     }
 
+    /// The cache key of a pair: on undirected networks the unordered pair's
+    /// canonical form (smaller vertex id first), so both query directions
+    /// share one entry carrying the canonical fold.
+    #[inline]
+    fn cache_key(&self, u: VertexId, v: VertexId) -> (VertexId, VertexId) {
+        if v < u && self.net.is_undirected() {
+            (v, u)
+        } else {
+            (u, v)
+        }
+    }
+
     #[inline]
     fn cached(&self, u: VertexId, v: VertexId) -> Option<f64> {
         if self.legacy {
             // The seed's Mutex had no shared-read mode.
             return self.cache[0].write().get(&(u, v)).map(|s| s.dist);
         }
-        let shard = self.cache[shard_of(u, v)].read();
-        shard.get(&(u, v)).map(|slot| {
+        let key = self.cache_key(u, v);
+        let shard = self.cache[shard_of(key.0, key.1)].read();
+        shard.get(&key).map(|slot| {
             // Second chance: a hit through the read lock marks the entry
             // referenced so the next eviction sweep spares it.
             slot.referenced.store(true, Ordering::Relaxed);
@@ -307,22 +356,15 @@ impl DistanceOracle {
     /// every entry was referenced (sweep evicted nothing), an arbitrary
     /// half of the shard is dropped so the bound always holds.
     ///
-    /// With `keep_existing` the insert is first-writer-wins: an already
-    /// cached value is never overwritten. The undirected `(v, u)` mirror
-    /// uses this because the forward-direction fold it stores can differ in
-    /// the last float bit from a directly computed reverse fold — a cached
-    /// value must stay bit-stable for as long as it lives, even when a
-    /// direct computation and a mirror race on the same key.
+    /// Races on one key are harmless: the canonical-fold policy means every
+    /// writer of a key computes the same bits whenever the pair's shortest
+    /// path is unique (see the tie caveat on the module docs).
     fn insert_with_eviction(
         &self,
         map: &mut HashMap<(VertexId, VertexId), CacheSlot>,
         key: (VertexId, VertexId),
         d: f64,
-        keep_existing: bool,
     ) {
-        if keep_existing && map.contains_key(&key) {
-            return;
-        }
         if map.len() >= self.shard_capacity && !map.contains_key(&key) {
             let before = map.len();
             map.retain(|_, slot| {
@@ -369,13 +411,10 @@ impl DistanceOracle {
             }
             return;
         }
-        self.insert_with_eviction(&mut self.cache[shard_of(u, v)].write(), (u, v), d, false);
-        if self.net.is_undirected() {
-            // Safe only when dist(u, v) = dist(v, u) holds network-wide.
-            // First-writer-wins (checked under the write lock) so a mirror
-            // can never replace a directly computed reverse value.
-            self.insert_with_eviction(&mut self.cache[shard_of(v, u)].write(), (v, u), d, true);
-        }
+        // One canonical entry per unordered pair on undirected networks
+        // (half the footprint of the old two-direction mirror).
+        let key = self.cache_key(u, v);
+        self.insert_with_eviction(&mut self.cache[shard_of(key.0, key.1)].write(), key, d);
     }
 
     /// Exact distance straight from the active backend, bypassing the cache.
@@ -394,6 +433,16 @@ impl DistanceOracle {
         }
     }
 
+    /// Exact distance folded in canonical direction: on undirected networks
+    /// the search always runs from the smaller vertex id, so the returned
+    /// bits depend only on the pair — never on which direction a caller
+    /// happened to ask first.
+    #[inline]
+    fn backend_distance_canonical(&self, u: VertexId, v: VertexId) -> f64 {
+        let (a, b) = self.cache_key(u, v);
+        self.backend_distance(a, b)
+    }
+
     /// Exact shortest-path distance, memoised. Returns `f64::INFINITY` when
     /// unreachable so callers can treat the result as a plain cost.
     pub fn distance(&self, u: VertexId, v: VertexId) -> f64 {
@@ -408,7 +457,7 @@ impl DistanceOracle {
         let d = if self.legacy {
             dijkstra::distance_allocating(&self.net, u, v).unwrap_or(f64::INFINITY)
         } else {
-            self.backend_distance(u, v)
+            self.backend_distance_canonical(u, v)
         };
         self.store(u, v, d);
         d
@@ -449,20 +498,50 @@ impl DistanceOracle {
             1..=3 => {
                 for (&i, &t) in missing_idx.iter().zip(missing.iter()) {
                     self.exact_computations.fetch_add(1, Ordering::Relaxed);
-                    let d = self.backend_distance(source, t);
+                    let d = self.backend_distance_canonical(source, t);
                     self.store(source, t, d);
                     out[i] = d;
                 }
             }
             _ => {
                 self.exact_computations.fetch_add(1, Ordering::Relaxed);
-                let ds = match (&self.ch, self.backend) {
+                let undirected = self.net.is_undirected();
+                let ds: Vec<f64> = match (&self.ch, self.backend) {
                     // CH many-to-many bucket query: k backward upward
                     // searches plus one forward — independent of the
-                    // geometric spread of the targets.
-                    (Some(ch), DistanceBackend::Ch) => ch.distances_from(source, &missing),
-                    // ALT: one bounded multi-target Dijkstra ball.
-                    _ => dijkstra::multi_target(&self.net, source, &missing),
+                    // geometric spread of the targets. On undirected
+                    // networks, targets below the source (whose canonical
+                    // fold runs the other way) are answered by canonical-
+                    // direction point queries instead; CH point queries are
+                    // microsecond-scale, so the batch still wins.
+                    (Some(ch), DistanceBackend::Ch) => {
+                        if undirected {
+                            let fwd: Vec<VertexId> =
+                                missing.iter().copied().filter(|&t| source < t).collect();
+                            let mut fwd_ds = ch.distances_from(source, &fwd).into_iter();
+                            missing
+                                .iter()
+                                .map(|&t| {
+                                    if source < t {
+                                        fwd_ds.next().expect("one batch answer per fwd target")
+                                    } else {
+                                        ch.distance(t, source)
+                                    }
+                                })
+                                .collect()
+                        } else {
+                            ch.distances_from(source, &missing)
+                        }
+                    }
+                    // ALT: one bounded multi-target Dijkstra ball, folded in
+                    // canonical direction on undirected networks.
+                    _ => {
+                        if undirected {
+                            dijkstra::multi_target_canonical(&self.net, source, &missing)
+                        } else {
+                            dijkstra::multi_target(&self.net, source, &missing)
+                        }
+                    }
                 };
                 for ((&i, &t), d) in missing_idx.iter().zip(missing.iter()).zip(ds) {
                     self.store(source, t, d);
@@ -810,10 +889,10 @@ mod tests {
 
     #[test]
     fn eviction_bounds_the_cache() {
-        // Capacity 32 total => 1 entry per shard; undirected mirroring makes
-        // 2 inserts per distance, so the bound is exercised immediately.
-        let o = lattice_oracle(false).with_cache_capacity(32);
-        assert_eq!(o.cache_capacity(), 32);
+        // One entry per shard; 600 distinct pairs overflow immediately.
+        let capacity = num_cache_shards();
+        let o = lattice_oracle(false).with_cache_capacity(capacity);
+        assert_eq!(o.cache_capacity(), capacity);
         for u in 0..25u32 {
             for v in 0..25u32 {
                 if u != v {
@@ -822,7 +901,7 @@ mod tests {
             }
         }
         assert!(
-            o.cache_len() <= 32,
+            o.cache_len() <= capacity,
             "cache grew past its capacity: {}",
             o.cache_len()
         );
@@ -833,17 +912,17 @@ mod tests {
 
     #[test]
     fn referenced_entries_survive_a_sweep() {
-        // Capacity 64 = 2 entries per shard. Three pairs that all hash
-        // into the same shard (and whose undirected mirrors do not, so the
-        // occupancy is fully controlled): after `hot` is touched and `cold`
-        // sits untouched, the insert of `third` must sweep the shard —
-        // evicting `cold` (bit clear) and sparing `hot` (second chance).
-        let o = lattice_oracle(false).with_cache_capacity(64);
+        // Two entries per shard. Three canonical pairs (u < v on an
+        // undirected network) that all hash into shard 0, so the occupancy
+        // is fully controlled: after `hot` is touched and `cold` sits
+        // untouched, the insert of `third` must sweep the shard — evicting
+        // `cold` (bit clear) and sparing `hot` (second chance).
+        let o = lattice_oracle(false).with_cache_capacity(2 * num_cache_shards());
         let mut colliding = Vec::new();
         'outer: for u in 0..25u32 {
-            for v in 0..25u32 {
+            for v in (u + 1)..25u32 {
                 let (u, v) = (VertexId(u), VertexId(v));
-                if u != v && shard_of(u, v) == 0 && shard_of(v, u) != 0 {
+                if shard_of(u, v) == 0 {
                     colliding.push((u, v));
                     if colliding.len() == 3 {
                         break 'outer;

@@ -40,23 +40,35 @@ impl ChoicePolicy {
         options: &'a [RideOption],
         rng: &mut R,
     ) -> Option<&'a RideOption> {
+        self.choose_index(options, rng).map(|i| &options[i])
+    }
+
+    /// Like [`Self::choose`] but returning the option's *index* — the
+    /// selector form [`ptrider_core::PtRider::submit_batch_greedy`]
+    /// consumes, so the simulator's burst arrival mode can hand the policy
+    /// straight to batch admission.
+    pub fn choose_index<R: Rng>(&self, options: &[RideOption], rng: &mut R) -> Option<usize> {
         if options.is_empty() {
             return None;
         }
+        let enumerated = || options.iter().enumerate();
         let best = match self {
-            ChoicePolicy::Cheapest => options.iter().min_by(|a, b| {
+            ChoicePolicy::Cheapest => enumerated().min_by(|(_, a), (_, b)| {
                 a.price
                     .partial_cmp(&b.price)
                     .unwrap()
                     .then(a.pickup_dist.partial_cmp(&b.pickup_dist).unwrap())
             }),
-            ChoicePolicy::Fastest => options.iter().min_by(|a, b| {
+            ChoicePolicy::Fastest => enumerated().min_by(|(_, a), (_, b)| {
                 a.pickup_dist
                     .partial_cmp(&b.pickup_dist)
                     .unwrap()
                     .then(a.price.partial_cmp(&b.price).unwrap())
             }),
-            ChoicePolicy::Random => options.get(rng.gen_range(0..options.len())),
+            ChoicePolicy::Random => {
+                let i = rng.gen_range(0..options.len());
+                return Some(i);
+            }
             ChoicePolicy::Weighted { alpha } => {
                 let alpha = alpha.clamp(0.0, 1.0);
                 let max_t = options
@@ -69,14 +81,14 @@ impl ChoicePolicy {
                     .map(|o| o.price)
                     .fold(f64::MIN, f64::max)
                     .max(1e-9);
-                options.iter().min_by(|a, b| {
+                enumerated().min_by(|(_, a), (_, b)| {
                     let ua = alpha * a.pickup_dist / max_t + (1.0 - alpha) * a.price / max_p;
                     let ub = alpha * b.pickup_dist / max_t + (1.0 - alpha) * b.price / max_p;
                     ua.partial_cmp(&ub).unwrap()
                 })
             }
         };
-        best
+        best.map(|(i, _)| i)
     }
 }
 
@@ -165,5 +177,26 @@ mod tests {
     fn empty_options_yield_none() {
         let mut rng = ChaCha8Rng::seed_from_u64(5);
         assert!(ChoicePolicy::default().choose(&[], &mut rng).is_none());
+        assert!(ChoicePolicy::default()
+            .choose_index(&[], &mut rng)
+            .is_none());
+    }
+
+    #[test]
+    fn choose_index_agrees_with_choose() {
+        let opts = options();
+        for policy in [
+            ChoicePolicy::Cheapest,
+            ChoicePolicy::Fastest,
+            ChoicePolicy::Random,
+            ChoicePolicy::Weighted { alpha: 0.3 },
+        ] {
+            // Identical RNG streams so Random draws the same index.
+            let mut rng_a = ChaCha8Rng::seed_from_u64(17);
+            let mut rng_b = ChaCha8Rng::seed_from_u64(17);
+            let by_ref = policy.choose(&opts, &mut rng_a).unwrap();
+            let by_idx = policy.choose_index(&opts, &mut rng_b).unwrap();
+            assert_eq!(by_ref.vehicle, opts[by_idx].vehicle, "{policy:?}");
+        }
     }
 }

@@ -144,6 +144,41 @@ impl VehicleIndex {
         self.registration.get(&vehicle).map(|(e, _)| *e)
     }
 
+    /// Over-approximate candidate-vehicle set for a pickup at `pickup`:
+    /// every registered vehicle whose **location-based admissible lower
+    /// bound** on the pickup distance is within `max_pickup_dist`.
+    ///
+    /// A vehicle outside this set can never serve the request, under *any*
+    /// schedule it might acquire while its location stays put: the planned
+    /// pickup leg starts at the current location, so
+    /// `lb(location, pickup) > max_pickup_dist` implies the exact pickup
+    /// distance exceeds the radius no matter what is inserted into the
+    /// kinetic tree. That makes the set a sound conflict edge source for
+    /// batch admission — two simultaneous requests can only influence each
+    /// other's skylines through a shared candidate vehicle.
+    ///
+    /// Returned sorted by vehicle id (deterministic conflict graphs).
+    pub fn pickup_candidates<D: Distances>(
+        &self,
+        vehicles: &HashMap<VehicleId, Vehicle>,
+        dist: &D,
+        pickup: VertexId,
+        max_pickup_dist: f64,
+    ) -> Vec<VehicleId> {
+        let mut out: Vec<VehicleId> = self
+            .registration
+            .keys()
+            .filter(|id| {
+                vehicles
+                    .get(id)
+                    .is_some_and(|v| dist.lower_bound(v.location(), pickup) <= max_pickup_dist)
+            })
+            .copied()
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
     /// Registers a vehicle from its current state: empty vehicles go into
     /// their location cell, non-empty vehicles into every cell their
     /// scheduled legs intersect (the set [`schedule_cells`] defines).
@@ -324,6 +359,27 @@ mod tests {
     fn out_of_range_cell_panics() {
         let mut idx = VehicleIndex::new(2);
         idx.update_empty(VehicleId(1), 5);
+    }
+
+    #[test]
+    fn pickup_candidates_filter_by_location_bound() {
+        let net = Arc::new(lattice(4, 1000.0));
+        let grid = GridIndex::build(&net, GridConfig::with_dimensions(2, 2));
+        let oracle = ptrider_roadnet::DistanceOracle::new(Arc::clone(&net), Arc::new(grid.clone()));
+        let mut vehicles = HashMap::new();
+        let mut idx = VehicleIndex::new(grid.num_cells());
+        for (i, loc) in [VertexId(0), VertexId(15)].into_iter().enumerate() {
+            let v = Vehicle::new(VehicleId(i as u32), 4, loc);
+            idx.update_from_vehicle(&v, &net, &grid, &oracle);
+            vehicles.insert(v.id(), v);
+        }
+        // A wide radius admits the whole fleet, sorted by id.
+        let all = idx.pickup_candidates(&vehicles, &oracle, VertexId(1), 1e9);
+        assert_eq!(all, vec![VehicleId(0), VehicleId(1)]);
+        // A 1.5 km radius keeps the adjacent vehicle (exact pickup 1 km)
+        // and provably excludes the far corner (Euclidean bound > 3.6 km).
+        let near = idx.pickup_candidates(&vehicles, &oracle, VertexId(1), 1500.0);
+        assert_eq!(near, vec![VehicleId(0)]);
     }
 
     #[test]

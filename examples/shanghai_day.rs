@@ -45,6 +45,7 @@ fn main() {
         grid: GridConfig::with_dimensions(16, 16),
         idle_roaming: true,
         cross_check: false,
+        burst_admission: false,
         seed: 7,
     };
     let mut sim = Simulator::new(workload, EngineConfig::paper_defaults(), sim_config);

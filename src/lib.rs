@@ -50,9 +50,10 @@ pub use ptrider_datagen as datagen;
 pub use ptrider_sim as sim;
 
 pub use ptrider_core::{
-    DistanceBackend, EngineConfig, EngineStats, GridConfig, LandmarkIndex, MatchResult, MatchStats,
-    Matcher, MatcherKind, ParallelMode, PriceModel, PtRider, Request, RequestId, RideOption,
-    RoadNetwork, Skyline, Speed, Stop, StopKind, Vehicle, VehicleId, VertexId,
+    BatchAdmission, BatchOutcome, DistanceBackend, EngineConfig, EngineStats, GridConfig,
+    LandmarkIndex, MatchResult, MatchRuntime, MatchStats, Matcher, MatcherKind, ParallelMode,
+    PriceModel, PtRider, Request, RequestId, RideOption, RoadNetwork, Skyline, Speed, Stop,
+    StopKind, Vehicle, VehicleId, VertexId,
 };
 pub use ptrider_roadnet::ContractionHierarchy;
 pub use ptrider_sim::{ChoicePolicy, SimConfig, SimulationReport, Simulator};

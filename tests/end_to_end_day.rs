@@ -31,6 +31,7 @@ fn run_day(matcher: MatcherKind, choice: ChoicePolicy, seed: u64) -> (Simulator,
         grid: GridConfig::with_dimensions(4, 4),
         idle_roaming: true,
         cross_check: false,
+        burst_admission: false,
         seed,
     };
     let mut sim = Simulator::new(workload, engine_config, sim_config);

@@ -39,6 +39,7 @@ fn run_with_cross_check(seed: u64, choice: ChoicePolicy, minutes: f64) {
         grid: GridConfig::with_dimensions(4, 4),
         idle_roaming: true,
         cross_check: true,
+        burst_admission: false,
         seed,
     };
     let mut sim = Simulator::new(workload, engine_config, sim_config);
@@ -80,6 +81,7 @@ fn no_vehicle_is_left_without_a_schedule_for_its_riders() {
         grid: GridConfig::with_dimensions(4, 4),
         idle_roaming: true,
         cross_check: false,
+        burst_admission: false,
         seed: 55,
     };
     let mut sim = Simulator::new(
