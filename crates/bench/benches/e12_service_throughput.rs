@@ -1,0 +1,104 @@
+//! E12 — service-layer session throughput.
+//!
+//! Drives the `RideService` front door the way a gateway would: several
+//! submitter threads share one service (`&self`), each opening sessions
+//! (`submit` — read path, parallel under the world read lock) and
+//! resolving them (`respond(Decline)` — session table only, leaving the
+//! world untouched so iterations are comparable). An event subscriber
+//! drains the log concurrently, so the numbers include observability
+//! traffic.
+//!
+//! On a single-core container the submitter counts collapse to the same
+//! wall-clock; the interesting output there is that the service facade's
+//! locking adds only small overhead over the raw sequential engine. The
+//! multi-core scaling row is tracked by `perf_report` (`BENCH_e9.json`,
+//! `e12_service` section).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ptrider_bench::{build_world, WorldParams};
+use ptrider_core::{Decision, EngineConfig, MatcherKind, RideService, ServiceConfig};
+use ptrider_datagen::{TripConfig, TripGenerator};
+use ptrider_roadnet::VertexId;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e12_service_throughput");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    let params = WorldParams {
+        vehicles: 600,
+        warm_assignments: 200,
+        ..WorldParams::default()
+    };
+    let config = EngineConfig::paper_defaults();
+    let world = build_world(params, config, 0);
+    let mut engine = world.engine;
+    engine.set_matcher(MatcherKind::DualSide);
+    let service = RideService::from_engine(engine)
+        .with_service_config(ServiceConfig::default().with_offer_ttl_secs(1e12));
+
+    let probes: Vec<(VertexId, VertexId, u32)> = TripGenerator::new(
+        service.network(),
+        TripConfig {
+            num_trips: 128,
+            seed: params.seed ^ 0xe12,
+            ..TripConfig::default()
+        },
+    )
+    .generate()
+    .iter()
+    .map(|t| (t.origin, t.destination, t.riders))
+    .filter(|(o, d, _)| o != d)
+    .collect();
+
+    for submitters in [1usize, 2, 4] {
+        group.bench_function(format!("submit_decline/{submitters}_threads"), |b| {
+            b.iter(|| {
+                let served = std::sync::atomic::AtomicUsize::new(0);
+                std::thread::scope(|scope| {
+                    for t in 0..submitters {
+                        let service = &service;
+                        let probes = &probes;
+                        let served = &served;
+                        scope.spawn(move || {
+                            for (i, &(o, d, riders)) in probes.iter().enumerate() {
+                                if i % submitters != t {
+                                    continue;
+                                }
+                                let offer = service
+                                    .submit(o, d, riders, 0.0)
+                                    .expect("probe requests are valid");
+                                let _ = service.respond(offer.session, Decision::Decline, 0.0);
+                                served.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            }
+                        });
+                    }
+                });
+                criterion::black_box(served.load(std::sync::atomic::Ordering::Relaxed))
+            })
+        });
+        // Keep the session table bounded across iterations.
+        service.prune_resolved();
+    }
+
+    // Event-log drain throughput: how fast an observer can pull the
+    // transition trail the sessions above produced.
+    group.bench_function("event_drain", |b| {
+        b.iter(|| {
+            let mut cursor = service.subscribe();
+            criterion::black_box(service.poll_events(&mut cursor).len())
+        })
+    });
+
+    println!(
+        "[E12] sessions={} events_published={} runtime_parallelism={}",
+        service.num_sessions(),
+        service.events_published(),
+        service.runtime().parallelism()
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -363,6 +363,91 @@ fn json_burst(out: &mut String, label: &str, b: &BurstNumbers, comma: &str) {
     );
 }
 
+#[derive(Clone, Copy, Default)]
+struct ServiceNumbers {
+    /// submit → respond(Decline) round-trips per second across all threads.
+    sessions_per_sec: f64,
+    /// Events published per second while the session storm ran.
+    events_per_sec: f64,
+}
+
+/// Drives the `RideService` session lifecycle with `submitters` concurrent
+/// threads over a fixed world (declines only, so the world never changes
+/// and runs are comparable) and measures round-trip and event throughput.
+/// `submitters == 0` measures the sequential `PtRider` facade on the same
+/// world and probes — the no-locks baseline the service overhead is judged
+/// against.
+fn measure_service_throughput(params: WorldParams, submitters: usize) -> ServiceNumbers {
+    let rounds = 6usize;
+    let config = EngineConfig::paper_defaults();
+    let mut world = build_world(params, config, 0);
+    world.engine.set_matcher(MatcherKind::DualSide);
+    let probes: Vec<(VertexId, VertexId, u32)> = TripGenerator::new(
+        world.engine.network(),
+        TripConfig {
+            num_trips: 192,
+            seed: params.seed ^ 0xe12,
+            ..TripConfig::default()
+        },
+    )
+    .generate()
+    .iter()
+    .map(|t| (t.origin, t.destination, t.riders))
+    .filter(|(o, d, _)| o != d)
+    .collect();
+
+    if submitters == 0 {
+        let mut engine = world.engine;
+        let start = Instant::now();
+        let mut served = 0usize;
+        for _ in 0..rounds {
+            for &(o, d, riders) in &probes {
+                let (id, _) = engine.submit(o, d, riders, 0.0);
+                let _ = engine.decline(id);
+                served += 1;
+            }
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        return ServiceNumbers {
+            sessions_per_sec: served as f64 / elapsed.max(1e-9),
+            events_per_sec: 0.0,
+        };
+    }
+
+    let service = ptrider_core::RideService::from_engine(world.engine)
+        .with_service_config(ptrider_core::ServiceConfig::default().with_offer_ttl_secs(1e12));
+    let served = std::sync::atomic::AtomicUsize::new(0);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..submitters {
+            let service = &service;
+            let probes = &probes;
+            let served = &served;
+            scope.spawn(move || {
+                for _ in 0..rounds {
+                    for (i, &(o, d, riders)) in probes.iter().enumerate() {
+                        if i % submitters != t {
+                            continue;
+                        }
+                        let offer = service
+                            .submit(o, d, riders, 0.0)
+                            .expect("probe requests are valid");
+                        let _ =
+                            service.respond(offer.session, ptrider_core::Decision::Decline, 0.0);
+                        served.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+    ServiceNumbers {
+        sessions_per_sec: served.load(std::sync::atomic::Ordering::Relaxed) as f64
+            / elapsed.max(1e-9),
+        events_per_sec: service.events_published() as f64 / elapsed.max(1e-9),
+    }
+}
+
 fn main() {
     let mut args = std::env::args().skip(1);
     let vehicles: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(800);
@@ -511,6 +596,13 @@ fn main() {
          {burst_outcomes_match}"
     );
 
+    eprintln!("[perf_report] service-layer session throughput (facade vs 1/2/4 submitters) ...");
+    let svc_facade = measure_service_throughput(params, 0);
+    let svc_rows: Vec<(usize, ServiceNumbers)> = [1usize, 2, 4]
+        .iter()
+        .map(|&threads| (threads, measure_service_throughput(params, threads)))
+        .collect();
+
     let dual_base = dual(&baseline_e2);
     let dual_alt = dual(&alt_e2);
     let dual_ch = dual(&ch_e2);
@@ -637,6 +729,37 @@ fn main() {
         out,
         "    \"best_speedup_vs_sequential\": {:.2}",
         best_cg / seq_burst.requests_per_sec.max(1e-9)
+    );
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"e12_service\": {{");
+    let _ = writeln!(
+        out,
+        "    \"sequential_facade_sessions_per_sec\": {:.0},",
+        svc_facade.sessions_per_sec
+    );
+    let mut best_svc = 0.0f64;
+    for &(threads, ref numbers) in &svc_rows {
+        best_svc = best_svc.max(numbers.sessions_per_sec);
+        let _ = writeln!(
+            out,
+            "    \"service_{threads}_submitters\": {{ \"sessions_per_sec\": {:.0}, \
+             \"events_per_sec\": {:.0} }},",
+            numbers.sessions_per_sec, numbers.events_per_sec
+        );
+    }
+    let single = svc_rows
+        .first()
+        .map(|(_, n)| n.sessions_per_sec)
+        .unwrap_or(0.0);
+    let _ = writeln!(
+        out,
+        "    \"service_overhead_vs_facade_1_submitter\": {:.3},",
+        single / svc_facade.sessions_per_sec.max(1e-9)
+    );
+    let _ = writeln!(
+        out,
+        "    \"best_concurrent_speedup_vs_1_submitter\": {:.2}",
+        best_svc / single.max(1e-9)
     );
     let _ = writeln!(out, "  }}");
     let _ = writeln!(out, "}}");

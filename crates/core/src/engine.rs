@@ -14,6 +14,31 @@
 //! Vehicles report **location updates** ([`PtRider::location_update`]) and
 //! **pickup / drop-off updates** ([`PtRider::vehicle_arrived`]), which keep
 //! the indexes current, exactly as the system-control arrows of Fig. 2.
+//!
+//! # Engine split: read path vs. write path
+//!
+//! Internally the engine state is decomposed into three parts so the
+//! service layer ([`crate::RideService`]) can run concurrent submits:
+//!
+//! * [`EngineShared`] — the immutable substrate (network, grid, distance
+//!   oracle, configuration, matching runtime). Shared freely across
+//!   threads; the oracle's memoisation is internally sharded.
+//! * [`World`] — the mutable vehicle world (fleet + vehicle index). The
+//!   **read path** (option generation) only needs `&World`; the **write
+//!   path** (choice commits, location / stop updates, batch admission)
+//!   needs `&mut World`.
+//! * [`Ledger`] — request bookkeeping: pending requests awaiting a choice,
+//!   engine statistics and the request-id counter.
+//!
+//! The free functions of this module (`prepare_request`, `match_options`,
+//! `commit_choice`, `apply_location_update`, `apply_vehicle_arrived`,
+//! `run_batch_greedy`) operate on those parts and are the single
+//! implementation both facades delegate to: [`PtRider`] (the original
+//! sequential `&mut self` facade, kept as a thin shim) and
+//! [`crate::RideService`] (the concurrent session front door, which puts
+//! `World` behind an `RwLock` and the `Ledger` behind a `Mutex`). Outcomes
+//! are therefore bit-identical between the two facades — property-tested in
+//! `tests/service_equivalence.rs`.
 
 use crate::config::{BatchAdmission, EngineConfig};
 use crate::matching::{MatchContext, MatchResult, Matcher, MatcherKind};
@@ -63,18 +88,143 @@ impl std::error::Error for EngineError {}
 
 /// A submitted request waiting for the rider's choice.
 #[derive(Clone, Debug)]
-struct PendingRequest {
-    request: Request,
-    prospective: ProspectiveRequest,
+pub(crate) struct PendingRequest {
+    pub(crate) request: Request,
+    pub(crate) prospective: ProspectiveRequest,
+}
+
+/// The immutable engine substrate, shared by the read and write paths:
+/// road network, grid index, distance oracle, configuration and the
+/// persistent matching runtime. Everything here is safe to use from many
+/// threads at once (the oracle's memoisation is internally sharded).
+pub(crate) struct EngineShared {
+    pub(crate) net: Arc<RoadNetwork>,
+    pub(crate) grid: Arc<GridIndex>,
+    pub(crate) oracle: DistanceOracle,
+    pub(crate) config: EngineConfig,
+    /// The persistent matching runtime: a long-lived worker pool sized from
+    /// [`EngineConfig::pool_size`], shared by candidate verification and
+    /// batch admission.
+    pub(crate) runtime: Arc<MatchRuntime>,
+}
+
+impl EngineShared {
+    /// Builds the shared substrate around a caller-constructed oracle.
+    pub(crate) fn new(
+        net: Arc<RoadNetwork>,
+        grid: Arc<GridIndex>,
+        oracle: DistanceOracle,
+        config: EngineConfig,
+    ) -> Self {
+        let runtime = Arc::new(MatchRuntime::from_config(config.pool_size));
+        EngineShared {
+            net,
+            grid,
+            oracle,
+            config,
+            runtime,
+        }
+    }
+
+    /// A matching context over `world`. `use_runtime` selects whether the
+    /// verification loop may dispatch onto the worker pool (it must not
+    /// when the caller itself runs *on* the pool).
+    pub(crate) fn match_context<'a>(
+        &'a self,
+        world: &'a World,
+        use_runtime: bool,
+    ) -> MatchContext<'a> {
+        MatchContext {
+            oracle: &self.oracle,
+            grid: &self.grid,
+            vehicles: &world.vehicles,
+            index: &world.index,
+            config: &self.config,
+            runtime: use_runtime.then_some(&*self.runtime),
+        }
+    }
+}
+
+/// The mutable vehicle world: the fleet and the per-cell vehicle index.
+/// Option generation reads it (`&World`); commits mutate it (`&mut World`).
+pub(crate) struct World {
+    pub(crate) vehicles: HashMap<VehicleId, Vehicle>,
+    pub(crate) index: VehicleIndex,
+    next_vehicle: u32,
+}
+
+impl World {
+    pub(crate) fn new(num_cells: usize) -> Self {
+        World {
+            vehicles: HashMap::new(),
+            index: VehicleIndex::new(num_cells),
+            next_vehicle: 0,
+        }
+    }
+
+    /// Registers a new vehicle at `location`.
+    pub(crate) fn add_vehicle(
+        &mut self,
+        shared: &EngineShared,
+        location: VertexId,
+        capacity: u32,
+    ) -> VehicleId {
+        assert!(
+            shared.net.contains(location),
+            "vehicle location {location} is not a vertex of the network"
+        );
+        let id = VehicleId(self.next_vehicle);
+        self.next_vehicle += 1;
+        let vehicle = Vehicle::new(id, capacity, location);
+        self.index
+            .update_from_vehicle(&vehicle, &shared.net, &shared.grid, &shared.oracle);
+        self.vehicles.insert(id, vehicle);
+        id
+    }
+}
+
+/// Request bookkeeping: pending requests, statistics, request-id counter.
+pub(crate) struct Ledger {
+    pub(crate) pending: HashMap<RequestId, PendingRequest>,
+    pub(crate) stats: EngineStats,
+    next_request: u64,
+}
+
+impl Ledger {
+    pub(crate) fn new() -> Self {
+        Ledger {
+            pending: HashMap::new(),
+            stats: EngineStats::default(),
+            next_request: 0,
+        }
+    }
+
+    /// Allocates a fresh request id.
+    pub(crate) fn allocate_request_id(&mut self) -> RequestId {
+        let id = RequestId(self.next_request);
+        self.next_request += 1;
+        id
+    }
+
+    /// Accumulates the statistics of one answered match.
+    pub(crate) fn record_match(&mut self, result: &MatchResult, elapsed: f64) {
+        self.stats.requests_submitted += 1;
+        self.stats.total_match_secs += elapsed;
+        self.stats.options_returned += result.options.len() as u64;
+        if !result.options.is_empty() {
+            self.stats.requests_with_options += 1;
+        }
+        self.stats.match_work.accumulate(&result.stats);
+    }
 }
 
 /// Validates a request spec and returns its direct shortest-path distance.
 ///
 /// The single source of truth for what counts as an admissible request:
-/// both the sequential submit path ([`PtRider::submit_request`]) and the
-/// parallel tentative-matching phase of conflict-graph batch admission go
-/// through here, so the two admission modes can never diverge on validity.
-fn validate_request(
+/// the sequential submit path, the service-layer submit and the parallel
+/// tentative-matching phase of conflict-graph batch admission all go
+/// through here, so no admission mode can diverge on validity.
+pub(crate) fn validate_request(
     net: &RoadNetwork,
     oracle: &DistanceOracle,
     origin: VertexId,
@@ -103,6 +253,179 @@ fn validate_request(
     Ok(direct)
 }
 
+/// Validates a request and converts it into its matcher-facing form.
+pub(crate) fn prepare_request(
+    shared: &EngineShared,
+    request: &Request,
+) -> Result<ProspectiveRequest, EngineError> {
+    let direct = validate_request(
+        &shared.net,
+        &shared.oracle,
+        request.origin,
+        request.destination,
+        request.riders,
+    )?;
+    Ok(request.to_prospective(direct, &shared.config))
+}
+
+/// Generates the option skyline for a prepared request against the current
+/// world — the **read path**. Returns the result and the wall-clock seconds
+/// spent matching.
+pub(crate) fn match_options(
+    shared: &EngineShared,
+    matcher: &dyn Matcher,
+    world: &World,
+    prospective: &ProspectiveRequest,
+    use_runtime: bool,
+) -> (MatchResult, f64) {
+    let started = Instant::now();
+    let ctx = shared.match_context(world, use_runtime);
+    let result = matcher.find_options(&ctx, prospective);
+    (result, started.elapsed().as_secs_f64())
+}
+
+/// Commits a rider's choice into the world — the **write path**. Assigns
+/// the request to the option's vehicle and refreshes the vehicle index.
+/// Does not touch the ledger; callers decide how the pending entry and the
+/// statistics are updated.
+pub(crate) fn commit_choice(
+    shared: &EngineShared,
+    world: &mut World,
+    pending: &PendingRequest,
+    option: &RideOption,
+    now: f64,
+) -> Result<(), EngineError> {
+    let vehicle = world
+        .vehicles
+        .get_mut(&option.vehicle)
+        .ok_or(EngineError::UnknownVehicle(option.vehicle))?;
+    let max_wait_dist = shared
+        .config
+        .speed
+        .seconds_to_distance(pending.request.effective_max_wait_secs(&shared.config));
+    let assigned = vehicle.assign(
+        &shared.oracle,
+        &pending.prospective,
+        option.pickup_dist,
+        max_wait_dist,
+        option.price,
+        now,
+    );
+    if assigned.is_none() {
+        return Err(EngineError::AssignmentFailed(
+            pending.request.id,
+            option.vehicle,
+        ));
+    }
+    world
+        .index
+        .update_from_vehicle(vehicle, &shared.net, &shared.grid, &shared.oracle);
+    Ok(())
+}
+
+/// Applies a periodic vehicle location update — write path.
+pub(crate) fn apply_location_update(
+    shared: &EngineShared,
+    world: &mut World,
+    vehicle_id: VehicleId,
+    location: VertexId,
+    travelled: f64,
+) -> Result<(), EngineError> {
+    if !shared.net.contains(location) {
+        return Err(EngineError::InvalidRequest(
+            "vehicle location is not a vertex of the road network",
+        ));
+    }
+    let vehicle = world
+        .vehicles
+        .get_mut(&vehicle_id)
+        .ok_or(EngineError::UnknownVehicle(vehicle_id))?;
+    vehicle.move_to(&shared.oracle, location, travelled);
+    world
+        .index
+        .update_from_vehicle(vehicle, &shared.net, &shared.grid, &shared.oracle);
+    Ok(())
+}
+
+/// Serves the next stop of a vehicle's schedule — write path.
+pub(crate) fn apply_vehicle_arrived(
+    shared: &EngineShared,
+    world: &mut World,
+    vehicle_id: VehicleId,
+) -> Result<Option<StopEvent>, EngineError> {
+    let vehicle = world
+        .vehicles
+        .get_mut(&vehicle_id)
+        .ok_or(EngineError::UnknownVehicle(vehicle_id))?;
+    let event = vehicle.serve_next_stop(&shared.oracle);
+    if event.is_some() {
+        world
+            .index
+            .update_from_vehicle(vehicle, &shared.net, &shared.grid, &shared.oracle);
+    }
+    Ok(event)
+}
+
+/// Submits one request: validate, match, record. The shared implementation
+/// behind [`PtRider::submit_request`] and the batch loops.
+pub(crate) fn submit_request(
+    shared: &EngineShared,
+    matcher: &dyn Matcher,
+    world: &World,
+    ledger: &mut Ledger,
+    request: Request,
+) -> Result<MatchResult, EngineError> {
+    let prospective = prepare_request(shared, &request)?;
+    let (result, elapsed) = match_options(shared, matcher, world, &prospective, true);
+    ledger.record_match(&result, elapsed);
+    ledger.pending.insert(
+        request.id,
+        PendingRequest {
+            request,
+            prospective,
+        },
+    );
+    Ok(result)
+}
+
+/// The rider chooses a previously offered option: commit and settle the
+/// pending entry. Shared by [`PtRider::choose`] and the batch loops.
+pub(crate) fn choose(
+    shared: &EngineShared,
+    world: &mut World,
+    ledger: &mut Ledger,
+    request_id: RequestId,
+    option: &RideOption,
+    now: f64,
+) -> Result<(), EngineError> {
+    let pending = ledger
+        .pending
+        .get(&request_id)
+        .ok_or(EngineError::UnknownRequest(request_id))?;
+    match commit_choice(shared, world, pending, option, now) {
+        Ok(()) => {
+            ledger.pending.remove(&request_id);
+            ledger.stats.requests_chosen += 1;
+            Ok(())
+        }
+        Err(e) => {
+            if matches!(e, EngineError::AssignmentFailed(..)) {
+                ledger.stats.assignments_failed += 1;
+            }
+            Err(e)
+        }
+    }
+}
+
+/// Discards a pending request (the rider declined all options).
+pub(crate) fn decline(ledger: &mut Ledger, request_id: RequestId) -> Result<(), EngineError> {
+    ledger
+        .pending
+        .remove(&request_id)
+        .map(|_| ())
+        .ok_or(EngineError::UnknownRequest(request_id))
+}
+
 /// Result of one request inside [`PtRider::submit_batch_greedy`].
 #[derive(Clone, Debug)]
 pub struct BatchOutcome {
@@ -115,24 +438,347 @@ pub struct BatchOutcome {
     pub chosen: Option<usize>,
 }
 
-/// The price-and-time-aware ridesharing engine.
+/// Greedy batch admission over split engine state, dispatching on
+/// [`EngineConfig::batch_admission`]. The shared implementation behind
+/// [`PtRider::submit_batch_greedy`] and
+/// [`crate::RideService::submit_batch_greedy`].
+pub(crate) fn run_batch_greedy<F>(
+    shared: &EngineShared,
+    matcher: &dyn Matcher,
+    world: &mut World,
+    ledger: &mut Ledger,
+    specs: &[(VertexId, VertexId, u32)],
+    now: f64,
+    selector: F,
+) -> Vec<BatchOutcome>
+where
+    F: FnMut(&[RideOption]) -> Option<usize>,
+{
+    match shared.config.batch_admission {
+        BatchAdmission::Sequential => {
+            run_batch_sequential(shared, matcher, world, ledger, specs, now, selector)
+        }
+        BatchAdmission::ConflictGraph => {
+            run_batch_conflict_graph(shared, matcher, world, ledger, specs, now, selector)
+        }
+    }
+}
+
+/// The paper's strictly sequential greedy admission loop — the reference
+/// behaviour [`run_batch_conflict_graph`] is property-tested against.
+pub(crate) fn run_batch_sequential<F>(
+    shared: &EngineShared,
+    matcher: &dyn Matcher,
+    world: &mut World,
+    ledger: &mut Ledger,
+    specs: &[(VertexId, VertexId, u32)],
+    now: f64,
+    mut selector: F,
+) -> Vec<BatchOutcome>
+where
+    F: FnMut(&[RideOption]) -> Option<usize>,
+{
+    let mut outcomes = Vec::with_capacity(specs.len());
+    for &(origin, destination, riders) in specs {
+        let id = ledger.allocate_request_id();
+        let request = Request::new(id, origin, destination, riders, now);
+        let options = submit_request(shared, matcher, world, ledger, request)
+            .map(|r| r.options)
+            .unwrap_or_default();
+        let chosen = selector(&options).filter(|&i| i < options.len());
+        let assigned = match chosen {
+            Some(i) => choose(shared, world, ledger, id, &options[i], now).is_ok(),
+            None => {
+                let _ = decline(ledger, id);
+                false
+            }
+        };
+        outcomes.push(BatchOutcome {
+            request: id,
+            options,
+            chosen: if assigned { chosen } else { None },
+        });
+    }
+    outcomes
+}
+
+/// Conflict-graph parallel batch admission.
+///
+/// Peak-load bursts are admitted in three phases:
+///
+/// 1. **Parallel tentative matching** (read-only): every request is
+///    matched against the pre-burst state on the persistent worker
+///    pool, and its over-approximate candidate-vehicle set
+///    ([`VehicleIndex::pickup_candidates`]) is extracted — the vehicles
+///    whose state could possibly influence the request's skyline.
+/// 2. **Conflict graph**: requests sharing a candidate vehicle are
+///    joined into one partition (union–find). Disjoint partitions touch
+///    disjoint vehicle sets, so their order of admission is irrelevant.
+/// 3. **Greedy-order commit**: requests are committed strictly in input
+///    order. A tentative skyline is reused verbatim unless an
+///    earlier-committed assignment modified one of the request's
+///    candidate vehicles — only then is the request re-matched against
+///    the updated state (counted in [`EngineStats::batch_rematches`]).
+///
+/// **Determinism.** The outcome equals the sequential loop's
+/// bit-for-bit: a request's skyline depends only on the states of its
+/// candidate vehicles (any other vehicle's insertions are filtered by
+/// the pickup radius that defines the candidate set), so a tentative
+/// result is only reused when every vehicle that could influence it is
+/// untouched since the burst began — in which case it *is* the result
+/// the sequential loop would compute. Conflicted requests fall back to
+/// literal sequential matching. Matcher **work counters** may differ
+/// slightly between the modes (a vehicle pruned early in one mode can
+/// be considered in the other); the option skylines do not.
+pub(crate) fn run_batch_conflict_graph<F>(
+    shared: &EngineShared,
+    matcher: &dyn Matcher,
+    world: &mut World,
+    ledger: &mut Ledger,
+    specs: &[(VertexId, VertexId, u32)],
+    now: f64,
+    mut selector: F,
+) -> Vec<BatchOutcome>
+where
+    F: FnMut(&[RideOption]) -> Option<usize>,
+{
+    // Request ids are allocated upfront, in input order, exactly as the
+    // sequential loop would hand them out.
+    let ids: Vec<RequestId> = specs.iter().map(|_| ledger.allocate_request_id()).collect();
+    let runtime = Arc::clone(&shared.runtime);
+
+    struct Tentative {
+        request: Request,
+        /// `None` marks an invalid request (empty options, no stats).
+        prospective: Option<ProspectiveRequest>,
+        /// Sorted candidate-vehicle ids (conflict edges).
+        candidates: Vec<VehicleId>,
+        result: MatchResult,
+        elapsed: f64,
+    }
+
+    // ------------------------------------------------------------------
+    // Phase 1: parallel tentative matching against the pre-burst state.
+    // ------------------------------------------------------------------
+    let mut tentatives: Vec<Option<Tentative>> = Vec::with_capacity(specs.len());
+    tentatives.resize_with(specs.len(), || None);
+    {
+        let world_ref: &World = world;
+        let ids = &ids;
+        let compute = move |i: usize| -> Tentative {
+            let (origin, destination, riders) = specs[i];
+            let request = Request::new(ids[i], origin, destination, riders, now);
+            // The one shared validity definition (`validate_request`)
+            // keeps this phase and the sequential path in lockstep.
+            let Ok(direct) =
+                validate_request(&shared.net, &shared.oracle, origin, destination, riders)
+            else {
+                return Tentative {
+                    request,
+                    prospective: None,
+                    candidates: Vec::new(),
+                    result: MatchResult::default(),
+                    elapsed: 0.0,
+                };
+            };
+            let prospective = request.to_prospective(direct, &shared.config);
+            let started = Instant::now();
+            let candidates = world_ref.index.pickup_candidates(
+                &world_ref.vehicles,
+                &shared.net,
+                &shared.grid,
+                &shared.oracle,
+                prospective.pickup,
+                shared.config.max_pickup_dist,
+            );
+            // `use_runtime: false`: this job may itself run on a pool
+            // worker, and a job must not enqueue nested pool work the
+            // busy pool could never get to. Burst-level parallelism
+            // already saturates the workers.
+            let ctx = shared.match_context(world_ref, false);
+            let result = matcher.find_options(&ctx, &prospective);
+            Tentative {
+                request,
+                prospective: Some(prospective),
+                candidates,
+                result,
+                elapsed: started.elapsed().as_secs_f64(),
+            }
+        };
+
+        runtime.fill_chunked(runtime.parallelism(), &mut tentatives, |i, slot| {
+            *slot = Some(compute(i));
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Phase 2: conflict graph — union requests sharing a candidate.
+    // ------------------------------------------------------------------
+    fn find(parent: &mut [usize], i: usize) -> usize {
+        let mut root = i;
+        while parent[root] != root {
+            root = parent[root];
+        }
+        let mut walk = i;
+        while parent[walk] != root {
+            let next = parent[walk];
+            parent[walk] = root;
+            walk = next;
+        }
+        root
+    }
+    let mut parent: Vec<usize> = (0..specs.len()).collect();
+    let mut owner: HashMap<VehicleId, usize> = HashMap::new();
+    for (i, tentative) in tentatives.iter().enumerate() {
+        let candidates = tentative
+            .as_ref()
+            .map(|t| t.candidates.as_slice())
+            .unwrap_or_default();
+        for &vehicle in candidates {
+            match owner.entry(vehicle) {
+                std::collections::hash_map::Entry::Occupied(entry) => {
+                    let a = find(&mut parent, *entry.get());
+                    let b = find(&mut parent, i);
+                    parent[a.max(b)] = a.min(b);
+                }
+                std::collections::hash_map::Entry::Vacant(entry) => {
+                    entry.insert(i);
+                }
+            }
+        }
+    }
+    let partitions = (0..specs.len())
+        .filter(|&i| find(&mut parent, i) == i)
+        .count();
+
+    // ------------------------------------------------------------------
+    // Phase 3: greedy-order commit with invalidation-driven re-match.
+    // ------------------------------------------------------------------
+    let mut modified: HashSet<VehicleId> = HashSet::new();
+    let mut rematches = 0u64;
+    let mut outcomes = Vec::with_capacity(specs.len());
+    for tentative in tentatives.into_iter() {
+        let Tentative {
+            request,
+            prospective,
+            candidates,
+            result,
+            elapsed,
+        } = tentative.expect("phase 1 fills every slot");
+        let id = request.id;
+        let Some(prospective) = prospective else {
+            // Invalid request: the sequential path returns an empty
+            // option slice and still consults the (stateful) selector.
+            let _ = selector(&[]);
+            outcomes.push(BatchOutcome {
+                request: id,
+                options: Vec::new(),
+                chosen: None,
+            });
+            continue;
+        };
+
+        let conflicted = candidates.iter().any(|v| modified.contains(v));
+        let (result, elapsed) = if conflicted {
+            // An earlier commit touched a shared candidate vehicle: the
+            // tentative skyline is stale. Re-match against the current
+            // state — this *is* the sequential behaviour for this
+            // request. We are back on the caller thread here, so the
+            // verification loop may use the pool again.
+            rematches += 1;
+            match_options(shared, matcher, world, &prospective, true)
+        } else {
+            (result, elapsed)
+        };
+
+        // Bookkeeping identical to `submit_request`.
+        ledger.record_match(&result, elapsed);
+        ledger.pending.insert(
+            id,
+            PendingRequest {
+                request,
+                prospective,
+            },
+        );
+
+        let options = result.options;
+        let chosen = selector(&options).filter(|&k| k < options.len());
+        let assigned = match chosen {
+            Some(k) => {
+                let option = options[k].clone();
+                let ok = choose(shared, world, ledger, id, &option, now).is_ok();
+                if ok {
+                    modified.insert(option.vehicle);
+                }
+                ok
+            }
+            None => {
+                let _ = decline(ledger, id);
+                false
+            }
+        };
+        outcomes.push(BatchOutcome {
+            request: id,
+            options,
+            chosen: if assigned { chosen } else { None },
+        });
+    }
+
+    ledger.stats.batch_bursts += 1;
+    ledger.stats.batch_requests += specs.len() as u64;
+    ledger.stats.batch_partitions += partitions as u64;
+    ledger.stats.batch_rematches += rematches;
+    outcomes
+}
+
+/// Matches a request with an arbitrary matcher and oracle against a world,
+/// recording nothing. Shared by [`PtRider::match_request_with_oracle`] and
+/// [`crate::RideService::match_request_with`].
+pub(crate) fn match_request_with_oracle(
+    shared: &EngineShared,
+    world: &World,
+    kind: MatcherKind,
+    request: &Request,
+    oracle: &DistanceOracle,
+) -> Result<MatchResult, EngineError> {
+    if !shared.net.contains(request.origin) || !shared.net.contains(request.destination) {
+        return Err(EngineError::InvalidRequest(
+            "origin or destination is not a vertex of the road network",
+        ));
+    }
+    let direct = oracle.distance(request.origin, request.destination);
+    if !direct.is_finite() {
+        return Err(EngineError::InvalidRequest(
+            "destination unreachable from origin",
+        ));
+    }
+    let prospective = request.to_prospective(direct, &shared.config);
+    let matcher = kind.build();
+    let ctx = MatchContext {
+        oracle,
+        grid: &shared.grid,
+        vehicles: &world.vehicles,
+        index: &world.index,
+        config: &shared.config,
+        runtime: Some(&shared.runtime),
+    };
+    Ok(matcher.find_options(&ctx, &prospective))
+}
+
+/// The price-and-time-aware ridesharing engine — the original sequential
+/// `&mut self` facade.
+///
+/// New code that needs concurrency or the offer/respond session lifecycle
+/// should prefer [`crate::RideService`], which wraps the same split engine
+/// internals behind interior locks; `PtRider` remains the zero-overhead
+/// single-threaded shim over those internals (and the reference behaviour
+/// the service is property-tested against).
 pub struct PtRider {
-    net: Arc<RoadNetwork>,
-    grid: Arc<GridIndex>,
-    oracle: DistanceOracle,
-    config: EngineConfig,
+    shared: EngineShared,
     matcher_kind: MatcherKind,
     matcher: Box<dyn Matcher>,
-    vehicles: HashMap<VehicleId, Vehicle>,
-    index: VehicleIndex,
-    pending: HashMap<RequestId, PendingRequest>,
-    next_vehicle: u32,
-    next_request: u64,
-    stats: EngineStats,
-    /// The persistent matching runtime: a long-lived worker pool sized from
-    /// [`EngineConfig::pool_size`], shared by candidate verification and
-    /// batch admission.
-    runtime: Arc<MatchRuntime>,
+    world: World,
+    ledger: Ledger,
 }
 
 impl PtRider {
@@ -198,24 +844,28 @@ impl PtRider {
         oracle: DistanceOracle,
         config: EngineConfig,
     ) -> Self {
-        let index = VehicleIndex::new(grid.num_cells());
+        let shared = EngineShared::new(net, grid, oracle, config);
+        let world = World::new(shared.grid.num_cells());
         let matcher_kind = MatcherKind::DualSide;
-        let runtime = Arc::new(MatchRuntime::from_config(config.pool_size));
         PtRider {
-            net,
-            grid,
-            oracle,
-            config,
+            shared,
             matcher_kind,
             matcher: matcher_kind.build(),
-            vehicles: HashMap::new(),
-            index,
-            pending: HashMap::new(),
-            next_vehicle: 0,
-            next_request: 0,
-            stats: EngineStats::default(),
-            runtime,
+            world,
+            ledger: Ledger::new(),
         }
+    }
+
+    /// Decomposes the engine into its split internals (service-layer
+    /// construction path).
+    pub(crate) fn into_parts(self) -> (EngineShared, MatcherKind, Box<dyn Matcher>, World, Ledger) {
+        (
+            self.shared,
+            self.matcher_kind,
+            self.matcher,
+            self.world,
+            self.ledger,
+        )
     }
 
     /// Selects the active matching algorithm (the demo's admin panel allows
@@ -232,39 +882,39 @@ impl PtRider {
 
     /// The engine configuration.
     pub fn config(&self) -> &EngineConfig {
-        &self.config
+        &self.shared.config
     }
 
     /// The underlying road network.
     pub fn network(&self) -> &RoadNetwork {
-        &self.net
+        &self.shared.net
     }
 
     /// The road-network grid index.
     pub fn grid(&self) -> &GridIndex {
-        &self.grid
+        &self.shared.grid
     }
 
     /// The memoising distance oracle (exposes exact-computation counters).
     pub fn oracle(&self) -> &DistanceOracle {
-        &self.oracle
+        &self.shared.oracle
     }
 
     /// The persistent matching runtime (worker pool) this engine dispatches
     /// parallel verification and batch admission onto.
     pub fn runtime(&self) -> &MatchRuntime {
-        &self.runtime
+        &self.shared.runtime
     }
 
     /// Aggregated statistics.
     pub fn stats(&self) -> &EngineStats {
-        &self.stats
+        &self.ledger.stats
     }
 
     /// Resets the aggregated statistics (used between benchmark phases).
     pub fn reset_stats(&mut self) {
-        self.stats = EngineStats::default();
-        self.oracle.reset_counters();
+        self.ledger.stats = EngineStats::default();
+        self.shared.oracle.reset_counters();
     }
 
     // ------------------------------------------------------------------
@@ -273,42 +923,32 @@ impl PtRider {
 
     /// Adds a vehicle at `location` with the global capacity.
     pub fn add_vehicle(&mut self, location: VertexId) -> VehicleId {
-        self.add_vehicle_with_capacity(location, self.config.capacity)
+        self.add_vehicle_with_capacity(location, self.shared.config.capacity)
     }
 
     /// Adds a vehicle at `location` with an explicit capacity.
     pub fn add_vehicle_with_capacity(&mut self, location: VertexId, capacity: u32) -> VehicleId {
-        assert!(
-            self.net.contains(location),
-            "vehicle location {location} is not a vertex of the network"
-        );
-        let id = VehicleId(self.next_vehicle);
-        self.next_vehicle += 1;
-        let vehicle = Vehicle::new(id, capacity, location);
-        self.index
-            .update_from_vehicle(&vehicle, &self.net, &self.grid, &self.oracle);
-        self.vehicles.insert(id, vehicle);
-        id
+        self.world.add_vehicle(&self.shared, location, capacity)
     }
 
     /// Number of vehicles registered.
     pub fn num_vehicles(&self) -> usize {
-        self.vehicles.len()
+        self.world.vehicles.len()
     }
 
     /// Looks up a vehicle.
     pub fn vehicle(&self, id: VehicleId) -> Option<&Vehicle> {
-        self.vehicles.get(&id)
+        self.world.vehicles.get(&id)
     }
 
     /// Iterates over all vehicles.
     pub fn vehicles(&self) -> impl Iterator<Item = &Vehicle> {
-        self.vehicles.values()
+        self.world.vehicles.values()
     }
 
     /// The vehicle grid index (empty / non-empty lists per cell).
     pub fn vehicle_index(&self) -> &VehicleIndex {
-        &self.index
+        &self.world.index
     }
 
     // ------------------------------------------------------------------
@@ -336,54 +976,20 @@ impl PtRider {
     /// Allocates a fresh request id (callers that build [`Request`] values
     /// themselves must use engine-issued ids).
     pub fn allocate_request_id(&mut self) -> RequestId {
-        let id = RequestId(self.next_request);
-        self.next_request += 1;
-        id
+        self.ledger.allocate_request_id()
     }
 
     /// Submits a request and returns the full matching result (options plus
     /// work counters). The options are remembered so the rider can
     /// subsequently [`Self::choose`] one.
     pub fn submit_request(&mut self, request: Request) -> Result<MatchResult, EngineError> {
-        let direct = validate_request(
-            &self.net,
-            &self.oracle,
-            request.origin,
-            request.destination,
-            request.riders,
-        )?;
-
-        let prospective = request.to_prospective(direct, &self.config);
-        let started = Instant::now();
-        let result = {
-            let ctx = MatchContext {
-                oracle: &self.oracle,
-                grid: &self.grid,
-                vehicles: &self.vehicles,
-                index: &self.index,
-                config: &self.config,
-                runtime: Some(&self.runtime),
-            };
-            self.matcher.find_options(&ctx, &prospective)
-        };
-        let elapsed = started.elapsed().as_secs_f64();
-
-        self.stats.requests_submitted += 1;
-        self.stats.total_match_secs += elapsed;
-        self.stats.options_returned += result.options.len() as u64;
-        if !result.options.is_empty() {
-            self.stats.requests_with_options += 1;
-        }
-        self.stats.match_work.accumulate(&result.stats);
-
-        self.pending.insert(
-            request.id,
-            PendingRequest {
-                request,
-                prospective,
-            },
-        );
-        Ok(result)
+        submit_request(
+            &self.shared,
+            &*self.matcher,
+            &self.world,
+            &mut self.ledger,
+            request,
+        )
     }
 
     /// Matches a request against the *current* state with an arbitrary
@@ -395,7 +1001,7 @@ impl PtRider {
         kind: MatcherKind,
         request: &Request,
     ) -> Result<MatchResult, EngineError> {
-        self.match_request_with_oracle(kind, request, &self.oracle)
+        self.match_request_with_oracle(kind, request, &self.shared.oracle)
     }
 
     /// Like [`Self::match_request_with`] but matching through a
@@ -409,28 +1015,7 @@ impl PtRider {
         request: &Request,
         oracle: &DistanceOracle,
     ) -> Result<MatchResult, EngineError> {
-        if !self.net.contains(request.origin) || !self.net.contains(request.destination) {
-            return Err(EngineError::InvalidRequest(
-                "origin or destination is not a vertex of the road network",
-            ));
-        }
-        let direct = oracle.distance(request.origin, request.destination);
-        if !direct.is_finite() {
-            return Err(EngineError::InvalidRequest(
-                "destination unreachable from origin",
-            ));
-        }
-        let prospective = request.to_prospective(direct, &self.config);
-        let matcher = kind.build();
-        let ctx = MatchContext {
-            oracle,
-            grid: &self.grid,
-            vehicles: &self.vehicles,
-            index: &self.index,
-            config: &self.config,
-            runtime: Some(&self.runtime),
-        };
-        Ok(matcher.find_options(&ctx, &prospective))
+        match_request_with_oracle(&self.shared, &self.world, kind, request, oracle)
     }
 
     /// The rider chooses one of the options previously returned for
@@ -442,36 +1027,14 @@ impl PtRider {
         option: &RideOption,
         now: f64,
     ) -> Result<(), EngineError> {
-        let pending = self
-            .pending
-            .get(&request_id)
-            .ok_or(EngineError::UnknownRequest(request_id))?;
-        let vehicle = self
-            .vehicles
-            .get_mut(&option.vehicle)
-            .ok_or(EngineError::UnknownVehicle(option.vehicle))?;
-
-        let max_wait_dist = self
-            .config
-            .speed
-            .seconds_to_distance(pending.request.effective_max_wait_secs(&self.config));
-        let assigned = vehicle.assign(
-            &self.oracle,
-            &pending.prospective,
-            option.pickup_dist,
-            max_wait_dist,
-            option.price,
+        choose(
+            &self.shared,
+            &mut self.world,
+            &mut self.ledger,
+            request_id,
+            option,
             now,
-        );
-        if assigned.is_none() {
-            self.stats.assignments_failed += 1;
-            return Err(EngineError::AssignmentFailed(request_id, option.vehicle));
-        }
-        self.index
-            .update_from_vehicle(vehicle, &self.net, &self.grid, &self.oracle);
-        self.pending.remove(&request_id);
-        self.stats.requests_chosen += 1;
-        Ok(())
+        )
     }
 
     /// Processes a batch of *simultaneous* requests with the greedy strategy
@@ -498,10 +1061,15 @@ impl PtRider {
     where
         F: FnMut(&[RideOption]) -> Option<usize>,
     {
-        match self.config.batch_admission {
-            BatchAdmission::Sequential => self.submit_batch_sequential(specs, now, selector),
-            BatchAdmission::ConflictGraph => self.submit_batch_conflict_graph(specs, now, selector),
-        }
+        run_batch_greedy(
+            &self.shared,
+            &*self.matcher,
+            &mut self.world,
+            &mut self.ledger,
+            specs,
+            now,
+            selector,
+        )
     }
 
     /// The paper's strictly sequential greedy admission loop — the reference
@@ -511,319 +1079,52 @@ impl PtRider {
         &mut self,
         specs: &[(VertexId, VertexId, u32)],
         now: f64,
-        mut selector: F,
+        selector: F,
     ) -> Vec<BatchOutcome>
     where
         F: FnMut(&[RideOption]) -> Option<usize>,
     {
-        let mut outcomes = Vec::with_capacity(specs.len());
-        for &(origin, destination, riders) in specs {
-            let (request, options) = self.submit(origin, destination, riders, now);
-            let chosen = selector(&options).filter(|&i| i < options.len());
-            let assigned = match chosen {
-                Some(i) => self.choose(request, &options[i], now).is_ok(),
-                None => {
-                    let _ = self.decline(request);
-                    false
-                }
-            };
-            outcomes.push(BatchOutcome {
-                request,
-                options,
-                chosen: if assigned { chosen } else { None },
-            });
-        }
-        outcomes
+        run_batch_sequential(
+            &self.shared,
+            &*self.matcher,
+            &mut self.world,
+            &mut self.ledger,
+            specs,
+            now,
+            selector,
+        )
     }
 
-    /// Conflict-graph parallel batch admission.
-    ///
-    /// Peak-load bursts are admitted in three phases:
-    ///
-    /// 1. **Parallel tentative matching** (read-only): every request is
-    ///    matched against the pre-burst state on the persistent worker
-    ///    pool, and its over-approximate candidate-vehicle set
-    ///    ([`VehicleIndex::pickup_candidates`]) is extracted — the vehicles
-    ///    whose state could possibly influence the request's skyline.
-    /// 2. **Conflict graph**: requests sharing a candidate vehicle are
-    ///    joined into one partition (union–find). Disjoint partitions touch
-    ///    disjoint vehicle sets, so their order of admission is irrelevant.
-    /// 3. **Greedy-order commit**: requests are committed strictly in input
-    ///    order. A tentative skyline is reused verbatim unless an
-    ///    earlier-committed assignment modified one of the request's
-    ///    candidate vehicles — only then is the request re-matched against
-    ///    the updated state (counted in
-    ///    [`EngineStats::batch_rematches`]).
-    ///
-    /// **Determinism.** The outcome equals the sequential loop's
-    /// bit-for-bit: a request's skyline depends only on the states of its
-    /// candidate vehicles (any other vehicle's insertions are filtered by
-    /// the pickup radius that defines the candidate set), so a tentative
-    /// result is only reused when every vehicle that could influence it is
-    /// untouched since the burst began — in which case it *is* the result
-    /// the sequential loop would compute. Conflicted requests fall back to
-    /// literal sequential matching. Matcher **work counters** may differ
-    /// slightly between the modes (a vehicle pruned early in one mode can
-    /// be considered in the other); the option skylines do not.
+    /// Conflict-graph parallel batch admission (see [`run_batch_conflict_graph`]
+    /// for the three-phase algorithm and its determinism argument).
     pub fn submit_batch_conflict_graph<F>(
         &mut self,
         specs: &[(VertexId, VertexId, u32)],
         now: f64,
-        mut selector: F,
+        selector: F,
     ) -> Vec<BatchOutcome>
     where
         F: FnMut(&[RideOption]) -> Option<usize>,
     {
-        // Request ids are allocated upfront, in input order, exactly as the
-        // sequential loop would hand them out.
-        let ids: Vec<RequestId> = specs.iter().map(|_| self.allocate_request_id()).collect();
-        let runtime = Arc::clone(&self.runtime);
-
-        struct Tentative {
-            request: Request,
-            /// `None` marks an invalid request (empty options, no stats).
-            prospective: Option<ProspectiveRequest>,
-            /// Sorted candidate-vehicle ids (conflict edges).
-            candidates: Vec<VehicleId>,
-            result: MatchResult,
-            elapsed: f64,
-        }
-
-        // ------------------------------------------------------------------
-        // Phase 1: parallel tentative matching against the pre-burst state.
-        // ------------------------------------------------------------------
-        let mut tentatives: Vec<Option<Tentative>> = Vec::with_capacity(specs.len());
-        tentatives.resize_with(specs.len(), || None);
-        {
-            let net = &self.net;
-            let oracle = &self.oracle;
-            let grid = &self.grid;
-            let vehicles = &self.vehicles;
-            let index = &self.index;
-            let config = &self.config;
-            let matcher = &*self.matcher;
-            let ids = &ids;
-            let compute = move |i: usize| -> Tentative {
-                let (origin, destination, riders) = specs[i];
-                let request = Request::new(ids[i], origin, destination, riders, now);
-                // The one shared validity definition (`validate_request`)
-                // keeps this phase and the sequential path in lockstep.
-                let Ok(direct) = validate_request(net, oracle, origin, destination, riders) else {
-                    return Tentative {
-                        request,
-                        prospective: None,
-                        candidates: Vec::new(),
-                        result: MatchResult::default(),
-                        elapsed: 0.0,
-                    };
-                };
-                let prospective = request.to_prospective(direct, config);
-                let started = Instant::now();
-                let candidates = index.pickup_candidates(
-                    vehicles,
-                    oracle,
-                    prospective.pickup,
-                    config.max_pickup_dist,
-                );
-                // `runtime: None`: this job may itself run on a pool
-                // worker, and a job must not enqueue nested pool work the
-                // busy pool could never get to. Burst-level parallelism
-                // already saturates the workers.
-                let ctx = MatchContext {
-                    oracle,
-                    grid,
-                    vehicles,
-                    index,
-                    config,
-                    runtime: None,
-                };
-                let result = matcher.find_options(&ctx, &prospective);
-                Tentative {
-                    request,
-                    prospective: Some(prospective),
-                    candidates,
-                    result,
-                    elapsed: started.elapsed().as_secs_f64(),
-                }
-            };
-
-            if !specs.is_empty() {
-                let workers = runtime.parallelism().min(specs.len()).max(1);
-                let chunk_size = specs.len().div_ceil(workers);
-                let mut chunks: Vec<(usize, &mut [Option<Tentative>])> = Vec::new();
-                for (ci, chunk) in tentatives.chunks_mut(chunk_size).enumerate() {
-                    chunks.push((ci * chunk_size, chunk));
-                }
-                let mut chunks = chunks.into_iter();
-                let (local_offset, local_chunk) =
-                    chunks.next().expect("a non-empty burst has a first chunk");
-                let compute = &compute;
-                let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = chunks
-                    .map(|(offset, chunk)| {
-                        Box::new(move || {
-                            for (j, slot) in chunk.iter_mut().enumerate() {
-                                *slot = Some(compute(offset + j));
-                            }
-                        }) as Box<dyn FnOnce() + Send + '_>
-                    })
-                    .collect();
-                runtime.pool().execute_with_local(jobs, || {
-                    for (j, slot) in local_chunk.iter_mut().enumerate() {
-                        *slot = Some(compute(local_offset + j));
-                    }
-                });
-            }
-        }
-
-        // ------------------------------------------------------------------
-        // Phase 2: conflict graph — union requests sharing a candidate.
-        // ------------------------------------------------------------------
-        fn find(parent: &mut [usize], i: usize) -> usize {
-            let mut root = i;
-            while parent[root] != root {
-                root = parent[root];
-            }
-            let mut walk = i;
-            while parent[walk] != root {
-                let next = parent[walk];
-                parent[walk] = root;
-                walk = next;
-            }
-            root
-        }
-        let mut parent: Vec<usize> = (0..specs.len()).collect();
-        let mut owner: HashMap<VehicleId, usize> = HashMap::new();
-        for (i, tentative) in tentatives.iter().enumerate() {
-            let candidates = tentative
-                .as_ref()
-                .map(|t| t.candidates.as_slice())
-                .unwrap_or_default();
-            for &vehicle in candidates {
-                match owner.entry(vehicle) {
-                    std::collections::hash_map::Entry::Occupied(entry) => {
-                        let a = find(&mut parent, *entry.get());
-                        let b = find(&mut parent, i);
-                        parent[a.max(b)] = a.min(b);
-                    }
-                    std::collections::hash_map::Entry::Vacant(entry) => {
-                        entry.insert(i);
-                    }
-                }
-            }
-        }
-        let partitions = (0..specs.len())
-            .filter(|&i| find(&mut parent, i) == i)
-            .count();
-
-        // ------------------------------------------------------------------
-        // Phase 3: greedy-order commit with invalidation-driven re-match.
-        // ------------------------------------------------------------------
-        let mut modified: HashSet<VehicleId> = HashSet::new();
-        let mut rematches = 0u64;
-        let mut outcomes = Vec::with_capacity(specs.len());
-        for tentative in tentatives.into_iter() {
-            let Tentative {
-                request,
-                prospective,
-                candidates,
-                result,
-                elapsed,
-            } = tentative.expect("phase 1 fills every slot");
-            let id = request.id;
-            let Some(prospective) = prospective else {
-                // Invalid request: the sequential path returns an empty
-                // option slice and still consults the (stateful) selector.
-                let _ = selector(&[]);
-                outcomes.push(BatchOutcome {
-                    request: id,
-                    options: Vec::new(),
-                    chosen: None,
-                });
-                continue;
-            };
-
-            let conflicted = candidates.iter().any(|v| modified.contains(v));
-            let (result, elapsed) = if conflicted {
-                // An earlier commit touched a shared candidate vehicle: the
-                // tentative skyline is stale. Re-match against the current
-                // state — this *is* the sequential behaviour for this
-                // request. We are back on the caller thread here, so the
-                // verification loop may use the pool again.
-                rematches += 1;
-                let started = Instant::now();
-                let result = {
-                    let ctx = MatchContext {
-                        oracle: &self.oracle,
-                        grid: &self.grid,
-                        vehicles: &self.vehicles,
-                        index: &self.index,
-                        config: &self.config,
-                        runtime: Some(&runtime),
-                    };
-                    self.matcher.find_options(&ctx, &prospective)
-                };
-                (result, started.elapsed().as_secs_f64())
-            } else {
-                (result, elapsed)
-            };
-
-            // Bookkeeping identical to `submit_request`.
-            self.stats.requests_submitted += 1;
-            self.stats.total_match_secs += elapsed;
-            self.stats.options_returned += result.options.len() as u64;
-            if !result.options.is_empty() {
-                self.stats.requests_with_options += 1;
-            }
-            self.stats.match_work.accumulate(&result.stats);
-            self.pending.insert(
-                id,
-                PendingRequest {
-                    request,
-                    prospective,
-                },
-            );
-
-            let options = result.options;
-            let chosen = selector(&options).filter(|&k| k < options.len());
-            let assigned = match chosen {
-                Some(k) => {
-                    let option = options[k].clone();
-                    let ok = self.choose(id, &option, now).is_ok();
-                    if ok {
-                        modified.insert(option.vehicle);
-                    }
-                    ok
-                }
-                None => {
-                    let _ = self.decline(id);
-                    false
-                }
-            };
-            outcomes.push(BatchOutcome {
-                request: id,
-                options,
-                chosen: if assigned { chosen } else { None },
-            });
-        }
-
-        self.stats.batch_bursts += 1;
-        self.stats.batch_requests += specs.len() as u64;
-        self.stats.batch_partitions += partitions as u64;
-        self.stats.batch_rematches += rematches;
-        outcomes
+        run_batch_conflict_graph(
+            &self.shared,
+            &*self.matcher,
+            &mut self.world,
+            &mut self.ledger,
+            specs,
+            now,
+            selector,
+        )
     }
 
     /// Discards a pending request (the rider declined all options).
     pub fn decline(&mut self, request_id: RequestId) -> Result<(), EngineError> {
-        self.pending
-            .remove(&request_id)
-            .map(|_| ())
-            .ok_or(EngineError::UnknownRequest(request_id))
+        decline(&mut self.ledger, request_id)
     }
 
     /// Number of requests awaiting a choice.
     pub fn pending_requests(&self) -> usize {
-        self.pending.len()
+        self.ledger.pending.len()
     }
 
     // ------------------------------------------------------------------
@@ -838,19 +1139,14 @@ impl PtRider {
         location: VertexId,
         travelled: f64,
     ) -> Result<(), EngineError> {
-        if !self.net.contains(location) {
-            return Err(EngineError::InvalidRequest(
-                "vehicle location is not a vertex of the road network",
-            ));
-        }
-        let vehicle = self
-            .vehicles
-            .get_mut(&vehicle_id)
-            .ok_or(EngineError::UnknownVehicle(vehicle_id))?;
-        vehicle.move_to(&self.oracle, location, travelled);
-        self.index
-            .update_from_vehicle(vehicle, &self.net, &self.grid, &self.oracle);
-        self.stats.location_updates += 1;
+        apply_location_update(
+            &self.shared,
+            &mut self.world,
+            vehicle_id,
+            location,
+            travelled,
+        )?;
+        self.ledger.stats.location_updates += 1;
         Ok(())
     }
 
@@ -861,19 +1157,11 @@ impl PtRider {
         &mut self,
         vehicle_id: VehicleId,
     ) -> Result<Option<StopEvent>, EngineError> {
-        let vehicle = self
-            .vehicles
-            .get_mut(&vehicle_id)
-            .ok_or(EngineError::UnknownVehicle(vehicle_id))?;
-        let event = vehicle.serve_next_stop(&self.oracle);
+        let event = apply_vehicle_arrived(&self.shared, &mut self.world, vehicle_id)?;
         match &event {
-            Some(StopEvent::PickedUp { .. }) => self.stats.pickups += 1,
-            Some(StopEvent::DroppedOff { .. }) => self.stats.dropoffs += 1,
+            Some(StopEvent::PickedUp { .. }) => self.ledger.stats.pickups += 1,
+            Some(StopEvent::DroppedOff { .. }) => self.ledger.stats.dropoffs += 1,
             None => {}
-        }
-        if event.is_some() {
-            self.index
-                .update_from_vehicle(vehicle, &self.net, &self.grid, &self.oracle);
         }
         Ok(event)
     }
@@ -882,11 +1170,11 @@ impl PtRider {
 impl fmt::Debug for PtRider {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("PtRider")
-            .field("vertices", &self.net.num_vertices())
-            .field("cells", &self.grid.num_cells())
-            .field("vehicles", &self.vehicles.len())
+            .field("vertices", &self.shared.net.num_vertices())
+            .field("cells", &self.shared.grid.num_cells())
+            .field("vehicles", &self.world.vehicles.len())
             .field("matcher", &self.matcher_kind)
-            .field("pending", &self.pending.len())
+            .field("pending", &self.ledger.pending.len())
             .finish()
     }
 }
@@ -1069,6 +1357,32 @@ mod tests {
         e.decline(req).unwrap();
         assert_eq!(e.pending_requests(), 0);
         assert!(e.decline(req).is_err());
+    }
+
+    #[test]
+    fn declined_then_resubmitted_rider_gets_fresh_state() {
+        // Regression: a decline must fully release the request's pending
+        // bookkeeping — the same rider resubmitting gets a *new* request id
+        // and the old id stays unknown to `choose`/`decline` forever.
+        let mut e = engine();
+        e.add_vehicle(VertexId(0));
+        let (first, options) = e.submit(VertexId(6), VertexId(8), 1, 0.0);
+        assert!(!options.is_empty());
+        e.decline(first).unwrap();
+        assert_eq!(e.pending_requests(), 0);
+
+        let (second, options2) = e.submit(VertexId(6), VertexId(8), 1, 1.0);
+        assert_ne!(first, second, "resubmission must allocate a fresh id");
+        assert_eq!(e.pending_requests(), 1);
+        // The stale id is gone: neither choosable nor declinable.
+        assert!(matches!(
+            e.choose(first, &options2[0], 1.0),
+            Err(EngineError::UnknownRequest(_))
+        ));
+        assert!(e.decline(first).is_err());
+        // The fresh id works normally.
+        e.choose(second, &options2[0], 1.0).unwrap();
+        assert_eq!(e.pending_requests(), 0);
     }
 
     #[test]

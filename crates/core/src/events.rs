@@ -1,0 +1,299 @@
+//! Typed engine events and the subscriber-visible event log.
+//!
+//! Every session transition and vehicle milestone inside a
+//! [`crate::RideService`] publishes one [`EngineEvent`] into a bounded,
+//! sequence-numbered [`EventLog`]. Observers pull with a cursor
+//! ([`EventCursor`], from [`crate::RideService::subscribe`]): polling is
+//! lock-cheap, never blocks the engine's hot paths, and a slow observer
+//! only loses the oldest events (counted, never silently) instead of
+//! back-pressuring admission.
+
+use crate::session::SessionId;
+use ptrider_roadnet::VertexId;
+use ptrider_vehicles::{RequestId, VehicleId};
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// One observable engine transition.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EngineEvent {
+    /// A rider submitted a request; the session is `Pending` while the
+    /// matcher runs.
+    Submitted {
+        /// The new session.
+        session: SessionId,
+        /// The engine-level request id.
+        request: RequestId,
+        /// Start location `s`.
+        origin: VertexId,
+        /// Destination `d`.
+        destination: VertexId,
+        /// Group size `n`.
+        riders: u32,
+        /// Submission time (workload seconds).
+        at: f64,
+    },
+    /// The skyline was computed and offered; the session is `Offered`.
+    Offered {
+        /// The session holding the offer.
+        session: SessionId,
+        /// The engine-level request id.
+        request: RequestId,
+        /// Number of non-dominated options offered (possibly zero).
+        options: usize,
+        /// Offer deadline.
+        expires_at: f64,
+        /// Offer time.
+        at: f64,
+    },
+    /// The rider chose an option and the assignment was committed; the
+    /// session is `Confirmed`.
+    Confirmed {
+        /// The confirmed session.
+        session: SessionId,
+        /// The engine-level request id.
+        request: RequestId,
+        /// The assigned vehicle.
+        vehicle: VehicleId,
+        /// Price of the confirmed option.
+        price: f64,
+        /// Planned pick-up time of the confirmed option, in seconds.
+        pickup_secs: f64,
+        /// Confirmation time.
+        at: f64,
+    },
+    /// The rider declined every option; the session is `Declined`.
+    Declined {
+        /// The declined session.
+        session: SessionId,
+        /// The engine-level request id.
+        request: RequestId,
+        /// Decline time.
+        at: f64,
+    },
+    /// The offer deadline passed before a response; the session is
+    /// `Expired` and its holds were released.
+    Expired {
+        /// The expired session.
+        session: SessionId,
+        /// The engine-level request id.
+        request: RequestId,
+        /// Expiry time (the `tick` / `respond` clock that noticed).
+        at: f64,
+    },
+    /// A chosen option could no longer be honoured (the vehicle's state
+    /// changed since the offer); the session stays `Offered` so the rider
+    /// may pick another option.
+    AssignmentFailed {
+        /// The session whose choice failed.
+        session: SessionId,
+        /// The engine-level request id.
+        request: RequestId,
+        /// The vehicle that could no longer serve the request.
+        vehicle: VehicleId,
+        /// Failure time.
+        at: f64,
+    },
+    /// A burst went through batch admission on the writer path.
+    BatchAdmitted {
+        /// Requests in the burst.
+        requests: usize,
+        /// Requests whose selected option was committed.
+        assigned: usize,
+        /// Burst clock.
+        at: f64,
+    },
+    /// A vehicle served a pickup stop.
+    PickedUp {
+        /// The serving vehicle.
+        vehicle: VehicleId,
+        /// The picked-up request.
+        request: RequestId,
+    },
+    /// A vehicle served a drop-off stop (trip completed).
+    DroppedOff {
+        /// The serving vehicle.
+        vehicle: VehicleId,
+        /// The dropped-off request.
+        request: RequestId,
+    },
+    /// A vehicle joined the fleet.
+    VehicleAdded {
+        /// The new vehicle.
+        vehicle: VehicleId,
+        /// Its initial location.
+        location: VertexId,
+    },
+}
+
+struct LogInner {
+    /// Retained events; the sequence number of `buf[0]` is
+    /// `next_seq - buf.len()`.
+    buf: VecDeque<EngineEvent>,
+    /// Sequence number the next published event receives.
+    next_seq: u64,
+    /// Events evicted because the buffer was full.
+    dropped: u64,
+    capacity: usize,
+}
+
+/// A bounded, sequence-numbered log of [`EngineEvent`]s.
+pub struct EventLog {
+    inner: Mutex<LogInner>,
+}
+
+impl EventLog {
+    /// An empty log retaining at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        EventLog {
+            inner: Mutex::new(LogInner {
+                buf: VecDeque::with_capacity(capacity.min(1024)),
+                next_seq: 0,
+                dropped: 0,
+                capacity: capacity.max(1),
+            }),
+        }
+    }
+
+    /// Appends an event, evicting the oldest if the log is full. Returns
+    /// the event's sequence number.
+    pub(crate) fn publish(&self, event: EngineEvent) -> u64 {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.buf.len() == inner.capacity {
+            inner.buf.pop_front();
+            inner.dropped += 1;
+        }
+        let seq = inner.next_seq;
+        inner.buf.push_back(event);
+        inner.next_seq += 1;
+        seq
+    }
+
+    /// Total events published over the log's lifetime.
+    pub fn published(&self) -> u64 {
+        self.inner.lock().unwrap().next_seq
+    }
+
+    /// Events evicted before any cursor consumed them is *not* what this
+    /// counts — it counts events evicted from the retention buffer.
+    /// Individual cursors track what *they* missed via
+    /// [`EventCursor::missed`].
+    pub fn evicted(&self) -> u64 {
+        self.inner.lock().unwrap().dropped
+    }
+
+    /// A cursor positioned at the oldest retained event.
+    pub fn subscribe(&self) -> EventCursor {
+        let inner = self.inner.lock().unwrap();
+        EventCursor {
+            next: inner.next_seq - inner.buf.len() as u64,
+            missed: 0,
+        }
+    }
+
+    /// Drains every event the cursor has not seen yet. A cursor that fell
+    /// behind the retention window skips forward (the skipped count is
+    /// recorded on the cursor).
+    pub fn poll(&self, cursor: &mut EventCursor) -> Vec<EngineEvent> {
+        let inner = self.inner.lock().unwrap();
+        let oldest = inner.next_seq - inner.buf.len() as u64;
+        if cursor.next < oldest {
+            cursor.missed += oldest - cursor.next;
+            cursor.next = oldest;
+        }
+        let start = (cursor.next - oldest) as usize;
+        let out: Vec<EngineEvent> = inner.buf.iter().skip(start).cloned().collect();
+        cursor.next = inner.next_seq;
+        out
+    }
+}
+
+impl std::fmt::Debug for EventLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock().unwrap();
+        f.debug_struct("EventLog")
+            .field("retained", &inner.buf.len())
+            .field("published", &inner.next_seq)
+            .field("dropped", &inner.dropped)
+            .finish()
+    }
+}
+
+/// A pull-based subscription position into an [`EventLog`].
+#[derive(Clone, Debug)]
+pub struct EventCursor {
+    next: u64,
+    missed: u64,
+}
+
+impl EventCursor {
+    /// Sequence number of the next event this cursor will receive.
+    pub fn position(&self) -> u64 {
+        self.next
+    }
+
+    /// Events this cursor lost because it fell behind the log's retention
+    /// window.
+    pub fn missed(&self) -> u64 {
+        self.missed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(i: u64) -> EngineEvent {
+        EngineEvent::BatchAdmitted {
+            requests: i as usize,
+            assigned: 0,
+            at: 0.0,
+        }
+    }
+
+    #[test]
+    fn poll_drains_in_publish_order() {
+        let log = EventLog::new(16);
+        let mut cursor = log.subscribe();
+        assert!(log.poll(&mut cursor).is_empty());
+        for i in 0..5 {
+            log.publish(ev(i));
+        }
+        let events = log.poll(&mut cursor);
+        assert_eq!(events.len(), 5);
+        assert_eq!(events[0], ev(0));
+        assert_eq!(events[4], ev(4));
+        assert!(log.poll(&mut cursor).is_empty(), "cursor is drained");
+        assert_eq!(log.published(), 5);
+    }
+
+    #[test]
+    fn slow_cursor_skips_evicted_events_and_counts_them() {
+        let log = EventLog::new(4);
+        let mut cursor = log.subscribe();
+        for i in 0..10 {
+            log.publish(ev(i));
+        }
+        let events = log.poll(&mut cursor);
+        assert_eq!(events.len(), 4, "only the retained tail is delivered");
+        assert_eq!(events[0], ev(6));
+        assert_eq!(cursor.missed(), 6);
+        assert_eq!(log.evicted(), 6);
+    }
+
+    #[test]
+    fn late_subscribers_start_at_the_oldest_retained_event() {
+        let log = EventLog::new(4);
+        for i in 0..6 {
+            log.publish(ev(i));
+        }
+        let mut cursor = log.subscribe();
+        let events = log.poll(&mut cursor);
+        assert_eq!(events.first(), Some(&ev(2)));
+        assert_eq!(
+            cursor.missed(),
+            0,
+            "a late subscriber missed nothing *it* was owed"
+        );
+    }
+}

@@ -10,7 +10,16 @@
 //!   kinetic-tree scan, the single-side search and the dual-side search;
 //! * the **PTRider engine** of Fig. 2, tying the road-network grid index,
 //!   the vehicle index and a matcher into the request → options → choice →
-//!   update loop.
+//!   update loop;
+//! * the **service layer** ([`RideService`]) — the concurrent session
+//!   front door exposing the paper's two-phase offer/respond interaction
+//!   as a typed lifecycle (`Pending → Offered → Confirmed / Declined /
+//!   Expired`) with clock-driven offer expiry and a subscriber-visible
+//!   event log.
+//!
+//! The example below drives the sequential [`PtRider`] facade directly;
+//! concurrent callers should prefer [`RideService`] (see the `ptrider`
+//! facade crate's quickstart).
 //!
 //! ```
 //! use ptrider_core::{EngineConfig, MatcherKind, PtRider};
@@ -38,16 +47,20 @@
 
 pub mod config;
 pub mod engine;
+pub mod events;
 pub mod matching;
 pub mod options;
 pub mod price;
 pub mod request;
 pub mod runtime;
+pub mod service;
+pub mod session;
 pub mod skyline;
 pub mod stats;
 
 pub use config::{BatchAdmission, EngineConfig};
 pub use engine::{BatchOutcome, EngineError, PtRider};
+pub use events::{EngineEvent, EventCursor, EventLog};
 pub use matching::{
     parallel_mode, set_parallel_mode, DualSideMatcher, MatchContext, MatchResult, MatchStats,
     Matcher, MatcherKind, NaiveMatcher, ParallelMode, SingleSideMatcher,
@@ -56,6 +69,8 @@ pub use options::RideOption;
 pub use price::PriceModel;
 pub use request::Request;
 pub use runtime::{detected_parallelism, MatchRuntime, WorkerPool};
+pub use service::{RideService, ServiceConfig};
+pub use session::{Confirmation, Decision, Offer, OptionId, ServiceError, SessionId, SessionState};
 pub use skyline::Skyline;
 pub use stats::EngineStats;
 

@@ -128,24 +128,12 @@ pub(crate) fn verify_vehicles(
     let chunk_size = vehicles.len().div_ceil(workers);
     let chunks: Vec<&[&Vehicle]> = vehicles.chunks(chunk_size).collect();
     let mut results: Vec<Option<(Skyline, MatchStats)>> = vec![None; chunks.len()];
-    {
-        let mut slots: Vec<&mut Option<(Skyline, MatchStats)>> = results.iter_mut().collect();
-        // The caller takes the first chunk; the pool workers take the rest.
-        let local_slot = slots.remove(0);
-        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = chunks[1..]
-            .iter()
-            .zip(slots)
-            .map(|(chunk, slot)| {
-                let chunk = *chunk;
-                Box::new(move || {
-                    *slot = Some(verify_chunk(ctx, req, chunk));
-                }) as Box<dyn FnOnce() + Send + '_>
-            })
-            .collect();
-        runtime.pool().execute_with_local(jobs, || {
-            *local_slot = Some(verify_chunk(ctx, req, chunks[0]));
-        });
-    }
+    // One result slot per chunk: the caller takes the first chunk, the pool
+    // workers take the rest (one job each), via the runtime's shared
+    // scoped-dispatch helper.
+    runtime.fill_chunked(chunks.len(), &mut results, |ci, slot| {
+        *slot = Some(verify_chunk(ctx, req, chunks[ci]));
+    });
 
     // Deterministic merge in chunk order.
     for result in results {

@@ -320,6 +320,52 @@ impl MatchRuntime {
     pub fn pool(&self) -> &WorkerPool {
         &self.pool
     }
+
+    /// Fills every element of `slots` via `fill(global_index, slot)`,
+    /// split into at most `workers` contiguous chunks: the first chunk
+    /// runs on the caller, the rest as borrowed pool jobs (the
+    /// [`WorkerPool::execute_with_local`] pattern). Returns once every
+    /// slot is filled.
+    ///
+    /// This is the one scoped-dispatch shape both parallel matching paths
+    /// use (per-request candidate verification in `matching::par` and
+    /// phase 1 of conflict-graph batch admission), so the subtle offset
+    /// bookkeeping lives in exactly one place. Chunk boundaries depend
+    /// only on `workers` and `slots.len()` — deterministic for a given
+    /// configuration, which the bit-identity properties rely on.
+    pub fn fill_chunked<T, F>(&self, workers: usize, slots: &mut [T], fill: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut T) + Sync,
+    {
+        if slots.is_empty() {
+            return;
+        }
+        let workers = workers.min(slots.len()).max(1);
+        let chunk_size = slots.len().div_ceil(workers);
+        let mut chunks: Vec<(usize, &mut [T])> = Vec::new();
+        for (ci, chunk) in slots.chunks_mut(chunk_size).enumerate() {
+            chunks.push((ci * chunk_size, chunk));
+        }
+        let mut chunks = chunks.into_iter();
+        let (local_offset, local_chunk) =
+            chunks.next().expect("a non-empty slice has a first chunk");
+        let fill = &fill;
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = chunks
+            .map(|(offset, chunk)| {
+                Box::new(move || {
+                    for (j, slot) in chunk.iter_mut().enumerate() {
+                        fill(offset + j, slot);
+                    }
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        self.pool.execute_with_local(jobs, || {
+            for (j, slot) in local_chunk.iter_mut().enumerate() {
+                fill(local_offset + j, slot);
+            }
+        });
+    }
 }
 
 impl std::fmt::Debug for MatchRuntime {
@@ -429,6 +475,21 @@ mod tests {
         assert_eq!(rt.pool().threads(), 2);
         let auto = MatchRuntime::from_config(0);
         assert!(auto.parallelism() >= 1);
+    }
+
+    #[test]
+    fn fill_chunked_covers_every_slot_exactly_once() {
+        for parallelism in [1usize, 2, 4] {
+            let rt = MatchRuntime::with_parallelism(parallelism);
+            for len in [0usize, 1, 3, 8, 17] {
+                let mut slots = vec![usize::MAX; len];
+                rt.fill_chunked(rt.parallelism(), &mut slots, |i, slot| {
+                    *slot = i * 10;
+                });
+                let expected: Vec<usize> = (0..len).map(|i| i * 10).collect();
+                assert_eq!(slots, expected, "parallelism {parallelism}, len {len}");
+            }
+        }
     }
 
     #[test]

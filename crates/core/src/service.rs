@@ -1,0 +1,965 @@
+//! The service-layer front door: a concurrent, typed ride-session facade
+//! over the split engine.
+//!
+//! [`RideService`] owns the engine internals behind interior concurrency
+//! and exposes the paper's two-phase interaction model as a first-class
+//! lifecycle (see [`crate::session`]):
+//!
+//! * [`RideService::submit`] validates a request, matches it on the **read
+//!   path** — `&self`, under a shared read lock on the vehicle world, so
+//!   any number of submits run in parallel on the persistent runtime — and
+//!   returns an [`Offer`] with a typed [`SessionId`] and a clock-driven
+//!   deadline;
+//! * [`RideService::respond`] takes the rider's [`Decision`] and, for a
+//!   choice, commits the assignment on the **write path** — the single
+//!   admission writer behind the world's write lock;
+//! * [`RideService::tick`] expires overdue offers and releases their holds;
+//! * every transition publishes a typed [`EngineEvent`] into the
+//!   subscriber-visible [`EventLog`].
+//!
+//! **Bit-identity.** The service shares its entire matching and commit
+//! implementation with the sequential [`PtRider`] facade (the free
+//! functions of `crate::engine`), and the distance oracle's canonical-
+//! direction folds make every answer history-independent — so a submit
+//! against a given world state returns the same option skyline, bit for
+//! bit, whether it runs alone on `PtRider` or concurrently here. This is
+//! property-tested in `tests/service_equivalence.rs` across pool sizes and
+//! distance backends.
+//!
+//! # Lock order
+//!
+//! `sessions → world → ledger → event log`, with any prefix released
+//! before a later lock is taken where possible. `submit` deliberately
+//! releases the world read lock *before* touching the session table, so a
+//! writer waiting on the world can never deadlock a submitter waiting on
+//! the session table.
+
+use crate::config::EngineConfig;
+use crate::engine::{
+    self, BatchOutcome, EngineError, EngineShared, Ledger, PendingRequest, PtRider, World,
+};
+use crate::events::{EngineEvent, EventCursor, EventLog};
+use crate::matching::{MatchResult, Matcher, MatcherKind};
+use crate::options::RideOption;
+use crate::request::Request;
+use crate::runtime::MatchRuntime;
+use crate::session::{
+    Confirmation, Decision, Offer, ServiceError, Session, SessionId, SessionState,
+};
+use crate::stats::EngineStats;
+use ptrider_roadnet::{DistanceOracle, GridConfig, GridIndex, RoadNetwork, VertexId};
+use ptrider_vehicles::{StopEvent, Vehicle, VehicleId};
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock, RwLock};
+
+/// Service-layer knobs (the engine-level knobs stay in [`EngineConfig`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ServiceConfig {
+    /// How long an offer stays respondable, in workload seconds:
+    /// `expires_at = now + offer_ttl_secs`, and a response is accepted
+    /// while `now <= expires_at` (so a TTL of `0` still allows
+    /// same-timestamp responses — the `PTRIDER_OFFER_TTL_SECS=0` CI run
+    /// leans on this to exercise every expiry branch).
+    ///
+    /// The default is 300 s, overridable through the
+    /// `PTRIDER_OFFER_TTL_SECS` environment variable; an explicit
+    /// [`ServiceConfig`] wins over the environment.
+    pub offer_ttl_secs: f64,
+    /// How many events the log retains for slow observers.
+    pub event_capacity: usize,
+}
+
+/// Environment override for the default offer TTL, read once per process.
+fn env_offer_ttl() -> Option<f64> {
+    static ENV: OnceLock<Option<f64>> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("PTRIDER_OFFER_TTL_SECS")
+            .ok()
+            .and_then(|s| s.trim().parse::<f64>().ok())
+            .filter(|ttl| ttl.is_finite() && *ttl >= 0.0)
+    })
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            offer_ttl_secs: env_offer_ttl().unwrap_or(300.0),
+            event_capacity: 65_536,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Sets the offer TTL in seconds.
+    pub fn with_offer_ttl_secs(mut self, secs: f64) -> Self {
+        self.offer_ttl_secs = secs;
+        self
+    }
+
+    /// Sets the event-log retention capacity.
+    pub fn with_event_capacity(mut self, capacity: usize) -> Self {
+        self.event_capacity = capacity;
+        self
+    }
+}
+
+/// The session table.
+struct SessionStore {
+    sessions: HashMap<SessionId, Session>,
+    next_session: u64,
+}
+
+impl SessionStore {
+    fn allocate(&mut self) -> SessionId {
+        let id = SessionId(self.next_session);
+        self.next_session += 1;
+        id
+    }
+}
+
+/// The concurrent session front door over the PTRider engine.
+///
+/// All methods take `&self`; wrap the service in an `Arc` to share it
+/// across submitter threads. See the module docs for the read/write-path
+/// split and [`crate::session`] for the lifecycle.
+pub struct RideService {
+    shared: EngineShared,
+    matcher_kind: MatcherKind,
+    matcher: Box<dyn Matcher>,
+    service_config: ServiceConfig,
+    world: RwLock<World>,
+    ledger: Mutex<Ledger>,
+    sessions: Mutex<SessionStore>,
+    events: EventLog,
+}
+
+impl RideService {
+    /// Builds a service over a road network (see [`PtRider::new`]).
+    pub fn new(net: RoadNetwork, grid_config: GridConfig, config: EngineConfig) -> Self {
+        Self::from_engine(PtRider::new(net, grid_config, config))
+    }
+
+    /// Builds a service over pre-built shared network and grid handles
+    /// (see [`PtRider::with_shared`]).
+    pub fn with_shared(
+        net: std::sync::Arc<RoadNetwork>,
+        grid: std::sync::Arc<GridIndex>,
+        config: EngineConfig,
+    ) -> Self {
+        Self::from_engine(PtRider::with_shared(net, grid, config))
+    }
+
+    /// Wraps an existing engine — fleet, pending bookkeeping, statistics
+    /// and the selected matcher all carry over. This is the migration path
+    /// from the sequential facade: build and populate a [`PtRider`], then
+    /// hand it to the service for concurrent operation.
+    pub fn from_engine(engine: PtRider) -> Self {
+        let (shared, matcher_kind, matcher, world, ledger) = engine.into_parts();
+        let service_config = ServiceConfig::default();
+        RideService {
+            shared,
+            matcher_kind,
+            matcher,
+            events: EventLog::new(service_config.event_capacity),
+            service_config,
+            world: RwLock::new(world),
+            ledger: Mutex::new(ledger),
+            sessions: Mutex::new(SessionStore {
+                sessions: HashMap::new(),
+                next_session: 0,
+            }),
+        }
+    }
+
+    /// Replaces the service configuration (builder style, before sharing).
+    pub fn with_service_config(mut self, config: ServiceConfig) -> Self {
+        self.events = EventLog::new(config.event_capacity);
+        self.service_config = config;
+        self
+    }
+
+    /// Selects the matching algorithm (builder style, before sharing).
+    pub fn with_matcher(mut self, kind: MatcherKind) -> Self {
+        self.matcher_kind = kind;
+        self.matcher = kind.build();
+        self
+    }
+
+    // ------------------------------------------------------------------
+    // Shared substrate accessors (lock-free)
+    // ------------------------------------------------------------------
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.shared.config
+    }
+
+    /// The service configuration (offer TTL, event retention).
+    pub fn service_config(&self) -> &ServiceConfig {
+        &self.service_config
+    }
+
+    /// The underlying road network.
+    pub fn network(&self) -> &RoadNetwork {
+        &self.shared.net
+    }
+
+    /// The memoising distance oracle.
+    pub fn oracle(&self) -> &DistanceOracle {
+        &self.shared.oracle
+    }
+
+    /// The persistent matching runtime.
+    pub fn runtime(&self) -> &MatchRuntime {
+        &self.shared.runtime
+    }
+
+    /// The active matching algorithm.
+    pub fn matcher_kind(&self) -> MatcherKind {
+        self.matcher_kind
+    }
+
+    /// A snapshot of the aggregated statistics.
+    pub fn stats(&self) -> EngineStats {
+        self.ledger.lock().unwrap().stats.clone()
+    }
+
+    // ------------------------------------------------------------------
+    // Vehicles (write path)
+    // ------------------------------------------------------------------
+
+    /// Adds a vehicle at `location` with the global capacity.
+    pub fn add_vehicle(&self, location: VertexId) -> VehicleId {
+        self.add_vehicle_with_capacity(location, self.shared.config.capacity)
+    }
+
+    /// Adds a vehicle at `location` with an explicit capacity.
+    pub fn add_vehicle_with_capacity(&self, location: VertexId, capacity: u32) -> VehicleId {
+        let id = self
+            .world
+            .write()
+            .unwrap()
+            .add_vehicle(&self.shared, location, capacity);
+        self.events.publish(EngineEvent::VehicleAdded {
+            vehicle: id,
+            location,
+        });
+        id
+    }
+
+    /// Number of vehicles registered.
+    pub fn num_vehicles(&self) -> usize {
+        self.world.read().unwrap().vehicles.len()
+    }
+
+    /// Runs `f` over a vehicle under the world read lock.
+    pub fn with_vehicle<R>(&self, id: VehicleId, f: impl FnOnce(&Vehicle) -> R) -> Option<R> {
+        self.world.read().unwrap().vehicles.get(&id).map(f)
+    }
+
+    /// Runs `f` over an iterator of all vehicles under the world read lock.
+    pub fn with_vehicles<R>(&self, f: impl FnOnce(&mut dyn Iterator<Item = &Vehicle>) -> R) -> R {
+        let world = self.world.read().unwrap();
+        let mut iter = world.vehicles.values();
+        f(&mut iter)
+    }
+
+    /// Applies a periodic location update — write path.
+    pub fn location_update(
+        &self,
+        vehicle_id: VehicleId,
+        location: VertexId,
+        travelled: f64,
+    ) -> Result<(), EngineError> {
+        {
+            let mut world = self.world.write().unwrap();
+            engine::apply_location_update(
+                &self.shared,
+                &mut world,
+                vehicle_id,
+                location,
+                travelled,
+            )?;
+        }
+        self.ledger.lock().unwrap().stats.location_updates += 1;
+        Ok(())
+    }
+
+    /// Serves the next stop of a vehicle's schedule — write path. Publishes
+    /// a [`EngineEvent::PickedUp`] / [`EngineEvent::DroppedOff`] event.
+    pub fn vehicle_arrived(&self, vehicle_id: VehicleId) -> Result<Option<StopEvent>, EngineError> {
+        let event = {
+            let mut world = self.world.write().unwrap();
+            engine::apply_vehicle_arrived(&self.shared, &mut world, vehicle_id)?
+        };
+        match &event {
+            Some(StopEvent::PickedUp { request, .. }) => {
+                self.ledger.lock().unwrap().stats.pickups += 1;
+                self.events.publish(EngineEvent::PickedUp {
+                    vehicle: vehicle_id,
+                    request: *request,
+                });
+            }
+            Some(StopEvent::DroppedOff { request, .. }) => {
+                self.ledger.lock().unwrap().stats.dropoffs += 1;
+                self.events.publish(EngineEvent::DroppedOff {
+                    vehicle: vehicle_id,
+                    request: request.id,
+                });
+            }
+            None => {}
+        }
+        Ok(event)
+    }
+
+    // ------------------------------------------------------------------
+    // The session lifecycle
+    // ------------------------------------------------------------------
+
+    /// Submits a request and returns the offer — the **read path**.
+    ///
+    /// Validation and matching run under a shared read lock on the vehicle
+    /// world, so concurrent submits proceed in parallel (each may
+    /// additionally fan its candidate verification out onto the persistent
+    /// worker pool). The returned [`Offer`] stays respondable via
+    /// [`Self::respond`] until `expires_at`.
+    ///
+    /// Invalid requests (unknown vertices, `origin == destination`, zero
+    /// riders, unreachable destination) are rejected before a session is
+    /// created.
+    pub fn submit(
+        &self,
+        origin: VertexId,
+        destination: VertexId,
+        riders: u32,
+        now: f64,
+    ) -> Result<Offer, ServiceError> {
+        let request = {
+            let mut ledger = self.ledger.lock().unwrap();
+            Request::new(
+                ledger.allocate_request_id(),
+                origin,
+                destination,
+                riders,
+                now,
+            )
+        };
+        let prospective = engine::prepare_request(&self.shared, &request)?;
+
+        // Register the session (Pending) before matching so the lifecycle
+        // is observable while the matcher runs.
+        let session_id = {
+            let mut store = self.sessions.lock().unwrap();
+            let id = store.allocate();
+            store
+                .sessions
+                .insert(id, Session::pending(id, request, prospective));
+            id
+        };
+        self.events.publish(EngineEvent::Submitted {
+            session: session_id,
+            request: request.id,
+            origin,
+            destination,
+            riders,
+            at: now,
+        });
+
+        // Read path: match against the live world under the read lock. The
+        // guard is released before the session table is touched again (see
+        // the module docs' lock order).
+        let (result, elapsed) = {
+            let world = self.world.read().unwrap();
+            engine::match_options(&self.shared, &*self.matcher, &world, &prospective, true)
+        };
+        {
+            let mut ledger = self.ledger.lock().unwrap();
+            ledger.record_match(&result, elapsed);
+            ledger.stats.offers_made += 1;
+        }
+
+        let expires_at = now + self.service_config.offer_ttl_secs;
+        let options = result.options;
+        {
+            let mut store = self.sessions.lock().unwrap();
+            let session = store
+                .sessions
+                .get_mut(&session_id)
+                .expect("a pending session cannot disappear while matching");
+            session.offer(options.clone(), expires_at);
+            // Published under the sessions lock: the session only becomes
+            // respondable/expirable once this lock drops, so no concurrent
+            // respond/tick can publish the session's terminal event before
+            // Offered appears in the log.
+            self.events.publish(EngineEvent::Offered {
+                session: session_id,
+                request: request.id,
+                options: options.len(),
+                expires_at,
+                at: now,
+            });
+        }
+        Ok(Offer {
+            session: session_id,
+            request: request.id,
+            options,
+            expires_at,
+        })
+    }
+
+    /// Delivers the rider's decision for an open offer — the **write
+    /// path** (for a choice; a decline only touches the session table).
+    ///
+    /// * `Decision::Choose(option)` commits the assignment under the world
+    ///   write lock and confirms the session. If the vehicle can no longer
+    ///   honour the option, the session **stays offered** (the rider may
+    ///   pick another option or decline) and
+    ///   [`ServiceError::Engine`]`(`[`EngineError::AssignmentFailed`]`)` is
+    ///   returned.
+    /// * `Decision::Decline` resolves the session as declined.
+    ///
+    /// Illegal transitions are rejected: unknown sessions, double
+    /// responses ([`ServiceError::AlreadyResolved`]) and responses after
+    /// the deadline ([`ServiceError::OfferExpired`] — the session is
+    /// expired on the spot, exactly as [`Self::tick`] would have).
+    pub fn respond(
+        &self,
+        session_id: SessionId,
+        decision: Decision,
+        now: f64,
+    ) -> Result<Option<Confirmation>, ServiceError> {
+        let mut store = self.sessions.lock().unwrap();
+        let session = store
+            .sessions
+            .get_mut(&session_id)
+            .ok_or(ServiceError::UnknownSession(session_id))?;
+        let request_id = session.request.id;
+
+        if let Err(gate) = session.respond_gate(now) {
+            if matches!(gate, ServiceError::OfferExpired(_)) {
+                // A late response expires the offer on the spot.
+                session.resolve(SessionState::Expired);
+                self.ledger.lock().unwrap().stats.offers_expired += 1;
+                self.events.publish(EngineEvent::Expired {
+                    session: session_id,
+                    request: request_id,
+                    at: now,
+                });
+            }
+            return Err(gate);
+        }
+
+        match decision {
+            Decision::Decline => {
+                session.resolve(SessionState::Declined);
+                self.ledger.lock().unwrap().stats.offers_declined += 1;
+                self.events.publish(EngineEvent::Declined {
+                    session: session_id,
+                    request: request_id,
+                    at: now,
+                });
+                Ok(None)
+            }
+            Decision::Choose(option_id) => {
+                let Some(option) = session.options.get(option_id.0 as usize).cloned() else {
+                    return Err(ServiceError::UnknownOption(session_id, option_id));
+                };
+                let pending = PendingRequest {
+                    request: session.request,
+                    prospective: session
+                        .prospective
+                        .expect("an offered session holds its prospective"),
+                };
+                // Single admission writer: the commit happens under the
+                // world write lock, serialised with every other commit.
+                let committed = {
+                    let mut world = self.world.write().unwrap();
+                    engine::commit_choice(&self.shared, &mut world, &pending, &option, now)
+                };
+                match committed {
+                    Ok(()) => {
+                        session.resolve(SessionState::Confirmed);
+                        {
+                            let mut ledger = self.ledger.lock().unwrap();
+                            ledger.stats.requests_chosen += 1;
+                            ledger.stats.offers_confirmed += 1;
+                        }
+                        self.events.publish(EngineEvent::Confirmed {
+                            session: session_id,
+                            request: request_id,
+                            vehicle: option.vehicle,
+                            price: option.price,
+                            pickup_secs: option.pickup_secs,
+                            at: now,
+                        });
+                        Ok(Some(Confirmation {
+                            session: session_id,
+                            request: request_id,
+                            option,
+                        }))
+                    }
+                    Err(e) => {
+                        if matches!(e, EngineError::AssignmentFailed(..)) {
+                            self.ledger.lock().unwrap().stats.assignments_failed += 1;
+                            self.events.publish(EngineEvent::AssignmentFailed {
+                                session: session_id,
+                                request: request_id,
+                                vehicle: option.vehicle,
+                                at: now,
+                            });
+                        }
+                        Err(ServiceError::Engine(e))
+                    }
+                }
+            }
+        }
+    }
+
+    /// Advances the offer clock: every open offer whose deadline lies
+    /// strictly before `now` is expired, its holds are released, and an
+    /// [`EngineEvent::Expired`] event is published per session (in session
+    /// order). Returns how many offers expired.
+    pub fn tick(&self, now: f64) -> usize {
+        let mut expired: Vec<(SessionId, ptrider_vehicles::RequestId)> = Vec::new();
+        {
+            let mut store = self.sessions.lock().unwrap();
+            for session in store.sessions.values_mut() {
+                if session.state == SessionState::Offered && now > session.expires_at {
+                    session.resolve(SessionState::Expired);
+                    expired.push((session.id, session.request.id));
+                }
+            }
+        }
+        if expired.is_empty() {
+            return 0;
+        }
+        expired.sort_unstable_by_key(|(s, _)| *s);
+        self.ledger.lock().unwrap().stats.offers_expired += expired.len() as u64;
+        for (session, request) in &expired {
+            self.events.publish(EngineEvent::Expired {
+                session: *session,
+                request: *request,
+                at: now,
+            });
+        }
+        expired.len()
+    }
+
+    /// Where a session stands (`None` for never-issued or pruned ids).
+    pub fn session_state(&self, id: SessionId) -> Option<SessionState> {
+        self.sessions
+            .lock()
+            .unwrap()
+            .sessions
+            .get(&id)
+            .map(|s| s.state)
+    }
+
+    /// Number of open (offered, unresolved) sessions.
+    pub fn open_offers(&self) -> usize {
+        self.sessions
+            .lock()
+            .unwrap()
+            .sessions
+            .values()
+            .filter(|s| s.state == SessionState::Offered)
+            .count()
+    }
+
+    /// Total sessions in the table (open and resolved-but-unpruned).
+    pub fn num_sessions(&self) -> usize {
+        self.sessions.lock().unwrap().sessions.len()
+    }
+
+    /// Drops resolved sessions from the table, returning how many were
+    /// removed. Responding to a pruned session reports
+    /// [`ServiceError::UnknownSession`]. Long-running deployments call this
+    /// periodically; resolved sessions hold only metadata (their
+    /// option/prospective holds were already released on resolution).
+    pub fn prune_resolved(&self) -> usize {
+        let mut store = self.sessions.lock().unwrap();
+        let before = store.sessions.len();
+        store.sessions.retain(|_, s| !s.state.is_terminal());
+        before - store.sessions.len()
+    }
+
+    /// Requests parked in the engine-level pending table. The session
+    /// lifecycle never leaves entries here (sessions carry their own
+    /// bookkeeping and release it on resolution); only a batch admission in
+    /// flight uses it transiently, so outside engine internals this is
+    /// `0` — asserted by the request-state-leak regression tests.
+    pub fn ledger_pending_requests(&self) -> usize {
+        self.ledger.lock().unwrap().pending.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Batch admission (write path)
+    // ------------------------------------------------------------------
+
+    /// Admits a burst of simultaneous requests through the engine's greedy
+    /// batch admission (sequential or conflict-graph, per
+    /// [`EngineConfig::batch_admission`]) on the writer path. The riders'
+    /// choices are made synchronously by `selector` — this models the
+    /// dispatch-window batching of peak periods, where no offer/respond
+    /// round-trip happens per request. Outcomes are byte-identical to
+    /// [`PtRider::submit_batch_greedy`] on the same state.
+    pub fn submit_batch_greedy<F>(
+        &self,
+        specs: &[(VertexId, VertexId, u32)],
+        now: f64,
+        selector: F,
+    ) -> Vec<BatchOutcome>
+    where
+        F: FnMut(&[RideOption]) -> Option<usize>,
+    {
+        let outcomes = {
+            let mut world = self.world.write().unwrap();
+            let mut ledger = self.ledger.lock().unwrap();
+            engine::run_batch_greedy(
+                &self.shared,
+                &*self.matcher,
+                &mut world,
+                &mut ledger,
+                specs,
+                now,
+                selector,
+            )
+        };
+        let assigned = outcomes.iter().filter(|o| o.chosen.is_some()).count();
+        self.events.publish(EngineEvent::BatchAdmitted {
+            requests: specs.len(),
+            assigned,
+            at: now,
+        });
+        outcomes
+    }
+
+    /// Matches a request against the current world with an arbitrary
+    /// matcher, recording nothing (cross-check / benchmarking entry point;
+    /// read path).
+    pub fn match_request_with(
+        &self,
+        kind: MatcherKind,
+        request: &Request,
+    ) -> Result<MatchResult, EngineError> {
+        let world = self.world.read().unwrap();
+        engine::match_request_with_oracle(&self.shared, &world, kind, request, &self.shared.oracle)
+    }
+
+    // ------------------------------------------------------------------
+    // Events
+    // ------------------------------------------------------------------
+
+    /// A cursor over the event log, positioned at the oldest retained
+    /// event. Poll with [`Self::poll_events`].
+    pub fn subscribe(&self) -> EventCursor {
+        self.events.subscribe()
+    }
+
+    /// Drains the events the cursor has not seen yet.
+    pub fn poll_events(&self, cursor: &mut EventCursor) -> Vec<EngineEvent> {
+        self.events.poll(cursor)
+    }
+
+    /// Total events published so far.
+    pub fn events_published(&self) -> u64 {
+        self.events.published()
+    }
+}
+
+impl std::fmt::Debug for RideService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RideService")
+            .field("vertices", &self.shared.net.num_vertices())
+            .field("matcher", &self.matcher_kind)
+            .field("vehicles", &self.num_vehicles())
+            .field("sessions", &self.num_sessions())
+            .field("open_offers", &self.open_offers())
+            .field("events", &self.events)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::OptionId;
+    use ptrider_roadnet::RoadNetworkBuilder;
+
+    /// A 5x5 lattice with 1 km edges.
+    fn city() -> RoadNetwork {
+        let side = 5usize;
+        let mut b = RoadNetworkBuilder::new();
+        let mut ids = Vec::new();
+        for y in 0..side {
+            for x in 0..side {
+                ids.push(b.add_vertex(x as f64 * 1000.0, y as f64 * 1000.0));
+            }
+        }
+        for y in 0..side {
+            for x in 0..side {
+                let u = ids[y * side + x];
+                if x + 1 < side {
+                    b.add_bidirectional_edge(u, ids[y * side + x + 1], 1000.0);
+                }
+                if y + 1 < side {
+                    b.add_bidirectional_edge(u, ids[(y + 1) * side + x], 1000.0);
+                }
+            }
+        }
+        b.build().unwrap()
+    }
+
+    fn service(ttl: f64) -> RideService {
+        RideService::new(
+            city(),
+            GridConfig::with_dimensions(3, 3),
+            EngineConfig::default(),
+        )
+        .with_service_config(ServiceConfig::default().with_offer_ttl_secs(ttl))
+    }
+
+    #[test]
+    fn submit_respond_confirm_lifecycle() {
+        let svc = service(60.0);
+        let mut cursor = svc.subscribe();
+        let taxi = svc.add_vehicle(VertexId(0));
+
+        let offer = svc.submit(VertexId(6), VertexId(8), 2, 0.0).unwrap();
+        assert!(!offer.options.is_empty());
+        assert_eq!(offer.expires_at, 60.0);
+        assert_eq!(
+            svc.session_state(offer.session),
+            Some(SessionState::Offered)
+        );
+        assert_eq!(svc.open_offers(), 1);
+
+        let confirmation = svc
+            .respond(offer.session, Decision::Choose(OptionId(0)), 1.0)
+            .unwrap()
+            .expect("choose returns a confirmation");
+        assert_eq!(confirmation.option.vehicle, taxi);
+        assert_eq!(
+            svc.session_state(offer.session),
+            Some(SessionState::Confirmed)
+        );
+        assert_eq!(svc.open_offers(), 0);
+        assert!(svc.with_vehicle(taxi, |v| !v.is_empty()).unwrap());
+
+        let stats = svc.stats();
+        assert_eq!(stats.offers_made, 1);
+        assert_eq!(stats.offers_confirmed, 1);
+        assert_eq!(stats.requests_chosen, 1);
+
+        // The full transition trail is observable.
+        let events = svc.poll_events(&mut cursor);
+        assert!(matches!(events[0], EngineEvent::VehicleAdded { .. }));
+        assert!(matches!(events[1], EngineEvent::Submitted { .. }));
+        assert!(matches!(events[2], EngineEvent::Offered { .. }));
+        assert!(matches!(events[3], EngineEvent::Confirmed { .. }));
+    }
+
+    #[test]
+    fn double_choose_is_rejected() {
+        let svc = service(60.0);
+        svc.add_vehicle(VertexId(0));
+        let offer = svc.submit(VertexId(6), VertexId(8), 1, 0.0).unwrap();
+        svc.respond(offer.session, Decision::Choose(OptionId(0)), 0.0)
+            .unwrap();
+        let err = svc
+            .respond(offer.session, Decision::Choose(OptionId(0)), 0.0)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ServiceError::AlreadyResolved(offer.session, SessionState::Confirmed)
+        );
+        // Declining after confirming is equally rejected.
+        let err = svc
+            .respond(offer.session, Decision::Decline, 0.0)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ServiceError::AlreadyResolved(offer.session, SessionState::Confirmed)
+        );
+    }
+
+    #[test]
+    fn respond_to_unknown_session_is_rejected() {
+        let svc = service(60.0);
+        let err = svc
+            .respond(SessionId(42), Decision::Decline, 0.0)
+            .unwrap_err();
+        assert_eq!(err, ServiceError::UnknownSession(SessionId(42)));
+    }
+
+    #[test]
+    fn unknown_option_id_is_rejected_and_keeps_the_offer_open() {
+        let svc = service(60.0);
+        svc.add_vehicle(VertexId(0));
+        let offer = svc.submit(VertexId(6), VertexId(8), 1, 0.0).unwrap();
+        let bad = OptionId(offer.options.len() as u32);
+        let err = svc
+            .respond(offer.session, Decision::Choose(bad), 0.0)
+            .unwrap_err();
+        assert_eq!(err, ServiceError::UnknownOption(offer.session, bad));
+        assert_eq!(
+            svc.session_state(offer.session),
+            Some(SessionState::Offered)
+        );
+        // A valid follow-up still succeeds.
+        assert!(svc
+            .respond(offer.session, Decision::Choose(OptionId(0)), 0.0)
+            .is_ok());
+    }
+
+    #[test]
+    fn tick_expires_overdue_offers_and_releases_holds() {
+        let svc = service(30.0);
+        svc.add_vehicle(VertexId(0));
+        let offer = svc.submit(VertexId(6), VertexId(8), 1, 0.0).unwrap();
+        // At the deadline the offer is still alive.
+        assert_eq!(svc.tick(30.0), 0);
+        assert_eq!(svc.open_offers(), 1);
+        // Past it, it expires.
+        assert_eq!(svc.tick(30.5), 1);
+        assert_eq!(svc.open_offers(), 0);
+        assert_eq!(
+            svc.session_state(offer.session),
+            Some(SessionState::Expired)
+        );
+        assert_eq!(svc.stats().offers_expired, 1);
+        assert_eq!(svc.ledger_pending_requests(), 0, "no leaked pending state");
+
+        let err = svc
+            .respond(offer.session, Decision::Choose(OptionId(0)), 31.0)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ServiceError::AlreadyResolved(offer.session, SessionState::Expired)
+        );
+    }
+
+    #[test]
+    fn late_respond_expires_on_the_spot() {
+        let svc = service(10.0);
+        svc.add_vehicle(VertexId(0));
+        let offer = svc.submit(VertexId(6), VertexId(8), 1, 0.0).unwrap();
+        let err = svc
+            .respond(offer.session, Decision::Choose(OptionId(0)), 11.0)
+            .unwrap_err();
+        assert_eq!(err, ServiceError::OfferExpired(offer.session));
+        assert_eq!(
+            svc.session_state(offer.session),
+            Some(SessionState::Expired)
+        );
+        assert_eq!(svc.stats().offers_expired, 1);
+    }
+
+    #[test]
+    fn zero_ttl_allows_same_timestamp_responses() {
+        let svc = service(0.0);
+        svc.add_vehicle(VertexId(0));
+        let offer = svc.submit(VertexId(6), VertexId(8), 1, 5.0).unwrap();
+        assert_eq!(offer.expires_at, 5.0);
+        // Responding at the submit timestamp works; any later instant expires.
+        assert!(svc
+            .respond(offer.session, Decision::Choose(OptionId(0)), 5.0)
+            .is_ok());
+        let second = svc.submit(VertexId(7), VertexId(9), 1, 6.0).unwrap();
+        let err = svc
+            .respond(second.session, Decision::Decline, 6.001)
+            .unwrap_err();
+        assert_eq!(err, ServiceError::OfferExpired(second.session));
+    }
+
+    #[test]
+    fn declined_then_resubmitted_rider_gets_fresh_session_and_request() {
+        // The service-layer request-state-leak regression: decline (and
+        // expiry) release every hold, and a resubmission allocates fresh
+        // session and request ids with no stale pending state anywhere.
+        let svc = service(60.0);
+        svc.add_vehicle(VertexId(0));
+        let first = svc.submit(VertexId(6), VertexId(8), 1, 0.0).unwrap();
+        svc.respond(first.session, Decision::Decline, 0.0).unwrap();
+        assert_eq!(
+            svc.session_state(first.session),
+            Some(SessionState::Declined)
+        );
+        assert_eq!(svc.open_offers(), 0);
+        assert_eq!(svc.ledger_pending_requests(), 0);
+
+        let second = svc.submit(VertexId(6), VertexId(8), 1, 1.0).unwrap();
+        assert_ne!(first.session, second.session);
+        assert_ne!(first.request, second.request, "fresh RequestId on resubmit");
+        assert_eq!(second.options.len(), first.options.len());
+        // The old session is terminal, not respondable, and prunable.
+        assert_eq!(
+            svc.respond(first.session, Decision::Decline, 1.0)
+                .unwrap_err(),
+            ServiceError::AlreadyResolved(first.session, SessionState::Declined)
+        );
+        assert_eq!(svc.prune_resolved(), 1);
+        assert_eq!(
+            svc.respond(first.session, Decision::Decline, 1.0)
+                .unwrap_err(),
+            ServiceError::UnknownSession(first.session)
+        );
+        assert_eq!(svc.stats().offers_declined, 1);
+    }
+
+    #[test]
+    fn invalid_requests_create_no_session() {
+        let svc = service(60.0);
+        svc.add_vehicle(VertexId(0));
+        let err = svc.submit(VertexId(3), VertexId(3), 1, 0.0).unwrap_err();
+        assert!(matches!(
+            err,
+            ServiceError::Engine(EngineError::InvalidRequest(_))
+        ));
+        assert_eq!(svc.num_sessions(), 0);
+        assert_eq!(svc.events_published(), 1, "only the VehicleAdded event");
+    }
+
+    #[test]
+    fn batch_admission_runs_on_the_writer_path() {
+        let svc = service(60.0);
+        svc.add_vehicle(VertexId(12));
+        let specs = [
+            (VertexId(12), VertexId(14), 1u32),
+            (VertexId(13), VertexId(14), 1u32),
+        ];
+        let outcomes = svc.submit_batch_greedy(&specs, 0.0, |o| (!o.is_empty()).then_some(0));
+        assert_eq!(outcomes.len(), 2);
+        assert_eq!(outcomes[0].chosen, Some(0));
+        assert_eq!(svc.ledger_pending_requests(), 0);
+        let stats = svc.stats();
+        assert_eq!(stats.batch_requests, 2);
+        let mut cursor = svc.subscribe();
+        let events = svc.poll_events(&mut cursor);
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, EngineEvent::BatchAdmitted { requests: 2, .. })));
+    }
+
+    #[test]
+    fn from_engine_carries_fleet_and_stats_over() {
+        let mut engine = PtRider::new(
+            city(),
+            GridConfig::with_dimensions(3, 3),
+            EngineConfig::default(),
+        );
+        engine.set_matcher(MatcherKind::SingleSide);
+        let taxi = engine.add_vehicle(VertexId(0));
+        let (req, options) = engine.submit(VertexId(6), VertexId(8), 1, 0.0);
+        engine.choose(req, &options[0], 0.0).unwrap();
+
+        let svc = RideService::from_engine(engine);
+        assert_eq!(svc.matcher_kind(), MatcherKind::SingleSide);
+        assert_eq!(svc.num_vehicles(), 1);
+        assert!(svc.with_vehicle(taxi, |v| !v.is_empty()).unwrap());
+        assert_eq!(svc.stats().requests_chosen, 1);
+        // Request ids continue where the engine left off.
+        let offer = svc.submit(VertexId(6), VertexId(8), 1, 1.0).unwrap();
+        assert!(offer.request.0 > req.0);
+    }
+}

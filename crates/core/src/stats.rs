@@ -38,6 +38,14 @@ pub struct EngineStats {
     /// to a shared candidate vehicle and had to be re-matched in greedy
     /// order.
     pub batch_rematches: u64,
+    /// Offers made by the service layer (sessions that reached `Offered`).
+    pub offers_made: u64,
+    /// Offers the rider confirmed (a chosen option was committed).
+    pub offers_confirmed: u64,
+    /// Offers the rider declined.
+    pub offers_declined: u64,
+    /// Offers that expired before the rider responded.
+    pub offers_expired: u64,
     /// Sum of per-request matcher work counters.
     pub match_work: MatchWork,
 }

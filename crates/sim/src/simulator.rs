@@ -1,20 +1,25 @@
 //! The event-driven day simulator.
 //!
-//! Each step of length `dt` performs the loop of Fig. 2:
+//! Each step of length `dt` performs the loop of Fig. 2, driven through the
+//! typed session front door ([`RideService`]):
 //!
 //! 1. every trip of the workload whose submission time falls inside the step
-//!    is submitted to the engine; the simulated rider picks one of the
-//!    returned options with the configured [`ChoicePolicy`] and the choice is
-//!    sent back (`choose`);
+//!    is submitted to the service; the simulated rider picks one of the
+//!    offered options with the configured [`ChoicePolicy`] and responds to
+//!    the session (`respond`, with `Decision::Choose` / `Decision::Decline`);
 //! 2. every vehicle drives `speed · dt` metres along the shortest path to the
 //!    next stop of its best schedule (or roams randomly when idle), issuing
 //!    location updates when it crosses vertices and pickup / drop-off updates
-//!    when it reaches a stop.
+//!    when it reaches a stop;
+//! 3. the offer clock ticks ([`RideService::tick`]), expiring any offer a
+//!    rider walked away from.
 
 use crate::choice::ChoicePolicy;
 use crate::motion::Motion;
 use crate::report::{RequestOutcome, SimulationReport};
-use ptrider_core::{EngineConfig, GridConfig, MatcherKind, PtRider, StopKind};
+use ptrider_core::{
+    Decision, EngineConfig, GridConfig, MatcherKind, OptionId, PtRider, RideService, StopKind,
+};
 use ptrider_datagen::{TimedTrip, Workload};
 use ptrider_roadnet::RoadNetwork;
 use ptrider_vehicles::{RequestId, StopEvent, VehicleId};
@@ -74,9 +79,9 @@ impl Default for SimConfig {
     }
 }
 
-/// The simulator: a PTRider engine driven by a workload.
+/// The simulator: a [`RideService`] driven by a workload.
 pub struct Simulator {
-    engine: PtRider,
+    service: RideService,
     net: Arc<RoadNetwork>,
     config: SimConfig,
     trips: Vec<TimedTrip>,
@@ -86,6 +91,9 @@ pub struct Simulator {
     motions: HashMap<VehicleId, Motion>,
     outcomes: HashMap<RequestId, RequestOutcome>,
     fleet_distance: f64,
+    /// Counter for reserved outcome ids of trips the service rejected
+    /// outright (no session, no engine-issued request id).
+    next_invalid: u64,
 }
 
 impl Simulator {
@@ -98,6 +106,8 @@ impl Simulator {
             trips,
             ..
         } = workload;
+        // Build and populate the sequential engine, then hand it to the
+        // session front door (the supported migration path).
         let mut engine = PtRider::new(network, config.grid, engine_config);
         engine.set_matcher(config.matcher);
         let net = engine.oracle().network_arc();
@@ -106,9 +116,10 @@ impl Simulator {
             let id = engine.add_vehicle(loc);
             motions.insert(id, Motion::new());
         }
+        let service = RideService::from_engine(engine);
         let next_trip = trips.partition_point(|t| t.time_secs < config.start_secs);
         Simulator {
-            engine,
+            service,
             net,
             clock: config.start_secs,
             config,
@@ -118,12 +129,13 @@ impl Simulator {
             motions,
             outcomes: HashMap::new(),
             fleet_distance: 0.0,
+            next_invalid: 0,
         }
     }
 
-    /// The engine driven by the simulator.
-    pub fn engine(&self) -> &PtRider {
-        &self.engine
+    /// The ride service driven by the simulator.
+    pub fn service(&self) -> &RideService {
+        &self.service
     }
 
     /// Current simulated time in seconds.
@@ -174,7 +186,7 @@ impl Simulator {
             self.clock - self.config.start_secs,
             &self.outcomes,
             self.fleet_distance,
-            self.engine.stats().clone(),
+            self.service.stats(),
         )
     }
 
@@ -184,6 +196,14 @@ impl Simulator {
         self.submit_due_trips(step_end);
         self.move_vehicles();
         self.clock = step_end;
+        // Expire any offer a simulated rider left unanswered (riders here
+        // respond synchronously, so this normally expires nothing — but it
+        // keeps the offer clock honest under every TTL configuration), then
+        // drop the resolved sessions: the simulator keeps its own per-request
+        // outcomes, and without pruning a day-scale run would retain one dead
+        // session per trip and rescan them all on every tick.
+        self.service.tick(self.clock);
+        self.service.prune_resolved();
     }
 
     /// Submits every trip whose time falls inside `[clock, step_end)` and
@@ -231,12 +251,15 @@ impl Simulator {
             .collect();
         let now = self.clock;
         let choice = self.config.choice;
-        let engine = &mut self.engine;
+        let service = &self.service;
         let rng = &mut self.rng;
         let outcomes =
-            engine.submit_batch_greedy(&specs, now, |options| choice.choose_index(options, rng));
+            service.submit_batch_greedy(&specs, now, |options| choice.choose_index(options, rng));
         for (trip, outcome) in batch.iter().zip(outcomes) {
-            let direct = self.engine.oracle().distance(trip.origin, trip.destination);
+            let direct = self
+                .service
+                .oracle()
+                .distance(trip.origin, trip.destination);
             let mut record = RequestOutcome {
                 id: outcome.request,
                 submitted_at: trip.time_secs,
@@ -265,15 +288,59 @@ impl Simulator {
         if self.config.cross_check {
             self.cross_check_matchers(trip);
         }
-        let (id, options) =
-            self.engine
-                .submit(trip.origin, trip.destination, trip.riders, trip.time_secs);
-        let direct = self.engine.oracle().distance(trip.origin, trip.destination);
+        let offer =
+            match self
+                .service
+                .submit(trip.origin, trip.destination, trip.riders, trip.time_secs)
+            {
+                Ok(offer) => offer,
+                // Invalid trip (e.g. unreachable destination on a degenerate
+                // network): no session exists, but the trip still counts in
+                // the report with zero options — matching both the
+                // pre-service facade (which allocated an id and returned no
+                // options) and the burst arrival mode (whose batch admission
+                // records every spec). Reserved ids from the top of the
+                // space keep these synthetic outcomes clear of engine-issued
+                // request ids.
+                Err(_) => {
+                    let id = RequestId(u64::MAX - self.next_invalid);
+                    self.next_invalid += 1;
+                    let direct =
+                        if self.net.contains(trip.origin) && self.net.contains(trip.destination) {
+                            self.service
+                                .oracle()
+                                .distance(trip.origin, trip.destination)
+                        } else {
+                            f64::INFINITY
+                        };
+                    self.outcomes.insert(
+                        id,
+                        RequestOutcome {
+                            id,
+                            submitted_at: trip.time_secs,
+                            riders: trip.riders,
+                            options_offered: 0,
+                            direct_dist: direct,
+                            planned_pickup_secs: None,
+                            price: None,
+                            picked_up_at: None,
+                            dropped_off_at: None,
+                            onboard_dist: None,
+                            shared: false,
+                        },
+                    );
+                    return;
+                }
+            };
+        let direct = self
+            .service
+            .oracle()
+            .distance(trip.origin, trip.destination);
         let mut outcome = RequestOutcome {
-            id,
+            id: offer.request,
             submitted_at: trip.time_secs,
             riders: trip.riders,
-            options_offered: options.len(),
+            options_offered: offer.options.len(),
             direct_dist: direct,
             planned_pickup_secs: None,
             price: None,
@@ -282,25 +349,38 @@ impl Simulator {
             onboard_dist: None,
             shared: false,
         };
-        if let Some(choice) = self.config.choice.choose(&options, &mut self.rng) {
-            let choice = choice.clone();
-            match self.engine.choose(id, &choice, trip.time_secs) {
-                Ok(()) => {
-                    outcome.planned_pickup_secs = Some(choice.pickup_secs);
-                    outcome.price = Some(choice.price);
+        if let Some(k) = self
+            .config
+            .choice
+            .choose_index(&offer.options, &mut self.rng)
+        {
+            let decision = Decision::Choose(OptionId(k as u32));
+            match self
+                .service
+                .respond(offer.session, decision, trip.time_secs)
+            {
+                Ok(Some(confirmation)) => {
+                    outcome.planned_pickup_secs = Some(confirmation.option.pickup_secs);
+                    outcome.price = Some(confirmation.option.price);
                     // No motion reset needed: `move_vehicle` re-routes as soon
                     // as the vehicle's next stop changes.
                 }
+                Ok(None) => unreachable!("a choose decision never resolves as a decline"),
                 Err(_) => {
-                    // Assignment raced with a state change; the request goes
-                    // unserved in this simulation.
-                    let _ = self.engine.decline(id);
+                    // Assignment raced with a state change; the session stays
+                    // offered, so decline it — the request goes unserved in
+                    // this simulation.
+                    let _ = self
+                        .service
+                        .respond(offer.session, Decision::Decline, trip.time_secs);
                 }
             }
         } else {
-            let _ = self.engine.decline(id);
+            let _ = self
+                .service
+                .respond(offer.session, Decision::Decline, trip.time_secs);
         }
-        self.outcomes.insert(id, outcome);
+        self.outcomes.insert(offer.request, outcome);
     }
 
     /// Matches the trip with every matching algorithm on the current state
@@ -332,7 +412,7 @@ impl Simulator {
         let mut reference: Option<(MatcherKind, CanonicalOptions)> = None;
         for kind in MatcherKind::all() {
             let result = self
-                .engine
+                .service
                 .match_request_with(kind, &request)
                 .expect("cross-check request is valid");
             let canon = canonical(&result.options);
@@ -352,7 +432,7 @@ impl Simulator {
 
     /// Moves every vehicle by one step and serves reached stops.
     fn move_vehicles(&mut self) {
-        let speed = self.engine.config().speed.mps();
+        let speed = self.service.config().speed.mps();
         let mut ids: Vec<VehicleId> = self.motions.keys().copied().collect();
         ids.sort_unstable();
         for id in ids {
@@ -367,17 +447,14 @@ impl Simulator {
             if guard > 10_000 {
                 break;
             }
-            let (location, next_stop) = {
-                let v = self
-                    .engine
-                    .vehicle(id)
-                    .expect("simulated vehicle exists in the engine");
-                (v.location(), v.next_stop())
-            };
+            let (location, next_stop) = self
+                .service
+                .with_vehicle(id, |v| (v.location(), v.next_stop()))
+                .expect("simulated vehicle exists in the engine");
 
             if let Some(stop) = next_stop {
                 if stop.location == location {
-                    if let Ok(Some(event)) = self.engine.vehicle_arrived(id) {
+                    if let Ok(Some(event)) = self.service.vehicle_arrived(id) {
                         self.handle_stop_event(id, &event);
                     }
                     if let Some(m) = self.motions.get_mut(&id) {
@@ -404,7 +481,7 @@ impl Simulator {
             let consumed = budget - leftover;
             for crossing in &crossings {
                 let _ = self
-                    .engine
+                    .service
                     .location_update(id, crossing.vertex, crossing.travelled);
                 self.fleet_distance += crossing.travelled;
             }
@@ -425,9 +502,8 @@ impl Simulator {
                 }
                 // Sharing: if anyone else is on board, both parties share.
                 let others: Vec<RequestId> = self
-                    .engine
-                    .vehicle(vehicle)
-                    .map(|v| {
+                    .service
+                    .with_vehicle(vehicle, |v| {
                         v.requests()
                             .iter()
                             .filter(|r| !r.is_waiting() && r.id != *request)
@@ -460,15 +536,16 @@ impl Simulator {
 
     /// Pending stops across the fleet (used by tests to check drainage).
     pub fn outstanding_stops(&self) -> usize {
-        self.engine
-            .vehicles()
-            .map(|v| {
-                v.current_schedule()
-                    .iter()
-                    .filter(|s| s.kind == StopKind::Pickup || s.kind == StopKind::Dropoff)
-                    .count()
-            })
-            .sum()
+        self.service.with_vehicles(|vehicles| {
+            vehicles
+                .map(|v| {
+                    v.current_schedule()
+                        .iter()
+                        .filter(|s| s.kind == StopKind::Pickup || s.kind == StopKind::Dropoff)
+                        .count()
+                })
+                .sum()
+        })
     }
 }
 
@@ -581,7 +658,7 @@ mod tests {
         assert!(report.assigned > 0);
         assert!(report.completed > 0);
         // The engine really went through batch admission.
-        let stats = sim.engine().stats();
+        let stats = sim.service().stats();
         assert!(stats.batch_bursts > 0);
         assert_eq!(stats.batch_requests, 60);
         assert!(stats.batch_partitions >= stats.batch_bursts);

@@ -11,7 +11,9 @@
 //! Run with `cargo run --example price_time_tradeoff`.
 
 use ptrider::datagen::{synthetic_city, CityConfig};
-use ptrider::{ChoicePolicy, EngineConfig, GridConfig, MatcherKind, PtRider, VertexId};
+use ptrider::{
+    ChoicePolicy, Decision, EngineConfig, GridConfig, MatcherKind, OptionId, RideService, VertexId,
+};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -26,7 +28,7 @@ fn main() {
     let city = synthetic_city(&config);
     let vertex = |x: u32, y: u32| VertexId(y * 20 + x);
 
-    let mut engine = PtRider::new(
+    let service = RideService::new(
         city,
         GridConfig::with_dimensions(5, 5),
         EngineConfig::paper_defaults()
@@ -34,8 +36,8 @@ fn main() {
             // A slightly more generous service constraint than the default so
             // that ridesharing with the busy vehicles is actually feasible.
             .with_detour_factor(0.4),
-    );
-    engine.set_matcher(MatcherKind::DualSide);
+    )
+    .with_matcher(MatcherKind::DualSide);
 
     // Busy vehicles near the seaside, already carrying riders heading back
     // toward the centre, plus one empty vehicle downtown.
@@ -44,24 +46,28 @@ fn main() {
     let busy_positions = [vertex(16, 1), vertex(19, 4), vertex(15, 3)];
     let mut busy = Vec::new();
     for &pos in &busy_positions {
-        busy.push(engine.add_vehicle(pos));
+        busy.push(service.add_vehicle(pos));
     }
-    let downtown_cab = engine.add_vehicle(vertex(9, 10));
+    let downtown_cab = service.add_vehicle(vertex(9, 10));
 
-    // Give each busy vehicle an existing passenger heading roughly downtown.
+    // Give each busy vehicle an existing passenger heading roughly
+    // downtown, each through its own offer/respond session.
     for (i, &vehicle) in busy.iter().enumerate() {
         let origin = busy_positions[i];
         let dest = vertex(8 + i as u32, 12);
-        let (req, options) = engine.submit(origin, dest, 1, 0.0);
-        let own = options
-            .iter()
-            .find(|o| o.vehicle == vehicle)
+        let offer = service.submit(origin, dest, 1, 0.0).unwrap();
+        let (own, _) = offer
+            .iter_ids()
+            .find(|(_, o)| o.vehicle == vehicle)
             .expect("the co-located vehicle offers an option");
-        engine.choose(req, own, 0.0).unwrap();
+        service
+            .respond(offer.session, Decision::Choose(own), 0.0)
+            .unwrap();
     }
 
     // The couple at the seaside requests a ride home.
-    let (_request, options) = engine.submit(seaside, home, 2, 60.0);
+    let offer = service.submit(seaside, home, 2, 60.0).unwrap();
+    let options = offer.options.clone();
     println!("request: {} -> {} for 2 riders", seaside, home);
     println!("{} non-dominated options:\n", options.len());
     println!(
@@ -107,4 +113,21 @@ fn main() {
         );
     }
     println!("\nmention of vehicle {downtown_cab}: the downtown cab is usually the cheap-but-late option.");
+
+    // The balanced couple actually answers their open session.
+    let balanced = ChoicePolicy::Weighted { alpha: 0.5 }
+        .choose_index(&options, &mut rng)
+        .unwrap();
+    let confirmation = service
+        .respond(
+            offer.session,
+            Decision::Choose(OptionId(balanced as u32)),
+            60.0,
+        )
+        .expect("the offer is still open")
+        .expect("choose confirms");
+    println!(
+        "\nsession {} confirmed on {} for {:.2}",
+        confirmation.session, confirmation.option.vehicle, confirmation.option.price
+    );
 }

@@ -1,10 +1,13 @@
-//! Quickstart: build a small city, register a fleet, submit a request and
-//! inspect the price/time options PTRider returns.
+//! Quickstart: build a small city, register a fleet, open a ride session
+//! and inspect the price/time offer PTRider returns — then confirm it
+//! through the typed session lifecycle.
 //!
 //! Run with `cargo run --example quickstart`.
 
 use ptrider::datagen::{synthetic_city, CityConfig};
-use ptrider::{EngineConfig, GridConfig, MatcherKind, PtRider, VertexId};
+use ptrider::{
+    Decision, EngineConfig, EngineEvent, GridConfig, MatcherKind, RideService, VertexId,
+};
 
 fn main() {
     // 1. A synthetic 10x10-block city (about 2.25 km x 2.25 km).
@@ -15,34 +18,43 @@ fn main() {
         city.num_directed_edges() / 2
     );
 
-    // 2. The engine with the paper's default parameters: capacity 4,
-    //    w = 5 min, delta = 0.2, 48 km/h, prices per kilometre.
-    let mut engine = PtRider::new(
+    // 2. The ride service with the paper's default parameters: capacity 4,
+    //    w = 5 min, delta = 0.2, 48 km/h, prices per kilometre. The service
+    //    is the concurrent front door; every method below takes `&self`.
+    let service = RideService::new(
         city,
         GridConfig::with_dimensions(4, 4),
         EngineConfig::paper_defaults(),
-    );
-    engine.set_matcher(MatcherKind::DualSide);
+    )
+    .with_matcher(MatcherKind::DualSide);
+    let mut events = service.subscribe();
 
     // 3. A small fleet scattered over the city.
     for i in [0u32, 9, 37, 55, 62, 90, 99] {
-        engine.add_vehicle(VertexId(i));
+        service.add_vehicle(VertexId(i));
     }
-    println!("fleet: {} taxis", engine.num_vehicles());
+    println!("fleet: {} taxis", service.num_vehicles());
 
-    // 4. Two riders want to travel from vertex 44 to vertex 97.
-    let (request, options) = engine.submit(VertexId(44), VertexId(97), 2, 0.0);
+    // 4. Two riders want to travel from vertex 44 to vertex 97. The submit
+    //    opens a session and returns an offer with a deadline.
+    let offer = service
+        .submit(VertexId(44), VertexId(97), 2, 0.0)
+        .expect("valid request");
     println!(
-        "\nrequest {request}: {} non-dominated options",
-        options.len()
+        "\nsession {} (request {}): {} non-dominated options, respond by t={:.0}s",
+        offer.session,
+        offer.request,
+        offer.options.len(),
+        offer.expires_at
     );
     println!(
-        "{:>10} {:>12} {:>12} {:>8}",
-        "vehicle", "pickup (m)", "pickup (s)", "price"
+        "{:>6} {:>10} {:>12} {:>12} {:>8}",
+        "option", "vehicle", "pickup (m)", "pickup (s)", "price"
     );
-    for opt in &options {
+    for (id, opt) in offer.iter_ids() {
         println!(
-            "{:>10} {:>12.0} {:>12.1} {:>8.2}",
+            "{:>6} {:>10} {:>12.0} {:>12.1} {:>8.2}",
+            id.to_string(),
             opt.vehicle.to_string(),
             opt.pickup_dist,
             opt.pickup_secs,
@@ -50,27 +62,48 @@ fn main() {
         );
     }
 
-    // 5. The rider picks the cheapest option and the system assigns it.
-    let cheapest = options
-        .iter()
-        .min_by(|a, b| a.price.partial_cmp(&b.price).unwrap())
+    // 5. The riders pick the cheapest option and respond to the session.
+    let (cheapest, _) = offer
+        .iter_ids()
+        .min_by(|(_, a), (_, b)| a.price.partial_cmp(&b.price).unwrap())
         .expect("at least one option");
-    engine.choose(request, cheapest, 0.0).unwrap();
+    let confirmation = service
+        .respond(offer.session, Decision::Choose(cheapest), 0.0)
+        .expect("the offer is still open")
+        .expect("a choose decision yields a confirmation");
     println!(
-        "\nchose {} (pickup in {:.0} s, price {:.2})",
-        cheapest.vehicle, cheapest.pickup_secs, cheapest.price
+        "\nconfirmed {} on {} (pickup in {:.0} s, price {:.2})",
+        confirmation.session,
+        confirmation.option.vehicle,
+        confirmation.option.pickup_secs,
+        confirmation.option.price
     );
 
-    let vehicle = engine.vehicle(cheapest.vehicle).unwrap();
+    // A second response to the same session is rejected by the lifecycle.
+    let double = service.respond(offer.session, Decision::Decline, 1.0);
+    println!("double response rejected: {}", double.unwrap_err());
+
+    let schedule = service
+        .with_vehicle(confirmation.option.vehicle, |v| {
+            v.current_schedule()
+                .iter()
+                .map(|s| format!("{:?}@{}", s.kind, s.location))
+                .collect::<Vec<_>>()
+        })
+        .unwrap();
     println!(
-        "vehicle {} now has {} scheduled stop(s): {:?}",
-        vehicle.id(),
-        vehicle.current_schedule().len(),
-        vehicle
-            .current_schedule()
-            .iter()
-            .map(|s| format!("{:?}@{}", s.kind, s.location))
-            .collect::<Vec<_>>()
+        "vehicle {} now has {} scheduled stop(s): {schedule:?}",
+        confirmation.option.vehicle,
+        schedule.len(),
     );
-    println!("\nengine stats: {:?}", engine.stats().match_work);
+
+    // 6. Every transition was published to the event log.
+    println!("\nevent trail:");
+    for event in service.poll_events(&mut events) {
+        match event {
+            EngineEvent::VehicleAdded { .. } => {}
+            other => println!("  {other:?}"),
+        }
+    }
+    println!("\nengine stats: {:?}", service.stats().match_work);
 }

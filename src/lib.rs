@@ -16,20 +16,45 @@
 //!
 //! The most common entry points are also re-exported at the crate root.
 //!
+//! The front door is the [`RideService`]: a concurrent (`&self`) facade
+//! exposing PTRider's two-phase interaction as a typed session lifecycle —
+//! `submit` returns an [`Offer`] with a [`SessionId`] and a deadline, the
+//! rider answers with [`Decision::Choose`] / [`Decision::Decline`], and
+//! `tick` expires offers the rider abandoned:
+//!
 //! ```
-//! use ptrider::{EngineConfig, GridConfig, MatcherKind, PtRider};
+//! use ptrider::{Decision, EngineConfig, GridConfig, OptionId, RideService, VertexId};
 //! use ptrider::datagen::{synthetic_city, CityConfig};
 //!
 //! let city = synthetic_city(&CityConfig::tiny(1));
-//! let mut engine = PtRider::new(city, GridConfig::with_dimensions(4, 4),
-//!                               EngineConfig::paper_defaults());
-//! engine.set_matcher(MatcherKind::DualSide);
-//! let taxi = engine.add_vehicle(ptrider::VertexId(0));
-//! let (request, options) = engine.submit(ptrider::VertexId(55), ptrider::VertexId(99), 2, 0.0);
-//! assert!(!options.is_empty());
-//! engine.choose(request, &options[0], 0.0).unwrap();
-//! assert!(!engine.vehicle(taxi).unwrap().is_empty());
+//! let service = RideService::new(city, GridConfig::with_dimensions(4, 4),
+//!                                EngineConfig::paper_defaults());
+//! let taxi = service.add_vehicle(VertexId(0));
+//!
+//! // Submit → Offer: the price/time skyline plus a typed session handle.
+//! let offer = service.submit(VertexId(55), VertexId(99), 2, 0.0).unwrap();
+//! assert!(!offer.options.is_empty());
+//!
+//! // The rider picks the cheapest option and confirms the session.
+//! let (cheapest, _) = offer
+//!     .iter_ids()
+//!     .min_by(|(_, a), (_, b)| a.price.partial_cmp(&b.price).unwrap())
+//!     .unwrap();
+//! let confirmation = service
+//!     .respond(offer.session, Decision::Choose(cheapest), 0.0)
+//!     .unwrap()
+//!     .unwrap();
+//! assert_eq!(confirmation.request, offer.request);
+//! assert!(service.with_vehicle(taxi, |v| !v.is_empty()).unwrap());
+//!
+//! // Double responses are rejected by the session state machine.
+//! assert!(service.respond(offer.session, Decision::Choose(OptionId(0)), 0.0).is_err());
 //! ```
+//!
+//! The original sequential facade ([`PtRider`], `&mut self`,
+//! `submit`/`choose`) remains available as a thin shim over the same
+//! engine internals — the service is property-tested to produce bit-
+//! identical option skylines.
 
 #![warn(missing_docs)]
 
@@ -50,10 +75,11 @@ pub use ptrider_datagen as datagen;
 pub use ptrider_sim as sim;
 
 pub use ptrider_core::{
-    BatchAdmission, BatchOutcome, DistanceBackend, EngineConfig, EngineStats, GridConfig,
-    LandmarkIndex, MatchResult, MatchRuntime, MatchStats, Matcher, MatcherKind, ParallelMode,
-    PriceModel, PtRider, Request, RequestId, RideOption, RoadNetwork, Skyline, Speed, Stop,
-    StopKind, Vehicle, VehicleId, VertexId,
+    BatchAdmission, BatchOutcome, Confirmation, Decision, DistanceBackend, EngineConfig,
+    EngineEvent, EngineStats, EventCursor, EventLog, GridConfig, LandmarkIndex, MatchResult,
+    MatchRuntime, MatchStats, Matcher, MatcherKind, Offer, OptionId, ParallelMode, PriceModel,
+    PtRider, Request, RequestId, RideOption, RideService, RoadNetwork, ServiceConfig, ServiceError,
+    SessionId, SessionState, Skyline, Speed, Stop, StopKind, Vehicle, VehicleId, VertexId,
 };
 pub use ptrider_roadnet::ContractionHierarchy;
 pub use ptrider_sim::{ChoicePolicy, SimConfig, SimulationReport, Simulator};

@@ -91,14 +91,16 @@ fn no_vehicle_is_left_without_a_schedule_for_its_riders() {
     );
     while sim.clock() < 2400.0 {
         sim.step();
-        for vehicle in sim.engine().vehicles() {
-            assert!(
-                vehicle.is_empty() || !vehicle.all_schedules().is_empty(),
-                "vehicle {} has {} committed requests but no valid schedule at t={}",
-                vehicle.id(),
-                vehicle.num_requests(),
-                sim.clock()
-            );
-        }
+        let clock = sim.clock();
+        sim.service().with_vehicles(|vehicles| {
+            for vehicle in vehicles {
+                assert!(
+                    vehicle.is_empty() || !vehicle.all_schedules().is_empty(),
+                    "vehicle {} has {} committed requests but no valid schedule at t={clock}",
+                    vehicle.id(),
+                    vehicle.num_requests(),
+                );
+            }
+        });
     }
 }
