@@ -25,6 +25,7 @@ fn run_slice(scale: f64, minutes: f64, matcher: MatcherKind) -> ptrider_sim::Sim
         idle_roaming: true,
         cross_check: false,
         burst_admission: false,
+        traffic: None,
         seed: 7,
     };
     let mut sim = Simulator::new(workload, EngineConfig::paper_defaults(), sim_config);

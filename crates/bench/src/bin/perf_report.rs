@@ -27,8 +27,12 @@ use ptrider_core::{
     BatchAdmission, BatchOutcome, DistanceBackend, EngineConfig, MatcherKind, ParallelMode,
     PtRider, Request,
 };
-use ptrider_datagen::{BurstConfig, TimedTrip, TripConfig, TripGenerator};
-use ptrider_roadnet::{astar, dijkstra, ContractionHierarchy, DistanceOracle, VertexId};
+use ptrider_datagen::{
+    BurstConfig, CongestionConfig, CongestionProfile, TimedTrip, TripConfig, TripGenerator,
+};
+use ptrider_roadnet::{
+    astar, dijkstra, CchTopology, ContractionHierarchy, DistanceOracle, VertexId,
+};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::fmt::Write as _;
@@ -363,6 +367,100 @@ fn json_burst(out: &mut String, label: &str, b: &BurstNumbers, comma: &str) {
     );
 }
 
+#[derive(Clone, Default)]
+struct TrafficNumbers {
+    vertices: usize,
+    cch_topology_secs: f64,
+    cch_arcs: usize,
+    cch_triangles: usize,
+    ch_customize_secs: f64,
+    ch_full_rebuild_secs: f64,
+    alt_query_us_under_traffic: f64,
+    ch_query_us_customized: f64,
+    oracle_apply_traffic_secs: f64,
+    customized_matches_dijkstra: bool,
+    congested_arcs: usize,
+    max_factor: f64,
+}
+
+/// E13: on the city-scale graph, compare a traffic epoch served by a CCH
+/// customization pass against a full hierarchy rebuild and against ALT
+/// queries on the congested metric.
+fn measure_traffic(
+    city: &std::sync::Arc<ptrider_core::RoadNetwork>,
+    grid: &std::sync::Arc<ptrider_roadnet::GridIndex>,
+    landmarks: &ptrider_roadnet::LandmarkIndex,
+) -> TrafficNumbers {
+    let mut out = TrafficNumbers {
+        vertices: city.num_vertices(),
+        ..TrafficNumbers::default()
+    };
+    let started = Instant::now();
+    let topo = std::sync::Arc::new(CchTopology::build(city).expect("city graphs repair"));
+    out.cch_topology_secs = started.elapsed().as_secs_f64();
+    out.cch_arcs = topo.num_arcs();
+    out.cch_triangles = topo.num_triangles();
+
+    // One morning-rush epoch from the packaged congestion profile.
+    let profile = CongestionProfile::build(city, CongestionConfig::default());
+    let model = profile.model_at(city, 8.0 * 3600.0);
+    out.congested_arcs = model.congested_arcs();
+    out.max_factor = model.max_factor();
+    let scaled = model.scaled_weights(city);
+    let metric = city.with_metric(scaled.clone()).expect("valid metric");
+
+    let reps = 3;
+    let started = Instant::now();
+    let mut repaired = None;
+    for _ in 0..reps {
+        repaired = Some(topo.customize(&scaled));
+    }
+    out.ch_customize_secs = started.elapsed().as_secs_f64() / reps as f64;
+    let repaired = repaired.expect("reps > 0");
+
+    let started = Instant::now();
+    let rebuilt = ContractionHierarchy::build(&metric).expect("city graphs contract");
+    out.ch_full_rebuild_secs = started.elapsed().as_secs_f64();
+    drop(rebuilt);
+
+    let mut rng = ChaCha8Rng::seed_from_u64(0xe13);
+    let n = city.num_vertices() as u32;
+    let pairs: Vec<(VertexId, VertexId)> = (0..256)
+        .map(|_| (VertexId(rng.gen_range(0..n)), VertexId(rng.gen_range(0..n))))
+        .collect();
+    let started = Instant::now();
+    for &(u, v) in &pairs {
+        let _ = repaired.distance(u, v);
+    }
+    out.ch_query_us_customized = started.elapsed().as_secs_f64() * 1e6 / pairs.len() as f64;
+    let started = Instant::now();
+    for &(u, v) in &pairs {
+        let _ = astar::distance_with_landmarks(&metric, u, v, Some(grid), Some(landmarks));
+    }
+    out.alt_query_us_under_traffic = started.elapsed().as_secs_f64() * 1e6 / pairs.len() as f64;
+
+    out.customized_matches_dijkstra = pairs.iter().take(48).all(|&(u, v)| {
+        let exact = dijkstra::distance(&metric, u, v).unwrap_or(f64::INFINITY);
+        let got = repaired.distance(u, v);
+        got.to_bits() == exact.to_bits() || (got.is_infinite() && exact.is_infinite())
+    });
+
+    // End-to-end oracle epoch (scale + swap + customize + invalidate),
+    // seeded with the topology measured above so the ~seconds-scale
+    // nested-dissection build is paid exactly once per report.
+    let oracle = DistanceOracle::with_backend(
+        std::sync::Arc::clone(city),
+        std::sync::Arc::clone(grid),
+        None,
+        DistanceBackend::Ch,
+    )
+    .with_repair_topology(std::sync::Arc::clone(&topo));
+    let started = Instant::now();
+    oracle.apply_traffic(&model);
+    out.oracle_apply_traffic_secs = started.elapsed().as_secs_f64();
+    out
+}
+
 #[derive(Clone, Copy, Default)]
 struct ServiceNumbers {
     /// submit → respond(Decline) round-trips per second across all threads.
@@ -493,19 +591,34 @@ fn main() {
     );
     eprintln!("[perf_report] oracle micro on the city-scale graph ...");
     let city_scale_side = 160usize;
-    let big_city = ptrider_datagen::synthetic_city(&ptrider_datagen::CityConfig {
-        cols: city_scale_side,
-        rows: city_scale_side,
-        seed: params.seed,
-        ..ptrider_datagen::CityConfig::default()
-    });
-    let big_grid = ptrider_roadnet::GridIndex::build(
+    let big_city = std::sync::Arc::new(ptrider_datagen::synthetic_city(
+        &ptrider_datagen::CityConfig {
+            cols: city_scale_side,
+            rows: city_scale_side,
+            seed: params.seed,
+            ..ptrider_datagen::CityConfig::default()
+        },
+    ));
+    let big_grid = std::sync::Arc::new(ptrider_roadnet::GridIndex::build(
         &big_city,
         ptrider_core::GridConfig::with_dimensions(24, 24),
-    );
+    ));
     let big_lm = ptrider_roadnet::LandmarkIndex::build_auto(&big_city, 8);
-    let (micro_city, _big_ch) = measure_oracle(&big_city, &big_grid, &big_lm, 256);
-    drop(_big_ch);
+    let (micro_city, big_ch) = measure_oracle(&big_city, &big_grid, &big_lm, 256);
+
+    eprintln!(
+        "[perf_report] e13: traffic repair (customize vs rebuild vs ALT) on the city-scale \
+         graph ..."
+    );
+    let e13 = measure_traffic(&big_city, &big_grid, &big_lm);
+    eprintln!(
+        "[perf_report] e13: customize {:.3}s vs full rebuild {:.3}s ({:.1}x), exact: {}",
+        e13.ch_customize_secs,
+        e13.ch_full_rebuild_secs,
+        e13.ch_full_rebuild_secs / e13.ch_customize_secs.max(1e-12),
+        e13.customized_matches_dijkstra
+    );
+    drop(big_ch);
 
     // Backend skyline cross-check on the warmed ALT world.
     let ch = std::sync::Arc::new(ch);
@@ -537,6 +650,10 @@ fn main() {
         "CH world must actually run the CH backend"
     );
     let ch_e2 = measure_all_matchers(&ch_world);
+    // Backend observability (the silent-fallback satellite): what is the
+    // CH world actually running, and why, if it fell back.
+    let ch_effective_backend = ch_world.engine.oracle().backend().to_string();
+    let ch_backend_fallback = ch_world.engine.oracle().backend_fallback();
     let ch_e9 = measure_updates(&mut ch_world, 3);
     drop(ch_world);
 
@@ -663,7 +780,23 @@ fn main() {
     }
     let _ = writeln!(out, "  }},");
     let _ = writeln!(out, "  \"backend_equivalence\": {{");
-    let _ = writeln!(out, "    \"skylines_match_alt\": {skylines_ok}");
+    let _ = writeln!(out, "    \"skylines_match_alt\": {skylines_ok},");
+    let _ = writeln!(
+        out,
+        "    \"ch_effective_backend\": \"{ch_effective_backend}\","
+    );
+    match &ch_backend_fallback {
+        Some(reason) => {
+            let _ = writeln!(
+                out,
+                "    \"ch_backend_fallback\": \"{}\"",
+                reason.replace('"', "'")
+            );
+        }
+        None => {
+            let _ = writeln!(out, "    \"ch_backend_fallback\": null");
+        }
+    }
     let _ = writeln!(out, "  }},");
     let _ = writeln!(out, "  \"e2_matching_latency\": {{");
     json_matchers(&mut out, "baseline", &baseline_e2);
@@ -760,6 +893,54 @@ fn main() {
         out,
         "    \"best_concurrent_speedup_vs_1_submitter\": {:.2}",
         best_svc / single.max(1e-9)
+    );
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"e13_traffic\": {{");
+    let _ = writeln!(out, "    \"vertices\": {},", e13.vertices);
+    let _ = writeln!(
+        out,
+        "    \"congested_arcs\": {}, \"max_factor\": {:.3},",
+        e13.congested_arcs, e13.max_factor
+    );
+    let _ = writeln!(
+        out,
+        "    \"cch_topology_secs\": {:.3}, \"cch_arcs\": {}, \"cch_triangles\": {},",
+        e13.cch_topology_secs, e13.cch_arcs, e13.cch_triangles
+    );
+    let _ = writeln!(
+        out,
+        "    \"ch_customize_secs\": {:.4},",
+        e13.ch_customize_secs
+    );
+    let _ = writeln!(
+        out,
+        "    \"ch_full_rebuild_secs\": {:.4},",
+        e13.ch_full_rebuild_secs
+    );
+    let _ = writeln!(
+        out,
+        "    \"customize_speedup_vs_rebuild\": {:.2},",
+        e13.ch_full_rebuild_secs / e13.ch_customize_secs.max(1e-12)
+    );
+    let _ = writeln!(
+        out,
+        "    \"oracle_apply_traffic_secs\": {:.4},",
+        e13.oracle_apply_traffic_secs
+    );
+    let _ = writeln!(
+        out,
+        "    \"alt_query_us_under_traffic\": {:.2},",
+        e13.alt_query_us_under_traffic
+    );
+    let _ = writeln!(
+        out,
+        "    \"ch_query_us_customized\": {:.3},",
+        e13.ch_query_us_customized
+    );
+    let _ = writeln!(
+        out,
+        "    \"customized_matches_dijkstra\": {}",
+        e13.customized_matches_dijkstra
     );
     let _ = writeln!(out, "  }}");
     let _ = writeln!(out, "}}");

@@ -10,6 +10,31 @@
 use crate::price::PriceModel;
 use ptrider_roadnet::{DistanceBackend, Speed};
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
+
+/// The distance backend [`EngineConfig::default`] starts from, honouring
+/// the `PTRIDER_DISTANCE_BACKEND` environment variable (read once per
+/// process, mirroring `PTRIDER_POOL_SIZE`): `alt` or `ch` select that
+/// backend for every engine built with default configuration; `auto`,
+/// unset or unparsable mean the library default (ALT). An explicit
+/// [`EngineConfig::with_distance_backend`] always wins over the
+/// environment — the variable only moves the *default*, which is what lets
+/// a CI matrix run the whole tier-1 suite once per backend without
+/// touching any test.
+pub fn default_distance_backend() -> DistanceBackend {
+    static ENV: OnceLock<DistanceBackend> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        match std::env::var("PTRIDER_DISTANCE_BACKEND")
+            .as_deref()
+            .map(str::trim)
+        {
+            Ok("ch") | Ok("CH") | Ok("Ch") => DistanceBackend::Ch,
+            Ok("alt") | Ok("ALT") | Ok("Alt") => DistanceBackend::Alt,
+            // `auto`, unset, or anything unparsable: the library default.
+            _ => DistanceBackend::default(),
+        }
+    })
+}
 
 /// How [`crate::PtRider::submit_batch_greedy`] admits a burst of
 /// simultaneous requests.
@@ -73,7 +98,11 @@ pub struct EngineConfig {
     /// contraction hierarchy ([`DistanceBackend::Ch`], heavier start-up,
     /// microsecond queries). Both are exact, so the matchers return
     /// identical skylines either way; if CH construction fails the oracle
-    /// falls back to ALT.
+    /// falls back to ALT (observable via
+    /// [`ptrider_roadnet::DistanceOracle::backend_fallback`]). The
+    /// *default* honours the `PTRIDER_DISTANCE_BACKEND` environment
+    /// variable (`auto`/`alt`/`ch`, see [`default_distance_backend`]); an
+    /// explicit [`Self::with_distance_backend`] wins over the environment.
     pub distance_backend: DistanceBackend,
     /// Worker-pool size of the persistent matching runtime
     /// ([`crate::runtime::MatchRuntime`]), counting the caller's thread.
@@ -105,7 +134,7 @@ impl Default for EngineConfig {
             // 15 minutes of driving at the constant speed.
             max_pickup_dist: speed.seconds_to_distance(900.0),
             num_landmarks: 8,
-            distance_backend: DistanceBackend::default(),
+            distance_backend: default_distance_backend(),
             pool_size: 0,
             par_auto_min_batch: 16,
             batch_admission: BatchAdmission::default(),
@@ -220,13 +249,21 @@ mod tests {
     }
 
     #[test]
-    fn default_backend_is_alt() {
+    fn default_backend_honours_the_environment() {
+        // Under `PTRIDER_DISTANCE_BACKEND` (the CI backend matrix) the
+        // default moves with the environment; without it, it is ALT.
         assert_eq!(
             EngineConfig::default().distance_backend,
-            DistanceBackend::Alt
+            default_distance_backend()
         );
+        if std::env::var("PTRIDER_DISTANCE_BACKEND").is_err() {
+            assert_eq!(default_distance_backend(), DistanceBackend::Alt);
+        }
+        // An explicit builder call always wins over the environment.
         let c = EngineConfig::default().with_distance_backend(DistanceBackend::Ch);
         assert_eq!(c.distance_backend, DistanceBackend::Ch);
+        let c = EngineConfig::default().with_distance_backend(DistanceBackend::Alt);
+        assert_eq!(c.distance_backend, DistanceBackend::Alt);
     }
 
     #[test]

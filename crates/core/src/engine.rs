@@ -46,13 +46,13 @@ use crate::options::RideOption;
 use crate::request::Request;
 use crate::runtime::MatchRuntime;
 use crate::stats::EngineStats;
-use ptrider_roadnet::{DistanceOracle, GridConfig, GridIndex, RoadNetwork, VertexId};
+use ptrider_roadnet::{DistanceOracle, GridConfig, GridIndex, RoadNetwork, TrafficModel, VertexId};
 use ptrider_vehicles::{
     ProspectiveRequest, RequestId, StopEvent, Vehicle, VehicleId, VehicleIndex,
 };
 use std::collections::{HashMap, HashSet};
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 /// Errors returned by engine operations.
@@ -108,6 +108,25 @@ pub(crate) struct EngineShared {
     pub(crate) runtime: Arc<MatchRuntime>,
 }
 
+/// `PTRIDER_TRAFFIC_EPOCHS` (read once per process): when set to `n > 0`,
+/// every engine construction applies `n` synthetic traffic epochs before
+/// serving — each mid epoch congests a deterministic third of the arcs, and
+/// the **final epoch returns every factor to free flow**. The whole repair
+/// pipeline (metric swap, CH customization, epoch-stamped cache
+/// invalidation) is therefore exercised by every test of the suite while
+/// the final metric is bit-identical to the base one (`w * 1.0 == w`), so
+/// no distance- or price-level assertion changes. CI runs the full suite
+/// once with this set; see `.github/workflows/ci.yml`.
+fn env_traffic_epochs() -> u64 {
+    static ENV: OnceLock<u64> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("PTRIDER_TRAFFIC_EPOCHS")
+            .ok()
+            .and_then(|s| s.trim().parse::<u64>().ok())
+            .unwrap_or(0)
+    })
+}
+
 impl EngineShared {
     /// Builds the shared substrate around a caller-constructed oracle.
     pub(crate) fn new(
@@ -117,13 +136,33 @@ impl EngineShared {
         config: EngineConfig,
     ) -> Self {
         let runtime = Arc::new(MatchRuntime::from_config(config.pool_size));
-        EngineShared {
+        let shared = EngineShared {
             net,
             grid,
             oracle,
             config,
             runtime,
+        };
+        let epochs = env_traffic_epochs();
+        if epochs > 0 {
+            // Env-gated repair-path exercise (see `env_traffic_epochs`).
+            let base = shared.oracle.network();
+            let mut model = TrafficModel::free_flow(base);
+            for k in 1..=epochs {
+                if k == epochs {
+                    model.reset();
+                } else {
+                    for i in 0..base.num_directed_edges() {
+                        if i as u64 % 3 == k % 3 {
+                            model.set_arc_factor(i, 1.0 + 0.5 * k as f64);
+                        }
+                    }
+                    model.bump_version();
+                }
+                shared.oracle.apply_traffic(&model);
+            }
         }
+        shared
     }
 
     /// A matching context over `world`. `use_runtime` selects whether the
@@ -424,6 +463,50 @@ pub(crate) fn decline(ledger: &mut Ledger, request_id: RequestId) -> Result<(), 
         .remove(&request_id)
         .map(|_| ())
         .ok_or(EngineError::UnknownRequest(request_id))
+}
+
+/// What an engine-level traffic update did (the engine-facing mirror of
+/// [`ptrider_roadnet::TrafficApplied`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct TrafficUpdateOutcome {
+    /// The metric epoch now in effect.
+    pub epoch: u64,
+    /// Whether the contraction hierarchy was repaired by a customization
+    /// pass (`false` on the ALT backend or after a repair fallback).
+    pub ch_repaired: bool,
+    /// Arcs above free flow in the applied model.
+    pub congested_arcs: usize,
+    /// Largest multiplicative factor in the applied model.
+    pub max_factor: f64,
+}
+
+/// Applies a traffic epoch — the **write path**. Swaps the oracle's metric
+/// (scaled by the model's ≥ 1.0 factors), repairs the CH backend via a
+/// customization pass (ALT fallback when impossible), lazily invalidates
+/// the epoch-stamped distance cache, and records the statistics. Shared by
+/// [`PtRider::apply_traffic_update`] and
+/// [`crate::RideService::apply_traffic_update`].
+///
+/// Existing vehicle schedules keep the leg distances they were planned
+/// with (re-planning in-flight trips is a policy decision, not a metric
+/// one); every *new* match, insertion and lower bound uses the updated
+/// metric.
+pub(crate) fn apply_traffic(
+    shared: &EngineShared,
+    ledger: &mut Ledger,
+    model: &TrafficModel,
+) -> TrafficUpdateOutcome {
+    let applied = shared.oracle.apply_traffic(model);
+    ledger.stats.traffic_epochs += 1;
+    if applied.ch_repaired {
+        ledger.stats.ch_customizations += 1;
+    }
+    TrafficUpdateOutcome {
+        epoch: applied.epoch,
+        ch_repaired: applied.ch_repaired,
+        congested_arcs: applied.congested_arcs,
+        max_factor: applied.max_factor,
+    }
 }
 
 /// Result of one request inside [`PtRider::submit_batch_greedy`].
@@ -1150,6 +1233,16 @@ impl PtRider {
         Ok(())
     }
 
+    /// Applies a live-traffic epoch: the distance oracle's metric is
+    /// scaled by the model's factors (≥ 1.0 over free flow), the CH
+    /// backend is repaired by a CCH customization pass instead of a
+    /// rebuild, and the epoch-stamped distance cache invalidates lazily.
+    /// The model must be built over this engine's road network
+    /// ([`Self::network`]).
+    pub fn apply_traffic_update(&mut self, model: &TrafficModel) -> TrafficUpdateOutcome {
+        apply_traffic(&self.shared, &mut self.ledger, model)
+    }
+
     /// Notifies the engine that a vehicle has arrived at the next stop of
     /// its schedule; serves the stop (pickup or drop-off update) and
     /// refreshes the vehicle index.
@@ -1531,6 +1624,53 @@ mod tests {
         assert_eq!(outcomes[0].chosen, None);
         assert_eq!(e.pending_requests(), 0);
         assert_eq!(e.stats().requests_chosen, 0);
+    }
+
+    #[test]
+    fn traffic_update_changes_prices_and_reset_restores_them() {
+        use ptrider_roadnet::TrafficModel;
+        for backend in [
+            ptrider_roadnet::DistanceBackend::Alt,
+            ptrider_roadnet::DistanceBackend::Ch,
+        ] {
+            let mut e = PtRider::new(
+                city(),
+                GridConfig::with_dimensions(3, 3),
+                EngineConfig::default().with_distance_backend(backend),
+            );
+            e.set_matcher(MatcherKind::SingleSide);
+            e.add_vehicle(VertexId(0));
+            // Relative to the construction epoch: `PTRIDER_TRAFFIC_EPOCHS`
+            // pre-applies synthetic epochs before the engine serves.
+            let epoch0 = e.oracle().traffic_epoch();
+            let (req, base_options) = e.submit(VertexId(6), VertexId(8), 2, 0.0);
+            assert_eq!(base_options.len(), 1);
+            e.decline(req).unwrap();
+            let base_price = base_options[0].price;
+            let base_pickup = base_options[0].pickup_dist;
+
+            // Congest the whole city 2x: pickup distances and prices scale.
+            let model = TrafficModel::uniform(e.network(), 2.0);
+            let outcome = e.apply_traffic_update(&model);
+            assert_eq!(outcome.epoch, epoch0 + 1);
+            assert_eq!(
+                outcome.ch_repaired,
+                backend == ptrider_roadnet::DistanceBackend::Ch
+            );
+            assert_eq!(e.stats().traffic_epochs, 1);
+            let (req, congested) = e.submit(VertexId(6), VertexId(8), 2, 1.0);
+            assert_eq!(congested.len(), 1);
+            assert!((congested[0].pickup_dist - 2.0 * base_pickup).abs() < 1e-6);
+            assert!((congested[0].price - 2.0 * base_price).abs() < 1e-6);
+            e.decline(req).unwrap();
+
+            // Free flow again: options return to the base bits.
+            let outcome = e.apply_traffic_update(&TrafficModel::free_flow(e.network()));
+            assert_eq!(outcome.epoch, epoch0 + 2);
+            let (_, restored) = e.submit(VertexId(6), VertexId(8), 2, 2.0);
+            assert_eq!(restored[0].price.to_bits(), base_price.to_bits());
+            assert_eq!(restored[0].pickup_dist.to_bits(), base_pickup.to_bits());
+        }
     }
 
     #[test]

@@ -124,6 +124,22 @@ pub enum EngineEvent {
         /// Its initial location.
         location: VertexId,
     },
+    /// A traffic epoch was applied on the writer path: the distance
+    /// oracle's metric was swapped, its cache invalidated, and — on the CH
+    /// backend — the hierarchy repaired by a customization pass.
+    TrafficUpdated {
+        /// The metric epoch now in effect.
+        epoch: u64,
+        /// Whether the contraction hierarchy was repaired (`false` on the
+        /// ALT backend or after a repair fallback).
+        ch_repaired: bool,
+        /// Arcs above free flow in the applied model.
+        congested_arcs: usize,
+        /// Largest multiplicative factor in the applied model.
+        max_factor: f64,
+        /// Update clock (workload seconds).
+        at: f64,
+    },
 }
 
 struct LogInner {

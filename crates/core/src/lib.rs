@@ -58,8 +58,8 @@ pub mod session;
 pub mod skyline;
 pub mod stats;
 
-pub use config::{BatchAdmission, EngineConfig};
-pub use engine::{BatchOutcome, EngineError, PtRider};
+pub use config::{default_distance_backend, BatchAdmission, EngineConfig};
+pub use engine::{BatchOutcome, EngineError, PtRider, TrafficUpdateOutcome};
 pub use events::{EngineEvent, EventCursor, EventLog};
 pub use matching::{
     parallel_mode, set_parallel_mode, DualSideMatcher, MatchContext, MatchResult, MatchStats,
@@ -76,6 +76,7 @@ pub use stats::EngineStats;
 
 // Re-export the substrate types users need to drive the engine.
 pub use ptrider_roadnet::{
-    DistanceBackend, GridConfig, GridIndex, LandmarkIndex, RoadNetwork, Speed, VertexId,
+    DistanceBackend, GridConfig, GridIndex, LandmarkIndex, RoadNetwork, Speed, TrafficEdge,
+    TrafficModel, VertexId,
 };
 pub use ptrider_vehicles::{RequestId, Stop, StopKind, Vehicle, VehicleId};

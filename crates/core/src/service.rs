@@ -36,7 +36,8 @@
 
 use crate::config::EngineConfig;
 use crate::engine::{
-    self, BatchOutcome, EngineError, EngineShared, Ledger, PendingRequest, PtRider, World,
+    self, BatchOutcome, EngineError, EngineShared, Ledger, PendingRequest, PtRider,
+    TrafficUpdateOutcome, World,
 };
 use crate::events::{EngineEvent, EventCursor, EventLog};
 use crate::matching::{MatchResult, Matcher, MatcherKind};
@@ -634,6 +635,38 @@ impl RideService {
         outcomes
     }
 
+    /// Applies a live-traffic epoch — the **write path**. The metric swap
+    /// happens under the world write lock (the single admission writer),
+    /// so no in-flight submit can race the epoch: every match either
+    /// completes on the old metric before the swap or starts on the new
+    /// one after it. Publishes a typed [`EngineEvent::TrafficUpdated`] and
+    /// grows [`EngineStats::traffic_epochs`] /
+    /// [`EngineStats::ch_customizations`].
+    ///
+    /// The model must be built over this service's road network
+    /// ([`Self::network`]). Factors are ≥ 1.0 over free flow by
+    /// construction, so every pruning bound stays sound — see DESIGN.md
+    /// "Traffic model".
+    pub fn apply_traffic_update(
+        &self,
+        model: &ptrider_roadnet::TrafficModel,
+        now: f64,
+    ) -> TrafficUpdateOutcome {
+        let outcome = {
+            let _world = self.world.write().unwrap();
+            let mut ledger = self.ledger.lock().unwrap();
+            engine::apply_traffic(&self.shared, &mut ledger, model)
+        };
+        self.events.publish(EngineEvent::TrafficUpdated {
+            epoch: outcome.epoch,
+            ch_repaired: outcome.ch_repaired,
+            congested_arcs: outcome.congested_arcs,
+            max_factor: outcome.max_factor,
+            at: now,
+        });
+        outcome
+    }
+
     /// Matches a request against the current world with an arbitrary
     /// matcher, recording nothing (cross-check / benchmarking entry point;
     /// read path).
@@ -939,6 +972,51 @@ mod tests {
         assert!(events
             .iter()
             .any(|e| matches!(e, EngineEvent::BatchAdmitted { requests: 2, .. })));
+    }
+
+    #[test]
+    fn traffic_update_publishes_event_and_serves_new_metric() {
+        use ptrider_roadnet::TrafficModel;
+        let svc = service(60.0);
+        let mut cursor = svc.subscribe();
+        svc.add_vehicle(VertexId(0));
+        // Relative to the construction epoch: `PTRIDER_TRAFFIC_EPOCHS`
+        // pre-applies synthetic epochs before the service serves.
+        let epoch0 = svc.oracle().traffic_epoch();
+        let base = svc.submit(VertexId(6), VertexId(8), 1, 0.0).unwrap();
+        svc.respond(base.session, Decision::Decline, 0.0).unwrap();
+        let base_price = base.options[0].price;
+
+        let mut model = TrafficModel::free_flow(svc.network());
+        let touched = model.set_segment_factor(svc.network(), VertexId(6), VertexId(7), 3.0);
+        assert_eq!(touched, 2);
+        model.bump_version();
+        let outcome = svc.apply_traffic_update(&model, 1.0);
+        assert_eq!(outcome.epoch, epoch0 + 1);
+        assert_eq!(outcome.congested_arcs, 2);
+        assert_eq!(outcome.max_factor, 3.0);
+        let stats = svc.stats();
+        assert_eq!(stats.traffic_epochs, 1);
+
+        // The congested leg reroutes or re-prices the same request.
+        let after = svc.submit(VertexId(6), VertexId(8), 1, 2.0).unwrap();
+        assert!(!after.options.is_empty());
+        assert!(after.options[0].price >= base_price - 1e-9);
+        svc.respond(after.session, Decision::Decline, 2.0).unwrap();
+
+        let events = svc.poll_events(&mut cursor);
+        assert!(
+            events.iter().any(|e| matches!(
+                e,
+                EngineEvent::TrafficUpdated {
+                    epoch,
+                    congested_arcs: 2,
+                    at,
+                    ..
+                } if *at == 1.0 && *epoch == epoch0 + 1
+            )),
+            "TrafficUpdated must be observable: {events:?}"
+        );
     }
 
     #[test]

@@ -46,6 +46,15 @@ pub struct EngineStats {
     pub offers_declined: u64,
     /// Offers that expired before the rider responded.
     pub offers_expired: u64,
+    /// Traffic epochs applied through `apply_traffic_update` (each swaps
+    /// the oracle's metric and lazily invalidates its cache).
+    pub traffic_epochs: u64,
+    /// Traffic epochs whose contraction hierarchy was repaired by a CCH
+    /// customization pass (≤ `traffic_epochs`; the remainder ran on the
+    /// ALT backend — by configuration or after a repair fallback — or
+    /// were fully free-flow resets, which reinstate the retained
+    /// build-time hierarchy without a pass).
+    pub ch_customizations: u64,
     /// Sum of per-request matcher work counters.
     pub match_work: MatchWork,
 }

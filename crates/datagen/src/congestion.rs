@@ -1,0 +1,233 @@
+//! Rush-hour congestion profiles: deterministic time-of-day traffic-factor
+//! curves over hotspot cells.
+//!
+//! The trip generator ([`crate::trips`]) already skews *demand* toward a
+//! morning and an evening peak around a handful of hotspots; this module
+//! provides the matching *supply-side* distortion — the same peaks slow the
+//! road network down, most strongly near the hotspots where the demand
+//! concentrates (Luo et al.'s peak-period regime: congestion and request
+//! density rise together). A [`CongestionProfile`] maps any instant of the
+//! simulated day to a [`TrafficModel`] of multiplicative factors:
+//!
+//! ```text
+//! factor(arc, t) = 1 + intensity(t) · (background + (peak − background) · proximity(arc))
+//! ```
+//!
+//! * `intensity(t) ∈ [0, 1]` is the time-of-day curve — the max of two
+//!   Gaussian bumps centred on the morning and evening peaks;
+//! * `proximity(arc) ∈ [0, 1]` is a linear decay from the nearest hotspot
+//!   centre to the hotspot radius, evaluated at the arc's midpoint;
+//! * `background` and `peak` are the city-wide and hotspot-core slowdowns
+//!   at full intensity.
+//!
+//! All factors are ≥ 1.0 by construction (the traffic subsystem's
+//! soundness invariant), symmetric per road segment (undirected networks
+//! stay undirected under congestion), and deterministic per seed.
+
+use ptrider_roadnet::{Point, RoadNetwork, TrafficModel};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a rush-hour congestion profile. `Copy` and serde-able
+/// so simulator configurations can embed it.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CongestionConfig {
+    /// Number of congestion hotspots (the first is always the city
+    /// centre, matching the trip generator's demand hotspots in spirit).
+    pub num_hotspots: usize,
+    /// Hotspot radius as a fraction of the city diagonal.
+    pub hotspot_radius_frac: f64,
+    /// Centre of the morning peak, seconds since midnight.
+    pub morning_peak_secs: f64,
+    /// Centre of the evening peak, seconds since midnight.
+    pub evening_peak_secs: f64,
+    /// Standard deviation of each peak's Gaussian bump, in seconds.
+    pub peak_width_secs: f64,
+    /// Slowdown at a hotspot core at full intensity: an arc there takes
+    /// `1 + peak_slowdown` × free-flow. Must be ≥ `background_slowdown`.
+    pub peak_slowdown: f64,
+    /// City-wide slowdown at full intensity, away from every hotspot.
+    pub background_slowdown: f64,
+    /// Random seed for hotspot placement.
+    pub seed: u64,
+}
+
+impl Default for CongestionConfig {
+    fn default() -> Self {
+        CongestionConfig {
+            num_hotspots: 5,
+            hotspot_radius_frac: 0.18,
+            morning_peak_secs: 8.0 * 3600.0,
+            evening_peak_secs: 18.5 * 3600.0,
+            peak_width_secs: 1.5 * 3600.0,
+            // Hotspot cores run at 1/2.5 of free-flow speed at the peak of
+            // the rush; the rest of the city at ~1/1.3.
+            peak_slowdown: 1.5,
+            background_slowdown: 0.3,
+            seed: 20090529,
+        }
+    }
+}
+
+/// A deterministic rush-hour congestion profile over one road network.
+#[derive(Clone, Debug)]
+pub struct CongestionProfile {
+    config: CongestionConfig,
+    hotspots: Vec<Point>,
+    radius: f64,
+}
+
+impl CongestionProfile {
+    /// Builds the profile: the first hotspot is the city centre, the rest
+    /// are placed uniformly at random (deterministic per seed), mirroring
+    /// [`crate::trips::TripGenerator`]'s demand hotspots.
+    pub fn build(net: &RoadNetwork, config: CongestionConfig) -> Self {
+        assert!(
+            config.peak_slowdown >= config.background_slowdown && config.background_slowdown >= 0.0,
+            "slowdowns must satisfy 0 <= background <= peak"
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+        let (min, max) = net.bounding_box();
+        let centre = Point::new((min.x + max.x) / 2.0, (min.y + max.y) / 2.0);
+        let mut hotspots = vec![centre];
+        for _ in 1..config.num_hotspots.max(1) {
+            hotspots.push(Point::new(
+                rng.gen_range(min.x..=max.x),
+                rng.gen_range(min.y..=max.y),
+            ));
+        }
+        let diagonal = ((max.x - min.x).powi(2) + (max.y - min.y).powi(2)).sqrt();
+        CongestionProfile {
+            config,
+            hotspots,
+            radius: (diagonal * config.hotspot_radius_frac).max(1.0),
+        }
+    }
+
+    /// The hotspot centres (first is the city centre).
+    pub fn hotspots(&self) -> &[Point] {
+        &self.hotspots
+    }
+
+    /// The configuration the profile was built from.
+    pub fn config(&self) -> &CongestionConfig {
+        &self.config
+    }
+
+    /// Time-of-day congestion intensity in `[0, 1]`: the max of the
+    /// morning and evening Gaussian bumps, periodic over the day.
+    pub fn intensity_at(&self, time_secs: f64) -> f64 {
+        const DAY: f64 = 86_400.0;
+        let t = time_secs.rem_euclid(DAY);
+        let bump = |peak: f64| {
+            // Wrap-around distance to the peak so a late-evening peak also
+            // shapes the small hours.
+            let d = (t - peak).abs().min(DAY - (t - peak).abs());
+            (-0.5 * (d / self.config.peak_width_secs).powi(2)).exp()
+        };
+        bump(self.config.morning_peak_secs).max(bump(self.config.evening_peak_secs))
+    }
+
+    /// Spatial proximity of a point to the nearest hotspot, in `[0, 1]`
+    /// (1 at a hotspot centre, 0 at or beyond the hotspot radius).
+    pub fn proximity(&self, p: Point) -> f64 {
+        self.hotspots
+            .iter()
+            .map(|h| 1.0 - (h.euclidean(&p) / self.radius).min(1.0))
+            .fold(0.0, f64::max)
+    }
+
+    /// The traffic factor of the road segment between `u` and `v` at
+    /// `time_secs`; always ≥ 1.0.
+    pub fn segment_factor(&self, net: &RoadNetwork, u: Point, v: Point, time_secs: f64) -> f64 {
+        let _ = net;
+        let midpoint = Point::new((u.x + v.x) / 2.0, (u.y + v.y) / 2.0);
+        let c = &self.config;
+        let slowdown = c.background_slowdown
+            + (c.peak_slowdown - c.background_slowdown) * self.proximity(midpoint);
+        1.0 + self.intensity_at(time_secs) * slowdown
+    }
+
+    /// Writes the factors for `time_secs` into `model` (one factor per
+    /// arc, symmetric per segment by construction — both directions of a
+    /// bidirectional edge see the same midpoint) and bumps its version.
+    /// The model must belong to `net`.
+    pub fn update_model(&self, net: &RoadNetwork, time_secs: f64, model: &mut TrafficModel) {
+        for a in net.vertices() {
+            let pa = net.coord(a);
+            for i in net.out_arc_range(a) {
+                let pb = net.coord(net.arc_target(i));
+                model.set_arc_factor(i, self.segment_factor(net, pa, pb, time_secs));
+            }
+        }
+        model.bump_version();
+    }
+
+    /// A fresh [`TrafficModel`] for `time_secs`.
+    pub fn model_at(&self, net: &RoadNetwork, time_secs: f64) -> TrafficModel {
+        let mut model = TrafficModel::free_flow(net);
+        self.update_model(net, time_secs, &mut model);
+        model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::city::{synthetic_city, CityConfig};
+
+    fn profile() -> (ptrider_roadnet::RoadNetwork, CongestionProfile) {
+        let net = synthetic_city(&CityConfig::tiny(7));
+        let profile = CongestionProfile::build(&net, CongestionConfig::default());
+        (net, profile)
+    }
+
+    #[test]
+    fn intensity_peaks_at_rush_hours_and_fades_at_night() {
+        let (_, p) = profile();
+        let morning = p.intensity_at(8.0 * 3600.0);
+        let evening = p.intensity_at(18.5 * 3600.0);
+        let night = p.intensity_at(3.0 * 3600.0);
+        assert!(morning > 0.99);
+        assert!(evening > 0.99);
+        assert!(night < 0.1, "night intensity {night}");
+        // Periodic over the day.
+        assert!((p.intensity_at(8.0 * 3600.0 + 86_400.0) - morning).abs() < 1e-12);
+    }
+
+    #[test]
+    fn factors_are_sound_and_hotspot_centred() {
+        let (net, p) = profile();
+        let model = p.model_at(&net, 8.0 * 3600.0);
+        assert_eq!(model.num_arcs(), net.num_directed_edges());
+        assert!(model.max_factor() <= 1.0 + p.config().peak_slowdown + 1e-9);
+        for i in 0..model.num_arcs() {
+            assert!(model.factor(i) >= 1.0, "arc {i}: {}", model.factor(i));
+        }
+        // The city centre (first hotspot) is more congested than the
+        // corner at rush hour.
+        let centre = p.hotspots()[0];
+        assert!(p.proximity(centre) > 0.99);
+        let (min, _) = net.bounding_box();
+        assert!(p.proximity(centre) > p.proximity(min));
+        // The rush-hour model congests a real share of the network.
+        assert!(model.congested_arcs() > model.num_arcs() / 2);
+    }
+
+    #[test]
+    fn night_model_is_near_free_flow_and_deterministic() {
+        let (net, p) = profile();
+        let night = p.model_at(&net, 3.0 * 3600.0);
+        assert!(night.max_factor() < 1.2, "night max {}", night.max_factor());
+        // Deterministic per seed: same profile, same instant, same factors.
+        let p2 = CongestionProfile::build(&net, CongestionConfig::default());
+        let again = p2.model_at(&net, 3.0 * 3600.0);
+        assert_eq!(night.factors(), again.factors());
+        // Symmetric factors keep the metric undirected.
+        let metric = net
+            .with_metric(p.model_at(&net, 8.0 * 3600.0).scaled_weights(&net))
+            .unwrap();
+        assert_eq!(metric.is_undirected(), net.is_undirected());
+    }
+}

@@ -12,17 +12,23 @@
 //!   urban lattice, faster arterial roads, jittered geometry);
 //! * [`trips`] — a one-day taxi-trip workload generator with rush-hour
 //!   peaks and centre-skewed origins/destinations;
+//! * [`congestion`] — the matching supply-side distortion: deterministic
+//!   rush-hour traffic-factor curves over hotspot cells, producing the
+//!   [`ptrider_roadnet::TrafficModel`] epochs the live-traffic subsystem
+//!   applies;
 //! * [`workload`] — packaged, scalable workloads (fleet + trip stream) whose
 //!   full scale matches the paper's 17,000 vehicles and 432,327 trips.
 
 #![warn(missing_docs)]
 
 pub mod city;
+pub mod congestion;
 pub mod fig1;
 pub mod trips;
 pub mod workload;
 
 pub use city::{synthetic_city, CityConfig};
+pub use congestion::{CongestionConfig, CongestionProfile};
 pub use fig1::{fig1_engine_config, fig1_network, fig1_vertex, Fig1Scenario};
 pub use trips::{BurstConfig, TimedTrip, TripConfig, TripGenerator};
 pub use workload::{scaled_shanghai, Workload, WorkloadConfig};

@@ -51,7 +51,10 @@
 
 pub mod bucket;
 pub mod builder;
+pub mod customize;
 pub mod query;
+
+pub use customize::{CchTopology, CCH_MAX_SHORTCUT_FACTOR};
 
 use crate::graph::RoadNetwork;
 use crate::types::VertexId;

@@ -21,6 +21,14 @@ pub enum RoadNetError {
     EmptyNetwork,
     /// A vertex coordinate is not finite.
     InvalidCoordinate(VertexId),
+    /// A replacement metric ([`crate::RoadNetwork::with_metric`]) does not
+    /// carry exactly one weight per CSR arc of the network.
+    MetricLengthMismatch {
+        /// Number of directed arcs in the network.
+        expected: usize,
+        /// Number of weights supplied.
+        got: usize,
+    },
 }
 
 impl fmt::Display for RoadNetError {
@@ -35,6 +43,10 @@ impl fmt::Display for RoadNetError {
             RoadNetError::InvalidCoordinate(v) => {
                 write!(f, "vertex {v} has a non-finite coordinate")
             }
+            RoadNetError::MetricLengthMismatch { expected, got } => write!(
+                f,
+                "replacement metric carries {got} weights for a network of {expected} directed arcs"
+            ),
         }
     }
 }

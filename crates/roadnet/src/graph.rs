@@ -282,6 +282,105 @@ impl RoadNetwork {
         self.weights.iter().sum()
     }
 
+    /// CSR arc-index range of the outgoing arcs of `v`. Arc indices are
+    /// stable for the lifetime of the network (and across
+    /// [`Self::with_metric`] re-weightings, which preserve the topology),
+    /// so they serve as compact per-arc keys — the representation
+    /// [`crate::traffic::TrafficModel`] stores its factors under.
+    #[inline]
+    pub fn out_arc_range(&self, v: VertexId) -> std::ops::Range<usize> {
+        self.offsets[v.index()] as usize..self.offsets[v.index() + 1] as usize
+    }
+
+    /// Target vertex of the CSR arc at `index`.
+    ///
+    /// # Panics
+    /// Panics if `index` is out of range.
+    #[inline]
+    pub fn arc_target(&self, index: usize) -> VertexId {
+        self.targets[index]
+    }
+
+    /// Weight of the CSR arc at `index`.
+    ///
+    /// # Panics
+    /// Panics if `index` is out of range.
+    #[inline]
+    pub fn arc_weight(&self, index: usize) -> f64 {
+        self.weights[index]
+    }
+
+    /// Builds a network with the **same topology** (vertices, arcs, arc
+    /// indices) but a new weight per CSR arc — the metric-swap entry point
+    /// of the live-traffic subsystem. `weights[i]` replaces the weight of
+    /// the arc at CSR index `i`; the derived quantities (`min_weight_ratio`,
+    /// the undirectedness flag) are recomputed from the new metric.
+    ///
+    /// Callers that scale the free-flow weights by factors ≥ 1.0 (as
+    /// [`crate::traffic::TrafficModel`] does) obtain a metric that
+    /// dominates the base metric edge by edge, so every lower bound derived
+    /// from the base network (Euclidean, grid, landmark) remains admissible
+    /// for the new metric — see DESIGN.md "Traffic model".
+    pub fn with_metric(&self, weights: Vec<f64>) -> Result<RoadNetwork, RoadNetError> {
+        if weights.len() != self.targets.len() {
+            return Err(RoadNetError::MetricLengthMismatch {
+                expected: self.targets.len(),
+                got: weights.len(),
+            });
+        }
+        let mut min_weight_ratio = f64::INFINITY;
+        for v in self.vertices() {
+            for i in self.out_arc_range(v) {
+                let w = weights[i];
+                if !w.is_finite() || w < 0.0 {
+                    return Err(RoadNetError::InvalidWeight {
+                        from: v,
+                        to: self.targets[i],
+                        weight: w,
+                    });
+                }
+                let euclid = self.euclidean(v, self.targets[i]);
+                if euclid > 0.0 {
+                    min_weight_ratio = min_weight_ratio.min(w / euclid);
+                }
+            }
+        }
+        if !min_weight_ratio.is_finite() {
+            min_weight_ratio = 0.0;
+        }
+        // Undirectedness under the new metric: the topology is symmetric iff
+        // the base network's was, but asymmetric re-weighting can still break
+        // dist(u, v) = dist(v, u), so the reverse-twin check reruns on the
+        // new weights.
+        let undirected = {
+            let mut set: std::collections::HashSet<(u32, u32, u64)> =
+                std::collections::HashSet::with_capacity(weights.len());
+            let mut all = true;
+            for v in self.vertices() {
+                for i in self.out_arc_range(v) {
+                    set.insert((v.0, self.targets[i].0, weights[i].to_bits()));
+                }
+            }
+            'outer: for v in self.vertices() {
+                for i in self.out_arc_range(v) {
+                    if !set.contains(&(self.targets[i].0, v.0, weights[i].to_bits())) {
+                        all = false;
+                        break 'outer;
+                    }
+                }
+            }
+            all
+        };
+        Ok(RoadNetwork {
+            coords: self.coords.clone(),
+            offsets: self.offsets.clone(),
+            targets: self.targets.clone(),
+            weights,
+            min_weight_ratio,
+            undirected,
+        })
+    }
+
     /// All directed edges, in CSR order.
     pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
         (0..self.num_vertices()).flat_map(move |u| {

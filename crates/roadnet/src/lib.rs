@@ -10,6 +10,13 @@
 //! and cheap lower bounds to the matching algorithms in `ptrider-core`
 //! through one of two swappable exact backends ([`DistanceBackend`]).
 //!
+//! The metric is **live**: [`traffic`] overlays epoch-versioned
+//! multiplicative edge factors (≥ 1.0 over free flow, so every lower bound
+//! stays admissible by construction), [`DistanceOracle::apply_traffic`]
+//! swaps the metric and lazily invalidates the epoch-stamped cache, and
+//! [`CchTopology`] repairs the contraction hierarchy with a
+//! customizable-CH-style weight pass instead of a rebuild.
+//!
 //! Distances are expressed in metres and converted to travel time with a
 //! constant speed (the paper assumes 48 km/h); see [`Speed`].
 //!
@@ -43,12 +50,16 @@ pub mod grid;
 pub mod landmarks;
 pub mod oracle;
 pub mod scratch;
+pub mod traffic;
 pub mod types;
 
-pub use ch::{ChBuildError, ChConfig, ContractionHierarchy};
+pub use ch::{CchTopology, ChBuildError, ChConfig, ContractionHierarchy};
 pub use error::RoadNetError;
 pub use graph::{Edge, RoadNetwork, RoadNetworkBuilder};
 pub use grid::{CellId, GridCell, GridConfig, GridIndex};
 pub use landmarks::LandmarkIndex;
-pub use oracle::{num_cache_shards, DistanceBackend, DistanceOracle, DEFAULT_CACHE_CAPACITY};
+pub use oracle::{
+    num_cache_shards, DistanceBackend, DistanceOracle, TrafficApplied, DEFAULT_CACHE_CAPACITY,
+};
+pub use traffic::{TrafficEdge, TrafficModel};
 pub use types::{Point, Speed, VertexId, INFINITE_DISTANCE};

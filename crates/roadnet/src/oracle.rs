@@ -50,16 +50,36 @@
 //!   full shard takes an insert, unreferenced entries are evicted while
 //!   referenced ones survive with their bit cleared. Long-running engines
 //!   no longer grow the cache without bound.
+//! * **Epoch-stamped live-traffic metric** — the oracle separates the
+//!   *base* (free-flow) network, which the grid/landmark/Euclidean lower
+//!   bounds are built on, from the *metric* network exact queries run on.
+//!   [`DistanceOracle::apply_traffic`] swaps in a re-weighted metric
+//!   ([`RoadNetwork::with_metric`] over a [`crate::traffic::TrafficModel`]
+//!   of factors ≥ 1.0), repairs the CH backend with a customization pass
+//!   ([`crate::ch::CchTopology`], falling back to ALT when the graph
+//!   cannot be repaired) and bumps the **metric epoch**. Cache entries are
+//!   stamped with the epoch they were computed under; a lookup whose stamp
+//!   differs from the current epoch is a miss, so an epoch change
+//!   invalidates the whole cache *lazily* — no stop-the-world clear, stale
+//!   entries are overwritten on re-insert and swept first by eviction.
+//!   Because factors never drop below 1.0, every base-metric lower bound
+//!   stays admissible for every epoch (see DESIGN.md "Traffic model").
+//!   Epoch swaps are not linearizable with *in-flight* exact queries (a
+//!   query that raced the swap may return and cache a previous-epoch value
+//!   under the previous stamp); callers that need a clean cut — the
+//!   engine's `apply_traffic_update` — serialise the swap behind their
+//!   write path.
 //!
 //! The exact-computation counters feed the pruning-effectiveness experiment
 //! (E8).
 
 use crate::astar;
-use crate::ch::ContractionHierarchy;
+use crate::ch::{CchTopology, ContractionHierarchy};
 use crate::dijkstra;
 use crate::graph::RoadNetwork;
 use crate::grid::GridIndex;
 use crate::landmarks::LandmarkIndex;
+use crate::traffic::TrafficModel;
 use crate::types::VertexId;
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
@@ -118,15 +138,55 @@ impl std::fmt::Display for DistanceBackend {
     }
 }
 
-/// One memoised distance plus its clock (second-chance) referenced bit. The
-/// bit is set on every hit through a shard *read* lock, which is why it is
-/// atomic rather than plain.
+/// One memoised distance plus its clock (second-chance) referenced bit and
+/// the metric epoch it was computed under. The bit is set on every hit
+/// through a shard *read* lock, which is why it is atomic rather than
+/// plain; the epoch stamp is immutable per entry — an entry whose stamp
+/// differs from the oracle's current epoch is invisible to lookups and the
+/// first to go under eviction pressure.
 struct CacheSlot {
     dist: f64,
+    epoch: u64,
     referenced: AtomicBool,
 }
 
 type Shard = RwLock<HashMap<(VertexId, VertexId), CacheSlot>>;
+
+/// The swappable exact-query substrate: which network weights and which
+/// (possibly repaired) hierarchy answer cache misses right now. Guarded by
+/// one `RwLock` — exact computations hold a read guard for their duration,
+/// [`DistanceOracle::apply_traffic`] takes the write guard to swap.
+struct MetricState {
+    /// The network exact queries run on: the base network at epoch 0, a
+    /// [`RoadNetwork::with_metric`] re-weighting afterwards.
+    net: Arc<RoadNetwork>,
+    /// The hierarchy answering CH-backend queries under this metric
+    /// (`None` on the ALT backend, or after a repair fallback).
+    ch: Option<Arc<ContractionHierarchy>>,
+    /// Monotone metric epoch; 0 is the build-time free-flow metric.
+    epoch: u64,
+    /// Whether *this metric* is symmetric (asymmetric traffic factors can
+    /// break the base network's undirectedness) — controls canonical-
+    /// direction cache folding.
+    undirected: bool,
+}
+
+/// What [`DistanceOracle::apply_traffic`] did.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TrafficApplied {
+    /// The metric epoch now in effect (stamped on new cache entries).
+    pub epoch: u64,
+    /// `true` when the CH backend was repaired by a customization pass;
+    /// `false` on the ALT backend, after a repair fallback — or when a
+    /// fully free-flow model reinstated the retained build-time hierarchy
+    /// instead (no pass needed; the witness-pruned hierarchy is both exact
+    /// and faster than any customized one).
+    pub ch_repaired: bool,
+    /// Arcs above free flow in the applied model.
+    pub congested_arcs: usize,
+    /// Largest factor in the applied model.
+    pub max_factor: f64,
+}
 
 #[inline]
 fn shard_of(u: VertexId, v: VertexId) -> usize {
@@ -144,15 +204,32 @@ fn shard_of(u: VertexId, v: VertexId) -> usize {
 /// Cloning the oracle is cheap; clones share the same cache and counters.
 #[derive(Clone)]
 pub struct DistanceOracle {
+    /// The base (free-flow) network: coordinates, lower-bound substrate,
+    /// and the topology every traffic metric re-weights.
     net: Arc<RoadNetwork>,
     grid: Arc<GridIndex>,
     landmarks: Option<Arc<LandmarkIndex>>,
-    /// The contraction hierarchy, present iff the resolved backend is
-    /// [`DistanceBackend::Ch`].
-    ch: Option<Arc<ContractionHierarchy>>,
-    /// The backend actually in use (may be `Alt` even when `Ch` was
-    /// requested, if hierarchy construction failed).
-    backend: DistanceBackend,
+    /// The build-time (witness-pruned) hierarchy over the base metric,
+    /// retained so a fully free-flow traffic model can reinstate it — it
+    /// answers queries ~an order of magnitude faster than the repair
+    /// topology's customized hierarchy.
+    base_ch: Option<Arc<ContractionHierarchy>>,
+    /// The backend the caller asked for (repair decisions key off this).
+    requested_backend: DistanceBackend,
+    /// The metric exact queries currently run on (epoch-swapped).
+    metric: Arc<RwLock<MetricState>>,
+    /// Lock-free mirror of the metric epoch for cache staleness checks.
+    epoch: Arc<AtomicU64>,
+    /// Lock-free mirror of the current metric's undirectedness for
+    /// canonical cache folding.
+    metric_undirected: Arc<AtomicBool>,
+    /// Lazily-built CH repair topology (`None` inside = repair impossible,
+    /// reason recorded in `fallback`).
+    cch: Arc<OnceLock<Option<Arc<CchTopology>>>>,
+    /// Why the oracle is not running the backend it was asked for (CH
+    /// construction failure at build time, or repair-topology failure at
+    /// the first traffic epoch). `None` while requested == effective.
+    fallback: Arc<RwLock<Option<String>>>,
     cache: Arc<Vec<Shard>>,
     /// Per-shard entry cap for clock eviction; `usize::MAX` disables it.
     shard_capacity: usize,
@@ -165,18 +242,33 @@ pub struct DistanceOracle {
     cache_hits: Arc<AtomicU64>,
     lower_bound_queries: Arc<AtomicU64>,
     evictions: Arc<AtomicU64>,
+    /// Traffic epochs applied (equals the current metric epoch).
+    traffic_epochs: Arc<AtomicU64>,
+    /// CH customization passes run by [`Self::apply_traffic`].
+    ch_customizations: Arc<AtomicU64>,
 }
 
 impl DistanceOracle {
     /// Creates an oracle over a network and its grid index (no landmark
     /// acceleration; see [`Self::with_landmarks`]).
     pub fn new(net: Arc<RoadNetwork>, grid: Arc<GridIndex>) -> Self {
+        let undirected = net.is_undirected();
         DistanceOracle {
+            metric: Arc::new(RwLock::new(MetricState {
+                net: Arc::clone(&net),
+                ch: None,
+                epoch: 0,
+                undirected,
+            })),
             net,
             grid,
             landmarks: None,
-            ch: None,
-            backend: DistanceBackend::Alt,
+            base_ch: None,
+            requested_backend: DistanceBackend::Alt,
+            epoch: Arc::new(AtomicU64::new(0)),
+            metric_undirected: Arc::new(AtomicBool::new(undirected)),
+            cch: Arc::new(OnceLock::new()),
+            fallback: Arc::new(RwLock::new(None)),
             cache: Arc::new(
                 (0..num_cache_shards())
                     .map(|_| RwLock::new(HashMap::new()))
@@ -188,6 +280,8 @@ impl DistanceOracle {
             cache_hits: Arc::new(AtomicU64::new(0)),
             lower_bound_queries: Arc::new(AtomicU64::new(0)),
             evictions: Arc::new(AtomicU64::new(0)),
+            traffic_epochs: Arc::new(AtomicU64::new(0)),
+            ch_customizations: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -233,16 +327,21 @@ impl DistanceOracle {
     ) -> Self {
         let mut oracle = Self::new(net, grid);
         oracle.landmarks = landmarks;
+        oracle.requested_backend = backend;
         if backend == DistanceBackend::Ch {
             match ContractionHierarchy::build(&oracle.net) {
                 Ok(ch) => {
-                    oracle.ch = Some(Arc::new(ch));
-                    oracle.backend = DistanceBackend::Ch;
+                    let ch = Arc::new(ch);
+                    oracle.base_ch = Some(Arc::clone(&ch));
+                    oracle.metric.write().ch = Some(ch);
                 }
-                Err(_) => {
+                Err(e) => {
                     // Unsupported input for contraction (e.g. shortcut
-                    // blow-up): stay exact via the ALT backend.
-                    oracle.backend = DistanceBackend::Alt;
+                    // blow-up): stay exact via the ALT backend, and leave
+                    // an observable trace instead of failing silently —
+                    // see `backend_fallback`.
+                    *oracle.fallback.write() =
+                        Some(format!("ch construction failed, serving via alt: {e}"));
                 }
             }
         }
@@ -260,9 +359,20 @@ impl DistanceOracle {
     ) -> Self {
         let mut oracle = Self::new(net, grid);
         oracle.landmarks = landmarks;
-        oracle.ch = Some(ch);
-        oracle.backend = DistanceBackend::Ch;
+        oracle.requested_backend = DistanceBackend::Ch;
+        oracle.base_ch = Some(Arc::clone(&ch));
+        oracle.metric.write().ch = Some(ch);
         oracle
+    }
+
+    /// Pre-seeds the CH repair topology (builder style, before sharing) —
+    /// the many-engines-one-city path for live traffic, mirroring
+    /// [`Self::with_contraction_hierarchy`]: build the topology once
+    /// (~seconds at city scale) and hand every oracle the same `Arc`
+    /// instead of paying the lazy build on each oracle's first epoch.
+    pub fn with_repair_topology(self, topology: Arc<crate::ch::CchTopology>) -> Self {
+        let _ = self.cch.set(Some(topology));
+        self
     }
 
     /// Overrides the total cache capacity (entries across all shards).
@@ -277,15 +387,36 @@ impl DistanceOracle {
         self
     }
 
-    /// The exact backend actually answering cache misses (may differ from
-    /// the requested one after a CH-construction fallback).
+    /// The exact backend actually answering cache misses right now (may
+    /// differ from [`Self::requested_backend`] after a CH-construction
+    /// fallback, or after a traffic epoch the hierarchy could not be
+    /// repaired for — see [`Self::backend_fallback`] for why).
     pub fn backend(&self) -> DistanceBackend {
-        self.backend
+        if self.metric.read().ch.is_some() {
+            DistanceBackend::Ch
+        } else {
+            DistanceBackend::Alt
+        }
     }
 
-    /// The contraction hierarchy, if this oracle runs the CH backend.
-    pub fn contraction_hierarchy(&self) -> Option<&Arc<ContractionHierarchy>> {
-        self.ch.as_ref()
+    /// The backend this oracle was asked to run.
+    pub fn requested_backend(&self) -> DistanceBackend {
+        self.requested_backend
+    }
+
+    /// Why the effective backend differs from the requested one (`None`
+    /// while they agree): CH construction failure at build time, or a
+    /// repair-topology failure at the first traffic epoch. The perf report
+    /// surfaces this so a silent ALT fallback is visible in CI artifacts.
+    pub fn backend_fallback(&self) -> Option<String> {
+        self.fallback.read().clone()
+    }
+
+    /// The hierarchy currently answering CH-backend queries (the build-time
+    /// hierarchy at epoch 0, a customized one after a traffic epoch), if
+    /// this oracle runs the CH backend.
+    pub fn contraction_hierarchy(&self) -> Option<Arc<ContractionHierarchy>> {
+        self.metric.read().ch.clone()
     }
 
     /// Total cache capacity in entries (`usize::MAX` when unbounded).
@@ -297,9 +428,29 @@ impl DistanceOracle {
         }
     }
 
-    /// The underlying road network.
+    /// The underlying **base** (free-flow) road network — the topology,
+    /// the coordinates and the lower-bound substrate. Exact queries run on
+    /// [`Self::metric_network`], which equals the base network until a
+    /// traffic epoch is applied.
     pub fn network(&self) -> &RoadNetwork {
         &self.net
+    }
+
+    /// The network exact queries currently run on: the base network at
+    /// epoch 0, the latest [`RoadNetwork::with_metric`] re-weighting after
+    /// a traffic epoch.
+    pub fn metric_network(&self) -> Arc<RoadNetwork> {
+        Arc::clone(&self.metric.read().net)
+    }
+
+    /// The current traffic epoch (0 = build-time free-flow metric).
+    pub fn traffic_epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
+    }
+
+    /// CH customization passes run so far by [`Self::apply_traffic`].
+    pub fn ch_customizations(&self) -> u64 {
+        self.ch_customizations.load(Ordering::Relaxed)
     }
 
     /// The underlying grid index.
@@ -322,12 +473,15 @@ impl DistanceOracle {
         Arc::clone(&self.grid)
     }
 
-    /// The cache key of a pair: on undirected networks the unordered pair's
-    /// canonical form (smaller vertex id first), so both query directions
-    /// share one entry carrying the canonical fold.
+    /// The cache key of a pair: on (currently) undirected metrics the
+    /// unordered pair's canonical form (smaller vertex id first), so both
+    /// query directions share one entry carrying the canonical fold.
+    /// Asymmetric traffic factors flip the metric to directed, and with it
+    /// the keying — entries from the previous symmetry regime are already
+    /// invisible via their epoch stamp.
     #[inline]
     fn cache_key(&self, u: VertexId, v: VertexId) -> (VertexId, VertexId) {
-        if v < u && self.net.is_undirected() {
+        if v < u && self.metric_undirected.load(Ordering::Relaxed) {
             (v, u)
         } else {
             (u, v)
@@ -340,13 +494,19 @@ impl DistanceOracle {
             // The seed's Mutex had no shared-read mode.
             return self.cache[0].write().get(&(u, v)).map(|s| s.dist);
         }
+        let epoch = self.epoch.load(Ordering::Relaxed);
         let key = self.cache_key(u, v);
         let shard = self.cache[shard_of(key.0, key.1)].read();
-        shard.get(&key).map(|slot| {
+        shard.get(&key).and_then(|slot| {
+            // A stamp from another epoch means the entry was computed on a
+            // different metric: invisible, awaiting overwrite or eviction.
+            if slot.epoch != epoch {
+                return None;
+            }
             // Second chance: a hit through the read lock marks the entry
             // referenced so the next eviction sweep spares it.
             slot.referenced.store(true, Ordering::Relaxed);
-            slot.dist
+            Some(slot.dist)
         })
     }
 
@@ -364,10 +524,17 @@ impl DistanceOracle {
         map: &mut HashMap<(VertexId, VertexId), CacheSlot>,
         key: (VertexId, VertexId),
         d: f64,
+        epoch: u64,
     ) {
         if map.len() >= self.shard_capacity && !map.contains_key(&key) {
             let before = map.len();
+            let current = self.epoch.load(Ordering::Relaxed);
             map.retain(|_, slot| {
+                // Entries from another metric epoch are dead weight: evict
+                // them outright, no second chance.
+                if slot.epoch != current {
+                    return false;
+                }
                 let keep = *slot.referenced.get_mut();
                 *slot.referenced.get_mut() = false;
                 keep
@@ -387,25 +554,28 @@ impl DistanceOracle {
             key,
             CacheSlot {
                 dist: d,
+                epoch,
                 referenced: AtomicBool::new(false),
             },
         );
     }
 
     #[inline]
-    fn store(&self, u: VertexId, v: VertexId, d: f64) {
+    fn store(&self, u: VertexId, v: VertexId, d: f64, epoch: u64) {
         if self.legacy {
             // Legacy baseline: unbounded single-map cache, as the seed had.
             self.cache[0].write().insert(
                 (u, v),
                 CacheSlot {
                     dist: d,
+                    epoch: 0,
                     referenced: AtomicBool::new(false),
                 },
             );
             if self.net.is_undirected() {
                 self.cache[0].write().entry((v, u)).or_insert(CacheSlot {
                     dist: d,
+                    epoch: 0,
                     referenced: AtomicBool::new(false),
                 });
             }
@@ -414,16 +584,25 @@ impl DistanceOracle {
         // One canonical entry per unordered pair on undirected networks
         // (half the footprint of the old two-direction mirror).
         let key = self.cache_key(u, v);
-        self.insert_with_eviction(&mut self.cache[shard_of(key.0, key.1)].write(), key, d);
+        self.insert_with_eviction(
+            &mut self.cache[shard_of(key.0, key.1)].write(),
+            key,
+            d,
+            epoch,
+        );
     }
 
-    /// Exact distance straight from the active backend, bypassing the cache.
+    /// Exact distance on a metric snapshot, bypassing the cache. The grid
+    /// and landmark heuristics were built on the base metric; with traffic
+    /// factors ≥ 1.0 they lower-bound base distances which lower-bound
+    /// metric distances, so they stay admissible (and consistent) on every
+    /// epoch's network.
     #[inline]
-    fn backend_distance(&self, u: VertexId, v: VertexId) -> f64 {
-        match (&self.ch, self.backend) {
-            (Some(ch), DistanceBackend::Ch) => ch.distance(u, v),
-            _ => astar::distance_with_landmarks(
-                &self.net,
+    fn snapshot_distance(&self, m: &MetricState, u: VertexId, v: VertexId) -> f64 {
+        match &m.ch {
+            Some(ch) => ch.distance(u, v),
+            None => astar::distance_with_landmarks(
+                &m.net,
                 u,
                 v,
                 Some(&self.grid),
@@ -433,18 +612,25 @@ impl DistanceOracle {
         }
     }
 
-    /// Exact distance folded in canonical direction: on undirected networks
-    /// the search always runs from the smaller vertex id, so the returned
-    /// bits depend only on the pair — never on which direction a caller
-    /// happened to ask first.
+    /// Exact distance folded in canonical direction under the current
+    /// metric snapshot, plus the epoch to stamp the cache entry with: on
+    /// undirected metrics the search always runs from the smaller vertex
+    /// id, so the returned bits depend only on the pair — never on which
+    /// direction a caller happened to ask first.
     #[inline]
-    fn backend_distance_canonical(&self, u: VertexId, v: VertexId) -> f64 {
-        let (a, b) = self.cache_key(u, v);
-        self.backend_distance(a, b)
+    fn backend_distance_canonical(&self, u: VertexId, v: VertexId) -> (f64, u64) {
+        let m = self.metric.read();
+        let (a, b) = if v < u && m.undirected {
+            (v, u)
+        } else {
+            (u, v)
+        };
+        (self.snapshot_distance(&m, a, b), m.epoch)
     }
 
-    /// Exact shortest-path distance, memoised. Returns `f64::INFINITY` when
-    /// unreachable so callers can treat the result as a plain cost.
+    /// Exact shortest-path distance **under the current traffic metric**,
+    /// memoised per epoch. Returns `f64::INFINITY` when unreachable so
+    /// callers can treat the result as a plain cost.
     pub fn distance(&self, u: VertexId, v: VertexId) -> f64 {
         if u == v {
             return 0.0;
@@ -454,12 +640,13 @@ impl DistanceOracle {
             return d;
         }
         self.exact_computations.fetch_add(1, Ordering::Relaxed);
-        let d = if self.legacy {
-            dijkstra::distance_allocating(&self.net, u, v).unwrap_or(f64::INFINITY)
-        } else {
-            self.backend_distance_canonical(u, v)
-        };
-        self.store(u, v, d);
+        if self.legacy {
+            let d = dijkstra::distance_allocating(&self.net, u, v).unwrap_or(f64::INFINITY);
+            self.store(u, v, d, 0);
+            return d;
+        }
+        let (d, epoch) = self.backend_distance_canonical(u, v);
+        self.store(u, v, d, epoch);
         d
     }
 
@@ -496,17 +683,33 @@ impl DistanceOracle {
             // search or a CH upward query) beat a batch whose cost is
             // dominated by setup.
             1..=3 => {
+                let m = self.metric.read();
+                let epoch = m.epoch;
+                // Computed under the snapshot, stored after it is released
+                // (store takes shard write locks; keep the hold sets small).
+                let mut drop_store: Vec<(VertexId, f64)> = Vec::with_capacity(missing.len());
                 for (&i, &t) in missing_idx.iter().zip(missing.iter()) {
                     self.exact_computations.fetch_add(1, Ordering::Relaxed);
-                    let d = self.backend_distance_canonical(source, t);
-                    self.store(source, t, d);
+                    let (a, b) = if t < source && m.undirected {
+                        (t, source)
+                    } else {
+                        (source, t)
+                    };
+                    let d = self.snapshot_distance(&m, a, b);
                     out[i] = d;
+                    drop_store.push((t, d));
+                }
+                drop(m);
+                for (t, d) in drop_store {
+                    self.store(source, t, d, epoch);
                 }
             }
             _ => {
                 self.exact_computations.fetch_add(1, Ordering::Relaxed);
-                let undirected = self.net.is_undirected();
-                let ds: Vec<f64> = match (&self.ch, self.backend) {
+                let m = self.metric.read();
+                let epoch = m.epoch;
+                let undirected = m.undirected;
+                let ds: Vec<f64> = match &m.ch {
                     // CH many-to-many bucket query: k backward upward
                     // searches plus one forward — independent of the
                     // geometric spread of the targets. On undirected
@@ -514,7 +717,7 @@ impl DistanceOracle {
                     // fold runs the other way) are answered by canonical-
                     // direction point queries instead; CH point queries are
                     // microsecond-scale, so the batch still wins.
-                    (Some(ch), DistanceBackend::Ch) => {
+                    Some(ch) => {
                         if undirected {
                             let fwd: Vec<VertexId> =
                                 missing.iter().copied().filter(|&t| source < t).collect();
@@ -533,23 +736,140 @@ impl DistanceOracle {
                             ch.distances_from(source, &missing)
                         }
                     }
-                    // ALT: one bounded multi-target Dijkstra ball, folded in
-                    // canonical direction on undirected networks.
-                    _ => {
+                    // ALT: one bounded multi-target Dijkstra ball on the
+                    // metric network, folded in canonical direction on
+                    // undirected metrics.
+                    None => {
                         if undirected {
-                            dijkstra::multi_target_canonical(&self.net, source, &missing)
+                            dijkstra::multi_target_canonical(&m.net, source, &missing)
                         } else {
-                            dijkstra::multi_target(&self.net, source, &missing)
+                            dijkstra::multi_target(&m.net, source, &missing)
                         }
                     }
                 };
+                drop(m);
                 for ((&i, &t), d) in missing_idx.iter().zip(missing.iter()).zip(ds) {
-                    self.store(source, t, d);
+                    self.store(source, t, d, epoch);
                     out[i] = d;
                 }
             }
         }
         out
+    }
+
+    /// Applies a traffic model: swaps in the scaled metric network, repairs
+    /// the CH backend (customization pass over the repair topology — built
+    /// lazily on the first epoch — with an ALT fallback when the graph
+    /// cannot be repaired), and bumps the metric epoch, which lazily
+    /// invalidates every cache shard without a stop-the-world clear.
+    ///
+    /// Epoch swaps are not linearizable with in-flight exact queries; see
+    /// the module docs. The engine-level `apply_traffic_update` wrappers
+    /// run this behind the admission writer so no query is in flight.
+    ///
+    /// # Panics
+    /// Panics if `model` was built for a different network (arc-count
+    /// mismatch). On the legacy-baseline oracle this is a no-op (the
+    /// baseline predates the metric split; it exists only as a benchmark
+    /// reference).
+    pub fn apply_traffic(&self, model: &TrafficModel) -> TrafficApplied {
+        if self.legacy {
+            return TrafficApplied {
+                epoch: 0,
+                ch_repaired: false,
+                congested_arcs: model.congested_arcs(),
+                max_factor: model.max_factor(),
+            };
+        }
+        // A fully free-flow model scales every weight by exactly 1.0, so
+        // the metric is bit-identical to the base network: reinstate the
+        // base `Arc` and the retained build-time hierarchy (which answers
+        // queries ~an order of magnitude faster than a customized one)
+        // instead of re-deriving both. The epoch still bumps — cached
+        // entries hold previous-epoch traffic values.
+        let free_flow = model.congested_arcs() == 0;
+        // One shared weight vector per congested epoch: the metric network
+        // and the customized hierarchy fold the very same products, which
+        // is what makes unpacked CH sums bit-identical to Dijkstra.
+        let scaled = (!free_flow).then(|| model.scaled_weights(&self.net));
+        let metric_net = match &scaled {
+            None => {
+                debug_assert_eq!(model.num_arcs(), self.net.num_directed_edges());
+                Arc::clone(&self.net)
+            }
+            Some(scaled) => Arc::new(
+                self.net
+                    .with_metric(scaled.clone())
+                    .expect("scaled weights are finite, non-negative and length-checked"),
+            ),
+        };
+        let mut ch_repaired = false;
+        let new_ch = if self.requested_backend != DistanceBackend::Ch {
+            None
+        } else if free_flow && self.base_ch.is_some() {
+            self.base_ch.clone()
+        } else {
+            self.repair_topology().map(|topo| {
+                let weights = match &scaled {
+                    Some(scaled) => topo.customize(scaled),
+                    // Free flow without a retained build-time hierarchy
+                    // (construction failed but repair works): customize on
+                    // the base weights.
+                    None => topo.customize(&model.scaled_weights(&self.net)),
+                };
+                self.ch_customizations.fetch_add(1, Ordering::Relaxed);
+                ch_repaired = true;
+                Arc::new(weights)
+            })
+        };
+        if new_ch.is_some() {
+            // The effective backend matches the requested one again; any
+            // fallback reason recorded earlier no longer describes the
+            // oracle's state.
+            *self.fallback.write() = None;
+        }
+        let undirected = metric_net.is_undirected();
+        let epoch = {
+            let mut state = self.metric.write();
+            state.net = metric_net;
+            state.ch = new_ch;
+            state.epoch += 1;
+            state.undirected = undirected;
+            // The lock-free mirrors are refreshed while the write guard is
+            // still held, so no reader can observe the new epoch with the
+            // old symmetry flag or vice versa once the swap completes.
+            self.metric_undirected.store(undirected, Ordering::Relaxed);
+            self.epoch.store(state.epoch, Ordering::Relaxed);
+            state.epoch
+        };
+        self.traffic_epochs.fetch_add(1, Ordering::Relaxed);
+        TrafficApplied {
+            epoch,
+            ch_repaired,
+            congested_arcs: model.congested_arcs(),
+            max_factor: model.max_factor(),
+        }
+    }
+
+    /// The lazily-built CH repair topology, or `None` (with the reason
+    /// recorded for [`Self::backend_fallback`]) when repair is impossible —
+    /// i.e. witness-free min-degree contraction would blow the shortcut
+    /// budget. Independent of the witness hierarchy: the topology carries
+    /// its own fill-in-reducing order, so even an oracle whose build-time
+    /// CH construction failed can serve traffic epochs on a repaired
+    /// hierarchy when the graph admits one.
+    fn repair_topology(&self) -> Option<&Arc<CchTopology>> {
+        self.cch
+            .get_or_init(|| match CchTopology::build(&self.net) {
+                Ok(topo) => Some(Arc::new(topo)),
+                Err(e) => {
+                    *self.fallback.write() = Some(format!(
+                        "ch repair topology failed, traffic epochs served via alt: {e}"
+                    ));
+                    None
+                }
+            })
+            .as_ref()
     }
 
     /// Cheap lower bound on the shortest-path distance (never exceeds
@@ -641,7 +961,8 @@ impl std::fmt::Debug for DistanceOracle {
         f.debug_struct("DistanceOracle")
             .field("vertices", &self.net.num_vertices())
             .field("cells", &self.grid.num_cells())
-            .field("backend", &self.backend)
+            .field("backend", &self.backend())
+            .field("traffic_epoch", &self.traffic_epoch())
             .field(
                 "landmarks",
                 &self.landmarks.as_ref().map(|l| l.landmarks().len()),
@@ -947,6 +1268,85 @@ mod tests {
         let exact_before = o.exact_computations();
         let _ = o.distance(cold.0, cold.1);
         assert_eq!(o.exact_computations(), exact_before + 1, "cold evicted");
+    }
+
+    #[test]
+    fn traffic_epoch_invalidates_cached_distances_lazily() {
+        for backend in [DistanceBackend::Alt, DistanceBackend::Ch] {
+            let o = lattice_oracle_with_backend(backend);
+            let (u, v) = (VertexId(0), VertexId(24));
+            assert_eq!(o.traffic_epoch(), 0);
+            let base = o.distance(u, v);
+            assert_eq!(base, 800.0);
+            assert_eq!(o.exact_computations(), 1);
+            assert!(o.cache_len() > 0, "the base answer is cached");
+
+            // Congest everything 2x: the cached entry must become invisible
+            // without a clear, and the fresh answer reflects the new metric.
+            let model = TrafficModel::uniform(o.network(), 2.0);
+            let applied = o.apply_traffic(&model);
+            assert_eq!(applied.epoch, 1);
+            assert_eq!(o.traffic_epoch(), 1);
+            assert_eq!(applied.ch_repaired, backend == DistanceBackend::Ch);
+            assert_eq!(o.backend(), backend, "backend survives the epoch");
+            let congested = o.distance(u, v);
+            assert_eq!(congested, 1600.0, "backend {backend}");
+            assert_eq!(o.exact_computations(), 2, "stale entry must not hit");
+
+            // Back to free flow: values return to the base bits, the base
+            // network `Arc` is reinstated, and on the CH backend the
+            // retained build-time hierarchy comes back without another
+            // customization pass.
+            let applied = o.apply_traffic(&TrafficModel::free_flow(o.network()));
+            assert_eq!(applied.epoch, 2);
+            assert!(!applied.ch_repaired, "free flow reinstates, not repairs");
+            assert!(Arc::ptr_eq(&o.metric_network(), &o.network_arc()));
+            assert_eq!(o.distance(u, v).to_bits(), base.to_bits());
+            assert_eq!(o.backend(), backend);
+            if backend == DistanceBackend::Ch {
+                assert_eq!(o.ch_customizations(), 1, "only the congested epoch");
+                assert!(o.backend_fallback().is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn traffic_batches_and_bounds_stay_consistent() {
+        let o = lattice_oracle_with_backend(DistanceBackend::Ch);
+        let mut model = TrafficModel::free_flow(o.network());
+        // Congest a horizontal corridor asymmetrically strong enough to
+        // reroute paths, but keep it symmetric so the metric stays
+        // undirected.
+        for u in 0..4u32 {
+            model.set_segment_factor(o.network(), VertexId(u), VertexId(u + 1), 5.0);
+        }
+        o.apply_traffic(&model);
+        let metric = o.metric_network();
+        let targets: Vec<VertexId> = (0..25).map(VertexId).collect();
+        for source in [VertexId(0), VertexId(7), VertexId(24)] {
+            let batch = o.distances_from(source, &targets);
+            for (t, d) in targets.iter().zip(&batch) {
+                let exact = crate::dijkstra::distance(&metric, source, *t).unwrap_or(f64::INFINITY);
+                assert_eq!(d.to_bits(), exact.to_bits(), "{source}->{t}");
+                let lb = o.lower_bound(source, *t);
+                assert!(
+                    lb <= exact + 1e-9,
+                    "lb {lb} > exact {exact} ({source}->{t})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn alt_requested_oracle_reports_no_fallback() {
+        let o = lattice_oracle_with_backend(DistanceBackend::Alt);
+        assert_eq!(o.requested_backend(), DistanceBackend::Alt);
+        assert_eq!(o.backend(), DistanceBackend::Alt);
+        assert!(o.backend_fallback().is_none());
+        // Traffic on the ALT backend never claims a repair.
+        let applied = o.apply_traffic(&TrafficModel::uniform(o.network(), 1.5));
+        assert!(!applied.ch_repaired);
+        assert_eq!(o.ch_customizations(), 0);
     }
 
     #[test]

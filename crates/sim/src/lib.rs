@@ -26,4 +26,4 @@ pub mod simulator;
 
 pub use choice::ChoicePolicy;
 pub use report::{RequestOutcome, SimulationReport};
-pub use simulator::{SimConfig, Simulator};
+pub use simulator::{SimConfig, Simulator, TrafficSimConfig};

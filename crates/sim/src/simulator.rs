@@ -19,8 +19,9 @@ use crate::motion::Motion;
 use crate::report::{RequestOutcome, SimulationReport};
 use ptrider_core::{
     Decision, EngineConfig, GridConfig, MatcherKind, OptionId, PtRider, RideService, StopKind,
+    TrafficModel,
 };
-use ptrider_datagen::{TimedTrip, Workload};
+use ptrider_datagen::{CongestionConfig, CongestionProfile, TimedTrip, Workload};
 use ptrider_roadnet::RoadNetwork;
 use ptrider_vehicles::{RequestId, StopEvent, VehicleId};
 use rand::SeedableRng;
@@ -28,6 +29,30 @@ use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::Arc;
+
+/// Congestion mode of the simulator: a rush-hour profile feeds traffic
+/// epochs into the engine as the simulated day advances.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TrafficSimConfig {
+    /// The rush-hour profile (hotspot cells, peak times, slowdowns).
+    pub profile: CongestionConfig,
+    /// How often a fresh epoch is applied, in simulated seconds. Each
+    /// application goes through [`RideService::apply_traffic_update`] —
+    /// metric swap, CH repair, cache invalidation — on the writer path.
+    pub period_secs: f64,
+}
+
+impl Default for TrafficSimConfig {
+    fn default() -> Self {
+        TrafficSimConfig {
+            profile: CongestionConfig::default(),
+            // One epoch per simulated 5 minutes: frequent enough that the
+            // factor curves stay faithful, coarse enough that the
+            // customization cost stays a rounding error of a step.
+            period_secs: 300.0,
+        }
+    }
+}
 
 /// Simulator configuration.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
@@ -58,6 +83,11 @@ pub struct SimConfig {
     /// per trip. Models dispatch-window batching in peak periods; the
     /// batch is stamped with the step's clock.
     pub burst_admission: bool,
+    /// Congestion mode: when set, a rush-hour profile applies a traffic
+    /// epoch every `period_secs` of simulated time, so every scenario the
+    /// simulator can run (steady stream, bursts, full days) becomes
+    /// time-varying. `None` (the default) keeps the free-flow metric.
+    pub traffic: Option<TrafficSimConfig>,
     /// Random seed for rider choices and idle roaming.
     pub seed: u64,
 }
@@ -74,6 +104,7 @@ impl Default for SimConfig {
             idle_roaming: true,
             cross_check: false,
             burst_admission: false,
+            traffic: None,
             seed: 42,
         }
     }
@@ -94,6 +125,10 @@ pub struct Simulator {
     /// Counter for reserved outcome ids of trips the service rejected
     /// outright (no session, no engine-issued request id).
     next_invalid: u64,
+    /// Congestion mode state: the profile, the reusable model buffer and
+    /// the next epoch instant.
+    traffic: Option<(CongestionProfile, TrafficModel)>,
+    next_traffic_at: f64,
 }
 
 impl Simulator {
@@ -118,7 +153,12 @@ impl Simulator {
         }
         let service = RideService::from_engine(engine);
         let next_trip = trips.partition_point(|t| t.time_secs < config.start_secs);
-        Simulator {
+        let traffic = config.traffic.map(|t| {
+            let profile = CongestionProfile::build(&net, t.profile);
+            let model = TrafficModel::free_flow(&net);
+            (profile, model)
+        });
+        let mut sim = Simulator {
             service,
             net,
             clock: config.start_secs,
@@ -130,7 +170,29 @@ impl Simulator {
             outcomes: HashMap::new(),
             fleet_distance: 0.0,
             next_invalid: 0,
+            traffic,
+            next_traffic_at: config.start_secs,
+        };
+        // Congestion mode starts on the epoch for the start-of-day state,
+        // so even the first step's matches see time-appropriate traffic.
+        sim.apply_due_traffic();
+        sim
+    }
+
+    /// Applies a congestion epoch when one is due and schedules the next.
+    fn apply_due_traffic(&mut self) {
+        let Some(period) = self.config.traffic.map(|t| t.period_secs) else {
+            return;
+        };
+        let Some((profile, model)) = self.traffic.as_mut() else {
+            return;
+        };
+        if self.clock + 1e-9 < self.next_traffic_at {
+            return;
         }
+        profile.update_model(&self.net, self.clock, model);
+        self.service.apply_traffic_update(model, self.clock);
+        self.next_traffic_at = self.clock + period.max(1e-3);
     }
 
     /// The ride service driven by the simulator.
@@ -193,6 +255,9 @@ impl Simulator {
     /// Advances the simulation by one step of `dt_secs`.
     pub fn step(&mut self) {
         let step_end = self.clock + self.config.dt_secs;
+        // Congestion mode: refresh the metric before matching the step's
+        // trips, so their skylines price the current traffic state.
+        self.apply_due_traffic();
         self.submit_due_trips(step_end);
         self.move_vehicles();
         self.clock = step_end;
@@ -706,6 +771,65 @@ mod tests {
         assert_eq!(a.completed, b.completed);
         assert_eq!(a.shared_trips, b.shared_trips);
         assert!((a.fleet_distance_m - b.fleet_distance_m).abs() < 1e-6);
+    }
+
+    #[test]
+    fn congestion_mode_feeds_epochs_into_the_loop() {
+        let workload = small_workload(37, 50, 10);
+        let mut sim = Simulator::new(
+            workload,
+            EngineConfig::paper_defaults(),
+            SimConfig {
+                traffic: Some(TrafficSimConfig {
+                    period_secs: 300.0,
+                    ..TrafficSimConfig::default()
+                }),
+                ..sim_config(1800.0)
+            },
+        );
+        let report = sim.run();
+        assert_eq!(report.requests, 50);
+        assert!(report.answered > 0, "traffic must not starve matching");
+        assert!(report.assigned > 0);
+        let stats = sim.service().stats();
+        // The start-of-day epoch plus one per 300 s at steps 300..=1500
+        // (the 1800 s instant is the end of the run, never a step start).
+        assert_eq!(stats.traffic_epochs, 6);
+        // ≥ rather than ==: `PTRIDER_TRAFFIC_EPOCHS` pre-applies epochs at
+        // construction, before the ledger starts counting.
+        assert!(sim.service().oracle().traffic_epoch() >= 6);
+    }
+
+    #[test]
+    fn congestion_mode_is_deterministic_and_repairs_ch() {
+        let run = |backend| {
+            let workload = small_workload(41, 40, 8);
+            let mut sim = Simulator::new(
+                workload,
+                EngineConfig::paper_defaults().with_distance_backend(backend),
+                SimConfig {
+                    traffic: Some(TrafficSimConfig::default()),
+                    ..sim_config(900.0)
+                },
+            );
+            let report = sim.run();
+            (report, sim.service().stats())
+        };
+        let (alt_a, _) = run(ptrider_core::DistanceBackend::Alt);
+        let (alt_b, _) = run(ptrider_core::DistanceBackend::Alt);
+        assert_eq!(alt_a.assigned, alt_b.assigned);
+        assert_eq!(alt_a.completed, alt_b.completed);
+        assert!((alt_a.fleet_distance_m - alt_b.fleet_distance_m).abs() < 1e-6);
+
+        // The CH backend serves the same day through customization passes:
+        // every epoch repairs the hierarchy instead of rebuilding it, and
+        // the outcomes match the ALT backend (both are exact).
+        let (ch, ch_stats) = run(ptrider_core::DistanceBackend::Ch);
+        assert_eq!(ch_stats.ch_customizations, ch_stats.traffic_epochs);
+        assert!(ch_stats.traffic_epochs > 0);
+        assert_eq!(ch.assigned, alt_a.assigned);
+        assert_eq!(ch.completed, alt_a.completed);
+        assert_eq!(ch.shared_trips, alt_a.shared_trips);
     }
 
     #[test]

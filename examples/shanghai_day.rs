@@ -46,6 +46,7 @@ fn main() {
         idle_roaming: true,
         cross_check: false,
         burst_admission: false,
+        traffic: None,
         seed: 7,
     };
     let mut sim = Simulator::new(workload, EngineConfig::paper_defaults(), sim_config);

@@ -79,7 +79,8 @@ pub use ptrider_core::{
     EngineEvent, EngineStats, EventCursor, EventLog, GridConfig, LandmarkIndex, MatchResult,
     MatchRuntime, MatchStats, Matcher, MatcherKind, Offer, OptionId, ParallelMode, PriceModel,
     PtRider, Request, RequestId, RideOption, RideService, RoadNetwork, ServiceConfig, ServiceError,
-    SessionId, SessionState, Skyline, Speed, Stop, StopKind, Vehicle, VehicleId, VertexId,
+    SessionId, SessionState, Skyline, Speed, Stop, StopKind, TrafficEdge, TrafficModel,
+    TrafficUpdateOutcome, Vehicle, VehicleId, VertexId,
 };
-pub use ptrider_roadnet::ContractionHierarchy;
-pub use ptrider_sim::{ChoicePolicy, SimConfig, SimulationReport, Simulator};
+pub use ptrider_roadnet::{CchTopology, ContractionHierarchy};
+pub use ptrider_sim::{ChoicePolicy, SimConfig, SimulationReport, Simulator, TrafficSimConfig};

@@ -32,6 +32,7 @@ fn run_day(matcher: MatcherKind, choice: ChoicePolicy, seed: u64) -> (Simulator,
         idle_roaming: true,
         cross_check: false,
         burst_admission: false,
+        traffic: None,
         seed,
     };
     let mut sim = Simulator::new(workload, engine_config, sim_config);

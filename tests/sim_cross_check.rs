@@ -40,6 +40,7 @@ fn run_with_cross_check(seed: u64, choice: ChoicePolicy, minutes: f64) {
         idle_roaming: true,
         cross_check: true,
         burst_admission: false,
+        traffic: None,
         seed,
     };
     let mut sim = Simulator::new(workload, engine_config, sim_config);
@@ -82,6 +83,7 @@ fn no_vehicle_is_left_without_a_schedule_for_its_riders() {
         idle_roaming: true,
         cross_check: false,
         burst_admission: false,
+        traffic: None,
         seed: 55,
     };
     let mut sim = Simulator::new(

@@ -1,0 +1,207 @@
+//! Property tests for the live-traffic subsystem at the `tests/` (skyline)
+//! level: option skylines under traffic are **bit-identical** across the
+//! `{Alt, Ch}` distance backends after every epoch of a random traffic
+//! sequence, and the engine/service write paths account the epochs.
+//!
+//! Two mirrored engines (one per backend) are driven through the *same*
+//! sequence of vehicle placements, warm assignments and traffic epochs.
+//! Because both backends are exact and bit-identical per query (the CH
+//! repair path unpacks and re-folds original scaled weights in path
+//! order), the mirrored worlds stay bit-identical state for state — which
+//! this test asserts via the option multisets of probe requests matched
+//! after each epoch.
+
+use proptest::prelude::*;
+use ptrider::datagen::{
+    synthetic_city, CityConfig, CongestionConfig, CongestionProfile, TripConfig, TripGenerator,
+};
+use ptrider::{
+    DistanceBackend, EngineConfig, GridConfig, MatcherKind, PtRider, TrafficModel, VertexId,
+};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Canonical form of an option set: the sorted multiset of (vehicle,
+/// pickup-bits, price-bits) triples — bit-exact, duplicates included.
+fn canonical(options: &[ptrider::RideOption]) -> Vec<(u32, u64, u64)> {
+    let mut v: Vec<(u32, u64, u64)> = options
+        .iter()
+        .map(|o| (o.vehicle.0, o.pickup_dist.to_bits(), o.price.to_bits()))
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+fn run_scenario(seed: u64, num_vehicles: usize, epochs: usize) -> Result<(), TestCaseError> {
+    let make_engine = |backend: DistanceBackend| {
+        let city = synthetic_city(&CityConfig::tiny(seed));
+        let mut engine = PtRider::new(
+            city,
+            GridConfig::with_dimensions(4, 4),
+            EngineConfig::paper_defaults().with_distance_backend(backend),
+        );
+        engine.set_matcher(MatcherKind::DualSide);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xbac);
+        for _ in 0..num_vehicles {
+            engine.add_vehicle(VertexId(
+                rng.gen_range(0..engine.network().num_vertices() as u32),
+            ));
+        }
+        engine
+    };
+    let mut alt = make_engine(DistanceBackend::Alt);
+    let mut ch = make_engine(DistanceBackend::Ch);
+    prop_assert_eq!(ch.oracle().backend(), DistanceBackend::Ch);
+
+    let trips = TripGenerator::new(
+        alt.network(),
+        TripConfig {
+            num_trips: 24,
+            seed: seed ^ 0x7aff1c,
+            ..TripConfig::default()
+        },
+    )
+    .generate();
+
+    let profile = CongestionProfile::build(
+        alt.network(),
+        CongestionConfig {
+            seed,
+            ..CongestionConfig::default()
+        },
+    );
+    let mut model = TrafficModel::free_flow(alt.network());
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xcafe);
+    let mut expected_customizations = 0u64;
+
+    for epoch in 0..epochs {
+        // Every epoch: a rush-hour snapshot at a random time of day, with
+        // occasional resets to free flow so the restore path is exercised.
+        if epoch > 0 && rng.gen_bool(0.25) {
+            model.reset();
+        } else {
+            let t = rng.gen_range(0.0..86_400.0);
+            profile.update_model(alt.network(), t, &mut model);
+        }
+        let congested = model.congested_arcs() > 0;
+        expected_customizations += congested as u64;
+        let alt_outcome = alt.apply_traffic_update(&model);
+        let ch_outcome = ch.apply_traffic_update(&model);
+        prop_assert_eq!(alt_outcome.epoch, ch_outcome.epoch);
+        prop_assert!(!alt_outcome.ch_repaired, "ALT engine never repairs");
+        // Congested epochs run a customization pass; free-flow resets
+        // reinstate the retained build-time hierarchy instead.
+        prop_assert_eq!(ch_outcome.ch_repaired, congested);
+
+        // Probe (and commit a subset, so the mirrored worlds evolve):
+        // skylines must agree bit for bit under the current traffic.
+        for (k, trip) in trips.iter().enumerate() {
+            let now = epoch as f64;
+            let (alt_req, alt_options) =
+                alt.submit(trip.origin, trip.destination, trip.riders, now);
+            let (ch_req, ch_options) = ch.submit(trip.origin, trip.destination, trip.riders, now);
+            prop_assert_eq!(
+                canonical(&alt_options),
+                canonical(&ch_options),
+                "epoch {} trip {} ({} -> {})",
+                epoch,
+                k,
+                trip.origin,
+                trip.destination
+            );
+            // Commit every fourth trip on both worlds identically (the
+            // first option of a bit-identical skyline is the same option).
+            if k % 4 == 0 && !alt_options.is_empty() {
+                let ok_a = alt.choose(alt_req, &alt_options[0], now).is_ok();
+                let ok_c = ch.choose(ch_req, &ch_options[0], now).is_ok();
+                prop_assert_eq!(ok_a, ok_c);
+            } else {
+                let _ = alt.decline(alt_req);
+                let _ = ch.decline(ch_req);
+            }
+        }
+    }
+    prop_assert_eq!(alt.stats().traffic_epochs, epochs as u64);
+    prop_assert_eq!(ch.stats().ch_customizations, expected_customizations);
+    prop_assert_eq!(ch.oracle().traffic_epoch() >= epochs as u64, true);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    #[test]
+    fn skylines_under_traffic_are_bit_identical_across_backends(
+        seed in 0u64..300,
+        num_vehicles in 6usize..14,
+        epochs in 1usize..4,
+    ) {
+        run_scenario(seed, num_vehicles, epochs)?;
+    }
+}
+
+/// Deterministic end-to-end regression on the service layer: epochs applied
+/// through `RideService::apply_traffic_update` are observable (event +
+/// stats), affect subsequent offers, and a free-flow reset restores the
+/// original bits.
+#[test]
+fn service_traffic_lifecycle_round_trips() {
+    use ptrider::{Decision, EngineEvent, RideService};
+    let city = synthetic_city(&CityConfig::tiny(5));
+    let service = RideService::new(
+        city,
+        GridConfig::with_dimensions(4, 4),
+        EngineConfig::paper_defaults().with_distance_backend(DistanceBackend::Ch),
+    );
+    service.add_vehicle(VertexId(0));
+    let mut cursor = service.subscribe();
+    // Under `PTRIDER_TRAFFIC_EPOCHS` the engine construction itself applies
+    // synthetic epochs, so all epoch assertions are relative to this base.
+    let epoch0 = service.oracle().traffic_epoch();
+
+    let base = service.submit(VertexId(40), VertexId(80), 1, 0.0).unwrap();
+    assert!(!base.options.is_empty());
+    service
+        .respond(base.session, Decision::Decline, 0.0)
+        .unwrap();
+    let base_sig = canonical(&base.options);
+
+    let outcome = service.apply_traffic_update(&TrafficModel::uniform(service.network(), 2.0), 1.0);
+    assert_eq!(outcome.epoch, epoch0 + 1);
+    assert!(outcome.ch_repaired);
+    let congested = service.submit(VertexId(40), VertexId(80), 1, 2.0).unwrap();
+    assert_ne!(
+        canonical(&congested.options),
+        base_sig,
+        "2x traffic must re-price"
+    );
+    service
+        .respond(congested.session, Decision::Decline, 2.0)
+        .unwrap();
+
+    let outcome = service.apply_traffic_update(&TrafficModel::free_flow(service.network()), 3.0);
+    assert_eq!(outcome.epoch, epoch0 + 2);
+    assert!(
+        !outcome.ch_repaired,
+        "free flow reinstates the build-time hierarchy without a pass"
+    );
+    let restored = service.submit(VertexId(40), VertexId(80), 1, 4.0).unwrap();
+    assert_eq!(
+        canonical(&restored.options),
+        base_sig,
+        "free flow restores the base bits"
+    );
+    service
+        .respond(restored.session, Decision::Decline, 4.0)
+        .unwrap();
+
+    let stats = service.stats();
+    assert_eq!(stats.traffic_epochs, 2);
+    assert_eq!(stats.ch_customizations, 1, "the free-flow reset needs none");
+    let traffic_events: Vec<_> = service
+        .poll_events(&mut cursor)
+        .into_iter()
+        .filter(|e| matches!(e, EngineEvent::TrafficUpdated { .. }))
+        .collect();
+    assert_eq!(traffic_events.len(), 2);
+}
