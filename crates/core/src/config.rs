@@ -119,6 +119,13 @@ pub struct EngineConfig {
     /// How bursts submitted through
     /// [`crate::PtRider::submit_batch_greedy`] are admitted.
     pub batch_admission: BatchAdmission,
+    /// Seed for the deterministic chaos harness: `Some(seed)` arms a
+    /// transient-error [`ptrider_roadnet::fault::FaultPlan`] process-wide
+    /// when the engine is built (injected CH-build / customization /
+    /// journal-write failures, each absorbed by a single retry at the
+    /// call site). `None` (the default) leaves fault injection to the
+    /// `PTRIDER_CHAOS` environment variable, or off entirely.
+    pub fault_seed: Option<u64>,
     /// The price calculator.
     pub price: PriceModel,
 }
@@ -138,6 +145,7 @@ impl Default for EngineConfig {
             pool_size: 0,
             par_auto_min_batch: 16,
             batch_admission: BatchAdmission::default(),
+            fault_seed: None,
             price: PriceModel::default(),
         }
     }
@@ -210,6 +218,13 @@ impl EngineConfig {
     /// strategies produce byte-identical outcomes.
     pub fn with_batch_admission(mut self, admission: BatchAdmission) -> Self {
         self.batch_admission = admission;
+        self
+    }
+
+    /// Arms the deterministic chaos harness with the given seed when the
+    /// engine is built (see [`Self::fault_seed`]).
+    pub fn with_fault_seed(mut self, seed: u64) -> Self {
+        self.fault_seed = Some(seed);
         self
     }
 

@@ -135,6 +135,12 @@ impl EngineShared {
         oracle: DistanceOracle,
         config: EngineConfig,
     ) -> Self {
+        if let Some(seed) = config.fault_seed {
+            // Arm the process-global chaos plan before anything that hosts a
+            // fail point runs (the CH build already happened in the caller;
+            // `PTRIDER_CHAOS` covers that path, a config seed covers reuse).
+            ptrider_roadnet::fault::arm(ptrider_roadnet::fault::FaultPlan::transient(seed));
+        }
         let runtime = Arc::new(MatchRuntime::from_config(config.pool_size));
         let shared = EngineShared {
             net,
@@ -220,6 +226,16 @@ impl World {
         self.vehicles.insert(id, vehicle);
         id
     }
+
+    /// The id the next added vehicle will receive (snapshot watermark).
+    pub(crate) fn next_vehicle_id(&self) -> u32 {
+        self.next_vehicle
+    }
+
+    /// Restores the vehicle-id counter from a snapshot.
+    pub(crate) fn set_next_vehicle_id(&mut self, next: u32) {
+        self.next_vehicle = next;
+    }
 }
 
 /// Request bookkeeping: pending requests, statistics, request-id counter.
@@ -243,6 +259,16 @@ impl Ledger {
         let id = RequestId(self.next_request);
         self.next_request += 1;
         id
+    }
+
+    /// The id the next submitted request will receive (snapshot watermark).
+    pub(crate) fn next_request_id(&self) -> u64 {
+        self.next_request
+    }
+
+    /// Restores the request-id counter from a snapshot.
+    pub(crate) fn set_next_request_id(&mut self, next: u64) {
+        self.next_request = next;
     }
 
     /// Accumulates the statistics of one answered match.
@@ -356,6 +382,10 @@ pub(crate) fn commit_choice(
             option.vehicle,
         ));
     }
+    // Chaos site: a panic here tears the commit (vehicle assigned, index
+    // stale) while the caller holds the world write lock — the worst-case
+    // crash the journal's recovery path must absorb.
+    ptrider_roadnet::fault::panic_point(ptrider_roadnet::fault::MID_COMMIT);
     world
         .index
         .update_from_vehicle(vehicle, &shared.net, &shared.grid, &shared.oracle);

@@ -171,10 +171,27 @@ impl EventLog {
         }
     }
 
+    /// Resets the log's sequencing counters from a snapshot. The retained
+    /// buffer starts empty: journal replay re-publishes the tail's events,
+    /// which thereby receive the same sequence numbers the original run
+    /// assigned them.
+    pub(crate) fn restore(&self, next_seq: u64, dropped: u64) {
+        let mut inner = self.lock();
+        inner.buf.clear();
+        inner.next_seq = next_seq;
+        inner.dropped = dropped;
+    }
+
+    /// The log is pure bookkeeping with no cross-field invariant a panicking
+    /// thread could tear, so a poisoned mutex is safe to re-enter.
+    fn lock(&self) -> std::sync::MutexGuard<'_, LogInner> {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
     /// Appends an event, evicting the oldest if the log is full. Returns
     /// the event's sequence number.
     pub(crate) fn publish(&self, event: EngineEvent) -> u64 {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.lock();
         if inner.buf.len() == inner.capacity {
             inner.buf.pop_front();
             inner.dropped += 1;
@@ -187,7 +204,7 @@ impl EventLog {
 
     /// Total events published over the log's lifetime.
     pub fn published(&self) -> u64 {
-        self.inner.lock().unwrap().next_seq
+        self.lock().next_seq
     }
 
     /// Events evicted before any cursor consumed them is *not* what this
@@ -195,12 +212,12 @@ impl EventLog {
     /// Individual cursors track what *they* missed via
     /// [`EventCursor::missed`].
     pub fn evicted(&self) -> u64 {
-        self.inner.lock().unwrap().dropped
+        self.lock().dropped
     }
 
     /// A cursor positioned at the oldest retained event.
     pub fn subscribe(&self) -> EventCursor {
-        let inner = self.inner.lock().unwrap();
+        let inner = self.lock();
         EventCursor {
             next: inner.next_seq - inner.buf.len() as u64,
             missed: 0,
@@ -211,7 +228,7 @@ impl EventLog {
     /// behind the retention window skips forward (the skipped count is
     /// recorded on the cursor).
     pub fn poll(&self, cursor: &mut EventCursor) -> Vec<EngineEvent> {
-        let inner = self.inner.lock().unwrap();
+        let inner = self.lock();
         let oldest = inner.next_seq - inner.buf.len() as u64;
         if cursor.next < oldest {
             cursor.missed += oldest - cursor.next;
@@ -226,7 +243,7 @@ impl EventLog {
 
 impl std::fmt::Debug for EventLog {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let inner = self.inner.lock().unwrap();
+        let inner = self.lock();
         f.debug_struct("EventLog")
             .field("retained", &inner.buf.len())
             .field("published", &inner.next_seq)

@@ -1,0 +1,1244 @@
+//! The durable admission journal: a write-ahead log plus snapshots.
+//!
+//! Every state mutation that goes through [`crate::RideService`]'s single
+//! admission writer appends one logical-operation record here *before* the
+//! corresponding lock is released — so the journal order **is** the
+//! admission order, and replaying the records through the very same engine
+//! code reconstructs a bit-identical service
+//! ([`crate::RideService::recover`]).
+//!
+//! # On-disk layout
+//!
+//! A journal is a directory holding two files:
+//!
+//! * `wal.bin` — the write-ahead log: an 8-byte header (`b"PTRJ"` magic +
+//!   format version) followed by length-prefixed records
+//!   `[len: u32][seq: u64][checksum: u32][payload]`, all little-endian.
+//!   The checksum is FNV-1a over the sequence number and payload, so a torn
+//!   or corrupted tail is detected and truncated on open — never replayed
+//!   half-applied, never a panic (property-tested byte-by-byte in
+//!   `tests/journal_torn_tail.rs`).
+//! * `snapshot.bin` — the latest full-state snapshot, written atomically
+//!   (`snapshot.tmp` + fsync + rename) with a sequence watermark: replay
+//!   applies only the WAL records at or past the watermark. The WAL itself
+//!   is never truncated by a snapshot, so a corrupt snapshot can always be
+//!   reported as a typed error instead of silently losing history.
+//!
+//! # Durability semantics
+//!
+//! `append` hands the record to the OS immediately (one `write` syscall),
+//! so a process crash after an acknowledged operation loses nothing. What a
+//! *power* failure can lose is bounded by the fsync cadence. By default
+//! fsyncs are **group-committed**: a background flusher thread issues one
+//! every [`JournalConfig::sync_interval_ms`] while the WAL is dirty, so the
+//! admission critical section never stalls on the disk and the power-loss
+//! window is a fixed wall-clock bound (à la `appendfsync everysec`) rather
+//! than a throughput-coupled op count. [`JournalConfig::fsync_every`] adds
+//! an optional op-count trigger on top; set
+//! [`JournalConfig::with_inline_sync`] together with `fsync_every = 1` for
+//! strict durable-at-ack-even-through-power-loss at the cost of one inline
+//! fsync per operation. See DESIGN.md "Fault model & durability".
+
+use crate::stats::MatchWork;
+use ptrider_roadnet::fault;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+const MAGIC: [u8; 4] = *b"PTRJ";
+const VERSION: u32 = 1;
+const HEADER_LEN: usize = 8;
+const RECORD_HEADER_LEN: usize = 16;
+/// Sanity bound on a single record (far above any real op).
+const MAX_RECORD_LEN: u32 = 1 << 28;
+
+const WAL_FILE: &str = "wal.bin";
+const SNAPSHOT_FILE: &str = "snapshot.bin";
+const SNAPSHOT_TMP: &str = "snapshot.tmp";
+
+/// Errors returned by journal operations and recovery.
+#[derive(Debug)]
+pub enum JournalError {
+    /// An I/O operation on the journal directory failed.
+    Io(std::io::Error),
+    /// A journal or snapshot file is structurally invalid in a way that is
+    /// *not* a torn tail (torn tails are truncated silently): wrong magic,
+    /// unsupported format version, or a checksum-valid record whose payload
+    /// does not decode.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "journal i/o error: {e}"),
+            JournalError::Corrupt(reason) => write!(f, "journal corrupt: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+impl From<std::io::Error> for JournalError {
+    fn from(e: std::io::Error) -> Self {
+        JournalError::Io(e)
+    }
+}
+
+/// Journal tuning knobs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct JournalConfig {
+    /// Op-count fsync trigger: issue (or, under group commit, request) an
+    /// fsync after every this-many appends. 0 disables the count trigger —
+    /// the default, leaving the time-based `sync_interval_ms` cadence in
+    /// charge. The write itself always reaches the OS at append time.
+    pub fsync_every: u64,
+    /// After this many journaled operations, [`crate::RideService::tick`]
+    /// writes a snapshot and resets the counter (0 disables automatic
+    /// snapshots; explicit [`crate::RideService::snapshot`] still works).
+    pub snapshot_every_ops: u64,
+    /// When `false` (the default), fsyncs are group-committed: a background
+    /// flusher thread issues them, so the appending thread — and the
+    /// admission critical section it runs in — only ever pays the `write`
+    /// syscall. A completed fsync covers every preceding append. When
+    /// `true`, the `fsync_every` trigger fsyncs inline on the appending
+    /// thread; combine with `fsync_every = 1` for
+    /// durable-at-ack-even-through-power-loss.
+    pub inline_sync: bool,
+    /// Group-commit cadence: while the WAL has appends no fsync has covered
+    /// yet, the flusher thread fsyncs this often. This makes the power-loss
+    /// window a wall-clock bound, independent of admission throughput — and
+    /// keeps the flusher idle (no inode-lock contention with appends) at
+    /// any load. 0 disables the timer (count trigger and explicit
+    /// [`Journal::sync`] only). Ignored under `inline_sync`.
+    pub sync_interval_ms: u64,
+}
+
+impl Default for JournalConfig {
+    fn default() -> Self {
+        JournalConfig {
+            fsync_every: 0,
+            snapshot_every_ops: 8192,
+            inline_sync: false,
+            sync_interval_ms: 100,
+        }
+    }
+}
+
+impl JournalConfig {
+    /// Sets the op-count fsync trigger (0 disables it).
+    pub fn with_fsync_every(mut self, every: u64) -> Self {
+        self.fsync_every = every;
+        self
+    }
+
+    /// Sets the automatic snapshot cadence (in journaled operations).
+    pub fn with_snapshot_every_ops(mut self, ops: u64) -> Self {
+        self.snapshot_every_ops = ops;
+        self
+    }
+
+    /// Selects inline fsyncs on the appending thread instead of the
+    /// group-commit flusher thread.
+    pub fn with_inline_sync(mut self, inline: bool) -> Self {
+        self.inline_sync = inline;
+        self
+    }
+
+    /// Sets the group-commit fsync cadence in milliseconds (0 disables the
+    /// timer).
+    pub fn with_sync_interval_ms(mut self, ms: u64) -> Self {
+        self.sync_interval_ms = ms;
+        self
+    }
+}
+
+/// 64-bit FNV-1a.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Folds a 64-bit FNV-1a over `seq || payload` into the record checksum.
+fn record_checksum(seq: u64, payload: &[u8]) -> u32 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in seq.to_le_bytes().iter().chain(payload) {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    ((hash >> 32) as u32) ^ (hash as u32)
+}
+
+/// What [`Journal::open`] reconstructed from disk.
+pub struct Recovered {
+    /// The latest snapshot, if one exists: the sequence watermark (records
+    /// with `seq >= watermark` must still be replayed on top) and the raw
+    /// snapshot payload.
+    pub snapshot: Option<(u64, Vec<u8>)>,
+    /// Every valid WAL record, in sequence order (the caller skips those
+    /// below the snapshot watermark).
+    pub ops: Vec<(u64, Vec<u8>)>,
+}
+
+/// State shared between the appending thread and the group-commit flusher.
+struct FlushState {
+    /// Watermark (a `next_seq` value) explicitly requested durable (by
+    /// [`Journal::sync`] or the op-count trigger); the flusher services it
+    /// immediately rather than on the next timer tick.
+    requested: u64,
+    /// Highest watermark covered by a completed fsync.
+    synced: u64,
+    shutdown: bool,
+    /// First background fsync failure. Sticky: once an fsync fails the
+    /// durable prefix is unknown, so every later append and sync reports
+    /// it instead of pretending durability still holds.
+    error: Option<String>,
+}
+
+struct FlushShared {
+    state: Mutex<FlushState>,
+    cv: Condvar,
+    /// Highest `next_seq` the appender has handed to the OS. Published
+    /// lock-free on every append; the flusher's timer tick picks it up, so
+    /// the commit path never touches the mutex.
+    published: std::sync::atomic::AtomicU64,
+}
+
+/// The group-commit flusher: owns a cloned descriptor of the WAL and turns
+/// non-blocking sync *requests* from the appender into actual fsyncs.
+struct Flusher {
+    shared: Arc<FlushShared>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Flusher {
+    fn spawn(file: File, interval: Option<std::time::Duration>) -> Flusher {
+        let shared = Arc::new(FlushShared {
+            state: Mutex::new(FlushState {
+                requested: 0,
+                synced: 0,
+                shutdown: false,
+                error: None,
+            }),
+            cv: Condvar::new(),
+            published: std::sync::atomic::AtomicU64::new(0),
+        });
+        let thread_shared = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name("ptrider-wal-sync".into())
+            .spawn(move || flusher_loop(&thread_shared, &file, interval))
+            .expect("spawning the WAL flusher thread");
+        Flusher {
+            shared,
+            handle: Some(handle),
+        }
+    }
+
+    /// Lock-free: records that everything below `watermark` has reached the
+    /// OS. This is all the commit path ever pays; the timer tick turns it
+    /// into an fsync.
+    fn publish(&self, watermark: u64) {
+        self.shared
+            .published
+            .store(watermark, std::sync::atomic::Ordering::Release);
+    }
+
+    /// Non-blocking: asks the flusher to make everything below `watermark`
+    /// durable now instead of on the next timer tick.
+    fn request(&self, watermark: u64) {
+        let mut st = self.shared.state.lock().unwrap();
+        if watermark > st.requested {
+            st.requested = watermark;
+            self.shared.cv.notify_all();
+        }
+    }
+
+    /// Blocking: returns once a completed fsync covers `watermark` (or the
+    /// flusher has died on an fsync failure).
+    fn wait_for(&self, watermark: u64) -> Result<(), JournalError> {
+        let mut st = self.shared.state.lock().unwrap();
+        if watermark > st.requested {
+            st.requested = watermark;
+            self.shared.cv.notify_all();
+        }
+        loop {
+            if let Some(msg) = &st.error {
+                return Err(JournalError::Io(std::io::Error::other(msg.clone())));
+            }
+            if st.synced >= watermark {
+                return Ok(());
+            }
+            st = self.shared.cv.wait(st).unwrap();
+        }
+    }
+
+    /// Surfaces a sticky background fsync failure, if any.
+    fn check(&self) -> Result<(), JournalError> {
+        let st = self.shared.state.lock().unwrap();
+        match &st.error {
+            Some(msg) => Err(JournalError::Io(std::io::Error::other(msg.clone()))),
+            None => Ok(()),
+        }
+    }
+}
+
+impl Drop for Flusher {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.shutdown = true;
+            self.shared.cv.notify_all();
+        }
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn flusher_loop(shared: &FlushShared, file: &File, interval: Option<std::time::Duration>) {
+    use std::sync::atomic::Ordering;
+    loop {
+        let target = {
+            let mut st = shared.state.lock().unwrap();
+            // Wait for an explicit request, a shutdown, or — when the timer
+            // is on — one interval, after which any published-but-unsynced
+            // appends get their fsync. One fsync per tick at most, so the
+            // flusher stays off the inode lock the appender's writes need.
+            loop {
+                if st.shutdown {
+                    // `Journal::drop` issues the final fsync on the primary
+                    // descriptor after joining this thread.
+                    return;
+                }
+                if st.requested > st.synced {
+                    break;
+                }
+                match interval {
+                    Some(d) => {
+                        let (guard, timeout) = shared.cv.wait_timeout(st, d).unwrap();
+                        st = guard;
+                        if timeout.timed_out() {
+                            break;
+                        }
+                    }
+                    None => st = shared.cv.wait(st).unwrap(),
+                }
+            }
+            let target = st.requested.max(shared.published.load(Ordering::Acquire));
+            if target <= st.synced {
+                continue; // clean timer tick / spurious wake
+            }
+            target
+        };
+        // fsync outside the lock: `request` and `wait_for` callers never
+        // block on a sync in flight.
+        let result = file.sync_data();
+        let mut st = shared.state.lock().unwrap();
+        match result {
+            Ok(()) => st.synced = st.synced.max(target),
+            Err(e) => {
+                st.error.get_or_insert_with(|| e.to_string());
+                shared.cv.notify_all();
+                return;
+            }
+        }
+        shared.cv.notify_all();
+    }
+}
+
+/// A write-ahead journal rooted at a directory. See the module docs for the
+/// file layout and durability semantics.
+pub struct Journal {
+    dir: PathBuf,
+    wal: File,
+    config: JournalConfig,
+    next_seq: u64,
+    appends_since_sync: u64,
+    ops_since_snapshot: u64,
+    /// `Some` unless [`JournalConfig::inline_sync`] is set.
+    flusher: Option<Flusher>,
+    /// Reusable record-assembly buffer so the commit path never allocates.
+    scratch: Vec<u8>,
+}
+
+impl Journal {
+    /// Creates a **fresh** journal at `dir`: any existing WAL and snapshot
+    /// there are discarded. Use [`Self::open`] to resume an existing one.
+    pub fn create(dir: impl AsRef<Path>, config: JournalConfig) -> Result<Self, JournalError> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        let snapshot = dir.join(SNAPSHOT_FILE);
+        if snapshot.exists() {
+            std::fs::remove_file(&snapshot)?;
+        }
+        let mut wal = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(dir.join(WAL_FILE))?;
+        let mut header = Vec::with_capacity(HEADER_LEN);
+        header.extend_from_slice(&MAGIC);
+        header.extend_from_slice(&VERSION.to_le_bytes());
+        wal.write_all(&header)?;
+        wal.sync_data()?;
+        Journal::assemble(dir, wal, config, 0)
+    }
+
+    /// Builds the journal handle, spawning the group-commit flusher unless
+    /// the config asks for inline syncs.
+    fn assemble(
+        dir: PathBuf,
+        wal: File,
+        config: JournalConfig,
+        next_seq: u64,
+    ) -> Result<Self, JournalError> {
+        let flusher = if config.inline_sync {
+            None
+        } else {
+            let interval = (config.sync_interval_ms > 0)
+                .then(|| std::time::Duration::from_millis(config.sync_interval_ms));
+            Some(Flusher::spawn(wal.try_clone()?, interval))
+        };
+        Ok(Journal {
+            dir,
+            wal,
+            config,
+            next_seq,
+            appends_since_sync: 0,
+            ops_since_snapshot: 0,
+            flusher,
+            scratch: Vec::new(),
+        })
+    }
+
+    /// Opens an existing journal directory for recovery: reads the latest
+    /// snapshot (if any), scans the WAL — truncating a torn or corrupt tail
+    /// instead of failing on it — and returns the recovered contents plus a
+    /// journal positioned to continue appending where the valid prefix
+    /// ends. A missing or empty directory opens as an empty journal.
+    pub fn open(
+        dir: impl AsRef<Path>,
+        config: JournalConfig,
+    ) -> Result<(Recovered, Self), JournalError> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        let snapshot = read_snapshot(&dir)?;
+
+        let wal_path = dir.join(WAL_FILE);
+        let mut wal = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&wal_path)?;
+        let mut buf = Vec::new();
+        wal.read_to_end(&mut buf)?;
+
+        // A file shorter than the header is a torn creation: everything
+        // written so far must be a prefix of the expected header, in which
+        // case the journal is simply empty. Anything else is corruption.
+        let expected_header: [u8; HEADER_LEN] = {
+            let mut h = [0u8; HEADER_LEN];
+            h[..4].copy_from_slice(&MAGIC);
+            h[4..].copy_from_slice(&VERSION.to_le_bytes());
+            h
+        };
+        if buf.len() < HEADER_LEN {
+            if buf[..] != expected_header[..buf.len()] {
+                return Err(JournalError::Corrupt("wal header mismatch"));
+            }
+            wal.set_len(0)?;
+            wal.seek(SeekFrom::Start(0))?;
+            wal.write_all(&expected_header)?;
+            wal.sync_data()?;
+            return Ok((
+                Recovered {
+                    snapshot,
+                    ops: Vec::new(),
+                },
+                Journal::assemble(dir, wal, config, 0)?,
+            ));
+        }
+        if buf[..4] != MAGIC {
+            return Err(JournalError::Corrupt("wal magic mismatch"));
+        }
+        if buf[4..HEADER_LEN] != VERSION.to_le_bytes() {
+            return Err(JournalError::Corrupt("unsupported wal format version"));
+        }
+
+        let (ops, valid_len) = scan_records(&buf);
+        if valid_len < buf.len() {
+            // Torn or corrupted tail: truncate to the valid prefix so the
+            // next append continues from a clean boundary.
+            wal.set_len(valid_len as u64)?;
+            wal.sync_data()?;
+        }
+        wal.seek(SeekFrom::Start(valid_len as u64))?;
+        let next_seq = ops.last().map(|(seq, _)| seq + 1).unwrap_or(0);
+        Ok((
+            Recovered { snapshot, ops },
+            Journal::assemble(dir, wal, config, next_seq)?,
+        ))
+    }
+
+    /// Appends one record and returns its sequence number. The record
+    /// reaches the OS before this returns; an fsync covering it follows on
+    /// the group-commit flusher's next timer tick (and immediately at every
+    /// [`JournalConfig::fsync_every`] appends when that trigger is set —
+    /// inline on this thread under [`JournalConfig::inline_sync`]).
+    pub fn append(&mut self, payload: &[u8]) -> Result<u64, JournalError> {
+        if let Some(flusher) = &self.flusher {
+            flusher.check()?;
+        }
+        // Chaos site: an injected transient write failure is absorbed here —
+        // the write below is the single retry that then succeeds.
+        let _ = fault::fail_point(fault::JOURNAL_WRITE);
+        let seq = self.next_seq;
+        self.scratch.clear();
+        self.scratch
+            .extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        self.scratch.extend_from_slice(&seq.to_le_bytes());
+        self.scratch
+            .extend_from_slice(&record_checksum(seq, payload).to_le_bytes());
+        self.scratch.extend_from_slice(payload);
+        self.wal.write_all(&self.scratch)?;
+        self.next_seq += 1;
+        self.ops_since_snapshot += 1;
+        self.appends_since_sync += 1;
+        if let Some(flusher) = &self.flusher {
+            flusher.publish(self.next_seq);
+        }
+        if self.config.fsync_every > 0 && self.appends_since_sync >= self.config.fsync_every {
+            match &self.flusher {
+                Some(flusher) => flusher.request(self.next_seq),
+                None => self.wal.sync_data()?,
+            }
+            self.appends_since_sync = 0;
+        }
+        Ok(seq)
+    }
+
+    /// Forces the whole appended prefix durable: fsyncs inline, or blocks
+    /// until the group-commit flusher has fsynced past the current end.
+    pub fn sync(&mut self) -> Result<(), JournalError> {
+        match &self.flusher {
+            Some(flusher) => flusher.wait_for(self.next_seq)?,
+            None => self.wal.sync_data()?,
+        }
+        self.appends_since_sync = 0;
+        Ok(())
+    }
+
+    /// The sequence number the next appended record will receive (equals
+    /// the number of records in the valid WAL prefix).
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Operations appended since the last snapshot (or open).
+    pub fn ops_since_snapshot(&self) -> u64 {
+        self.ops_since_snapshot
+    }
+
+    /// Whether the automatic snapshot cadence is due.
+    pub fn snapshot_due(&self) -> bool {
+        self.config.snapshot_every_ops > 0
+            && self.ops_since_snapshot >= self.config.snapshot_every_ops
+    }
+
+    /// Atomically replaces the snapshot file: the payload is written to a
+    /// temp file, fsynced, and renamed over `snapshot.bin`. `watermark` is
+    /// the sequence number of the next *unapplied* record (replay applies
+    /// records with `seq >= watermark` on top of the snapshot).
+    pub fn write_snapshot(&mut self, watermark: u64, payload: &[u8]) -> Result<(), JournalError> {
+        let tmp = self.dir.join(SNAPSHOT_TMP);
+        {
+            let mut file = File::create(&tmp)?;
+            let mut buf = Vec::with_capacity(HEADER_LEN + 16 + payload.len());
+            buf.extend_from_slice(&MAGIC);
+            buf.extend_from_slice(&VERSION.to_le_bytes());
+            buf.extend_from_slice(&watermark.to_le_bytes());
+            buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            buf.extend_from_slice(&record_checksum(watermark, payload).to_le_bytes());
+            buf.extend_from_slice(payload);
+            file.write_all(&buf)?;
+            file.sync_data()?;
+        }
+        // Make the WAL prefix durable before the snapshot that supersedes
+        // it becomes visible.
+        self.sync()?;
+        std::fs::rename(&tmp, self.dir.join(SNAPSHOT_FILE))?;
+        self.ops_since_snapshot = 0;
+        Ok(())
+    }
+}
+
+impl Drop for Journal {
+    fn drop(&mut self) {
+        // Stop the flusher first so its final descriptor use races nothing,
+        // then make the full prefix durable on the primary descriptor.
+        self.flusher.take();
+        let _ = self.wal.sync_data();
+    }
+}
+
+impl std::fmt::Debug for Journal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Journal")
+            .field("dir", &self.dir)
+            .field("next_seq", &self.next_seq)
+            .field("ops_since_snapshot", &self.ops_since_snapshot)
+            .finish()
+    }
+}
+
+/// Scans WAL records after the header; returns the decoded records and the
+/// byte length of the valid prefix (header included). Stops at the first
+/// torn or corrupt record.
+fn scan_records(buf: &[u8]) -> (Vec<(u64, Vec<u8>)>, usize) {
+    let mut ops = Vec::new();
+    let mut pos = HEADER_LEN;
+    let mut expected_seq = 0u64;
+    while let Some(header) = buf.get(pos..pos + RECORD_HEADER_LEN) {
+        let len = u32::from_le_bytes(header[0..4].try_into().unwrap());
+        let seq = u64::from_le_bytes(header[4..12].try_into().unwrap());
+        let checksum = u32::from_le_bytes(header[12..16].try_into().unwrap());
+        if len > MAX_RECORD_LEN {
+            break;
+        }
+        let start = pos + RECORD_HEADER_LEN;
+        let Some(payload) = buf.get(start..start + len as usize) else {
+            break;
+        };
+        if seq != expected_seq || record_checksum(seq, payload) != checksum {
+            break;
+        }
+        ops.push((seq, payload.to_vec()));
+        expected_seq += 1;
+        pos = start + len as usize;
+    }
+    (ops, pos)
+}
+
+/// Reads and validates the snapshot file, if present.
+fn read_snapshot(dir: &Path) -> Result<Option<(u64, Vec<u8>)>, JournalError> {
+    let path = dir.join(SNAPSHOT_FILE);
+    let buf = match std::fs::read(&path) {
+        Ok(buf) => buf,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e.into()),
+    };
+    if buf.len() < HEADER_LEN + 16 {
+        return Err(JournalError::Corrupt("snapshot truncated"));
+    }
+    if buf[..4] != MAGIC {
+        return Err(JournalError::Corrupt("snapshot magic mismatch"));
+    }
+    if buf[4..HEADER_LEN] != VERSION.to_le_bytes() {
+        return Err(JournalError::Corrupt("unsupported snapshot format version"));
+    }
+    let watermark = u64::from_le_bytes(buf[HEADER_LEN..HEADER_LEN + 8].try_into().unwrap());
+    let len = u32::from_le_bytes(buf[HEADER_LEN + 8..HEADER_LEN + 12].try_into().unwrap()) as usize;
+    let checksum = u32::from_le_bytes(buf[HEADER_LEN + 12..HEADER_LEN + 16].try_into().unwrap());
+    let payload = buf
+        .get(HEADER_LEN + 16..HEADER_LEN + 16 + len)
+        .ok_or(JournalError::Corrupt("snapshot payload truncated"))?;
+    if record_checksum(watermark, payload) != checksum {
+        return Err(JournalError::Corrupt("snapshot checksum mismatch"));
+    }
+    Ok(Some((watermark, payload.to_vec())))
+}
+
+/// Fingerprint helper: 64-bit FNV-1a over an encoded state image (used by
+/// [`crate::RideService::fingerprint`]).
+pub(crate) fn fingerprint_bytes(bytes: &[u8]) -> u64 {
+    fnv1a(bytes)
+}
+
+// ---------------------------------------------------------------------
+// Byte codec
+// ---------------------------------------------------------------------
+
+/// Little-endian byte encoder for op and snapshot payloads.
+#[derive(Default)]
+pub(crate) struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    pub(crate) fn new() -> Self {
+        Enc { buf: Vec::new() }
+    }
+
+    pub(crate) fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub(crate) fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Floats travel as raw bits so a round trip is bit-identical.
+    pub(crate) fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    pub(crate) fn opt_f64(&mut self, v: Option<f64>) {
+        match v {
+            Some(x) => {
+                self.u8(1);
+                self.f64(x);
+            }
+            None => self.u8(0),
+        }
+    }
+
+    pub(crate) fn opt_u32(&mut self, v: Option<u32>) {
+        match v {
+            Some(x) => {
+                self.u8(1);
+                self.u32(x);
+            }
+            None => self.u8(0),
+        }
+    }
+
+    pub(crate) fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Little-endian byte decoder; every read is bounds-checked and reports
+/// [`JournalError::Corrupt`] instead of panicking.
+pub(crate) struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
+        Dec { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], JournalError> {
+        let slice = self
+            .buf
+            .get(self.pos..self.pos + n)
+            .ok_or(JournalError::Corrupt("payload truncated"))?;
+        self.pos += n;
+        Ok(slice)
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8, JournalError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32, JournalError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64, JournalError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn f64(&mut self) -> Result<f64, JournalError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    pub(crate) fn opt_f64(&mut self) -> Result<Option<f64>, JournalError> {
+        Ok(match self.u8()? {
+            0 => None,
+            _ => Some(self.f64()?),
+        })
+    }
+
+    pub(crate) fn opt_u32(&mut self) -> Result<Option<u32>, JournalError> {
+        Ok(match self.u8()? {
+            0 => None,
+            _ => Some(self.u32()?),
+        })
+    }
+
+    /// Bounds-checked collection length (rejects lengths the remaining
+    /// buffer cannot possibly hold, so corrupt lengths cannot OOM).
+    pub(crate) fn len(&mut self, min_elem_bytes: usize) -> Result<usize, JournalError> {
+        let n = self.u32()? as usize;
+        if n.saturating_mul(min_elem_bytes.max(1)) > self.buf.len() - self.pos {
+            return Err(JournalError::Corrupt("collection length out of bounds"));
+        }
+        Ok(n)
+    }
+
+    pub(crate) fn finish(self) -> Result<(), JournalError> {
+        if self.pos != self.buf.len() {
+            return Err(JournalError::Corrupt("trailing bytes in payload"));
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// The logical operation records
+// ---------------------------------------------------------------------
+
+const OP_ADD_VEHICLE: u8 = 1;
+const OP_SUBMIT: u8 = 2;
+const OP_RESPOND: u8 = 3;
+const OP_TICK: u8 = 4;
+const OP_LOCATION_UPDATE: u8 = 5;
+const OP_VEHICLE_ARRIVED: u8 = 6;
+const OP_TRAFFIC_UPDATE: u8 = 7;
+const OP_BATCH: u8 = 8;
+const OP_PRUNE_RESOLVED: u8 = 9;
+
+/// One journaled admission-writer operation. Replayed through the same
+/// engine/service code that produced it ([`crate::RideService::recover`]).
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) enum Op {
+    /// `add_vehicle_with_capacity` (vehicle id re-allocated naturally).
+    AddVehicle { location: u32, capacity: u32 },
+    /// A successful `submit`. Session and request ids are journaled
+    /// explicitly because concurrent submits may append out of allocation
+    /// order; `match_secs_after` and `work_after` pin the *environmental*
+    /// ledger accumulators — wall-clock `total_match_secs` and the
+    /// oracle-cache-warmth-dependent [`MatchWork`] counters (a warm cache
+    /// shifts both the exact-computation count and the prune/verify
+    /// split) — to the original run's post-op values, because replay
+    /// cannot reproduce them: a recovery from a snapshot starts with a
+    /// cold distance cache.
+    Submit {
+        origin: u32,
+        destination: u32,
+        riders: u32,
+        now: f64,
+        session: u64,
+        request: u64,
+        match_secs_after: f64,
+        work_after: MatchWork,
+    },
+    /// A `respond` that changed state (decline, choose — successful or
+    /// assignment-failed — or an on-the-spot expiry). `choice` is `None`
+    /// for a decline.
+    Respond {
+        session: u64,
+        choice: Option<u32>,
+        now: f64,
+    },
+    /// A `tick` that expired at least one offer.
+    Tick { now: f64 },
+    /// A successful `location_update`.
+    LocationUpdate {
+        vehicle: u32,
+        location: u32,
+        travelled: f64,
+    },
+    /// A `vehicle_arrived` that served a stop.
+    VehicleArrived { vehicle: u32 },
+    /// An `apply_traffic_update`: the non-free-flow arc factors rebuild the
+    /// model on replay (factor bits are exact).
+    TrafficUpdate { now: f64, factors: Vec<(u32, f64)> },
+    /// A `submit_batch_greedy`: the selector's (post-filter) choices are
+    /// recorded so replay needs no selector; `first_request` restores the
+    /// id counter before replay (batch ids are allocated naturally).
+    Batch {
+        now: f64,
+        specs: Vec<(u32, u32, u32)>,
+        choices: Vec<Option<u32>>,
+        first_request: u64,
+        match_secs_after: f64,
+        work_after: MatchWork,
+    },
+    /// A `prune_resolved` that removed at least one session.
+    PruneResolved,
+}
+
+fn encode_work(e: &mut Enc, w: &MatchWork) {
+    e.u64(w.vehicles_considered);
+    e.u64(w.vehicles_verified);
+    e.u64(w.vehicles_pruned);
+    e.u64(w.cells_visited);
+    e.u64(w.exact_distance_computations);
+    e.u64(w.candidates_generated);
+}
+
+fn decode_work(d: &mut Dec<'_>) -> Result<MatchWork, JournalError> {
+    Ok(MatchWork {
+        vehicles_considered: d.u64()?,
+        vehicles_verified: d.u64()?,
+        vehicles_pruned: d.u64()?,
+        cells_visited: d.u64()?,
+        exact_distance_computations: d.u64()?,
+        candidates_generated: d.u64()?,
+    })
+}
+
+impl Op {
+    pub(crate) fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        match self {
+            Op::AddVehicle { location, capacity } => {
+                e.u8(OP_ADD_VEHICLE);
+                e.u32(*location);
+                e.u32(*capacity);
+            }
+            Op::Submit {
+                origin,
+                destination,
+                riders,
+                now,
+                session,
+                request,
+                match_secs_after,
+                work_after,
+            } => {
+                e.u8(OP_SUBMIT);
+                e.u32(*origin);
+                e.u32(*destination);
+                e.u32(*riders);
+                e.f64(*now);
+                e.u64(*session);
+                e.u64(*request);
+                e.f64(*match_secs_after);
+                encode_work(&mut e, work_after);
+            }
+            Op::Respond {
+                session,
+                choice,
+                now,
+            } => {
+                e.u8(OP_RESPOND);
+                e.u64(*session);
+                e.opt_u32(*choice);
+                e.f64(*now);
+            }
+            Op::Tick { now } => {
+                e.u8(OP_TICK);
+                e.f64(*now);
+            }
+            Op::LocationUpdate {
+                vehicle,
+                location,
+                travelled,
+            } => {
+                e.u8(OP_LOCATION_UPDATE);
+                e.u32(*vehicle);
+                e.u32(*location);
+                e.f64(*travelled);
+            }
+            Op::VehicleArrived { vehicle } => {
+                e.u8(OP_VEHICLE_ARRIVED);
+                e.u32(*vehicle);
+            }
+            Op::TrafficUpdate { now, factors } => {
+                e.u8(OP_TRAFFIC_UPDATE);
+                e.f64(*now);
+                e.u32(factors.len() as u32);
+                for (arc, factor) in factors {
+                    e.u32(*arc);
+                    e.f64(*factor);
+                }
+            }
+            Op::Batch {
+                now,
+                specs,
+                choices,
+                first_request,
+                match_secs_after,
+                work_after,
+            } => {
+                e.u8(OP_BATCH);
+                e.f64(*now);
+                e.u32(specs.len() as u32);
+                for (origin, destination, riders) in specs {
+                    e.u32(*origin);
+                    e.u32(*destination);
+                    e.u32(*riders);
+                }
+                e.u32(choices.len() as u32);
+                for choice in choices {
+                    e.opt_u32(*choice);
+                }
+                e.u64(*first_request);
+                e.f64(*match_secs_after);
+                encode_work(&mut e, work_after);
+            }
+            Op::PruneResolved => {
+                e.u8(OP_PRUNE_RESOLVED);
+            }
+        }
+        e.finish()
+    }
+
+    pub(crate) fn decode(payload: &[u8]) -> Result<Op, JournalError> {
+        let mut d = Dec::new(payload);
+        let op = match d.u8()? {
+            OP_ADD_VEHICLE => Op::AddVehicle {
+                location: d.u32()?,
+                capacity: d.u32()?,
+            },
+            OP_SUBMIT => Op::Submit {
+                origin: d.u32()?,
+                destination: d.u32()?,
+                riders: d.u32()?,
+                now: d.f64()?,
+                session: d.u64()?,
+                request: d.u64()?,
+                match_secs_after: d.f64()?,
+                work_after: decode_work(&mut d)?,
+            },
+            OP_RESPOND => Op::Respond {
+                session: d.u64()?,
+                choice: d.opt_u32()?,
+                now: d.f64()?,
+            },
+            OP_TICK => Op::Tick { now: d.f64()? },
+            OP_LOCATION_UPDATE => Op::LocationUpdate {
+                vehicle: d.u32()?,
+                location: d.u32()?,
+                travelled: d.f64()?,
+            },
+            OP_VEHICLE_ARRIVED => Op::VehicleArrived { vehicle: d.u32()? },
+            OP_TRAFFIC_UPDATE => {
+                let now = d.f64()?;
+                let n = d.len(12)?;
+                let mut factors = Vec::with_capacity(n);
+                for _ in 0..n {
+                    factors.push((d.u32()?, d.f64()?));
+                }
+                Op::TrafficUpdate { now, factors }
+            }
+            OP_BATCH => {
+                let now = d.f64()?;
+                let n = d.len(12)?;
+                let mut specs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    specs.push((d.u32()?, d.u32()?, d.u32()?));
+                }
+                let m = d.len(1)?;
+                let mut choices = Vec::with_capacity(m);
+                for _ in 0..m {
+                    choices.push(d.opt_u32()?);
+                }
+                Op::Batch {
+                    now,
+                    specs,
+                    choices,
+                    first_request: d.u64()?,
+                    match_secs_after: d.f64()?,
+                    work_after: decode_work(&mut d)?,
+                }
+            }
+            OP_PRUNE_RESOLVED => Op::PruneResolved,
+            _ => return Err(JournalError::Corrupt("unknown op tag")),
+        };
+        d.finish()?;
+        Ok(op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("ptrider-journal-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_ops() -> Vec<Op> {
+        vec![
+            Op::AddVehicle {
+                location: 3,
+                capacity: 4,
+            },
+            Op::Submit {
+                origin: 6,
+                destination: 8,
+                riders: 2,
+                now: 1.5,
+                session: 0,
+                request: 0,
+                match_secs_after: 0.25,
+                work_after: MatchWork {
+                    vehicles_considered: 4,
+                    vehicles_verified: 2,
+                    vehicles_pruned: 2,
+                    cells_visited: 9,
+                    exact_distance_computations: 3,
+                    candidates_generated: 2,
+                },
+            },
+            Op::Respond {
+                session: 0,
+                choice: Some(1),
+                now: 2.0,
+            },
+            Op::Respond {
+                session: 0,
+                choice: None,
+                now: 2.5,
+            },
+            Op::Tick { now: 3.0 },
+            Op::LocationUpdate {
+                vehicle: 0,
+                location: 7,
+                travelled: 1000.0,
+            },
+            Op::VehicleArrived { vehicle: 0 },
+            Op::TrafficUpdate {
+                now: 4.0,
+                factors: vec![(0, 2.0), (5, 1.5)],
+            },
+            Op::Batch {
+                now: 5.0,
+                specs: vec![(1, 2, 1), (3, 4, 2)],
+                choices: vec![Some(0), None],
+                first_request: 7,
+                match_secs_after: 0.5,
+                work_after: MatchWork {
+                    vehicles_considered: 8,
+                    vehicles_verified: 7,
+                    vehicles_pruned: 1,
+                    cells_visited: 18,
+                    exact_distance_computations: 9,
+                    candidates_generated: 6,
+                },
+            },
+            Op::PruneResolved,
+        ]
+    }
+
+    #[test]
+    fn ops_round_trip_through_the_codec() {
+        for op in sample_ops() {
+            let bytes = op.encode();
+            let back = Op::decode(&bytes).expect("decode");
+            assert_eq!(op, back);
+        }
+    }
+
+    #[test]
+    fn append_then_open_recovers_every_record() {
+        let dir = temp_dir("roundtrip");
+        let ops = sample_ops();
+        {
+            let mut j = Journal::create(&dir, JournalConfig::default()).unwrap();
+            for (i, op) in ops.iter().enumerate() {
+                assert_eq!(j.append(&op.encode()).unwrap(), i as u64);
+            }
+        }
+        let (recovered, j) = Journal::open(&dir, JournalConfig::default()).unwrap();
+        assert!(recovered.snapshot.is_none());
+        assert_eq!(recovered.ops.len(), ops.len());
+        assert_eq!(j.next_seq(), ops.len() as u64);
+        for ((_seq, payload), op) in recovered.ops.iter().zip(&ops) {
+            assert_eq!(Op::decode(payload).unwrap(), *op);
+        }
+        let seqs: Vec<u64> = recovered.ops.iter().map(|(s, _)| *s).collect();
+        assert_eq!(seqs, (0..ops.len() as u64).collect::<Vec<_>>());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_appending_continues() {
+        let dir = temp_dir("torn");
+        {
+            let mut j = Journal::create(&dir, JournalConfig::default()).unwrap();
+            for op in sample_ops() {
+                j.append(&op.encode()).unwrap();
+            }
+        }
+        let wal = dir.join("wal.bin");
+        let full = std::fs::read(&wal).unwrap();
+        // Tear the last record in half.
+        let torn_len = full.len() - 5;
+        std::fs::write(&wal, &full[..torn_len]).unwrap();
+
+        let (recovered, mut j) = Journal::open(&dir, JournalConfig::default()).unwrap();
+        assert_eq!(recovered.ops.len(), sample_ops().len() - 1);
+        // The torn record was truncated away; a fresh append reuses its seq.
+        let seq = j.append(&Op::PruneResolved.encode()).unwrap();
+        assert_eq!(seq, sample_ops().len() as u64 - 1);
+        drop(j);
+        let (recovered, _) = Journal::open(&dir, JournalConfig::default()).unwrap();
+        assert_eq!(recovered.ops.len(), sample_ops().len());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupted_record_stops_the_scan_without_panicking() {
+        let dir = temp_dir("corrupt");
+        {
+            let mut j = Journal::create(&dir, JournalConfig::default()).unwrap();
+            for op in sample_ops() {
+                j.append(&op.encode()).unwrap();
+            }
+        }
+        let wal = dir.join("wal.bin");
+        let mut bytes = std::fs::read(&wal).unwrap();
+        // Flip a payload byte of the second record: its checksum fails, so
+        // the valid prefix is exactly one record.
+        let first_len = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
+        let second_payload = 8 + 16 + first_len + 16;
+        bytes[second_payload] ^= 0xff;
+        std::fs::write(&wal, &bytes).unwrap();
+
+        let (recovered, _) = Journal::open(&dir, JournalConfig::default()).unwrap();
+        assert_eq!(recovered.ops.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_round_trips_with_watermark() {
+        let dir = temp_dir("snapshot");
+        let payload = b"state image".to_vec();
+        {
+            let mut j = Journal::create(&dir, JournalConfig::default()).unwrap();
+            for op in sample_ops() {
+                j.append(&op.encode()).unwrap();
+            }
+            j.write_snapshot(4, &payload).unwrap();
+            assert_eq!(j.ops_since_snapshot(), 0);
+        }
+        let (recovered, _) = Journal::open(&dir, JournalConfig::default()).unwrap();
+        let (watermark, snap) = recovered.snapshot.expect("snapshot present");
+        assert_eq!(watermark, 4);
+        assert_eq!(snap, payload);
+        // The WAL still holds every record; the caller filters by watermark.
+        assert_eq!(recovered.ops.len(), sample_ops().len());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_a_typed_error() {
+        let dir = temp_dir("badsnap");
+        {
+            let mut j = Journal::create(&dir, JournalConfig::default()).unwrap();
+            j.append(&Op::PruneResolved.encode()).unwrap();
+            j.write_snapshot(1, b"payload").unwrap();
+        }
+        let snap = dir.join("snapshot.bin");
+        let mut bytes = std::fs::read(&snap).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        std::fs::write(&snap, &bytes).unwrap();
+        match Journal::open(&dir, JournalConfig::default()) {
+            Err(JournalError::Corrupt(_)) => {}
+            other => panic!("expected Corrupt, got {:?}", other.map(|_| ())),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -48,6 +48,7 @@
 pub mod config;
 pub mod engine;
 pub mod events;
+pub mod journal;
 pub mod matching;
 pub mod options;
 pub mod price;
@@ -61,6 +62,7 @@ pub mod stats;
 pub use config::{default_distance_backend, BatchAdmission, EngineConfig};
 pub use engine::{BatchOutcome, EngineError, PtRider, TrafficUpdateOutcome};
 pub use events::{EngineEvent, EventCursor, EventLog};
+pub use journal::{Journal, JournalConfig, JournalError};
 pub use matching::{
     parallel_mode, set_parallel_mode, DualSideMatcher, MatchContext, MatchResult, MatchStats,
     Matcher, MatcherKind, NaiveMatcher, ParallelMode, SingleSideMatcher,
@@ -75,6 +77,7 @@ pub use skyline::Skyline;
 pub use stats::EngineStats;
 
 // Re-export the substrate types users need to drive the engine.
+pub use ptrider_roadnet::fault;
 pub use ptrider_roadnet::{
     DistanceBackend, GridConfig, GridIndex, LandmarkIndex, RoadNetwork, Speed, TrafficEdge,
     TrafficModel, VertexId,

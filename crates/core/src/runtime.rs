@@ -33,9 +33,10 @@
 //! Job panics are caught on the worker (the long-lived thread must survive),
 //! recorded, and re-raised on the caller once the batch has drained.
 
+use ptrider_roadnet::fault;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 
@@ -53,29 +54,45 @@ struct PoolShared {
     shutdown: AtomicBool,
 }
 
+/// What one batch observed: outstanding jobs, the first panic payload, and
+/// how many jobs panicked in total (so no panic is silently swallowed when
+/// several jobs of the same batch fail).
+struct LatchState {
+    remaining: usize,
+    first_panic: Option<Box<dyn std::any::Any + Send>>,
+    panics: u64,
+}
+
 /// Completion latch for one dispatched batch.
 struct Latch {
-    /// Jobs still running or queued, plus the first panic payload observed.
-    state: Mutex<(usize, Option<Box<dyn std::any::Any + Send>>)>,
+    state: Mutex<LatchState>,
     done: Condvar,
 }
 
 impl Latch {
     fn new(jobs: usize) -> Arc<Self> {
         Arc::new(Latch {
-            state: Mutex::new((jobs, None)),
+            state: Mutex::new(LatchState {
+                remaining: jobs,
+                first_panic: None,
+                panics: 0,
+            }),
             done: Condvar::new(),
         })
     }
 
-    /// Marks one job finished, recording the first panic payload.
+    /// Marks one job finished. Every panic is counted; the first payload is
+    /// kept for re-raising.
     fn complete(&self, panic: Option<Box<dyn std::any::Any + Send>>) {
         let mut state = self.state.lock().unwrap();
-        state.0 -= 1;
-        if state.1.is_none() {
-            state.1 = panic;
+        state.remaining -= 1;
+        if panic.is_some() {
+            state.panics += 1;
+            if state.first_panic.is_none() {
+                state.first_panic = panic;
+            }
         }
-        if state.0 == 0 {
+        if state.remaining == 0 {
             self.done.notify_all();
         }
     }
@@ -83,14 +100,15 @@ impl Latch {
     /// Blocks until every job has completed.
     fn wait(&self) {
         let mut state = self.state.lock().unwrap();
-        while state.0 > 0 {
+        while state.remaining > 0 {
             state = self.done.wait(state).unwrap();
         }
     }
 
-    /// The first recorded job panic, if any (call after [`Self::wait`]).
-    fn take_panic(&self) -> Option<Box<dyn std::any::Any + Send>> {
-        self.state.lock().unwrap().1.take()
+    /// The batch's panic tally and first payload (call after [`Self::wait`]).
+    fn take_panics(&self) -> (u64, Option<Box<dyn std::any::Any + Send>>) {
+        let mut state = self.state.lock().unwrap();
+        (state.panics, state.first_panic.take())
     }
 }
 
@@ -116,6 +134,8 @@ pub struct WorkerPool {
     /// Worker handles, populated on first use (lazy spawn).
     handles: Mutex<Vec<JoinHandle<()>>>,
     spawned: AtomicBool,
+    /// Total job panics re-raised over the pool's lifetime.
+    job_panics: AtomicU64,
 }
 
 impl WorkerPool {
@@ -132,12 +152,20 @@ impl WorkerPool {
             threads,
             handles: Mutex::new(Vec::new()),
             spawned: AtomicBool::new(false),
+            job_panics: AtomicU64::new(0),
         }
     }
 
     /// Number of worker threads this pool runs (0 = inline execution).
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Total jobs that panicked on this pool's workers over its lifetime
+    /// (every panic is counted, including the ones whose payloads could not
+    /// be re-raised because another job of the same batch panicked first).
+    pub fn job_panics(&self) -> u64 {
+        self.job_panics.load(Ordering::Relaxed)
     }
 
     fn ensure_spawned(&self) {
@@ -202,7 +230,12 @@ impl WorkerPool {
                 };
                 let latch = Arc::clone(&latch);
                 queue.push_back(Box::new(move || {
-                    let result = catch_unwind(AssertUnwindSafe(job));
+                    let result = catch_unwind(AssertUnwindSafe(|| {
+                        // Chaos site: an injected panic here is caught and
+                        // re-raised exactly like a genuine job panic.
+                        fault::panic_point(fault::POOL_JOB);
+                        job()
+                    }));
                     latch.complete(result.err());
                 }));
             }
@@ -212,8 +245,18 @@ impl WorkerPool {
         let guard = WaitGuard(&latch);
         local();
         drop(guard);
-        if let Some(panic) = latch.take_panic() {
-            std::panic::resume_unwind(panic);
+        let (panics, first) = latch.take_panics();
+        if panics > 0 {
+            self.job_panics.fetch_add(panics, Ordering::Relaxed);
+        }
+        match (panics, first) {
+            (0, _) => {}
+            (1, Some(payload)) => std::panic::resume_unwind(payload),
+            (n, _) => std::panic::resume_unwind(Box::new(format!(
+                "{n} pool jobs panicked in one batch; re-raising the first, \
+                 {} further payload(s) were dropped",
+                n - 1
+            ))),
         }
     }
 }
@@ -319,6 +362,13 @@ impl MatchRuntime {
     /// The underlying worker pool.
     pub fn pool(&self) -> &WorkerPool {
         &self.pool
+    }
+
+    /// Total job panics re-raised by this runtime's pool (see
+    /// [`WorkerPool::job_panics`]); surfaced as
+    /// [`crate::EngineStats::runtime_job_panics`].
+    pub fn job_panics(&self) -> u64 {
+        self.pool.job_panics()
     }
 
     /// Fills every element of `slots` via `fill(global_index, slot)`,
@@ -466,6 +516,29 @@ mod tests {
             || {},
         );
         assert_eq!(ok.load(Ordering::Relaxed), 1);
+        assert_eq!(pool.job_panics(), 1);
+    }
+
+    #[test]
+    fn every_job_panic_is_counted_not_just_the_first() {
+        let pool = WorkerPool::new(2);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let jobs: Vec<Box<dyn FnOnce() + Send>> = vec![
+                Box::new(|| panic!("first failure")),
+                Box::new(|| panic!("second failure")),
+                Box::new(|| {}),
+            ];
+            pool.execute_with_local(jobs, || {});
+        }));
+        let payload = result.expect_err("the batch must re-raise");
+        assert_eq!(pool.job_panics(), 2, "both panics must be counted");
+        let message = payload
+            .downcast_ref::<String>()
+            .expect("a multi-panic batch re-raises a summary message");
+        assert!(
+            message.contains("2 pool jobs panicked"),
+            "the summary must name the swallowed panic count: {message}"
+        );
     }
 
     #[test]

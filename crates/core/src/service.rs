@@ -26,13 +26,29 @@
 //! property-tested in `tests/service_equivalence.rs` across pool sizes and
 //! distance backends.
 //!
+//! # Durability
+//!
+//! With [`RideService::with_journal`] attached, every state mutation
+//! appends one logical [`crate::journal`] record *before* the operation is
+//! acknowledged, inside the same critical section that orders it against
+//! other writers — so the journal's sequence order equals the admission
+//! order, and [`RideService::recover`] replays snapshot + WAL tail through
+//! this very module into a bit-identical service (verified by
+//! `tests/crash_recovery.rs`, which crashes the service at injected fault
+//! sites and compares state fingerprints). A journal append failure panics
+//! *before* the caller observes success: the operation is either durable
+//! and acknowledged, or neither.
+//!
 //! # Lock order
 //!
-//! `sessions → world → ledger → event log`, with any prefix released
-//! before a later lock is taken where possible. `submit` deliberately
-//! releases the world read lock *before* touching the session table, so a
-//! writer waiting on the world can never deadlock a submitter waiting on
-//! the session table.
+//! `sessions → world → ledger → event log → journal`, with any prefix
+//! released before a later lock is taken where possible. `submit`
+//! deliberately releases the world lock *before* touching the session
+//! table again, so a writer waiting on the world can never deadlock a
+//! submitter waiting on the session table. Journal appends for operations
+//! that touch the vehicle world happen while the world lock is still held
+//! (ordering them against concurrent matchers); appends for pure session
+//! operations happen under the sessions lock (they commute with matching).
 
 use crate::config::EngineConfig;
 use crate::engine::{
@@ -40,18 +56,25 @@ use crate::engine::{
     TrafficUpdateOutcome, World,
 };
 use crate::events::{EngineEvent, EventCursor, EventLog};
+use crate::journal::{self, Dec, Enc, Journal, JournalConfig, JournalError, Op};
 use crate::matching::{MatchResult, Matcher, MatcherKind};
 use crate::options::RideOption;
 use crate::request::Request;
 use crate::runtime::MatchRuntime;
 use crate::session::{
-    Confirmation, Decision, Offer, ServiceError, Session, SessionId, SessionState,
+    Confirmation, Decision, Offer, OptionId, ServiceError, Session, SessionId, SessionState,
 };
-use crate::stats::EngineStats;
-use ptrider_roadnet::{DistanceOracle, GridConfig, GridIndex, RoadNetwork, VertexId};
-use ptrider_vehicles::{StopEvent, Vehicle, VehicleId};
+use crate::stats::{EngineStats, MatchWork};
+use ptrider_roadnet::{
+    fault, DistanceOracle, GridConfig, GridIndex, RoadNetwork, TrafficModel, VertexId,
+};
+use ptrider_vehicles::{
+    AssignedRequest, KineticNode, KineticTree, ProspectiveRequest, RequestId, RequestProgress,
+    Stop, StopEvent, StopKind, Vehicle, VehicleId,
+};
 use std::collections::HashMap;
-use std::sync::{Mutex, OnceLock, RwLock};
+use std::path::Path;
+use std::sync::{Mutex, MutexGuard, OnceLock, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// Service-layer knobs (the engine-level knobs stay in [`EngineConfig`]).
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -68,6 +91,13 @@ pub struct ServiceConfig {
     pub offer_ttl_secs: f64,
     /// How many events the log retains for slow observers.
     pub event_capacity: usize,
+    /// Tentatively commit option 0 of every offer at offer time, holding
+    /// the vehicle's capacity until the rider responds. A rider who
+    /// confirms option 0 can then never hit
+    /// [`EngineError::AssignmentFailed`]; the hold is released on decline,
+    /// expiry, or switching to another option. Off by default (holds
+    /// reduce fleet capacity while offers are open).
+    pub hold_offers: bool,
 }
 
 /// Environment override for the default offer TTL, read once per process.
@@ -86,6 +116,7 @@ impl Default for ServiceConfig {
         ServiceConfig {
             offer_ttl_secs: env_offer_ttl().unwrap_or(300.0),
             event_capacity: 65_536,
+            hold_offers: false,
         }
     }
 }
@@ -100,6 +131,13 @@ impl ServiceConfig {
     /// Sets the event-log retention capacity.
     pub fn with_event_capacity(mut self, capacity: usize) -> Self {
         self.event_capacity = capacity;
+        self
+    }
+
+    /// Enables or disables offer capacity holds (see
+    /// [`ServiceConfig::hold_offers`]).
+    pub fn with_hold_offers(mut self, hold: bool) -> Self {
+        self.hold_offers = hold;
         self
     }
 }
@@ -122,7 +160,8 @@ impl SessionStore {
 ///
 /// All methods take `&self`; wrap the service in an `Arc` to share it
 /// across submitter threads. See the module docs for the read/write-path
-/// split and [`crate::session`] for the lifecycle.
+/// split, the durability contract, and [`crate::session`] for the
+/// lifecycle.
 pub struct RideService {
     shared: EngineShared,
     matcher_kind: MatcherKind,
@@ -132,6 +171,10 @@ pub struct RideService {
     ledger: Mutex<Ledger>,
     sessions: Mutex<SessionStore>,
     events: EventLog,
+    /// The write-ahead admission journal, when durability is enabled. A
+    /// plain leaf mutex: it is only ever taken while already inside the
+    /// critical section that orders the journaled operation.
+    journal: Option<Mutex<Journal>>,
 }
 
 impl RideService {
@@ -169,6 +212,7 @@ impl RideService {
                 sessions: HashMap::new(),
                 next_session: 0,
             }),
+            journal: None,
         }
     }
 
@@ -186,6 +230,82 @@ impl RideService {
         self
     }
 
+    /// Attaches a write-ahead admission journal (builder style, before
+    /// sharing). Every subsequent state mutation is journaled before it is
+    /// acknowledged; attach the journal to a *fresh* service so the journal
+    /// captures every mutation since birth (or recover an existing journal
+    /// with [`RideService::recover`], which re-attaches it).
+    pub fn with_journal(mut self, journal: Journal) -> Self {
+        self.journal = Some(Mutex::new(journal));
+        self
+    }
+
+    // ------------------------------------------------------------------
+    // Lock acquisition policy
+    // ------------------------------------------------------------------
+    //
+    // Session-lifecycle paths refuse to run over state a panicking writer
+    // may have torn: they surface `ServiceError::Unavailable` on a
+    // poisoned lock instead of unwrapping. The fleet write paths (vehicle
+    // adds and movement), whose signatures predate the typed service
+    // errors, still panic — a poisoned lock there is unrecoverable for the
+    // process either way. Read-only accessors re-enter poisoned locks
+    // (observing possibly-torn state is acceptable for diagnostics, and
+    // `fingerprint`/`recover` need to work on a crashed service).
+
+    fn world_read(&self) -> Result<RwLockReadGuard<'_, World>, ServiceError> {
+        self.world
+            .read()
+            .map_err(|_| ServiceError::Unavailable("world"))
+    }
+
+    fn world_write(&self) -> Result<RwLockWriteGuard<'_, World>, ServiceError> {
+        self.world
+            .write()
+            .map_err(|_| ServiceError::Unavailable("world"))
+    }
+
+    fn sessions_lock(&self) -> Result<MutexGuard<'_, SessionStore>, ServiceError> {
+        self.sessions
+            .lock()
+            .map_err(|_| ServiceError::Unavailable("sessions"))
+    }
+
+    fn ledger_lock(&self) -> Result<MutexGuard<'_, Ledger>, ServiceError> {
+        self.ledger
+            .lock()
+            .map_err(|_| ServiceError::Unavailable("ledger"))
+    }
+
+    fn world_read_tolerant(&self) -> RwLockReadGuard<'_, World> {
+        self.world.read().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn sessions_tolerant(&self) -> MutexGuard<'_, SessionStore> {
+        self.sessions.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn ledger_tolerant(&self) -> MutexGuard<'_, Ledger> {
+        self.ledger.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Appends one logical operation to the journal, if one is attached.
+    ///
+    /// Must be called inside the critical section that orders the
+    /// operation against other writers (see the module docs), so the
+    /// journal's sequence order equals the admission order. An append
+    /// failure panics *before* the operation is acknowledged: crashing
+    /// un-acknowledged is the safe side of the durability contract.
+    fn journal_op(&self, op: &Op) {
+        if let Some(journal) = &self.journal {
+            let mut journal = journal.lock().unwrap_or_else(|p| p.into_inner());
+            journal.append(&op.encode()).expect(
+                "admission journal append failed; crashing before acknowledging the \
+                 un-journaled operation",
+            );
+        }
+    }
+
     // ------------------------------------------------------------------
     // Shared substrate accessors (lock-free)
     // ------------------------------------------------------------------
@@ -195,7 +315,7 @@ impl RideService {
         &self.shared.config
     }
 
-    /// The service configuration (offer TTL, event retention).
+    /// The service configuration (offer TTL, event retention, holds).
     pub fn service_config(&self) -> &ServiceConfig {
         &self.service_config
     }
@@ -221,8 +341,14 @@ impl RideService {
     }
 
     /// A snapshot of the aggregated statistics.
+    ///
+    /// [`EngineStats::runtime_job_panics`] is stamped from the worker pool
+    /// at read time (it never enters the ledger, so journal replay — which
+    /// absorbs no panics — reproduces the ledger image exactly).
     pub fn stats(&self) -> EngineStats {
-        self.ledger.lock().unwrap().stats.clone()
+        let mut stats = self.ledger_tolerant().stats.clone();
+        stats.runtime_job_panics = self.shared.runtime.job_panics();
+        stats
     }
 
     // ------------------------------------------------------------------
@@ -236,11 +362,15 @@ impl RideService {
 
     /// Adds a vehicle at `location` with an explicit capacity.
     pub fn add_vehicle_with_capacity(&self, location: VertexId, capacity: u32) -> VehicleId {
-        let id = self
-            .world
-            .write()
-            .unwrap()
-            .add_vehicle(&self.shared, location, capacity);
+        let id = {
+            let mut world = self.world.write().unwrap();
+            let id = world.add_vehicle(&self.shared, location, capacity);
+            self.journal_op(&Op::AddVehicle {
+                location: location.0,
+                capacity,
+            });
+            id
+        };
         self.events.publish(EngineEvent::VehicleAdded {
             vehicle: id,
             location,
@@ -250,17 +380,17 @@ impl RideService {
 
     /// Number of vehicles registered.
     pub fn num_vehicles(&self) -> usize {
-        self.world.read().unwrap().vehicles.len()
+        self.world_read_tolerant().vehicles.len()
     }
 
     /// Runs `f` over a vehicle under the world read lock.
     pub fn with_vehicle<R>(&self, id: VehicleId, f: impl FnOnce(&Vehicle) -> R) -> Option<R> {
-        self.world.read().unwrap().vehicles.get(&id).map(f)
+        self.world_read_tolerant().vehicles.get(&id).map(f)
     }
 
     /// Runs `f` over an iterator of all vehicles under the world read lock.
     pub fn with_vehicles<R>(&self, f: impl FnOnce(&mut dyn Iterator<Item = &Vehicle>) -> R) -> R {
-        let world = self.world.read().unwrap();
+        let world = self.world_read_tolerant();
         let mut iter = world.vehicles.values();
         f(&mut iter)
     }
@@ -281,6 +411,11 @@ impl RideService {
                 location,
                 travelled,
             )?;
+            self.journal_op(&Op::LocationUpdate {
+                vehicle: vehicle_id.0,
+                location: location.0,
+                travelled,
+            });
         }
         self.ledger.lock().unwrap().stats.location_updates += 1;
         Ok(())
@@ -291,7 +426,13 @@ impl RideService {
     pub fn vehicle_arrived(&self, vehicle_id: VehicleId) -> Result<Option<StopEvent>, EngineError> {
         let event = {
             let mut world = self.world.write().unwrap();
-            engine::apply_vehicle_arrived(&self.shared, &mut world, vehicle_id)?
+            let event = engine::apply_vehicle_arrived(&self.shared, &mut world, vehicle_id)?;
+            if event.is_some() {
+                self.journal_op(&Op::VehicleArrived {
+                    vehicle: vehicle_id.0,
+                });
+            }
+            event
         };
         match &event {
             Some(StopEvent::PickedUp { request, .. }) => {
@@ -312,7 +453,9 @@ impl RideService {
         }
         Ok(event)
     }
+}
 
+impl RideService {
     // ------------------------------------------------------------------
     // The session lifecycle
     // ------------------------------------------------------------------
@@ -322,12 +465,14 @@ impl RideService {
     /// Validation and matching run under a shared read lock on the vehicle
     /// world, so concurrent submits proceed in parallel (each may
     /// additionally fan its candidate verification out onto the persistent
-    /// worker pool). The returned [`Offer`] stays respondable via
+    /// worker pool). With [`ServiceConfig::hold_offers`] the world is
+    /// write-locked instead, because option 0 is tentatively committed at
+    /// offer time. The returned [`Offer`] stays respondable via
     /// [`Self::respond`] until `expires_at`.
     ///
     /// Invalid requests (unknown vertices, `origin == destination`, zero
     /// riders, unreachable destination) are rejected before a session is
-    /// created.
+    /// created, a request id is allocated, or anything is journaled.
     pub fn submit(
         &self,
         origin: VertexId,
@@ -335,8 +480,15 @@ impl RideService {
         riders: u32,
         now: f64,
     ) -> Result<Offer, ServiceError> {
+        let direct = engine::validate_request(
+            &self.shared.net,
+            &self.shared.oracle,
+            origin,
+            destination,
+            riders,
+        )?;
         let request = {
-            let mut ledger = self.ledger.lock().unwrap();
+            let mut ledger = self.ledger_lock()?;
             Request::new(
                 ledger.allocate_request_id(),
                 origin,
@@ -345,12 +497,12 @@ impl RideService {
                 now,
             )
         };
-        let prospective = engine::prepare_request(&self.shared, &request)?;
+        let prospective = request.to_prospective(direct, &self.shared.config);
 
         // Register the session (Pending) before matching so the lifecycle
         // is observable while the matcher runs.
         let session_id = {
-            let mut store = self.sessions.lock().unwrap();
+            let mut store = self.sessions_lock()?;
             let id = store.allocate();
             store
                 .sessions
@@ -365,29 +517,85 @@ impl RideService {
             riders,
             at: now,
         });
+        self.finish_submit(session_id, request, prospective, now, None)
+    }
 
-        // Read path: match against the live world under the read lock. The
-        // guard is released before the session table is touched again (see
-        // the module docs' lock order).
-        let (result, elapsed) = {
-            let world = self.world.read().unwrap();
-            engine::match_options(&self.shared, &*self.matcher, &world, &prospective, true)
-        };
-        {
-            let mut ledger = self.ledger.lock().unwrap();
-            ledger.record_match(&result, elapsed);
+    /// Matches a registered pending session, journals the submit, applies
+    /// the optional capacity hold and opens the offer. Shared by
+    /// [`Self::submit`] and journal replay (which forces the journaled
+    /// `total_match_secs` and `exact_distance_computations` so the
+    /// wall-clock and cache-warmth accumulators stay bit-identical).
+    fn finish_submit(
+        &self,
+        session_id: SessionId,
+        request: Request,
+        prospective: ProspectiveRequest,
+        now: f64,
+        forced_accumulators: Option<(f64, MatchWork)>,
+    ) -> Result<Offer, ServiceError> {
+        // The ledger update and the journal append form one critical
+        // section: journal order = ledger order, which is what lets replay
+        // force the environmental accumulators — wall-clock
+        // `total_match_secs` and the oracle-cache-warmth-dependent
+        // `match_work` counters — record by record under concurrency.
+        let journal_submit = |ledger: &mut Ledger, result: &MatchResult, elapsed: f64| {
+            ledger.record_match(result, elapsed);
             ledger.stats.offers_made += 1;
-        }
+            if let Some((total, work)) = forced_accumulators {
+                ledger.stats.total_match_secs = total;
+                ledger.stats.match_work = work;
+            }
+            self.journal_op(&Op::Submit {
+                origin: request.origin.0,
+                destination: request.destination.0,
+                riders: request.riders,
+                now,
+                session: session_id.0,
+                request: request.id.0,
+                match_secs_after: ledger.stats.total_match_secs,
+                work_after: ledger.stats.match_work,
+            });
+        };
+
+        let (result, hold) = if self.service_config.hold_offers {
+            // Hold mode runs on the write path: option 0 is tentatively
+            // committed while the offer is open.
+            let mut world = self.world_write()?;
+            let (result, elapsed) =
+                engine::match_options(&self.shared, &*self.matcher, &world, &prospective, true);
+            {
+                let mut ledger = self.ledger_lock()?;
+                journal_submit(&mut ledger, &result, elapsed);
+            }
+            let hold = result.options.first().and_then(|option| {
+                let pending = PendingRequest {
+                    request,
+                    prospective,
+                };
+                engine::commit_choice(&self.shared, &mut world, &pending, option, now)
+                    .ok()
+                    .map(|()| option.vehicle)
+            });
+            (result, hold)
+        } else {
+            let world = self.world_read()?;
+            let (result, elapsed) =
+                engine::match_options(&self.shared, &*self.matcher, &world, &prospective, true);
+            let mut ledger = self.ledger_lock()?;
+            journal_submit(&mut ledger, &result, elapsed);
+            (result, None)
+        };
 
         let expires_at = now + self.service_config.offer_ttl_secs;
         let options = result.options;
         {
-            let mut store = self.sessions.lock().unwrap();
+            let mut store = self.sessions_lock()?;
             let session = store
                 .sessions
                 .get_mut(&session_id)
                 .expect("a pending session cannot disappear while matching");
             session.offer(options.clone(), expires_at);
+            session.hold = hold;
             // Published under the sessions lock: the session only becomes
             // respondable/expirable once this lock drops, so no concurrent
             // respond/tick can publish the session's terminal event before
@@ -409,15 +617,18 @@ impl RideService {
     }
 
     /// Delivers the rider's decision for an open offer — the **write
-    /// path** (for a choice; a decline only touches the session table).
+    /// path** (for a choice; a decline only touches the session table and
+    /// any capacity hold).
     ///
     /// * `Decision::Choose(option)` commits the assignment under the world
     ///   write lock and confirms the session. If the vehicle can no longer
     ///   honour the option, the session **stays offered** (the rider may
     ///   pick another option or decline) and
     ///   [`ServiceError::Engine`]`(`[`EngineError::AssignmentFailed`]`)` is
-    ///   returned.
-    /// * `Decision::Decline` resolves the session as declined.
+    ///   returned. With [`ServiceConfig::hold_offers`], choosing option 0
+    ///   consumes the hold placed at offer time and can never fail.
+    /// * `Decision::Decline` resolves the session as declined and releases
+    ///   its hold.
     ///
     /// Illegal transitions are rejected: unknown sessions, double
     /// responses ([`ServiceError::AlreadyResolved`]) and responses after
@@ -429,7 +640,7 @@ impl RideService {
         decision: Decision,
         now: f64,
     ) -> Result<Option<Confirmation>, ServiceError> {
-        let mut store = self.sessions.lock().unwrap();
+        let mut store = self.sessions_lock()?;
         let session = store
             .sessions
             .get_mut(&session_id)
@@ -439,8 +650,28 @@ impl RideService {
         if let Err(gate) = session.respond_gate(now) {
             if matches!(gate, ServiceError::OfferExpired(_)) {
                 // A late response expires the offer on the spot.
+                let hold = session.hold.take();
                 session.resolve(SessionState::Expired);
-                self.ledger.lock().unwrap().stats.offers_expired += 1;
+                let journaled_choice = match decision {
+                    Decision::Choose(option) => Some(option.0),
+                    Decision::Decline => None,
+                };
+                if let Some(vehicle) = hold {
+                    let mut world = self.world_write()?;
+                    release_hold(&self.shared, &mut world, vehicle, request_id);
+                    self.journal_op(&Op::Respond {
+                        session: session_id.0,
+                        choice: journaled_choice,
+                        now,
+                    });
+                } else {
+                    self.journal_op(&Op::Respond {
+                        session: session_id.0,
+                        choice: journaled_choice,
+                        now,
+                    });
+                }
+                self.ledger_lock()?.stats.offers_expired += 1;
                 self.events.publish(EngineEvent::Expired {
                     session: session_id,
                     request: request_id,
@@ -452,8 +683,27 @@ impl RideService {
 
         match decision {
             Decision::Decline => {
+                let hold = session.hold.take();
                 session.resolve(SessionState::Declined);
-                self.ledger.lock().unwrap().stats.offers_declined += 1;
+                if let Some(vehicle) = hold {
+                    // The journal append stays inside the world critical
+                    // section so a concurrent submit cannot match the freed
+                    // capacity yet journal ahead of this release.
+                    let mut world = self.world_write()?;
+                    release_hold(&self.shared, &mut world, vehicle, request_id);
+                    self.journal_op(&Op::Respond {
+                        session: session_id.0,
+                        choice: None,
+                        now,
+                    });
+                } else {
+                    self.journal_op(&Op::Respond {
+                        session: session_id.0,
+                        choice: None,
+                        now,
+                    });
+                }
+                self.ledger_lock()?.stats.offers_declined += 1;
                 self.events.publish(EngineEvent::Declined {
                     session: session_id,
                     request: request_id,
@@ -465,23 +715,87 @@ impl RideService {
                 let Some(option) = session.options.get(option_id.0 as usize).cloned() else {
                     return Err(ServiceError::UnknownOption(session_id, option_id));
                 };
+
+                // Hold fast path: option 0 was already committed at offer
+                // time, so confirming it is pure bookkeeping — no world
+                // lock, and no way to fail.
+                if session.hold.is_some() && option_id.0 == 0 {
+                    debug_assert_eq!(session.hold, Some(option.vehicle));
+                    session.resolve(SessionState::Confirmed);
+                    self.journal_op(&Op::Respond {
+                        session: session_id.0,
+                        choice: Some(0),
+                        now,
+                    });
+                    // Chaos site: the record is durable but the caller has
+                    // not seen the confirmation yet.
+                    fault::panic_point(fault::POST_APPEND);
+                    {
+                        let mut ledger = self.ledger_lock()?;
+                        ledger.stats.requests_chosen += 1;
+                        ledger.stats.offers_confirmed += 1;
+                    }
+                    self.events.publish(EngineEvent::Confirmed {
+                        session: session_id,
+                        request: request_id,
+                        vehicle: option.vehicle,
+                        price: option.price,
+                        pickup_secs: option.pickup_secs,
+                        at: now,
+                    });
+                    return Ok(Some(Confirmation {
+                        session: session_id,
+                        request: request_id,
+                        option,
+                    }));
+                }
+
                 let pending = PendingRequest {
                     request: session.request,
                     prospective: session
                         .prospective
                         .expect("an offered session holds its prospective"),
                 };
+                let hold = session.hold.take();
                 // Single admission writer: the commit happens under the
                 // world write lock, serialised with every other commit.
+                // The journal append happens inside the same guard.
                 let committed = {
-                    let mut world = self.world.write().unwrap();
-                    engine::commit_choice(&self.shared, &mut world, &pending, &option, now)
+                    let mut world = self.world_write()?;
+                    if let Some(vehicle) = hold {
+                        release_hold(&self.shared, &mut world, vehicle, request_id);
+                    }
+                    let committed =
+                        engine::commit_choice(&self.shared, &mut world, &pending, &option, now);
+                    if committed.is_err() && hold.is_some() {
+                        // Best-effort: re-place the hold on option 0 so the
+                        // still-open offer keeps its guarantee.
+                        session.hold = session.options.first().cloned().and_then(|previous| {
+                            engine::commit_choice(
+                                &self.shared,
+                                &mut world,
+                                &pending,
+                                &previous,
+                                now,
+                            )
+                            .ok()
+                            .map(|()| previous.vehicle)
+                        });
+                    }
+                    self.journal_op(&Op::Respond {
+                        session: session_id.0,
+                        choice: Some(option_id.0),
+                        now,
+                    });
+                    committed
                 };
+                // Chaos site: durable, not yet acknowledged.
+                fault::panic_point(fault::POST_APPEND);
                 match committed {
                     Ok(()) => {
                         session.resolve(SessionState::Confirmed);
                         {
-                            let mut ledger = self.ledger.lock().unwrap();
+                            let mut ledger = self.ledger_lock()?;
                             ledger.stats.requests_chosen += 1;
                             ledger.stats.offers_confirmed += 1;
                         }
@@ -501,7 +815,7 @@ impl RideService {
                     }
                     Err(e) => {
                         if matches!(e, EngineError::AssignmentFailed(..)) {
-                            self.ledger.lock().unwrap().stats.assignments_failed += 1;
+                            self.ledger_lock()?.stats.assignments_failed += 1;
                             self.events.publish(EngineEvent::AssignmentFailed {
                                 session: session_id,
                                 request: request_id,
@@ -519,19 +833,35 @@ impl RideService {
     /// Advances the offer clock: every open offer whose deadline lies
     /// strictly before `now` is expired, its holds are released, and an
     /// [`EngineEvent::Expired`] event is published per session (in session
-    /// order). Returns how many offers expired.
+    /// order). Returns how many offers expired. Also the automatic
+    /// snapshot trigger when a journal with a snapshot cadence is attached.
     pub fn tick(&self, now: f64) -> usize {
         let mut expired: Vec<(SessionId, ptrider_vehicles::RequestId)> = Vec::new();
+        let mut holds: Vec<(VehicleId, ptrider_vehicles::RequestId)> = Vec::new();
         {
             let mut store = self.sessions.lock().unwrap();
             for session in store.sessions.values_mut() {
                 if session.state == SessionState::Offered && now > session.expires_at {
+                    if let Some(vehicle) = session.hold.take() {
+                        holds.push((vehicle, session.request.id));
+                    }
                     session.resolve(SessionState::Expired);
                     expired.push((session.id, session.request.id));
                 }
             }
+            if !expired.is_empty() {
+                // World guard + journal append even when no holds exist:
+                // the guard orders the Tick record against concurrent
+                // submits' appends, so replay sees the same interleaving.
+                let mut world = self.world.write().unwrap();
+                for (vehicle, request) in &holds {
+                    release_hold(&self.shared, &mut world, *vehicle, *request);
+                }
+                self.journal_op(&Op::Tick { now });
+            }
         }
         if expired.is_empty() {
+            self.maybe_auto_snapshot();
             return 0;
         }
         expired.sort_unstable_by_key(|(s, _)| *s);
@@ -543,24 +873,18 @@ impl RideService {
                 at: now,
             });
         }
+        self.maybe_auto_snapshot();
         expired.len()
     }
 
     /// Where a session stands (`None` for never-issued or pruned ids).
     pub fn session_state(&self, id: SessionId) -> Option<SessionState> {
-        self.sessions
-            .lock()
-            .unwrap()
-            .sessions
-            .get(&id)
-            .map(|s| s.state)
+        self.sessions_tolerant().sessions.get(&id).map(|s| s.state)
     }
 
     /// Number of open (offered, unresolved) sessions.
     pub fn open_offers(&self) -> usize {
-        self.sessions
-            .lock()
-            .unwrap()
+        self.sessions_tolerant()
             .sessions
             .values()
             .filter(|s| s.state == SessionState::Offered)
@@ -569,7 +893,7 @@ impl RideService {
 
     /// Total sessions in the table (open and resolved-but-unpruned).
     pub fn num_sessions(&self) -> usize {
-        self.sessions.lock().unwrap().sessions.len()
+        self.sessions_tolerant().sessions.len()
     }
 
     /// Drops resolved sessions from the table, returning how many were
@@ -581,7 +905,11 @@ impl RideService {
         let mut store = self.sessions.lock().unwrap();
         let before = store.sessions.len();
         store.sessions.retain(|_, s| !s.state.is_terminal());
-        before - store.sessions.len()
+        let removed = before - store.sessions.len();
+        if removed > 0 {
+            self.journal_op(&Op::PruneResolved);
+        }
+        removed
     }
 
     /// Requests parked in the engine-level pending table. The session
@@ -590,7 +918,7 @@ impl RideService {
     /// flight uses it transiently, so outside engine internals this is
     /// `0` — asserted by the request-state-leak regression tests.
     pub fn ledger_pending_requests(&self) -> usize {
-        self.ledger.lock().unwrap().pending.len()
+        self.ledger_tolerant().pending.len()
     }
 
     // ------------------------------------------------------------------
@@ -608,23 +936,42 @@ impl RideService {
         &self,
         specs: &[(VertexId, VertexId, u32)],
         now: f64,
-        selector: F,
+        mut selector: F,
     ) -> Vec<BatchOutcome>
     where
         F: FnMut(&[RideOption]) -> Option<usize>,
     {
+        let mut choices: Vec<Option<u32>> = Vec::with_capacity(specs.len());
         let outcomes = {
             let mut world = self.world.write().unwrap();
             let mut ledger = self.ledger.lock().unwrap();
-            engine::run_batch_greedy(
+            let first_request = ledger.next_request_id();
+            let outcomes = engine::run_batch_greedy(
                 &self.shared,
                 &*self.matcher,
                 &mut world,
                 &mut ledger,
                 specs,
                 now,
-                selector,
-            )
+                |options| {
+                    // Record the post-filter choice in selector call order:
+                    // both admission modes invoke the selector in a
+                    // deterministic sequence, so replay can feed the same
+                    // answers back positionally.
+                    let choice = selector(options).filter(|&i| i < options.len());
+                    choices.push(choice.map(|i| i as u32));
+                    choice
+                },
+            );
+            self.journal_op(&Op::Batch {
+                now,
+                specs: specs.iter().map(|(o, d, r)| (o.0, d.0, *r)).collect(),
+                choices: std::mem::take(&mut choices),
+                first_request,
+                match_secs_after: ledger.stats.total_match_secs,
+                work_after: ledger.stats.match_work,
+            });
+            outcomes
         };
         let assigned = outcomes.iter().filter(|o| o.chosen.is_some()).count();
         self.events.publish(EngineEvent::BatchAdmitted {
@@ -647,15 +994,25 @@ impl RideService {
     /// ([`Self::network`]). Factors are ≥ 1.0 over free flow by
     /// construction, so every pruning bound stays sound — see DESIGN.md
     /// "Traffic model".
-    pub fn apply_traffic_update(
-        &self,
-        model: &ptrider_roadnet::TrafficModel,
-        now: f64,
-    ) -> TrafficUpdateOutcome {
+    pub fn apply_traffic_update(&self, model: &TrafficModel, now: f64) -> TrafficUpdateOutcome {
         let outcome = {
             let _world = self.world.write().unwrap();
             let mut ledger = self.ledger.lock().unwrap();
-            engine::apply_traffic(&self.shared, &mut ledger, model)
+            let outcome = engine::apply_traffic(&self.shared, &mut ledger, model);
+            // Only the non-free-flow arcs are journaled; the factor bits
+            // rebuild the metric exactly on replay (the model's version
+            // counter is advisory and never read by the oracle).
+            self.journal_op(&Op::TrafficUpdate {
+                now,
+                factors: model
+                    .factors()
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, f)| **f != 1.0)
+                    .map(|(i, f)| (i as u32, *f))
+                    .collect(),
+            });
+            outcome
         };
         self.events.publish(EngineEvent::TrafficUpdated {
             epoch: outcome.epoch,
@@ -709,8 +1066,733 @@ impl std::fmt::Debug for RideService {
             .field("sessions", &self.num_sessions())
             .field("open_offers", &self.open_offers())
             .field("events", &self.events)
+            .field("journaled", &self.journal.is_some())
             .finish()
     }
+}
+
+// ---------------------------------------------------------------------
+// Durability: snapshots, fingerprints and crash recovery
+// ---------------------------------------------------------------------
+
+impl RideService {
+    /// Writes a consistent snapshot of the full service state (world,
+    /// ledger, sessions, event counters) to the attached journal, returning
+    /// the WAL watermark it covers. Returns `None` when no journal is
+    /// attached, when a lock is poisoned (a torn state must never become a
+    /// checkpoint), or when the snapshot could not be written (the WAL
+    /// remains authoritative either way).
+    ///
+    /// The world is **write**-locked: submits append their journal records
+    /// under a world *read* guard, so only the exclusive lock freezes every
+    /// append path (respond/tick/prune are excluded by the sessions lock,
+    /// vehicle/batch/traffic updates by the world lock itself).
+    pub fn snapshot(&self) -> Option<u64> {
+        self.journal.as_ref()?;
+        let Ok(store) = self.sessions.lock() else {
+            return None;
+        };
+        let Ok(world) = self.world.write() else {
+            return None;
+        };
+        let Ok(ledger) = self.ledger.lock() else {
+            return None;
+        };
+        let payload = encode_snapshot(&world, &ledger, &store, &self.events);
+        let journal = self.journal.as_ref()?;
+        let mut journal = journal.lock().unwrap_or_else(|p| p.into_inner());
+        let watermark = journal.next_seq();
+        match journal.write_snapshot(watermark, &payload) {
+            Ok(()) => Some(watermark),
+            Err(_) => None,
+        }
+    }
+
+    /// Writes a snapshot if the journal's automatic cadence says one is
+    /// due. Called from [`Self::tick`] — the natural periodic entry point.
+    fn maybe_auto_snapshot(&self) {
+        let due = match &self.journal {
+            Some(journal) => journal
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .snapshot_due(),
+            None => false,
+        };
+        if due {
+            self.snapshot();
+        }
+    }
+
+    /// A 64-bit fingerprint of the full logical state (world, ledger,
+    /// sessions, event counters) — the equality oracle of the
+    /// crash-recovery tests: two services are in the same state iff their
+    /// fingerprints match. Poison-tolerant so a crashed service can still
+    /// be fingerprinted for diagnostics.
+    pub fn fingerprint(&self) -> u64 {
+        let store = self.sessions_tolerant();
+        let world = self.world_read_tolerant();
+        let ledger = self.ledger_tolerant();
+        journal::fingerprint_bytes(&encode_snapshot(&world, &ledger, &store, &self.events))
+    }
+
+    /// The sequence number the next journaled operation would receive
+    /// (`None` without a journal). Identifies a recovery point in the
+    /// crash-recovery tests.
+    pub fn journal_next_seq(&self) -> Option<u64> {
+        self.journal
+            .as_ref()
+            .map(|j| j.lock().unwrap_or_else(|p| p.into_inner()).next_seq())
+    }
+
+    /// Rebuilds a service from its journal directory: opens the journal
+    /// (truncating any torn tail), installs the latest snapshot, replays
+    /// the WAL tail through the normal operation paths, and re-attaches
+    /// the journal. The resulting service is bit-identical (per
+    /// [`Self::fingerprint`]) to the crashed one at its last journaled
+    /// operation.
+    ///
+    /// `engine` must be a *fresh* engine over the same network and
+    /// configuration the original service was built with (the journal
+    /// records every mutation since the original service's birth);
+    /// `service_config` likewise must match the original's.
+    pub fn recover(
+        engine: PtRider,
+        service_config: ServiceConfig,
+        dir: impl AsRef<Path>,
+        journal_config: JournalConfig,
+    ) -> Result<Self, JournalError> {
+        let (recovered, journal) = Journal::open(dir, journal_config)?;
+        let svc = Self::from_engine(engine).with_service_config(service_config);
+
+        let mut ops = Vec::with_capacity(recovered.ops.len());
+        for (seq, payload) in &recovered.ops {
+            ops.push((*seq, Op::decode(payload)?));
+        }
+        let watermark = recovered.snapshot.as_ref().map(|(w, _)| *w).unwrap_or(0);
+
+        // Reinstate the traffic metric the snapshot was taken under. The
+        // snapshot's stats already count those epochs, so the oracle is
+        // driven directly (no ledger): (k-1) free-flow epochs advance the
+        // epoch counter, then the last journaled model restores the metric
+        // — post-recovery epochs thereby report the same numbers the
+        // original run would have.
+        let mut pre_snapshot_epochs = 0u64;
+        let mut last_factors: Option<&[(u32, f64)]> = None;
+        for (seq, op) in &ops {
+            if *seq >= watermark {
+                break;
+            }
+            if let Op::TrafficUpdate { factors, .. } = op {
+                pre_snapshot_epochs += 1;
+                last_factors = Some(factors);
+            }
+        }
+        if pre_snapshot_epochs > 0 {
+            let free = TrafficModel::free_flow(&svc.shared.net);
+            for _ in 1..pre_snapshot_epochs {
+                svc.shared.oracle.apply_traffic(&free);
+            }
+            let mut model = TrafficModel::free_flow(&svc.shared.net);
+            for (arc, factor) in last_factors.unwrap_or(&[]) {
+                model.set_arc_factor(*arc as usize, *factor);
+            }
+            svc.shared.oracle.apply_traffic(&model);
+        }
+
+        if let Some((_, payload)) = &recovered.snapshot {
+            svc.install_snapshot(payload)?;
+        }
+        for (seq, op) in ops {
+            if seq < watermark {
+                continue;
+            }
+            svc.apply_op(op);
+        }
+
+        let mut svc = svc;
+        svc.journal = Some(Mutex::new(journal));
+        Ok(svc)
+    }
+
+    /// Replaces the full service state with a decoded snapshot payload.
+    fn install_snapshot(&self, payload: &[u8]) -> Result<(), JournalError> {
+        let mut d = Dec::new(payload);
+
+        // World: vehicles in id order; the index is rebuilt as they land.
+        let next_vehicle = d.u32()?;
+        let num_vehicles = d.len(17)?;
+        let mut world = World::new(self.shared.grid.num_cells());
+        for _ in 0..num_vehicles {
+            let vehicle = decode_vehicle(&mut d)?;
+            world.index.update_from_vehicle(
+                &vehicle,
+                &self.shared.net,
+                &self.shared.grid,
+                &self.shared.oracle,
+            );
+            world.vehicles.insert(vehicle.id(), vehicle);
+        }
+        world.set_next_vehicle_id(next_vehicle);
+
+        let stats = decode_stats(&mut d)?;
+        let next_request = d.u64()?;
+
+        let next_session = d.u64()?;
+        let num_sessions = d.len(8)?;
+        let mut sessions = HashMap::with_capacity(num_sessions);
+        for _ in 0..num_sessions {
+            let session = decode_session(&mut d)?;
+            sessions.insert(session.id, session);
+        }
+
+        let ev_next = d.u64()?;
+        let ev_dropped = d.u64()?;
+        d.finish()?;
+
+        *self.world.write().unwrap_or_else(|p| p.into_inner()) = world;
+        {
+            let mut ledger = self.ledger_tolerant();
+            ledger.stats = stats;
+            ledger.pending.clear();
+            ledger.set_next_request_id(next_request);
+        }
+        {
+            let mut store = self.sessions_tolerant();
+            store.sessions = sessions;
+            store.next_session = next_session;
+        }
+        self.events.restore(ev_next, ev_dropped);
+        Ok(())
+    }
+
+    /// Replays one journaled operation through the normal operation paths.
+    /// The journal is not attached yet during replay, so nothing
+    /// re-journals; results are discarded (the original caller already
+    /// consumed them).
+    fn apply_op(&self, op: Op) {
+        match op {
+            Op::AddVehicle { location, capacity } => {
+                self.add_vehicle_with_capacity(VertexId(location), capacity);
+            }
+            Op::Submit {
+                origin,
+                destination,
+                riders,
+                now,
+                session,
+                request,
+                match_secs_after,
+                work_after,
+            } => {
+                let origin = VertexId(origin);
+                let destination = VertexId(destination);
+                let direct = engine::validate_request(
+                    &self.shared.net,
+                    &self.shared.oracle,
+                    origin,
+                    destination,
+                    riders,
+                )
+                .expect("journaled submits were valid when journaled");
+                {
+                    let mut ledger = self.ledger_tolerant();
+                    let next = ledger.next_request_id().max(request + 1);
+                    ledger.set_next_request_id(next);
+                }
+                let request = Request::new(RequestId(request), origin, destination, riders, now);
+                let prospective = request.to_prospective(direct, &self.shared.config);
+                let session_id = SessionId(session);
+                {
+                    let mut store = self.sessions_tolerant();
+                    store.next_session = store.next_session.max(session + 1);
+                    store.sessions.insert(
+                        session_id,
+                        Session::pending(session_id, request, prospective),
+                    );
+                }
+                self.events.publish(EngineEvent::Submitted {
+                    session: session_id,
+                    request: request.id,
+                    origin,
+                    destination,
+                    riders,
+                    at: now,
+                });
+                let _ = self.finish_submit(
+                    session_id,
+                    request,
+                    prospective,
+                    now,
+                    Some((match_secs_after, work_after)),
+                );
+            }
+            Op::Respond {
+                session,
+                choice,
+                now,
+            } => {
+                let decision = choice
+                    .map(|k| Decision::Choose(OptionId(k)))
+                    .unwrap_or(Decision::Decline);
+                let _ = self.respond(SessionId(session), decision, now);
+            }
+            Op::Tick { now } => {
+                self.tick(now);
+            }
+            Op::LocationUpdate {
+                vehicle,
+                location,
+                travelled,
+            } => {
+                let _ = self.location_update(VehicleId(vehicle), VertexId(location), travelled);
+            }
+            Op::VehicleArrived { vehicle } => {
+                let _ = self.vehicle_arrived(VehicleId(vehicle));
+            }
+            Op::TrafficUpdate { now, factors } => {
+                let mut model = TrafficModel::free_flow(&self.shared.net);
+                for (arc, factor) in factors {
+                    model.set_arc_factor(arc as usize, factor);
+                }
+                self.apply_traffic_update(&model, now);
+            }
+            Op::Batch {
+                now,
+                specs,
+                choices,
+                first_request,
+                match_secs_after,
+                work_after,
+            } => {
+                {
+                    let mut ledger = self.ledger_tolerant();
+                    let next = ledger.next_request_id().max(first_request);
+                    ledger.set_next_request_id(next);
+                }
+                let specs: Vec<(VertexId, VertexId, u32)> = specs
+                    .iter()
+                    .map(|(o, d, r)| (VertexId(*o), VertexId(*d), *r))
+                    .collect();
+                let mut call = 0usize;
+                self.submit_batch_greedy(&specs, now, |_| {
+                    let choice = choices.get(call).copied().flatten().map(|c| c as usize);
+                    call += 1;
+                    choice
+                });
+                let mut ledger = self.ledger_tolerant();
+                ledger.stats.total_match_secs = match_secs_after;
+                ledger.stats.match_work = work_after;
+            }
+            Op::PruneResolved => {
+                self.prune_resolved();
+            }
+        }
+    }
+}
+
+/// Unassigns a tentatively committed request (an offer hold) from its
+/// vehicle and refreshes the vehicle index. Call under the world write
+/// lock.
+fn release_hold(
+    shared: &EngineShared,
+    world: &mut World,
+    vehicle_id: VehicleId,
+    request: RequestId,
+) {
+    if let Some(vehicle) = world.vehicles.get_mut(&vehicle_id) {
+        if vehicle.unassign(&shared.oracle, request) {
+            world
+                .index
+                .update_from_vehicle(vehicle, &shared.net, &shared.grid, &shared.oracle);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The snapshot codec
+// ---------------------------------------------------------------------
+//
+// A flat, deterministic, versioned-by-the-journal-header encoding of the
+// full logical service state. Collections are serialised in id order so
+// the encoding doubles as the state fingerprint's canonical form.
+
+fn encode_snapshot(
+    world: &World,
+    ledger: &Ledger,
+    store: &SessionStore,
+    events: &EventLog,
+) -> Vec<u8> {
+    let mut e = Enc::new();
+
+    // --- world ---
+    e.u32(world.next_vehicle_id());
+    let mut vehicles: Vec<&Vehicle> = world.vehicles.values().collect();
+    vehicles.sort_by_key(|v| v.id());
+    e.u32(vehicles.len() as u32);
+    for vehicle in vehicles {
+        encode_vehicle(&mut e, vehicle);
+    }
+
+    // --- ledger ---
+    encode_stats(&mut e, &ledger.stats);
+    e.u64(ledger.next_request_id());
+    debug_assert!(
+        ledger.pending.is_empty(),
+        "no snapshot path runs mid-batch (the only transient user of the pending table)"
+    );
+
+    // --- sessions ---
+    e.u64(store.next_session);
+    let mut sessions: Vec<&Session> = store.sessions.values().collect();
+    sessions.sort_by_key(|s| s.id);
+    e.u32(sessions.len() as u32);
+    for session in sessions {
+        encode_session(&mut e, session);
+    }
+
+    // --- events ---
+    e.u64(events.published());
+    e.u64(events.evicted());
+
+    e.finish()
+}
+
+fn encode_vehicle(e: &mut Enc, v: &Vehicle) {
+    e.u32(v.id().0);
+    e.u32(v.capacity());
+    e.u32(v.location().0);
+    e.f64(v.odometer());
+    let mut requests = v.requests();
+    requests.sort_by_key(|r| r.id);
+    e.u32(requests.len() as u32);
+    for r in requests {
+        e.u64(r.id.0);
+        e.u32(r.riders);
+        e.u32(r.pickup.0);
+        e.u32(r.dropoff.0);
+        e.f64(r.direct_dist);
+        e.f64(r.max_onboard_dist);
+        e.f64(r.pickup_deadline_odometer);
+        e.f64(r.assigned_at_odometer);
+        e.f64(r.assigned_at_time);
+        e.f64(r.planned_pickup_dist);
+        e.f64(r.price);
+        match r.progress {
+            RequestProgress::Waiting => e.u8(0),
+            RequestProgress::OnBoard { travelled } => {
+                e.u8(1);
+                e.f64(travelled);
+            }
+        }
+    }
+    let roots = v.kinetic_tree().roots();
+    e.u32(roots.len() as u32);
+    for node in roots {
+        encode_node(e, node);
+    }
+}
+
+fn encode_node(e: &mut Enc, node: &KineticNode) {
+    e.u64(node.stop.request.0);
+    e.u32(node.stop.location.0);
+    e.u8(match node.stop.kind {
+        StopKind::Pickup => 0,
+        StopKind::Dropoff => 1,
+    });
+    e.u32(node.stop.riders);
+    e.f64(node.leg_dist);
+    e.f64(node.dist_tr);
+    e.u32(node.occupancy);
+    e.f64(node.slack);
+    e.u32(node.children.len() as u32);
+    for child in &node.children {
+        encode_node(e, child);
+    }
+}
+
+fn encode_stats(e: &mut Enc, s: &EngineStats) {
+    e.u64(s.requests_submitted);
+    e.u64(s.requests_with_options);
+    e.u64(s.options_returned);
+    e.u64(s.requests_chosen);
+    e.u64(s.assignments_failed);
+    e.u64(s.pickups);
+    e.u64(s.dropoffs);
+    e.u64(s.location_updates);
+    e.f64(s.total_match_secs);
+    e.u64(s.batch_bursts);
+    e.u64(s.batch_requests);
+    e.u64(s.batch_partitions);
+    e.u64(s.batch_rematches);
+    e.u64(s.offers_made);
+    e.u64(s.offers_confirmed);
+    e.u64(s.offers_declined);
+    e.u64(s.offers_expired);
+    e.u64(s.traffic_epochs);
+    e.u64(s.ch_customizations);
+    e.u64(s.runtime_job_panics);
+    e.u64(s.match_work.vehicles_considered);
+    e.u64(s.match_work.vehicles_verified);
+    e.u64(s.match_work.vehicles_pruned);
+    e.u64(s.match_work.cells_visited);
+    e.u64(s.match_work.exact_distance_computations);
+    e.u64(s.match_work.candidates_generated);
+}
+
+fn encode_session(e: &mut Enc, s: &Session) {
+    e.u64(s.id.0);
+    e.u64(s.request.id.0);
+    e.u32(s.request.origin.0);
+    e.u32(s.request.destination.0);
+    e.u32(s.request.riders);
+    e.opt_f64(s.request.max_wait_secs);
+    e.opt_f64(s.request.detour_factor);
+    e.f64(s.request.submitted_at);
+    e.u8(match s.state {
+        SessionState::Pending => 0,
+        SessionState::Offered => 1,
+        SessionState::Confirmed => 2,
+        SessionState::Declined => 3,
+        SessionState::Expired => 4,
+    });
+    e.f64(s.expires_at);
+    match &s.prospective {
+        None => e.u8(0),
+        Some(p) => {
+            e.u8(1);
+            e.u64(p.id.0);
+            e.u32(p.pickup.0);
+            e.u32(p.dropoff.0);
+            e.u32(p.riders);
+            e.f64(p.direct_dist);
+            e.f64(p.max_onboard_dist);
+        }
+    }
+    e.u32(s.options.len() as u32);
+    for option in &s.options {
+        e.u32(option.vehicle.0);
+        e.f64(option.pickup_dist);
+        e.f64(option.pickup_secs);
+        e.f64(option.price);
+        e.u32(option.schedule.len() as u32);
+        for stop in &option.schedule {
+            e.u64(stop.request.0);
+            e.u32(stop.location.0);
+            e.u8(match stop.kind {
+                StopKind::Pickup => 0,
+                StopKind::Dropoff => 1,
+            });
+            e.u32(stop.riders);
+        }
+        e.f64(option.new_total_dist);
+        e.f64(option.old_total_dist);
+    }
+    e.opt_u32(s.hold.map(|v| v.0));
+}
+
+fn decode_stop(d: &mut Dec<'_>) -> Result<Stop, JournalError> {
+    let request = RequestId(d.u64()?);
+    let location = VertexId(d.u32()?);
+    let kind = match d.u8()? {
+        0 => StopKind::Pickup,
+        1 => StopKind::Dropoff,
+        _ => return Err(JournalError::Corrupt("unknown stop kind")),
+    };
+    let riders = d.u32()?;
+    Ok(Stop {
+        request,
+        location,
+        kind,
+        riders,
+    })
+}
+
+fn decode_node(d: &mut Dec<'_>) -> Result<KineticNode, JournalError> {
+    let stop = decode_stop(d)?;
+    let leg_dist = d.f64()?;
+    let dist_tr = d.f64()?;
+    let occupancy = d.u32()?;
+    let slack = d.f64()?;
+    let num_children = d.len(49)?;
+    let mut children = Vec::with_capacity(num_children);
+    for _ in 0..num_children {
+        children.push(decode_node(d)?);
+    }
+    Ok(KineticNode {
+        stop,
+        leg_dist,
+        dist_tr,
+        occupancy,
+        slack,
+        children,
+    })
+}
+
+fn decode_vehicle(d: &mut Dec<'_>) -> Result<Vehicle, JournalError> {
+    let id = VehicleId(d.u32()?);
+    let capacity = d.u32()?;
+    let location = VertexId(d.u32()?);
+    let odometer = d.f64()?;
+    let num_requests = d.len(73)?;
+    let mut requests = Vec::with_capacity(num_requests);
+    for _ in 0..num_requests {
+        let id = RequestId(d.u64()?);
+        let riders = d.u32()?;
+        let pickup = VertexId(d.u32()?);
+        let dropoff = VertexId(d.u32()?);
+        let direct_dist = d.f64()?;
+        let max_onboard_dist = d.f64()?;
+        let pickup_deadline_odometer = d.f64()?;
+        let assigned_at_odometer = d.f64()?;
+        let assigned_at_time = d.f64()?;
+        let planned_pickup_dist = d.f64()?;
+        let price = d.f64()?;
+        let progress = match d.u8()? {
+            0 => RequestProgress::Waiting,
+            1 => RequestProgress::OnBoard {
+                travelled: d.f64()?,
+            },
+            _ => return Err(JournalError::Corrupt("unknown request progress")),
+        };
+        requests.push(AssignedRequest {
+            id,
+            riders,
+            pickup,
+            dropoff,
+            direct_dist,
+            max_onboard_dist,
+            pickup_deadline_odometer,
+            assigned_at_odometer,
+            assigned_at_time,
+            planned_pickup_dist,
+            price,
+            progress,
+        });
+    }
+    let num_roots = d.len(49)?;
+    let mut roots = Vec::with_capacity(num_roots);
+    for _ in 0..num_roots {
+        roots.push(decode_node(d)?);
+    }
+    Ok(Vehicle::from_parts(
+        id,
+        capacity,
+        location,
+        odometer,
+        requests,
+        KineticTree::from_roots(roots),
+    ))
+}
+
+fn decode_stats(d: &mut Dec<'_>) -> Result<EngineStats, JournalError> {
+    // Struct-literal fields evaluate in source order, matching the encoder.
+    Ok(EngineStats {
+        requests_submitted: d.u64()?,
+        requests_with_options: d.u64()?,
+        options_returned: d.u64()?,
+        requests_chosen: d.u64()?,
+        assignments_failed: d.u64()?,
+        pickups: d.u64()?,
+        dropoffs: d.u64()?,
+        location_updates: d.u64()?,
+        total_match_secs: d.f64()?,
+        batch_bursts: d.u64()?,
+        batch_requests: d.u64()?,
+        batch_partitions: d.u64()?,
+        batch_rematches: d.u64()?,
+        offers_made: d.u64()?,
+        offers_confirmed: d.u64()?,
+        offers_declined: d.u64()?,
+        offers_expired: d.u64()?,
+        traffic_epochs: d.u64()?,
+        ch_customizations: d.u64()?,
+        runtime_job_panics: d.u64()?,
+        match_work: MatchWork {
+            vehicles_considered: d.u64()?,
+            vehicles_verified: d.u64()?,
+            vehicles_pruned: d.u64()?,
+            cells_visited: d.u64()?,
+            exact_distance_computations: d.u64()?,
+            candidates_generated: d.u64()?,
+        },
+    })
+}
+
+fn decode_session(d: &mut Dec<'_>) -> Result<Session, JournalError> {
+    let id = SessionId(d.u64()?);
+    let request_id = RequestId(d.u64()?);
+    let origin = VertexId(d.u32()?);
+    let destination = VertexId(d.u32()?);
+    let riders = d.u32()?;
+    let max_wait_secs = d.opt_f64()?;
+    let detour_factor = d.opt_f64()?;
+    let submitted_at = d.f64()?;
+    let mut request = Request::new(request_id, origin, destination, riders, submitted_at);
+    request.max_wait_secs = max_wait_secs;
+    request.detour_factor = detour_factor;
+    let state = match d.u8()? {
+        0 => SessionState::Pending,
+        1 => SessionState::Offered,
+        2 => SessionState::Confirmed,
+        3 => SessionState::Declined,
+        4 => SessionState::Expired,
+        _ => return Err(JournalError::Corrupt("unknown session state")),
+    };
+    let expires_at = d.f64()?;
+    let prospective = match d.u8()? {
+        0 => None,
+        1 => {
+            let id = RequestId(d.u64()?);
+            let pickup = VertexId(d.u32()?);
+            let dropoff = VertexId(d.u32()?);
+            let riders = d.u32()?;
+            let direct_dist = d.f64()?;
+            let max_onboard_dist = d.f64()?;
+            Some(ProspectiveRequest {
+                id,
+                pickup,
+                dropoff,
+                riders,
+                direct_dist,
+                max_onboard_dist,
+            })
+        }
+        _ => return Err(JournalError::Corrupt("unknown prospective marker")),
+    };
+    let num_options = d.len(41)?;
+    let mut options = Vec::with_capacity(num_options);
+    for _ in 0..num_options {
+        let vehicle = VehicleId(d.u32()?);
+        let pickup_dist = d.f64()?;
+        let pickup_secs = d.f64()?;
+        let price = d.f64()?;
+        let num_stops = d.len(17)?;
+        let mut schedule = Vec::with_capacity(num_stops);
+        for _ in 0..num_stops {
+            schedule.push(decode_stop(d)?);
+        }
+        let new_total_dist = d.f64()?;
+        let old_total_dist = d.f64()?;
+        options.push(RideOption {
+            vehicle,
+            pickup_dist,
+            pickup_secs,
+            price,
+            schedule,
+            new_total_dist,
+            old_total_dist,
+        });
+    }
+    let hold = d.opt_u32()?.map(VehicleId);
+    Ok(Session {
+        id,
+        request,
+        state,
+        expires_at,
+        prospective,
+        options,
+        hold,
+    })
 }
 
 #[cfg(test)]
@@ -718,6 +1800,7 @@ mod tests {
     use super::*;
     use crate::session::OptionId;
     use ptrider_roadnet::RoadNetworkBuilder;
+    use std::path::PathBuf;
 
     /// A 5x5 lattice with 1 km edges.
     fn city() -> RoadNetwork {
@@ -750,6 +1833,13 @@ mod tests {
             EngineConfig::default(),
         )
         .with_service_config(ServiceConfig::default().with_offer_ttl_secs(ttl))
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("ptrider-service-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
     }
 
     #[test]
@@ -1039,5 +2129,138 @@ mod tests {
         // Request ids continue where the engine left off.
         let offer = svc.submit(VertexId(6), VertexId(8), 1, 1.0).unwrap();
         assert!(offer.request.0 > req.0);
+    }
+
+    #[test]
+    fn hold_offers_reserve_capacity_and_confirm_without_failure() {
+        let svc = service(60.0).with_service_config(
+            ServiceConfig::default()
+                .with_offer_ttl_secs(60.0)
+                .with_hold_offers(true),
+        );
+        let taxi = svc.add_vehicle(VertexId(0));
+
+        // The hold commits option 0 at offer time: the vehicle is busy
+        // while the offer is open.
+        let offer = svc.submit(VertexId(6), VertexId(8), 1, 0.0).unwrap();
+        assert!(!offer.options.is_empty());
+        assert!(svc.with_vehicle(taxi, |v| !v.is_empty()).unwrap());
+
+        // Confirming option 0 consumes the hold — pure bookkeeping.
+        let confirmation = svc
+            .respond(offer.session, Decision::Choose(OptionId(0)), 1.0)
+            .unwrap()
+            .expect("the held option confirms");
+        assert_eq!(confirmation.option.vehicle, taxi);
+        assert!(svc.with_vehicle(taxi, |v| !v.is_empty()).unwrap());
+        assert_eq!(svc.stats().assignments_failed, 0);
+
+        // Decline releases the hold.
+        let second = svc.submit(VertexId(12), VertexId(14), 1, 2.0).unwrap();
+        assert!(svc.with_vehicle(taxi, |v| v.num_requests() == 2).unwrap());
+        svc.respond(second.session, Decision::Decline, 3.0).unwrap();
+        assert!(svc.with_vehicle(taxi, |v| v.num_requests() == 1).unwrap());
+
+        // Expiry releases the hold too.
+        let third = svc.submit(VertexId(12), VertexId(14), 1, 4.0).unwrap();
+        assert!(svc.with_vehicle(taxi, |v| v.num_requests() == 2).unwrap());
+        assert_eq!(svc.tick(100.0), 1);
+        assert_eq!(
+            svc.session_state(third.session),
+            Some(SessionState::Expired)
+        );
+        assert!(svc.with_vehicle(taxi, |v| v.num_requests() == 1).unwrap());
+        assert_eq!(svc.ledger_pending_requests(), 0);
+    }
+
+    #[test]
+    fn journaled_service_recovers_bit_identically() {
+        let dir = temp_dir("recover-smoke");
+        let journal = Journal::create(&dir, JournalConfig::default()).unwrap();
+        let config = ServiceConfig::default().with_offer_ttl_secs(30.0);
+        let svc = RideService::new(
+            city(),
+            GridConfig::with_dimensions(3, 3),
+            EngineConfig::default(),
+        )
+        .with_service_config(config)
+        .with_journal(journal);
+
+        svc.add_vehicle(VertexId(0));
+        svc.add_vehicle(VertexId(24));
+        let a = svc.submit(VertexId(6), VertexId(8), 1, 0.0).unwrap();
+        svc.respond(a.session, Decision::Choose(OptionId(0)), 1.0)
+            .unwrap();
+        let b = svc.submit(VertexId(12), VertexId(14), 2, 2.0).unwrap();
+        svc.respond(b.session, Decision::Decline, 3.0).unwrap();
+        let c = svc.submit(VertexId(7), VertexId(9), 1, 4.0).unwrap();
+        assert_eq!(svc.tick(40.0), 1); // expires c
+        assert_eq!(svc.session_state(c.session), Some(SessionState::Expired));
+        svc.prune_resolved();
+
+        let reference = svc.fingerprint();
+        let seq = svc.journal_next_seq().unwrap();
+        drop(svc);
+
+        let engine = PtRider::new(
+            city(),
+            GridConfig::with_dimensions(3, 3),
+            EngineConfig::default(),
+        );
+        let recovered =
+            RideService::recover(engine, config, &dir, JournalConfig::default()).unwrap();
+        assert_eq!(recovered.journal_next_seq(), Some(seq));
+        assert_eq!(recovered.fingerprint(), reference, "bit-identical recovery");
+        assert_eq!(
+            recovered.num_sessions(),
+            0,
+            "prune removed resolved sessions"
+        );
+        assert_eq!(recovered.stats().offers_expired, 1);
+
+        // The recovered service keeps serving — and keeps journaling.
+        let d = recovered.submit(VertexId(6), VertexId(8), 1, 50.0).unwrap();
+        assert!(!d.options.is_empty());
+        assert!(recovered.journal_next_seq().unwrap() > seq);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_then_recover_replays_only_the_tail() {
+        let dir = temp_dir("snapshot-tail");
+        let journal = Journal::create(&dir, JournalConfig::default()).unwrap();
+        let config = ServiceConfig::default().with_offer_ttl_secs(60.0);
+        let svc = RideService::new(
+            city(),
+            GridConfig::with_dimensions(3, 3),
+            EngineConfig::default(),
+        )
+        .with_service_config(config)
+        .with_journal(journal);
+
+        svc.add_vehicle(VertexId(0));
+        let a = svc.submit(VertexId(6), VertexId(8), 1, 0.0).unwrap();
+        svc.respond(a.session, Decision::Choose(OptionId(0)), 1.0)
+            .unwrap();
+        let watermark = svc.snapshot().expect("snapshot written");
+        assert_eq!(Some(watermark), svc.journal_next_seq());
+
+        // Post-snapshot tail.
+        let b = svc.submit(VertexId(12), VertexId(14), 1, 2.0).unwrap();
+        svc.respond(b.session, Decision::Decline, 3.0).unwrap();
+
+        let reference = svc.fingerprint();
+        drop(svc);
+
+        let engine = PtRider::new(
+            city(),
+            GridConfig::with_dimensions(3, 3),
+            EngineConfig::default(),
+        );
+        let recovered =
+            RideService::recover(engine, config, &dir, JournalConfig::default()).unwrap();
+        assert_eq!(recovered.fingerprint(), reference);
+        assert_eq!(recovered.stats().offers_declined, 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

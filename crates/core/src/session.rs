@@ -26,7 +26,7 @@
 use crate::engine::EngineError;
 use crate::options::RideOption;
 use crate::request::Request;
-use ptrider_vehicles::{ProspectiveRequest, RequestId};
+use ptrider_vehicles::{ProspectiveRequest, RequestId, VehicleId};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -159,6 +159,10 @@ pub enum ServiceError {
     /// The underlying engine rejected the operation (e.g. the chosen
     /// vehicle can no longer honour the option).
     Engine(EngineError),
+    /// A shared lock on the named structure was poisoned by a panicking
+    /// writer; the service refuses mutations until it is rebuilt (e.g. via
+    /// `RideService::recover` from the admission journal).
+    Unavailable(&'static str),
 }
 
 impl fmt::Display for ServiceError {
@@ -174,6 +178,9 @@ impl fmt::Display for ServiceError {
                 write!(f, "session {s} has no option {o}")
             }
             ServiceError::Engine(e) => write!(f, "engine: {e}"),
+            ServiceError::Unavailable(lock) => {
+                write!(f, "service unavailable: the {lock} lock was poisoned")
+            }
         }
     }
 }
@@ -200,6 +207,11 @@ pub(crate) struct Session {
     /// the pre-service facade could accumulate).
     pub(crate) prospective: Option<ProspectiveRequest>,
     pub(crate) options: Vec<RideOption>,
+    /// Vehicle tentatively holding capacity for this offer (only with
+    /// `ServiceConfig::hold_offers`): option 0 is committed at offer time so
+    /// a later confirm can never fail, and the hold is released on decline,
+    /// expiry, or switching to another option.
+    pub(crate) hold: Option<VehicleId>,
 }
 
 impl Session {
@@ -216,6 +228,7 @@ impl Session {
             expires_at: f64::INFINITY,
             prospective: Some(prospective),
             options: Vec::new(),
+            hold: None,
         }
     }
 
@@ -247,6 +260,7 @@ impl Session {
         self.prospective = None;
         self.options = Vec::new();
         self.options.shrink_to_fit();
+        self.hold = None;
     }
 }
 

@@ -55,6 +55,11 @@ pub struct EngineStats {
     /// were fully free-flow resets, which reinstate the retained
     /// build-time hierarchy without a pass).
     pub ch_customizations: u64,
+    /// Worker-pool jobs that panicked and were re-raised by the matching
+    /// runtime (every panic is counted, not just the first per batch; see
+    /// `MatchRuntime::job_panics`). Non-zero only after a caller caught a
+    /// re-raised panic and kept the engine alive.
+    pub runtime_job_panics: u64,
     /// Sum of per-request matcher work counters.
     pub match_work: MatchWork,
 }

@@ -45,6 +45,7 @@ pub mod astar;
 pub mod ch;
 pub mod dijkstra;
 pub mod error;
+pub mod fault;
 pub mod graph;
 pub mod grid;
 pub mod landmarks;

@@ -329,6 +329,10 @@ impl DistanceOracle {
         oracle.landmarks = landmarks;
         oracle.requested_backend = backend;
         if backend == DistanceBackend::Ch {
+            // Chaos hook: a fired fault point simulates the first build
+            // attempt failing transiently; the build below is the single
+            // retry (the schedule never fails two consecutive hits).
+            let _ = crate::fault::fail_point(crate::fault::ORACLE_BUILD);
             match ContractionHierarchy::build(&oracle.net) {
                 Ok(ch) => {
                     let ch = Arc::new(ch);
@@ -810,6 +814,9 @@ impl DistanceOracle {
             self.base_ch.clone()
         } else {
             self.repair_topology().map(|topo| {
+                // Chaos hook: a fired fault point simulates a transiently
+                // failed customization pass; the pass below is the retry.
+                let _ = crate::fault::fail_point(crate::fault::CCH_CUSTOMIZE);
                 let weights = match &scaled {
                     Some(scaled) => topo.customize(scaled),
                     // Free flow without a retained build-time hierarchy

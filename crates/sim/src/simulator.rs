@@ -18,8 +18,8 @@ use crate::choice::ChoicePolicy;
 use crate::motion::Motion;
 use crate::report::{RequestOutcome, SimulationReport};
 use ptrider_core::{
-    Decision, EngineConfig, GridConfig, MatcherKind, OptionId, PtRider, RideService, StopKind,
-    TrafficModel,
+    Decision, EngineConfig, GridConfig, Journal, JournalConfig, JournalError, MatcherKind,
+    OptionId, PtRider, RideService, StopKind, TrafficModel,
 };
 use ptrider_datagen::{CongestionConfig, CongestionProfile, TimedTrip, Workload};
 use ptrider_roadnet::RoadNetwork;
@@ -152,6 +152,52 @@ impl Simulator {
             motions.insert(id, Motion::new());
         }
         let service = RideService::from_engine(engine);
+        Self::finish_build(service, net, config, trips, motions)
+    }
+
+    /// Builds a simulator whose service journals every admission to `dir`,
+    /// so a crashed run can be recovered with [`RideService::recover`]
+    /// over an identically built fresh engine.
+    ///
+    /// The journal attaches **before** the fleet is placed: vehicle adds go
+    /// through the journaled service, so recovery reconstructs the fleet
+    /// from the log rather than relying on the caller to re-place it.
+    ///
+    /// # Errors
+    /// Propagates [`JournalError`] from creating the journal files in `dir`.
+    pub fn new_with_journal(
+        workload: Workload,
+        engine_config: EngineConfig,
+        config: SimConfig,
+        dir: impl AsRef<std::path::Path>,
+        journal_config: JournalConfig,
+    ) -> Result<Self, JournalError> {
+        let journal = Journal::create(dir, journal_config)?;
+        let Workload {
+            network,
+            vehicle_locations,
+            trips,
+            ..
+        } = workload;
+        let mut engine = PtRider::new(network, config.grid, engine_config);
+        engine.set_matcher(config.matcher);
+        let net = engine.oracle().network_arc();
+        let service = RideService::from_engine(engine).with_journal(journal);
+        let mut motions = HashMap::new();
+        for loc in vehicle_locations {
+            let id = service.add_vehicle(loc);
+            motions.insert(id, Motion::new());
+        }
+        Ok(Self::finish_build(service, net, config, trips, motions))
+    }
+
+    fn finish_build(
+        service: RideService,
+        net: Arc<RoadNetwork>,
+        config: SimConfig,
+        trips: Vec<TimedTrip>,
+        motions: HashMap<VehicleId, Motion>,
+    ) -> Self {
         let next_trip = trips.partition_point(|t| t.time_secs < config.start_secs);
         let traffic = config.traffic.map(|t| {
             let profile = CongestionProfile::build(&net, t.profile);

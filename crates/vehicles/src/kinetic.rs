@@ -235,6 +235,14 @@ impl KineticTree {
         KineticTree { roots: Vec::new() }
     }
 
+    /// Reassembles a tree from externally stored roots — the snapshot-restore
+    /// path. The caller is responsible for the roots encoding valid schedules
+    /// with correct annotations (a journal snapshot stores them verbatim, so
+    /// a restore is bit-identical without an [`Self::recompute`] pass).
+    pub fn from_roots(roots: Vec<KineticNode>) -> Self {
+        KineticTree { roots }
+    }
+
     /// `true` when the vehicle has no scheduled stops.
     pub fn is_empty(&self) -> bool {
         self.roots.is_empty()

@@ -76,11 +76,12 @@ pub use ptrider_sim as sim;
 
 pub use ptrider_core::{
     BatchAdmission, BatchOutcome, Confirmation, Decision, DistanceBackend, EngineConfig,
-    EngineEvent, EngineStats, EventCursor, EventLog, GridConfig, LandmarkIndex, MatchResult,
-    MatchRuntime, MatchStats, Matcher, MatcherKind, Offer, OptionId, ParallelMode, PriceModel,
-    PtRider, Request, RequestId, RideOption, RideService, RoadNetwork, ServiceConfig, ServiceError,
-    SessionId, SessionState, Skyline, Speed, Stop, StopKind, TrafficEdge, TrafficModel,
-    TrafficUpdateOutcome, Vehicle, VehicleId, VertexId,
+    EngineEvent, EngineStats, EventCursor, EventLog, GridConfig, Journal, JournalConfig,
+    JournalError, LandmarkIndex, MatchResult, MatchRuntime, MatchStats, Matcher, MatcherKind,
+    Offer, OptionId, ParallelMode, PriceModel, PtRider, Request, RequestId, RideOption,
+    RideService, RoadNetwork, ServiceConfig, ServiceError, SessionId, SessionState, Skyline, Speed,
+    Stop, StopKind, TrafficEdge, TrafficModel, TrafficUpdateOutcome, Vehicle, VehicleId, VertexId,
 };
+pub use ptrider_roadnet::fault;
 pub use ptrider_roadnet::{CchTopology, ContractionHierarchy};
 pub use ptrider_sim::{ChoicePolicy, SimConfig, SimulationReport, Simulator, TrafficSimConfig};

@@ -1,0 +1,352 @@
+//! Crash-recovery chaos property: kill the service at an arbitrary
+//! injected panic site and hit index, recover from the journal, and the
+//! recovered state is **bit-identical** to an observed pre-crash state.
+//!
+//! The run records `fingerprint()` after every completed operation, keyed
+//! by the journal sequence number. A [`fault::FaultPlan::panic_once`] is
+//! armed at a proptest-chosen `(site, hit)`; until that hit fires the run
+//! is byte-identical to a fault-free one, so the recorded trail *is* the
+//! reference — including the environmental accumulators (wall-clock match
+//! seconds, oracle cache misses) that no separate run could reproduce.
+//!
+//! After the crash the torn service is dropped and recovered twice over
+//! fresh engines:
+//!
+//! * both recoveries must agree bit for bit (replay is deterministic);
+//! * if the killed operation died *before* its journal append
+//!   ([`fault::MID_COMMIT`], [`fault::POOL_JOB`]) — or the scheduled hit
+//!   was never reached — the recovered `journal_next_seq()` indexes a
+//!   recorded fingerprint, which must match exactly: the torn in-memory
+//!   op simply never happened;
+//! * if it died *after* the append ([`fault::POST_APPEND`]) the journal
+//!   holds one record nobody observed live; the recovered seq is then
+//!   exactly one past the recorded trail, and determinism plus continued
+//!   service (a fresh submit/confirm round-trip) stand in for the missing
+//!   observation.
+//!
+//! Covered across both distance backends and runtime pools {1, 4}, with
+//! capacity holds on and off and frequent automatic snapshots so the
+//! snapshot + tail path is exercised, not just from-genesis replay.
+//!
+//! This binary owns the process-global fault plan: it must stay the only
+//! test in its file.
+
+use proptest::prelude::*;
+use ptrider::roadnet::RoadNetworkBuilder;
+use ptrider::{
+    fault, Decision, DistanceBackend, EngineConfig, GridConfig, Journal, JournalConfig, OptionId,
+    PtRider, RideService, RoadNetwork, ServiceConfig, SessionId, VertexId,
+};
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A 5x5 lattice with 1 km edges — big enough for multi-stop schedules,
+/// small enough that a CH builds in microseconds.
+fn lattice() -> RoadNetwork {
+    let side = 5usize;
+    let mut b = RoadNetworkBuilder::new();
+    let mut ids = Vec::new();
+    for y in 0..side {
+        for x in 0..side {
+            ids.push(b.add_vertex(x as f64 * 1000.0, y as f64 * 1000.0));
+        }
+    }
+    for y in 0..side {
+        for x in 0..side {
+            let u = ids[y * side + x];
+            if x + 1 < side {
+                b.add_bidirectional_edge(u, ids[y * side + x + 1], 1000.0);
+            }
+            if y + 1 < side {
+                b.add_bidirectional_edge(u, ids[(y + 1) * side + x], 1000.0);
+            }
+        }
+    }
+    b.build().unwrap()
+}
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn temp_dir() -> PathBuf {
+    let n = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("ptrider-crash-{}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// One scripted admission operation. The script is pure data so a case is
+/// reproducible from its seed alone.
+#[derive(Clone, Copy, Debug)]
+enum ScriptOp {
+    Submit {
+        origin: u32,
+        destination: u32,
+        riders: u32,
+        at: f64,
+    },
+    Respond {
+        submit_index: usize,
+        choose: bool,
+        at: f64,
+    },
+    Tick {
+        at: f64,
+    },
+    Prune,
+}
+
+/// Derives a deterministic script from a seed with a tiny xorshift
+/// (the vendored proptest has no shrinking, so readable scripts matter
+/// more than minimal ones).
+fn script(seed: u64, len: usize) -> Vec<ScriptOp> {
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    let mut next = move |bound: u64| {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state % bound
+    };
+    let mut ops = Vec::with_capacity(len);
+    let mut submits = 0usize;
+    let mut clock = 0.0f64;
+    for _ in 0..len {
+        clock += 1.0;
+        let roll = next(10);
+        if submits == 0 || roll < 4 {
+            let origin = next(25) as u32;
+            let mut destination = next(25) as u32;
+            if destination == origin {
+                destination = (destination + 1) % 25;
+            }
+            ops.push(ScriptOp::Submit {
+                origin,
+                destination,
+                riders: 1 + next(2) as u32,
+                at: clock,
+            });
+            submits += 1;
+        } else if roll < 8 {
+            ops.push(ScriptOp::Respond {
+                submit_index: next(submits as u64) as usize,
+                choose: next(3) > 0,
+                at: clock,
+            });
+        } else if roll == 8 {
+            // Jump the clock so open offers cross the TTL.
+            clock += 10.0;
+            ops.push(ScriptOp::Tick { at: clock });
+        } else {
+            ops.push(ScriptOp::Prune);
+        }
+    }
+    ops
+}
+
+fn build_service(
+    engine_config: EngineConfig,
+    service_config: ServiceConfig,
+    dir: &PathBuf,
+) -> RideService {
+    let journal = Journal::create(dir, JournalConfig::default().with_snapshot_every_ops(6))
+        .expect("journal dir is writable");
+    RideService::new(lattice(), GridConfig::with_dimensions(3, 3), engine_config)
+        .with_service_config(service_config)
+        .with_journal(journal)
+}
+
+/// Runs the script, calling `observe` after every completed operation.
+/// Returns `false` if an operation died on an injected panic.
+fn run_script(svc: &RideService, ops: &[ScriptOp], mut observe: impl FnMut(&RideService)) -> bool {
+    let mut sessions: Vec<SessionId> = Vec::new();
+    for op in ops {
+        let outcome = catch_unwind(AssertUnwindSafe(|| match *op {
+            ScriptOp::Submit {
+                origin,
+                destination,
+                riders,
+                at,
+            } => {
+                let offer = svc
+                    .submit(VertexId(origin), VertexId(destination), riders, at)
+                    .expect("scripted probes are valid");
+                Some(offer.session)
+            }
+            ScriptOp::Respond {
+                submit_index,
+                choose,
+                at,
+            } => {
+                if let Some(&session) = sessions.get(submit_index) {
+                    let decision = if choose {
+                        Decision::Choose(OptionId(0))
+                    } else {
+                        Decision::Decline
+                    };
+                    // Re-responds, expiries and empty skylines yield typed
+                    // errors; all are legal script outcomes.
+                    let _ = svc.respond(session, decision, at);
+                }
+                None
+            }
+            ScriptOp::Tick { at } => {
+                svc.tick(at);
+                None
+            }
+            ScriptOp::Prune => {
+                svc.prune_resolved();
+                None
+            }
+        }));
+        match outcome {
+            Ok(Some(session)) => sessions.push(session),
+            Ok(None) => {}
+            Err(_) => return false,
+        }
+        observe(svc);
+    }
+    true
+}
+
+fn recover_once(
+    engine_config: EngineConfig,
+    service_config: ServiceConfig,
+    dir: &PathBuf,
+) -> RideService {
+    let engine = PtRider::new(lattice(), GridConfig::with_dimensions(3, 3), engine_config);
+    RideService::recover(
+        engine,
+        service_config,
+        dir,
+        JournalConfig::default().with_snapshot_every_ops(6),
+    )
+    .expect("recovery succeeds")
+}
+
+fn run_case(
+    seed: u64,
+    site_index: usize,
+    panic_at: u64,
+    backend: DistanceBackend,
+    pool_size: usize,
+    hold_offers: bool,
+) -> Result<(), TestCaseError> {
+    let engine_config = EngineConfig::default()
+        .with_distance_backend(backend)
+        .with_pool_size(pool_size);
+    let service_config = ServiceConfig::default()
+        .with_offer_ttl_secs(8.0)
+        .with_hold_offers(hold_offers);
+    let ops = script(seed, 28);
+    let site = fault::PANIC_SITES[site_index % fault::PANIC_SITES.len()];
+    let dir = temp_dir();
+
+    // Chaos run, recording its own reference trail: every fingerprint is
+    // observed *before* the scheduled panic fires, while the run is still
+    // byte-identical to a fault-free one.
+    let mut fingerprints: HashMap<u64, u64> = HashMap::new();
+    let mut max_seq = 0u64;
+    {
+        let svc = build_service(engine_config, service_config, &dir);
+        svc.add_vehicle(VertexId(0));
+        svc.add_vehicle(VertexId(24));
+        let mut record = |svc: &RideService| {
+            let seq = svc.journal_next_seq().expect("journal attached");
+            let fp = svc.fingerprint();
+            max_seq = max_seq.max(seq);
+            if let Some(prev) = fingerprints.insert(seq, fp) {
+                // An op that appends nothing must also change nothing.
+                assert_eq!(prev, fp, "seq {seq} observed with two states");
+            }
+        };
+        record(&svc);
+        fault::arm(fault::FaultPlan::panic_once(site, panic_at));
+        let _completed = run_script(&svc, &ops, &mut record);
+        fault::disarm();
+    }
+
+    // Recover twice over fresh engines; wherever the crash landed, replay
+    // must be deterministic.
+    let recovered = recover_once(engine_config, service_config, &dir);
+    let again = recover_once(engine_config, service_config, &dir);
+    let seq = recovered.journal_next_seq().expect("journal attached");
+    prop_assert_eq!(
+        again.journal_next_seq().expect("journal attached"),
+        seq,
+        "both recoveries replay the same journal position"
+    );
+    prop_assert_eq!(
+        recovered.fingerprint(),
+        again.fingerprint(),
+        "replay is deterministic ({} hit {}, backend {:?}, pool {}, holds {})",
+        site,
+        panic_at,
+        backend,
+        pool_size,
+        hold_offers
+    );
+
+    match fingerprints.get(&seq).copied() {
+        // The crash predates the killed op's append (or never fired): the
+        // recovered state is one the live run observed, bit for bit.
+        Some(expected) => prop_assert_eq!(
+            recovered.fingerprint(),
+            expected,
+            "recovery diverged at seq {} ({} hit {}, backend {:?}, pool {}, holds {})",
+            seq,
+            site,
+            panic_at,
+            backend,
+            pool_size,
+            hold_offers
+        ),
+        // The op was journaled and *then* killed: its post-state was never
+        // observed live, so the journal is exactly one record past the
+        // trail. Determinism (above) plus continued service (below) cover
+        // the unobserved state.
+        None => prop_assert_eq!(
+            seq,
+            max_seq + 1,
+            "a post-append death journals exactly the killed op ({} hit {})",
+            site,
+            panic_at
+        ),
+    }
+
+    // Whatever it recovered to, the service keeps serving and journaling.
+    // (A decline is legal even when saturated holds leave the skyline
+    // empty, so it probes liveness without assuming spare capacity.)
+    let offer = recovered
+        .submit(VertexId(0), VertexId(24), 1, 1e6)
+        .expect("the recovered service accepts new work");
+    let resolved = recovered
+        .respond(offer.session, Decision::Decline, 1e6)
+        .expect("the recovered service resolves new work");
+    prop_assert!(resolved.is_none(), "a decline resolves without a pickup");
+    prop_assert!(
+        recovered.journal_next_seq().expect("journal attached") > seq,
+        "the recovered service appends past the crash point"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 10, ..ProptestConfig::default() })]
+
+    #[test]
+    fn crashed_service_recovers_to_an_observed_state(
+        seed in 0u64..1_000_000,
+        site_index in 0usize..3,
+        panic_at in 0u64..12,
+    ) {
+        let hold_offers = seed % 2 == 0;
+        for backend in [DistanceBackend::Alt, DistanceBackend::Ch] {
+            for pool_size in [1usize, 4] {
+                run_case(seed, site_index, panic_at, backend, pool_size, hold_offers)?;
+            }
+        }
+    }
+}
