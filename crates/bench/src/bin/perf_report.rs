@@ -468,6 +468,12 @@ struct ServiceNumbers {
     sessions_per_sec: f64,
     /// Events published per second while the session storm ran.
     events_per_sec: f64,
+    /// Submit-span percentiles in microseconds (0 unless the engine ran at
+    /// the `Spans` telemetry level).
+    submit_p50_us: f64,
+    submit_p99_us: f64,
+    verify_p99_us: f64,
+    lock_wait_p99_us: f64,
 }
 
 /// Drives the `RideService` session lifecycle with `submitters` concurrent
@@ -509,7 +515,7 @@ fn measure_service_throughput(params: WorldParams, submitters: usize) -> Service
         let elapsed = start.elapsed().as_secs_f64();
         return ServiceNumbers {
             sessions_per_sec: served as f64 / elapsed.max(1e-9),
-            events_per_sec: 0.0,
+            ..ServiceNumbers::default()
         };
     }
 
@@ -540,10 +546,77 @@ fn measure_service_throughput(params: WorldParams, submitters: usize) -> Service
         }
     });
     let elapsed = start.elapsed().as_secs_f64();
-    ServiceNumbers {
+    let mut numbers = ServiceNumbers {
         sessions_per_sec: served.load(std::sync::atomic::Ordering::Relaxed) as f64
             / elapsed.max(1e-9),
         events_per_sec: service.events_published() as f64 / elapsed.max(1e-9),
+        ..ServiceNumbers::default()
+    };
+    let telemetry = service.telemetry();
+    if telemetry.spans_enabled() {
+        let us = |ns: u64| ns as f64 * 1e-3;
+        let submit = telemetry.stage_snapshot(ptrider_core::Stage::ServiceSubmit);
+        numbers.submit_p50_us = us(submit.quantile(0.5));
+        numbers.submit_p99_us = us(submit.quantile(0.99));
+        numbers.verify_p99_us = us(telemetry
+            .stage_snapshot(ptrider_core::Stage::MatchVerify)
+            .quantile(0.99));
+        numbers.lock_wait_p99_us = us(telemetry
+            .stage_snapshot(ptrider_core::Stage::ServiceLockWait)
+            .quantile(0.99));
+    }
+    numbers
+}
+
+#[derive(Clone, Copy, Default)]
+struct TelemetryNumbers {
+    off_sessions_per_sec: f64,
+    counters_sessions_per_sec: f64,
+    spans_sessions_per_sec: f64,
+    /// Throughput lost with counters / full spans relative to telemetry
+    /// off, in percent (positive = instrumented run was slower).
+    counters_overhead_pct: f64,
+    spans_overhead_pct: f64,
+    submit_p50_us: f64,
+    submit_p99_us: f64,
+    verify_p99_us: f64,
+    lock_wait_p99_us: f64,
+}
+
+/// E15: telemetry overhead on the E12 session-storm workload. Runs the
+/// same measurement at the `off`, `counters` and `spans` levels in
+/// interleaved rounds (best-of damps scheduler drift) by flipping
+/// `PTRIDER_TELEMETRY` between engine constructions — the config is
+/// deliberately re-read from the environment at every construction for
+/// exactly this in-process A/B.
+fn measure_telemetry(params: WorldParams, submitters: usize) -> TelemetryNumbers {
+    let levels = ["off", "counters", "spans"];
+    let mut best = [0.0f64; 3];
+    let mut spans_run = ServiceNumbers::default();
+    for _ in 0..3 {
+        for (i, level) in levels.iter().enumerate() {
+            std::env::set_var("PTRIDER_TELEMETRY", level);
+            let run = measure_service_throughput(params, submitters);
+            if run.sessions_per_sec > best[i] {
+                best[i] = run.sessions_per_sec;
+                if *level == "spans" {
+                    spans_run = run;
+                }
+            }
+        }
+    }
+    std::env::remove_var("PTRIDER_TELEMETRY");
+    let overhead = |instrumented: f64| (1.0 - instrumented / best[0].max(1e-9)) * 100.0;
+    TelemetryNumbers {
+        off_sessions_per_sec: best[0],
+        counters_sessions_per_sec: best[1],
+        spans_sessions_per_sec: best[2],
+        counters_overhead_pct: overhead(best[1]),
+        spans_overhead_pct: overhead(best[2]),
+        submit_p50_us: spans_run.submit_p50_us,
+        submit_p99_us: spans_run.submit_p99_us,
+        verify_p99_us: spans_run.verify_p99_us,
+        lock_wait_p99_us: spans_run.lock_wait_p99_us,
     }
 }
 
@@ -887,6 +960,15 @@ fn main() {
         .map(|&threads| (threads, measure_service_throughput(params, threads)))
         .collect();
 
+    eprintln!(
+        "[perf_report] e15: telemetry overhead (off vs counters vs spans) on the e12 storm ..."
+    );
+    let e15 = measure_telemetry(params, 2);
+    eprintln!(
+        "[perf_report] e15: counters {:+.1}%, spans {:+.1}% vs off; submit p50 {:.1}us p99 {:.1}us",
+        e15.counters_overhead_pct, e15.spans_overhead_pct, e15.submit_p50_us, e15.submit_p99_us
+    );
+
     eprintln!("[perf_report] e14: journal append overhead, snapshot and recovery replay ...");
     let e14 = measure_journal();
     eprintln!(
@@ -1151,6 +1233,37 @@ fn main() {
         "    \"recovered_bit_identical\": {}",
         e14.recovered_bit_identical
     );
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"e15_telemetry\": {{");
+    let _ = writeln!(
+        out,
+        "    \"off_sessions_per_sec\": {:.0},",
+        e15.off_sessions_per_sec
+    );
+    let _ = writeln!(
+        out,
+        "    \"counters_sessions_per_sec\": {:.0},",
+        e15.counters_sessions_per_sec
+    );
+    let _ = writeln!(
+        out,
+        "    \"spans_sessions_per_sec\": {:.0},",
+        e15.spans_sessions_per_sec
+    );
+    let _ = writeln!(
+        out,
+        "    \"counters_overhead_pct\": {:.2},",
+        e15.counters_overhead_pct
+    );
+    let _ = writeln!(
+        out,
+        "    \"spans_overhead_pct\": {:.2},",
+        e15.spans_overhead_pct
+    );
+    let _ = writeln!(out, "    \"submit_p50_us\": {:.1},", e15.submit_p50_us);
+    let _ = writeln!(out, "    \"submit_p99_us\": {:.1},", e15.submit_p99_us);
+    let _ = writeln!(out, "    \"verify_p99_us\": {:.1},", e15.verify_p99_us);
+    let _ = writeln!(out, "    \"lock_wait_p99_us\": {:.1}", e15.lock_wait_p99_us);
     let _ = writeln!(out, "  }}");
     let _ = writeln!(out, "}}");
 

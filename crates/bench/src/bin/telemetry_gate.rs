@@ -1,0 +1,112 @@
+//! CI gate: telemetry must stay (close to) free when enabled.
+//!
+//! Runs the E12-style session storm twice per round — once with
+//! `PTRIDER_TELEMETRY=off` and once with `PTRIDER_TELEMETRY=spans` — on
+//! identically seeded worlds, keeps the best round per level to damp
+//! scheduler noise, and fails (exit code 1) when the spans build loses
+//! more than the budget (default 5%, override with
+//! `PTRIDER_TELEMETRY_GATE_PCT`).
+//!
+//! Run with `cargo run --release -p ptrider-bench --bin telemetry_gate`.
+//! The interleaved A/B works in one process because `TelemetryConfig::
+//! from_env` re-reads the environment at every engine construction.
+
+use ptrider_bench::{build_world, WorldParams};
+use ptrider_core::{Decision, EngineConfig, MatcherKind, RideService, ServiceConfig, VertexId};
+use ptrider_datagen::{TripConfig, TripGenerator};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+const SUBMITTERS: usize = 2;
+const ROUNDS_PER_RUN: usize = 3;
+const AB_ROUNDS: usize = 3;
+
+/// One session storm at the telemetry level currently in the environment;
+/// returns declined-sessions per second.
+fn storm(params: WorldParams) -> f64 {
+    let mut world = build_world(params, EngineConfig::paper_defaults(), 0);
+    world.engine.set_matcher(MatcherKind::DualSide);
+    let probes: Vec<(VertexId, VertexId, u32)> = TripGenerator::new(
+        world.engine.network(),
+        TripConfig {
+            num_trips: 128,
+            seed: params.seed ^ 0xe15,
+            ..TripConfig::default()
+        },
+    )
+    .generate()
+    .iter()
+    .map(|t| (t.origin, t.destination, t.riders))
+    .filter(|(o, d, _)| o != d)
+    .collect();
+
+    let service = RideService::from_engine(world.engine)
+        .with_service_config(ServiceConfig::default().with_offer_ttl_secs(1e12));
+    let served = AtomicUsize::new(0);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..SUBMITTERS {
+            let service = &service;
+            let probes = &probes;
+            let served = &served;
+            scope.spawn(move || {
+                for _ in 0..ROUNDS_PER_RUN {
+                    for (i, &(o, d, riders)) in probes.iter().enumerate() {
+                        if i % SUBMITTERS != t {
+                            continue;
+                        }
+                        let offer = service
+                            .submit(o, d, riders, 0.0)
+                            .expect("probe requests are valid");
+                        let _ = service.respond(offer.session, Decision::Decline, 0.0);
+                        served.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+    served.load(Ordering::Relaxed) as f64 / start.elapsed().as_secs_f64().max(1e-9)
+}
+
+fn main() {
+    let budget_pct: f64 = std::env::var("PTRIDER_TELEMETRY_GATE_PCT")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5.0);
+    // Smaller world than perf_report so the gate stays CI-friendly.
+    let params = WorldParams {
+        city_side: 30,
+        vehicles: 400,
+        warm_assignments: 100,
+        grid_side: 10,
+        ..WorldParams::default()
+    };
+
+    let levels = ["off", "spans"];
+    let mut best = [0.0f64; 2];
+    eprintln!(
+        "telemetry_gate: {AB_ROUNDS} interleaved rounds, {} vehicles, budget {budget_pct:.1}%",
+        params.vehicles
+    );
+    for round in 0..AB_ROUNDS {
+        for (i, level) in levels.iter().enumerate() {
+            std::env::set_var("PTRIDER_TELEMETRY", level);
+            let rate = storm(params);
+            if rate > best[i] {
+                best[i] = rate;
+            }
+            eprintln!("  round {round} {level:>5}: {rate:>10.0} sessions/s");
+        }
+    }
+    std::env::remove_var("PTRIDER_TELEMETRY");
+
+    let overhead_pct = (1.0 - best[1] / best[0].max(1e-9)) * 100.0;
+    println!("off   : {:>10.0} sessions/s (best of {AB_ROUNDS})", best[0]);
+    println!("spans : {:>10.0} sessions/s (best of {AB_ROUNDS})", best[1]);
+    println!("spans overhead: {overhead_pct:.2}% (budget {budget_pct:.1}%)");
+    if overhead_pct > budget_pct {
+        eprintln!("FAIL: telemetry spans overhead {overhead_pct:.2}% exceeds {budget_pct:.1}%");
+        std::process::exit(1);
+    }
+    println!("PASS");
+}

@@ -46,6 +46,7 @@ use crate::options::RideOption;
 use crate::request::Request;
 use crate::runtime::MatchRuntime;
 use crate::stats::EngineStats;
+use crate::telemetry::{Stage, Telemetry, TelemetryConfig};
 use ptrider_roadnet::{DistanceOracle, GridConfig, GridIndex, RoadNetwork, TrafficModel, VertexId};
 use ptrider_vehicles::{
     ProspectiveRequest, RequestId, StopEvent, Vehicle, VehicleId, VehicleIndex,
@@ -106,6 +107,11 @@ pub(crate) struct EngineShared {
     /// [`EngineConfig::pool_size`], shared by candidate verification and
     /// batch admission.
     pub(crate) runtime: Arc<MatchRuntime>,
+    /// The engine's telemetry hub: per-stage latency histograms, the trace
+    /// ring and the named counter/gauge registry. Every layer shares this
+    /// one hub (level from `PTRIDER_TELEMETRY` unless overridden at
+    /// construction).
+    pub(crate) telemetry: Arc<Telemetry>,
 }
 
 /// `PTRIDER_TRAFFIC_EPOCHS` (read once per process): when set to `n > 0`,
@@ -134,6 +140,7 @@ impl EngineShared {
         grid: Arc<GridIndex>,
         oracle: DistanceOracle,
         config: EngineConfig,
+        telemetry_config: TelemetryConfig,
     ) -> Self {
         if let Some(seed) = config.fault_seed {
             // Arm the process-global chaos plan before anything that hosts a
@@ -141,13 +148,20 @@ impl EngineShared {
             // `PTRIDER_CHAOS` covers that path, a config seed covers reuse).
             ptrider_roadnet::fault::arm(ptrider_roadnet::fault::FaultPlan::transient(seed));
         }
+        let telemetry = Arc::new(Telemetry::new(telemetry_config));
         let runtime = Arc::new(MatchRuntime::from_config(config.pool_size));
+        if telemetry.spans_enabled() {
+            runtime
+                .pool()
+                .attach_job_histogram(telemetry.stage_histogram(Stage::PoolJob));
+        }
         let shared = EngineShared {
             net,
             grid,
             oracle,
             config,
             runtime,
+            telemetry,
         };
         let epochs = env_traffic_epochs();
         if epochs > 0 {
@@ -186,6 +200,7 @@ impl EngineShared {
             index: &world.index,
             config: &self.config,
             runtime: use_runtime.then_some(&*self.runtime),
+            telemetry: Some(&self.telemetry),
         }
     }
 }
@@ -874,6 +889,7 @@ pub(crate) fn match_request_with_oracle(
         index: &world.index,
         config: &shared.config,
         runtime: Some(&shared.runtime),
+        telemetry: Some(&shared.telemetry),
     };
     Ok(matcher.find_options(&ctx, &prospective))
 }
@@ -957,7 +973,21 @@ impl PtRider {
         oracle: DistanceOracle,
         config: EngineConfig,
     ) -> Self {
-        let shared = EngineShared::new(net, grid, oracle, config);
+        Self::with_oracle_and_telemetry(net, grid, oracle, config, TelemetryConfig::from_env())
+    }
+
+    /// [`Self::with_oracle`] with an explicit telemetry configuration
+    /// instead of the `PTRIDER_TELEMETRY` environment default (used by
+    /// tests and by the overhead-gate harness, which A/B-compares levels
+    /// in one process).
+    pub fn with_oracle_and_telemetry(
+        net: Arc<RoadNetwork>,
+        grid: Arc<GridIndex>,
+        oracle: DistanceOracle,
+        config: EngineConfig,
+        telemetry: TelemetryConfig,
+    ) -> Self {
+        let shared = EngineShared::new(net, grid, oracle, config, telemetry);
         let world = World::new(shared.grid.num_cells());
         let matcher_kind = MatcherKind::DualSide;
         PtRider {
@@ -1022,6 +1052,12 @@ impl PtRider {
     /// Aggregated statistics.
     pub fn stats(&self) -> &EngineStats {
         &self.ledger.stats
+    }
+
+    /// The engine's telemetry hub (stage histograms, trace ring, named
+    /// counters/gauges).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.shared.telemetry
     }
 
     /// Resets the aggregated statistics (used between benchmark phases).

@@ -7,12 +7,23 @@
 //! lock-cheap, never blocks the engine's hot paths, and a slow observer
 //! only loses the oldest events (counted, never silently) instead of
 //! back-pressuring admission.
+//!
+//! Each record is stamped with an **engine timestamp** at publish time
+//! (monotonic nanoseconds since the log was created, independent of the
+//! workload clock carried in the events themselves), so observers can
+//! measure log lag — the age of the oldest retained record is exported as
+//! the `events_oldest_age_seconds` gauge by the service's metrics
+//! exposition. Every cursor's cumulative loss is mirrored into a shared
+//! per-cursor counter the exposition can enumerate, so overflow loss is
+//! visible to a scrape and not only to the cursor that suffered it.
 
 use crate::session::SessionId;
 use ptrider_roadnet::VertexId;
 use ptrider_vehicles::{RequestId, VehicleId};
 use std::collections::VecDeque;
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// One observable engine transition.
 #[derive(Clone, Debug, PartialEq)]
@@ -142,20 +153,42 @@ pub enum EngineEvent {
     },
 }
 
+/// An [`EngineEvent`] plus the engine timestamp it was published at.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StampedEvent {
+    /// Publish time: monotonic nanoseconds since the log was created.
+    pub published_nanos: u64,
+    /// The event itself.
+    pub event: EngineEvent,
+}
+
+/// The per-cursor loss counter shared between an [`EventCursor`] and the
+/// log's registry, so a metrics scrape can enumerate every subscriber's
+/// cumulative overflow loss.
+struct CursorShared {
+    id: u64,
+    missed: AtomicU64,
+}
+
 struct LogInner {
-    /// Retained events; the sequence number of `buf[0]` is
-    /// `next_seq - buf.len()`.
-    buf: VecDeque<EngineEvent>,
+    /// Retained `(publish_nanos, event)` records; the sequence number of
+    /// `buf[0]` is `next_seq - buf.len()`.
+    buf: VecDeque<(u64, EngineEvent)>,
     /// Sequence number the next published event receives.
     next_seq: u64,
     /// Events evicted because the buffer was full.
     dropped: u64,
     capacity: usize,
+    /// Live subscriber loss counters (pruned when the cursor is gone).
+    cursors: Vec<Arc<CursorShared>>,
+    next_cursor_id: u64,
 }
 
 /// A bounded, sequence-numbered log of [`EngineEvent`]s.
 pub struct EventLog {
     inner: Mutex<LogInner>,
+    /// Origin of the engine timestamps stamped onto published records.
+    clock: Instant,
 }
 
 impl EventLog {
@@ -167,7 +200,10 @@ impl EventLog {
                 next_seq: 0,
                 dropped: 0,
                 capacity: capacity.max(1),
+                cursors: Vec::new(),
+                next_cursor_id: 0,
             }),
+            clock: Instant::now(),
         }
     }
 
@@ -188,16 +224,23 @@ impl EventLog {
         self.inner.lock().unwrap_or_else(|p| p.into_inner())
     }
 
+    /// Nanoseconds of engine time (since the log was created) — the clock
+    /// publish stamps are drawn from.
+    pub fn now_nanos(&self) -> u64 {
+        self.clock.elapsed().as_nanos() as u64
+    }
+
     /// Appends an event, evicting the oldest if the log is full. Returns
     /// the event's sequence number.
     pub(crate) fn publish(&self, event: EngineEvent) -> u64 {
+        let stamp = self.now_nanos();
         let mut inner = self.lock();
         if inner.buf.len() == inner.capacity {
             inner.buf.pop_front();
             inner.dropped += 1;
         }
         let seq = inner.next_seq;
-        inner.buf.push_back(event);
+        inner.buf.push_back((stamp, event));
         inner.next_seq += 1;
         seq
     }
@@ -215,27 +258,83 @@ impl EventLog {
         self.lock().dropped
     }
 
+    /// Events currently retained in the buffer.
+    pub fn retained(&self) -> usize {
+        self.lock().buf.len()
+    }
+
+    /// Age of the oldest retained record in nanoseconds of engine time —
+    /// the log's lag ceiling: a cursor older than this has already lost
+    /// events. `None` when the buffer is empty.
+    pub fn oldest_age_nanos(&self) -> Option<u64> {
+        let oldest = self.lock().buf.front().map(|(stamp, _)| *stamp)?;
+        Some(self.now_nanos().saturating_sub(oldest))
+    }
+
     /// A cursor positioned at the oldest retained event.
     pub fn subscribe(&self) -> EventCursor {
-        let inner = self.lock();
+        let mut inner = self.lock();
+        let id = inner.next_cursor_id;
+        inner.next_cursor_id += 1;
+        let shared = Arc::new(CursorShared {
+            id,
+            missed: AtomicU64::new(0),
+        });
+        // Prune counters whose cursor lineage is gone (only the registry
+        // still holds them) so long-lived services don't accumulate
+        // dead subscribers.
+        inner.cursors.retain(|c| Arc::strong_count(c) > 1);
+        inner.cursors.push(Arc::clone(&shared));
         EventCursor {
             next: inner.next_seq - inner.buf.len() as u64,
             missed: 0,
+            shared,
         }
+    }
+
+    /// Every live cursor's cumulative loss as `(cursor_id, missed)`,
+    /// oldest subscription first — the per-cursor totals the metrics
+    /// exposition enumerates.
+    pub fn cursor_missed_totals(&self) -> Vec<(u64, u64)> {
+        let mut inner = self.lock();
+        inner.cursors.retain(|c| Arc::strong_count(c) > 1);
+        inner
+            .cursors
+            .iter()
+            .map(|c| (c.id, c.missed.load(Ordering::Relaxed)))
+            .collect()
     }
 
     /// Drains every event the cursor has not seen yet. A cursor that fell
     /// behind the retention window skips forward (the skipped count is
-    /// recorded on the cursor).
+    /// recorded on the cursor and mirrored to the log's registry).
     pub fn poll(&self, cursor: &mut EventCursor) -> Vec<EngineEvent> {
+        self.poll_stamped(cursor)
+            .into_iter()
+            .map(|s| s.event)
+            .collect()
+    }
+
+    /// [`EventLog::poll`], keeping each record's publish stamp.
+    pub fn poll_stamped(&self, cursor: &mut EventCursor) -> Vec<StampedEvent> {
         let inner = self.lock();
         let oldest = inner.next_seq - inner.buf.len() as u64;
         if cursor.next < oldest {
-            cursor.missed += oldest - cursor.next;
+            let lost = oldest - cursor.next;
+            cursor.missed += lost;
+            cursor.shared.missed.fetch_add(lost, Ordering::Relaxed);
             cursor.next = oldest;
         }
         let start = (cursor.next - oldest) as usize;
-        let out: Vec<EngineEvent> = inner.buf.iter().skip(start).cloned().collect();
+        let out: Vec<StampedEvent> = inner
+            .buf
+            .iter()
+            .skip(start)
+            .map(|(stamp, event)| StampedEvent {
+                published_nanos: *stamp,
+                event: event.clone(),
+            })
+            .collect();
         cursor.next = inner.next_seq;
         out
     }
@@ -253,10 +352,15 @@ impl std::fmt::Debug for EventLog {
 }
 
 /// A pull-based subscription position into an [`EventLog`].
-#[derive(Clone, Debug)]
+///
+/// Cloning a cursor clones its position but shares its registry-visible
+/// loss counter: the `events_cursor_missed_total` sample for this
+/// subscription aggregates over the clone lineage.
+#[derive(Clone)]
 pub struct EventCursor {
     next: u64,
     missed: u64,
+    shared: Arc<CursorShared>,
 }
 
 impl EventCursor {
@@ -269,6 +373,22 @@ impl EventCursor {
     /// window.
     pub fn missed(&self) -> u64 {
         self.missed
+    }
+
+    /// The subscription id this cursor's loss counter is registered under
+    /// (the `cursor` label of `events_cursor_missed_total`).
+    pub fn id(&self) -> u64 {
+        self.shared.id
+    }
+}
+
+impl std::fmt::Debug for EventCursor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventCursor")
+            .field("id", &self.shared.id)
+            .field("next", &self.next)
+            .field("missed", &self.missed)
+            .finish()
     }
 }
 
@@ -328,5 +448,44 @@ mod tests {
             0,
             "a late subscriber missed nothing *it* was owed"
         );
+    }
+
+    #[test]
+    fn publish_stamps_are_monotone_engine_time() {
+        let log = EventLog::new(8);
+        let before = log.now_nanos();
+        log.publish(ev(0));
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        log.publish(ev(1));
+        let mut cursor = log.subscribe();
+        let stamped = log.poll_stamped(&mut cursor);
+        assert_eq!(stamped.len(), 2);
+        assert!(stamped[0].published_nanos >= before);
+        assert!(stamped[1].published_nanos > stamped[0].published_nanos);
+        assert!(log.oldest_age_nanos().unwrap() >= 2_000_000);
+        assert_eq!(log.retained(), 2);
+    }
+
+    #[test]
+    fn cursor_loss_is_visible_through_the_registry() {
+        let log = EventLog::new(2);
+        let mut slow = log.subscribe();
+        let fast_id;
+        {
+            let mut fast = log.subscribe();
+            fast_id = fast.id();
+            for i in 0..3 {
+                log.publish(ev(i));
+                log.poll(&mut fast);
+            }
+        }
+        for i in 3..8 {
+            log.publish(ev(i));
+        }
+        log.poll(&mut slow);
+        let totals = log.cursor_missed_totals();
+        assert_eq!(totals.len(), 1, "dropped cursor was pruned");
+        assert_eq!(totals[0], (slow.id(), 6));
+        assert_ne!(slow.id(), fast_id);
     }
 }

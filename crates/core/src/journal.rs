@@ -40,12 +40,14 @@
 //! fsync per operation. See DESIGN.md "Fault model & durability".
 
 use crate::stats::MatchWork;
+use crate::telemetry::{Histogram, Stage, Telemetry};
 use ptrider_roadnet::fault;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 const MAGIC: [u8; 4] = *b"PTRJ";
 const VERSION: u32 = 1;
@@ -208,6 +210,10 @@ struct FlushShared {
     /// lock-free on every append; the flusher's timer tick picks it up, so
     /// the commit path never touches the mutex.
     published: std::sync::atomic::AtomicU64,
+    /// Fsync-latency histogram, attached after the flusher thread is
+    /// already running (the journal is built before the telemetry hub is
+    /// handed over), hence the `OnceLock` rather than a constructor field.
+    fsync_hist: OnceLock<Arc<Histogram>>,
 }
 
 /// The group-commit flusher: owns a cloned descriptor of the WAL and turns
@@ -228,6 +234,7 @@ impl Flusher {
             }),
             cv: Condvar::new(),
             published: std::sync::atomic::AtomicU64::new(0),
+            fsync_hist: OnceLock::new(),
         });
         let thread_shared = Arc::clone(&shared);
         let handle = std::thread::Builder::new()
@@ -338,7 +345,12 @@ fn flusher_loop(shared: &FlushShared, file: &File, interval: Option<std::time::D
         };
         // fsync outside the lock: `request` and `wait_for` callers never
         // block on a sync in flight.
+        let fsync_hist = shared.fsync_hist.get();
+        let started = fsync_hist.map(|_| Instant::now());
         let result = file.sync_data();
+        if let (Some(hist), Some(started)) = (fsync_hist, started) {
+            hist.record(started.elapsed().as_nanos() as u64);
+        }
         let mut st = shared.state.lock().unwrap();
         match result {
             Ok(()) => st.synced = st.synced.max(target),
@@ -365,6 +377,12 @@ pub struct Journal {
     flusher: Option<Flusher>,
     /// Reusable record-assembly buffer so the commit path never allocates.
     scratch: Vec<u8>,
+    /// Latency histograms for the append / fsync / snapshot paths, attached
+    /// via [`Self::attach_telemetry`]. `None` keeps each timing site a
+    /// single branch.
+    append_hist: Option<Arc<Histogram>>,
+    fsync_hist: Option<Arc<Histogram>>,
+    snapshot_hist: Option<Arc<Histogram>>,
 }
 
 impl Journal {
@@ -415,7 +433,41 @@ impl Journal {
             ops_since_snapshot: 0,
             flusher,
             scratch: Vec::new(),
+            append_hist: None,
+            fsync_hist: None,
+            snapshot_hist: None,
         })
+    }
+
+    /// Attaches the engine's telemetry hub: append, fsync and snapshot
+    /// latencies flow into the [`Stage::JournalAppend`] /
+    /// [`Stage::JournalFsync`] / [`Stage::JournalSnapshot`] histograms. Only
+    /// effective at the `Spans` level; the group-commit flusher keeps the
+    /// histogram handle behind a `OnceLock`, so the first attach wins for
+    /// the lifetime of the flusher thread.
+    pub fn attach_telemetry(&mut self, telemetry: &Telemetry) {
+        if !telemetry.spans_enabled() {
+            return;
+        }
+        let fsync = telemetry.stage_histogram(Stage::JournalFsync);
+        if let Some(flusher) = &self.flusher {
+            let _ = flusher.shared.fsync_hist.set(Arc::clone(&fsync));
+        }
+        self.append_hist = Some(telemetry.stage_histogram(Stage::JournalAppend));
+        self.fsync_hist = Some(fsync);
+        self.snapshot_hist = Some(telemetry.stage_histogram(Stage::JournalSnapshot));
+    }
+
+    /// Whether a background fsync has failed since the journal was opened.
+    /// Sticky, like the underlying error: once `true` the durable prefix is
+    /// unknown and every later [`Self::append`] / [`Self::sync`] reports the
+    /// error. Always `false` under [`JournalConfig::inline_sync`] (inline
+    /// fsync failures surface synchronously instead).
+    pub fn fsync_failed(&self) -> bool {
+        match &self.flusher {
+            Some(flusher) => flusher.check().is_err(),
+            None => false,
+        }
     }
 
     /// Opens an existing journal directory for recovery: reads the latest
@@ -497,6 +549,7 @@ impl Journal {
         if let Some(flusher) = &self.flusher {
             flusher.check()?;
         }
+        let append_start = self.append_hist.as_ref().map(|_| Instant::now());
         // Chaos site: an injected transient write failure is absorbed here —
         // the write below is the single retry that then succeeds.
         let _ = fault::fail_point(fault::JOURNAL_WRITE);
@@ -518,11 +571,25 @@ impl Journal {
         if self.config.fsync_every > 0 && self.appends_since_sync >= self.config.fsync_every {
             match &self.flusher {
                 Some(flusher) => flusher.request(self.next_seq),
-                None => self.wal.sync_data()?,
+                None => self.timed_inline_sync()?,
             }
             self.appends_since_sync = 0;
         }
+        if let (Some(hist), Some(started)) = (&self.append_hist, append_start) {
+            hist.record(started.elapsed().as_nanos() as u64);
+        }
         Ok(seq)
+    }
+
+    /// Inline-mode fsync on the appending thread, timed into the fsync
+    /// histogram when one is attached.
+    fn timed_inline_sync(&self) -> Result<(), JournalError> {
+        let started = self.fsync_hist.as_ref().map(|_| Instant::now());
+        self.wal.sync_data()?;
+        if let (Some(hist), Some(started)) = (&self.fsync_hist, started) {
+            hist.record(started.elapsed().as_nanos() as u64);
+        }
+        Ok(())
     }
 
     /// Forces the whole appended prefix durable: fsyncs inline, or blocks
@@ -530,7 +597,7 @@ impl Journal {
     pub fn sync(&mut self) -> Result<(), JournalError> {
         match &self.flusher {
             Some(flusher) => flusher.wait_for(self.next_seq)?,
-            None => self.wal.sync_data()?,
+            None => self.timed_inline_sync()?,
         }
         self.appends_since_sync = 0;
         Ok(())
@@ -558,6 +625,7 @@ impl Journal {
     /// the sequence number of the next *unapplied* record (replay applies
     /// records with `seq >= watermark` on top of the snapshot).
     pub fn write_snapshot(&mut self, watermark: u64, payload: &[u8]) -> Result<(), JournalError> {
+        let snapshot_start = self.snapshot_hist.as_ref().map(|_| Instant::now());
         let tmp = self.dir.join(SNAPSHOT_TMP);
         {
             let mut file = File::create(&tmp)?;
@@ -576,6 +644,9 @@ impl Journal {
         self.sync()?;
         std::fs::rename(&tmp, self.dir.join(SNAPSHOT_FILE))?;
         self.ops_since_snapshot = 0;
+        if let (Some(hist), Some(started)) = (&self.snapshot_hist, snapshot_start) {
+            hist.record(started.elapsed().as_nanos() as u64);
+        }
         Ok(())
     }
 }

@@ -58,6 +58,7 @@ pub mod service;
 pub mod session;
 pub mod skyline;
 pub mod stats;
+pub mod telemetry;
 
 pub use config::{default_distance_backend, BatchAdmission, EngineConfig};
 pub use engine::{BatchOutcome, EngineError, PtRider, TrafficUpdateOutcome};
@@ -75,6 +76,10 @@ pub use service::{RideService, ServiceConfig};
 pub use session::{Confirmation, Decision, Offer, OptionId, ServiceError, SessionId, SessionState};
 pub use skyline::Skyline;
 pub use stats::EngineStats;
+pub use telemetry::{
+    Counter, Gauge, Histogram, HistogramSnapshot, Span, Stage, Telemetry, TelemetryConfig,
+    TelemetryLevel, TraceEvent,
+};
 
 // Re-export the substrate types users need to drive the engine.
 pub use ptrider_roadnet::fault;

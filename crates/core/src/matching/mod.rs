@@ -50,6 +50,27 @@ pub struct MatchContext<'a> {
     /// built without an engine and by jobs already running *on* the pool,
     /// which must not enqueue nested pool work.
     pub runtime: Option<&'a crate::runtime::MatchRuntime>,
+    /// The engine's telemetry hub. When present and running at the `Spans`
+    /// level, matchers accumulate per-stage nanoseconds (candidate
+    /// extraction, pruning, exact verification, skyline merge) and record
+    /// them once per request; `None` (or a lower level) makes every timing
+    /// site a plain branch.
+    pub telemetry: Option<&'a crate::telemetry::Telemetry>,
+}
+
+impl MatchContext<'_> {
+    /// A conditional stopwatch over this context's telemetry level.
+    pub fn stage_clock(&self) -> crate::telemetry::StageClock {
+        crate::telemetry::StageClock::new(self.telemetry)
+    }
+
+    /// Records an accumulated stage duration (no-op unless spans are on).
+    #[inline]
+    pub fn record_stage(&self, stage: crate::telemetry::Stage, nanos: u64) {
+        if let Some(t) = self.telemetry {
+            t.record_stage(stage, nanos);
+        }
+    }
 }
 
 /// Work counters for one matching call — the quantities compared by the

@@ -10,6 +10,7 @@
 use super::par::verify_vehicles;
 use super::{MatchContext, MatchResult, MatchStats, Matcher};
 use crate::skyline::Skyline;
+use crate::telemetry::Stage;
 use ptrider_vehicles::ProspectiveRequest;
 
 /// Baseline matcher: verify every vehicle.
@@ -26,19 +27,31 @@ impl Matcher for NaiveMatcher {
         let mut stats = MatchStats::default();
         let exact_before = ctx.oracle.exact_computations();
 
+        let clock = ctx.stage_clock();
+        let mut candidates_ns = 0u64;
+        let mut verify_ns = 0u64;
+        let mut skyline_ns = 0u64;
+
         // Deterministic iteration order (by vehicle id) so repeated runs are
         // reproducible even though the result set is order-independent.
-        let mut ids: Vec<_> = ctx.vehicles.keys().copied().collect();
-        ids.sort_unstable();
-        let vehicles: Vec<_> = ids.iter().map(|id| &ctx.vehicles[id]).collect();
+        let vehicles = clock.time(&mut candidates_ns, || {
+            let mut ids: Vec<_> = ctx.vehicles.keys().copied().collect();
+            ids.sort_unstable();
+            ids.iter().map(|id| &ctx.vehicles[id]).collect::<Vec<_>>()
+        });
         stats.vehicles_considered += vehicles.len();
-        verify_vehicles(ctx, req, &vehicles, &mut skyline, &mut stats);
+        clock.time(&mut verify_ns, || {
+            verify_vehicles(ctx, req, &vehicles, &mut skyline, &mut stats)
+        });
 
         stats.exact_distance_computations = ctx.oracle.exact_computations() - exact_before;
-        MatchResult {
-            options: skyline.into_sorted_options(),
-            stats,
+        let options = clock.time(&mut skyline_ns, || skyline.into_sorted_options());
+        if clock.enabled() {
+            ctx.record_stage(Stage::MatchCandidates, candidates_ns);
+            ctx.record_stage(Stage::MatchVerify, verify_ns);
+            ctx.record_stage(Stage::MatchSkyline, skyline_ns);
         }
+        MatchResult { options, stats }
     }
 }
 
@@ -106,6 +119,7 @@ mod tests {
             index: &index,
             config: &config,
             runtime: None,
+            telemetry: None,
         };
         // Request from v5 to v6 (adjacent, 1 km).
         let direct = oracle.distance(VertexId(5), VertexId(6));
@@ -145,6 +159,7 @@ mod tests {
             index: &index,
             config: &config,
             runtime: None,
+            telemetry: None,
         };
         // Request starting at v3 (3 km from v0, 3 km from v15): no vehicle
         // can reach it within the 1.5 km radius.

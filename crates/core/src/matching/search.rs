@@ -13,8 +13,10 @@
 use super::par::verify_vehicles;
 use super::{MatchContext, MatchResult, MatchStats};
 use crate::skyline::Skyline;
+use crate::telemetry::Stage;
 use ptrider_vehicles::{ProspectiveRequest, Vehicle};
 use std::collections::HashSet;
+use std::time::Instant;
 
 /// Tolerance for constraint comparisons, in metres.
 const EPS: f64 = 1e-6;
@@ -37,6 +39,16 @@ pub(crate) fn grid_search(
     let mut skyline = Skyline::new();
     let mut stats = MatchStats::default();
     let exact_before = ctx.oracle.exact_computations();
+
+    // Per-stage span accumulators (only read the clock at the `Spans`
+    // level). Prune, verify and skyline work are timed directly; candidate
+    // extraction — the cell walk and index iteration — is the search's
+    // remaining time, so the four stages partition the whole search.
+    let clock = ctx.stage_clock();
+    let search_start = clock.enabled().then(Instant::now);
+    let mut prune_ns = 0u64;
+    let mut verify_ns = 0u64;
+    let mut skyline_ns = 0u64;
 
     let grid = ctx.grid;
     let fare = &ctx.config.price;
@@ -95,7 +107,9 @@ pub(crate) fn grid_search(
                         continue;
                     };
                     stats.vehicles_considered += 1;
-                    if empty_survives_pruning(ctx, req, vehicle, &skyline, &mut stats) {
+                    if clock.time(&mut prune_ns, || {
+                        empty_survives_pruning(ctx, req, vehicle, &skyline, &mut stats)
+                    }) {
                         batch.push(vehicle);
                     }
                 }
@@ -117,7 +131,9 @@ pub(crate) fn grid_search(
                         continue;
                     };
                     stats.vehicles_considered += 1;
-                    if non_empty_survives_pruning(ctx, req, vehicle, mode, &skyline, &mut stats) {
+                    if clock.time(&mut prune_ns, || {
+                        non_empty_survives_pruning(ctx, req, vehicle, mode, &skyline, &mut stats)
+                    }) {
                         batch.push(vehicle);
                     }
                 }
@@ -125,16 +141,24 @@ pub(crate) fn grid_search(
         }
 
         if !batch.is_empty() {
-            verify_vehicles(ctx, req, &batch, &mut skyline, &mut stats);
+            clock.time(&mut verify_ns, || {
+                verify_vehicles(ctx, req, &batch, &mut skyline, &mut stats)
+            });
             batch.clear();
         }
     }
 
     stats.exact_distance_computations = ctx.oracle.exact_computations() - exact_before;
-    MatchResult {
-        options: skyline.into_sorted_options(),
-        stats,
+    let options = clock.time(&mut skyline_ns, || skyline.into_sorted_options());
+    if let Some(start) = search_start {
+        let total_ns = start.elapsed().as_nanos() as u64;
+        let candidates_ns = total_ns.saturating_sub(prune_ns + verify_ns + skyline_ns);
+        ctx.record_stage(Stage::MatchCandidates, candidates_ns);
+        ctx.record_stage(Stage::MatchPrune, prune_ns);
+        ctx.record_stage(Stage::MatchVerify, verify_ns);
+        ctx.record_stage(Stage::MatchSkyline, skyline_ns);
     }
+    MatchResult { options, stats }
 }
 
 /// Empty vehicle: its price is a closed-form function of its pickup distance

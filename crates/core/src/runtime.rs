@@ -33,6 +33,7 @@
 //! Job panics are caught on the worker (the long-lived thread must survive),
 //! recorded, and re-raised on the caller once the batch has drained.
 
+use crate::telemetry::Histogram;
 use ptrider_roadnet::fault;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -136,6 +137,9 @@ pub struct WorkerPool {
     spawned: AtomicBool,
     /// Total job panics re-raised over the pool's lifetime.
     job_panics: AtomicU64,
+    /// Optional job-latency histogram (nanoseconds per executed job),
+    /// attached once by the engine when spans-level telemetry is on.
+    job_hist: OnceLock<Arc<Histogram>>,
 }
 
 impl WorkerPool {
@@ -153,7 +157,20 @@ impl WorkerPool {
             handles: Mutex::new(Vec::new()),
             spawned: AtomicBool::new(false),
             job_panics: AtomicU64::new(0),
+            job_hist: OnceLock::new(),
         }
+    }
+
+    /// Attaches a job-latency histogram (first attach wins). Every job —
+    /// pooled or inline-fallback — records its execution time into it.
+    pub fn attach_job_histogram(&self, hist: Arc<Histogram>) {
+        let _ = self.job_hist.set(hist);
+    }
+
+    /// Jobs currently waiting in the injector queue (a scrape-time gauge;
+    /// the queue drains to zero between batches).
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.lock().unwrap().len()
     }
 
     /// Number of worker threads this pool runs (0 = inline execution).
@@ -207,7 +224,13 @@ impl WorkerPool {
         if self.threads == 0 {
             local();
             for job in jobs {
-                job();
+                if let Some(hist) = self.job_hist.get() {
+                    let started = std::time::Instant::now();
+                    job();
+                    hist.record(started.elapsed().as_nanos() as u64);
+                } else {
+                    job();
+                }
             }
             return;
         }
@@ -217,6 +240,7 @@ impl WorkerPool {
         {
             let mut queue = self.shared.queue.lock().unwrap();
             for job in jobs {
+                let hist = self.job_hist.get().map(Arc::clone);
                 // SAFETY: the latch guarantees (via `WaitGuard`, even on
                 // panic) that this function does not return before the job
                 // has run to completion, so every `'env` borrow the job
@@ -230,12 +254,16 @@ impl WorkerPool {
                 };
                 let latch = Arc::clone(&latch);
                 queue.push_back(Box::new(move || {
+                    let started = hist.as_ref().map(|_| std::time::Instant::now());
                     let result = catch_unwind(AssertUnwindSafe(|| {
                         // Chaos site: an injected panic here is caught and
                         // re-raised exactly like a genuine job panic.
                         fault::panic_point(fault::POOL_JOB);
                         job()
                     }));
+                    if let (Some(hist), Some(started)) = (hist, started) {
+                        hist.record(started.elapsed().as_nanos() as u64);
+                    }
                     latch.complete(result.err());
                 }));
             }

@@ -65,6 +65,7 @@ use crate::session::{
     Confirmation, Decision, Offer, OptionId, ServiceError, Session, SessionId, SessionState,
 };
 use crate::stats::{EngineStats, MatchWork};
+use crate::telemetry::{PromWriter, SeqSnapshot, Stage, Telemetry};
 use ptrider_roadnet::{
     fault, DistanceOracle, GridConfig, GridIndex, RoadNetwork, TrafficModel, VertexId,
 };
@@ -73,8 +74,10 @@ use ptrider_vehicles::{
     Stop, StopEvent, StopKind, Vehicle, VehicleId,
 };
 use std::collections::HashMap;
+use std::ops::{Deref, DerefMut};
 use std::path::Path;
 use std::sync::{Mutex, MutexGuard, OnceLock, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::time::Instant;
 
 /// Service-layer knobs (the engine-level knobs stay in [`EngineConfig`]).
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -175,6 +178,43 @@ pub struct RideService {
     /// plain leaf mutex: it is only ever taken while already inside the
     /// critical section that orders the journaled operation.
     journal: Option<Mutex<Journal>>,
+    /// Seqlock mirror of [`Ledger::stats`]: every [`LedgerGuard`] republishes
+    /// the stats on drop (while still holding the ledger mutex, so writers
+    /// are serialized), and [`RideService::stats`] reads the mirror without
+    /// taking any lock — and, unlike the old clone-under-mutex, can never
+    /// observe a torn multi-field update.
+    stats_mirror: SeqSnapshot<{ EngineStats::WORDS }>,
+}
+
+/// A ledger guard that mirrors the stats into the service's seqlock
+/// snapshot when dropped. Every ledger-mutating path holds one of these, so
+/// the mirror can lag the mutex-protected truth only while the mutex is
+/// held — [`RideService::stats`] therefore always reads some consistent
+/// admission-ordered prefix.
+struct LedgerGuard<'a> {
+    mirror: &'a SeqSnapshot<{ EngineStats::WORDS }>,
+    guard: MutexGuard<'a, Ledger>,
+}
+
+impl Deref for LedgerGuard<'_> {
+    type Target = Ledger;
+    fn deref(&self) -> &Ledger {
+        &self.guard
+    }
+}
+
+impl DerefMut for LedgerGuard<'_> {
+    fn deref_mut(&mut self) -> &mut Ledger {
+        &mut self.guard
+    }
+}
+
+impl Drop for LedgerGuard<'_> {
+    fn drop(&mut self) {
+        // Still inside the mutex (fields drop after this body), so
+        // publishes are serialized as the seqlock requires.
+        self.mirror.publish(&self.guard.stats.to_words());
+    }
 }
 
 impl RideService {
@@ -200,6 +240,9 @@ impl RideService {
     pub fn from_engine(engine: PtRider) -> Self {
         let (shared, matcher_kind, matcher, world, ledger) = engine.into_parts();
         let service_config = ServiceConfig::default();
+        let stats_mirror = SeqSnapshot::new();
+        // Seed the mirror: a wrapped engine may carry non-zero stats.
+        stats_mirror.publish(&ledger.stats.to_words());
         RideService {
             shared,
             matcher_kind,
@@ -213,6 +256,7 @@ impl RideService {
                 next_session: 0,
             }),
             journal: None,
+            stats_mirror,
         }
     }
 
@@ -235,7 +279,8 @@ impl RideService {
     /// acknowledged; attach the journal to a *fresh* service so the journal
     /// captures every mutation since birth (or recover an existing journal
     /// with [`RideService::recover`], which re-attaches it).
-    pub fn with_journal(mut self, journal: Journal) -> Self {
+    pub fn with_journal(mut self, mut journal: Journal) -> Self {
+        journal.attach_telemetry(&self.shared.telemetry);
         self.journal = Some(Mutex::new(journal));
         self
     }
@@ -260,9 +305,37 @@ impl RideService {
     }
 
     fn world_write(&self) -> Result<RwLockWriteGuard<'_, World>, ServiceError> {
-        self.world
+        let wait = self.lock_wait_clock();
+        let guard = self
+            .world
             .write()
-            .map_err(|_| ServiceError::Unavailable("world"))
+            .map_err(|_| ServiceError::Unavailable("world"))?;
+        self.record_lock_wait(wait);
+        Ok(guard)
+    }
+
+    /// Admission-writer acquisition of the world write lock for the paths
+    /// that panic on poison; times the wait into
+    /// [`Stage::ServiceLockWait`] when spans are on.
+    fn world_write_panicky(&self) -> RwLockWriteGuard<'_, World> {
+        let wait = self.lock_wait_clock();
+        let guard = self.world.write().unwrap();
+        self.record_lock_wait(wait);
+        guard
+    }
+
+    /// Starts the lock-wait stopwatch (only at the `Spans` level — the
+    /// disabled path is one branch, no clock read).
+    fn lock_wait_clock(&self) -> Option<Instant> {
+        self.shared.telemetry.spans_enabled().then(Instant::now)
+    }
+
+    fn record_lock_wait(&self, started: Option<Instant>) {
+        if let Some(started) = started {
+            self.shared
+                .telemetry
+                .record_stage(Stage::ServiceLockWait, started.elapsed().as_nanos() as u64);
+        }
     }
 
     fn sessions_lock(&self) -> Result<MutexGuard<'_, SessionStore>, ServiceError> {
@@ -271,10 +344,23 @@ impl RideService {
             .map_err(|_| ServiceError::Unavailable("sessions"))
     }
 
-    fn ledger_lock(&self) -> Result<MutexGuard<'_, Ledger>, ServiceError> {
+    fn ledger_lock(&self) -> Result<LedgerGuard<'_>, ServiceError> {
         self.ledger
             .lock()
+            .map(|guard| LedgerGuard {
+                mirror: &self.stats_mirror,
+                guard,
+            })
             .map_err(|_| ServiceError::Unavailable("ledger"))
+    }
+
+    /// Ledger acquisition for the paths that panic on poison; the returned
+    /// guard mirrors the stats like every other [`LedgerGuard`].
+    fn ledger_panicky(&self) -> LedgerGuard<'_> {
+        LedgerGuard {
+            mirror: &self.stats_mirror,
+            guard: self.ledger.lock().unwrap(),
+        }
     }
 
     fn world_read_tolerant(&self) -> RwLockReadGuard<'_, World> {
@@ -285,8 +371,11 @@ impl RideService {
         self.sessions.lock().unwrap_or_else(|p| p.into_inner())
     }
 
-    fn ledger_tolerant(&self) -> MutexGuard<'_, Ledger> {
-        self.ledger.lock().unwrap_or_else(|p| p.into_inner())
+    fn ledger_tolerant(&self) -> LedgerGuard<'_> {
+        LedgerGuard {
+            mirror: &self.stats_mirror,
+            guard: self.ledger.lock().unwrap_or_else(|p| p.into_inner()),
+        }
     }
 
     /// Appends one logical operation to the journal, if one is attached.
@@ -346,9 +435,19 @@ impl RideService {
     /// at read time (it never enters the ledger, so journal replay — which
     /// absorbs no panics — reproduces the ledger image exactly).
     pub fn stats(&self) -> EngineStats {
-        let mut stats = self.ledger_tolerant().stats.clone();
+        // Read the seqlock mirror instead of the ledger mutex: lock-free,
+        // and guaranteed un-torn (the old clone-under-mutex could observe a
+        // writer's half-applied multi-field update through a poisoned
+        // re-entry; the seqlock read retries instead).
+        let mut stats = EngineStats::from_words(&self.stats_mirror.read());
         stats.runtime_job_panics = self.shared.runtime.job_panics();
         stats
+    }
+
+    /// The engine's telemetry hub (counters, per-stage histograms, trace
+    /// ring). See [`Self::metrics_text`] for the rendered exposition.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.shared.telemetry
     }
 
     // ------------------------------------------------------------------
@@ -363,7 +462,7 @@ impl RideService {
     /// Adds a vehicle at `location` with an explicit capacity.
     pub fn add_vehicle_with_capacity(&self, location: VertexId, capacity: u32) -> VehicleId {
         let id = {
-            let mut world = self.world.write().unwrap();
+            let mut world = self.world_write_panicky();
             let id = world.add_vehicle(&self.shared, location, capacity);
             self.journal_op(&Op::AddVehicle {
                 location: location.0,
@@ -403,7 +502,7 @@ impl RideService {
         travelled: f64,
     ) -> Result<(), EngineError> {
         {
-            let mut world = self.world.write().unwrap();
+            let mut world = self.world_write_panicky();
             engine::apply_location_update(
                 &self.shared,
                 &mut world,
@@ -417,7 +516,7 @@ impl RideService {
                 travelled,
             });
         }
-        self.ledger.lock().unwrap().stats.location_updates += 1;
+        self.ledger_panicky().stats.location_updates += 1;
         Ok(())
     }
 
@@ -425,7 +524,7 @@ impl RideService {
     /// a [`EngineEvent::PickedUp`] / [`EngineEvent::DroppedOff`] event.
     pub fn vehicle_arrived(&self, vehicle_id: VehicleId) -> Result<Option<StopEvent>, EngineError> {
         let event = {
-            let mut world = self.world.write().unwrap();
+            let mut world = self.world_write_panicky();
             let event = engine::apply_vehicle_arrived(&self.shared, &mut world, vehicle_id)?;
             if event.is_some() {
                 self.journal_op(&Op::VehicleArrived {
@@ -436,14 +535,14 @@ impl RideService {
         };
         match &event {
             Some(StopEvent::PickedUp { request, .. }) => {
-                self.ledger.lock().unwrap().stats.pickups += 1;
+                self.ledger_panicky().stats.pickups += 1;
                 self.events.publish(EngineEvent::PickedUp {
                     vehicle: vehicle_id,
                     request: *request,
                 });
             }
             Some(StopEvent::DroppedOff { request, .. }) => {
-                self.ledger.lock().unwrap().stats.dropoffs += 1;
+                self.ledger_panicky().stats.dropoffs += 1;
                 self.events.publish(EngineEvent::DroppedOff {
                     vehicle: vehicle_id,
                     request: request.id,
@@ -480,6 +579,7 @@ impl RideService {
         riders: u32,
         now: f64,
     ) -> Result<Offer, ServiceError> {
+        let span = self.shared.telemetry.span(Stage::ServiceSubmit);
         let direct = engine::validate_request(
             &self.shared.net,
             &self.shared.oracle,
@@ -497,6 +597,7 @@ impl RideService {
                 now,
             )
         };
+        let _span = span.with_request(request.id.0);
         let prospective = request.to_prospective(direct, &self.shared.config);
 
         // Register the session (Pending) before matching so the lifecycle
@@ -640,12 +741,14 @@ impl RideService {
         decision: Decision,
         now: f64,
     ) -> Result<Option<Confirmation>, ServiceError> {
+        let span = self.shared.telemetry.span(Stage::ServiceRespond);
         let mut store = self.sessions_lock()?;
         let session = store
             .sessions
             .get_mut(&session_id)
             .ok_or(ServiceError::UnknownSession(session_id))?;
         let request_id = session.request.id;
+        let _span = span.with_request(request_id.0);
 
         if let Err(gate) = session.respond_gate(now) {
             if matches!(gate, ServiceError::OfferExpired(_)) {
@@ -836,6 +939,7 @@ impl RideService {
     /// order). Returns how many offers expired. Also the automatic
     /// snapshot trigger when a journal with a snapshot cadence is attached.
     pub fn tick(&self, now: f64) -> usize {
+        let _span = self.shared.telemetry.span(Stage::ServiceTick);
         let mut expired: Vec<(SessionId, ptrider_vehicles::RequestId)> = Vec::new();
         let mut holds: Vec<(VehicleId, ptrider_vehicles::RequestId)> = Vec::new();
         {
@@ -853,7 +957,7 @@ impl RideService {
                 // World guard + journal append even when no holds exist:
                 // the guard orders the Tick record against concurrent
                 // submits' appends, so replay sees the same interleaving.
-                let mut world = self.world.write().unwrap();
+                let mut world = self.world_write_panicky();
                 for (vehicle, request) in &holds {
                     release_hold(&self.shared, &mut world, *vehicle, *request);
                 }
@@ -865,7 +969,7 @@ impl RideService {
             return 0;
         }
         expired.sort_unstable_by_key(|(s, _)| *s);
-        self.ledger.lock().unwrap().stats.offers_expired += expired.len() as u64;
+        self.ledger_panicky().stats.offers_expired += expired.len() as u64;
         for (session, request) in &expired {
             self.events.publish(EngineEvent::Expired {
                 session: *session,
@@ -943,8 +1047,8 @@ impl RideService {
     {
         let mut choices: Vec<Option<u32>> = Vec::with_capacity(specs.len());
         let outcomes = {
-            let mut world = self.world.write().unwrap();
-            let mut ledger = self.ledger.lock().unwrap();
+            let mut world = self.world_write_panicky();
+            let mut ledger = self.ledger_panicky();
             let first_request = ledger.next_request_id();
             let outcomes = engine::run_batch_greedy(
                 &self.shared,
@@ -996,8 +1100,8 @@ impl RideService {
     /// "Traffic model".
     pub fn apply_traffic_update(&self, model: &TrafficModel, now: f64) -> TrafficUpdateOutcome {
         let outcome = {
-            let _world = self.world.write().unwrap();
-            let mut ledger = self.ledger.lock().unwrap();
+            let _world = self.world_write_panicky();
+            let mut ledger = self.ledger_panicky();
             let outcome = engine::apply_traffic(&self.shared, &mut ledger, model);
             // Only the non-free-flow arcs are journaled; the factor bits
             // rebuild the metric exactly on replay (the model's version
@@ -1054,6 +1158,391 @@ impl RideService {
     /// Total events published so far.
     pub fn events_published(&self) -> u64 {
         self.events.published()
+    }
+
+    // ------------------------------------------------------------------
+    // Metrics exposition
+    // ------------------------------------------------------------------
+
+    /// Renders a live metrics exposition in the Prometheus text format
+    /// (version 0.0.4): the admission-ordered service counters (read
+    /// through the seqlock stats mirror), derived gauges sampled from the
+    /// oracle / worker pool / journal / event log at scrape time, any
+    /// counters and gauges registered on the [`Telemetry`] hub, and — at
+    /// the `Spans` level — one latency histogram per pipeline [`Stage`]
+    /// (values in seconds). Cheap enough to scrape continuously: no world
+    /// or ledger lock is taken.
+    pub fn metrics_text(&self) -> String {
+        let t = &self.shared.telemetry;
+        let stats = self.stats();
+        let oracle = &self.shared.oracle;
+        let pool = self.shared.runtime.pool();
+        let mut w = PromWriter::new();
+
+        // Service layer: the admission-ordered ledger counters.
+        w.counter(
+            "ptrider_service_requests_submitted_total",
+            "Requests submitted (including batch admissions).",
+            stats.requests_submitted,
+        );
+        w.counter(
+            "ptrider_service_offers_made_total",
+            "Offers opened by submit.",
+            stats.offers_made,
+        );
+        w.counter(
+            "ptrider_service_offers_confirmed_total",
+            "Offers confirmed by a rider choice.",
+            stats.offers_confirmed,
+        );
+        w.counter(
+            "ptrider_service_offers_declined_total",
+            "Offers declined by the rider.",
+            stats.offers_declined,
+        );
+        w.counter(
+            "ptrider_service_offers_expired_total",
+            "Offers expired by the clock.",
+            stats.offers_expired,
+        );
+        w.counter(
+            "ptrider_service_requests_chosen_total",
+            "Requests committed to a vehicle.",
+            stats.requests_chosen,
+        );
+        w.counter(
+            "ptrider_service_assignments_failed_total",
+            "Chosen options the vehicle could no longer honour.",
+            stats.assignments_failed,
+        );
+        w.counter(
+            "ptrider_service_pickups_total",
+            "Riders picked up.",
+            stats.pickups,
+        );
+        w.counter(
+            "ptrider_service_dropoffs_total",
+            "Riders dropped off.",
+            stats.dropoffs,
+        );
+        w.counter(
+            "ptrider_service_location_updates_total",
+            "Vehicle location updates applied.",
+            stats.location_updates,
+        );
+        w.counter(
+            "ptrider_service_batch_bursts_total",
+            "Batch admission bursts processed.",
+            stats.batch_bursts,
+        );
+        w.gauge(
+            "ptrider_service_open_offers",
+            "Offered, unresolved sessions right now.",
+            self.open_offers() as f64,
+        );
+        w.gauge(
+            "ptrider_service_sessions",
+            "Sessions in the table (open and resolved-but-unpruned).",
+            self.num_sessions() as f64,
+        );
+
+        // Matcher work (accumulated across all matched requests).
+        w.counter(
+            "ptrider_match_vehicles_considered_total",
+            "Vehicles considered by the matchers.",
+            stats.match_work.vehicles_considered,
+        );
+        w.counter(
+            "ptrider_match_vehicles_verified_total",
+            "Vehicles verified with a kinetic-tree insertion.",
+            stats.match_work.vehicles_verified,
+        );
+        w.counter(
+            "ptrider_match_vehicles_pruned_total",
+            "Vehicles skipped by a pruning bound.",
+            stats.match_work.vehicles_pruned,
+        );
+        w.counter(
+            "ptrider_match_cells_visited_total",
+            "Grid cells visited by the expansion searches.",
+            stats.match_work.cells_visited,
+        );
+        w.counter(
+            "ptrider_match_exact_distances_total",
+            "Exact shortest-path computations while matching.",
+            stats.match_work.exact_distance_computations,
+        );
+
+        // Distance oracle: pull-style derived gauges, sampled at scrape
+        // time from the oracle's own atomics.
+        w.counter(
+            "ptrider_oracle_exact_computations_total",
+            "Exact shortest-path computations (lifetime).",
+            oracle.exact_computations(),
+        );
+        w.counter(
+            "ptrider_oracle_cache_hits_total",
+            "Exact queries answered from the memo cache.",
+            oracle.cache_hits(),
+        );
+        w.counter(
+            "ptrider_oracle_lower_bound_queries_total",
+            "Lower-bound queries served.",
+            oracle.lower_bound_queries(),
+        );
+        w.counter(
+            "ptrider_oracle_evictions_total",
+            "Cache entries evicted by the clock policy.",
+            oracle.evictions(),
+        );
+        w.gauge(
+            "ptrider_oracle_cache_len",
+            "Cached exact distances right now.",
+            oracle.cache_len() as f64,
+        );
+        if oracle.cache_capacity() != usize::MAX {
+            w.gauge(
+                "ptrider_oracle_cache_capacity",
+                "Cache capacity in entries.",
+                oracle.cache_capacity() as f64,
+            );
+        }
+        w.gauge(
+            "ptrider_oracle_traffic_epoch",
+            "Current traffic epoch (0 = free flow).",
+            oracle.traffic_epoch() as f64,
+        );
+        w.counter(
+            "ptrider_oracle_ch_customizations_total",
+            "CH customization passes run by traffic epochs.",
+            oracle.ch_customizations(),
+        );
+        w.gauge_family(
+            "ptrider_oracle_backend_fallback",
+            "1 when the exact backend differs from the requested one; the reason label says why.",
+        );
+        match oracle.backend_fallback() {
+            Some(reason) => w.gauge_sample(
+                "ptrider_oracle_backend_fallback",
+                &format!("reason=\"{}\"", crate::telemetry::escape_label(&reason)),
+                1.0,
+            ),
+            None => w.gauge_sample("ptrider_oracle_backend_fallback", "reason=\"\"", 0.0),
+        }
+
+        // Worker pool.
+        w.gauge(
+            "ptrider_pool_threads",
+            "Worker threads the matching pool may spawn.",
+            pool.threads() as f64,
+        );
+        w.gauge(
+            "ptrider_pool_queue_depth",
+            "Jobs waiting in the pool injector right now.",
+            pool.queue_depth() as f64,
+        );
+        w.counter(
+            "ptrider_pool_job_panics_total",
+            "Worker-pool jobs that panicked (absorbed).",
+            self.shared.runtime.job_panics(),
+        );
+
+        // Journal (absent rows mean no journal is attached).
+        if let Some(journal) = &self.journal {
+            let journal = journal.lock().unwrap_or_else(|p| p.into_inner());
+            w.gauge(
+                "ptrider_journal_fsync_failed",
+                "1 after a background fsync failure (sticky; durability unknown).",
+                if journal.fsync_failed() { 1.0 } else { 0.0 },
+            );
+            w.gauge(
+                "ptrider_journal_next_seq",
+                "Sequence number the next journaled operation receives.",
+                journal.next_seq() as f64,
+            );
+            w.gauge(
+                "ptrider_journal_ops_since_snapshot",
+                "Operations appended since the last snapshot.",
+                journal.ops_since_snapshot() as f64,
+            );
+        }
+
+        // Event log.
+        w.counter(
+            "ptrider_events_published_total",
+            "Events published into the log.",
+            self.events.published(),
+        );
+        w.counter(
+            "ptrider_events_evicted_total",
+            "Events evicted from the bounded log.",
+            self.events.evicted(),
+        );
+        w.gauge(
+            "ptrider_events_retained",
+            "Events currently retained for subscribers.",
+            self.events.retained() as f64,
+        );
+        if let Some(age) = self.events.oldest_age_nanos() {
+            w.gauge(
+                "ptrider_events_oldest_age_seconds",
+                "Engine-clock age of the oldest retained event.",
+                age as f64 * 1e-9,
+            );
+        }
+        let missed = self.events.cursor_missed_totals();
+        if !missed.is_empty() {
+            w.counter_family(
+                "ptrider_events_cursor_missed_total",
+                "Events each live cursor lost to eviction before polling them.",
+            );
+            for (id, count) in missed {
+                w.counter_sample(
+                    "ptrider_events_cursor_missed_total",
+                    &format!("cursor=\"{id}\""),
+                    count,
+                );
+            }
+        }
+
+        // Telemetry hub: registered counters/gauges and per-stage latency.
+        for (name, value) in t.counter_values() {
+            w.counter(
+                &format!("ptrider_{name}_total"),
+                "Registered counter.",
+                value,
+            );
+        }
+        for (name, value) in t.gauge_values() {
+            w.gauge(&format!("ptrider_{name}"), "Registered gauge.", value);
+        }
+        w.gauge(
+            "ptrider_telemetry_uptime_seconds",
+            "Seconds since the telemetry hub was created.",
+            t.uptime_secs(),
+        );
+        if t.spans_enabled() {
+            for stage in Stage::ALL {
+                let snap = t.stage_snapshot(stage);
+                let name = format!("ptrider_stage_{}_seconds", stage.name().replace('.', "_"));
+                w.histogram(&name, "Per-stage latency in seconds.", &snap, 1e-9);
+            }
+        }
+        w.finish()
+    }
+
+    /// The same live metrics as [`Self::metrics_text`], rendered as one
+    /// JSON object — `service` / `oracle` / `pool` / `journal` / `events`
+    /// sections plus, at the `Spans` level, a `stages` map of per-stage
+    /// latency summaries (`count`, `mean_ns`, `p50_ns`, `p90_ns`, `p99_ns`,
+    /// `max_ns`).
+    pub fn metrics_json(&self) -> String {
+        let t = &self.shared.telemetry;
+        let stats = self.stats();
+        let oracle = &self.shared.oracle;
+        let pool = self.shared.runtime.pool();
+        let mut out = String::with_capacity(2048);
+        out.push('{');
+        out.push_str(&format!(
+            "\"service\":{{\"requests_submitted\":{},\"offers_made\":{},\
+             \"offers_confirmed\":{},\"offers_declined\":{},\"offers_expired\":{},\
+             \"requests_chosen\":{},\"assignments_failed\":{},\"pickups\":{},\
+             \"dropoffs\":{},\"location_updates\":{},\"open_offers\":{},\
+             \"sessions\":{}}},",
+            stats.requests_submitted,
+            stats.offers_made,
+            stats.offers_confirmed,
+            stats.offers_declined,
+            stats.offers_expired,
+            stats.requests_chosen,
+            stats.assignments_failed,
+            stats.pickups,
+            stats.dropoffs,
+            stats.location_updates,
+            self.open_offers(),
+            self.num_sessions(),
+        ));
+        out.push_str(&format!(
+            "\"oracle\":{{\"exact_computations\":{},\"cache_hits\":{},\
+             \"lower_bound_queries\":{},\"evictions\":{},\"cache_len\":{},\
+             \"traffic_epoch\":{},\"ch_customizations\":{},\"backend\":\"{}\",\
+             \"backend_fallback\":{}}},",
+            oracle.exact_computations(),
+            oracle.cache_hits(),
+            oracle.lower_bound_queries(),
+            oracle.evictions(),
+            oracle.cache_len(),
+            oracle.traffic_epoch(),
+            oracle.ch_customizations(),
+            oracle.backend(),
+            match oracle.backend_fallback() {
+                Some(reason) =>
+                    format!("\"{}\"", reason.replace('\\', "\\\\").replace('"', "\\\"")),
+                None => "null".to_string(),
+            },
+        ));
+        out.push_str(&format!(
+            "\"pool\":{{\"threads\":{},\"queue_depth\":{},\"job_panics\":{}}},",
+            pool.threads(),
+            pool.queue_depth(),
+            self.shared.runtime.job_panics(),
+        ));
+        match &self.journal {
+            Some(journal) => {
+                let journal = journal.lock().unwrap_or_else(|p| p.into_inner());
+                out.push_str(&format!(
+                    "\"journal\":{{\"fsync_failed\":{},\"next_seq\":{},\
+                     \"ops_since_snapshot\":{}}},",
+                    journal.fsync_failed(),
+                    journal.next_seq(),
+                    journal.ops_since_snapshot(),
+                ));
+            }
+            None => out.push_str("\"journal\":null,"),
+        }
+        out.push_str(&format!(
+            "\"events\":{{\"published\":{},\"evicted\":{},\"retained\":{},\
+             \"cursors_missed\":[{}]}},",
+            self.events.published(),
+            self.events.evicted(),
+            self.events.retained(),
+            self.events
+                .cursor_missed_totals()
+                .iter()
+                .map(|(id, missed)| format!("{{\"cursor\":{id},\"missed\":{missed}}}"))
+                .collect::<Vec<_>>()
+                .join(","),
+        ));
+        out.push_str("\"stages\":{");
+        if t.spans_enabled() {
+            let mut first = true;
+            for stage in Stage::ALL {
+                let snap = t.stage_snapshot(stage);
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                out.push_str(&format!(
+                    "\"{}\":{{\"count\":{},\"mean_ns\":{:.1},\"p50_ns\":{},\
+                     \"p90_ns\":{},\"p99_ns\":{},\"max_ns\":{}}}",
+                    stage.name(),
+                    snap.count(),
+                    snap.mean(),
+                    snap.quantile(0.5),
+                    snap.quantile(0.9),
+                    snap.quantile(0.99),
+                    snap.max(),
+                ));
+            }
+        }
+        out.push_str("},");
+        out.push_str(&format!(
+            "\"telemetry\":{{\"level\":\"{}\",\"uptime_secs\":{:.3}}}",
+            t.level(),
+            t.uptime_secs(),
+        ));
+        out.push('}');
+        out
     }
 }
 
@@ -1161,7 +1650,7 @@ impl RideService {
         dir: impl AsRef<Path>,
         journal_config: JournalConfig,
     ) -> Result<Self, JournalError> {
-        let (recovered, journal) = Journal::open(dir, journal_config)?;
+        let (recovered, mut journal) = Journal::open(dir, journal_config)?;
         let svc = Self::from_engine(engine).with_service_config(service_config);
 
         let mut ops = Vec::with_capacity(recovered.ops.len());
@@ -1210,6 +1699,7 @@ impl RideService {
         }
 
         let mut svc = svc;
+        journal.attach_telemetry(&svc.shared.telemetry);
         svc.journal = Some(Mutex::new(journal));
         Ok(svc)
     }

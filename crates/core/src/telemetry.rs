@@ -1,0 +1,1351 @@
+//! In-repo telemetry: atomic counters, gauges, log-scale-bucketed latency
+//! histograms, scoped spans and a bounded trace-event ring — the runtime
+//! observability substrate behind [`crate::RideService::metrics_text`].
+//!
+//! Vendored offline builds preclude `tracing`/`prometheus`, so the whole
+//! registry lives here with zero dependencies. Design constraints:
+//!
+//! * **Lock-free hot path.** Recording a counter increment or a histogram
+//!   sample is a handful of `Relaxed` atomic RMWs; no mutex is ever taken
+//!   while recording. Locks appear only at registration and scrape time.
+//! * **The disabled path is a branch.** Every instrumentation site first
+//!   checks a plain `bool` captured at engine construction; with
+//!   `PTRIDER_TELEMETRY=off` no clock is read and no atomic is touched.
+//! * **Exact-enough percentiles.** Histograms use HDR-style log-linear
+//!   buckets — 32 linear sub-buckets per power of two — so any reported
+//!   p50/p90/p99 overestimates the exact sorted-sample percentile by at
+//!   most 1/32 ≈ 3.125% (values below 32 are exact). This bound is
+//!   property-tested against exact references.
+//!
+//! Three levels ([`TelemetryLevel`], env `PTRIDER_TELEMETRY=off|counters|
+//! spans`): `off` disables everything, `counters` keeps cheap counters and
+//! gauges, `spans` additionally times pipeline stages ([`Stage`]) into
+//! per-stage histograms and, when a ring capacity is configured, records
+//! [`TraceEvent`]s for flamegraph-style offline analysis.
+//!
+//! The module also provides [`SeqSnapshot`], a seqlock-style consistent
+//! snapshot cell used to publish [`crate::EngineStats`] to lock-free
+//! readers without tearing (see `RideService::stats`).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+// ---------------------------------------------------------------------------
+// Levels and configuration
+// ---------------------------------------------------------------------------
+
+/// How much the engine records at runtime.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TelemetryLevel {
+    /// Record nothing; every instrumentation site reduces to a branch.
+    Off,
+    /// Counters and gauges only — no clocks are read on the hot path.
+    Counters,
+    /// Counters plus per-stage latency histograms and the trace ring.
+    Spans,
+}
+
+impl TelemetryLevel {
+    /// Parses the `PTRIDER_TELEMETRY` value; unknown strings fall back to
+    /// [`TelemetryLevel::Counters`], the default.
+    pub fn parse(s: &str) -> TelemetryLevel {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "off" | "none" | "0" | "false" => TelemetryLevel::Off,
+            "spans" | "full" | "all" | "trace" => TelemetryLevel::Spans,
+            _ => TelemetryLevel::Counters,
+        }
+    }
+}
+
+impl std::fmt::Display for TelemetryLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            TelemetryLevel::Off => "off",
+            TelemetryLevel::Counters => "counters",
+            TelemetryLevel::Spans => "spans",
+        })
+    }
+}
+
+/// Telemetry configuration, fixed at engine construction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    /// Recording level.
+    pub level: TelemetryLevel,
+    /// Capacity of the trace-event ring (0 disables the ring). Only
+    /// consulted at the `Spans` level.
+    pub trace_capacity: usize,
+}
+
+impl TelemetryConfig {
+    /// Reads `PTRIDER_TELEMETRY` from the environment **at call time** (no
+    /// once-cache, so A/B harnesses can flip the variable between engine
+    /// constructions in one process). Unset defaults to `counters`.
+    pub fn from_env() -> TelemetryConfig {
+        let level = std::env::var("PTRIDER_TELEMETRY")
+            .map(|v| TelemetryLevel::parse(&v))
+            .unwrap_or(TelemetryLevel::Counters);
+        TelemetryConfig {
+            level,
+            trace_capacity: 4096,
+        }
+    }
+
+    /// A fully disabled configuration.
+    pub fn off() -> TelemetryConfig {
+        TelemetryConfig {
+            level: TelemetryLevel::Off,
+            trace_capacity: 0,
+        }
+    }
+
+    /// Counters and gauges only.
+    pub fn counters() -> TelemetryConfig {
+        TelemetryConfig {
+            level: TelemetryLevel::Counters,
+            trace_capacity: 0,
+        }
+    }
+
+    /// Full instrumentation: counters, per-stage histograms and a trace
+    /// ring of the default capacity.
+    pub fn spans() -> TelemetryConfig {
+        TelemetryConfig {
+            level: TelemetryLevel::Spans,
+            trace_capacity: 4096,
+        }
+    }
+
+    /// Replaces the trace-ring capacity.
+    pub fn with_trace_capacity(mut self, capacity: usize) -> TelemetryConfig {
+        self.trace_capacity = capacity;
+        self
+    }
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig::from_env()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitives: counter, gauge
+// ---------------------------------------------------------------------------
+
+/// A monotonically increasing atomic counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A zeroed counter.
+    pub fn new() -> Counter {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// An atomic `f64` gauge (stored as bits in an `AtomicU64`).
+#[derive(Debug)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A gauge reading 0.0.
+    pub fn new() -> Gauge {
+        Gauge(AtomicU64::new(0f64.to_bits()))
+    }
+
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge::new()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Log-linear histogram
+// ---------------------------------------------------------------------------
+
+/// Linear sub-buckets per power of two: 2^5 = 32, bounding the relative
+/// bucket width — and therefore the percentile overestimate — by 1/32.
+const SUB_BITS: u32 = 5;
+const SUB: usize = 1 << SUB_BITS;
+/// Bucket count covering the full `u64` range: 32 exact unit buckets plus
+/// 32 sub-buckets for each of the 59 remaining scales (msb 5..=63).
+pub(crate) const NUM_BUCKETS: usize = SUB + (64 - SUB_BITS as usize) * SUB;
+
+/// Index of the bucket holding `v`. Buckets are contiguous and ordered.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < SUB as u64 {
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros();
+        let scale = (msb - SUB_BITS) as usize;
+        let sub = ((v >> (msb - SUB_BITS)) as usize) & (SUB - 1);
+        SUB + (scale << SUB_BITS) + sub
+    }
+}
+
+/// Smallest value mapping to bucket `idx`.
+fn bucket_low(idx: usize) -> u64 {
+    if idx < SUB {
+        idx as u64
+    } else {
+        let scale = (idx - SUB) >> SUB_BITS;
+        let sub = ((idx - SUB) & (SUB - 1)) as u64;
+        (SUB as u64 + sub) << scale
+    }
+}
+
+/// Largest value mapping to bucket `idx` (saturating at `u64::MAX`).
+fn bucket_high(idx: usize) -> u64 {
+    if idx < SUB {
+        idx as u64
+    } else {
+        let scale = (idx - SUB) >> SUB_BITS;
+        bucket_low(idx).saturating_add((1u64 << scale) - 1)
+    }
+}
+
+/// A lock-free log-linear latency histogram over `u64` samples
+/// (conventionally nanoseconds).
+///
+/// Recording is three `Relaxed` atomic RMWs; snapshots are taken by reading
+/// every bucket, with the total count derived from the bucket sums so a
+/// snapshot is always self-consistent (`count == Σ buckets`) even while
+/// writers race.
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        let mut buckets = Vec::with_capacity(NUM_BUCKETS);
+        buckets.resize_with(NUM_BUCKETS, || AtomicU64::new(0));
+        Histogram {
+            buckets,
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// A consistent point-in-time copy for percentile queries and
+    /// exposition.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        HistogramSnapshot {
+            count: buckets.iter().sum(),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let snap = self.snapshot();
+        f.debug_struct("Histogram")
+            .field("count", &snap.count)
+            .field("max", &snap.max)
+            .finish()
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts (`NUM_BUCKETS` entries).
+    buckets: Vec<u64>,
+    /// Total samples (always `Σ buckets`).
+    count: u64,
+    /// Sum of all recorded values.
+    sum: u64,
+    /// Largest recorded value.
+    max: u64,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot (useful as a `merge` identity).
+    pub fn empty() -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: vec![0; NUM_BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Total recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean recorded value (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) as a bucket upper bound: for the
+    /// exact sorted-sample quantile `x`, the estimate `e` satisfies
+    /// `x <= e <= x + x/32` (exactly `x` for values below 32). Returns 0
+    /// when empty; the top estimate is clamped to the recorded max.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_high(idx).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merges another snapshot into this one. Merging is associative and
+    /// commutative (property-tested), so shard-level histograms can be
+    /// combined in any order. Sums saturate rather than wrap, so an
+    /// extreme merge degrades the mean instead of panicking.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a = a.saturating_add(*b);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The difference `self - earlier`, for windowed rates (per-step sim
+    /// reports subtract the previous step's snapshot). Saturates at zero
+    /// per bucket; `max` keeps the later snapshot's value.
+    pub fn since(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .zip(&earlier.buckets)
+            .map(|(a, b)| a.saturating_sub(*b))
+            .collect();
+        HistogramSnapshot {
+            count: buckets.iter().sum(),
+            sum: self.sum.saturating_sub(earlier.sum),
+            max: self.max,
+            buckets,
+        }
+    }
+
+    /// Non-empty buckets as `(upper_bound, cumulative_count)` pairs — the
+    /// shape Prometheus histogram exposition wants.
+    pub fn cumulative_buckets(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut cum = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            if n > 0 {
+                cum += n;
+                out.push((bucket_high(idx), cum));
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stages and spans
+// ---------------------------------------------------------------------------
+
+/// The instrumented pipeline stages. Each owns one latency histogram
+/// (nanoseconds) inside [`Telemetry`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Stage {
+    /// `RideService::submit` end to end (validate → match → offer).
+    ServiceSubmit,
+    /// `RideService::respond` end to end.
+    ServiceRespond,
+    /// `RideService::tick` (expiry sweep + auto snapshot).
+    ServiceTick,
+    /// Time waiting to acquire the world **write** lock on the single
+    /// admission writer path — the ROADMAP's lock-bottleneck probe.
+    ServiceLockWait,
+    /// Matcher: candidate extraction (grid-cell walk + index iteration).
+    MatchCandidates,
+    /// Matcher: lower-bound pruning checks (P1–P5).
+    MatchPrune,
+    /// Matcher: exact verification (kinetic-tree insertion enumeration,
+    /// including the per-candidate skyline offers).
+    MatchVerify,
+    /// Matcher: final skyline merge and sort into the option list.
+    MatchSkyline,
+    /// One worker-pool job (chunk of a parallel verification batch).
+    PoolJob,
+    /// `Journal::append` (encode + buffered write + publish).
+    JournalAppend,
+    /// One background group-commit `fsync` (`sync_data`).
+    JournalFsync,
+    /// Writing one journal snapshot.
+    JournalSnapshot,
+}
+
+impl Stage {
+    /// Every stage, in exposition order.
+    pub const ALL: [Stage; 12] = [
+        Stage::ServiceSubmit,
+        Stage::ServiceRespond,
+        Stage::ServiceTick,
+        Stage::ServiceLockWait,
+        Stage::MatchCandidates,
+        Stage::MatchPrune,
+        Stage::MatchVerify,
+        Stage::MatchSkyline,
+        Stage::PoolJob,
+        Stage::JournalAppend,
+        Stage::JournalFsync,
+        Stage::JournalSnapshot,
+    ];
+
+    /// The stage's dotted span name (`"match.verify"`, ...).
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::ServiceSubmit => "service.submit",
+            Stage::ServiceRespond => "service.respond",
+            Stage::ServiceTick => "service.tick",
+            Stage::ServiceLockWait => "service.lock_wait",
+            Stage::MatchCandidates => "match.candidates",
+            Stage::MatchPrune => "match.prune",
+            Stage::MatchVerify => "match.verify",
+            Stage::MatchSkyline => "match.skyline",
+            Stage::PoolJob => "pool.job",
+            Stage::JournalAppend => "journal.append",
+            Stage::JournalFsync => "journal.fsync",
+            Stage::JournalSnapshot => "journal.snapshot",
+        }
+    }
+
+    /// Looks a stage up by its dotted name.
+    pub fn by_name(name: &str) -> Option<Stage> {
+        Stage::ALL.iter().copied().find(|s| s.name() == name)
+    }
+}
+
+/// One completed span in the trace ring.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TraceEvent {
+    /// Span start, microseconds since the engine's telemetry was created.
+    pub start_us: u64,
+    /// Span duration in nanoseconds.
+    pub duration_ns: u64,
+    /// The stage.
+    pub stage: Stage,
+    /// Engine request id the span worked on (0 when not request-scoped).
+    pub request: u64,
+}
+
+/// A scoped timing guard: created by [`Telemetry::span`] (or
+/// [`Span::enter`]), records its elapsed time into the stage's histogram —
+/// and, when a trace ring is configured, a [`TraceEvent`] — on drop.
+///
+/// When spans are disabled the guard is inert: no clock is read.
+#[must_use = "a span measures the scope it is alive for"]
+pub struct Span<'a> {
+    inner: Option<SpanInner<'a>>,
+}
+
+struct SpanInner<'a> {
+    telemetry: &'a Telemetry,
+    stage: Stage,
+    request: u64,
+    start: Instant,
+}
+
+impl<'a> Span<'a> {
+    /// Starts a span for the stage named `name` (see [`Stage::name`]);
+    /// unknown names produce an inert span.
+    pub fn enter(telemetry: &'a Telemetry, name: &str) -> Span<'a> {
+        match Stage::by_name(name) {
+            Some(stage) => telemetry.span(stage),
+            None => Span { inner: None },
+        }
+    }
+
+    /// Tags the span with an engine request id (shows up in the trace
+    /// ring).
+    pub fn with_request(mut self, request: u64) -> Span<'a> {
+        if let Some(inner) = &mut self.inner {
+            inner.request = request;
+        }
+        self
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if let Some(inner) = self.inner.take() {
+            let nanos = inner.start.elapsed().as_nanos() as u64;
+            inner
+                .telemetry
+                .finish_span(inner.stage, inner.start, nanos, inner.request);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Trace ring
+// ---------------------------------------------------------------------------
+
+struct TraceRing {
+    buf: Mutex<VecDeque<TraceEvent>>,
+    capacity: usize,
+}
+
+impl TraceRing {
+    fn push(&self, ev: TraceEvent) {
+        let mut buf = self.buf.lock().unwrap_or_else(|p| p.into_inner());
+        if buf.len() == self.capacity {
+            buf.pop_front();
+        }
+        buf.push_back(ev);
+    }
+
+    fn dump(&self) -> Vec<TraceEvent> {
+        self.buf
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .iter()
+            .copied()
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The per-engine telemetry hub
+// ---------------------------------------------------------------------------
+
+/// The per-engine telemetry hub: one latency histogram per [`Stage`], an
+/// optional trace ring, and a registry of named counters and gauges that
+/// other layers (the event log's per-cursor loss counters, for instance)
+/// can hook metrics into.
+///
+/// One `Telemetry` is created per engine (`EngineShared`) and shared by
+/// every layer via `Arc`; all recording methods take `&self` and are
+/// lock-free.
+pub struct Telemetry {
+    config: TelemetryConfig,
+    origin: Instant,
+    stages: Vec<Arc<Histogram>>,
+    ring: Option<TraceRing>,
+    counters: Mutex<Vec<(String, Arc<Counter>)>>,
+    gauges: Mutex<Vec<(String, Arc<Gauge>)>>,
+}
+
+impl Telemetry {
+    /// Builds a hub for the given configuration.
+    pub fn new(config: TelemetryConfig) -> Telemetry {
+        let stages = Stage::ALL
+            .iter()
+            .map(|_| Arc::new(Histogram::new()))
+            .collect();
+        let ring =
+            (config.level == TelemetryLevel::Spans && config.trace_capacity > 0).then(|| {
+                TraceRing {
+                    buf: Mutex::new(VecDeque::with_capacity(config.trace_capacity.min(1024))),
+                    capacity: config.trace_capacity,
+                }
+            });
+        Telemetry {
+            config,
+            origin: Instant::now(),
+            stages,
+            ring,
+            counters: Mutex::new(Vec::new()),
+            gauges: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// A fully disabled hub.
+    pub fn disabled() -> Telemetry {
+        Telemetry::new(TelemetryConfig::off())
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> TelemetryConfig {
+        self.config
+    }
+
+    /// The active level.
+    pub fn level(&self) -> TelemetryLevel {
+        self.config.level
+    }
+
+    /// Whether counters and gauges record.
+    #[inline]
+    pub fn counters_enabled(&self) -> bool {
+        self.config.level != TelemetryLevel::Off
+    }
+
+    /// Whether span timing records. This is the branch every hot
+    /// instrumentation site takes first; with spans off no clock is read.
+    #[inline]
+    pub fn spans_enabled(&self) -> bool {
+        self.config.level == TelemetryLevel::Spans
+    }
+
+    /// Starts a span for `stage` (inert unless spans are enabled).
+    #[inline]
+    pub fn span(&self, stage: Stage) -> Span<'_> {
+        if self.spans_enabled() {
+            Span {
+                inner: Some(SpanInner {
+                    telemetry: self,
+                    stage,
+                    request: 0,
+                    start: Instant::now(),
+                }),
+            }
+        } else {
+            Span { inner: None }
+        }
+    }
+
+    fn finish_span(&self, stage: Stage, start: Instant, nanos: u64, request: u64) {
+        self.stages[stage as usize].record(nanos);
+        if let Some(ring) = &self.ring {
+            let start_us = start.duration_since(self.origin).as_micros() as u64;
+            ring.push(TraceEvent {
+                start_us,
+                duration_ns: nanos,
+                stage,
+                request,
+            });
+        }
+    }
+
+    /// Records an externally measured duration for `stage` (used by the
+    /// matchers, which accumulate per-stage nanoseconds across a request
+    /// and record once). No-op unless spans are enabled.
+    #[inline]
+    pub fn record_stage(&self, stage: Stage, nanos: u64) {
+        if self.spans_enabled() {
+            self.stages[stage as usize].record(nanos);
+        }
+    }
+
+    /// The stage's histogram handle (always live; it simply stays empty
+    /// when spans are disabled). Layers that cannot call back into
+    /// `Telemetry` (the journal's flusher thread) hold this `Arc` and
+    /// record directly.
+    pub fn stage_histogram(&self, stage: Stage) -> Arc<Histogram> {
+        Arc::clone(&self.stages[stage as usize])
+    }
+
+    /// A snapshot of the stage's histogram.
+    pub fn stage_snapshot(&self, stage: Stage) -> HistogramSnapshot {
+        self.stages[stage as usize].snapshot()
+    }
+
+    /// The named counter, registering it on first use. Hold the returned
+    /// `Arc` for hot-path increments; the registry lock is taken only
+    /// here.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut reg = self.counters.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some((_, c)) = reg.iter().find(|(n, _)| n == name) {
+            return Arc::clone(c);
+        }
+        let c = Arc::new(Counter::new());
+        reg.push((name.to_string(), Arc::clone(&c)));
+        c
+    }
+
+    /// The named gauge, registering it on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut reg = self.gauges.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some((_, g)) = reg.iter().find(|(n, _)| n == name) {
+            return Arc::clone(g);
+        }
+        let g = Arc::new(Gauge::new());
+        reg.push((name.to_string(), Arc::clone(&g)));
+        g
+    }
+
+    /// Every registered counter as `(name, value)`, sorted by name.
+    pub fn counter_values(&self) -> Vec<(String, u64)> {
+        let reg = self.counters.lock().unwrap_or_else(|p| p.into_inner());
+        let mut out: Vec<(String, u64)> = reg.iter().map(|(n, c)| (n.clone(), c.get())).collect();
+        out.sort();
+        out
+    }
+
+    /// Every registered gauge as `(name, value)`, sorted by name.
+    pub fn gauge_values(&self) -> Vec<(String, f64)> {
+        let reg = self.gauges.lock().unwrap_or_else(|p| p.into_inner());
+        let mut out: Vec<(String, f64)> = reg.iter().map(|(n, g)| (n.clone(), g.get())).collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Drains nothing — copies the current trace ring, oldest first. Empty
+    /// unless running at the `Spans` level with a ring capacity.
+    pub fn trace_dump(&self) -> Vec<TraceEvent> {
+        self.ring.as_ref().map(|r| r.dump()).unwrap_or_default()
+    }
+
+    /// Seconds since this hub (≈ the engine) was created.
+    pub fn uptime_secs(&self) -> f64 {
+        self.origin.elapsed().as_secs_f64()
+    }
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("level", &self.config.level)
+            .field("trace_capacity", &self.config.trace_capacity)
+            .finish()
+    }
+}
+
+/// A tiny conditional stopwatch for accumulating per-stage nanoseconds in
+/// a tight loop: `clock.time(&mut acc, || work())` reads the clock only
+/// when the owning [`Telemetry`] runs at the `Spans` level.
+#[derive(Clone, Copy, Debug)]
+pub struct StageClock {
+    enabled: bool,
+}
+
+impl StageClock {
+    /// A clock that times iff `telemetry` (if any) has spans enabled.
+    pub fn new(telemetry: Option<&Telemetry>) -> StageClock {
+        StageClock {
+            enabled: telemetry.is_some_and(|t| t.spans_enabled()),
+        }
+    }
+
+    /// Whether [`StageClock::time`] actually reads the clock.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Runs `f`, adding its duration in nanoseconds to `acc` when enabled.
+    #[inline]
+    pub fn time<R>(&self, acc: &mut u64, f: impl FnOnce() -> R) -> R {
+        if self.enabled {
+            let start = Instant::now();
+            let r = f();
+            *acc += start.elapsed().as_nanos() as u64;
+            r
+        } else {
+            f()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Seqlock-style consistent snapshot cell
+// ---------------------------------------------------------------------------
+
+/// A seqlock-style cell publishing an `N`-word snapshot to lock-free
+/// readers without tearing.
+///
+/// Writers must be externally serialized (the engine publishes under the
+/// ledger mutex); readers never block and retry while a write is in
+/// flight. All storage is `AtomicU64`, so the race is well-defined — the
+/// sequence check only decides whether a read is *consistent*.
+pub struct SeqSnapshot<const N: usize> {
+    seq: AtomicU64,
+    words: [AtomicU64; N],
+}
+
+impl<const N: usize> SeqSnapshot<N> {
+    /// A cell holding all zeros at sequence 0.
+    pub fn new() -> SeqSnapshot<N> {
+        SeqSnapshot {
+            seq: AtomicU64::new(0),
+            words: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Publishes a new snapshot. Callers must hold whatever lock
+    /// serializes writers.
+    pub fn publish(&self, words: &[u64; N]) {
+        let s = self.seq.load(Ordering::Relaxed);
+        self.seq.store(s.wrapping_add(1), Ordering::SeqCst); // odd: write in flight
+        for (slot, &w) in self.words.iter().zip(words) {
+            slot.store(w, Ordering::SeqCst);
+        }
+        self.seq.store(s.wrapping_add(2), Ordering::SeqCst); // even: consistent
+    }
+
+    /// Reads a consistent snapshot, spinning past in-flight writes.
+    pub fn read(&self) -> [u64; N] {
+        loop {
+            let s1 = self.seq.load(Ordering::SeqCst);
+            if s1 & 1 == 1 {
+                std::hint::spin_loop();
+                continue;
+            }
+            let mut out = [0u64; N];
+            for (o, slot) in out.iter_mut().zip(&self.words) {
+                *o = slot.load(Ordering::SeqCst);
+            }
+            if self.seq.load(Ordering::SeqCst) == s1 {
+                return out;
+            }
+        }
+    }
+
+    /// The current sequence number (even when no write is in flight).
+    pub fn sequence(&self) -> u64 {
+        self.seq.load(Ordering::SeqCst)
+    }
+}
+
+impl<const N: usize> Default for SeqSnapshot<N> {
+    fn default() -> Self {
+        SeqSnapshot::new()
+    }
+}
+
+impl<const N: usize> std::fmt::Debug for SeqSnapshot<N> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SeqSnapshot")
+            .field("words", &N)
+            .field("sequence", &self.sequence())
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus text exposition
+// ---------------------------------------------------------------------------
+
+/// Builds a Prometheus text-format (version 0.0.4) exposition body.
+///
+/// Histograms recorded in nanoseconds are exposed in **seconds** (the
+/// Prometheus base unit) via the `scale` argument of
+/// [`PromWriter::histogram`]; only non-empty buckets are emitted (valid:
+/// `le` bounds stay strictly increasing), followed by the mandatory
+/// `+Inf` bucket, `_sum` and `_count`.
+#[derive(Debug, Default)]
+pub struct PromWriter {
+    buf: String,
+}
+
+impl PromWriter {
+    /// An empty body.
+    pub fn new() -> PromWriter {
+        PromWriter { buf: String::new() }
+    }
+
+    fn header(&mut self, name: &str, help: &str, kind: &str) {
+        self.buf.push_str("# HELP ");
+        self.buf.push_str(name);
+        self.buf.push(' ');
+        self.buf.push_str(help);
+        self.buf.push_str("\n# TYPE ");
+        self.buf.push_str(name);
+        self.buf.push(' ');
+        self.buf.push_str(kind);
+        self.buf.push('\n');
+    }
+
+    /// Appends a counter sample.
+    pub fn counter(&mut self, name: &str, help: &str, value: u64) {
+        self.header(name, help, "counter");
+        self.buf.push_str(name);
+        self.buf.push(' ');
+        self.buf.push_str(&value.to_string());
+        self.buf.push('\n');
+    }
+
+    /// Appends a labelled counter sample under an already-written header;
+    /// call [`PromWriter::counter_family`] first.
+    pub fn counter_sample(&mut self, name: &str, labels: &str, value: u64) {
+        self.buf.push_str(name);
+        self.buf.push('{');
+        self.buf.push_str(labels);
+        self.buf.push_str("} ");
+        self.buf.push_str(&value.to_string());
+        self.buf.push('\n');
+    }
+
+    /// Writes a counter family header only (samples follow via
+    /// [`PromWriter::counter_sample`]).
+    pub fn counter_family(&mut self, name: &str, help: &str) {
+        self.header(name, help, "counter");
+    }
+
+    /// Appends a gauge sample.
+    pub fn gauge(&mut self, name: &str, help: &str, value: f64) {
+        self.header(name, help, "gauge");
+        self.buf.push_str(name);
+        self.buf.push(' ');
+        self.buf.push_str(&fmt_f64(value));
+        self.buf.push('\n');
+    }
+
+    /// Writes a gauge family header only.
+    pub fn gauge_family(&mut self, name: &str, help: &str) {
+        self.header(name, help, "gauge");
+    }
+
+    /// Appends a labelled gauge sample under an already-written header.
+    pub fn gauge_sample(&mut self, name: &str, labels: &str, value: f64) {
+        self.buf.push_str(name);
+        self.buf.push('{');
+        self.buf.push_str(labels);
+        self.buf.push_str("} ");
+        self.buf.push_str(&fmt_f64(value));
+        self.buf.push('\n');
+    }
+
+    /// Appends a full histogram family. `scale` converts recorded sample
+    /// units to exposition units (`1e-9` for nanoseconds → seconds).
+    pub fn histogram(&mut self, name: &str, help: &str, snap: &HistogramSnapshot, scale: f64) {
+        self.header(name, help, "histogram");
+        for (high, cum) in snap.cumulative_buckets() {
+            self.buf.push_str(name);
+            self.buf.push_str("_bucket{le=\"");
+            self.buf.push_str(&fmt_f64(high as f64 * scale));
+            self.buf.push_str("\"} ");
+            self.buf.push_str(&cum.to_string());
+            self.buf.push('\n');
+        }
+        self.buf.push_str(name);
+        self.buf.push_str("_bucket{le=\"+Inf\"} ");
+        self.buf.push_str(&snap.count().to_string());
+        self.buf.push('\n');
+        self.buf.push_str(name);
+        self.buf.push_str("_sum ");
+        self.buf.push_str(&fmt_f64(snap.sum() as f64 * scale));
+        self.buf.push('\n');
+        self.buf.push_str(name);
+        self.buf.push_str("_count ");
+        self.buf.push_str(&snap.count().to_string());
+        self.buf.push('\n');
+    }
+
+    /// The finished exposition body.
+    pub fn finish(self) -> String {
+        self.buf
+    }
+}
+
+/// Formats an `f64` the way Prometheus text format expects: shortest
+/// round-trip representation, no exponent for typical magnitudes.
+fn fmt_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Escapes a string for inclusion in a JSON string literal or a
+/// Prometheus label value.
+pub fn escape_label(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Tests
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+
+    #[test]
+    fn small_values_are_exact() {
+        for v in 0..SUB as u64 {
+            let idx = bucket_index(v);
+            assert_eq!(bucket_low(idx), v);
+            assert_eq!(bucket_high(idx), v);
+        }
+    }
+
+    #[test]
+    fn buckets_are_contiguous_and_monotone() {
+        let mut prev_high = None;
+        for idx in 0..NUM_BUCKETS {
+            let low = bucket_low(idx);
+            let high = bucket_high(idx);
+            assert!(low <= high, "bucket {idx}");
+            if let Some(p) = prev_high {
+                assert_eq!(low, p + 1, "bucket {idx} not contiguous");
+            }
+            assert_eq!(bucket_index(low), idx);
+            assert_eq!(bucket_index(high), idx);
+            if idx + 1 == NUM_BUCKETS {
+                assert_eq!(high, u64::MAX);
+                break;
+            }
+            prev_high = Some(high);
+        }
+    }
+
+    #[test]
+    fn relative_bucket_width_is_bounded() {
+        for idx in SUB..NUM_BUCKETS {
+            let low = bucket_low(idx) as f64;
+            let width = (bucket_high(idx) - bucket_low(idx)) as f64 + 1.0;
+            assert!(
+                width / low <= 1.0 / 32.0 + 1e-12,
+                "bucket {idx}: width {width} low {low}"
+            );
+        }
+    }
+
+    fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    #[test]
+    fn quantiles_match_exact_references_within_bound() {
+        let mut samples: Vec<u64> = (0..4000u64)
+            .map(|i| (i.wrapping_mul(2654435761) % 1_000_000) + 1)
+            .collect();
+        let h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        samples.sort_unstable();
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), samples.len() as u64);
+        for q in [0.0, 0.01, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let exact = exact_quantile(&samples, q);
+            let est = snap.quantile(q);
+            assert!(est >= exact, "q={q}: est {est} < exact {exact}");
+            assert!(
+                est <= exact + exact / 32 + 1,
+                "q={q}: est {est} too far above exact {exact}"
+            );
+        }
+        assert_eq!(snap.max(), *samples.last().unwrap());
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        let mk = |seed: u64, n: u64| {
+            let h = Histogram::new();
+            for i in 0..n {
+                h.record((i.wrapping_mul(seed) % 100_000) + 1);
+            }
+            h.snapshot()
+        };
+        let (a, b, c) = (mk(7, 500), mk(13, 300), mk(31, 800));
+        let mut ab_c = a.clone();
+        ab_c.merge(&b);
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        assert_eq!(ab_c, a_bc);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        assert_eq!(ab, ba);
+        let mut via_empty = HistogramSnapshot::empty();
+        via_empty.merge(&a);
+        assert_eq!(via_empty, a);
+    }
+
+    #[test]
+    fn since_subtracts_an_earlier_snapshot() {
+        let h = Histogram::new();
+        h.record(10);
+        h.record(100);
+        let first = h.snapshot();
+        h.record(1000);
+        h.record(10);
+        let second = h.snapshot();
+        let delta = second.since(&first);
+        assert_eq!(delta.count(), 2);
+        assert_eq!(delta.sum(), 1010);
+    }
+
+    #[test]
+    fn concurrent_record_and_snapshot_stay_self_consistent() {
+        let h = Arc::new(Histogram::new());
+        let stop = Arc::new(AtomicBool::new(false));
+        let writers: Vec<_> = (0..4)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut i = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        h.record((i % 10_000) * (t + 1) + 1);
+                        i += 1;
+                    }
+                    i
+                })
+            })
+            .collect();
+        for _ in 0..200 {
+            let snap = h.snapshot();
+            // count is derived from the buckets, so it always equals their sum
+            assert_eq!(
+                snap.count(),
+                snap.cumulative_buckets().last().map_or(0, |&(_, c)| c)
+            );
+        }
+        stop.store(true, Ordering::Relaxed);
+        let total: u64 = writers.into_iter().map(|w| w.join().unwrap()).sum();
+        assert_eq!(h.snapshot().count(), total);
+    }
+
+    #[test]
+    fn spans_record_into_stage_histograms_and_ring() {
+        let t = Telemetry::new(TelemetryConfig::spans().with_trace_capacity(4));
+        for i in 0..6u64 {
+            let _span = t.span(Stage::MatchVerify).with_request(i);
+        }
+        {
+            let _named = Span::enter(&t, "service.submit");
+        }
+        assert_eq!(t.stage_snapshot(Stage::MatchVerify).count(), 6);
+        assert_eq!(t.stage_snapshot(Stage::ServiceSubmit).count(), 1);
+        let ring = t.trace_dump();
+        assert_eq!(ring.len(), 4, "ring is bounded");
+        assert_eq!(ring.last().unwrap().stage, Stage::ServiceSubmit);
+        // ring kept the newest events: requests 3, 4, 5 then the submit
+        assert_eq!(ring[0].request, 3);
+    }
+
+    #[test]
+    fn disabled_levels_record_nothing() {
+        for cfg in [TelemetryConfig::off(), TelemetryConfig::counters()] {
+            let t = Telemetry::new(cfg);
+            {
+                let _s = t.span(Stage::ServiceSubmit);
+            }
+            t.record_stage(Stage::ServiceSubmit, 42);
+            assert_eq!(t.stage_snapshot(Stage::ServiceSubmit).count(), 0);
+            assert!(t.trace_dump().is_empty());
+        }
+    }
+
+    #[test]
+    fn registry_returns_stable_handles() {
+        let t = Telemetry::new(TelemetryConfig::counters());
+        let a = t.counter("events_cursor_missed_total");
+        let b = t.counter("events_cursor_missed_total");
+        a.add(3);
+        b.inc();
+        assert_eq!(a.get(), 4);
+        let g = t.gauge("journal_fsync_failed");
+        g.set(1.0);
+        assert_eq!(
+            t.counter_values(),
+            vec![("events_cursor_missed_total".into(), 4)]
+        );
+        assert_eq!(t.gauge_values(), vec![("journal_fsync_failed".into(), 1.0)]);
+    }
+
+    #[test]
+    fn stage_names_round_trip() {
+        for stage in Stage::ALL {
+            assert_eq!(Stage::by_name(stage.name()), Some(stage));
+        }
+        assert_eq!(Stage::by_name("nope"), None);
+    }
+
+    #[test]
+    fn stage_clock_accumulates_only_when_enabled() {
+        let spans = Telemetry::new(TelemetryConfig::spans());
+        let clock = StageClock::new(Some(&spans));
+        let mut acc = 0u64;
+        clock.time(&mut acc, || {
+            std::thread::sleep(std::time::Duration::from_millis(1))
+        });
+        assert!(acc >= 1_000_000, "timed at least the sleep: {acc}");
+        let off = Telemetry::disabled();
+        let clock = StageClock::new(Some(&off));
+        let mut acc = 0u64;
+        clock.time(&mut acc, || ());
+        assert_eq!(acc, 0);
+        assert!(!StageClock::new(None).enabled());
+    }
+
+    #[test]
+    fn seq_snapshot_reads_are_never_torn() {
+        const N: usize = 8;
+        let cell = Arc::new(SeqSnapshot::<N>::new());
+        let stop = Arc::new(AtomicBool::new(false));
+        let writer = {
+            let cell = Arc::clone(&cell);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut v = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    // every word carries the same value — a torn read would
+                    // surface as a mixed array
+                    cell.publish(&[v; N]);
+                    v += 1;
+                }
+                v
+            })
+        };
+        let readers: Vec<_> = (0..3)
+            .map(|_| {
+                let cell = Arc::clone(&cell);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut last = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        let words = cell.read();
+                        assert!(words.iter().all(|&w| w == words[0]), "torn read: {words:?}");
+                        assert!(words[0] >= last, "snapshot went backwards");
+                        last = words[0];
+                    }
+                })
+            })
+            .collect();
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        stop.store(true, Ordering::Relaxed);
+        writer.join().unwrap();
+        for r in readers {
+            r.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn prometheus_exposition_golden_format() {
+        let h = Histogram::new();
+        for v in [5u64, 5, 17, 40] {
+            h.record(v);
+        }
+        let mut w = PromWriter::new();
+        w.counter("ptrider_requests_submitted_total", "Requests submitted.", 4);
+        w.gauge("ptrider_oracle_hit_rate", "Cache hit rate.", 0.75);
+        w.gauge_family("ptrider_oracle_backend_fallback", "Backend fell back.");
+        w.gauge_sample(
+            "ptrider_oracle_backend_fallback",
+            "reason=\"ch unavailable\"",
+            1.0,
+        );
+        w.histogram(
+            "ptrider_stage_duration_seconds_service_submit",
+            "Submit latency.",
+            &h.snapshot(),
+            1.0,
+        );
+        let got = w.finish();
+        let want = "\
+# HELP ptrider_requests_submitted_total Requests submitted.
+# TYPE ptrider_requests_submitted_total counter
+ptrider_requests_submitted_total 4
+# HELP ptrider_oracle_hit_rate Cache hit rate.
+# TYPE ptrider_oracle_hit_rate gauge
+ptrider_oracle_hit_rate 0.75
+# HELP ptrider_oracle_backend_fallback Backend fell back.
+# TYPE ptrider_oracle_backend_fallback gauge
+ptrider_oracle_backend_fallback{reason=\"ch unavailable\"} 1
+# HELP ptrider_stage_duration_seconds_service_submit Submit latency.
+# TYPE ptrider_stage_duration_seconds_service_submit histogram
+ptrider_stage_duration_seconds_service_submit_bucket{le=\"5\"} 2
+ptrider_stage_duration_seconds_service_submit_bucket{le=\"17\"} 3
+ptrider_stage_duration_seconds_service_submit_bucket{le=\"40\"} 4
+ptrider_stage_duration_seconds_service_submit_bucket{le=\"+Inf\"} 4
+ptrider_stage_duration_seconds_service_submit_sum 67
+ptrider_stage_duration_seconds_service_submit_count 4
+";
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn level_parsing() {
+        assert_eq!(TelemetryLevel::parse("off"), TelemetryLevel::Off);
+        assert_eq!(TelemetryLevel::parse("OFF"), TelemetryLevel::Off);
+        assert_eq!(TelemetryLevel::parse("spans"), TelemetryLevel::Spans);
+        assert_eq!(TelemetryLevel::parse("counters"), TelemetryLevel::Counters);
+        assert_eq!(TelemetryLevel::parse("bogus"), TelemetryLevel::Counters);
+        assert_eq!(TelemetryLevel::Spans.to_string(), "spans");
+    }
+
+    #[test]
+    fn escape_label_escapes() {
+        assert_eq!(escape_label("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

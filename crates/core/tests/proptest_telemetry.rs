@@ -1,0 +1,146 @@
+//! Property tests for the telemetry histogram math: quantile estimates
+//! stay within the log-linear bucketing's documented error bound against
+//! exact sorted-sample references, snapshot merging is associative and
+//! commutative, `since` inverts `merge`, and concurrent recording never
+//! tears a snapshot.
+
+use proptest::prelude::*;
+use ptrider_core::{Histogram, HistogramSnapshot};
+use std::sync::Arc;
+
+/// Builds a snapshot from a slice of samples.
+fn snap(values: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+/// Exact `q`-quantile of a sample set under the histogram's rank
+/// convention: the sample at rank `ceil(q * n)` (1-indexed, clamped).
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len() as u64;
+    let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+    sorted[(rank - 1) as usize]
+}
+
+/// Samples spanning many orders of magnitude: `mantissa << shift` covers
+/// every bucket scale, which uniform draws over `u64` would not. Shifts
+/// stop at 40 so the sum of three merged sets stays exactly representable.
+fn samples() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec((0u64..4096, 0u32..41).prop_map(|(m, s)| m << s), 1..200)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// For every quantile the estimate `e` and exact reference `x`
+    /// satisfy `x <= e <= x + x/32` — the bound documented on
+    /// [`HistogramSnapshot::quantile`] (exact below 32, where buckets
+    /// are unit-width).
+    #[test]
+    fn quantile_within_bucket_error(values in samples(), q in 0.0f64..1.0) {
+        let snapshot = snap(&values);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for q in [q, 0.5, 0.9, 0.99, 1.0] {
+            let exact = exact_quantile(&sorted, q);
+            let est = snapshot.quantile(q);
+            prop_assert!(est >= exact, "q={q}: estimate {est} < exact {exact}");
+            prop_assert!(
+                est - exact <= exact / 32,
+                "q={q}: estimate {est} exceeds exact {exact} by more than 1/32"
+            );
+        }
+        prop_assert_eq!(snapshot.quantile(1.0), *sorted.last().unwrap());
+        prop_assert_eq!(snapshot.count(), values.len() as u64);
+        prop_assert_eq!(snapshot.sum(), values.iter().sum::<u64>());
+    }
+
+    /// Merging is associative and commutative, with `empty` as identity —
+    /// shard histograms can be combined in any order.
+    #[test]
+    fn merge_is_associative_and_commutative(
+        a in samples(),
+        b in samples(),
+        c in samples(),
+    ) {
+        let (sa, sb, sc) = (snap(&a), snap(&b), snap(&c));
+
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+
+        let mut right_inner = sb.clone();
+        right_inner.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&right_inner);
+        prop_assert_eq!(&left, &right);
+
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        prop_assert_eq!(&ab, &ba);
+
+        let mut with_identity = sa.clone();
+        with_identity.merge(&HistogramSnapshot::empty());
+        prop_assert_eq!(&with_identity, &sa);
+
+        // Merging snapshots equals recording everything into one
+        // histogram (buckets, count, sum and max all line up).
+        let all: Vec<u64> = a.iter().chain(&b).chain(&c).copied().collect();
+        prop_assert_eq!(&left, &snap(&all));
+    }
+
+    /// `later.since(earlier)` recovers the delta that was merged in —
+    /// the windowed-rate subtraction the simulator's per-interval
+    /// reports rely on.
+    #[test]
+    fn since_inverts_merge(a in samples(), b in samples()) {
+        let (sa, sb) = (snap(&a), snap(&b));
+        let mut later = sa.clone();
+        later.merge(&sb);
+        let delta = later.since(&sa);
+        prop_assert_eq!(delta.count(), sb.count());
+        prop_assert_eq!(delta.sum(), sb.sum());
+        prop_assert_eq!(delta.cumulative_buckets(), sb.cumulative_buckets());
+    }
+}
+
+/// Snapshots taken while writers race must never tear: the count always
+/// equals the bucket total (enforced by derivation), never decreases,
+/// and the final snapshot is exact.
+#[test]
+fn concurrent_record_and_snapshot() {
+    const THREADS: u64 = 4;
+    const PER_THREAD: u64 = 20_000;
+    let hist = Arc::new(Histogram::new());
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let hist = Arc::clone(&hist);
+            scope.spawn(move || {
+                for i in 0..PER_THREAD {
+                    // Mix of scales, deterministic per thread.
+                    hist.record((i % 97) << (t * 4));
+                }
+            });
+        }
+        let mut last_count = 0u64;
+        for _ in 0..500 {
+            let s = hist.snapshot();
+            assert!(s.count() >= last_count, "snapshot count went backwards");
+            assert!(s.count() <= THREADS * PER_THREAD);
+            assert!(s.quantile(0.99) <= s.max().max(96 << ((THREADS - 1) * 4)));
+            last_count = s.count();
+        }
+    });
+    let s = hist.snapshot();
+    assert_eq!(s.count(), THREADS * PER_THREAD);
+    let expected_sum: u64 = (0..THREADS)
+        .map(|t| (0..PER_THREAD).map(|i| (i % 97) << (t * 4)).sum::<u64>())
+        .sum();
+    assert_eq!(s.sum(), expected_sum);
+    assert_eq!(s.max(), 96 << ((THREADS - 1) * 4));
+}

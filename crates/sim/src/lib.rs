@@ -25,5 +25,5 @@ pub mod report;
 pub mod simulator;
 
 pub use choice::ChoicePolicy;
-pub use report::{RequestOutcome, SimulationReport};
+pub use report::{LatencySummary, RequestOutcome, SimulationReport};
 pub use simulator::{SimConfig, Simulator, TrafficSimConfig};

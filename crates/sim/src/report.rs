@@ -2,9 +2,43 @@
 //! (current time, average response time, average sharing rate) plus the
 //! per-request outcomes needed by the experiment harness.
 
-use ptrider_core::{EngineStats, RequestId};
+use ptrider_core::{EngineStats, HistogramSnapshot, RequestId};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+
+/// Submit-latency percentile summary, pulled from the engine's telemetry
+/// histograms (all values in milliseconds). Present in a report only when
+/// the engine runs at the `Spans` telemetry level.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Requests the summary covers.
+    pub count: u64,
+    /// Mean latency in milliseconds.
+    pub mean_ms: f64,
+    /// Median latency in milliseconds.
+    pub p50_ms: f64,
+    /// 90th-percentile latency in milliseconds.
+    pub p90_ms: f64,
+    /// 99th-percentile latency in milliseconds.
+    pub p99_ms: f64,
+    /// Maximum latency in milliseconds.
+    pub max_ms: f64,
+}
+
+impl LatencySummary {
+    /// Summarises a nanosecond-valued latency histogram snapshot.
+    pub fn from_snapshot(snap: &HistogramSnapshot) -> LatencySummary {
+        let ms = |ns: u64| ns as f64 * 1e-6;
+        LatencySummary {
+            count: snap.count(),
+            mean_ms: snap.mean() * 1e-6,
+            p50_ms: ms(snap.quantile(0.5)),
+            p90_ms: ms(snap.quantile(0.9)),
+            p99_ms: ms(snap.quantile(0.99)),
+            max_ms: ms(snap.max()),
+        }
+    }
+}
 
 /// Lifecycle record of one simulated request.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -89,6 +123,11 @@ pub struct SimulationReport {
     pub fleet_distance_m: f64,
     /// Engine-level statistics (matcher work counters etc.).
     pub engine: EngineStats,
+    /// Wall-clock submit latency percentiles from the engine's telemetry
+    /// (`None` unless the engine runs at the `Spans` level). In an
+    /// interval-report series this covers only the requests of the
+    /// interval (a delta snapshot); in a final report, the whole run.
+    pub submit_latency: Option<LatencySummary>,
 }
 
 impl SimulationReport {
@@ -147,7 +186,15 @@ impl SimulationReport {
             },
             fleet_distance_m,
             engine,
+            submit_latency: None,
         }
+    }
+
+    /// Attaches a submit-latency summary (builder style; used by the
+    /// simulator when the engine's telemetry runs at the `Spans` level).
+    pub fn with_submit_latency(mut self, latency: LatencySummary) -> Self {
+        self.submit_latency = Some(latency);
+        self
     }
 
     /// Renders the full report as a JSON object (hand-rendered: the build
@@ -155,7 +202,7 @@ impl SimulationReport {
     /// escaping is needed).
     pub fn to_json(&self) -> String {
         let w = &self.engine.match_work;
-        format!(
+        let mut json = format!(
             "{{\n  \"simulated_secs\": {},\n  \"requests\": {},\n  \"answered\": {},\n  \
              \"assigned\": {},\n  \"completed\": {},\n  \"shared_trips\": {},\n  \
              \"avg_options\": {},\n  \"avg_response_ms\": {},\n  \"avg_waiting_secs\": {},\n  \
@@ -197,12 +244,28 @@ impl SimulationReport {
             w.cells_visited,
             w.exact_distance_computations,
             w.candidates_generated,
-        )
+        );
+        match &self.submit_latency {
+            Some(l) => {
+                let closing = json
+                    .rfind('}')
+                    .expect("the rendered report always ends with a brace");
+                json.truncate(closing);
+                json.push_str(&format!(
+                    ",\n  \"submit_latency\": {{\n    \"count\": {},\n    \"mean_ms\": {},\n    \
+                     \"p50_ms\": {},\n    \"p90_ms\": {},\n    \"p99_ms\": {},\n    \
+                     \"max_ms\": {}\n  }}\n}}",
+                    l.count, l.mean_ms, l.p50_ms, l.p90_ms, l.p99_ms, l.max_ms
+                ));
+                json
+            }
+            None => json,
+        }
     }
 
     /// One-line human-readable summary (used by the example binaries).
     pub fn summary(&self) -> String {
-        format!(
+        let mut line = format!(
             "t={:.0}s requests={} answered={:.1}% assigned={} completed={} \
              avg_options={:.2} avg_response={:.2}ms avg_wait={:.0}s sharing_rate={:.1}%",
             self.simulated_secs,
@@ -214,7 +277,14 @@ impl SimulationReport {
             self.avg_response_ms,
             self.avg_waiting_secs,
             self.sharing_rate * 100.0
-        )
+        );
+        if let Some(l) = &self.submit_latency {
+            line.push_str(&format!(
+                " submit_p50={:.2}ms submit_p99={:.2}ms",
+                l.p50_ms, l.p99_ms
+            ));
+        }
+        line
     }
 }
 

@@ -16,7 +16,7 @@
 
 use crate::choice::ChoicePolicy;
 use crate::motion::Motion;
-use crate::report::{RequestOutcome, SimulationReport};
+use crate::report::{LatencySummary, RequestOutcome, SimulationReport};
 use ptrider_core::{
     Decision, EngineConfig, GridConfig, Journal, JournalConfig, JournalError, MatcherKind,
     OptionId, PtRider, RideService, StopKind, TrafficModel,
@@ -276,26 +276,52 @@ impl Simulator {
         interval_secs: f64,
     ) -> (SimulationReport, Vec<(f64, SimulationReport)>) {
         assert!(interval_secs > 0.0, "interval must be positive");
+        let telemetry = self.service.telemetry();
+        let spans = telemetry.spans_enabled();
+        // Interval reports carry *delta* submit-latency summaries: the
+        // percentiles of just the requests submitted since the previous
+        // report, via `HistogramSnapshot::since`.
+        let mut last_submit =
+            spans.then(|| telemetry.stage_snapshot(ptrider_core::Stage::ServiceSubmit));
         let mut series = Vec::new();
         let mut next = self.clock + interval_secs;
         while self.clock < self.config.end_secs {
             self.step();
             if self.clock >= next {
-                series.push((self.clock, self.report()));
+                let mut report = self.report();
+                if let Some(prev) = &last_submit {
+                    let now = self
+                        .service
+                        .telemetry()
+                        .stage_snapshot(ptrider_core::Stage::ServiceSubmit);
+                    report =
+                        report.with_submit_latency(LatencySummary::from_snapshot(&now.since(prev)));
+                    last_submit = Some(now);
+                }
+                series.push((self.clock, report));
                 next += interval_secs;
             }
         }
         (self.report(), series)
     }
 
-    /// Builds the report for the current state.
+    /// Builds the report for the current state. When the engine's
+    /// telemetry runs at the `Spans` level, the report carries the
+    /// run-cumulative submit-latency percentiles.
     pub fn report(&self) -> SimulationReport {
-        SimulationReport::from_outcomes(
+        let report = SimulationReport::from_outcomes(
             self.clock - self.config.start_secs,
             &self.outcomes,
             self.fleet_distance,
             self.service.stats(),
-        )
+        );
+        let telemetry = self.service.telemetry();
+        if telemetry.spans_enabled() {
+            let snap = telemetry.stage_snapshot(ptrider_core::Stage::ServiceSubmit);
+            report.with_submit_latency(LatencySummary::from_snapshot(&snap))
+        } else {
+            report
+        }
     }
 
     /// Advances the simulation by one step of `dt_secs`.

@@ -98,7 +98,21 @@ fn main() {
         report.engine.match_work.vehicles_pruned,
         report.engine.match_work.exact_distance_computations
     );
+    if let Some(l) = &report.submit_latency {
+        println!(
+            "submit latency            : p50 {:.3} ms / p90 {:.3} ms / p99 {:.3} ms / max {:.3} ms",
+            l.p50_ms, l.p90_ms, l.p99_ms, l.max_ms
+        );
+    }
 
     println!("\nfull report (JSON):");
     println!("{}", report.to_json());
+
+    // The live metrics exposition the engine would serve on a /metrics
+    // endpoint (set PTRIDER_TELEMETRY=spans for the per-stage histograms).
+    println!(
+        "\ntelemetry level {} — metrics exposition:",
+        sim.service().telemetry().level()
+    );
+    println!("{}", sim.service().metrics_text());
 }

@@ -82,6 +82,10 @@ pub use ptrider_core::{
     RideService, RoadNetwork, ServiceConfig, ServiceError, SessionId, SessionState, Skyline, Speed,
     Stop, StopKind, TrafficEdge, TrafficModel, TrafficUpdateOutcome, Vehicle, VehicleId, VertexId,
 };
+pub use ptrider_core::{
+    Histogram, HistogramSnapshot, Span, Stage, Telemetry, TelemetryConfig, TelemetryLevel,
+    TraceEvent,
+};
 pub use ptrider_roadnet::fault;
 pub use ptrider_roadnet::{CchTopology, ContractionHierarchy};
 pub use ptrider_sim::{ChoicePolicy, SimConfig, SimulationReport, Simulator, TrafficSimConfig};
