@@ -786,10 +786,146 @@ fn measure_journal() -> JournalNumbers {
     }
 }
 
+/// One measured point of the E16 preprocessing scaling sweep.
+struct SweepRow {
+    side: usize,
+    vertices: usize,
+    ch_build_secs_seq: f64,
+    ch_build_secs_par: f64,
+    ch_shortcuts: usize,
+    query_us: f64,
+    cch: Option<SweepCch>,
+}
+
+/// CCH columns of a sweep row; absent above [`SWEEP_CCH_MAX_VERTICES`]
+/// (the witness-free triangle table grows super-linearly and dominates the
+/// whole report's runtime long before the CH builder does).
+struct SweepCch {
+    topology_secs: f64,
+    triangles: usize,
+    levels: usize,
+    customize_secs_seq: f64,
+    customize_secs_par: f64,
+    separator_max: usize,
+    separator_total: usize,
+    boundary_vertices: usize,
+}
+
+/// Worker count for the sweep's explicit parallel measurements (the env
+/// default resolves to 1 on a single-CPU container, which would silently
+/// measure the sequential path twice).
+const SWEEP_PAR_THREADS: usize = 4;
+/// CCH topology/customization cap for the sweep (see [`SweepCch`]).
+const SWEEP_CCH_MAX_VERTICES: usize = 45_000;
+
+fn measure_preprocess_sweep(max_vertices: usize) -> Vec<SweepRow> {
+    let config = ptrider_roadnet::ChConfig::default();
+    let mut rows = Vec::new();
+    for side in [100usize, 120, 160, 200, 316, 448] {
+        if side * side > max_vertices {
+            continue;
+        }
+        let city = ptrider_datagen::synthetic_city(&ptrider_datagen::CityConfig {
+            cols: side,
+            rows: side,
+            seed: 0xe16,
+            ..ptrider_datagen::CityConfig::default()
+        });
+        let vertices = city.num_vertices();
+        eprintln!("[perf_report] e16 sweep: {side}x{side} ({vertices} vertices) ...");
+
+        let t = Instant::now();
+        let seq = ContractionHierarchy::build_with_threads(&city, &config, 1)
+            .expect("sweep city must contract");
+        let ch_build_secs_seq = t.elapsed().as_secs_f64();
+        let t = Instant::now();
+        let par = ContractionHierarchy::build_with_threads(&city, &config, SWEEP_PAR_THREADS)
+            .expect("sweep city must contract in parallel");
+        let ch_build_secs_par = t.elapsed().as_secs_f64();
+
+        let mut rng = ChaCha8Rng::seed_from_u64(side as u64 ^ 0xe16);
+        let n = vertices as u32;
+        let pairs: Vec<(VertexId, VertexId)> = (0..200)
+            .map(|_| (VertexId(rng.gen_range(0..n)), VertexId(rng.gen_range(0..n))))
+            .collect();
+        let t = Instant::now();
+        for &(u, v) in &pairs {
+            std::hint::black_box(seq.distance(u, v));
+        }
+        let query_us = t.elapsed().as_secs_f64() * 1e6 / pairs.len() as f64;
+        // Bit-identity spot check: the parallel build must answer exactly
+        // what the sequential build answers.
+        for &(u, v) in pairs.iter().take(32) {
+            let (a, b) = (seq.distance(u, v), par.distance(u, v));
+            assert!(
+                a.to_bits() == b.to_bits() || (a.is_infinite() && b.is_infinite()),
+                "e16 sweep: parallel CH diverged at side {side}: {u}->{v} {a} vs {b}"
+            );
+        }
+
+        let cch = if vertices <= SWEEP_CCH_MAX_VERTICES {
+            let t = Instant::now();
+            let topo = CchTopology::build(&city).expect("sweep city must repair");
+            let topology_secs = t.elapsed().as_secs_f64();
+            let profile = CongestionProfile::build(&city, CongestionConfig::default());
+            let model = profile.model_at(&city, 8.0 * 3600.0);
+            let scaled = model.scaled_weights(&city);
+            let t = Instant::now();
+            let one = topo.customize_with_threads(&scaled, 1);
+            let customize_secs_seq = t.elapsed().as_secs_f64();
+            let t = Instant::now();
+            let four = topo.customize_with_threads(&scaled, SWEEP_PAR_THREADS);
+            let customize_secs_par = t.elapsed().as_secs_f64();
+            for &(u, v) in pairs.iter().take(32) {
+                let (a, b) = (one.distance(u, v), four.distance(u, v));
+                assert!(
+                    a.to_bits() == b.to_bits() || (a.is_infinite() && b.is_infinite()),
+                    "e16 sweep: parallel customize diverged at side {side}: {u}->{v} {a} vs {b}"
+                );
+            }
+            let stats = topo.separator_stats();
+            Some(SweepCch {
+                topology_secs,
+                triangles: topo.num_triangles(),
+                levels: topo.num_levels(),
+                customize_secs_seq,
+                customize_secs_par,
+                separator_max: stats.max_separator,
+                separator_total: stats.total_separator,
+                boundary_vertices: stats.boundary_vertices,
+            })
+        } else {
+            eprintln!(
+                "[perf_report] e16 sweep: skipping CCH above {SWEEP_CCH_MAX_VERTICES} vertices"
+            );
+            None
+        };
+        eprintln!(
+            "[perf_report] e16 sweep: side {side}: ch build seq {ch_build_secs_seq:.2}s / \
+             par({SWEEP_PAR_THREADS}) {ch_build_secs_par:.2}s, query {query_us:.1}us{}",
+            cch.as_ref().map_or(String::new(), |c| format!(
+                ", customize seq {:.3}s / par {:.3}s",
+                c.customize_secs_seq, c.customize_secs_par
+            ))
+        );
+        rows.push(SweepRow {
+            side,
+            vertices,
+            ch_build_secs_seq,
+            ch_build_secs_par,
+            ch_shortcuts: par.num_shortcuts(),
+            query_us,
+            cch,
+        });
+    }
+    rows
+}
+
 fn main() {
     let mut args = std::env::args().skip(1);
     let vehicles: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(800);
     let probes: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(64);
+    let sweep_max_vertices: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(210_000);
 
     let params = WorldParams {
         vehicles,
@@ -981,6 +1117,11 @@ fn main() {
         e14.recovered_bit_identical
     );
 
+    eprintln!(
+        "[perf_report] e16: preprocessing scaling sweep (cap {sweep_max_vertices} vertices) ..."
+    );
+    let sweep = measure_preprocess_sweep(sweep_max_vertices);
+
     let dual_base = dual(&baseline_e2);
     let dual_alt = dual(&alt_e2);
     let dual_ch = dual(&ch_e2);
@@ -998,13 +1139,23 @@ fn main() {
         probes,
         params.seed
     );
+    let preprocess_env = std::env::var("PTRIDER_PREPROCESS_THREADS").ok();
     let _ = writeln!(
         out,
         "  \"runtime\": {{ \"detected_cores\": {}, \"resolved_default_pool_size\": {}, \
-         \"oracle_cache_shards\": {} }},",
+         \"oracle_cache_shards\": {}, \"preprocess_threads\": {}, \
+         \"preprocess_threads_env\": {}, \"single_cpu\": {} }},",
         ptrider_core::detected_parallelism(),
         ptrider_core::MatchRuntime::from_config(0).parallelism(),
-        ptrider_roadnet::num_cache_shards()
+        ptrider_roadnet::num_cache_shards(),
+        ptrider_roadnet::preprocess_threads(),
+        preprocess_env
+            .as_deref()
+            .map_or("null".to_string(), |v| format!(
+                "\"{}\"",
+                v.replace('"', "'")
+            )),
+        ptrider_core::detected_parallelism() == 1
     );
     let _ = writeln!(out, "  \"oracle_microbench_us_per_query\": {{");
     for (label, micro, comma) in [
@@ -1264,6 +1415,58 @@ fn main() {
     let _ = writeln!(out, "    \"submit_p99_us\": {:.1},", e15.submit_p99_us);
     let _ = writeln!(out, "    \"verify_p99_us\": {:.1},", e15.verify_p99_us);
     let _ = writeln!(out, "    \"lock_wait_p99_us\": {:.1}", e15.lock_wait_p99_us);
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"e16_preprocess_sweep\": {{");
+    let _ = writeln!(
+        out,
+        "    \"par_threads\": {SWEEP_PAR_THREADS}, \"cch_max_vertices\": \
+         {SWEEP_CCH_MAX_VERTICES},"
+    );
+    // Honesty flag: on a 1-CPU container the \"parallel\" rows measure the
+    // oversubscribed parallel *code path*, not a multi-core speedup.
+    let _ = writeln!(
+        out,
+        "    \"single_cpu\": {},",
+        ptrider_core::detected_parallelism() == 1
+    );
+    let _ = writeln!(out, "    \"rows\": [");
+    for (i, row) in sweep.iter().enumerate() {
+        let comma = if i + 1 == sweep.len() { "" } else { "," };
+        let _ = write!(
+            out,
+            "      {{ \"side\": {}, \"vertices\": {}, \"ch_build_secs_seq\": {:.3}, \
+             \"ch_build_secs_par\": {:.3}, \"ch_shortcuts\": {}, \"query_us\": {:.2}, ",
+            row.side,
+            row.vertices,
+            row.ch_build_secs_seq,
+            row.ch_build_secs_par,
+            row.ch_shortcuts,
+            row.query_us
+        );
+        match &row.cch {
+            Some(c) => {
+                let _ = writeln!(
+                    out,
+                    "\"cch\": {{ \"topology_secs\": {:.3}, \"triangles\": {}, \"levels\": {}, \
+                     \"customize_secs_seq\": {:.4}, \"customize_secs_par\": {:.4}, \
+                     \"separator_max\": {}, \"separator_total\": {}, \
+                     \"boundary_vertices\": {} }} }}{comma}",
+                    c.topology_secs,
+                    c.triangles,
+                    c.levels,
+                    c.customize_secs_seq,
+                    c.customize_secs_par,
+                    c.separator_max,
+                    c.separator_total,
+                    c.boundary_vertices
+                );
+            }
+            None => {
+                let _ = writeln!(out, "\"cch\": null }}{comma}");
+            }
+        }
+    }
+    let _ = writeln!(out, "    ]");
     let _ = writeln!(out, "  }}");
     let _ = writeln!(out, "}}");
 

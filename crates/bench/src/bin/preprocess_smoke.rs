@@ -1,0 +1,116 @@
+//! CI smoke gate for parallel preprocessing: on one mid-size synthetic
+//! city, the parallel CH builder and the per-level parallel CCH
+//! customization must answer **bit-identically** to the sequential paths
+//! and to Dijkstra. Exits non-zero on any divergence, so the CI matrix
+//! (`PTRIDER_PREPROCESS_THREADS={1,4}`) fails loudly instead of shipping a
+//! hierarchy that silently drifted.
+//!
+//! Run with `cargo run --release -p ptrider-bench --bin preprocess_smoke`
+//! (optionally `-- <city_side> <sample_pairs>`; defaults 80 and 96).
+
+use ptrider_datagen::{synthetic_city, CityConfig};
+use ptrider_roadnet::{
+    ch, dijkstra, CchTopology, ChConfig, ContractionHierarchy, TrafficModel, VertexId,
+};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::time::Instant;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let side: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(80);
+    let pairs: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(96);
+    let net = synthetic_city(&CityConfig {
+        cols: side,
+        rows: side,
+        seed: 0x5310,
+        ..CityConfig::default()
+    });
+    let n = net.num_vertices() as u32;
+    eprintln!(
+        "[preprocess_smoke] city {side}x{side} ({n} vertices), env threads {}",
+        ch::preprocess_threads()
+    );
+
+    let config = ChConfig::default();
+    let t0 = Instant::now();
+    let seq = ContractionHierarchy::build_with_threads(&net, &config, 1).expect("sequential build");
+    let seq_secs = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let par = ContractionHierarchy::build_with_threads(&net, &config, 4).expect("parallel build");
+    let par_secs = t0.elapsed().as_secs_f64();
+    eprintln!(
+        "[preprocess_smoke] ch build: seq {seq_secs:.2}s ({} shortcuts), par(4) {par_secs:.2}s \
+         ({} shortcuts)",
+        seq.num_shortcuts(),
+        par.num_shortcuts()
+    );
+
+    let mut rng = ChaCha8Rng::seed_from_u64(0xeece);
+    let mut failures = 0usize;
+    for _ in 0..pairs {
+        let u = VertexId(rng.gen_range(0..n));
+        let v = VertexId(rng.gen_range(0..n));
+        let exact = dijkstra::distance(&net, u, v).unwrap_or(f64::INFINITY);
+        for (label, ch) in [("seq", &seq), ("par", &par)] {
+            let got = ch.distance(u, v);
+            if got.to_bits() != exact.to_bits() && !(got.is_infinite() && exact.is_infinite()) {
+                eprintln!("[preprocess_smoke] DIVERGED {label} {u}->{v}: {got} vs {exact}");
+                failures += 1;
+            }
+        }
+    }
+
+    let t0 = Instant::now();
+    let topo = CchTopology::build(&net).expect("cch topology");
+    eprintln!(
+        "[preprocess_smoke] cch topology {:.2}s ({} arcs, {} triangles, {} levels, separator \
+         max {} total {})",
+        t0.elapsed().as_secs_f64(),
+        topo.num_arcs(),
+        topo.num_triangles(),
+        topo.num_levels(),
+        topo.separator_stats().max_separator,
+        topo.separator_stats().total_separator,
+    );
+    let mut model = TrafficModel::free_flow(&net);
+    for v in net.vertices() {
+        for i in net.out_arc_range(v) {
+            let t = net.arc_target(i);
+            if v < t && rng.gen_bool(0.3) {
+                model.set_segment_factor(&net, v, t, rng.gen_range(1.0..4.0));
+            }
+        }
+    }
+    model.bump_version();
+    let scaled = model.scaled_weights(&net);
+    let t0 = Instant::now();
+    let one = topo.customize_with_threads(&scaled, 1);
+    let one_secs = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let four = topo.customize_with_threads(&scaled, 4);
+    let four_secs = t0.elapsed().as_secs_f64();
+    eprintln!("[preprocess_smoke] customize: seq {one_secs:.3}s, par(4) {four_secs:.3}s");
+    let metric = net.with_metric(scaled).expect("metric network");
+    for _ in 0..pairs {
+        let u = VertexId(rng.gen_range(0..n));
+        let v = VertexId(rng.gen_range(0..n));
+        let a = one.distance(u, v);
+        let b = four.distance(u, v);
+        if a.to_bits() != b.to_bits() && !(a.is_infinite() && b.is_infinite()) {
+            eprintln!("[preprocess_smoke] DIVERGED customize 1 vs 4 {u}->{v}: {a} vs {b}");
+            failures += 1;
+        }
+        let exact = dijkstra::distance(&metric, u, v).unwrap_or(f64::INFINITY);
+        if a.to_bits() != exact.to_bits() && !(a.is_infinite() && exact.is_infinite()) {
+            eprintln!("[preprocess_smoke] DIVERGED customize vs dijkstra {u}->{v}: {a} vs {exact}");
+            failures += 1;
+        }
+    }
+
+    if failures > 0 {
+        eprintln!("[preprocess_smoke] FAILED: {failures} divergent answers");
+        std::process::exit(1);
+    }
+    eprintln!("[preprocess_smoke] OK: {pairs} pairs bit-identical across all builders");
+}

@@ -40,7 +40,7 @@
 //! fsync per operation. See DESIGN.md "Fault model & durability".
 
 use crate::stats::MatchWork;
-use crate::telemetry::{Histogram, Stage, Telemetry};
+use crate::telemetry::{ShardedHistogram, Stage, Telemetry};
 use ptrider_roadnet::fault;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
@@ -213,7 +213,7 @@ struct FlushShared {
     /// Fsync-latency histogram, attached after the flusher thread is
     /// already running (the journal is built before the telemetry hub is
     /// handed over), hence the `OnceLock` rather than a constructor field.
-    fsync_hist: OnceLock<Arc<Histogram>>,
+    fsync_hist: OnceLock<Arc<ShardedHistogram>>,
 }
 
 /// The group-commit flusher: owns a cloned descriptor of the WAL and turns
@@ -380,9 +380,9 @@ pub struct Journal {
     /// Latency histograms for the append / fsync / snapshot paths, attached
     /// via [`Self::attach_telemetry`]. `None` keeps each timing site a
     /// single branch.
-    append_hist: Option<Arc<Histogram>>,
-    fsync_hist: Option<Arc<Histogram>>,
-    snapshot_hist: Option<Arc<Histogram>>,
+    append_hist: Option<Arc<ShardedHistogram>>,
+    fsync_hist: Option<Arc<ShardedHistogram>>,
+    snapshot_hist: Option<Arc<ShardedHistogram>>,
 }
 
 impl Journal {

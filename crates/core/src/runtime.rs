@@ -33,7 +33,7 @@
 //! Job panics are caught on the worker (the long-lived thread must survive),
 //! recorded, and re-raised on the caller once the batch has drained.
 
-use crate::telemetry::Histogram;
+use crate::telemetry::ShardedHistogram;
 use ptrider_roadnet::fault;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -139,7 +139,7 @@ pub struct WorkerPool {
     job_panics: AtomicU64,
     /// Optional job-latency histogram (nanoseconds per executed job),
     /// attached once by the engine when spans-level telemetry is on.
-    job_hist: OnceLock<Arc<Histogram>>,
+    job_hist: OnceLock<Arc<ShardedHistogram>>,
 }
 
 impl WorkerPool {
@@ -163,7 +163,7 @@ impl WorkerPool {
 
     /// Attaches a job-latency histogram (first attach wins). Every job —
     /// pooled or inline-fallback — records its execution time into it.
-    pub fn attach_job_histogram(&self, hist: Arc<Histogram>) {
+    pub fn attach_job_histogram(&self, hist: Arc<ShardedHistogram>) {
         let _ = self.job_hist.set(hist);
     }
 

@@ -305,6 +305,90 @@ impl std::fmt::Debug for Histogram {
     }
 }
 
+/// One histogram shard, padded to a cache line so concurrent writers on
+/// different shards never false-share bucket words.
+#[repr(align(64))]
+struct HistogramShard(Histogram);
+
+/// Hands each OS thread a stable small ordinal on first use; shards are
+/// picked by masking it, so a thread always lands on the same shard of a
+/// given [`ShardedHistogram`] and threads spread round-robin.
+static NEXT_THREAD_ORDINAL: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+thread_local! {
+    static THREAD_ORDINAL: usize = NEXT_THREAD_ORDINAL.fetch_add(1, Ordering::Relaxed);
+}
+
+/// A [`Histogram`] sharded per core: recording lands on a per-thread shard
+/// (cache-line padded, picked by a stable thread ordinal masked to the
+/// shard count), so concurrent recorders on different threads never
+/// contend on the same bucket cache lines. Snapshots merge the shards with
+/// [`HistogramSnapshot::merge`] — associative and commutative
+/// (property-tested), so the merged snapshot is exactly what one unsharded
+/// histogram would have recorded.
+pub struct ShardedHistogram {
+    /// Always a power of two so shard picking is a mask, not a division.
+    shards: Vec<HistogramShard>,
+}
+
+impl ShardedHistogram {
+    /// A histogram with one shard per detected core, clamped to
+    /// `[1, 16]` and rounded up to a power of two.
+    pub fn new() -> ShardedHistogram {
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        ShardedHistogram::with_shards(cores.min(16))
+    }
+
+    /// A histogram with an explicit shard count (rounded up to a power of
+    /// two, minimum 1). `with_shards(1)` is an unsharded histogram behind
+    /// the same interface.
+    pub fn with_shards(shards: usize) -> ShardedHistogram {
+        let n = shards.max(1).next_power_of_two();
+        let mut v = Vec::with_capacity(n);
+        v.resize_with(n, || HistogramShard(Histogram::new()));
+        ShardedHistogram { shards: v }
+    }
+
+    /// The shard count (a power of two).
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Records one sample into the calling thread's shard.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        let ordinal = THREAD_ORDINAL.with(|o| *o);
+        self.shards[ordinal & (self.shards.len() - 1)].0.record(v);
+    }
+
+    /// A merged point-in-time copy across every shard. While writers race
+    /// the snapshot stays self-consistent per shard (`count == Σ buckets`),
+    /// and merging preserves that invariant.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut out = HistogramSnapshot::empty();
+        for shard in &self.shards {
+            out.merge(&shard.0.snapshot());
+        }
+        out
+    }
+}
+
+impl Default for ShardedHistogram {
+    fn default() -> Self {
+        ShardedHistogram::new()
+    }
+}
+
+impl std::fmt::Debug for ShardedHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let snap = self.snapshot();
+        f.debug_struct("ShardedHistogram")
+            .field("shards", &self.shards.len())
+            .field("count", &snap.count)
+            .field("max", &snap.max)
+            .finish()
+    }
+}
+
 /// A point-in-time copy of a [`Histogram`].
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct HistogramSnapshot {
@@ -600,7 +684,7 @@ impl TraceRing {
 pub struct Telemetry {
     config: TelemetryConfig,
     origin: Instant,
-    stages: Vec<Arc<Histogram>>,
+    stages: Vec<Arc<ShardedHistogram>>,
     ring: Option<TraceRing>,
     counters: Mutex<Vec<(String, Arc<Counter>)>>,
     gauges: Mutex<Vec<(String, Arc<Gauge>)>>,
@@ -611,7 +695,7 @@ impl Telemetry {
     pub fn new(config: TelemetryConfig) -> Telemetry {
         let stages = Stage::ALL
             .iter()
-            .map(|_| Arc::new(Histogram::new()))
+            .map(|_| Arc::new(ShardedHistogram::new()))
             .collect();
         let ring =
             (config.level == TelemetryLevel::Spans && config.trace_capacity > 0).then(|| {
@@ -701,8 +785,8 @@ impl Telemetry {
     /// The stage's histogram handle (always live; it simply stays empty
     /// when spans are disabled). Layers that cannot call back into
     /// `Telemetry` (the journal's flusher thread) hold this `Arc` and
-    /// record directly.
-    pub fn stage_histogram(&self, stage: Stage) -> Arc<Histogram> {
+    /// record directly; recording lands on the calling thread's shard.
+    pub fn stage_histogram(&self, stage: Stage) -> Arc<ShardedHistogram> {
         Arc::clone(&self.stages[stage as usize])
     }
 
@@ -1128,6 +1212,77 @@ mod tests {
         let mut via_empty = HistogramSnapshot::empty();
         via_empty.merge(&a);
         assert_eq!(via_empty, a);
+    }
+
+    #[test]
+    fn sharded_histogram_merges_to_the_unsharded_reference() {
+        let sharded = ShardedHistogram::with_shards(8);
+        assert_eq!(sharded.num_shards(), 8);
+        let reference = Histogram::new();
+        let samples: Vec<u64> = (0..5000u64)
+            .map(|i| (i.wrapping_mul(2654435761) % 750_000) + 1)
+            .collect();
+        for &s in &samples {
+            reference.record(s);
+        }
+        // Record the same samples from several threads: whatever shard each
+        // thread lands on, the merged snapshot must equal the unsharded one
+        // (merge is associative/commutative, so shard order cannot matter).
+        std::thread::scope(|scope| {
+            for chunk in samples.chunks(samples.len().div_ceil(4)) {
+                let sharded = &sharded;
+                scope.spawn(move || {
+                    for &s in chunk {
+                        sharded.record(s);
+                    }
+                });
+            }
+        });
+        assert_eq!(sharded.snapshot(), reference.snapshot());
+    }
+
+    #[test]
+    fn sharded_histogram_shard_counts_round_to_powers_of_two() {
+        for (ask, got) in [(0, 1), (1, 1), (3, 4), (8, 8), (9, 16)] {
+            assert_eq!(ShardedHistogram::with_shards(ask).num_shards(), got);
+        }
+        let h = ShardedHistogram::with_shards(1);
+        h.record(7);
+        h.record(7000);
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 2);
+        assert_eq!(snap.sum(), 7007);
+        assert_eq!(snap.max(), 7000);
+    }
+
+    #[test]
+    fn concurrent_sharded_record_and_snapshot_stay_self_consistent() {
+        let h = Arc::new(ShardedHistogram::with_shards(4));
+        let stop = Arc::new(AtomicBool::new(false));
+        let writers: Vec<_> = (0..4)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut i = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        h.record((i % 10_000) * (t + 1) + 1);
+                        i += 1;
+                    }
+                    i
+                })
+            })
+            .collect();
+        for _ in 0..200 {
+            let snap = h.snapshot();
+            assert_eq!(
+                snap.count(),
+                snap.cumulative_buckets().last().map_or(0, |&(_, c)| c)
+            );
+        }
+        stop.store(true, Ordering::Relaxed);
+        let total: u64 = writers.into_iter().map(|w| w.join().unwrap()).sum();
+        assert_eq!(h.snapshot().count(), total);
     }
 
     #[test]

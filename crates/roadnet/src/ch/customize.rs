@@ -54,10 +54,40 @@
 //! would blow past the shortcut budget, [`CchTopology::build`] fails
 //! cleanly and the caller (the [`crate::DistanceOracle`]) serves traffic
 //! epochs through the ALT backend instead.
+//!
+//! # Level-parallel customization
+//!
+//! The per-epoch pass parallelises along the **elimination tree**: vertex
+//! levels satisfy `level[x] >= level[r] + 1` for every skeleton arc
+//! `r — x` (`x` ranked higher), and a triangle inherits its middle's
+//! level. Two facts make a level a synchronisation-free unit of work:
+//! every arc a level-`L` triangle *reads* was last written at a level
+//! `< L` (a side arc `m — u` is only written by triangles whose middle has
+//! an arc to `m`, hence sits strictly below `m`), and every arc it
+//! *writes* is only read at a level `> L` (the target `u — x` serves as a
+//! side arc only for the middle `min(u, x)`, which sits strictly above
+//! `m`). Within one level, two triangles can still share a *target* arc,
+//! so the triangle arrays are sorted by `(level, target, middle)` and
+//! chunk boundaries snap to target runs — each target arc then belongs to
+//! exactly one worker per level, and levels are separated by thread joins.
+//!
+//! An equal-weight tie-break (keep the smallest middle rank among minimum
+//! achievers; never displace "no middle") makes the fold independent of
+//! processing order, so every thread count — including the plain
+//! single-pass sequential path — produces the bit-identical hierarchy.
+//! Triangles live in structure-of-arrays layout (four parallel `u32`
+//! columns instead of a 16-byte struct) so the relaxation streams four
+//! tight arrays instead of striding over padded records.
 
 use super::{ChBuildError, ContractionHierarchy, SearchGraph, NO_MIDDLE};
 use crate::graph::RoadNetwork;
 use crate::types::VertexId;
+
+/// Levels whose triangle count falls below this bound are relaxed inline
+/// rather than fanned out: the spawn/join cost of a scoped round trip
+/// dwarfs the work itself for tiny levels (the deep, narrow tail of the
+/// elimination tree).
+const PAR_LEVEL_MIN_TRIANGLES: usize = 512;
 
 /// Default shortcut budget for witness-free re-contraction, as a multiple
 /// of the original directed-arc count. Looser than
@@ -67,7 +97,8 @@ use crate::types::VertexId;
 pub const CCH_MAX_SHORTCUT_FACTOR: f64 = 16.0;
 
 /// One lower triangle: relaxing `in_arc + out_arc` may improve `target`,
-/// with `middle` (internal id) as the bypassed vertex.
+/// with `middle` (internal id) as the bypassed vertex. Assembly-time only;
+/// the topology stores triangles as structure-of-arrays columns.
 #[derive(Clone, Copy, Debug)]
 struct Triangle {
     /// Arc `u → middle` (global arc id).
@@ -78,6 +109,24 @@ struct Triangle {
     target: u32,
     /// Internal (rank) id of the bypassed vertex.
     middle: u32,
+}
+
+/// Separator quality statistics recorded while computing the
+/// nested-dissection order. Separator sizes drive witness-free fill-in
+/// (shortcuts only form within a region or into its separator stack), so
+/// these numbers are how an order change is audited.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SeparatorStats {
+    /// Recursive bisections performed (leaves excluded).
+    pub cuts: usize,
+    /// Vertices in the largest single separator.
+    pub max_separator: usize,
+    /// Vertices across all separators.
+    pub total_separator: usize,
+    /// What the separators would have totalled under the unrefined
+    /// boundary heuristic (every left-half vertex with a right-half
+    /// neighbour); `total_separator` is never larger.
+    pub boundary_vertices: usize,
 }
 
 /// The metric-independent repair topology of a road network: a fill-in-
@@ -102,12 +151,38 @@ pub struct CchTopology {
     /// network arcs initialise which hierarchy arcs (parallel arcs map to
     /// the same hierarchy arc; customization keeps the minimum).
     init: Vec<(u32, u32)>,
-    /// All lower triangles, ascending by middle rank (recorded in
-    /// contraction order, which *is* ascending rank).
-    triangles: Vec<Triangle>,
+    /// Lower triangles in structure-of-arrays layout, sorted by
+    /// `(elimination level of middle, target arc, middle rank)`:
+    /// `tri_in[i]` / `tri_out[i]` are the side-arc ids whose sum may
+    /// improve arc `tri_target[i]`, bypassing vertex `tri_middle[i]`.
+    tri_in: Vec<u32>,
+    tri_out: Vec<u32>,
+    tri_target: Vec<u32>,
+    tri_middle: Vec<u32>,
+    /// Triangle ranges per non-empty elimination level: the `k`-th level
+    /// spans `level_offsets[k]..level_offsets[k + 1]` of the columns above.
+    level_offsets: Vec<u32>,
+    /// Separator sizes of the nested-dissection order.
+    separator: SeparatorStats,
     /// Hierarchy arcs that carry no original edge (pure shortcuts).
     num_shortcuts: usize,
 }
+
+/// Raw views of the customization weight/middle tables shared by the level
+/// fan-out workers.
+///
+/// Why the aliasing is sound: within one level, chunk boundaries snap to
+/// target-arc runs, so each target arc is written by exactly one worker;
+/// the side arcs a triangle reads were last written while processing a
+/// strictly lower level (see the module docs), and levels are separated by
+/// thread joins, so no location is ever concurrently written and accessed.
+struct TableView {
+    weights: *mut f64,
+    middles: *mut u32,
+}
+
+unsafe impl Send for TableView {}
+unsafe impl Sync for TableView {}
 
 /// Inserts `to` into a sorted arc-target list, returning `true` if new.
 #[inline]
@@ -129,18 +204,69 @@ fn remove_sorted(list: &mut Vec<u32>, to: u32) {
     }
 }
 
+/// Picks a vertex cover of the crossing edges `(left, right)` greedily:
+/// repeatedly take the vertex covering the most still-uncovered crossing
+/// edges (smallest id on ties — deterministic), from either side of the
+/// cut. Returns the cover sorted ascending. Classic greedy set cover, so
+/// on boundary-shaped instances (a road-network cut is a near-matching)
+/// it sits at or near the optimum and never above `ln`-factor of it.
+fn greedy_crossing_cover(crossing: &[(u32, u32)]) -> Vec<u32> {
+    let mut cand: Vec<u32> = crossing.iter().flat_map(|&(l, r)| [l, r]).collect();
+    cand.sort_unstable();
+    cand.dedup();
+    let idx = |v: u32| cand.binary_search(&v).expect("endpoint is a candidate");
+    let mut incident: Vec<Vec<u32>> = vec![Vec::new(); cand.len()];
+    for (e, &(l, r)) in crossing.iter().enumerate() {
+        incident[idx(l)].push(e as u32);
+        incident[idx(r)].push(e as u32);
+    }
+    let mut deg: Vec<u32> = incident.iter().map(|list| list.len() as u32).collect();
+    let mut covered = vec![false; crossing.len()];
+    let mut uncovered = crossing.len();
+    let mut cover = Vec::new();
+    while uncovered > 0 {
+        let (mut best, mut best_deg) = (0usize, 0u32);
+        for (i, &d) in deg.iter().enumerate() {
+            if d > best_deg {
+                best = i;
+                best_deg = d;
+            }
+        }
+        debug_assert!(best_deg > 0, "uncovered edge must have an endpoint");
+        cover.push(cand[best]);
+        for &e in &incident[best] {
+            if !covered[e as usize] {
+                covered[e as usize] = true;
+                uncovered -= 1;
+                let (l, r) = crossing[e as usize];
+                deg[idx(l)] -= 1;
+                deg[idx(r)] -= 1;
+            }
+        }
+    }
+    cover.sort_unstable();
+    cover
+}
+
 /// A geometric nested-dissection contraction order: recursively bisect the
-/// vertex set at the coordinate median of its wider bounding-box axis; the
-/// left-half vertices with a neighbour in the right half form the
-/// separator of the cut and receive the **highest** ranks of their region,
+/// vertex set at the coordinate median of its wider bounding-box axis
+/// (ties broken by vertex id, so duplicate coordinates still split
+/// deterministically); a refined vertex cover of the cut's crossing edges
+/// forms the separator and receives the **highest** ranks of its region,
 /// above both recursed halves. Removing the separator disconnects the
-/// halves (any crossing edge would put its left endpoint into the
-/// separator), which is what bounds the witness-free fill-in: shortcuts
-/// only ever form within a region or into its separator stack.
+/// halves (every crossing edge has an endpoint in the cover), which is
+/// what bounds the witness-free fill-in: shortcuts only ever form within a
+/// region or into its separator stack.
+///
+/// The cover is the greedy crossing-edge cover ([`greedy_crossing_cover`]),
+/// clamped to never exceed the one-sided boundary heuristic it replaces
+/// (the set of left vertices with a right neighbour is itself a cover);
+/// both candidate sizes are recorded in the returned [`SeparatorStats`] so
+/// the refinement stays auditable.
 ///
 /// Metric-independent (coordinates + topology only) and deterministic, so
 /// the order — and with it the repair topology — is stable across epochs.
-fn nested_dissection_rank(net: &RoadNetwork) -> Vec<u32> {
+fn nested_dissection_rank(net: &RoadNetwork) -> (Vec<u32>, SeparatorStats) {
     let n = net.num_vertices();
     // Undirected neighbour sets drive separator detection.
     let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
@@ -154,8 +280,11 @@ fn nested_dissection_rank(net: &RoadNetwork) -> Vec<u32> {
     }
 
     let mut rank = vec![0u32; n];
-    // Region membership marker for O(1) "is in right half" tests.
+    let mut stats = SeparatorStats::default();
+    // Region membership markers for O(1) "is in right half" / "is in the
+    // separator" tests.
     let mut in_right = vec![false; n];
+    let mut in_sep = vec![false; n];
     // Explicit stack of (region, base rank) work items.
     let mut stack: Vec<(Vec<u32>, u32)> = vec![((0..n as u32).collect(), 0)];
     while let Some((mut region, base)) = stack.pop() {
@@ -199,30 +328,62 @@ fn nested_dissection_rank(net: &RoadNetwork) -> Vec<u32> {
         for &v in &right {
             in_right[v as usize] = true;
         }
-        // Separator: left vertices adjacent to the right half.
-        let mut separator = Vec::new();
-        let mut left_rest = Vec::with_capacity(left.len());
+        // Crossing edges of the cut, left endpoint first.
+        let mut crossing: Vec<(u32, u32)> = Vec::new();
         for &v in &left {
-            if adj[v as usize].iter().any(|&w| in_right[w as usize]) {
-                separator.push(v);
-            } else {
-                left_rest.push(v);
+            for &w in &adj[v as usize] {
+                if in_right[w as usize] {
+                    crossing.push((v, w));
+                }
             }
         }
+        // The unrefined heuristic — every left endpoint — is itself a
+        // cover; the greedy cover is used when strictly smaller so
+        // refinement can never regress a cut.
+        let mut boundary: Vec<u32> = crossing.iter().map(|&(l, _)| l).collect();
+        boundary.sort_unstable();
+        boundary.dedup();
+        stats.boundary_vertices += boundary.len();
+        let cover = greedy_crossing_cover(&crossing);
+        let separator = if cover.len() < boundary.len() {
+            cover
+        } else {
+            boundary
+        };
+        stats.cuts += 1;
+        stats.max_separator = stats.max_separator.max(separator.len());
+        stats.total_separator += separator.len();
+
+        for &v in &separator {
+            in_sep[v as usize] = true;
+        }
+        let left_rest: Vec<u32> = left
+            .iter()
+            .copied()
+            .filter(|&v| !in_sep[v as usize])
+            .collect();
+        let right_rest: Vec<u32> = right
+            .iter()
+            .copied()
+            .filter(|&v| !in_sep[v as usize])
+            .collect();
         for &v in &right {
             in_right[v as usize] = false;
         }
-        // Rank layout within [base, base + |region|): left rest, right,
-        // separator on top.
-        let sep_base = base + (left_rest.len() + right.len()) as u32;
+        for &v in &separator {
+            in_sep[v as usize] = false;
+        }
+        // Rank layout within [base, base + |region|): left rest, right
+        // rest, separator on top.
+        let sep_base = base + (left_rest.len() + right_rest.len()) as u32;
         for (i, &v) in separator.iter().enumerate() {
             rank[v as usize] = sep_base + i as u32;
         }
         let right_base = base + left_rest.len() as u32;
         stack.push((left_rest, base));
-        stack.push((right, right_base));
+        stack.push((right_rest, right_base));
     }
-    rank
+    (rank, stats)
 }
 
 impl CchTopology {
@@ -241,7 +402,7 @@ impl CchTopology {
 
         // The fill-in-reducing contraction order, fixed for the lifetime of
         // the topology.
-        let rank = nested_dissection_rank(net);
+        let (rank, separator) = nested_dissection_rank(net);
 
         // Directed overlay adjacency in internal (rank) ids, topology only.
         // Sorted target lists so membership tests and unlinking are
@@ -341,15 +502,136 @@ impl CchTopology {
             }
         };
 
-        let triangles: Vec<Triangle> = raw_triangles
-            .into_iter()
-            .map(|(m, u, x)| Triangle {
-                in_arc: arc_id(u, m),
-                out_arc: arc_id(m, x),
-                target: arc_id(u, x),
-                middle: m,
+        // Resolve arc ids — a pure per-triangle map, fanned out over the
+        // preprocessing workers (chunk boundaries cannot change a pure
+        // map's output).
+        let threads = super::preprocess_threads();
+        let triangles: Vec<Triangle> = if threads >= 2 && raw_triangles.len() >= 1 << 16 {
+            super::builder::par_map_chunks(&raw_triangles, threads, |chunk| {
+                chunk
+                    .iter()
+                    .map(|&(m, u, x)| Triangle {
+                        in_arc: arc_id(u, m),
+                        out_arc: arc_id(m, x),
+                        target: arc_id(u, x),
+                        middle: m,
+                    })
+                    .collect::<Vec<Triangle>>()
             })
-            .collect();
+            .concat()
+        } else {
+            raw_triangles
+                .iter()
+                .map(|&(m, u, x)| Triangle {
+                    in_arc: arc_id(u, m),
+                    out_arc: arc_id(m, x),
+                    target: arc_id(u, x),
+                    middle: m,
+                })
+                .collect()
+        };
+        drop(raw_triangles);
+
+        // Elimination-tree vertex levels: every skeleton arc connects an
+        // internal vertex `r` to higher-ranked targets, so one ascending
+        // sweep fixes `level[x] = 1 + max(level[r])` over all lower arc
+        // endpoints `r` of `x`.
+        let mut vlevel = vec![0u32; n];
+        for r in 0..n {
+            let bumped = vlevel[r] + 1;
+            let (ulo, uhi) = (up_offsets[r] as usize, up_offsets[r + 1] as usize);
+            let (dlo, dhi) = (down_offsets[r] as usize, down_offsets[r + 1] as usize);
+            for &x in up_targets[ulo..uhi].iter().chain(&down_targets[dlo..dhi]) {
+                if vlevel[x as usize] < bumped {
+                    vlevel[x as usize] = bumped;
+                }
+            }
+        }
+        // Order for the level-parallel pass: levels ascending, target runs
+        // contiguous within a level, middles ascending within a run. A
+        // counting sort groups by level (one count pass, one scatter pass —
+        // no comparison sort over the full table), then each level is
+        // sorted by the packed `(target, middle)` key. Keys are unique (one
+        // triangle per (middle, target) pair), so the final order is
+        // deterministic no matter how the scatter interleaved a level.
+        let num_levels = vlevel.iter().max().map_or(0, |&l| l as usize) + 1;
+        let mut level_counts = vec![0u32; num_levels];
+        for t in &triangles {
+            level_counts[vlevel[t.middle as usize] as usize] += 1;
+        }
+        let mut level_starts = vec![0u32; num_levels + 1];
+        for (l, &c) in level_counts.iter().enumerate() {
+            level_starts[l + 1] = level_starts[l] + c;
+        }
+        let mut cursors = level_starts[..num_levels].to_vec();
+        // Scatter: every triangle lands at a distinct index inside its
+        // level's range, so the zero-filled placeholders are all replaced.
+        let mut by_level: Vec<Triangle> = vec![
+            Triangle {
+                in_arc: 0,
+                out_arc: 0,
+                target: 0,
+                middle: 0,
+            };
+            triangles.len()
+        ];
+        for t in &triangles {
+            let cursor = &mut cursors[vlevel[t.middle as usize] as usize];
+            by_level[*cursor as usize] = *t;
+            *cursor += 1;
+        }
+        drop(triangles);
+        // Boundaries of the non-empty levels only (duplicate prefix sums
+        // are empty levels); always ends at the total so `windows(2)`
+        // covers every triangle.
+        let mut level_offsets = vec![0u32];
+        for &end in &level_starts[1..] {
+            if end != *level_offsets.last().expect("non-empty") {
+                level_offsets.push(end);
+            }
+        }
+        if level_offsets.len() == 1 {
+            level_offsets.push(0);
+        }
+        // Per-level (target, middle) sorts are independent — fan them out.
+        let sort_level = |seg: &mut [Triangle]| {
+            seg.sort_unstable_by_key(|t| ((t.target as u64) << 32) | t.middle as u64);
+        };
+        if threads >= 2 {
+            let mut rest: &mut [Triangle] = &mut by_level;
+            let mut segments: Vec<&mut [Triangle]> = Vec::with_capacity(num_levels);
+            for window in level_offsets.windows(2) {
+                let len = (window[1] - window[0]) as usize;
+                let (seg, tail) = rest.split_at_mut(len);
+                segments.push(seg);
+                rest = tail;
+            }
+            std::thread::scope(|scope| {
+                let sort_level = &sort_level;
+                let chunk = segments.len().div_ceil(threads).max(1);
+                for group in segments.chunks_mut(chunk) {
+                    scope.spawn(move || {
+                        for seg in group.iter_mut() {
+                            sort_level(seg);
+                        }
+                    });
+                }
+            });
+        } else {
+            for window in level_offsets.windows(2) {
+                sort_level(&mut by_level[window[0] as usize..window[1] as usize]);
+            }
+        }
+        let mut tri_in = Vec::with_capacity(by_level.len());
+        let mut tri_out = Vec::with_capacity(by_level.len());
+        let mut tri_target = Vec::with_capacity(by_level.len());
+        let mut tri_middle = Vec::with_capacity(by_level.len());
+        for t in &by_level {
+            tri_in.push(t.in_arc);
+            tri_out.push(t.out_arc);
+            tri_target.push(t.target);
+            tri_middle.push(t.middle);
+        }
 
         let mut has_original = vec![false; up_targets.len() + down_targets.len()];
         let mut init = Vec::with_capacity(net.num_directed_edges());
@@ -373,7 +655,12 @@ impl CchTopology {
             down_offsets,
             down_targets,
             init,
-            triangles,
+            tri_in,
+            tri_out,
+            tri_target,
+            tri_middle,
+            level_offsets,
+            separator,
             num_shortcuts,
         })
     }
@@ -395,7 +682,48 @@ impl CchTopology {
 
     /// Lower triangles the customization pass relaxes per epoch.
     pub fn num_triangles(&self) -> usize {
-        self.triangles.len()
+        self.tri_target.len()
+    }
+
+    /// Non-empty elimination-tree levels of the triangle pass — the number
+    /// of synchronisation points of a parallel customization.
+    pub fn num_levels(&self) -> usize {
+        self.level_offsets.len() - 1
+    }
+
+    /// Separator sizes of the nested-dissection order, for auditing
+    /// fill-in against order-quality changes.
+    pub fn separator_stats(&self) -> SeparatorStats {
+        self.separator
+    }
+
+    /// Relaxes the triangle range `lo..hi` against the weight/middle
+    /// tables. The equal-weight tie-break keeps the smallest middle rank
+    /// among minimum achievers and never displaces "no middle", which
+    /// makes the final tables independent of processing order — the whole
+    /// bit-identity story of the parallel pass.
+    ///
+    /// # Safety
+    /// The caller must guarantee that no other thread concurrently writes
+    /// any target arc in the range or any side arc it reads; see
+    /// [`TableView`] for why the level fan-out satisfies this.
+    unsafe fn relax_range(&self, tables: &TableView, lo: usize, hi: usize) {
+        for i in lo..hi {
+            let cand = *tables.weights.add(self.tri_in[i] as usize)
+                + *tables.weights.add(self.tri_out[i] as usize);
+            let target = self.tri_target[i] as usize;
+            let current = *tables.weights.add(target);
+            if cand < current {
+                *tables.weights.add(target) = cand;
+                *tables.middles.add(target) = self.tri_middle[i];
+            } else if cand == current {
+                let middle = self.tri_middle[i];
+                let held = *tables.middles.add(target);
+                if held != NO_MIDDLE && middle < held {
+                    *tables.middles.add(target) = middle;
+                }
+            }
+        }
     }
 
     /// Computes the hierarchy for one metric: `arc_weights[i]` is the
@@ -410,6 +738,19 @@ impl CchTopology {
     /// Panics if `arc_weights` does not carry one weight per network arc
     /// the topology was built from.
     pub fn customize(&self, arc_weights: &[f64]) -> ContractionHierarchy {
+        self.customize_with_threads(arc_weights, super::preprocess_threads())
+    }
+
+    /// [`Self::customize`] with an explicit worker count, ignoring
+    /// `PTRIDER_PREPROCESS_THREADS`. Every thread count produces the
+    /// bit-identical hierarchy (weights *and* middles — see
+    /// [`Self::relax_range`]); `threads == 1` runs one plain pass over the
+    /// triangle columns with no scoped threads at all.
+    pub fn customize_with_threads(
+        &self,
+        arc_weights: &[f64],
+        threads: usize,
+    ) -> ContractionHierarchy {
         let up_len = self.up_targets.len();
         let total = up_len + self.down_targets.len();
         let mut weights = vec![f64::INFINITY; total];
@@ -420,13 +761,46 @@ impl CchTopology {
                 weights[arc as usize] = w;
             }
         }
-        // Bottom-up triangle relaxation: `triangles` is ascending in middle
-        // rank, so both side arcs are final when read.
-        for t in &self.triangles {
-            let cand = weights[t.in_arc as usize] + weights[t.out_arc as usize];
-            if cand < weights[t.target as usize] {
-                weights[t.target as usize] = cand;
-                middles[t.target as usize] = t.middle;
+        // Bottom-up triangle relaxation: the columns are sorted level-major,
+        // so one ascending pass (sequential) or a per-level fan-out
+        // (parallel) both read only-final side arcs.
+        let tables = TableView {
+            weights: weights.as_mut_ptr(),
+            middles: middles.as_mut_ptr(),
+        };
+        if threads <= 1 {
+            // SAFETY: exclusive access — no other thread exists.
+            unsafe { self.relax_range(&tables, 0, self.tri_target.len()) };
+        } else {
+            for window in self.level_offsets.windows(2) {
+                let (lo, hi) = (window[0] as usize, window[1] as usize);
+                if hi - lo < PAR_LEVEL_MIN_TRIANGLES {
+                    // SAFETY: inline on the coordinating thread, between
+                    // joins — exclusive access.
+                    unsafe { self.relax_range(&tables, lo, hi) };
+                    continue;
+                }
+                let chunk = (hi - lo).div_ceil(threads);
+                let mut bounds: Vec<(usize, usize)> = Vec::with_capacity(threads);
+                let mut start = lo;
+                while start < hi {
+                    let mut end = (start + chunk).min(hi);
+                    // Snap to the end of the target run so each target arc
+                    // has exactly one writer this level.
+                    while end < hi && self.tri_target[end] == self.tri_target[end - 1] {
+                        end += 1;
+                    }
+                    bounds.push((start, end));
+                    start = end;
+                }
+                let tables = &tables;
+                std::thread::scope(|scope| {
+                    for &(lo, hi) in &bounds {
+                        // SAFETY: disjoint target runs per worker, side
+                        // arcs finalised at lower levels (TableView docs).
+                        scope.spawn(move || unsafe { self.relax_range(tables, lo, hi) });
+                    }
+                });
             }
         }
 
@@ -450,7 +824,9 @@ impl std::fmt::Debug for CchTopology {
             .field("vertices", &self.num_vertices())
             .field("arcs", &self.num_arcs())
             .field("shortcuts", &self.num_shortcuts)
-            .field("triangles", &self.triangles.len())
+            .field("triangles", &self.num_triangles())
+            .field("levels", &self.num_levels())
+            .field("separator", &self.separator)
             .finish()
     }
 }
@@ -578,6 +954,48 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn customization_is_bit_identical_across_thread_counts() {
+        let net = lattice(12, 41);
+        let topo = CchTopology::build(&net).unwrap();
+        assert!(topo.num_levels() > 1);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut model = TrafficModel::free_flow(&net);
+        for i in 0..net.num_directed_edges() {
+            if rng.gen_bool(0.4) {
+                model.set_arc_factor(i, rng.gen_range(1.0..3.0));
+            }
+        }
+        let scaled = model.scaled_weights(&net);
+        let seq = topo.customize_with_threads(&scaled, 1);
+        for threads in [2, 3, 8] {
+            let par = topo.customize_with_threads(&scaled, threads);
+            assert_eq!(par.num_shortcuts(), seq.num_shortcuts());
+            for u in net.vertices() {
+                for v in net.vertices() {
+                    let a = seq.distance(u, v);
+                    let b = par.distance(u, v);
+                    assert!(
+                        a == b || (a.is_infinite() && b.is_infinite()),
+                        "threads={threads}, {u}->{v}: seq {a} vs par {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn separator_stats_are_recorded_and_refinement_never_regresses() {
+        let net = lattice(10, 13);
+        let topo = CchTopology::build(&net).unwrap();
+        let stats = topo.separator_stats();
+        assert!(stats.cuts > 0);
+        assert!(stats.max_separator > 0);
+        assert!(stats.total_separator >= stats.max_separator);
+        // The refined cover is clamped to the unrefined boundary heuristic.
+        assert!(stats.total_separator <= stats.boundary_vertices);
     }
 
     #[test]

@@ -54,7 +54,7 @@ pub mod builder;
 pub mod customize;
 pub mod query;
 
-pub use customize::{CchTopology, CCH_MAX_SHORTCUT_FACTOR};
+pub use customize::{CchTopology, SeparatorStats, CCH_MAX_SHORTCUT_FACTOR};
 
 use crate::graph::RoadNetwork;
 use crate::types::VertexId;
@@ -62,6 +62,31 @@ use std::fmt;
 
 /// Sentinel for "original arc, nothing to unpack".
 pub(crate) const NO_MIDDLE: u32 = u32::MAX;
+
+/// Resolves the preprocessing thread count from `PTRIDER_PREPROCESS_THREADS`.
+///
+/// Defaults to [`std::thread::available_parallelism`]; `1` selects exactly
+/// the sequential code paths (no scoped threads are spawned at all). Read
+/// fresh on every call — preprocessing is rare and tests flip the variable —
+/// and clamped to at least 1. Unparseable values fall back to the default.
+///
+/// This knob only governs *preprocessing* (CH construction and CCH
+/// customization); query-time parallelism belongs to the caller's own pool
+/// (`roadnet` deliberately has no dependency on `core::runtime`).
+pub fn preprocess_threads() -> usize {
+    let default = || {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    };
+    match std::env::var("PTRIDER_PREPROCESS_THREADS") {
+        Ok(raw) => match raw.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => default(),
+        },
+        Err(_) => default(),
+    }
+}
 
 /// Tuning knobs for contraction-hierarchy construction.
 #[derive(Clone, Copy, Debug)]
@@ -214,9 +239,23 @@ impl ContractionHierarchy {
         Self::build_with(net, &ChConfig::default())
     }
 
-    /// Builds a hierarchy with explicit tuning parameters.
+    /// Builds a hierarchy with explicit tuning parameters, using
+    /// [`preprocess_threads`] workers for the contraction.
     pub fn build_with(net: &RoadNetwork, config: &ChConfig) -> Result<Self, ChBuildError> {
-        builder::build(net, config)
+        builder::build(net, config, preprocess_threads())
+    }
+
+    /// Builds a hierarchy with an explicit worker count, ignoring
+    /// `PTRIDER_PREPROCESS_THREADS`. `threads == 1` runs the sequential
+    /// lazy-queue contraction; `threads >= 2` runs independent-set rounds
+    /// (see [`builder`]). Any thread count yields distances bit-identical
+    /// to Dijkstra, and every `threads >= 2` yields the *same* hierarchy.
+    pub fn build_with_threads(
+        net: &RoadNetwork,
+        config: &ChConfig,
+        threads: usize,
+    ) -> Result<Self, ChBuildError> {
+        builder::build(net, config, threads)
     }
 
     /// Exact shortest-path distance, `f64::INFINITY` when unreachable.
@@ -228,6 +267,21 @@ impl ContractionHierarchy {
     /// same path. See [`query`].
     pub fn distance(&self, u: VertexId, v: VertexId) -> f64 {
         query::distance(self, self.rank[u.index()], self.rank[v.index()])
+    }
+
+    /// Settle-capped distance query backing cheap CH-derived lower bounds:
+    /// when both upward search spaces fit under `settle_cap` settles the
+    /// answer is **exact** (bit-identical to Dijkstra, like
+    /// [`Self::distance`]); otherwise the search stops early and returns an
+    /// admissible lower bound. See [`query::bounded_distance`] for the
+    /// admissibility argument.
+    pub(crate) fn bounded_distance(
+        &self,
+        u: VertexId,
+        v: VertexId,
+        settle_cap: usize,
+    ) -> query::Bounded {
+        query::bounded_distance(self, self.rank[u.index()], self.rank[v.index()], settle_cap)
     }
 
     /// One-to-many exact distances from `source` to every vertex in

@@ -37,6 +37,137 @@ use super::ContractionHierarchy;
 use crate::scratch::with_scratch_pair;
 use crate::types::{VertexId, INFINITE_DISTANCE};
 
+/// Result of a settle-capped bidirectional upward query
+/// ([`bounded_distance`]).
+pub(crate) enum Bounded {
+    /// Both upward search spaces were exhausted within the cap: the exact
+    /// distance, unpacked and re-folded like [`distance`] (bit-identical to
+    /// Dijkstra; `INFINITE_DISTANCE` when unreachable).
+    Exact(f64),
+    /// The cap was hit first: a value guaranteed not to exceed the exact
+    /// distance.
+    AtLeast(f64),
+}
+
+/// Settle-capped variant of [`distance`] serving the oracle's `lower_bound`
+/// on the CH backend: tiny upward spaces resolve **exactly** (and the
+/// caller can cache the answer); larger ones yield an admissible truncated
+/// bound in `O(settle_cap · log)` regardless of graph size.
+///
+/// Why the truncated bound is admissible: let `P` be a shortest up-down
+/// path of length `d*` and consider the moment the cap fires. On each side,
+/// either every vertex of `P`'s leg is settled with final labels — in which
+/// case the meeting check has already pushed `best ≤ d*` — or the first
+/// unsettled vertex of the leg still sits in that side's frontier with a
+/// key that is a prefix length of `P`, hence `≤ d*`. So
+/// `min(best, top_f, top_b) ≤ d*` in real arithmetic. A final `1 - 1e-9`
+/// haircut absorbs float association differences between frontier-key sums
+/// and Dijkstra's path-order fold (relative error bounded by a few ulps per
+/// term; the margin is ~4 orders looser), so the returned bound never
+/// exceeds the exact folded distance even bit-wise.
+pub(crate) fn bounded_distance(
+    ch: &ContractionHierarchy,
+    s: u32,
+    t: u32,
+    settle_cap: usize,
+) -> Bounded {
+    if s == t {
+        return Bounded::Exact(0.0);
+    }
+    let (up, down) = ch.graphs();
+    let n = ch.num_vertices();
+    with_scratch_pair(|f, b| {
+        f.begin(n);
+        b.begin(n);
+        f.set(VertexId(s), 0.0);
+        f.push(0.0, VertexId(s));
+        b.set(VertexId(t), 0.0);
+        b.push(0.0, VertexId(t));
+        let mut best = INFINITE_DISTANCE;
+        let mut meet = u32::MAX;
+        let mut settles = 0usize;
+        loop {
+            let top_f = f.peek().map(|(k, _)| k).unwrap_or(INFINITE_DISTANCE);
+            let top_b = b.peek().map(|(k, _)| k).unwrap_or(INFINITE_DISTANCE);
+            let min_top = top_f.min(top_b);
+            if min_top >= best || min_top.is_infinite() {
+                break;
+            }
+            if settles >= settle_cap {
+                let bound = best.min(min_top) * (1.0 - 1e-9);
+                return Bounded::AtLeast(bound.max(0.0));
+            }
+            if top_f <= top_b {
+                let Some((d, u)) = f.pop() else { break };
+                if d > f.get(u) {
+                    continue; // stale frontier entry
+                }
+                settles += 1;
+                let db = b.get(u);
+                if db.is_finite() && d + db < best {
+                    best = d + db;
+                    meet = u.0;
+                }
+                let stalled = down.arcs(u.0).any(|(x, w)| f.get(VertexId(x)) + w < d);
+                if stalled {
+                    continue;
+                }
+                for (x, w) in up.arcs(u.0) {
+                    let nd = d + w;
+                    if nd < f.get(VertexId(x)) {
+                        f.set_with_parent(VertexId(x), nd, u);
+                        f.push(nd, VertexId(x));
+                    }
+                }
+            } else {
+                let Some((d, u)) = b.pop() else { break };
+                if d > b.get(u) {
+                    continue;
+                }
+                settles += 1;
+                let df = f.get(u);
+                if df.is_finite() && d + df < best {
+                    best = d + df;
+                    meet = u.0;
+                }
+                let stalled = up.arcs(u.0).any(|(x, w)| b.get(VertexId(x)) + w < d);
+                if stalled {
+                    continue;
+                }
+                for (x, w) in down.arcs(u.0) {
+                    let nd = d + w;
+                    if nd < b.get(VertexId(x)) {
+                        b.set_with_parent(VertexId(x), nd, u);
+                        b.push(nd, VertexId(x));
+                    }
+                }
+            }
+        }
+        if meet == u32::MAX {
+            return Bounded::Exact(INFINITE_DISTANCE);
+        }
+        // Complete: unpack exactly like the full query.
+        let mut total = 0.0;
+        let mut fwd_chain = vec![meet];
+        let mut cur = VertexId(meet);
+        while let Some(p) = f.parent_of(cur) {
+            fwd_chain.push(p.0);
+            cur = p;
+        }
+        debug_assert_eq!(*fwd_chain.last().unwrap(), s);
+        for pair in fwd_chain.windows(2).rev() {
+            ch.unpack_arc(pair[1], pair[0], &mut total);
+        }
+        let mut cur = VertexId(meet);
+        while let Some(p) = b.parent_of(cur) {
+            ch.unpack_arc(cur.0, p.0, &mut total);
+            cur = p;
+        }
+        debug_assert_eq!(cur.0, t);
+        Bounded::Exact(total)
+    })
+}
+
 /// Point query over internal (rank) ids.
 pub(super) fn distance(ch: &ContractionHierarchy, s: u32, t: u32) -> f64 {
     if s == t {

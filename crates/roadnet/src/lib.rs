@@ -54,7 +54,9 @@ pub mod scratch;
 pub mod traffic;
 pub mod types;
 
-pub use ch::{CchTopology, ChBuildError, ChConfig, ContractionHierarchy};
+pub use ch::{
+    preprocess_threads, CchTopology, ChBuildError, ChConfig, ContractionHierarchy, SeparatorStats,
+};
 pub use error::RoadNetError;
 pub use graph::{Edge, RoadNetwork, RoadNetworkBuilder};
 pub use grid::{CellId, GridCell, GridConfig, GridIndex};

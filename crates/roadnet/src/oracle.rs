@@ -74,6 +74,7 @@
 //! (E8).
 
 use crate::astar;
+use crate::ch::query::Bounded;
 use crate::ch::{CchTopology, ContractionHierarchy};
 use crate::dijkstra;
 use crate::graph::RoadNetwork;
@@ -106,6 +107,12 @@ pub fn num_cache_shards() -> usize {
 /// Default total cache capacity (entries across all shards): 4M pairs
 /// ≈ 100 MB. Override with [`DistanceOracle::with_cache_capacity`].
 pub const DEFAULT_CACHE_CAPACITY: usize = 1 << 22;
+
+/// Settle budget of the CH-derived lower bound (both directions combined).
+/// Big enough that near pairs — the ones the matchers actually admit —
+/// resolve exactly and seed the cache; small enough that a truncated probe
+/// stays within a few microseconds regardless of graph size.
+const LOWER_BOUND_SETTLE_CAP: usize = 48;
 
 /// Which exact shortest-path backend a [`DistanceOracle`] uses on a cache
 /// miss.
@@ -883,6 +890,15 @@ impl DistanceOracle {
     /// [`Self::distance`]). Takes the maximum of the grid bound, the
     /// Euclidean bound and — when available — the ALT landmark bound, or
     /// returns the cached exact value outright.
+    ///
+    /// On the CH backend a settle-capped upward query
+    /// ([`ContractionHierarchy::bounded_distance`]) joins the maximum:
+    /// pairs whose upward search spaces fit under the cap are answered
+    /// **exactly** (and seed the cache, so a later [`Self::distance`] on
+    /// the pair is a hit), and truncated searches contribute an admissible
+    /// bound computed on the *current traffic metric* — tighter than the
+    /// base-metric grid/landmark bounds wherever congestion has grown the
+    /// true distance.
     pub fn lower_bound(&self, u: VertexId, v: VertexId) -> f64 {
         self.lower_bound_queries.fetch_add(1, Ordering::Relaxed);
         if u == v {
@@ -891,14 +907,29 @@ impl DistanceOracle {
         if let Some(d) = self.cached(u, v) {
             return d;
         }
+        let mut lb = 0.0f64;
+        if self.requested_backend == DistanceBackend::Ch && !self.legacy {
+            if let Some((bounded, epoch)) = self.ch_bounded_canonical(u, v) {
+                match bounded {
+                    Bounded::Exact(d) => {
+                        self.store(u, v, d, epoch);
+                        return d;
+                    }
+                    Bounded::AtLeast(b) => lb = b,
+                }
+            }
+        }
         // The grid tables assume symmetric distances (forward border
         // searches only); on directed networks fall back to the Euclidean
         // bound, which is admissible in both directions.
-        let mut lb = if self.net.is_undirected() {
+        let base = if self.net.is_undirected() {
             self.grid.lower_bound_with(&self.net, u, v)
         } else {
             self.net.euclidean_lower_bound(u, v)
         };
+        if base > lb {
+            lb = base;
+        }
         if let Some(landmarks) = &self.landmarks {
             let alt = landmarks.lower_bound(u, v);
             if alt > lb {
@@ -906,6 +937,24 @@ impl DistanceOracle {
             }
         }
         lb
+    }
+
+    /// Runs the settle-capped CH query for [`Self::lower_bound`] in
+    /// canonical fold direction (so an exact answer is cache-storable),
+    /// returning it with the epoch to stamp. `None` off the CH backend or
+    /// while the hierarchy is unavailable (construction/repair fallback).
+    #[inline]
+    fn ch_bounded_canonical(&self, u: VertexId, v: VertexId) -> Option<(Bounded, u64)> {
+        let m = self.metric.read();
+        let ch = m.ch.as_ref()?;
+        // On undirected metrics the value for (v, u) equals (u, v), so
+        // querying the canonical direction loses nothing.
+        let (a, b) = if v < u && m.undirected {
+            (v, u)
+        } else {
+            (u, v)
+        };
+        Some((ch.bounded_distance(a, b, LOWER_BOUND_SETTLE_CAP), m.epoch))
     }
 
     /// Lower bound from a vertex to the closest vertex of a grid cell.

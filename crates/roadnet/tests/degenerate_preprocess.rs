@@ -1,0 +1,133 @@
+//! Degenerate preprocessing inputs: disconnected graphs, single-vertex
+//! components, duplicate coordinates (median-cut tie-breaks) and graphs
+//! smaller than the worker count must build without panicking — under the
+//! sequential *and* parallel CH builder and the CCH pipeline — and answer
+//! bit-identically to Dijkstra.
+
+use ptrider_roadnet::{
+    dijkstra, CchTopology, ChConfig, ContractionHierarchy, RoadNetwork, RoadNetworkBuilder,
+    TrafficModel, VertexId,
+};
+
+/// All-pairs check: every CH answer is bit-for-bit the Dijkstra answer
+/// (or both unreachable).
+fn assert_matches_dijkstra(net: &RoadNetwork, ch: &ContractionHierarchy, what: &str) {
+    for u in net.vertices() {
+        for v in net.vertices() {
+            let exact = dijkstra::distance(net, u, v).unwrap_or(f64::INFINITY);
+            let got = ch.distance(u, v);
+            assert!(
+                got.to_bits() == exact.to_bits() || (got.is_infinite() && exact.is_infinite()),
+                "{what}: {u}->{v} ch {got} vs dijkstra {exact}"
+            );
+        }
+    }
+}
+
+/// Builds the hierarchy at several worker counts (including counts far
+/// above the vertex count) and customizes the CCH at 1 and 4 workers; every
+/// variant must agree with Dijkstra on every pair.
+fn exercise_all_builders(net: &RoadNetwork, what: &str) {
+    let config = ChConfig::default();
+    for threads in [1, 2, 4, 64] {
+        let ch = ContractionHierarchy::build_with_threads(net, &config, threads)
+            .unwrap_or_else(|e| panic!("{what}: build with {threads} threads failed: {e:?}"));
+        assert_matches_dijkstra(net, &ch, &format!("{what} (ch, {threads} threads)"));
+    }
+    let topo = CchTopology::build(net).unwrap_or_else(|e| panic!("{what}: cch failed: {e:?}"));
+    let weights = TrafficModel::free_flow(net).scaled_weights(net);
+    for threads in [1, 4] {
+        let custom = topo.customize_with_threads(&weights, threads);
+        assert_matches_dijkstra(net, &custom, &format!("{what} (cch, {threads} threads)"));
+    }
+}
+
+/// A `cols x rows` lattice starting at vertex offset produced by `b`'s
+/// current count, with every coordinate shifted by `(ox, oy)`.
+fn add_lattice(b: &mut RoadNetworkBuilder, cols: usize, rows: usize, ox: f64, oy: f64) {
+    let mut ids = Vec::new();
+    for y in 0..rows {
+        for x in 0..cols {
+            ids.push(b.add_vertex(ox + x as f64 * 50.0, oy + y as f64 * 50.0));
+        }
+    }
+    for y in 0..rows {
+        for x in 0..cols {
+            let u = ids[y * cols + x];
+            if x + 1 < cols {
+                b.add_bidirectional_edge(u, ids[y * cols + x + 1], 50.0 + (x + y) as f64);
+            }
+            if y + 1 < rows {
+                b.add_bidirectional_edge(u, ids[(y + 1) * cols + x], 60.0 + (x * y) as f64);
+            }
+        }
+    }
+}
+
+#[test]
+fn disconnected_islands_build_and_stay_exact() {
+    let mut b = RoadNetworkBuilder::new();
+    add_lattice(&mut b, 4, 4, 0.0, 0.0);
+    add_lattice(&mut b, 3, 3, 10_000.0, 10_000.0);
+    let net = b.build().unwrap();
+    exercise_all_builders(&net, "two islands");
+    // Cross-island distances really are infinite.
+    let ch = ContractionHierarchy::build(&net).unwrap();
+    assert!(ch.distance(VertexId(0), VertexId(16)).is_infinite());
+}
+
+#[test]
+fn isolated_vertices_among_a_component_build_and_stay_exact() {
+    let mut b = RoadNetworkBuilder::new();
+    add_lattice(&mut b, 3, 3, 0.0, 0.0);
+    // Edge-less vertices: reachable from nothing, not even probed by the
+    // lattice searches — the contractors must not choke on degree zero.
+    for i in 0..4 {
+        b.add_vertex(-500.0 - i as f64, -500.0);
+    }
+    let net = b.build().unwrap();
+    exercise_all_builders(&net, "isolated vertices");
+    let ch = ContractionHierarchy::build(&net).unwrap();
+    let lonely = VertexId(9);
+    assert_eq!(ch.distance(lonely, lonely), 0.0);
+    assert!(ch.distance(lonely, VertexId(0)).is_infinite());
+}
+
+#[test]
+fn single_vertex_network_builds() {
+    let mut b = RoadNetworkBuilder::new();
+    let v = b.add_vertex(1.0, 2.0);
+    let net = b.build().unwrap();
+    exercise_all_builders(&net, "single vertex");
+    let ch = ContractionHierarchy::build(&net).unwrap();
+    assert_eq!(ch.distance(v, v), 0.0);
+}
+
+#[test]
+fn duplicate_coordinates_survive_the_median_cut() {
+    // Every vertex at the same point: the nested-dissection median cut has
+    // no geometric signal at all and must fall back to its tie-break
+    // instead of recursing forever or producing an empty side.
+    let mut b = RoadNetworkBuilder::new();
+    let ids: Vec<VertexId> = (0..12).map(|_| b.add_vertex(7.0, 7.0)).collect();
+    for w in ids.windows(2) {
+        b.add_bidirectional_edge(w[0], w[1], 10.0);
+    }
+    b.add_bidirectional_edge(ids[0], ids[11], 35.0);
+    b.add_bidirectional_edge(ids[3], ids[8], 12.0);
+    let net = b.build().unwrap();
+    exercise_all_builders(&net, "duplicate coordinates");
+}
+
+#[test]
+fn graph_smaller_than_the_worker_count_builds() {
+    let mut b = RoadNetworkBuilder::new();
+    let u = b.add_vertex(0.0, 0.0);
+    let v = b.add_vertex(1.0, 0.0);
+    b.add_bidirectional_edge(u, v, 3.5);
+    let net = b.build().unwrap();
+    exercise_all_builders(&net, "two vertices");
+    let ch = ContractionHierarchy::build_with_threads(&net, &ChConfig::default(), 64).unwrap();
+    assert_eq!(ch.distance(u, v), 3.5);
+    assert_eq!(ch.distance(v, u), 3.5);
+}

@@ -6,8 +6,8 @@
 
 use proptest::prelude::*;
 use ptrider_roadnet::{
-    dijkstra, ContractionHierarchy, DistanceBackend, DistanceOracle, GridConfig, GridIndex,
-    RoadNetwork, RoadNetworkBuilder, VertexId,
+    dijkstra, CchTopology, ChConfig, ContractionHierarchy, DistanceBackend, DistanceOracle,
+    GridConfig, GridIndex, RoadNetwork, RoadNetworkBuilder, TrafficModel, VertexId,
 };
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -172,6 +172,131 @@ proptest! {
         for (t, d) in targets.iter().zip(oracle.distances_from(source, &targets)) {
             let exact = reference(source, *t);
             prop_assert!(approx(d, exact), "batched {source}->{t}");
+        }
+    }
+
+    /// Satellite property: with the CH backend active the oracle derives
+    /// lower bounds from a settle-capped upward search (exact answer on
+    /// small upward spaces, truncated bound on large ones, maxed with the
+    /// geometric and landmark bounds). Whatever comes out must never exceed
+    /// the exact distance — and the bound is queried *before* the exact
+    /// distance so it cannot lean on a warm cache. One congestion epoch
+    /// re-checks admissibility against the re-customized metric.
+    #[test]
+    fn ch_lower_bound_never_exceeds_exact_distance(
+        seed in 0u64..10_000,
+        side in 3usize..7,
+        one_way in 0usize..5,
+    ) {
+        let net = Arc::new(random_network(side, 2, one_way, seed));
+        let grid = Arc::new(GridIndex::build(&net, GridConfig::with_dimensions(3, 3)));
+        let oracle = DistanceOracle::with_backend(
+            Arc::clone(&net),
+            Arc::clone(&grid),
+            None,
+            DistanceBackend::Ch,
+        );
+        let n = net.num_vertices() as u32;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x1b0);
+        let mut model = TrafficModel::free_flow(&net);
+        for epoch in 0..2 {
+            if epoch > 0 {
+                // Congest a random subset of segments/arcs and re-customize.
+                if net.is_undirected() {
+                    for v in net.vertices() {
+                        for i in net.out_arc_range(v) {
+                            let t = net.arc_target(i);
+                            if v < t && rng.gen_bool(0.3) {
+                                model.set_segment_factor(&net, v, t, rng.gen_range(1.0..4.0));
+                            }
+                        }
+                    }
+                } else {
+                    for i in 0..net.num_directed_edges() {
+                        if rng.gen_bool(0.3) {
+                            model.set_arc_factor(i, rng.gen_range(1.0..4.0));
+                        }
+                    }
+                }
+                model.bump_version();
+                oracle.apply_traffic(&model);
+            }
+            for _ in 0..25 {
+                let u = VertexId(rng.gen_range(0..n));
+                let v = VertexId(rng.gen_range(0..n));
+                let lb = oracle.lower_bound(u, v);
+                let exact = oracle.distance(u, v);
+                prop_assert!(
+                    lb <= exact + 1e-9,
+                    "epoch {epoch}: lb {lb} > exact {exact} ({u}->{v}, seed {seed})"
+                );
+            }
+        }
+    }
+
+    /// Tentpole property: the parallel builders reproduce the sequential
+    /// answers exactly. A hierarchy contracted with independent-set rounds
+    /// (threads >= 2) answers bit-identically to Dijkstra and to the
+    /// sequential lazy-queue build, and a CCH metric customized with 1 and
+    /// 4 workers yields bit-identical distances.
+    #[test]
+    fn parallel_build_and_customize_match_sequential(
+        seed in 0u64..10_000,
+        side in 3usize..7,
+        one_way in 0usize..5,
+    ) {
+        let net = random_network(side, 2, one_way, seed);
+        let config = ChConfig::default();
+        let seq = ContractionHierarchy::build_with_threads(&net, &config, 1)
+            .expect("sequential build");
+        let par = ContractionHierarchy::build_with_threads(&net, &config, 4)
+            .expect("parallel build");
+        let n = net.num_vertices() as u32;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x9a7);
+        for _ in 0..30 {
+            let u = VertexId(rng.gen_range(0..n));
+            let v = VertexId(rng.gen_range(0..n));
+            let exact = dijkstra::distance(&net, u, v).unwrap_or(f64::INFINITY);
+            prop_assert!(approx(seq.distance(u, v), exact), "seq {u}->{v}");
+            prop_assert!(approx(par.distance(u, v), exact), "par {u}->{v}");
+        }
+        // Per-level parallel customization: same metric, 1 vs 4 workers,
+        // bit-identical distances that also match Dijkstra on the scaled
+        // network.
+        let topo = CchTopology::build(&net).expect("cch topology");
+        let mut model = TrafficModel::free_flow(&net);
+        if net.is_undirected() {
+            for v in net.vertices() {
+                for i in net.out_arc_range(v) {
+                    let t = net.arc_target(i);
+                    if v < t && rng.gen_bool(0.4) {
+                        model.set_segment_factor(&net, v, t, rng.gen_range(1.0..4.0));
+                    }
+                }
+            }
+        } else {
+            for i in 0..net.num_directed_edges() {
+                if rng.gen_bool(0.4) {
+                    model.set_arc_factor(i, rng.gen_range(1.0..4.0));
+                }
+            }
+        }
+        model.bump_version();
+        let scaled = model.scaled_weights(&net);
+        let metric = net.with_metric(scaled.clone()).unwrap();
+        let one = topo.customize_with_threads(&scaled, 1);
+        let four = topo.customize_with_threads(&scaled, 4);
+        for _ in 0..30 {
+            let u = VertexId(rng.gen_range(0..n));
+            let v = VertexId(rng.gen_range(0..n));
+            let exact = dijkstra::distance(&metric, u, v).unwrap_or(f64::INFINITY);
+            let a = one.distance(u, v);
+            let b = four.distance(u, v);
+            prop_assert!(
+                a.to_bits() == b.to_bits() || (a.is_infinite() && b.is_infinite()),
+                "{u}->{v}: threads=1 {a} vs threads=4 {b}"
+            );
+            prop_assert!(approx(a, exact), "customized {u}->{v}: {a} vs dijkstra {exact}");
         }
     }
 }
