@@ -1,0 +1,316 @@
+//! CI gate for the network front door: a scripted ride lifecycle over a
+//! real socket on an ephemeral port, followed by a crash-recovery leg.
+//!
+//! The gate fails (non-zero exit) if any wire response deviates from the
+//! script, if `/metrics` stops exposing the `ptrider_server_*` family, or
+//! if a journal written through the server does not recover bit-identically
+//! — including after a mid-commit panic injected through the process-global
+//! fault plan. Run it under `PTRIDER_CHAOS=<seed>` and the scripted
+//! lifecycle additionally has to absorb seeded transient faults (journal
+//! writes, oracle builds) without a visible wire difference.
+//!
+//! ```text
+//! cargo run --release -p ptrider-bench --bin wire_smoke
+//! PTRIDER_CHAOS=7 cargo run --release -p ptrider-bench --bin wire_smoke
+//! ```
+
+use ptrider_bench::wire::{json_u64, open_sse, read_sse_frames, WireClient};
+use ptrider_core::{
+    fault, EngineConfig, Journal, JournalConfig, PtRider, RideService, ServiceConfig,
+};
+use ptrider_roadnet::{GridConfig, RoadNetwork, RoadNetworkBuilder};
+use ptrider_server::{Server, ServerConfig, ServerHandle};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Checks one scripted expectation; any miss fails the gate.
+fn gate(ok: bool, what: &str) {
+    if ok {
+        println!("  ok: {what}");
+    } else {
+        eprintln!("wire_smoke: FAIL: {what}");
+        std::process::exit(1);
+    }
+}
+
+/// Unwraps a client-side I/O result; the transport failing is a gate
+/// failure too (the server must never wedge or drop a well-formed client).
+fn must<T, E: std::fmt::Debug>(result: Result<T, E>, what: &str) -> T {
+    match result {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("wire_smoke: FAIL: {what}: {e:?}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// The 6-vertex line city every wire test drives: 500 m hops, so the
+/// vehicle's schedule is fully predictable.
+fn line_net() -> RoadNetwork {
+    let mut b = RoadNetworkBuilder::new();
+    let vertices: Vec<_> = (0..6)
+        .map(|i| b.add_vertex(i as f64 * 500.0, 0.0))
+        .collect();
+    for pair in vertices.windows(2) {
+        b.add_bidirectional_edge(pair[0], pair[1], 500.0);
+    }
+    b.build().unwrap()
+}
+
+fn journaled_service(dir: &Path) -> Arc<RideService> {
+    let _ = std::fs::remove_dir_all(dir);
+    std::fs::create_dir_all(dir).unwrap();
+    let journal = Journal::create(dir, JournalConfig::default()).unwrap();
+    let engine = PtRider::new(
+        line_net(),
+        GridConfig::with_dimensions(3, 1),
+        EngineConfig::default(),
+    );
+    Arc::new(
+        RideService::from_engine(engine)
+            // Explicit TTL so the PTRIDER_OFFER_TTL_SECS=0 CI matrix row
+            // cannot expire the scripted offer mid-gate.
+            .with_service_config(ServiceConfig::default().with_offer_ttl_secs(1e9))
+            .with_journal(journal),
+    )
+}
+
+fn start_server(service: Arc<RideService>, drain: Duration) -> ServerHandle {
+    let config = ServerConfig::default()
+        .with_addr("127.0.0.1:0")
+        .with_read_timeout(Duration::from_secs(2))
+        .with_idle_timeout(Duration::from_secs(10))
+        .with_sse_poll(Duration::from_millis(5))
+        .with_drain_timeout(drain);
+    Server::start(service, config).expect("server start")
+}
+
+fn recover_fingerprint(dir: &Path) -> (u64, usize) {
+    let engine = PtRider::new(
+        line_net(),
+        GridConfig::with_dimensions(3, 1),
+        EngineConfig::default(),
+    );
+    // Replay under the same service configuration the live server ran
+    // with — session deadlines are derived from it during replay.
+    let recovered = RideService::recover(
+        engine,
+        ServiceConfig::default().with_offer_ttl_secs(1e9),
+        dir,
+        JournalConfig::default(),
+    )
+    .expect("recovery");
+    (recovered.fingerprint(), recovered.num_vehicles())
+}
+
+/// Leg 1: the scripted lifecycle, entirely over the wire, against a
+/// journaled service; returns the fingerprint the server acknowledged.
+fn lifecycle_leg(dir: &Path) -> u64 {
+    let service = journaled_service(dir);
+    let mut handle = start_server(Arc::clone(&service), Duration::from_secs(5));
+    let addr = handle.addr();
+    let mut client = must(
+        WireClient::connect(addr, Duration::from_secs(10)),
+        "connect",
+    );
+
+    let vehicle = must(
+        client.request("POST", "/vehicles", Some(r#"{"location":0}"#)),
+        "add vehicle",
+    );
+    gate(vehicle.status == 201, "POST /vehicles answers 201");
+    let vehicle = json_u64(&vehicle.body, "vehicle").expect("vehicle id");
+
+    let offer = must(
+        client.request(
+            "POST",
+            "/rides",
+            Some(r#"{"origin":1,"destination":4,"now":0.0}"#),
+        ),
+        "submit",
+    );
+    gate(offer.status == 200, "POST /rides answers 200");
+    gate(
+        offer.body.contains("\"options\":[{"),
+        "the offer carries at least one option",
+    );
+    let session = json_u64(&offer.body, "session").expect("session id");
+    let request = json_u64(&offer.body, "request").expect("request id");
+
+    let state = must(
+        client.request("GET", &format!("/sessions/{session}"), None),
+        "session poll",
+    );
+    gate(
+        state.status == 200 && state.body.contains("\"offered\""),
+        "GET /sessions/{id} shows the offered state",
+    );
+
+    let confirmed = must(
+        client.request(
+            "POST",
+            &format!("/sessions/{session}/respond"),
+            Some(r#"{"decision":"choose","option":0,"now":1.0}"#),
+        ),
+        "confirm",
+    );
+    gate(confirmed.status == 200, "respond(choose) answers 200");
+
+    // Drive the vehicle through pickup and dropoff; the simulator's
+    // contract is location-first, arrival-second.
+    for (loc, travelled, event) in [(1, 500.0, "picked_up"), (4, 1500.0, "dropped_off")] {
+        let moved = must(
+            client.request(
+                "POST",
+                &format!("/vehicles/{vehicle}/location"),
+                Some(&format!(r#"{{"location":{loc},"travelled":{travelled}}}"#)),
+            ),
+            "location update",
+        );
+        gate(moved.status == 200, "location update answers 200");
+        let arrived = must(
+            client.request("POST", &format!("/vehicles/{vehicle}/arrived"), None),
+            "arrived",
+        );
+        gate(
+            arrived.status == 200 && arrived.body.contains(event),
+            &format!("arrival at vertex {loc} reports {event}"),
+        );
+    }
+
+    // The event stream replays the retained history in order.
+    let mut stream = must(
+        open_sse(
+            addr,
+            // Stop events (pickup/dropoff) carry the request id, not the
+            // session id, so a rider stream filters on both.
+            &format!("?session={session}&request={request}&limit=5"),
+            Duration::from_secs(5),
+        ),
+        "open SSE stream",
+    );
+    let frames = read_sse_frames(&mut stream, |f| f.len() >= 5);
+    let names: Vec<&str> = frames.iter().map(|f| f.event.as_str()).collect();
+    gate(
+        names
+            == [
+                "submitted",
+                "offered",
+                "confirmed",
+                "picked_up",
+                "dropped_off",
+            ],
+        &format!("SSE replays the lifecycle in order (got {names:?})"),
+    );
+
+    let metrics = must(client.request("GET", "/metrics", None), "metrics");
+    gate(metrics.status == 200, "GET /metrics answers 200");
+    for needle in [
+        "ptrider_server_connections_accepted_total",
+        "ptrider_server_requests_total",
+        "ptrider_server_rides_latency_seconds",
+        "ptrider_service_requests_submitted_total",
+    ] {
+        gate(
+            metrics.body.contains(needle),
+            &format!("/metrics exposes {needle}"),
+        );
+    }
+
+    gate(handle.shutdown(), "graceful shutdown drains in-flight work");
+    service.fingerprint()
+}
+
+/// Leg 2: a mid-commit panic on the respond path. The connection dies, the
+/// journal keeps only acknowledged operations, and recovery is
+/// deterministic: two independent replays agree bit for bit.
+fn crash_leg(dir: &Path) {
+    let service = journaled_service(dir);
+    // A panicking connection thread never reports drain completion, so
+    // keep the drain window short — shutdown must stay bounded.
+    let mut handle = start_server(Arc::clone(&service), Duration::from_millis(500));
+    let addr = handle.addr();
+    let mut client = must(
+        WireClient::connect(addr, Duration::from_secs(10)),
+        "connect (crash leg)",
+    );
+
+    let vehicle = must(
+        client.request("POST", "/vehicles", Some(r#"{"location":0}"#)),
+        "add vehicle (crash leg)",
+    );
+    gate(vehicle.status == 201, "crash leg: vehicle registered");
+    let offer = must(
+        client.request(
+            "POST",
+            "/rides",
+            Some(r#"{"origin":1,"destination":4,"now":0.0}"#),
+        ),
+        "submit (crash leg)",
+    );
+    gate(offer.status == 200, "crash leg: ride submitted");
+    let session = json_u64(&offer.body, "session").expect("session id");
+
+    // Arm a one-shot panic at the engine's mid-commit fault site, then
+    // confirm: the handler thread dies with the assignment half-applied
+    // in memory and *nothing* about it in the journal.
+    fault::arm(fault::FaultPlan::panic_once(fault::MID_COMMIT, 0));
+    let crashed = client.request(
+        "POST",
+        &format!("/sessions/{session}/respond"),
+        Some(r#"{"decision":"choose","option":0,"now":1.0}"#),
+    );
+    fault::disarm();
+    gate(
+        !matches!(&crashed, Ok(r) if r.status == 200),
+        "the mid-commit crash is never acknowledged as success",
+    );
+
+    // Shutdown stays bounded even though the crashed connection can no
+    // longer report drain completion, and it still flushes the journal.
+    let drained = handle.shutdown();
+    println!("  ok: shutdown after crash returned (drained={drained})");
+
+    let (first, vehicles) = recover_fingerprint(dir);
+    let (second, _) = recover_fingerprint(dir);
+    gate(
+        first == second,
+        "two replays of the crashed journal agree bit for bit",
+    );
+    gate(
+        vehicles == 1,
+        "the journaled fleet survives the crash intact",
+    );
+}
+
+fn main() {
+    let chaos = std::env::var("PTRIDER_CHAOS").ok();
+    match &chaos {
+        Some(seed) => println!("wire_smoke: chaos armed (PTRIDER_CHAOS={seed})"),
+        None => println!("wire_smoke: chaos not armed"),
+    }
+
+    let base = std::env::temp_dir().join(format!("ptrider-wire-smoke-{}", std::process::id()));
+    let lifecycle_dir: PathBuf = base.join("lifecycle");
+    let crash_dir: PathBuf = base.join("crash");
+
+    println!("wire_smoke: lifecycle leg");
+    let live = lifecycle_leg(&lifecycle_dir);
+    let (recovered, vehicles) = recover_fingerprint(&lifecycle_dir);
+    gate(
+        recovered == live,
+        "recovery reproduces the served state bit for bit",
+    );
+    gate(vehicles == 1, "recovery restores the wire-added vehicle");
+    if let Some(seed) = &chaos {
+        println!("  ok: lifecycle absorbed transient chaos (seed {seed})");
+    }
+
+    println!("wire_smoke: crash-recovery leg");
+    crash_leg(&crash_dir);
+
+    let _ = std::fs::remove_dir_all(&base);
+    println!("wire_smoke: PASS");
+}

@@ -12,6 +12,8 @@
 //! talks about — options per request, vehicles verified, sharing rate — so
 //! `cargo bench` output can be transcribed directly into EXPERIMENTS.md.
 
+pub mod wire;
+
 use ptrider_core::{EngineConfig, MatchResult, MatcherKind, PtRider, Request};
 use ptrider_datagen::{synthetic_city, CityConfig, TimedTrip, TripConfig, TripGenerator};
 use ptrider_roadnet::{GridConfig, VertexId};

@@ -77,8 +77,8 @@ pub use session::{Confirmation, Decision, Offer, OptionId, ServiceError, Session
 pub use skyline::Skyline;
 pub use stats::EngineStats;
 pub use telemetry::{
-    Counter, Gauge, Histogram, HistogramSnapshot, ShardedHistogram, Span, Stage, Telemetry,
-    TelemetryConfig, TelemetryLevel, TraceEvent,
+    Counter, Gauge, Histogram, HistogramSnapshot, PromWriter, ShardedHistogram, Span, Stage,
+    Telemetry, TelemetryConfig, TelemetryLevel, TraceEvent,
 };
 
 // Re-export the substrate types users need to drive the engine.

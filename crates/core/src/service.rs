@@ -178,6 +178,12 @@ pub struct RideService {
     /// plain leaf mutex: it is only ever taken while already inside the
     /// critical section that orders the journaled operation.
     journal: Option<Mutex<Journal>>,
+    /// The non-free-flow arc factors of the latest traffic epoch. Snapshots
+    /// carry them (plus the epoch count) as a prelude so recovery can
+    /// reinstate the oracle's metric without the pre-watermark
+    /// `TrafficUpdate` records — WAL rotation prunes those. Only written
+    /// under the world write lock (the traffic-epoch critical section).
+    last_traffic: Mutex<Option<Vec<(u32, f64)>>>,
     /// Seqlock mirror of [`Ledger::stats`]: every [`LedgerGuard`] republishes
     /// the stats on drop (while still holding the ledger mutex, so writers
     /// are serialized), and [`RideService::stats`] reads the mirror without
@@ -256,6 +262,7 @@ impl RideService {
                 next_session: 0,
             }),
             journal: None,
+            last_traffic: Mutex::new(None),
             stats_mirror,
         }
     }
@@ -1106,16 +1113,15 @@ impl RideService {
             // Only the non-free-flow arcs are journaled; the factor bits
             // rebuild the metric exactly on replay (the model's version
             // counter is advisory and never read by the oracle).
-            self.journal_op(&Op::TrafficUpdate {
-                now,
-                factors: model
-                    .factors()
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, f)| **f != 1.0)
-                    .map(|(i, f)| (i as u32, *f))
-                    .collect(),
-            });
+            let factors: Vec<(u32, f64)> = model
+                .factors()
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| **f != 1.0)
+                .map(|(i, f)| (i as u32, *f))
+                .collect();
+            *self.last_traffic.lock().unwrap_or_else(|p| p.into_inner()) = Some(factors.clone());
+            self.journal_op(&Op::TrafficUpdate { now, factors });
             outcome
         };
         self.events.publish(EngineEvent::TrafficUpdated {
@@ -1587,13 +1593,45 @@ impl RideService {
         let Ok(ledger) = self.ledger.lock() else {
             return None;
         };
-        let payload = encode_snapshot(&world, &ledger, &store, &self.events);
+        // Prelude: the oracle's traffic-metric state (epoch count + the
+        // latest non-free-flow factors). It travels in the snapshot because
+        // the WAL rotation that follows the snapshot prunes the
+        // pre-watermark `TrafficUpdate` records recovery used to rebuild
+        // the metric from. Not part of the fingerprint's canonical form —
+        // the epoch count is already covered via the ledger stats.
+        let mut prelude = Enc::new();
+        prelude.u64(self.shared.oracle.traffic_epoch());
+        {
+            let last = self.last_traffic.lock().unwrap_or_else(|p| p.into_inner());
+            let factors = last.as_deref().unwrap_or(&[]);
+            prelude.u32(factors.len() as u32);
+            for (arc, factor) in factors {
+                prelude.u32(*arc);
+                prelude.f64(*factor);
+            }
+        }
+        let mut payload = prelude.finish();
+        payload.extend_from_slice(&encode_snapshot(&world, &ledger, &store, &self.events));
         let journal = self.journal.as_ref()?;
         let mut journal = journal.lock().unwrap_or_else(|p| p.into_inner());
         let watermark = journal.next_seq();
         match journal.write_snapshot(watermark, &payload) {
             Ok(()) => Some(watermark),
             Err(_) => None,
+        }
+    }
+
+    /// Forces the attached journal's appended prefix durable (an explicit
+    /// fsync barrier — the graceful-shutdown flush of the HTTP front door).
+    /// Returns `true` when a journal is attached and the sync succeeded.
+    pub fn sync_journal(&self) -> bool {
+        match &self.journal {
+            Some(journal) => journal
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .sync()
+                .is_ok(),
+            None => false,
         }
     }
 
@@ -1659,37 +1697,38 @@ impl RideService {
         }
         let watermark = recovered.snapshot.as_ref().map(|(w, _)| *w).unwrap_or(0);
 
-        // Reinstate the traffic metric the snapshot was taken under. The
-        // snapshot's stats already count those epochs, so the oracle is
-        // driven directly (no ledger): (k-1) free-flow epochs advance the
-        // epoch counter, then the last journaled model restores the metric
-        // — post-recovery epochs thereby report the same numbers the
-        // original run would have.
-        let mut pre_snapshot_epochs = 0u64;
-        let mut last_factors: Option<&[(u32, f64)]> = None;
-        for (seq, op) in &ops {
-            if *seq >= watermark {
-                break;
-            }
-            if let Op::TrafficUpdate { factors, .. } = op {
-                pre_snapshot_epochs += 1;
-                last_factors = Some(factors);
-            }
-        }
-        if pre_snapshot_epochs > 0 {
-            let free = TrafficModel::free_flow(&svc.shared.net);
-            for _ in 1..pre_snapshot_epochs {
-                svc.shared.oracle.apply_traffic(&free);
-            }
-            let mut model = TrafficModel::free_flow(&svc.shared.net);
-            for (arc, factor) in last_factors.unwrap_or(&[]) {
-                model.set_arc_factor(*arc as usize, *factor);
-            }
-            svc.shared.oracle.apply_traffic(&model);
-        }
-
         if let Some((_, payload)) = &recovered.snapshot {
-            svc.install_snapshot(payload)?;
+            // The snapshot prelude carries the oracle's traffic-metric
+            // state (the pre-watermark `TrafficUpdate` records were pruned
+            // by the WAL rotation). Reinstate it *before* installing the
+            // body: the vehicle-index rebuild queries the oracle, so the
+            // metric must match the one the snapshot was taken under. The
+            // snapshot's stats already count those epochs, so the oracle is
+            // driven directly (no ledger): (k-1) free-flow epochs advance
+            // the epoch counter, then the last model restores the metric —
+            // post-recovery epochs thereby report the same numbers the
+            // original run would have.
+            let mut d = Dec::new(payload);
+            let pre_snapshot_epochs = d.u64()?;
+            let n = d.len(12)?;
+            let mut factors = Vec::with_capacity(n);
+            for _ in 0..n {
+                factors.push((d.u32()?, d.f64()?));
+            }
+            let body = d.rest();
+            if pre_snapshot_epochs > 0 {
+                let free = TrafficModel::free_flow(&svc.shared.net);
+                for _ in 1..pre_snapshot_epochs {
+                    svc.shared.oracle.apply_traffic(&free);
+                }
+                let mut model = TrafficModel::free_flow(&svc.shared.net);
+                for (arc, factor) in &factors {
+                    model.set_arc_factor(*arc as usize, *factor);
+                }
+                svc.shared.oracle.apply_traffic(&model);
+                *svc.last_traffic.lock().unwrap_or_else(|p| p.into_inner()) = Some(factors);
+            }
+            svc.install_snapshot(body)?;
         }
         for (seq, op) in ops {
             if seq < watermark {

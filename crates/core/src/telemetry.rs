@@ -537,11 +537,21 @@ pub enum Stage {
     JournalFsync,
     /// Writing one journal snapshot.
     JournalSnapshot,
+    /// HTTP server: one `accept` round-trip on the listener, including
+    /// the connection-cap admission decision.
+    ServerAccept,
+    /// HTTP server: reading one request head + body off a connection.
+    ServerRead,
+    /// HTTP server: dispatching one parsed request through the router
+    /// into `RideService`.
+    ServerHandle,
+    /// HTTP server: serialising and writing one response.
+    ServerWrite,
 }
 
 impl Stage {
     /// Every stage, in exposition order.
-    pub const ALL: [Stage; 12] = [
+    pub const ALL: [Stage; 16] = [
         Stage::ServiceSubmit,
         Stage::ServiceRespond,
         Stage::ServiceTick,
@@ -554,6 +564,10 @@ impl Stage {
         Stage::JournalAppend,
         Stage::JournalFsync,
         Stage::JournalSnapshot,
+        Stage::ServerAccept,
+        Stage::ServerRead,
+        Stage::ServerHandle,
+        Stage::ServerWrite,
     ];
 
     /// The stage's dotted span name (`"match.verify"`, ...).
@@ -571,6 +585,10 @@ impl Stage {
             Stage::JournalAppend => "journal.append",
             Stage::JournalFsync => "journal.fsync",
             Stage::JournalSnapshot => "journal.snapshot",
+            Stage::ServerAccept => "server.accept",
+            Stage::ServerRead => "server.read",
+            Stage::ServerHandle => "server.handle",
+            Stage::ServerWrite => "server.write",
         }
     }
 

@@ -1,0 +1,66 @@
+//! The PTRider network front door: a zero-dependency HTTP/1.1 server
+//! exposing the [`RideService`] lifecycle as JSON endpoints and
+//! server-sent events, over nothing but `std::net`.
+//!
+//! # Endpoints
+//!
+//! | Method & path                   | Meaning                                      |
+//! |---------------------------------|----------------------------------------------|
+//! | `POST /rides`                   | Submit a request; returns the offer skyline  |
+//! | `POST /sessions/{id}/respond`   | Confirm an option or decline                 |
+//! | `GET /sessions/{id}`            | Session lifecycle state                      |
+//! | `POST /vehicles`                | Add a vehicle to the fleet                   |
+//! | `POST /vehicles/{id}/location`  | Periodic location update                     |
+//! | `POST /vehicles/{id}/arrived`   | Serve the vehicle's next stop                |
+//! | `POST /tick`                    | Advance the offer-expiry clock               |
+//! | `GET /metrics`                  | Prometheus text exposition (0.0.4)           |
+//! | `GET /trace`                    | Drain the bounded trace ring as JSON         |
+//! | `GET /events`                   | SSE stream (`?session=&request=` to filter)  |
+//! | `GET /healthz`                  | Liveness probe                               |
+//!
+//! Request bodies are JSON; `now` (workload seconds) is optional
+//! everywhere and defaults to seconds since the server started.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use ptrider_core::{EngineConfig, RideService};
+//! use ptrider_roadnet::{GridConfig, RoadNetworkBuilder};
+//! use ptrider_server::{Server, ServerConfig};
+//! use std::sync::Arc;
+//!
+//! let mut b = RoadNetworkBuilder::new();
+//! let a = b.add_vertex(0.0, 0.0);
+//! let z = b.add_vertex(1000.0, 0.0);
+//! b.add_bidirectional_edge(a, z, 1000.0);
+//! let service = Arc::new(RideService::new(
+//!     b.build().unwrap(),
+//!     GridConfig::with_dimensions(1, 1),
+//!     EngineConfig::default(),
+//! ));
+//! let mut handle = Server::start(service, ServerConfig::default()).unwrap();
+//! println!("listening on {}", handle.addr());
+//! // ... drive it over HTTP ...
+//! handle.shutdown();
+//! ```
+//!
+//! See DESIGN.md "Network front door" for the threading model,
+//! backpressure watermarks, SSE cursor semantics, and the shutdown /
+//! journal-flush ordering.
+//!
+//! [`RideService`]: ptrider_core::RideService
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod http;
+pub mod json;
+pub mod router;
+pub mod server;
+pub mod sse;
+
+pub use config::ServerConfig;
+pub use http::{HttpRequest, Response};
+pub use json::Json;
+pub use router::{Endpoint, SseParams};
+pub use server::{Server, ServerHandle};

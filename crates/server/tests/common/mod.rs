@@ -1,0 +1,166 @@
+//! Shared plumbing for the wire-protocol tests: a tiny blocking HTTP
+//! client and a ready-made service + server fixture.
+
+// Each integration-test binary compiles its own copy of this module and
+// uses a different subset of it.
+#![allow(dead_code)]
+
+use ptrider_core::{EngineConfig, RideService, ServiceConfig};
+use ptrider_roadnet::{GridConfig, RoadNetwork, RoadNetworkBuilder};
+use ptrider_server::{Server, ServerConfig, ServerHandle};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A parsed response.
+#[derive(Clone, Debug)]
+pub struct ClientResponse {
+    pub status: u16,
+    pub headers: Vec<(String, String)>,
+    pub body: String,
+}
+
+impl ClientResponse {
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A keep-alive client connection.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    pub fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        Client { stream }
+    }
+
+    /// Wraps a stream the test already manipulated directly.
+    pub fn from_stream(stream: TcpStream) -> Client {
+        Client { stream }
+    }
+
+    /// Sends one request and reads one response (Content-Length framed).
+    pub fn request(&mut self, method: &str, path: &str, body: Option<&str>) -> ClientResponse {
+        let body = body.unwrap_or("");
+        let raw = format!(
+            "{method} {path} HTTP/1.1\r\nhost: test\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        self.stream.write_all(raw.as_bytes()).expect("write");
+        self.read_response()
+    }
+
+    /// Sends raw bytes verbatim, then reads one response.
+    pub fn send_raw(&mut self, raw: &[u8]) -> ClientResponse {
+        self.stream.write_all(raw).expect("write raw");
+        self.read_response()
+    }
+
+    pub fn read_response(&mut self) -> ClientResponse {
+        let mut head = Vec::new();
+        let mut byte = [0u8; 1];
+        while !head.ends_with(b"\r\n\r\n") {
+            match self.stream.read(&mut byte) {
+                Ok(1) => head.push(byte[0]),
+                _ => panic!(
+                    "connection closed mid-response head: {:?}",
+                    String::from_utf8_lossy(&head)
+                ),
+            }
+        }
+        let head = String::from_utf8(head).expect("UTF-8 head");
+        let mut lines = head.split("\r\n");
+        let status_line = lines.next().unwrap();
+        let status: u16 = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("bad status line {status_line:?}"));
+        let headers: Vec<(String, String)> = lines
+            .filter(|l| !l.is_empty())
+            .filter_map(|l| l.split_once(':'))
+            .map(|(n, v)| (n.trim().to_lowercase(), v.trim().to_string()))
+            .collect();
+        let length: usize = headers
+            .iter()
+            .find(|(n, _)| n == "content-length")
+            .and_then(|(_, v)| v.parse().ok())
+            .unwrap_or(0);
+        let mut body = vec![0u8; length];
+        self.stream.read_exact(&mut body).expect("body");
+        ClientResponse {
+            status,
+            headers,
+            body: String::from_utf8(body).expect("UTF-8 body"),
+        }
+    }
+}
+
+/// A 6-vertex line network (vertices 0..6, 500 m apart).
+pub fn line_net() -> RoadNetwork {
+    let mut b = RoadNetworkBuilder::new();
+    let vertices: Vec<_> = (0..6)
+        .map(|i| b.add_vertex(i as f64 * 500.0, 0.0))
+        .collect();
+    for pair in vertices.windows(2) {
+        b.add_bidirectional_edge(pair[0], pair[1], 500.0);
+    }
+    b.build().unwrap()
+}
+
+/// The grid config matching [`line_net`].
+pub fn line_grid() -> GridConfig {
+    GridConfig::with_dimensions(3, 1)
+}
+
+/// A service over [`line_net`] with one vehicle parked at vertex 0.
+pub fn service() -> Arc<RideService> {
+    service_with(ServiceConfig::default(), EngineConfig::default())
+}
+
+pub fn service_with(service_config: ServiceConfig, config: EngineConfig) -> Arc<RideService> {
+    let service =
+        RideService::new(line_net(), line_grid(), config).with_service_config(service_config);
+    service.add_vehicle(ptrider_roadnet::VertexId(0));
+    Arc::new(service)
+}
+
+/// Starts a server on an ephemeral port with test-friendly timeouts.
+pub fn start(
+    service: Arc<RideService>,
+    tune: impl FnOnce(ServerConfig) -> ServerConfig,
+) -> ServerHandle {
+    let config = tune(
+        ServerConfig::default()
+            .with_addr("127.0.0.1:0")
+            .with_read_timeout(Duration::from_millis(500))
+            .with_idle_timeout(Duration::from_secs(5))
+            .with_drain_timeout(Duration::from_secs(5))
+            .with_sse_poll(Duration::from_millis(5)),
+    );
+    Server::start(service, config).expect("server start")
+}
+
+/// Extracts `"key":<number>` from a flat JSON body (test-grade).
+pub fn json_u64(body: &str, key: &str) -> u64 {
+    let needle = format!("\"{key}\":");
+    let start = body
+        .find(&needle)
+        .unwrap_or_else(|| panic!("{key:?} not in {body:?}"))
+        + needle.len();
+    let rest = &body[start..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().expect("number")
+}

@@ -55,6 +55,13 @@
 //! `submit`/`choose`) remains available as a thin shim over the same
 //! engine internals — the service is property-tested to produce bit-
 //! identical option skylines.
+//!
+//! For remote clients the [`server`] module (re-export of
+//! `ptrider-server`) puts the same lifecycle behind a zero-dependency
+//! HTTP/1.1 front door — JSON endpoints, SSE event streams, Prometheus
+//! exposition, bounded backpressure and graceful shutdown. See
+//! `examples/wire_quickstart.rs` for a client-and-server walkthrough and
+//! DESIGN.md ("Network front door") for the threading and shedding model.
 
 #![warn(missing_docs)]
 
@@ -74,6 +81,10 @@ pub use ptrider_datagen as datagen;
 /// Day simulator and statistics (re-export of `ptrider-sim`).
 pub use ptrider_sim as sim;
 
+/// HTTP/JSON front door with SSE streaming (re-export of
+/// `ptrider-server`).
+pub use ptrider_server as server;
+
 pub use ptrider_core::{
     BatchAdmission, BatchOutcome, Confirmation, Decision, DistanceBackend, EngineConfig,
     EngineEvent, EngineStats, EventCursor, EventLog, GridConfig, Journal, JournalConfig,
@@ -88,4 +99,5 @@ pub use ptrider_core::{
 };
 pub use ptrider_roadnet::fault;
 pub use ptrider_roadnet::{CchTopology, ContractionHierarchy};
+pub use ptrider_server::{Server, ServerConfig, ServerHandle};
 pub use ptrider_sim::{ChoicePolicy, SimConfig, SimulationReport, Simulator, TrafficSimConfig};

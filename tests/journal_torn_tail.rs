@@ -128,12 +128,166 @@ fn torn_snapshot_is_refused_with_a_typed_error_not_a_panic() {
                 assert_eq!(cut, snap_bytes.len(), "only the full file is intact");
                 assert_eq!(watermark, 5);
                 assert_eq!(payload, snapshot_payload);
-                assert_eq!(recovered.ops.len(), 6, "the WAL still replays fully");
+                // The rotation at the snapshot pruned the five covered
+                // records; only the post-snapshot record remains.
+                assert_eq!(recovered.ops.len(), 1, "the post-snapshot tail replays");
+                assert_eq!(recovered.ops[0].0, 5);
             }
             Err(JournalError::Corrupt(_)) | Err(JournalError::Io(_)) => {
                 assert_ne!(cut, snap_bytes.len(), "the intact file must open");
             }
         }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Builds a two-segment journal: records 0..4 in a sealed segment (the
+/// snapshot watermark 2 leaves it partially uncovered, so rotation keeps
+/// it) and records 4..8 in the active WAL. Returns the payloads, the
+/// sealed segment's bytes, the active WAL's bytes, and the directory
+/// layout's file names.
+fn reference_segmented() -> (Vec<Vec<u8>>, Vec<u8>, Vec<u8>, String) {
+    let dir = temp_dir("segmented-reference");
+    let mut journal = Journal::create(&dir, JournalConfig::default()).unwrap();
+    let mut payloads = Vec::new();
+    for i in 0..4u64 {
+        let payload: Vec<u8> = (0..7 + i).map(|k| (k as u8) ^ (i as u8) ^ 0xa5).collect();
+        journal.append(&payload).unwrap();
+        payloads.push(payload);
+    }
+    journal.write_snapshot(2, b"segmented snapshot").unwrap();
+    for i in 4..8u64 {
+        let payload: Vec<u8> = (0..5 + i)
+            .map(|k| (k as u8).wrapping_add(i as u8))
+            .collect();
+        journal.append(&payload).unwrap();
+        payloads.push(payload);
+    }
+    journal.sync().unwrap();
+    drop(journal);
+    let mut segment_name = None;
+    for entry in std::fs::read_dir(&dir).unwrap() {
+        let name = entry.unwrap().file_name().into_string().unwrap();
+        if name.starts_with("segment-") {
+            segment_name = Some(name);
+        }
+    }
+    let segment_name = segment_name.expect("the snapshot sealed one segment");
+    let sealed = std::fs::read(dir.join(&segment_name)).unwrap();
+    let active = std::fs::read(dir.join("wal.bin")).unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+    (payloads, sealed, active, segment_name)
+}
+
+/// Writes the two-segment layout into `dir` (no snapshot file — the
+/// record scan is what is under test) and opens it, asserting the prefix
+/// property against `payloads`.
+fn open_segmented_and_check(
+    dir: &PathBuf,
+    segment_name: &str,
+    sealed: &[u8],
+    active: &[u8],
+    payloads: &[Vec<u8>],
+    label: &str,
+) -> Option<usize> {
+    // Remove leftovers from previous iterations: open() may itself prune
+    // or truncate files, and a stale segment would corrupt the layout.
+    for entry in std::fs::read_dir(dir).unwrap() {
+        let _ = std::fs::remove_file(entry.unwrap().path());
+    }
+    std::fs::write(dir.join(segment_name), sealed).unwrap();
+    std::fs::write(dir.join("wal.bin"), active).unwrap();
+    match Journal::open(dir, JournalConfig::default()) {
+        Ok((recovered, journal)) => {
+            assert!(
+                recovered.ops.len() <= payloads.len(),
+                "{label}: more records than were written"
+            );
+            for (i, (seq, payload)) in recovered.ops.iter().enumerate() {
+                assert_eq!(*seq, i as u64, "{label}: sequence gap");
+                assert_eq!(payload, &payloads[i], "{label}: record {i} altered");
+            }
+            assert_eq!(
+                journal.next_seq(),
+                recovered.ops.len() as u64,
+                "{label}: journal must resume where the valid prefix ends"
+            );
+            Some(recovered.ops.len())
+        }
+        Err(JournalError::Corrupt(_)) | Err(JournalError::Io(_)) => None,
+    }
+}
+
+#[test]
+fn truncating_the_active_wal_of_a_segmented_journal_keeps_the_sealed_prefix() {
+    let (payloads, sealed, active, segment_name) = reference_segmented();
+    let dir = temp_dir("segmented-active-cut");
+    let mut recovered_counts = Vec::new();
+    for cut in 0..=active.len() {
+        let label = format!("active cut at {cut}/{}", active.len());
+        if let Some(n) = open_segmented_and_check(
+            &dir,
+            &segment_name,
+            &sealed,
+            &active[..cut],
+            &payloads,
+            &label,
+        ) {
+            // The sealed segment always survives a torn active WAL.
+            assert!(n >= 4, "{label}: sealed records lost");
+            recovered_counts.push(n);
+        }
+    }
+    assert!(recovered_counts.windows(2).all(|w| w[0] <= w[1]));
+    assert_eq!(recovered_counts.last(), Some(&payloads.len()));
+    assert_eq!(recovered_counts.first(), Some(&4));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn truncating_a_sealed_segment_drops_everything_after_the_tear() {
+    let (payloads, sealed, active, segment_name) = reference_segmented();
+    let dir = temp_dir("segmented-sealed-cut");
+    let mut recovered_counts = Vec::new();
+    for cut in 0..=sealed.len() {
+        let label = format!("sealed cut at {cut}/{}", sealed.len());
+        if let Some(n) = open_segmented_and_check(
+            &dir,
+            &segment_name,
+            &sealed[..cut],
+            &active,
+            &payloads,
+            &label,
+        ) {
+            // A tear inside the sealed segment invalidates the active WAL
+            // too: the recovered stream is a prefix of the sealed records.
+            assert!(
+                n <= 4 || cut == sealed.len(),
+                "{label}: active records must not survive a sealed tear"
+            );
+            recovered_counts.push(n);
+        }
+    }
+    assert!(recovered_counts.windows(2).all(|w| w[0] <= w[1]));
+    assert_eq!(recovered_counts.last(), Some(&payloads.len()));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bit_flips_across_a_segmented_journal_never_panic_or_fabricate() {
+    let (payloads, sealed, active, segment_name) = reference_segmented();
+    let dir = temp_dir("segmented-bitflip");
+    for pos in 0..sealed.len() {
+        let mut damaged = sealed.clone();
+        damaged[pos] ^= 0x40;
+        let label = format!("sealed flip at {pos}/{}", sealed.len());
+        let _ = open_segmented_and_check(&dir, &segment_name, &damaged, &active, &payloads, &label);
+    }
+    for pos in 0..active.len() {
+        let mut damaged = active.clone();
+        damaged[pos] ^= 0x40;
+        let label = format!("active flip at {pos}/{}", active.len());
+        let _ = open_segmented_and_check(&dir, &segment_name, &sealed, &damaged, &payloads, &label);
     }
     let _ = std::fs::remove_dir_all(&dir);
 }
