@@ -573,10 +573,13 @@ struct TelemetryNumbers {
     off_sessions_per_sec: f64,
     counters_sessions_per_sec: f64,
     spans_sessions_per_sec: f64,
-    /// Throughput lost with counters / full spans relative to telemetry
-    /// off, in percent (positive = instrumented run was slower).
+    trace_sessions_per_sec: f64,
+    /// Throughput lost with counters / stage histograms / full
+    /// request-scoped tracing relative to telemetry off, in percent
+    /// (positive = instrumented run was slower).
     counters_overhead_pct: f64,
     spans_overhead_pct: f64,
+    trace_overhead_pct: f64,
     submit_p50_us: f64,
     submit_p99_us: f64,
     verify_p99_us: f64,
@@ -584,40 +587,225 @@ struct TelemetryNumbers {
 }
 
 /// E15: telemetry overhead on the E12 session-storm workload. Runs the
-/// same measurement at the `off`, `counters` and `spans` levels in
-/// interleaved rounds (best-of damps scheduler drift) by flipping
-/// `PTRIDER_TELEMETRY` between engine constructions — the config is
-/// deliberately re-read from the environment at every construction for
-/// exactly this in-process A/B.
+/// same measurement at the `off`, `counters` and `spans` levels — the
+/// latter split into stage-histograms-only (`PTRIDER_TRACE_CAPACITY=0`)
+/// and full request-scoped tracing (default capacity: span trees,
+/// exemplars, lock profiles) — in interleaved rounds (best-of damps
+/// scheduler drift) by flipping `PTRIDER_TELEMETRY` between engine
+/// constructions. The config is deliberately re-read from the
+/// environment at every construction for exactly this in-process A/B.
 fn measure_telemetry(params: WorldParams, submitters: usize) -> TelemetryNumbers {
-    let levels = ["off", "counters", "spans"];
-    let mut best = [0.0f64; 3];
-    let mut spans_run = ServiceNumbers::default();
+    // (label, PTRIDER_TELEMETRY, PTRIDER_TRACE_CAPACITY; "" = unset).
+    let levels = [
+        ("off", "off", "0"),
+        ("counters", "counters", "0"),
+        ("spans", "spans", "0"),
+        ("trace", "spans", ""),
+    ];
+    let mut best = [0.0f64; 4];
+    let mut trace_run = ServiceNumbers::default();
     for _ in 0..3 {
-        for (i, level) in levels.iter().enumerate() {
+        for (i, (label, level, capacity)) in levels.iter().enumerate() {
             std::env::set_var("PTRIDER_TELEMETRY", level);
+            if capacity.is_empty() {
+                std::env::remove_var("PTRIDER_TRACE_CAPACITY");
+            } else {
+                std::env::set_var("PTRIDER_TRACE_CAPACITY", capacity);
+            }
             let run = measure_service_throughput(params, submitters);
             if run.sessions_per_sec > best[i] {
                 best[i] = run.sessions_per_sec;
-                if *level == "spans" {
-                    spans_run = run;
+                if *label == "trace" {
+                    trace_run = run;
                 }
             }
         }
     }
     std::env::remove_var("PTRIDER_TELEMETRY");
+    std::env::remove_var("PTRIDER_TRACE_CAPACITY");
     let overhead = |instrumented: f64| (1.0 - instrumented / best[0].max(1e-9)) * 100.0;
     TelemetryNumbers {
         off_sessions_per_sec: best[0],
         counters_sessions_per_sec: best[1],
         spans_sessions_per_sec: best[2],
+        trace_sessions_per_sec: best[3],
         counters_overhead_pct: overhead(best[1]),
         spans_overhead_pct: overhead(best[2]),
-        submit_p50_us: spans_run.submit_p50_us,
-        submit_p99_us: spans_run.submit_p99_us,
-        verify_p99_us: spans_run.verify_p99_us,
-        lock_wait_p99_us: spans_run.lock_wait_p99_us,
+        trace_overhead_pct: overhead(best[3]),
+        submit_p50_us: trace_run.submit_p50_us,
+        submit_p99_us: trace_run.submit_p99_us,
+        verify_p99_us: trace_run.verify_p99_us,
+        lock_wait_p99_us: trace_run.lock_wait_p99_us,
     }
+}
+
+/// Total submit→decline sessions each contention level drives.
+const CONTENTION_SESSIONS: usize = 2048;
+/// Connection sweep: comfortably under the handler-thread count's queue
+/// vs far above it — the two operating points the geo-sharding work
+/// compares against.
+const CONTENTION_SWEEP: [usize; 2] = [64, 1024];
+/// Client stacks can be small: one buffered socket and a counter.
+const CONTENTION_CLIENT_STACK: usize = 256 * 1024;
+
+#[derive(Clone, Default)]
+struct ContentionLevel {
+    conns: usize,
+    completed: usize,
+    errors: usize,
+    /// Every lock site that saw traffic, profiler summaries in
+    /// registration order. The headline is `ledger` — the admission
+    /// writer: journal order == admission order is enforced inside its
+    /// critical section, and the decline storm never takes
+    /// `world.write` (submit matches under `world.read`; only commits
+    /// and ticks write).
+    sites: Vec<ptrider_core::LockSiteSummary>,
+}
+
+/// Contention profile of the service's lock sites under a wire-level
+/// storm: the same submit→decline session driven through the HTTP front
+/// door at 64 vs 1024 concurrent connections. Each level gets a fresh
+/// service (fresh lock sites) built with full tracing enabled, so the
+/// numbers are the lock profiler's own view of the serialization points
+/// — the quantitative baseline the geo-sharding work measures itself
+/// against.
+fn measure_contention(params: WorldParams) -> Vec<ContentionLevel> {
+    use ptrider_bench::wire::{json_u64, WireClient};
+    use ptrider_server::{Server, ServerConfig};
+    use std::sync::{Arc, Barrier, Mutex};
+    use std::time::Duration;
+
+    let mut out = Vec::new();
+    for &conns in &CONTENTION_SWEEP {
+        std::env::set_var("PTRIDER_TELEMETRY", "spans");
+        let mut world = build_world(params, EngineConfig::paper_defaults(), 0);
+        std::env::remove_var("PTRIDER_TELEMETRY");
+        world.engine.set_matcher(MatcherKind::DualSide);
+        let probes: Vec<(VertexId, VertexId, u32)> = TripGenerator::new(
+            world.engine.network(),
+            TripConfig {
+                num_trips: 192,
+                seed: params.seed ^ 0xc017,
+                ..TripConfig::default()
+            },
+        )
+        .generate()
+        .iter()
+        .map(|t| (t.origin, t.destination, t.riders))
+        .filter(|(o, d, _)| o != d)
+        .collect();
+        let service = Arc::new(
+            RideService::from_engine(world.engine)
+                .with_service_config(ServiceConfig::default().with_offer_ttl_secs(1e12)),
+        );
+        assert!(service.telemetry().tracing_enabled());
+
+        let config = ServerConfig::default()
+            .with_addr("127.0.0.1:0")
+            .with_threads(8)
+            .with_max_conns(CONTENTION_SWEEP[CONTENTION_SWEEP.len() - 1] * 2)
+            .with_read_timeout(Duration::from_secs(30))
+            .with_idle_timeout(Duration::from_secs(60));
+        let mut handle = Server::start(Arc::clone(&service), config).expect("server start");
+        let addr = handle.addr();
+
+        let sessions = (CONTENTION_SESSIONS / conns).max(1);
+        let barrier = Barrier::new(conns + 1);
+        let tallies: Mutex<(usize, usize)> = Mutex::new((0, 0));
+        std::thread::scope(|scope| {
+            let mut workers = Vec::with_capacity(conns);
+            for index in 0..conns {
+                let barrier = &barrier;
+                let tallies = &tallies;
+                let probes = &probes;
+                workers.push(
+                    std::thread::Builder::new()
+                        .stack_size(CONTENTION_CLIENT_STACK)
+                        .name("contention-conn".into())
+                        .spawn_scoped(scope, move || {
+                            let mut client = None;
+                            for _ in 0..3 {
+                                match WireClient::connect(addr, Duration::from_secs(30)) {
+                                    Ok(c) => {
+                                        client = Some(c);
+                                        break;
+                                    }
+                                    Err(_) => std::thread::sleep(Duration::from_millis(10)),
+                                }
+                            }
+                            let Some(mut client) = client else {
+                                barrier.wait();
+                                let mut t = tallies.lock().unwrap();
+                                t.1 += sessions;
+                                return;
+                            };
+                            barrier.wait();
+                            let (mut completed, mut errors) = (0usize, 0usize);
+                            for s in 0..sessions {
+                                let (o, d, riders) =
+                                    probes[(index * sessions + s) % probes.len()];
+                                let offer = client.request(
+                                    "POST",
+                                    "/rides",
+                                    Some(&format!(
+                                        r#"{{"origin":{},"destination":{},"riders":{riders},"now":0.0}}"#,
+                                        o.0, d.0
+                                    )),
+                                );
+                                let session = match offer {
+                                    Ok(r) if r.status == 200 => json_u64(&r.body, "session"),
+                                    _ => None,
+                                };
+                                let Some(session) = session else {
+                                    errors += 1;
+                                    break;
+                                };
+                                match client.request(
+                                    "POST",
+                                    &format!("/sessions/{session}/respond"),
+                                    Some(r#"{"decision":"decline","now":0.0}"#),
+                                ) {
+                                    Ok(r) if r.status == 200 || r.status == 409 || r.status == 410 => {
+                                        completed += 1;
+                                    }
+                                    _ => {
+                                        errors += 1;
+                                        break;
+                                    }
+                                }
+                            }
+                            let mut t = tallies.lock().unwrap();
+                            t.0 += completed;
+                            t.1 += errors;
+                        })
+                        .expect("spawn contention worker"),
+                );
+            }
+            barrier.wait();
+            for w in workers {
+                let _ = w.join();
+            }
+        });
+        handle.shutdown();
+
+        let (completed, errors) = *tallies.lock().unwrap();
+        let report = service.telemetry().contention_report();
+        assert!(
+            report.site("ledger").is_some(),
+            "ledger site registered under spans"
+        );
+        out.push(ContentionLevel {
+            conns,
+            completed,
+            errors,
+            sites: report
+                .sites
+                .into_iter()
+                .filter(|s| s.acquisitions > 0)
+                .collect(),
+        });
+    }
+    out
 }
 
 #[derive(Clone, Copy, Default)]
@@ -1097,13 +1285,42 @@ fn main() {
         .collect();
 
     eprintln!(
-        "[perf_report] e15: telemetry overhead (off vs counters vs spans) on the e12 storm ..."
+        "[perf_report] e15: telemetry overhead (off vs counters vs spans vs full tracing) on \
+         the e12 storm ..."
     );
     let e15 = measure_telemetry(params, 2);
     eprintln!(
-        "[perf_report] e15: counters {:+.1}%, spans {:+.1}% vs off; submit p50 {:.1}us p99 {:.1}us",
-        e15.counters_overhead_pct, e15.spans_overhead_pct, e15.submit_p50_us, e15.submit_p99_us
+        "[perf_report] e15: counters {:+.1}%, spans {:+.1}%, tracing {:+.1}% vs off; submit \
+         p50 {:.1}us p99 {:.1}us",
+        e15.counters_overhead_pct,
+        e15.spans_overhead_pct,
+        e15.trace_overhead_pct,
+        e15.submit_p50_us,
+        e15.submit_p99_us
     );
+
+    eprintln!(
+        "[perf_report] contention: lock-site waits under a wire storm at {:?} connections ...",
+        CONTENTION_SWEEP
+    );
+    let contention = measure_contention(params);
+    for level in &contention {
+        for site in &level.sites {
+            eprintln!(
+                "[perf_report] contention @ {:>4} conns {:>12}: wait p50 {:.1}us p99 {:.1}us \
+                 max {:.1}us ({} contended / {} acquisitions; {} sessions, {} errors)",
+                level.conns,
+                site.name,
+                site.wait_p50_ns as f64 * 1e-3,
+                site.wait_p99_ns as f64 * 1e-3,
+                site.wait_max_ns as f64 * 1e-3,
+                site.contended,
+                site.acquisitions,
+                level.completed,
+                level.errors
+            );
+        }
+    }
 
     eprintln!("[perf_report] e14: journal append overhead, snapshot and recovery replay ...");
     let e14 = measure_journal();
@@ -1403,6 +1620,11 @@ fn main() {
     );
     let _ = writeln!(
         out,
+        "    \"trace_sessions_per_sec\": {:.0},",
+        e15.trace_sessions_per_sec
+    );
+    let _ = writeln!(
+        out,
         "    \"counters_overhead_pct\": {:.2},",
         e15.counters_overhead_pct
     );
@@ -1411,10 +1633,46 @@ fn main() {
         "    \"spans_overhead_pct\": {:.2},",
         e15.spans_overhead_pct
     );
+    let _ = writeln!(
+        out,
+        "    \"trace_overhead_pct\": {:.2},",
+        e15.trace_overhead_pct
+    );
     let _ = writeln!(out, "    \"submit_p50_us\": {:.1},", e15.submit_p50_us);
     let _ = writeln!(out, "    \"submit_p99_us\": {:.1},", e15.submit_p99_us);
     let _ = writeln!(out, "    \"verify_p99_us\": {:.1},", e15.verify_p99_us);
     let _ = writeln!(out, "    \"lock_wait_p99_us\": {:.1}", e15.lock_wait_p99_us);
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"contention\": {{");
+    let _ = writeln!(out, "    \"admission_writer_site\": \"ledger\",");
+    let _ = writeln!(out, "    \"levels\": [");
+    for (i, level) in contention.iter().enumerate() {
+        let comma = if i + 1 == contention.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "      {{ \"conns\": {}, \"sessions\": {}, \"errors\": {}, \"sites\": [",
+            level.conns, level.completed, level.errors
+        );
+        for (j, site) in level.sites.iter().enumerate() {
+            let site_comma = if j + 1 == level.sites.len() { "" } else { "," };
+            let _ = writeln!(
+                out,
+                "        {{ \"site\": \"{}\", \"acquisitions\": {}, \"contended\": {}, \
+                 \"wait_p50_us\": {:.1}, \"wait_p99_us\": {:.1}, \"wait_max_us\": {:.1}, \
+                 \"hold_p50_us\": {:.1}, \"hold_p99_us\": {:.1} }}{site_comma}",
+                site.name,
+                site.acquisitions,
+                site.contended,
+                site.wait_p50_ns as f64 * 1e-3,
+                site.wait_p99_ns as f64 * 1e-3,
+                site.wait_max_ns as f64 * 1e-3,
+                site.hold_p50_ns as f64 * 1e-3,
+                site.hold_p99_ns as f64 * 1e-3
+            );
+        }
+        let _ = writeln!(out, "      ] }}{comma}");
+    }
+    let _ = writeln!(out, "    ]");
     let _ = writeln!(out, "  }},");
     let _ = writeln!(out, "  \"e16_preprocess_sweep\": {{");
     let _ = writeln!(

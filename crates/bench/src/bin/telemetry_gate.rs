@@ -1,14 +1,22 @@
 //! CI gate: telemetry must stay (close to) free when enabled.
 //!
-//! Runs the E12-style session storm twice per round — once with
-//! `PTRIDER_TELEMETRY=off` and once with `PTRIDER_TELEMETRY=spans` — on
-//! identically seeded worlds, keeps the best round per level to damp
-//! scheduler noise, and fails (exit code 1) when the spans build loses
-//! more than the budget (default 5%, override with
-//! `PTRIDER_TELEMETRY_GATE_PCT`).
+//! Runs the E12-style session storm three times per round on identically
+//! seeded worlds:
+//!
+//! * `PTRIDER_TELEMETRY=off` — the baseline;
+//! * `spans` with `PTRIDER_TRACE_CAPACITY=0` — stage histograms only
+//!   (request-scoped tracing disabled), held to the histogram budget
+//!   (default 5%, override with `PTRIDER_TELEMETRY_GATE_PCT`);
+//! * `spans` with the default trace capacity — full request-scoped
+//!   tracing (span trees, exemplars, lock profiles), held to the tracing
+//!   budget (7%, or the histogram budget when that is set higher).
+//!
+//! Keeps the best round per level to damp scheduler noise and fails
+//! (exit code 1) when either instrumented build loses more than its
+//! budget.
 //!
 //! Run with `cargo run --release -p ptrider-bench --bin telemetry_gate`.
-//! The interleaved A/B works in one process because `TelemetryConfig::
+//! The interleaved A/B/C works in one process because `TelemetryConfig::
 //! from_env` re-reads the environment at every engine construction.
 
 use ptrider_bench::{build_world, WorldParams};
@@ -82,30 +90,51 @@ fn main() {
         ..WorldParams::default()
     };
 
-    let levels = ["off", "spans"];
-    let mut best = [0.0f64; 2];
+    let trace_budget_pct = budget_pct.max(7.0);
+    // (label, PTRIDER_TELEMETRY, PTRIDER_TRACE_CAPACITY, budget vs off).
+    let legs: [(&str, &str, &str, Option<f64>); 3] = [
+        ("off", "off", "0", None),
+        ("spans", "spans", "0", Some(budget_pct)),
+        ("trace", "spans", "", Some(trace_budget_pct)),
+    ];
+    let mut best = [0.0f64; 3];
     eprintln!(
-        "telemetry_gate: {AB_ROUNDS} interleaved rounds, {} vehicles, budget {budget_pct:.1}%",
+        "telemetry_gate: {AB_ROUNDS} interleaved rounds, {} vehicles, budgets {budget_pct:.1}% (spans) / {trace_budget_pct:.1}% (trace)",
         params.vehicles
     );
     for round in 0..AB_ROUNDS {
-        for (i, level) in levels.iter().enumerate() {
+        for (i, (label, level, capacity, _)) in legs.iter().enumerate() {
             std::env::set_var("PTRIDER_TELEMETRY", level);
+            if capacity.is_empty() {
+                std::env::remove_var("PTRIDER_TRACE_CAPACITY");
+            } else {
+                std::env::set_var("PTRIDER_TRACE_CAPACITY", capacity);
+            }
             let rate = storm(params);
             if rate > best[i] {
                 best[i] = rate;
             }
-            eprintln!("  round {round} {level:>5}: {rate:>10.0} sessions/s");
+            eprintln!("  round {round} {label:>5}: {rate:>10.0} sessions/s");
         }
     }
     std::env::remove_var("PTRIDER_TELEMETRY");
+    std::env::remove_var("PTRIDER_TRACE_CAPACITY");
 
-    let overhead_pct = (1.0 - best[1] / best[0].max(1e-9)) * 100.0;
+    let mut failed = false;
     println!("off   : {:>10.0} sessions/s (best of {AB_ROUNDS})", best[0]);
-    println!("spans : {:>10.0} sessions/s (best of {AB_ROUNDS})", best[1]);
-    println!("spans overhead: {overhead_pct:.2}% (budget {budget_pct:.1}%)");
-    if overhead_pct > budget_pct {
-        eprintln!("FAIL: telemetry spans overhead {overhead_pct:.2}% exceeds {budget_pct:.1}%");
+    for (i, (label, _, _, budget)) in legs.iter().enumerate().skip(1) {
+        let overhead_pct = (1.0 - best[i] / best[0].max(1e-9)) * 100.0;
+        let budget = budget.expect("instrumented legs carry a budget");
+        println!(
+            "{label:<6}: {:>10.0} sessions/s — overhead {overhead_pct:.2}% (budget {budget:.1}%)",
+            best[i]
+        );
+        if overhead_pct > budget {
+            eprintln!("FAIL: telemetry {label} overhead {overhead_pct:.2}% exceeds {budget:.1}%");
+            failed = true;
+        }
+    }
+    if failed {
         std::process::exit(1);
     }
     println!("PASS");

@@ -285,6 +285,107 @@ fn crash_leg(dir: &Path) {
     );
 }
 
+/// Leg 3: request-scoped tracing over the wire. Every response echoes
+/// `X-Request-Id`; a traced submit's span tree comes back through
+/// `GET /trace/{id}`; inbound identities are honored; the lock-contention
+/// profiler and trace-drop counter are exposed in `/metrics`.
+fn tracing_leg() {
+    // `TelemetryConfig::from_env` is read at engine construction, so the
+    // flip below affects only this leg's service.
+    std::env::set_var("PTRIDER_TELEMETRY", "spans");
+    let engine = PtRider::new(
+        line_net(),
+        GridConfig::with_dimensions(3, 1),
+        EngineConfig::default(),
+    );
+    std::env::remove_var("PTRIDER_TELEMETRY");
+    let service = Arc::new(
+        RideService::from_engine(engine)
+            .with_service_config(ServiceConfig::default().with_offer_ttl_secs(1e9)),
+    );
+    gate(
+        service.telemetry().tracing_enabled(),
+        "spans level enables request-scoped tracing",
+    );
+    service.add_vehicle(ptrider_roadnet::VertexId(0));
+    let mut handle = start_server(Arc::clone(&service), Duration::from_secs(5));
+    let mut client = must(
+        WireClient::connect(handle.addr(), Duration::from_secs(10)),
+        "connect (tracing leg)",
+    );
+
+    let offer = must(
+        client.request(
+            "POST",
+            "/rides",
+            Some(r#"{"origin":1,"destination":4,"now":0.0}"#),
+        ),
+        "traced submit",
+    );
+    gate(offer.status == 200, "tracing leg: ride submitted");
+    let rid = offer
+        .header("x-request-id")
+        .unwrap_or_default()
+        .to_string();
+    gate(
+        rid.len() == 16 && rid.bytes().all(|b| b.is_ascii_hexdigit()),
+        "every response echoes a 16-hex X-Request-Id",
+    );
+    gate(
+        offer
+            .header("traceparent")
+            .is_some_and(|tp| tp.starts_with("00-") && tp.contains(rid.as_str())),
+        "the traceparent echo names the request's trace",
+    );
+
+    let tree = must(
+        client.request("GET", &format!("/trace/{rid}"), None),
+        "trace fetch",
+    );
+    gate(
+        tree.status == 200
+            && tree.body.contains("\"server.handle\"")
+            && tree.body.contains("\"service.submit\""),
+        "GET /trace/{id} returns the span tree rooted at server.handle",
+    );
+
+    let echoed = must(
+        client.request_with_headers(
+            "POST",
+            "/rides",
+            Some(r#"{"origin":1,"destination":4,"now":0.0}"#),
+            &[("x-request-id", "00000000c0ffee00")],
+        ),
+        "submit with inbound id",
+    );
+    gate(
+        echoed.header("x-request-id") == Some("00000000c0ffee00"),
+        "an inbound X-Request-Id is honored verbatim",
+    );
+
+    let slow = must(client.request("GET", "/debug/slow", None), "slow log");
+    gate(
+        slow.status == 200 && slow.body.contains("\"slow\":["),
+        "GET /debug/slow lists the slowest request roots",
+    );
+
+    let metrics = must(
+        client.request("GET", "/metrics", None),
+        "metrics (tracing leg)",
+    );
+    for needle in [
+        "ptrider_lock_acquisitions_total",
+        "site=\"world.write\"",
+        "ptrider_trace_dropped_total",
+    ] {
+        gate(
+            metrics.body.contains(needle),
+            &format!("/metrics exposes {needle}"),
+        );
+    }
+    gate(handle.shutdown(), "tracing leg: graceful shutdown");
+}
+
 fn main() {
     let chaos = std::env::var("PTRIDER_CHAOS").ok();
     match &chaos {
@@ -310,6 +411,9 @@ fn main() {
 
     println!("wire_smoke: crash-recovery leg");
     crash_leg(&crash_dir);
+
+    println!("wire_smoke: tracing leg");
+    tracing_leg();
 
     let _ = std::fs::remove_dir_all(&base);
     println!("wire_smoke: PASS");

@@ -66,11 +66,28 @@ impl WireClient {
         path: &str,
         body: Option<&str>,
     ) -> io::Result<WireResponse> {
+        self.request_with_headers(method, path, body, &[])
+    }
+
+    /// [`WireClient::request`] with extra request headers — the tracing
+    /// gate sends `traceparent` / `x-request-id` through this.
+    pub fn request_with_headers(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+        headers: &[(&str, &str)],
+    ) -> io::Result<WireResponse> {
         let body = body.unwrap_or("");
-        let raw = format!(
-            "{method} {path} HTTP/1.1\r\nhost: bench\r\ncontent-length: {}\r\n\r\n{body}",
+        let mut raw = format!(
+            "{method} {path} HTTP/1.1\r\nhost: bench\r\ncontent-length: {}\r\n",
             body.len()
         );
+        for (name, value) in headers {
+            raw.push_str(&format!("{name}: {value}\r\n"));
+        }
+        raw.push_str("\r\n");
+        raw.push_str(body);
         self.stream.write_all(raw.as_bytes())?;
         self.read_response()
     }

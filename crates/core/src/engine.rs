@@ -201,6 +201,7 @@ impl EngineShared {
             config: &self.config,
             runtime: use_runtime.then_some(&*self.runtime),
             telemetry: Some(&self.telemetry),
+            trace: None,
         }
     }
 }
@@ -358,8 +359,23 @@ pub(crate) fn match_options(
     prospective: &ProspectiveRequest,
     use_runtime: bool,
 ) -> (MatchResult, f64) {
+    match_options_in(shared, matcher, world, prospective, use_runtime, None)
+}
+
+/// [`match_options`] with a request trace context threaded into the
+/// matcher, so the per-stage match timings land in the request's trace
+/// tree as children of `trace`'s span.
+pub(crate) fn match_options_in(
+    shared: &EngineShared,
+    matcher: &dyn Matcher,
+    world: &World,
+    prospective: &ProspectiveRequest,
+    use_runtime: bool,
+    trace: Option<crate::telemetry::TraceContext>,
+) -> (MatchResult, f64) {
     let started = Instant::now();
-    let ctx = shared.match_context(world, use_runtime);
+    let mut ctx = shared.match_context(world, use_runtime);
+    ctx.trace = trace;
     let result = matcher.find_options(&ctx, prospective);
     (result, started.elapsed().as_secs_f64())
 }
@@ -890,6 +906,7 @@ pub(crate) fn match_request_with_oracle(
         config: &shared.config,
         runtime: Some(&shared.runtime),
         telemetry: Some(&shared.telemetry),
+        trace: None,
     };
     Ok(matcher.find_options(&ctx, &prospective))
 }

@@ -158,6 +158,11 @@ pub enum EngineEvent {
 pub struct StampedEvent {
     /// Publish time: monotonic nanoseconds since the log was created.
     pub published_nanos: u64,
+    /// The trace id of the request that published this event, or 0 when
+    /// the publishing path was untraced (tracing off, or a path with no
+    /// request identity). Lets `GET /events?trace=` follow one request's
+    /// transitions through the log.
+    pub trace_id: u64,
     /// The event itself.
     pub event: EngineEvent,
 }
@@ -171,9 +176,9 @@ struct CursorShared {
 }
 
 struct LogInner {
-    /// Retained `(publish_nanos, event)` records; the sequence number of
-    /// `buf[0]` is `next_seq - buf.len()`.
-    buf: VecDeque<(u64, EngineEvent)>,
+    /// Retained `(publish_nanos, trace_id, event)` records; the sequence
+    /// number of `buf[0]` is `next_seq - buf.len()`.
+    buf: VecDeque<(u64, u64, EngineEvent)>,
     /// Sequence number the next published event receives.
     next_seq: u64,
     /// Events evicted because the buffer was full.
@@ -233,6 +238,12 @@ impl EventLog {
     /// Appends an event, evicting the oldest if the log is full. Returns
     /// the event's sequence number.
     pub(crate) fn publish(&self, event: EngineEvent) -> u64 {
+        self.publish_in(event, 0)
+    }
+
+    /// [`EventLog::publish`] with the publishing request's trace id (0 for
+    /// untraced paths).
+    pub(crate) fn publish_in(&self, event: EngineEvent, trace_id: u64) -> u64 {
         let stamp = self.now_nanos();
         let mut inner = self.lock();
         if inner.buf.len() == inner.capacity {
@@ -240,7 +251,7 @@ impl EventLog {
             inner.dropped += 1;
         }
         let seq = inner.next_seq;
-        inner.buf.push_back((stamp, event));
+        inner.buf.push_back((stamp, trace_id, event));
         inner.next_seq += 1;
         seq
     }
@@ -267,7 +278,7 @@ impl EventLog {
     /// the log's lag ceiling: a cursor older than this has already lost
     /// events. `None` when the buffer is empty.
     pub fn oldest_age_nanos(&self) -> Option<u64> {
-        let oldest = self.lock().buf.front().map(|(stamp, _)| *stamp)?;
+        let oldest = self.lock().buf.front().map(|(stamp, _, _)| *stamp)?;
         Some(self.now_nanos().saturating_sub(oldest))
     }
 
@@ -330,8 +341,9 @@ impl EventLog {
             .buf
             .iter()
             .skip(start)
-            .map(|(stamp, event)| StampedEvent {
+            .map(|(stamp, trace_id, event)| StampedEvent {
                 published_nanos: *stamp,
+                trace_id: *trace_id,
                 event: event.clone(),
             })
             .collect();
@@ -464,6 +476,17 @@ mod tests {
         assert!(stamped[1].published_nanos > stamped[0].published_nanos);
         assert!(log.oldest_age_nanos().unwrap() >= 2_000_000);
         assert_eq!(log.retained(), 2);
+    }
+
+    #[test]
+    fn trace_ids_survive_the_log_round_trip() {
+        let log = EventLog::new(8);
+        log.publish(ev(0));
+        log.publish_in(ev(1), 0xdead_beef);
+        let mut cursor = log.subscribe();
+        let stamped = log.poll_stamped(&mut cursor);
+        assert_eq!(stamped[0].trace_id, 0, "plain publish is untraced");
+        assert_eq!(stamped[1].trace_id, 0xdead_beef);
     }
 
     #[test]

@@ -62,7 +62,7 @@ pub mod telemetry;
 
 pub use config::{default_distance_backend, BatchAdmission, EngineConfig};
 pub use engine::{BatchOutcome, EngineError, PtRider, TrafficUpdateOutcome};
-pub use events::{EngineEvent, EventCursor, EventLog};
+pub use events::{EngineEvent, EventCursor, EventLog, StampedEvent};
 pub use journal::{Journal, JournalConfig, JournalError};
 pub use matching::{
     parallel_mode, set_parallel_mode, DualSideMatcher, MatchContext, MatchResult, MatchStats,
@@ -77,8 +77,10 @@ pub use session::{Confirmation, Decision, Offer, OptionId, ServiceError, Session
 pub use skyline::Skyline;
 pub use stats::EngineStats;
 pub use telemetry::{
-    Counter, Gauge, Histogram, HistogramSnapshot, PromWriter, ShardedHistogram, Span, Stage,
-    Telemetry, TelemetryConfig, TelemetryLevel, TraceEvent,
+    ContentionReport, Counter, Exemplar, Gauge, Histogram, HistogramSnapshot, LockSite,
+    LockSiteSummary, ProfiledMutex, ProfiledRwLock, PromWriter, ShardedHistogram, SlowEntry, Span,
+    SpanNode, Stage, Telemetry, TelemetryConfig, TelemetryLevel, TraceContext, TraceEvent,
+    TraceTree,
 };
 
 // Re-export the substrate types users need to drive the engine.

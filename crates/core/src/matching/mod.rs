@@ -56,6 +56,12 @@ pub struct MatchContext<'a> {
     /// them once per request; `None` (or a lower level) makes every timing
     /// site a plain branch.
     pub telemetry: Option<&'a crate::telemetry::Telemetry>,
+    /// The request's trace context, when the caller threads one through
+    /// (the service's submit path). Stage durations recorded via
+    /// [`MatchContext::record_stage`] then land in the per-request trace
+    /// tree as children of this context's span; `None` keeps the stages
+    /// histogram-only.
+    pub trace: Option<crate::telemetry::TraceContext>,
 }
 
 impl MatchContext<'_> {
@@ -64,11 +70,12 @@ impl MatchContext<'_> {
         crate::telemetry::StageClock::new(self.telemetry)
     }
 
-    /// Records an accumulated stage duration (no-op unless spans are on).
+    /// Records an accumulated stage duration (no-op unless spans are on);
+    /// with a live [`MatchContext::trace`], also a span in the trace tree.
     #[inline]
     pub fn record_stage(&self, stage: crate::telemetry::Stage, nanos: u64) {
         if let Some(t) = self.telemetry {
-            t.record_stage(stage, nanos);
+            t.record_stage_in(stage, nanos, self.trace, 0);
         }
     }
 }

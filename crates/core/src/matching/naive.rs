@@ -120,6 +120,7 @@ mod tests {
             config: &config,
             runtime: None,
             telemetry: None,
+            trace: None,
         };
         // Request from v5 to v6 (adjacent, 1 km).
         let direct = oracle.distance(VertexId(5), VertexId(6));
@@ -160,6 +161,7 @@ mod tests {
             config: &config,
             runtime: None,
             telemetry: None,
+            trace: None,
         };
         // Request starting at v3 (3 km from v0, 3 km from v15): no vehicle
         // can reach it within the 1.5 km radius.

@@ -128,11 +128,29 @@ pub(crate) fn verify_vehicles(
     let chunk_size = vehicles.len().div_ceil(workers);
     let chunks: Vec<&[&Vehicle]> = vehicles.chunks(chunk_size).collect();
     let mut results: Vec<Option<(Skyline, MatchStats)>> = vec![None; chunks.len()];
+    // When the request carries a live trace, each chunk job additionally
+    // pushes a `pool.job` span under the request's tree (the pool's own
+    // job histogram is recorded by the worker loop — `trace_only` keeps
+    // the sample from being counted twice).
+    let traced = ctx
+        .telemetry
+        .filter(|t| t.tracing_enabled())
+        .zip(ctx.trace.filter(|c| c.trace_id != 0));
     // One result slot per chunk: the caller takes the first chunk, the pool
     // workers take the rest (one job each), via the runtime's shared
     // scoped-dispatch helper.
     runtime.fill_chunked(chunks.len(), &mut results, |ci, slot| {
+        let start = traced.map(|_| std::time::Instant::now());
         *slot = Some(verify_chunk(ctx, req, chunks[ci]));
+        if let (Some((t, c)), Some(start)) = (traced, start) {
+            t.trace_only(
+                crate::telemetry::Stage::PoolJob,
+                start,
+                start.elapsed().as_nanos() as u64,
+                c,
+                req.id.0,
+            );
+        }
     });
 
     // Deterministic merge in chunk order.

@@ -55,7 +55,7 @@ use crate::engine::{
     self, BatchOutcome, EngineError, EngineShared, Ledger, PendingRequest, PtRider,
     TrafficUpdateOutcome, World,
 };
-use crate::events::{EngineEvent, EventCursor, EventLog};
+use crate::events::{EngineEvent, EventCursor, EventLog, StampedEvent};
 use crate::journal::{self, Dec, Enc, Journal, JournalConfig, JournalError, Op};
 use crate::matching::{MatchResult, Matcher, MatcherKind};
 use crate::options::RideOption;
@@ -65,7 +65,10 @@ use crate::session::{
     Confirmation, Decision, Offer, OptionId, ServiceError, Session, SessionId, SessionState,
 };
 use crate::stats::{EngineStats, MatchWork};
-use crate::telemetry::{PromWriter, SeqSnapshot, Stage, Telemetry};
+use crate::telemetry::{
+    ProfiledMutex, ProfiledMutexGuard, ProfiledReadGuard, ProfiledRwLock, ProfiledWriteGuard,
+    PromWriter, SeqSnapshot, Stage, Telemetry, TraceContext,
+};
 use ptrider_roadnet::{
     fault, DistanceOracle, GridConfig, GridIndex, RoadNetwork, TrafficModel, VertexId,
 };
@@ -76,7 +79,7 @@ use ptrider_vehicles::{
 use std::collections::HashMap;
 use std::ops::{Deref, DerefMut};
 use std::path::Path;
-use std::sync::{Mutex, MutexGuard, OnceLock, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
 /// Service-layer knobs (the engine-level knobs stay in [`EngineConfig`]).
@@ -170,14 +173,21 @@ pub struct RideService {
     matcher_kind: MatcherKind,
     matcher: Box<dyn Matcher>,
     service_config: ServiceConfig,
-    world: RwLock<World>,
-    ledger: Mutex<Ledger>,
-    sessions: Mutex<SessionStore>,
+    /// The vehicle world behind the read/write-path split. Profiled (at
+    /// the `Spans` telemetry level) as the `world.read` / `world.write`
+    /// lock sites — the write site is the single-admission-writer convoy
+    /// the contention report quantifies.
+    world: ProfiledRwLock<World>,
+    /// Profiled as the `ledger` lock site.
+    ledger: ProfiledMutex<Ledger>,
+    /// Profiled as the `sessions` lock site.
+    sessions: ProfiledMutex<SessionStore>,
     events: EventLog,
     /// The write-ahead admission journal, when durability is enabled. A
-    /// plain leaf mutex: it is only ever taken while already inside the
-    /// critical section that orders the journaled operation.
-    journal: Option<Mutex<Journal>>,
+    /// leaf mutex (profiled as the `journal` lock site): it is only ever
+    /// taken while already inside the critical section that orders the
+    /// journaled operation.
+    journal: Option<ProfiledMutex<Journal>>,
     /// The non-free-flow arc factors of the latest traffic epoch. Snapshots
     /// carry them (plus the epoch count) as a prelude so recovery can
     /// reinstate the oracle's metric without the pre-watermark
@@ -199,7 +209,7 @@ pub struct RideService {
 /// admission-ordered prefix.
 struct LedgerGuard<'a> {
     mirror: &'a SeqSnapshot<{ EngineStats::WORDS }>,
-    guard: MutexGuard<'a, Ledger>,
+    guard: ProfiledMutexGuard<'a, Ledger>,
 }
 
 impl Deref for LedgerGuard<'_> {
@@ -249,18 +259,31 @@ impl RideService {
         let stats_mirror = SeqSnapshot::new();
         // Seed the mirror: a wrapped engine may carry non-zero stats.
         stats_mirror.publish(&ledger.stats.to_words());
+        // Lock sites resolve to `None` below the `Spans` telemetry level,
+        // leaving each lock a plain `std::sync` lock behind one branch.
+        let t = &shared.telemetry;
+        let world = ProfiledRwLock::new(
+            world,
+            t.lock_site("world.read"),
+            t.lock_site("world.write"),
+        );
+        let ledger = ProfiledMutex::new(ledger, t.lock_site("ledger"));
+        let sessions = ProfiledMutex::new(
+            SessionStore {
+                sessions: HashMap::new(),
+                next_session: 0,
+            },
+            t.lock_site("sessions"),
+        );
         RideService {
             shared,
             matcher_kind,
             matcher,
             events: EventLog::new(service_config.event_capacity),
             service_config,
-            world: RwLock::new(world),
-            ledger: Mutex::new(ledger),
-            sessions: Mutex::new(SessionStore {
-                sessions: HashMap::new(),
-                next_session: 0,
-            }),
+            world,
+            ledger,
+            sessions,
             journal: None,
             last_traffic: Mutex::new(None),
             stats_mirror,
@@ -288,7 +311,8 @@ impl RideService {
     /// with [`RideService::recover`], which re-attaches it).
     pub fn with_journal(mut self, mut journal: Journal) -> Self {
         journal.attach_telemetry(&self.shared.telemetry);
-        self.journal = Some(Mutex::new(journal));
+        let site = self.shared.telemetry.lock_site("journal");
+        self.journal = Some(ProfiledMutex::new(journal, site));
         self
     }
 
@@ -305,13 +329,13 @@ impl RideService {
     // (observing possibly-torn state is acceptable for diagnostics, and
     // `fingerprint`/`recover` need to work on a crashed service).
 
-    fn world_read(&self) -> Result<RwLockReadGuard<'_, World>, ServiceError> {
+    fn world_read(&self) -> Result<ProfiledReadGuard<'_, World>, ServiceError> {
         self.world
             .read()
             .map_err(|_| ServiceError::Unavailable("world"))
     }
 
-    fn world_write(&self) -> Result<RwLockWriteGuard<'_, World>, ServiceError> {
+    fn world_write(&self) -> Result<ProfiledWriteGuard<'_, World>, ServiceError> {
         let wait = self.lock_wait_clock();
         let guard = self
             .world
@@ -324,7 +348,7 @@ impl RideService {
     /// Admission-writer acquisition of the world write lock for the paths
     /// that panic on poison; times the wait into
     /// [`Stage::ServiceLockWait`] when spans are on.
-    fn world_write_panicky(&self) -> RwLockWriteGuard<'_, World> {
+    fn world_write_panicky(&self) -> ProfiledWriteGuard<'_, World> {
         let wait = self.lock_wait_clock();
         let guard = self.world.write().unwrap();
         self.record_lock_wait(wait);
@@ -345,7 +369,7 @@ impl RideService {
         }
     }
 
-    fn sessions_lock(&self) -> Result<MutexGuard<'_, SessionStore>, ServiceError> {
+    fn sessions_lock(&self) -> Result<ProfiledMutexGuard<'_, SessionStore>, ServiceError> {
         self.sessions
             .lock()
             .map_err(|_| ServiceError::Unavailable("sessions"))
@@ -370,11 +394,11 @@ impl RideService {
         }
     }
 
-    fn world_read_tolerant(&self) -> RwLockReadGuard<'_, World> {
+    fn world_read_tolerant(&self) -> ProfiledReadGuard<'_, World> {
         self.world.read().unwrap_or_else(|p| p.into_inner())
     }
 
-    fn sessions_tolerant(&self) -> MutexGuard<'_, SessionStore> {
+    fn sessions_tolerant(&self) -> ProfiledMutexGuard<'_, SessionStore> {
         self.sessions.lock().unwrap_or_else(|p| p.into_inner())
     }
 
@@ -393,12 +417,33 @@ impl RideService {
     /// failure panics *before* the operation is acknowledged: crashing
     /// un-acknowledged is the safe side of the durability contract.
     fn journal_op(&self, op: &Op) {
+        self.journal_op_in(op, None)
+    }
+
+    /// [`Self::journal_op`] attributed to a request trace: when `ctx`
+    /// carries a live trace, the append (lock + encode + buffered write)
+    /// lands in the trace tree as a `journal.append` span. The journal's
+    /// own stage histogram already times the append internals, so the
+    /// trace-only push never double-counts a histogram sample.
+    fn journal_op_in(&self, op: &Op, ctx: Option<TraceContext>) {
         if let Some(journal) = &self.journal {
+            let t = &self.shared.telemetry;
+            let traced = ctx.filter(|c| c.trace_id != 0 && t.tracing_enabled());
+            let start = traced.map(|_| Instant::now());
             let mut journal = journal.lock().unwrap_or_else(|p| p.into_inner());
             journal.append(&op.encode()).expect(
                 "admission journal append failed; crashing before acknowledging the \
                  un-journaled operation",
             );
+            if let (Some(c), Some(start)) = (traced, start) {
+                t.trace_only(
+                    Stage::JournalAppend,
+                    start,
+                    start.elapsed().as_nanos() as u64,
+                    c,
+                    0,
+                );
+            }
         }
     }
 
@@ -586,7 +631,26 @@ impl RideService {
         riders: u32,
         now: f64,
     ) -> Result<Offer, ServiceError> {
-        let span = self.shared.telemetry.span(Stage::ServiceSubmit);
+        self.submit_in(origin, destination, riders, now, None)
+    }
+
+    /// [`Self::submit`] inside a caller-provided trace context — the HTTP
+    /// front door threads the context it minted (or adopted from an
+    /// inbound `traceparent`) through here, so the `service.submit` span
+    /// and everything below it (match stages, pool jobs, the journal
+    /// append) hang off the server's `server.handle` root. With `parent ==
+    /// None` and tracing active, a fresh trace is minted for the request —
+    /// the in-process caller's entry point into request-scoped tracing.
+    pub fn submit_in(
+        &self,
+        origin: VertexId,
+        destination: VertexId,
+        riders: u32,
+        now: f64,
+        parent: Option<TraceContext>,
+    ) -> Result<Offer, ServiceError> {
+        let trace = parent.or_else(|| self.shared.telemetry.new_trace());
+        let span = self.shared.telemetry.span_in(Stage::ServiceSubmit, trace);
         let direct = engine::validate_request(
             &self.shared.net,
             &self.shared.oracle,
@@ -604,7 +668,11 @@ impl RideService {
                 now,
             )
         };
-        let _span = span.with_request(request.id.0);
+        let span = span.with_request(request.id.0);
+        // Children (match stages, journal append, events) attach under the
+        // `service.submit` span itself.
+        let ctx = span.context();
+        let trace_id = ctx.map_or(0, |c| c.trace_id);
         let prospective = request.to_prospective(direct, &self.shared.config);
 
         // Register the session (Pending) before matching so the lifecycle
@@ -617,15 +685,18 @@ impl RideService {
                 .insert(id, Session::pending(id, request, prospective));
             id
         };
-        self.events.publish(EngineEvent::Submitted {
-            session: session_id,
-            request: request.id,
-            origin,
-            destination,
-            riders,
-            at: now,
-        });
-        self.finish_submit(session_id, request, prospective, now, None)
+        self.events.publish_in(
+            EngineEvent::Submitted {
+                session: session_id,
+                request: request.id,
+                origin,
+                destination,
+                riders,
+                at: now,
+            },
+            trace_id,
+        );
+        self.finish_submit(session_id, request, prospective, now, None, ctx)
     }
 
     /// Matches a registered pending session, journals the submit, applies
@@ -640,6 +711,7 @@ impl RideService {
         prospective: ProspectiveRequest,
         now: f64,
         forced_accumulators: Option<(f64, MatchWork)>,
+        ctx: Option<TraceContext>,
     ) -> Result<Offer, ServiceError> {
         // The ledger update and the journal append form one critical
         // section: journal order = ledger order, which is what lets replay
@@ -653,24 +725,33 @@ impl RideService {
                 ledger.stats.total_match_secs = total;
                 ledger.stats.match_work = work;
             }
-            self.journal_op(&Op::Submit {
-                origin: request.origin.0,
-                destination: request.destination.0,
-                riders: request.riders,
-                now,
-                session: session_id.0,
-                request: request.id.0,
-                match_secs_after: ledger.stats.total_match_secs,
-                work_after: ledger.stats.match_work,
-            });
+            self.journal_op_in(
+                &Op::Submit {
+                    origin: request.origin.0,
+                    destination: request.destination.0,
+                    riders: request.riders,
+                    now,
+                    session: session_id.0,
+                    request: request.id.0,
+                    match_secs_after: ledger.stats.total_match_secs,
+                    work_after: ledger.stats.match_work,
+                },
+                ctx,
+            );
         };
 
         let (result, hold) = if self.service_config.hold_offers {
             // Hold mode runs on the write path: option 0 is tentatively
             // committed while the offer is open.
             let mut world = self.world_write()?;
-            let (result, elapsed) =
-                engine::match_options(&self.shared, &*self.matcher, &world, &prospective, true);
+            let (result, elapsed) = engine::match_options_in(
+                &self.shared,
+                &*self.matcher,
+                &world,
+                &prospective,
+                true,
+                ctx,
+            );
             {
                 let mut ledger = self.ledger_lock()?;
                 journal_submit(&mut ledger, &result, elapsed);
@@ -687,8 +768,14 @@ impl RideService {
             (result, hold)
         } else {
             let world = self.world_read()?;
-            let (result, elapsed) =
-                engine::match_options(&self.shared, &*self.matcher, &world, &prospective, true);
+            let (result, elapsed) = engine::match_options_in(
+                &self.shared,
+                &*self.matcher,
+                &world,
+                &prospective,
+                true,
+                ctx,
+            );
             let mut ledger = self.ledger_lock()?;
             journal_submit(&mut ledger, &result, elapsed);
             (result, None)
@@ -708,13 +795,16 @@ impl RideService {
             // respondable/expirable once this lock drops, so no concurrent
             // respond/tick can publish the session's terminal event before
             // Offered appears in the log.
-            self.events.publish(EngineEvent::Offered {
-                session: session_id,
-                request: request.id,
-                options: options.len(),
-                expires_at,
-                at: now,
-            });
+            self.events.publish_in(
+                EngineEvent::Offered {
+                    session: session_id,
+                    request: request.id,
+                    options: options.len(),
+                    expires_at,
+                    at: now,
+                },
+                ctx.map_or(0, |c| c.trace_id),
+            );
         }
         Ok(Offer {
             session: session_id,
@@ -748,14 +838,31 @@ impl RideService {
         decision: Decision,
         now: f64,
     ) -> Result<Option<Confirmation>, ServiceError> {
-        let span = self.shared.telemetry.span(Stage::ServiceRespond);
+        self.respond_in(session_id, decision, now, None)
+    }
+
+    /// [`Self::respond`] inside a caller-provided trace context (see
+    /// [`Self::submit_in`]). Unlike submit, respond never mints a trace of
+    /// its own — `parent == None` keeps the response untraced, so journal
+    /// replay (which re-enters this path) produces no phantom traces.
+    pub fn respond_in(
+        &self,
+        session_id: SessionId,
+        decision: Decision,
+        now: f64,
+        parent: Option<TraceContext>,
+    ) -> Result<Option<Confirmation>, ServiceError> {
+        let span = self.shared.telemetry.span_in(Stage::ServiceRespond, parent);
         let mut store = self.sessions_lock()?;
         let session = store
             .sessions
             .get_mut(&session_id)
             .ok_or(ServiceError::UnknownSession(session_id))?;
         let request_id = session.request.id;
-        let _span = span.with_request(request_id.0);
+        let span = span.with_request(request_id.0);
+        let ctx = span.context();
+        let trace_id = ctx.map_or(0, |c| c.trace_id);
+        let _span = span;
 
         if let Err(gate) = session.respond_gate(now) {
             if matches!(gate, ServiceError::OfferExpired(_)) {
@@ -769,24 +876,33 @@ impl RideService {
                 if let Some(vehicle) = hold {
                     let mut world = self.world_write()?;
                     release_hold(&self.shared, &mut world, vehicle, request_id);
-                    self.journal_op(&Op::Respond {
-                        session: session_id.0,
-                        choice: journaled_choice,
-                        now,
-                    });
+                    self.journal_op_in(
+                        &Op::Respond {
+                            session: session_id.0,
+                            choice: journaled_choice,
+                            now,
+                        },
+                        ctx,
+                    );
                 } else {
-                    self.journal_op(&Op::Respond {
-                        session: session_id.0,
-                        choice: journaled_choice,
-                        now,
-                    });
+                    self.journal_op_in(
+                        &Op::Respond {
+                            session: session_id.0,
+                            choice: journaled_choice,
+                            now,
+                        },
+                        ctx,
+                    );
                 }
                 self.ledger_lock()?.stats.offers_expired += 1;
-                self.events.publish(EngineEvent::Expired {
-                    session: session_id,
-                    request: request_id,
-                    at: now,
-                });
+                self.events.publish_in(
+                    EngineEvent::Expired {
+                        session: session_id,
+                        request: request_id,
+                        at: now,
+                    },
+                    trace_id,
+                );
             }
             return Err(gate);
         }
@@ -801,24 +917,33 @@ impl RideService {
                     // capacity yet journal ahead of this release.
                     let mut world = self.world_write()?;
                     release_hold(&self.shared, &mut world, vehicle, request_id);
-                    self.journal_op(&Op::Respond {
-                        session: session_id.0,
-                        choice: None,
-                        now,
-                    });
+                    self.journal_op_in(
+                        &Op::Respond {
+                            session: session_id.0,
+                            choice: None,
+                            now,
+                        },
+                        ctx,
+                    );
                 } else {
-                    self.journal_op(&Op::Respond {
-                        session: session_id.0,
-                        choice: None,
-                        now,
-                    });
+                    self.journal_op_in(
+                        &Op::Respond {
+                            session: session_id.0,
+                            choice: None,
+                            now,
+                        },
+                        ctx,
+                    );
                 }
                 self.ledger_lock()?.stats.offers_declined += 1;
-                self.events.publish(EngineEvent::Declined {
-                    session: session_id,
-                    request: request_id,
-                    at: now,
-                });
+                self.events.publish_in(
+                    EngineEvent::Declined {
+                        session: session_id,
+                        request: request_id,
+                        at: now,
+                    },
+                    trace_id,
+                );
                 Ok(None)
             }
             Decision::Choose(option_id) => {
@@ -832,11 +957,14 @@ impl RideService {
                 if session.hold.is_some() && option_id.0 == 0 {
                     debug_assert_eq!(session.hold, Some(option.vehicle));
                     session.resolve(SessionState::Confirmed);
-                    self.journal_op(&Op::Respond {
-                        session: session_id.0,
-                        choice: Some(0),
-                        now,
-                    });
+                    self.journal_op_in(
+                        &Op::Respond {
+                            session: session_id.0,
+                            choice: Some(0),
+                            now,
+                        },
+                        ctx,
+                    );
                     // Chaos site: the record is durable but the caller has
                     // not seen the confirmation yet.
                     fault::panic_point(fault::POST_APPEND);
@@ -845,14 +973,17 @@ impl RideService {
                         ledger.stats.requests_chosen += 1;
                         ledger.stats.offers_confirmed += 1;
                     }
-                    self.events.publish(EngineEvent::Confirmed {
-                        session: session_id,
-                        request: request_id,
-                        vehicle: option.vehicle,
-                        price: option.price,
-                        pickup_secs: option.pickup_secs,
-                        at: now,
-                    });
+                    self.events.publish_in(
+                        EngineEvent::Confirmed {
+                            session: session_id,
+                            request: request_id,
+                            vehicle: option.vehicle,
+                            price: option.price,
+                            pickup_secs: option.pickup_secs,
+                            at: now,
+                        },
+                        trace_id,
+                    );
                     return Ok(Some(Confirmation {
                         session: session_id,
                         request: request_id,
@@ -892,11 +1023,14 @@ impl RideService {
                             .map(|()| previous.vehicle)
                         });
                     }
-                    self.journal_op(&Op::Respond {
-                        session: session_id.0,
-                        choice: Some(option_id.0),
-                        now,
-                    });
+                    self.journal_op_in(
+                        &Op::Respond {
+                            session: session_id.0,
+                            choice: Some(option_id.0),
+                            now,
+                        },
+                        ctx,
+                    );
                     committed
                 };
                 // Chaos site: durable, not yet acknowledged.
@@ -909,14 +1043,17 @@ impl RideService {
                             ledger.stats.requests_chosen += 1;
                             ledger.stats.offers_confirmed += 1;
                         }
-                        self.events.publish(EngineEvent::Confirmed {
-                            session: session_id,
-                            request: request_id,
-                            vehicle: option.vehicle,
-                            price: option.price,
-                            pickup_secs: option.pickup_secs,
-                            at: now,
-                        });
+                        self.events.publish_in(
+                            EngineEvent::Confirmed {
+                                session: session_id,
+                                request: request_id,
+                                vehicle: option.vehicle,
+                                price: option.price,
+                                pickup_secs: option.pickup_secs,
+                                at: now,
+                            },
+                            trace_id,
+                        );
                         Ok(Some(Confirmation {
                             session: session_id,
                             request: request_id,
@@ -926,12 +1063,15 @@ impl RideService {
                     Err(e) => {
                         if matches!(e, EngineError::AssignmentFailed(..)) {
                             self.ledger_lock()?.stats.assignments_failed += 1;
-                            self.events.publish(EngineEvent::AssignmentFailed {
-                                session: session_id,
-                                request: request_id,
-                                vehicle: option.vehicle,
-                                at: now,
-                            });
+                            self.events.publish_in(
+                                EngineEvent::AssignmentFailed {
+                                    session: session_id,
+                                    request: request_id,
+                                    vehicle: option.vehicle,
+                                    at: now,
+                                },
+                                trace_id,
+                            );
                         }
                         Err(ServiceError::Engine(e))
                     }
@@ -946,7 +1086,17 @@ impl RideService {
     /// order). Returns how many offers expired. Also the automatic
     /// snapshot trigger when a journal with a snapshot cadence is attached.
     pub fn tick(&self, now: f64) -> usize {
-        let _span = self.shared.telemetry.span(Stage::ServiceTick);
+        self.tick_in(now, None)
+    }
+
+    /// [`Self::tick`] inside a caller-provided trace context (see
+    /// [`Self::respond_in`] — like respond, tick never mints a trace of
+    /// its own).
+    pub fn tick_in(&self, now: f64, parent: Option<TraceContext>) -> usize {
+        let span = self.shared.telemetry.span_in(Stage::ServiceTick, parent);
+        let ctx = span.context();
+        let trace_id = ctx.map_or(0, |c| c.trace_id);
+        let _span = span;
         let mut expired: Vec<(SessionId, ptrider_vehicles::RequestId)> = Vec::new();
         let mut holds: Vec<(VehicleId, ptrider_vehicles::RequestId)> = Vec::new();
         {
@@ -968,7 +1118,7 @@ impl RideService {
                 for (vehicle, request) in &holds {
                     release_hold(&self.shared, &mut world, *vehicle, *request);
                 }
-                self.journal_op(&Op::Tick { now });
+                self.journal_op_in(&Op::Tick { now }, ctx);
             }
         }
         if expired.is_empty() {
@@ -978,11 +1128,14 @@ impl RideService {
         expired.sort_unstable_by_key(|(s, _)| *s);
         self.ledger_panicky().stats.offers_expired += expired.len() as u64;
         for (session, request) in &expired {
-            self.events.publish(EngineEvent::Expired {
-                session: *session,
-                request: *request,
-                at: now,
-            });
+            self.events.publish_in(
+                EngineEvent::Expired {
+                    session: *session,
+                    request: *request,
+                    at: now,
+                },
+                trace_id,
+            );
         }
         self.maybe_auto_snapshot();
         expired.len()
@@ -1159,6 +1312,13 @@ impl RideService {
     /// Drains the events the cursor has not seen yet.
     pub fn poll_events(&self, cursor: &mut EventCursor) -> Vec<EngineEvent> {
         self.events.poll(cursor)
+    }
+
+    /// Drains the events the cursor has not seen yet, keeping each
+    /// event's publish stamp and trace id (the wire layer's
+    /// `GET /events?trace=` filter reads the latter).
+    pub fn poll_stamped_events(&self, cursor: &mut EventCursor) -> Vec<StampedEvent> {
+        self.events.poll_stamped(cursor)
     }
 
     /// Total events published so far.
@@ -1429,9 +1589,69 @@ impl RideService {
         );
         if t.spans_enabled() {
             for stage in Stage::ALL {
-                let snap = t.stage_snapshot(stage);
+                let hist = t.stage_histogram(stage);
+                let snap = hist.snapshot();
                 let name = format!("ptrider_stage_{}_seconds", stage.name().replace('.', "_"));
-                w.histogram(&name, "Per-stage latency in seconds.", &snap, 1e-9);
+                // Exemplars tie each bucket to the last trace that landed
+                // in it, so a p99 bucket resolves to a retrievable trace
+                // via `GET /trace/{trace_id}`.
+                w.histogram_with_exemplars(
+                    &name,
+                    "Per-stage latency in seconds.",
+                    &snap,
+                    1e-9,
+                    &hist.exemplars(),
+                );
+            }
+        }
+        if t.tracing_enabled() {
+            w.counter(
+                "ptrider_trace_dropped_total",
+                "Trace events evicted from the bounded trace ring.",
+                t.trace_dropped(),
+            );
+        }
+        // Lock-contention profiler: per-site wait/hold histograms and
+        // acquisition counters (populated at the `Spans` level).
+        let sites = t.lock_sites();
+        if !sites.is_empty() {
+            w.counter_family(
+                "ptrider_lock_acquisitions_total",
+                "Lock acquisitions per profiled site.",
+            );
+            for site in &sites {
+                w.counter_sample(
+                    "ptrider_lock_acquisitions_total",
+                    &format!("site=\"{}\"", site.name()),
+                    site.acquisitions(),
+                );
+            }
+            w.counter_family(
+                "ptrider_lock_contended_total",
+                "Acquisitions that had to block behind another holder.",
+            );
+            for site in &sites {
+                w.counter_sample(
+                    "ptrider_lock_contended_total",
+                    &format!("site=\"{}\"", site.name()),
+                    site.contended(),
+                );
+            }
+            for site in &sites {
+                let mangled = site.name().replace('.', "_");
+                w.histogram(
+                    &format!("ptrider_lock_wait_seconds_{mangled}"),
+                    "Time spent waiting to acquire the lock, in seconds \
+                     (0 for uncontended acquisitions).",
+                    &site.wait_snapshot(),
+                    1e-9,
+                );
+                w.histogram(
+                    &format!("ptrider_lock_hold_seconds_{mangled}"),
+                    "Time the lock was held, in seconds.",
+                    &site.hold_snapshot(),
+                    1e-9,
+                );
             }
         }
         w.finish()
@@ -1739,7 +1959,8 @@ impl RideService {
 
         let mut svc = svc;
         journal.attach_telemetry(&svc.shared.telemetry);
-        svc.journal = Some(Mutex::new(journal));
+        let site = svc.shared.telemetry.lock_site("journal");
+        svc.journal = Some(ProfiledMutex::new(journal, site));
         Ok(svc)
     }
 
@@ -1853,6 +2074,7 @@ impl RideService {
                     prospective,
                     now,
                     Some((match_secs_after, work_after)),
+                    None,
                 );
             }
             Op::Respond {

@@ -1,11 +1,18 @@
-//! Property tests for the telemetry histogram math: quantile estimates
+//! Property tests for the telemetry subsystem: quantile estimates
 //! stay within the log-linear bucketing's documented error bound against
 //! exact sorted-sample references, snapshot merging is associative and
-//! commutative, `since` inverts `merge`, and concurrent recording never
-//! tears a snapshot.
+//! commutative, `since` inverts `merge`, concurrent recording never
+//! tears a snapshot — and, for request-scoped tracing: arbitrary span
+//! trees reassemble exactly (every child's parent exists and intervals
+//! nest), trees stay per-trace-exact under 4-thread concurrency,
+//! exemplar slots never tear under racing recorders, and the lock
+//! profiler's wait/hold accounting balances.
 
 use proptest::prelude::*;
-use ptrider_core::{Histogram, HistogramSnapshot};
+use ptrider_core::{
+    Histogram, HistogramSnapshot, ProfiledMutex, ShardedHistogram, SpanNode, Stage, Telemetry,
+    TelemetryConfig, TraceContext,
+};
 use std::sync::Arc;
 
 /// Builds a snapshot from a slice of samples.
@@ -143,4 +150,238 @@ fn concurrent_record_and_snapshot() {
         .sum();
     assert_eq!(s.sum(), expected_sum);
     assert_eq!(s.max(), 96 << ((THREADS - 1) * 4));
+}
+
+// ---------------------------------------------------------------------
+// Request-scoped tracing
+// ---------------------------------------------------------------------
+
+/// A random tree shape as parent pointers: node `i > 0` attaches to some
+/// earlier node, node 0 is the root.
+fn tree_shapes() -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(0usize..1000, 1..32).prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, r)| if i == 0 { 0 } else { r % i })
+            .collect()
+    })
+}
+
+/// Parent-pointer array → children lists.
+fn children_of(parents: &[usize]) -> Vec<Vec<usize>> {
+    let mut children = vec![Vec::new(); parents.len()];
+    for (i, &p) in parents.iter().enumerate().skip(1) {
+        children[p].push(i);
+    }
+    children
+}
+
+/// Opens a span for `node` and recurses into its children while the span
+/// is live, so the recorded intervals genuinely nest. Each span carries
+/// its node index as the request id — the key the checks use to match
+/// the reassembled tree against the generated shape.
+fn build_subtree(t: &Telemetry, node: usize, children: &[Vec<usize>], parent: TraceContext) {
+    let span = t
+        .span_in(Stage::MatchVerify, Some(parent))
+        .with_request(node as u64);
+    let ctx = span.context().expect("traced span has a context");
+    for &c in &children[node] {
+        build_subtree(t, c, children, ctx);
+    }
+}
+
+/// Walks a reassembled tree, asserting each child hangs off the parent
+/// the shape prescribed and that child intervals sit inside their
+/// parent's (with slack for the microsecond start truncation). Returns
+/// the number of nodes visited.
+fn check_subtree(node: &SpanNode<'_>, parents: &[usize]) -> Result<usize, TestCaseError> {
+    // start_us truncates; a child can appear up to 1µs "before" its
+    // parent and end up to 1µs "after" on top of the duration rounding.
+    const SLACK_US: u64 = 2;
+    let end_us = |e: &ptrider_core::TraceEvent| e.start_us + e.duration_ns.div_ceil(1000);
+    let mut visited = 1usize;
+    for child in &node.children {
+        let (i, p) = (child.event.request as usize, node.event.request as usize);
+        prop_assert_eq!(parents[i], p, "node {} reattached to {} not {}", i, p, parents[i]);
+        prop_assert!(
+            child.event.start_us + SLACK_US >= node.event.start_us,
+            "child {} starts before parent {}",
+            i,
+            p
+        );
+        prop_assert!(
+            end_us(child.event) <= end_us(node.event) + SLACK_US,
+            "child {} ends after parent {}",
+            i,
+            p
+        );
+        visited += check_subtree(child, parents)?;
+    }
+    Ok(visited)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Any span tree written through the tracing API reassembles exactly:
+    /// one root, every child's parent exists, every parent/child edge
+    /// matches the generated shape, and intervals nest.
+    #[test]
+    fn span_trees_reassemble_exactly(parents in tree_shapes()) {
+        let t = Telemetry::new(TelemetryConfig::spans());
+        let root_ctx = t.new_trace().expect("tracing on");
+        build_subtree(&t, 0, &children_of(&parents), root_ctx);
+
+        let tree = t.trace_tree(root_ctx.trace_id).expect("trace stored");
+        prop_assert!(!tree.truncated);
+        prop_assert_eq!(tree.spans.len(), parents.len());
+
+        // Every non-root span's parent is a span of the same trace.
+        let ids: std::collections::HashSet<u64> =
+            tree.spans.iter().map(|s| s.span_id).collect();
+        for span in &tree.spans {
+            if span.parent_span_id != 0 {
+                prop_assert!(
+                    ids.contains(&span.parent_span_id),
+                    "span {} has a dangling parent {}",
+                    span.span_id,
+                    span.parent_span_id
+                );
+            }
+        }
+
+        let roots = tree.roots();
+        prop_assert_eq!(roots.len(), 1, "exactly one root");
+        prop_assert_eq!(roots[0].event.request, 0);
+        prop_assert_eq!(check_subtree(&roots[0], &parents)?, parents.len());
+    }
+}
+
+/// Four threads submit traced work concurrently; every thread's trees
+/// reassemble bit-identically to the shape it wrote — concurrency can
+/// interleave the ring, never cross-wire the per-trace index.
+#[test]
+fn concurrent_traces_stay_disjoint() {
+    const THREADS: usize = 4;
+    const TRACES_PER_THREAD: usize = 16;
+    // A fixed fan-and-chain shape exercising both branching and depth.
+    let parents: Vec<usize> = vec![0, 0, 0, 1, 1, 3, 3, 6];
+    let children = children_of(&parents);
+    let t = Telemetry::new(TelemetryConfig::spans());
+
+    let trace_ids: Vec<Vec<u64>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                scope.spawn(|| {
+                    (0..TRACES_PER_THREAD)
+                        .map(|_| {
+                            let ctx = t.new_trace().expect("tracing on");
+                            build_subtree(&t, 0, &children, ctx);
+                            ctx.trace_id
+                        })
+                        .collect::<Vec<u64>>()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let mut seen = std::collections::HashSet::new();
+    for per_thread in &trace_ids {
+        for &trace_id in per_thread {
+            assert!(seen.insert(trace_id), "trace ids are unique");
+            let tree = t.trace_tree(trace_id).expect("trace stored");
+            assert!(!tree.truncated);
+            assert_eq!(tree.spans.len(), parents.len(), "no foreign spans leaked in");
+            assert!(tree.spans.iter().all(|s| s.trace_id == trace_id));
+            let roots = tree.roots();
+            assert_eq!(roots.len(), 1);
+            assert_eq!(check_subtree(&roots[0], &parents).unwrap(), parents.len());
+        }
+    }
+}
+
+/// Exemplar slots are updated by racing recorders through a seqlock;
+/// readers must never observe a torn (value, trace id) pair. Values are
+/// derived from the trace id so a tear is detectable.
+#[test]
+fn exemplars_never_tear_under_racing_recorders() {
+    const THREADS: u64 = 4;
+    const PER_THREAD: u64 = 10_000;
+    let pair = |trace_id: u64| trace_id.wrapping_mul(3) + 1;
+    let hist = ShardedHistogram::new();
+    std::thread::scope(|scope| {
+        for th in 0..THREADS {
+            let hist = &hist;
+            scope.spawn(move || {
+                for i in 0..PER_THREAD {
+                    let trace_id = th * PER_THREAD + i + 1;
+                    // Spread values across bucket scales so many slots race.
+                    hist.record_traced(pair(trace_id) << (i % 16), trace_id);
+                }
+            });
+        }
+        // Read while the writers race.
+        for _ in 0..200 {
+            for ex in hist.exemplars() {
+                assert!(ex.trace_id != 0, "exemplar without a trace id");
+            }
+        }
+    });
+    let exemplars = hist.exemplars();
+    assert!(!exemplars.is_empty(), "recorders retained no exemplars");
+    for ex in &exemplars {
+        // Undo the shift: the recorded value is pair(trace_id) << s.
+        let base = pair(ex.trace_id);
+        assert!(
+            ex.value % base == 0 && (ex.value / base).is_power_of_two(),
+            "torn exemplar: value {} does not derive from trace {}",
+            ex.value,
+            ex.trace_id
+        );
+    }
+    // Sorted ascending by value, as the exposition order requires.
+    assert!(exemplars.windows(2).all(|w| w[0].value <= w[1].value));
+}
+
+/// The lock profiler's books balance: every acquisition lands one wait
+/// sample and (once the guard drops) one hold sample; the contended
+/// count never exceeds acquisitions; total wait is the histogram sum.
+#[test]
+fn lock_profiler_accounting_balances() {
+    const THREADS: u64 = 4;
+    const PER_THREAD: u64 = 500;
+    let t = Telemetry::new(TelemetryConfig::spans());
+    let site = t.lock_site("proptest.mutex").expect("spans level registers sites");
+    let lock = ProfiledMutex::new(0u64, Some(Arc::clone(&site)));
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let lock = &lock;
+            scope.spawn(move || {
+                for _ in 0..PER_THREAD {
+                    let mut guard = lock.lock().unwrap();
+                    *guard += 1;
+                }
+            });
+        }
+    });
+    assert_eq!(*lock.lock().unwrap(), THREADS * PER_THREAD);
+
+    let total = THREADS * PER_THREAD + 1; // + the verification lock above
+    assert_eq!(site.acquisitions(), total);
+    assert!(site.contended() <= total);
+    let wait = site.wait_snapshot();
+    let hold = site.hold_snapshot();
+    assert_eq!(wait.count(), total, "one wait sample per acquisition");
+    assert_eq!(hold.count(), total, "one hold sample per released guard");
+    let summary = site.summary();
+    assert_eq!(summary.wait_total_ns, wait.sum());
+    assert!(summary.wait_p50_ns <= summary.wait_p99_ns);
+    assert!(summary.wait_p99_ns <= summary.wait_max_ns);
+    assert!(summary.hold_p50_ns <= summary.hold_p99_ns);
+    let report = t.contention_report();
+    assert_eq!(
+        report.site("proptest.mutex").expect("site reported").acquisitions,
+        total
+    );
 }

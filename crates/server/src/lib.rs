@@ -15,8 +15,16 @@
 //! | `POST /tick`                    | Advance the offer-expiry clock               |
 //! | `GET /metrics`                  | Prometheus text exposition (0.0.4)           |
 //! | `GET /trace`                    | Drain the bounded trace ring as JSON         |
-//! | `GET /events`                   | SSE stream (`?session=&request=` to filter)  |
+//! | `GET /trace/{id}`               | One request's reassembled span tree          |
+//! | `GET /debug/slow`               | Top-K slowest request roots, slowest first   |
+//! | `GET /events`                   | SSE stream (`?session=&request=&trace=`)     |
 //! | `GET /healthz`                  | Liveness probe                               |
+//!
+//! Every response echoes `X-Request-Id` (16 hex digits) — honoring an
+//! inbound `X-Request-Id` or `traceparent` when the client sent one —
+//! and, when request-scoped tracing is on (`PTRIDER_TELEMETRY=spans`),
+//! a `traceparent` whose parent-id is the request's `server.handle`
+//! root span. The id is the key into `GET /trace/{id}`.
 //!
 //! Request bodies are JSON; `now` (workload seconds) is optional
 //! everywhere and defaults to seconds since the server started.

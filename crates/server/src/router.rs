@@ -20,7 +20,7 @@ use crate::http::{HttpRequest, Response};
 use crate::json::{self, Json};
 use ptrider_core::{
     Confirmation, Decision, EngineError, Offer, OptionId, RideService, ServiceError, SessionId,
-    VertexId,
+    SpanNode, TraceContext, VertexId,
 };
 use ptrider_vehicles::{StopEvent, VehicleId};
 
@@ -85,10 +85,26 @@ pub struct SseParams {
     pub session: Option<u64>,
     /// Also forward vehicle stop events for this request id.
     pub request: Option<u64>,
+    /// Only forward events stamped with this trace id (`?trace=` takes
+    /// the 16-hex form echoed in `X-Request-Id`).
+    pub trace: Option<u64>,
     /// Close the stream after this many forwarded events.
     pub limit: Option<u64>,
     /// Close the stream after this many milliseconds.
     pub max_ms: Option<u64>,
+}
+
+/// Parses a wire trace id: up to 16 hex digits (the `X-Request-Id` /
+/// `?trace=` form). Zero is the untraced sentinel, so it is rejected.
+pub(crate) fn parse_hex_id(s: &str) -> Option<u64> {
+    let s = s.trim();
+    if s.is_empty() || s.len() > 16 {
+        return None;
+    }
+    match u64::from_str_radix(s, 16) {
+        Ok(0) | Err(_) => None,
+        Ok(id) => Some(id),
+    }
 }
 
 /// What the router decided: an immediate response, or an SSE stream the
@@ -107,23 +123,27 @@ pub type MetricsSuffix<'a> = &'a dyn Fn() -> String;
 
 /// Routes one request. `default_now` is the server clock (seconds since
 /// server start), used when a body omits `now`; `suffix` renders the
-/// server-side block of `/metrics`.
+/// server-side block of `/metrics`; `ctx` is the request's trace
+/// context (the connection loop's `server.handle` root span), threaded
+/// into the service so matcher stages and journal appends land in the
+/// same trace tree.
 pub fn handle(
     service: &RideService,
     req: &HttpRequest,
     default_now: f64,
     suffix: MetricsSuffix<'_>,
+    ctx: Option<TraceContext>,
 ) -> (Handled, Endpoint) {
     let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
     let method = req.method.as_str();
     match (method, segments.as_slice()) {
         ("POST", ["rides"]) => (
-            Handled::Respond(post_rides(service, req, default_now)),
+            Handled::Respond(post_rides(service, req, default_now, ctx)),
             Endpoint::Rides,
         ),
         ("POST", ["sessions", id, "respond"]) => (
             Handled::Respond(match parse_id(id) {
-                Some(id) => post_respond(service, req, SessionId(id), default_now),
+                Some(id) => post_respond(service, req, SessionId(id), default_now, ctx),
                 None => Response::error(404, "malformed session id"),
             }),
             Endpoint::Respond,
@@ -154,7 +174,7 @@ pub fn handle(
             Endpoint::Vehicles,
         ),
         ("POST", ["tick"]) => (
-            Handled::Respond(post_tick(service, req, default_now)),
+            Handled::Respond(post_tick(service, req, default_now, ctx)),
             Endpoint::Tick,
         ),
         ("GET", ["metrics"]) => (
@@ -165,10 +185,19 @@ pub fn handle(
             Endpoint::Metrics,
         ),
         ("GET", ["trace"]) => (Handled::Respond(get_trace(service)), Endpoint::Trace),
+        ("GET", ["trace", id]) => (
+            Handled::Respond(match parse_hex_id(id) {
+                Some(id) => get_trace_tree(service, id),
+                None => Response::error(404, "malformed trace id"),
+            }),
+            Endpoint::Trace,
+        ),
+        ("GET", ["debug", "slow"]) => (Handled::Respond(get_slow(service)), Endpoint::Trace),
         ("GET", ["events"]) => {
             let params = SseParams {
                 session: req.query_param("session").and_then(|v| v.parse().ok()),
                 request: req.query_param("request").and_then(|v| v.parse().ok()),
+                trace: req.query_param("trace").and_then(parse_hex_id),
                 limit: req.query_param("limit").and_then(|v| v.parse().ok()),
                 max_ms: req.query_param("max_ms").and_then(|v| v.parse().ok()),
             };
@@ -187,6 +216,8 @@ pub fn handle(
         ),
         (_, ["metrics"])
         | (_, ["trace"])
+        | (_, ["trace", _])
+        | (_, ["debug", "slow"])
         | (_, ["events"])
         | (_, ["healthz"])
         | (_, ["sessions", _]) => (
@@ -283,7 +314,12 @@ fn render_confirmation(c: &Confirmation) -> String {
     )
 }
 
-fn post_rides(service: &RideService, req: &HttpRequest, default_now: f64) -> Response {
+fn post_rides(
+    service: &RideService,
+    req: &HttpRequest,
+    default_now: f64,
+    ctx: Option<TraceContext>,
+) -> Response {
     let body = match parse_body(req) {
         Ok(b) => b,
         Err(resp) => return resp,
@@ -299,11 +335,12 @@ fn post_rides(service: &RideService, req: &HttpRequest, default_now: f64) -> Res
         return Response::error(400, "id out of range");
     }
     let now = body_now(&body, default_now);
-    match service.submit(
+    match service.submit_in(
         VertexId(origin as u32),
         VertexId(destination as u32),
         riders as u32,
         now,
+        ctx,
     ) {
         Ok(offer) => Response::json(200, render_offer(&offer)),
         Err(e) => service_error(&e),
@@ -315,6 +352,7 @@ fn post_respond(
     req: &HttpRequest,
     session: SessionId,
     default_now: f64,
+    ctx: Option<TraceContext>,
 ) -> Response {
     let body = match parse_body(req) {
         Ok(b) => b,
@@ -329,7 +367,7 @@ fn post_respond(
         _ => return Response::error(400, "decision must be \"choose\" or \"decline\""),
     };
     let now = body_now(&body, default_now);
-    match service.respond(session, decision, now) {
+    match service.respond_in(session, decision, now, ctx) {
         Ok(Some(confirmation)) => Response::json(200, render_confirmation(&confirmation)),
         Ok(None) => Response::json(
             200,
@@ -419,29 +457,103 @@ fn post_arrived(service: &RideService, vehicle: VehicleId) -> Response {
     }
 }
 
-fn post_tick(service: &RideService, req: &HttpRequest, default_now: f64) -> Response {
+fn post_tick(
+    service: &RideService,
+    req: &HttpRequest,
+    default_now: f64,
+    ctx: Option<TraceContext>,
+) -> Response {
     let body = match parse_body(req) {
         Ok(b) => b,
         Err(resp) => return resp,
     };
     let now = body_now(&body, default_now);
-    let expired = service.tick(now);
+    let expired = service.tick_in(now, ctx);
     Response::json(200, format!("{{\"expired\":{expired}}}"))
 }
 
 fn get_trace(service: &RideService) -> Response {
-    let events = service.telemetry().trace_dump();
-    let mut out = String::from("{\"events\":[");
+    let t = service.telemetry();
+    let events = t.trace_dump();
+    let mut out = format!("{{\"dropped\":{},\"events\":[", t.trace_dropped());
     for (i, e) in events.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
         out.push_str(&format!(
-            "{{\"start_us\":{},\"duration_ns\":{},\"stage\":\"{}\",\"request\":{}}}",
+            "{{\"start_us\":{},\"duration_ns\":{},\"stage\":\"{}\",\"request\":{},\"trace\":\"{:016x}\",\"span\":{},\"parent\":{}}}",
             e.start_us,
             e.duration_ns,
             e.stage.name(),
             e.request,
+            e.trace_id,
+            e.span_id,
+            e.parent_span_id,
+        ));
+    }
+    out.push_str("]}");
+    Response::json(200, out)
+}
+
+/// Renders one node of a reassembled span tree, children nested.
+fn render_span_node(out: &mut String, node: &SpanNode<'_>) {
+    let e = node.event;
+    out.push_str(&format!(
+        "{{\"stage\":\"{}\",\"start_us\":{},\"duration_ns\":{},\"request\":{},\"span\":{},\"children\":[",
+        e.stage.name(),
+        e.start_us,
+        e.duration_ns,
+        e.request,
+        e.span_id,
+    ));
+    for (i, child) in node.children.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        render_span_node(out, child);
+    }
+    out.push_str("]}");
+}
+
+/// `GET /trace/{id}`: the reassembled span tree of one request. 404 when
+/// the trace was never recorded — or already evicted by the bounded
+/// per-trace index (the index keeps the most recent traces only).
+fn get_trace_tree(service: &RideService, trace_id: u64) -> Response {
+    let Some(tree) = service.telemetry().trace_tree(trace_id) else {
+        return Response::error(404, "trace not found (never recorded, or evicted)");
+    };
+    let mut out = format!(
+        "{{\"trace\":\"{:016x}\",\"truncated\":{},\"spans\":{},\"roots\":[",
+        tree.trace_id,
+        tree.truncated,
+        tree.spans.len(),
+    );
+    for (i, root) in tree.roots().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        render_span_node(&mut out, root);
+    }
+    out.push_str("]}");
+    Response::json(200, out)
+}
+
+/// `GET /debug/slow`: the top-K slowest root spans seen so far, slowest
+/// first — each entry's trace id feeds `GET /trace/{id}`.
+fn get_slow(service: &RideService) -> Response {
+    let slow = service.telemetry().slow_traces();
+    let mut out = String::from("{\"slow\":[");
+    for (i, entry) in slow.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"trace\":\"{:016x}\",\"stage\":\"{}\",\"start_us\":{},\"duration_ns\":{},\"request\":{}}}",
+            entry.trace_id,
+            entry.stage.name(),
+            entry.start_us,
+            entry.duration_ns,
+            entry.request,
         ));
     }
     out.push_str("]}");

@@ -19,10 +19,13 @@
 //! the server acknowledged.
 
 use crate::config::ServerConfig;
-use crate::http::{self, ConnReader, ReadLimits, ReadOutcome, Response};
-use crate::router::{self, Endpoint, Handled};
+use crate::http::{self, ConnReader, HttpRequest, ReadLimits, ReadOutcome, Response};
+use crate::router::{self, parse_hex_id, Endpoint, Handled};
 use crate::sse;
-use ptrider_core::{Counter, Gauge, PromWriter, RideService, ShardedHistogram, Stage};
+use ptrider_core::{
+    Counter, Gauge, ProfiledMutex, PromWriter, RideService, ShardedHistogram, Stage, Telemetry,
+    TraceContext,
+};
 use std::collections::HashMap;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -132,11 +135,16 @@ struct Shared {
     open: AtomicUsize,
     inflight: AtomicUsize,
     next_conn_id: AtomicU64,
+    /// Mints `X-Request-Id` values when tracing is off (the engine's
+    /// telemetry is not allocating trace ids, but every response still
+    /// echoes a correlation id).
+    next_fallback_trace: AtomicU64,
     handler_permits: Semaphore,
     metrics: ServerMetrics,
     /// Read-side clones of every open connection, so shutdown can force
-    /// idle keep-alive loops to wake.
-    registry: Mutex<HashMap<u64, TcpStream>>,
+    /// idle keep-alive loops to wake. Profiled as `server.conns`: the
+    /// accept path and every connection exit contend on it.
+    registry: ProfiledMutex<HashMap<u64, TcpStream>>,
     /// Count of live connection threads + the condvar shutdown waits on.
     live: Mutex<usize>,
     drained: Condvar,
@@ -169,6 +177,7 @@ impl Server {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let metrics = ServerMetrics::new(&service);
+        let conns_site = service.telemetry().lock_site("server.conns");
         let shared = Arc::new(Shared {
             handler_permits: Semaphore::new(config.threads),
             metrics,
@@ -178,7 +187,8 @@ impl Server {
             open: AtomicUsize::new(0),
             inflight: AtomicUsize::new(0),
             next_conn_id: AtomicU64::new(0),
-            registry: Mutex::new(HashMap::new()),
+            next_fallback_trace: AtomicU64::new(1),
+            registry: ProfiledMutex::new(HashMap::new(), conns_site),
             live: Mutex::new(0),
             drained: Condvar::new(),
             started: Instant::now(),
@@ -310,11 +320,97 @@ fn accept_loop(shared: &Arc<Shared>, listener: TcpListener) {
     }
 }
 
-/// The 503 + `Retry-After` shed path: never blocks, never spawns.
+/// One request's wire trace identity: the id echoed to the client and
+/// the engine context (when tracing is on) that everything downstream of
+/// the `server.handle` root span records under.
+#[derive(Clone, Copy)]
+struct RequestTrace {
+    /// Echoed as `x-request-id` (and the trace-id half of `traceparent`).
+    trace_id: u64,
+    /// The engine's live context; `None` when tracing is off — the
+    /// header is still echoed, spans are not recorded.
+    ctx: Option<TraceContext>,
+}
+
+/// Parses an inbound `traceparent` (W3C: `00-{32hex}-{16hex}-{2hex}`),
+/// keeping the low 64 bits of the trace id (the engine's native width).
+fn parse_traceparent(value: &str) -> Option<(u64, u64)> {
+    let mut parts = value.trim().split('-');
+    let (version, trace, span, _flags) =
+        (parts.next()?, parts.next()?, parts.next()?, parts.next()?);
+    if version.len() != 2 || trace.len() != 32 || span.len() != 16 {
+        return None;
+    }
+    let trace_id = u64::from_str_radix(&trace[16..], 16).ok()?;
+    let parent_span = u64::from_str_radix(span, 16).ok()?;
+    (trace_id != 0).then_some((trace_id, parent_span))
+}
+
+/// The inbound trace identity, when the client sent one: `traceparent`
+/// wins over `X-Request-Id` (which carries no parent span id).
+fn inbound_trace(req: &HttpRequest) -> Option<(u64, u64)> {
+    if let Some(ids) = req.header("traceparent").and_then(parse_traceparent) {
+        return Some(ids);
+    }
+    parse_hex_id(req.header("x-request-id")?).map(|id| (id, 0))
+}
+
+/// Resolves the request's trace identity: adopt the inbound one, else
+/// mint — through the telemetry hub when tracing is on (so the id is
+/// unique among stored traces), else from the server's fallback counter
+/// (correlation only). `req` is `None` on paths that respond before a
+/// request could be parsed (shed, protocol errors).
+fn request_trace(
+    telemetry: &Telemetry,
+    req: Option<&HttpRequest>,
+    fallback: &AtomicU64,
+) -> RequestTrace {
+    if let Some((trace_id, parent_span)) = req.and_then(inbound_trace) {
+        return RequestTrace {
+            trace_id,
+            ctx: telemetry.adopt_trace(trace_id, parent_span),
+        };
+    }
+    match telemetry.new_trace() {
+        Some(ctx) => RequestTrace {
+            trace_id: ctx.trace_id,
+            ctx: Some(ctx),
+        },
+        None => RequestTrace {
+            trace_id: fallback.fetch_add(1, Ordering::Relaxed),
+            ctx: None,
+        },
+    }
+}
+
+/// Stamps the response with the request's correlation headers:
+/// `x-request-id` on every response, plus a `traceparent` naming the
+/// root span when the request was actually traced (so the header is
+/// never emitted with an invalid all-zero parent id).
+fn echo_trace(resp: Response, rt: RequestTrace, root_span: u64) -> Response {
+    let resp = resp.with_header("x-request-id", format!("{:016x}", rt.trace_id));
+    if rt.ctx.is_some() && root_span != 0 {
+        resp.with_header(
+            "traceparent",
+            format!("00-{:032x}-{:016x}-01", rt.trace_id, root_span),
+        )
+    } else {
+        resp
+    }
+}
+
+/// The 503 + `Retry-After` shed path: never blocks, never spawns. Runs
+/// before any request is read, so the correlation id is always minted.
 fn shed(shared: &Shared, stream: &TcpStream) {
     shared.metrics.shed.inc();
+    let rt = request_trace(
+        shared.service.telemetry(),
+        None,
+        &shared.next_fallback_trace,
+    );
     let resp = Response::error(503, "connection limit reached")
         .with_header("retry-after", shared.config.retry_after_secs.to_string());
+    let resp = echo_trace(resp, rt, 0);
     let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
     let _ = http::write_response(stream, &resp, false);
     let _ = stream.shutdown(Shutdown::Both);
@@ -349,29 +445,38 @@ fn conn_loop(shared: &Arc<Shared>, stream: &TcpStream) {
             ReadOutcome::Closed => return,
             ReadOutcome::Bad(e) => {
                 shared.metrics.protocol_errors.inc();
-                let resp = Response::error(e.status, &e.message);
+                // Even a protocol failure echoes a correlation id (the
+                // request may be unparsable, so the id is minted).
+                let rt = request_trace(telemetry, None, &shared.next_fallback_trace);
+                let resp = echo_trace(Response::error(e.status, &e.message), rt, 0);
                 let _span = telemetry.span(Stage::ServerWrite);
                 let _ = http::write_response(stream, &resp, false);
                 return;
             }
         };
         shared.metrics.requests.inc();
+        let rt = request_trace(telemetry, Some(&req), &shared.next_fallback_trace);
         let handle_started = Instant::now();
-        let (handled, endpoint) = {
+        let (handled, endpoint, root_span) = {
             shared.handler_permits.acquire();
             let inflight = shared.inflight.fetch_add(1, Ordering::AcqRel) + 1;
             shared.metrics.inflight.set(inflight as f64);
-            let _span = telemetry.span(Stage::ServerHandle);
+            // The traced root: the router threads this span's context
+            // into the service, so the whole request hangs off it.
+            let span = telemetry.span_in(Stage::ServerHandle, rt.ctx);
+            let ctx = span.context();
             let suffix = || shared.metrics.render();
-            let result = router::handle(&shared.service, &req, shared.now_secs(), &suffix);
+            let (handled, endpoint) =
+                router::handle(&shared.service, &req, shared.now_secs(), &suffix, ctx);
             let inflight = shared.inflight.fetch_sub(1, Ordering::AcqRel) - 1;
             shared.metrics.inflight.set(inflight as f64);
             shared.handler_permits.release();
-            result
+            (handled, endpoint, ctx.map_or(0, |c| c.span_id))
         };
         match handled {
             Handled::Respond(resp) => {
                 shared.metrics.record(endpoint, handle_started.elapsed());
+                let resp = echo_trace(resp, rt, root_span);
                 let keep_alive = req.keep_alive() && !shared.shutdown.load(Ordering::Acquire);
                 let wrote = {
                     let _span = telemetry.span(Stage::ServerWrite);
@@ -390,6 +495,7 @@ fn conn_loop(shared: &Arc<Shared>, stream: &TcpStream) {
                     &params,
                     shared.config.sse_poll,
                     &shared.shutdown,
+                    rt.trace_id,
                 );
                 shared.metrics.record(endpoint, handle_started.elapsed());
                 return;

@@ -171,13 +171,15 @@ pub fn matches(params: &SseParams, event: &EngineEvent) -> bool {
 
 /// Runs one SSE stream until the client disconnects, a limit is hit, or
 /// the server shuts down. The response head is written here; the caller
-/// must not have written anything yet.
+/// must not have written anything yet. `request_id` is the connection's
+/// correlation id, echoed as `x-request-id` like every other response.
 pub fn stream(
     service: &RideService,
     stream: &TcpStream,
     params: &SseParams,
     poll: Duration,
     shutdown: &AtomicBool,
+    request_id: u64,
 ) -> std::io::Result<()> {
     let head = Response {
         status: 200,
@@ -189,7 +191,7 @@ pub fn stream(
     let mut w = stream;
     w.write_all(
         format!(
-            "HTTP/1.1 200 OK\r\ncontent-type: {}\r\ncache-control: no-cache\r\nconnection: close\r\n\r\n",
+            "HTTP/1.1 200 OK\r\ncontent-type: {}\r\ncache-control: no-cache\r\nx-request-id: {request_id:016x}\r\nconnection: close\r\n\r\n",
             head.content_type
         )
         .as_bytes(),
@@ -207,7 +209,7 @@ pub fn stream(
             w.write_all(b"event: shutdown\r\ndata: {}\n\n")?;
             return Ok(());
         }
-        let events = service.poll_events(&mut cursor);
+        let events = service.poll_stamped_events(&mut cursor);
         // The log may have evicted past the cursor while we slept; tell
         // the client how many events it will never see.
         let missed = cursor.missed();
@@ -220,11 +222,20 @@ pub fn stream(
             w.write_all(frame.as_bytes())?;
             reported_missed = missed;
         }
-        for event in &events {
-            if !matches(params, event) {
+        for stamped in &events {
+            if params.trace.is_some_and(|t| stamped.trace_id != t) {
                 continue;
             }
-            let (name, data) = render_event(event);
+            if !matches(params, &stamped.event) {
+                continue;
+            }
+            let (name, mut data) = render_event(&stamped.event);
+            if stamped.trace_id != 0 {
+                // Splice the trace id into the payload object so a
+                // `?trace=` consumer can cross-reference `GET /trace/{id}`.
+                data.truncate(data.len() - 1);
+                data.push_str(&format!(",\"trace\":\"{:016x}\"}}", stamped.trace_id));
+            }
             w.write_all(format!("event: {name}\ndata: {data}\n\n").as_bytes())?;
             forwarded += 1;
             if params.limit.is_some_and(|limit| forwarded >= limit) {

@@ -51,11 +51,27 @@ impl Client {
 
     /// Sends one request and reads one response (Content-Length framed).
     pub fn request(&mut self, method: &str, path: &str, body: Option<&str>) -> ClientResponse {
+        self.request_with_headers(method, path, body, &[])
+    }
+
+    /// [`Client::request`] with extra request headers (`(name, value)`).
+    pub fn request_with_headers(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+        headers: &[(&str, &str)],
+    ) -> ClientResponse {
         let body = body.unwrap_or("");
-        let raw = format!(
-            "{method} {path} HTTP/1.1\r\nhost: test\r\ncontent-length: {}\r\n\r\n{body}",
+        let mut raw = format!(
+            "{method} {path} HTTP/1.1\r\nhost: test\r\ncontent-length: {}\r\n",
             body.len()
         );
+        for (name, value) in headers {
+            raw.push_str(&format!("{name}: {value}\r\n"));
+        }
+        raw.push_str("\r\n");
+        raw.push_str(body);
         self.stream.write_all(raw.as_bytes()).expect("write");
         self.read_response()
     }
